@@ -1,0 +1,73 @@
+//! Criterion benchmarks of end-to-end database build and read classification
+//! for every method — the microbenchmark companions of Tables 3 and 4.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use mc_bench::setup::{self, ReferenceSetup, Workloads};
+use mc_bench::ExperimentScale;
+use mc_gpu_sim::MultiGpuSystem;
+use mc_kraken2::Kraken2Classifier;
+use metacache::gpu::GpuClassifier;
+use metacache::query::Classifier;
+use metacache::MetaCacheConfig;
+
+fn bench_build(c: &mut Criterion) {
+    let scale = ExperimentScale::tiny();
+    let refs = ReferenceSetup::generate(&scale);
+    let bases = refs.refseq.total_bases() as u64;
+    let mut group = c.benchmark_group("database_build");
+    group.throughput(Throughput::Bytes(bases));
+    group.bench_function("metacache_cpu", |b| {
+        b.iter(|| setup::build_metacache_cpu(MetaCacheConfig::for_tests(), &refs.refseq).table_bytes)
+    });
+    group.bench_function("metacache_gpu_4dev", |b| {
+        let system = MultiGpuSystem::dgx1(4);
+        b.iter(|| {
+            setup::build_metacache_gpu(MetaCacheConfig::for_tests(), &refs.refseq, &system)
+                .table_bytes
+        })
+    });
+    group.bench_function("kraken2", |b| {
+        b.iter(|| setup::build_kraken2(&refs.refseq).table_bytes)
+    });
+    group.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let scale = ExperimentScale::tiny();
+    let refs = ReferenceSetup::generate(&scale);
+    let workloads = Workloads::generate(&scale, &refs.refseq, &refs.afs_refseq);
+    let reads = &workloads.hiseq.reads;
+    let config = MetaCacheConfig::default();
+
+    let cpu = setup::build_metacache_cpu(config, &refs.refseq);
+    let cpu_db = cpu.metacache.unwrap();
+    let system = MultiGpuSystem::dgx1(4);
+    let gpu = setup::build_metacache_gpu(config, &refs.refseq, &system);
+    let gpu_db = gpu.metacache.unwrap();
+    let kraken = setup::build_kraken2(&refs.refseq);
+    let kraken_db = kraken.kraken2.unwrap();
+
+    let mut group = c.benchmark_group("read_classification");
+    group.throughput(Throughput::Elements(reads.len() as u64));
+    group.bench_function("metacache_cpu", |b| {
+        let classifier = Classifier::new(&cpu_db);
+        b.iter(|| classifier.classify_batch(reads).len())
+    });
+    group.bench_function("metacache_gpu_pipeline", |b| {
+        let classifier = GpuClassifier::new(&gpu_db, &system);
+        b.iter(|| classifier.classify_all(reads).0.len())
+    });
+    group.bench_function("kraken2", |b| {
+        let classifier = Kraken2Classifier::new(&kraken_db);
+        b.iter(|| classifier.classify_batch(reads).len())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_build, bench_query
+}
+criterion_main!(benches);

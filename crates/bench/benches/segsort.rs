@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the segmented sort (Figure 5 shows it dominating
+//! the query pipeline, so its throughput matters most).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use mc_gpu_sim::segmented_sort;
+
+fn make_keys(n: usize, seed: u64) -> Vec<u64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        })
+        .collect()
+}
+
+/// Segment layout mimicking per-read location lists: most reads retrieve a
+/// handful of locations, a few retrieve thousands.
+fn make_segments(total: usize) -> Vec<usize> {
+    let mut segments = vec![0usize];
+    let mut pos = 0usize;
+    let mut i = 0usize;
+    while pos < total {
+        let len = match i % 20 {
+            0 => 2_000,
+            1..=4 => 200,
+            _ => 25,
+        };
+        pos = (pos + len).min(total);
+        segments.push(pos);
+        i += 1;
+    }
+    segments
+}
+
+fn bench_segsort(c: &mut Criterion) {
+    let mut group = c.benchmark_group("segmented_sort");
+    for &n in &[10_000usize, 100_000, 1_000_000] {
+        let keys = make_keys(n, 3);
+        let segments = make_segments(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("mixed_segments", n), &n, |b, _| {
+            b.iter(|| {
+                let mut data = keys.clone();
+                segmented_sort(&mut data, &segments)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("single_segment", n), &n, |b, _| {
+            b.iter(|| {
+                let mut data = keys.clone();
+                segmented_sort(&mut data, &[0, n])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_segsort
+}
+criterion_main!(benches);

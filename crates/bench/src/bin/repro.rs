@@ -1,0 +1,127 @@
+//! `repro` — regenerate the tables and figures of the MetaCache-GPU paper.
+//!
+//! ```text
+//! Usage: repro [--scale tiny|default] [--json] <experiment>...
+//!
+//! Experiments:
+//!   table1 table2      reference sets and read datasets (Tables 1 & 2)
+//!   table3             build performance (Table 3)
+//!   table4             query performance (Table 4)
+//!   table5 fig4        time-to-query and OTF vs W+L phases (Table 5, Figure 4)
+//!   table6 abundance   classification accuracy and abundance estimation (Table 6, §6.5)
+//!   fig5               query pipeline breakdown (Figure 5)
+//!   tablemem ablation  hash-table memory comparison and parameter ablations (§6)
+//!   all                everything above
+//! ```
+
+use std::collections::BTreeSet;
+
+use mc_bench::experiments::{
+    accuracy, breakdown, build_perf, datasets, query_perf, tablemem, ttq,
+};
+use mc_bench::ExperimentScale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--scale tiny|default] [--json] \
+         <table1|table2|table3|table4|table5|table6|fig4|fig5|abundance|tablemem|ablation|all>..."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut scale = ExperimentScale::default_scale();
+    let mut json = false;
+    let mut requested: BTreeSet<String> = BTreeSet::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(name) = args.next() else { usage() };
+                scale = ExperimentScale::by_name(&name).unwrap_or_else(|| usage());
+            }
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => usage(),
+            other => {
+                requested.insert(other.to_string());
+            }
+        }
+    }
+    if requested.is_empty() {
+        usage();
+    }
+    if requested.contains("all") {
+        for e in [
+            "table1", "table2", "table3", "table4", "table5", "fig4", "table6", "abundance",
+            "fig5", "tablemem", "ablation",
+        ] {
+            requested.insert(e.to_string());
+        }
+        requested.remove("all");
+    }
+
+    eprintln!(
+        "# MetaCache-GPU reproduction, scale = {} ({} reads per dataset)",
+        scale.label, scale.reads_per_dataset
+    );
+
+    let wants = |names: &[&str]| names.iter().any(|n| requested.contains(*n));
+
+    if wants(&["table1", "table2"]) {
+        let result = datasets::run(&scale);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+        } else {
+            println!("{}", datasets::render(&result));
+        }
+    }
+    if wants(&["table3"]) {
+        let result = build_perf::run(&scale);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+        } else {
+            println!("{}", build_perf::render(&result));
+        }
+    }
+    if wants(&["table4"]) {
+        let result = query_perf::run(&scale);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+        } else {
+            println!("{}", query_perf::render(&result));
+        }
+    }
+    if wants(&["table5", "fig4"]) {
+        let result = ttq::run(&scale);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+        } else {
+            println!("{}", ttq::render(&result));
+        }
+    }
+    if wants(&["table6", "abundance"]) {
+        let result = accuracy::run(&scale);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+        } else {
+            println!("{}", accuracy::render(&result));
+        }
+    }
+    if wants(&["fig5"]) {
+        let result = breakdown::run(&scale);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+        } else {
+            println!("{}", breakdown::render(&result));
+        }
+    }
+    if wants(&["tablemem", "ablation"]) {
+        let result = tablemem::run(&scale);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+        } else {
+            println!("{}", tablemem::render(&result));
+        }
+    }
+}

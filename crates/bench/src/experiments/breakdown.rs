@@ -1,0 +1,127 @@
+//! Figure 5: the GPU query-pipeline breakdown.
+//!
+//! The paper instruments the query pipeline against the AFS31+RefSeq202
+//! database and reports the share of total runtime spent in each stage:
+//! sketching + hash-table query takes 18–23%, the segmented sort roughly half
+//! of the runtime, and the rest goes to compaction and top-candidate
+//! generation. The reproduction records the same stages through the
+//! simulated device clocks.
+
+use serde::Serialize;
+
+use mc_gpu_sim::MultiGpuSystem;
+use metacache::gpu::GpuClassifier;
+use metacache::MetaCacheConfig;
+
+use crate::scale::ExperimentScale;
+use crate::setup::{self, ReferenceSetup, Workloads};
+
+/// The per-stage share of one dataset's query run.
+#[derive(Debug, Clone, Serialize)]
+pub struct BreakdownRow {
+    /// Dataset name.
+    pub dataset: String,
+    /// Share of host→device transfer.
+    pub transfer: f64,
+    /// Share of sketching + hash-table query.
+    pub sketch_query: f64,
+    /// Share of location-list compaction.
+    pub compact: f64,
+    /// Share of the segmented sort.
+    pub sort: f64,
+    /// Share of accumulation + top-candidate generation + merge.
+    pub top_candidates: f64,
+}
+
+/// The Figure 5 result.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct BreakdownResult {
+    /// One row per read dataset.
+    pub rows: Vec<BreakdownRow>,
+}
+
+/// Run the experiment: query all three datasets against the AFS+RefSeq-like
+/// database and record the stage shares.
+pub fn run(scale: &ExperimentScale) -> BreakdownResult {
+    let refs = ReferenceSetup::generate(scale);
+    let workloads = Workloads::generate(scale, &refs.refseq, &refs.afs_refseq);
+    let config = MetaCacheConfig::default();
+    let system = MultiGpuSystem::dgx1(scale.large_gpu_count);
+    let built = setup::build_metacache_gpu(config, &refs.afs_refseq, &system);
+    let db = built.metacache.as_ref().unwrap();
+    let mut result = BreakdownResult::default();
+    for (dataset, reads) in workloads.all() {
+        system.reset_clocks();
+        let classifier = GpuClassifier::new(db, &system);
+        let (_, breakdown) = classifier.classify_all(&reads.reads);
+        let shares = breakdown.shares();
+        result.rows.push(BreakdownRow {
+            dataset: dataset.into(),
+            transfer: shares[0],
+            sketch_query: shares[1],
+            compact: shares[2],
+            sort: shares[3],
+            top_candidates: shares[4],
+        });
+    }
+    result
+}
+
+/// Render Figure 5 as a text bar chart.
+pub fn render(result: &BreakdownResult) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 5: GPU query pipeline breakdown (AFS-like+RefSeq-like database), % of runtime\n",
+    );
+    out.push_str(&format!(
+        "{:<8} {:>10} {:>14} {:>10} {:>10} {:>16}\n",
+        "Dataset", "Transfer", "Sketch+Query", "Compact", "SegSort", "Top candidates"
+    ));
+    for row in &result.rows {
+        out.push_str(&format!(
+            "{:<8} {:>9.1}% {:>13.1}% {:>9.1}% {:>9.1}% {:>15.1}%\n",
+            row.dataset,
+            row.transfer * 100.0,
+            row.sketch_query * 100.0,
+            row.compact * 100.0,
+            row.sort * 100.0,
+            row.top_candidates * 100.0
+        ));
+    }
+    for row in &result.rows {
+        let bar = |share: f64| "#".repeat((share * 50.0).round() as usize);
+        out.push_str(&format!(
+            "{:<8} |{}|{}|{}|{}|{}|\n",
+            row.dataset,
+            bar(row.transfer),
+            bar(row.sketch_query),
+            bar(row.compact),
+            bar(row.sort),
+            bar(row.top_candidates)
+        ));
+    }
+    out.push_str("         (bars: transfer | sketch+query | compact | segsort | top candidates)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one_and_cover_all_datasets() {
+        let result = run(&ExperimentScale::tiny());
+        assert_eq!(result.rows.len(), 3);
+        for row in &result.rows {
+            let total =
+                row.transfer + row.sketch_query + row.compact + row.sort + row.top_candidates;
+            assert!((total - 1.0).abs() < 1e-6, "{}: shares sum to {total}", row.dataset);
+            // Every stage participates.
+            assert!(row.sketch_query > 0.0);
+            assert!(row.sort > 0.0);
+        }
+        let text = render(&result);
+        assert!(text.contains("Figure 5"));
+        assert!(text.contains("SegSort"));
+    }
+}

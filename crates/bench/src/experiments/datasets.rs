@@ -1,0 +1,149 @@
+//! Tables 1 and 2: the reference genome sets and the read datasets.
+//!
+//! These are descriptive tables; the reproduction regenerates them from the
+//! synthetic collections/read sets so every downstream experiment documents
+//! exactly what it ran on, alongside the paper's original full-scale numbers.
+
+use serde::Serialize;
+
+use crate::experiments::fmt_bytes;
+use crate::scale::ExperimentScale;
+use crate::setup::{ReferenceSetup, Workloads};
+
+/// One row of Table 1.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReferenceSetRow {
+    /// Database name.
+    pub name: String,
+    /// Number of distinct species.
+    pub species: usize,
+    /// Number of reference targets (genomes / scaffolds).
+    pub targets: usize,
+    /// Total bases ("size on disk" analogue).
+    pub total_bases: usize,
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReadSetRow {
+    /// Dataset name.
+    pub name: String,
+    /// On-disk format.
+    pub format: String,
+    /// Number of reads (pairs count once, as in the paper).
+    pub sequences: usize,
+    /// Minimum read length.
+    pub min_len: usize,
+    /// Maximum read length.
+    pub max_len: usize,
+    /// Mean read length.
+    pub avg_len: f64,
+}
+
+/// The combined result of both dataset tables.
+#[derive(Debug, Clone, Serialize)]
+pub struct DatasetsResult {
+    /// Table 1 rows.
+    pub references: Vec<ReferenceSetRow>,
+    /// Table 2 rows.
+    pub reads: Vec<ReadSetRow>,
+}
+
+/// Run the experiment at the given scale.
+pub fn run(scale: &ExperimentScale) -> DatasetsResult {
+    let refs = ReferenceSetup::generate(scale);
+    let workloads = Workloads::generate(scale, &refs.refseq, &refs.afs_refseq);
+    let references = vec![
+        ReferenceSetRow {
+            name: "RefSeq-like".into(),
+            species: refs.refseq.species_count(),
+            targets: refs.refseq.target_count(),
+            total_bases: refs.refseq.total_bases(),
+        },
+        ReferenceSetRow {
+            name: "AFS-like + RefSeq-like".into(),
+            species: refs.afs_refseq.species_count(),
+            targets: refs.afs_refseq.target_count(),
+            total_bases: refs.afs_refseq.total_bases(),
+        },
+    ];
+    let reads = workloads
+        .all()
+        .iter()
+        .map(|(name, set)| {
+            let (min_len, max_len, avg_len) = set.length_stats();
+            let format = match *name {
+                "KAL_D" => "FASTQ paired".to_string(),
+                _ => "FASTA single".to_string(),
+            };
+            ReadSetRow {
+                name: (*name).to_string(),
+                format,
+                sequences: set.len(),
+                min_len,
+                max_len,
+                avg_len,
+            }
+        })
+        .collect();
+    DatasetsResult { references, reads }
+}
+
+/// Render both tables in the paper's layout.
+pub fn render(result: &DatasetsResult) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: Reference genome sets used for databases (synthetic, scaled)\n");
+    out.push_str(&format!(
+        "{:<26} {:>8} {:>9} {:>14}\n",
+        "Database", "Species", "Targets", "Size"
+    ));
+    for row in &result.references {
+        out.push_str(&format!(
+            "{:<26} {:>8} {:>9} {:>14}\n",
+            row.name,
+            row.species,
+            row.targets,
+            fmt_bytes(row.total_bases as u64)
+        ));
+    }
+    out.push('\n');
+    out.push_str("Table 2: Metagenomic read datasets (synthetic, scaled)\n");
+    out.push_str(&format!(
+        "{:<8} {:<14} {:>10} {:>5} {:>5} {:>8}\n",
+        "Dataset", "Format", "Sequences", "Min", "Max", "Average"
+    ));
+    for row in &result.reads {
+        out.push_str(&format!(
+            "{:<8} {:<14} {:>10} {:>5} {:>5} {:>8.1}\n",
+            row.name, row.format, row.sequences, row.min_len, row.max_len, row.avg_len
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_expected_structure() {
+        let result = run(&ExperimentScale::tiny());
+        assert_eq!(result.references.len(), 2);
+        assert_eq!(result.reads.len(), 3);
+        // The AFS database is a strict superset of the RefSeq-like one.
+        assert!(result.references[1].species > result.references[0].species);
+        assert!(result.references[1].total_bases > result.references[0].total_bases);
+        // Read-length shape follows Table 2.
+        let hiseq = &result.reads[0];
+        let miseq = &result.reads[1];
+        let kal_d = &result.reads[2];
+        assert_eq!(hiseq.max_len, 101);
+        assert_eq!(miseq.max_len, 251);
+        assert_eq!((kal_d.min_len, kal_d.max_len), (101, 101));
+        assert!(miseq.avg_len > hiseq.avg_len);
+        assert_eq!(kal_d.format, "FASTQ paired");
+        let text = render(&result);
+        assert!(text.contains("Table 1"));
+        assert!(text.contains("KAL_D"));
+    }
+}

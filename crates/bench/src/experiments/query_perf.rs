@@ -1,0 +1,197 @@
+//! Table 4: query performance of every method against both databases.
+//!
+//! The paper reports, for each of the three read sets and both databases, the
+//! query time and the throughput in million reads per minute. Shape to
+//! reproduce: MetaCache-GPU is the fastest on every dataset and essentially
+//! insensitive to the database size, Kraken2 is also insensitive to database
+//! size, and MetaCache-CPU slows down substantially on the larger
+//! AFS+RefSeq database because its location lists grow.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+use mc_gpu_sim::MultiGpuSystem;
+use mc_kraken2::Kraken2Classifier;
+use metacache::gpu::GpuClassifier;
+use metacache::query::Classifier;
+use metacache::MetaCacheConfig;
+
+use crate::experiments::{fmt_secs, reads_per_minute};
+use crate::scale::ExperimentScale;
+use crate::setup::{self, ReferenceSetup, Workloads};
+
+/// One row of Table 4.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryRow {
+    /// Method name.
+    pub method: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Database name.
+    pub database: String,
+    /// Query time in seconds (simulated for GPU methods).
+    pub secs: f64,
+    /// Throughput in reads per minute.
+    pub reads_per_minute: f64,
+    /// Fraction of reads classified.
+    pub classified_fraction: f64,
+    /// Whether the time is simulated device time.
+    pub simulated: bool,
+}
+
+/// The Table 4 result.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct QueryPerfResult {
+    /// All rows.
+    pub rows: Vec<QueryRow>,
+}
+
+impl QueryPerfResult {
+    /// The row for a (method, dataset, database) triple.
+    pub fn row(&self, method: &str, dataset: &str, database: &str) -> Option<&QueryRow> {
+        self.rows
+            .iter()
+            .find(|r| r.method == method && r.dataset == dataset && r.database == database)
+    }
+}
+
+/// Run the experiment.
+pub fn run(scale: &ExperimentScale) -> QueryPerfResult {
+    let refs = ReferenceSetup::generate(scale);
+    let config = MetaCacheConfig::default();
+    let mut result = QueryPerfResult::default();
+
+    for (db_name, collection) in [
+        ("RefSeq-like", &refs.refseq),
+        ("AFS-like+RefSeq-like", &refs.afs_refseq),
+    ] {
+        // Reads are always simulated from the union collection so that the
+        // KAL_D-like component reads exist in both database scenarios.
+        let workloads = Workloads::generate(scale, &refs.refseq, &refs.afs_refseq);
+
+        // Build each database once per reference set.
+        let kraken = setup::build_kraken2(collection);
+        let kraken_db = kraken.kraken2.as_ref().unwrap();
+        let cpu = setup::build_metacache_cpu(config, collection);
+        let cpu_db = cpu.metacache.as_ref().unwrap();
+        let system = MultiGpuSystem::dgx1(scale.large_gpu_count);
+        let gpu = setup::build_metacache_gpu(config, collection, &system);
+        let gpu_db = gpu.metacache.as_ref().unwrap();
+
+        for (dataset, reads) in workloads.all() {
+            // Kraken2 (wall clock).
+            let classifier = Kraken2Classifier::new(kraken_db);
+            let start = Instant::now();
+            let calls = classifier.classify_batch(&reads.reads);
+            let secs = start.elapsed().as_secs_f64();
+            result.rows.push(QueryRow {
+                method: "Kraken2".into(),
+                dataset: dataset.into(),
+                database: db_name.into(),
+                secs,
+                reads_per_minute: reads_per_minute(reads.len(), secs),
+                classified_fraction: fraction(calls.iter().filter(|c| c.is_classified()).count(), reads.len()),
+                simulated: false,
+            });
+
+            // MetaCache CPU (wall clock).
+            let classifier = Classifier::new(cpu_db);
+            let start = Instant::now();
+            let calls = classifier.classify_batch(&reads.reads);
+            let secs = start.elapsed().as_secs_f64();
+            result.rows.push(QueryRow {
+                method: "MC CPU".into(),
+                dataset: dataset.into(),
+                database: db_name.into(),
+                secs,
+                reads_per_minute: reads_per_minute(reads.len(), secs),
+                classified_fraction: fraction(calls.iter().filter(|c| c.is_classified()).count(), reads.len()),
+                simulated: false,
+            });
+
+            // MetaCache GPU (simulated device time).
+            system.reset_clocks();
+            let classifier = GpuClassifier::new(gpu_db, &system);
+            let (calls, _) = classifier.classify_all(&reads.reads);
+            let secs = system.makespan().as_secs_f64();
+            result.rows.push(QueryRow {
+                method: format!("MC {} GPUs", scale.large_gpu_count),
+                dataset: dataset.into(),
+                database: db_name.into(),
+                secs,
+                reads_per_minute: reads_per_minute(reads.len(), secs),
+                classified_fraction: fraction(calls.iter().filter(|c| c.is_classified()).count(), reads.len()),
+                simulated: true,
+            });
+        }
+    }
+    result
+}
+
+fn fraction(n: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        n as f64 / total as f64
+    }
+}
+
+/// Render Table 4.
+pub fn render(result: &QueryPerfResult) -> String {
+    let mut out = String::new();
+    out.push_str("Table 4: Query performance (speed in reads per minute)\n");
+    out.push_str(&format!(
+        "{:<14} {:<8} {:<24} {:>12} {:>16} {:>12}\n",
+        "Method", "Dataset", "Database", "Time", "Reads/min", "Classified"
+    ));
+    for row in &result.rows {
+        out.push_str(&format!(
+            "{:<14} {:<8} {:<24} {:>11}{} {:>16.0} {:>11.1}%\n",
+            row.method,
+            row.dataset,
+            row.database,
+            fmt_secs(row.secs),
+            if row.simulated { "*" } else { " " },
+            row.reads_per_minute,
+            row.classified_fraction * 100.0
+        ));
+    }
+    out.push_str("(* simulated device time from the V100 cost model)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_queries_are_fastest_and_insensitive_to_database_size() {
+        let scale = ExperimentScale::tiny();
+        let result = run(&scale);
+        assert_eq!(result.rows.len(), 2 * 3 * 3);
+        let gpu_method = format!("MC {} GPUs", scale.large_gpu_count);
+        // GPU beats MC CPU on every dataset/database combination.
+        for db in ["RefSeq-like", "AFS-like+RefSeq-like"] {
+            for ds in ["HiSeq", "MiSeq", "KAL_D"] {
+                let gpu = result.row(&gpu_method, ds, db).unwrap();
+                let cpu = result.row("MC CPU", ds, db).unwrap();
+                assert!(
+                    gpu.reads_per_minute > cpu.reads_per_minute,
+                    "{ds}/{db}: GPU {:.0} <= CPU {:.0}",
+                    gpu.reads_per_minute,
+                    cpu.reads_per_minute
+                );
+            }
+        }
+        // GPU throughput does not collapse on the larger database (within 5x;
+        // the paper reports near parity).
+        let gpu_small = result.row(&gpu_method, "HiSeq", "RefSeq-like").unwrap();
+        let gpu_large = result
+            .row(&gpu_method, "HiSeq", "AFS-like+RefSeq-like")
+            .unwrap();
+        assert!(gpu_large.reads_per_minute * 5.0 > gpu_small.reads_per_minute);
+        let text = render(&result);
+        assert!(text.contains("Table 4"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Experiment scale presets.
+//!
+//! The paper's databases hold tens of gigabytes of reference sequence and the
+//! read sets contain 10–26 million reads; the reproduction runs the same
+//! pipelines on synthetic data scaled down by a configurable factor. The
+//! `repro` binary defaults to [`ExperimentScale::default_scale`]; tests use
+//! [`ExperimentScale::tiny`].
+
+use mc_datagen::community::{AfsLikeSpec, RefSeqLikeSpec};
+use mc_datagen::taxonomy_gen::TaxonomySpec;
+
+/// Size parameters shared by every experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentScale {
+    /// Shape of the RefSeq-like reference collection.
+    pub refseq: RefSeqLikeSpec,
+    /// Shape of the AFS-like add-on (large scaffolded genomes).
+    pub afs: AfsLikeSpec,
+    /// Number of reads per simulated query dataset.
+    pub reads_per_dataset: usize,
+    /// Number of devices in the "4 GPU" configuration.
+    pub small_gpu_count: usize,
+    /// Number of devices in the "8 GPU" configuration.
+    pub large_gpu_count: usize,
+    /// Human-readable label of the scale.
+    pub label: &'static str,
+}
+
+impl ExperimentScale {
+    /// Tiny scale for unit/integration tests (runs in a couple of seconds).
+    pub fn tiny() -> Self {
+        Self {
+            refseq: RefSeqLikeSpec {
+                taxonomy: TaxonomySpec {
+                    genera: 4,
+                    species_per_genus: 2,
+                    families: 2,
+                },
+                genome_length: 20_000,
+                strains_per_species: 1,
+                seed: 42,
+            },
+            afs: AfsLikeSpec {
+                genomes: 2,
+                genome_length: 60_000,
+                scaffolds_per_genome: 16,
+                seed: 43,
+            },
+            reads_per_dataset: 300,
+            small_gpu_count: 2,
+            large_gpu_count: 4,
+            label: "tiny",
+        }
+    }
+
+    /// The default scale used by the `repro` binary and the criterion
+    /// benches: large enough that the performance shape (who wins, by what
+    /// factor) is meaningful, small enough to run on a laptop.
+    pub fn default_scale() -> Self {
+        Self {
+            refseq: RefSeqLikeSpec {
+                taxonomy: TaxonomySpec {
+                    genera: 12,
+                    species_per_genus: 5,
+                    families: 5,
+                },
+                genome_length: 80_000,
+                strains_per_species: 1,
+                seed: 202,
+            },
+            afs: AfsLikeSpec {
+                genomes: 4,
+                genome_length: 400_000,
+                scaffolds_per_genome: 64,
+                seed: 31,
+            },
+            reads_per_dataset: 4_000,
+            small_gpu_count: 4,
+            large_gpu_count: 8,
+            label: "default",
+        }
+    }
+
+    /// Parse a scale name (`tiny` / `default`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "tiny" => Some(Self::tiny()),
+            "default" => Some(Self::default_scale()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self::default_scale()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_size() {
+        let tiny = ExperimentScale::tiny();
+        let default = ExperimentScale::default_scale();
+        assert!(tiny.reads_per_dataset < default.reads_per_dataset);
+        assert!(tiny.refseq.taxonomy.genera < default.refseq.taxonomy.genera);
+        assert_eq!(ExperimentScale::by_name("tiny"), Some(tiny));
+        assert_eq!(ExperimentScale::by_name("default"), Some(default));
+        assert_eq!(ExperimentScale::by_name("huge"), None);
+    }
+}

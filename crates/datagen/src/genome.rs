@@ -1,0 +1,285 @@
+//! Synthetic genome generation and mutation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a synthetic genome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenomeSpec {
+    /// Total genome length in bases.
+    pub length: usize,
+    /// GC content in `[0, 1]`.
+    pub gc_content: f64,
+    /// Number of scaffolds the genome is split into (1 = complete genome;
+    /// large values model the scaffold-level AFS genomes).
+    pub scaffolds: usize,
+    /// Random seed (genomes with the same spec and seed are identical).
+    pub seed: u64,
+}
+
+impl Default for GenomeSpec {
+    fn default() -> Self {
+        Self {
+            length: 100_000,
+            gc_content: 0.5,
+            scaffolds: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// A model of evolutionary divergence between related genomes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MutationModel {
+    /// Per-base substitution probability.
+    pub substitution_rate: f64,
+    /// Per-base insertion probability.
+    pub insertion_rate: f64,
+    /// Per-base deletion probability.
+    pub deletion_rate: f64,
+}
+
+impl MutationModel {
+    /// Divergence typical of strains of the same species (~0.5%).
+    pub fn strain() -> Self {
+        Self {
+            substitution_rate: 0.005,
+            insertion_rate: 0.0005,
+            deletion_rate: 0.0005,
+        }
+    }
+
+    /// Divergence typical of species within a genus (~5%).
+    pub fn species() -> Self {
+        Self {
+            substitution_rate: 0.05,
+            insertion_rate: 0.002,
+            deletion_rate: 0.002,
+        }
+    }
+
+    /// Divergence typical of genera within a family (~15%).
+    pub fn genus() -> Self {
+        Self {
+            substitution_rate: 0.15,
+            insertion_rate: 0.01,
+            deletion_rate: 0.01,
+        }
+    }
+}
+
+/// A generated genome: its sequence and its scaffold boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntheticGenome {
+    /// The full sequence (concatenation of all scaffolds).
+    pub sequence: Vec<u8>,
+    /// Scaffold boundaries as exclusive prefix offsets
+    /// (`scaffold i = sequence[bounds[i]..bounds[i+1]]`).
+    pub scaffold_bounds: Vec<usize>,
+}
+
+impl SyntheticGenome {
+    /// Generate a genome from a spec.
+    pub fn generate(spec: GenomeSpec) -> Self {
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let gc = spec.gc_content.clamp(0.0, 1.0);
+        let sequence: Vec<u8> = (0..spec.length)
+            .map(|_| {
+                if rng.gen_bool(gc) {
+                    if rng.gen_bool(0.5) {
+                        b'G'
+                    } else {
+                        b'C'
+                    }
+                } else if rng.gen_bool(0.5) {
+                    b'A'
+                } else {
+                    b'T'
+                }
+            })
+            .collect();
+        let scaffolds = spec.scaffolds.clamp(1, spec.length.max(1));
+        let mut bounds = Vec::with_capacity(scaffolds + 1);
+        for i in 0..=scaffolds {
+            bounds.push(i * spec.length / scaffolds);
+        }
+        Self {
+            sequence,
+            scaffold_bounds: bounds,
+        }
+    }
+
+    /// Length of the genome in bases.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// Whether the genome is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+
+    /// Number of scaffolds.
+    pub fn scaffold_count(&self) -> usize {
+        self.scaffold_bounds.len().saturating_sub(1)
+    }
+
+    /// The `i`-th scaffold's sequence.
+    pub fn scaffold(&self, i: usize) -> &[u8] {
+        &self.sequence[self.scaffold_bounds[i]..self.scaffold_bounds[i + 1]]
+    }
+
+    /// GC fraction of the generated sequence.
+    pub fn gc_fraction(&self) -> f64 {
+        if self.sequence.is_empty() {
+            return 0.0;
+        }
+        let gc = self
+            .sequence
+            .iter()
+            .filter(|&&b| b == b'G' || b == b'C')
+            .count();
+        gc as f64 / self.sequence.len() as f64
+    }
+
+    /// Derive a related genome by applying a mutation model (same scaffold
+    /// structure, proportionally adjusted boundaries).
+    pub fn mutate(&self, model: MutationModel, seed: u64) -> SyntheticGenome {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA076_1D64_78BD_642F);
+        let mut sequence = Vec::with_capacity(self.sequence.len());
+        const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+        for &base in &self.sequence {
+            if rng.gen_bool(model.deletion_rate.clamp(0.0, 1.0)) {
+                continue;
+            }
+            if rng.gen_bool(model.insertion_rate.clamp(0.0, 1.0)) {
+                sequence.push(BASES[rng.gen_range(0..4)]);
+            }
+            if rng.gen_bool(model.substitution_rate.clamp(0.0, 1.0)) {
+                let mut alt = BASES[rng.gen_range(0..4)];
+                while alt == base {
+                    alt = BASES[rng.gen_range(0..4)];
+                }
+                sequence.push(alt);
+            } else {
+                sequence.push(base);
+            }
+        }
+        // Rescale scaffold boundaries to the new length.
+        let new_len = sequence.len();
+        let old_len = self.sequence.len().max(1);
+        let mut scaffold_bounds: Vec<usize> = self
+            .scaffold_bounds
+            .iter()
+            .map(|&b| b * new_len / old_len)
+            .collect();
+        if let Some(last) = scaffold_bounds.last_mut() {
+            *last = new_len;
+        }
+        SyntheticGenome {
+            sequence,
+            scaffold_bounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = GenomeSpec {
+            length: 10_000,
+            seed: 42,
+            ..Default::default()
+        };
+        assert_eq!(SyntheticGenome::generate(spec), SyntheticGenome::generate(spec));
+        let other = SyntheticGenome::generate(GenomeSpec { seed: 43, ..spec });
+        assert_ne!(SyntheticGenome::generate(spec), other);
+    }
+
+    #[test]
+    fn length_and_alphabet() {
+        let g = SyntheticGenome::generate(GenomeSpec {
+            length: 5_000,
+            ..Default::default()
+        });
+        assert_eq!(g.len(), 5_000);
+        assert!(g.sequence.iter().all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')));
+    }
+
+    #[test]
+    fn gc_content_is_respected() {
+        for gc in [0.3, 0.5, 0.7] {
+            let g = SyntheticGenome::generate(GenomeSpec {
+                length: 200_000,
+                gc_content: gc,
+                seed: 7,
+                ..Default::default()
+            });
+            assert!((g.gc_fraction() - gc).abs() < 0.02, "gc {gc} -> {}", g.gc_fraction());
+        }
+    }
+
+    #[test]
+    fn scaffolds_partition_the_genome() {
+        let g = SyntheticGenome::generate(GenomeSpec {
+            length: 100_000,
+            scaffolds: 37,
+            ..Default::default()
+        });
+        assert_eq!(g.scaffold_count(), 37);
+        let total: usize = (0..37).map(|i| g.scaffold(i).len()).sum();
+        assert_eq!(total, 100_000);
+        assert!(g.scaffold(0).len() > 0);
+    }
+
+    /// Fraction of the mutant's 31-mers (sampled) that also occur in the
+    /// original — a positional-shift-insensitive similarity measure.
+    fn kmer_containment(original: &[u8], mutant: &[u8]) -> f64 {
+        let originals: std::collections::HashSet<&[u8]> = original.windows(31).collect();
+        let samples: Vec<&[u8]> = mutant.windows(31).step_by(97).collect();
+        let hits = samples.iter().filter(|w| originals.contains(*w)).count();
+        hits as f64 / samples.len().max(1) as f64
+    }
+
+    #[test]
+    fn strain_mutation_preserves_most_kmers() {
+        let g = SyntheticGenome::generate(GenomeSpec {
+            length: 50_000,
+            seed: 5,
+            ..Default::default()
+        });
+        let m = g.mutate(MutationModel::strain(), 99);
+        // Length roughly preserved.
+        assert!((m.len() as i64 - g.len() as i64).unsigned_abs() < 1_000);
+        // A 31-mer survives strain-level mutation with probability
+        // ~(1 - 0.6%)^31 ≈ 0.83; require a conservative 60%.
+        let containment = kmer_containment(&g.sequence, &m.sequence);
+        assert!(containment > 0.6, "strain-level k-mer containment {containment}");
+    }
+
+    #[test]
+    fn genus_mutation_diverges_more_than_strain() {
+        let g = SyntheticGenome::generate(GenomeSpec {
+            length: 50_000,
+            seed: 5,
+            ..Default::default()
+        });
+        let strain = kmer_containment(&g.sequence, &g.mutate(MutationModel::strain(), 1).sequence);
+        let genus = kmer_containment(&g.sequence, &g.mutate(MutationModel::genus(), 1).sequence);
+        assert!(
+            strain > genus,
+            "strain containment {strain} should exceed genus containment {genus}"
+        );
+        assert!(genus < 0.1, "genus-level genomes should share few exact 31-mers");
+    }
+
+    #[test]
+    fn mutation_is_deterministic_per_seed() {
+        let g = SyntheticGenome::generate(GenomeSpec::default());
+        assert_eq!(g.mutate(MutationModel::species(), 3), g.mutate(MutationModel::species(), 3));
+        assert_ne!(g.mutate(MutationModel::species(), 3), g.mutate(MutationModel::species(), 4));
+    }
+}

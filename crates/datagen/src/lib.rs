@@ -1,0 +1,38 @@
+//! # mc-datagen — synthetic genomes, taxonomies, communities and reads
+//!
+//! The paper evaluates against NCBI RefSeq Release 202 (15,461 species,
+//! 74 GB), the All-Food-Sequencing genomes, and three read datasets (HiSeq,
+//! MiSeq, KAL_D — Table 1 and Table 2). None of these are redistributable or
+//! practical at full scale here, so this crate generates *synthetic
+//! equivalents with the same structure*:
+//!
+//! * [`genome`] — deterministic random genomes with configurable length and
+//!   GC content, derived strains/species via a mutation model, and
+//!   scaffold-level fragmentation (the AFS genomes "are only available at
+//!   scaffold level which results in hundreds of thousands of different
+//!   target sequences per genome"),
+//! * [`taxonomy_gen`] — synthetic taxonomies with the standard rank
+//!   structure, sized to the generated genome sets,
+//! * [`community`] — reference collections: a RefSeq-like set (many small
+//!   bacterial-style genomes) and an AFS-like add-on (few large, fragmented
+//!   genomes), matching the two databases of Table 1 at reduced scale,
+//! * [`reads`] — read simulators with per-dataset length profiles matching
+//!   Table 2 (HiSeq-like, MiSeq-like single-end FASTA; KAL_D-like paired-end
+//!   FASTQ), a substitution/indel error model, and per-read ground truth for
+//!   the accuracy experiment (Table 6) plus known abundance ratios for the
+//!   KAL_D quantification experiment (§6.5).
+//!
+//! Everything is seeded and fully deterministic so experiments are
+//! reproducible run to run.
+
+pub mod community;
+pub mod genome;
+pub mod profiles;
+pub mod reads;
+pub mod taxonomy_gen;
+
+pub use community::{ReferenceCollection, ReferenceTarget};
+pub use genome::{GenomeSpec, MutationModel, SyntheticGenome};
+pub use profiles::{DatasetProfile, ReadLengthProfile};
+pub use reads::{ReadSimulator, ReadTruth, SimulatedReadSet};
+pub use taxonomy_gen::TaxonomySpec;

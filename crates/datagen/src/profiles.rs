@@ -1,0 +1,163 @@
+//! Dataset profiles matching Table 2 of the paper.
+//!
+//! | Dataset | Format        | Sequences  | Min | Max | Average |
+//! |---------|---------------|------------|-----|-----|---------|
+//! | HiSeq   | FASTA single  | 10,000,000 | 19  | 101 | 92.3    |
+//! | MiSeq   | FASTA single  | 10,000,000 | 19  | 251 | 156.8   |
+//! | KAL_D   | FASTQ paired  | 26,114,376 | 101 | 101 | 101     |
+//!
+//! The profiles below reproduce the length distributions (min/max/average) at
+//! a configurable read count so the query experiments have the same
+//! per-read work shape as the originals.
+
+/// Read length distribution of a dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadLengthProfile {
+    /// Minimum read length.
+    pub min_len: usize,
+    /// Maximum read length.
+    pub max_len: usize,
+    /// Target mean read length.
+    pub mean_len: f64,
+}
+
+impl ReadLengthProfile {
+    /// HiSeq-like: 19–101 bp, mean 92.3 (mostly full-length 101 bp reads with
+    /// a tail of shorter ones).
+    pub fn hiseq() -> Self {
+        Self {
+            min_len: 19,
+            max_len: 101,
+            mean_len: 92.3,
+        }
+    }
+
+    /// MiSeq-like: 19–251 bp, mean 156.8.
+    pub fn miseq() -> Self {
+        Self {
+            min_len: 19,
+            max_len: 251,
+            mean_len: 156.8,
+        }
+    }
+
+    /// KAL_D-like: fixed 101 bp.
+    pub fn kal_d() -> Self {
+        Self {
+            min_len: 101,
+            max_len: 101,
+            mean_len: 101.0,
+        }
+    }
+
+    /// Whether every read has the same length.
+    pub fn is_fixed_length(&self) -> bool {
+        self.min_len == self.max_len
+    }
+
+    /// Probability that a read is full length (`max_len`), chosen so the
+    /// expected length matches `mean_len` when short reads are uniform over
+    /// `[min_len, max_len)`.
+    pub fn full_length_fraction(&self) -> f64 {
+        if self.is_fixed_length() {
+            return 1.0;
+        }
+        let short_mean = (self.min_len + self.max_len - 1) as f64 / 2.0;
+        let p = (self.mean_len - short_mean) / (self.max_len as f64 - short_mean);
+        p.clamp(0.0, 1.0)
+    }
+}
+
+/// A named dataset profile: lengths, pairing, format and the scaled read count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetProfile {
+    /// Dataset name as used in the paper's tables.
+    pub name: String,
+    /// Read length distribution.
+    pub lengths: ReadLengthProfile,
+    /// Whether reads are paired-end.
+    pub paired: bool,
+    /// Whether the on-disk format is FASTQ (otherwise FASTA).
+    pub fastq: bool,
+    /// Number of reads in the paper's original dataset.
+    pub paper_read_count: u64,
+}
+
+impl DatasetProfile {
+    /// The HiSeq mock community (10 M single-end FASTA reads).
+    pub fn hiseq() -> Self {
+        Self {
+            name: "HiSeq".to_string(),
+            lengths: ReadLengthProfile::hiseq(),
+            paired: false,
+            fastq: false,
+            paper_read_count: 10_000_000,
+        }
+    }
+
+    /// The MiSeq mock community (10 M single-end FASTA reads).
+    pub fn miseq() -> Self {
+        Self {
+            name: "MiSeq".to_string(),
+            lengths: ReadLengthProfile::miseq(),
+            paired: false,
+            fastq: false,
+            paper_read_count: 10_000_000,
+        }
+    }
+
+    /// The KAL_D food sample (26.1 M paired-end FASTQ reads).
+    pub fn kal_d() -> Self {
+        Self {
+            name: "KAL_D".to_string(),
+            lengths: ReadLengthProfile::kal_d(),
+            paired: true,
+            fastq: true,
+            paper_read_count: 26_114_376,
+        }
+    }
+
+    /// All three profiles in the order they appear in the paper's tables.
+    pub fn all() -> Vec<Self> {
+        vec![Self::hiseq(), Self::miseq(), Self::kal_d()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profiles_match_table2() {
+        let h = DatasetProfile::hiseq();
+        assert_eq!(h.lengths.min_len, 19);
+        assert_eq!(h.lengths.max_len, 101);
+        assert!(!h.paired && !h.fastq);
+        assert_eq!(h.paper_read_count, 10_000_000);
+
+        let m = DatasetProfile::miseq();
+        assert_eq!(m.lengths.max_len, 251);
+        assert!((m.lengths.mean_len - 156.8).abs() < 1e-9);
+
+        let k = DatasetProfile::kal_d();
+        assert!(k.paired && k.fastq);
+        assert!(k.lengths.is_fixed_length());
+        assert_eq!(k.paper_read_count, 26_114_376);
+        assert_eq!(DatasetProfile::all().len(), 3);
+    }
+
+    #[test]
+    fn full_length_fraction_reproduces_mean() {
+        for profile in [ReadLengthProfile::hiseq(), ReadLengthProfile::miseq()] {
+            let p = profile.full_length_fraction();
+            assert!(p > 0.0 && p < 1.0);
+            let short_mean = (profile.min_len + profile.max_len - 1) as f64 / 2.0;
+            let expected = p * profile.max_len as f64 + (1.0 - p) * short_mean;
+            assert!(
+                (expected - profile.mean_len).abs() < 0.5,
+                "profile {profile:?} expected mean {expected}"
+            );
+        }
+        assert_eq!(ReadLengthProfile::kal_d().full_length_fraction(), 1.0);
+    }
+}

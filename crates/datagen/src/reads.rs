@@ -1,0 +1,404 @@
+//! Read simulation with ground truth.
+//!
+//! Generates sequencing reads from a [`ReferenceCollection`] according to a
+//! [`DatasetProfile`]: reads are drawn from randomly chosen targets of the
+//! community's member species, lengths follow the profile, a simple Illumina
+//! -like substitution error model is applied, and every read records the
+//! species it was drawn from so the accuracy experiment (Table 6) can compute
+//! precision and sensitivity against a known truth. For the KAL_D-style
+//! abundance experiment the simulator also accepts explicit per-species
+//! abundance weights (the known meat fractions of the sausage sample).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mc_seqio::SequenceRecord;
+use mc_taxonomy::TaxonId;
+
+use crate::community::ReferenceCollection;
+use crate::profiles::DatasetProfile;
+
+/// Ground-truth label of one simulated read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadTruth {
+    /// Index of the read within the read set.
+    pub read_index: usize,
+    /// Index of the reference target the read was drawn from.
+    pub target_index: usize,
+    /// Species-level taxon of that target.
+    pub taxon: TaxonId,
+}
+
+/// A simulated read set: records plus per-read truth.
+#[derive(Debug, Clone, Default)]
+pub struct SimulatedReadSet {
+    /// The reads (paired reads carry their mate inside the record).
+    pub reads: Vec<SequenceRecord>,
+    /// Ground truth, parallel to `reads`.
+    pub truth: Vec<ReadTruth>,
+    /// Name of the dataset profile used.
+    pub dataset: String,
+}
+
+impl SimulatedReadSet {
+    /// Number of reads (pairs count once).
+    pub fn len(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Whether the read set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+    }
+
+    /// Minimum / maximum / mean read length (first mates only), mirroring the
+    /// columns of Table 2.
+    pub fn length_stats(&self) -> (usize, usize, f64) {
+        if self.reads.is_empty() {
+            return (0, 0, 0.0);
+        }
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut sum = 0usize;
+        for r in &self.reads {
+            min = min.min(r.len());
+            max = max.max(r.len());
+            sum += r.len();
+        }
+        (min, max, sum as f64 / self.reads.len() as f64)
+    }
+
+    /// The true abundance (fraction of reads) per species.
+    pub fn true_abundances(&self) -> Vec<(TaxonId, f64)> {
+        let mut counts: std::collections::BTreeMap<TaxonId, usize> = Default::default();
+        for t in &self.truth {
+            *counts.entry(t.taxon).or_default() += 1;
+        }
+        let total = self.truth.len().max(1) as f64;
+        counts
+            .into_iter()
+            .map(|(taxon, n)| (taxon, n as f64 / total))
+            .collect()
+    }
+}
+
+/// Configuration of the read simulator.
+#[derive(Debug, Clone)]
+pub struct ReadSimulator {
+    /// The dataset profile (lengths, pairing, format).
+    pub profile: DatasetProfile,
+    /// Number of reads (or read pairs) to generate.
+    pub read_count: usize,
+    /// Per-base substitution error rate.
+    pub error_rate: f64,
+    /// Insert size between paired mates (outer distance).
+    pub insert_size: usize,
+    /// Optional per-species abundance weights; targets of unlisted species
+    /// are not sampled. `None` = uniform over all targets.
+    pub abundance: Option<Vec<(TaxonId, f64)>>,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl ReadSimulator {
+    /// A simulator for the given profile and read count with default error
+    /// model (0.2% substitutions, 300 bp insert).
+    pub fn new(profile: DatasetProfile, read_count: usize) -> Self {
+        Self {
+            profile,
+            read_count,
+            error_rate: 0.002,
+            insert_size: 300,
+            abundance: None,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Use explicit species abundance weights (KAL_D-style known fractions).
+    pub fn with_abundance(mut self, abundance: Vec<(TaxonId, f64)>) -> Self {
+        self.abundance = Some(abundance);
+        self
+    }
+
+    /// Set the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Draw a read length according to the profile.
+    fn draw_length(&self, rng: &mut StdRng) -> usize {
+        let lengths = self.profile.lengths;
+        if lengths.is_fixed_length() {
+            return lengths.max_len;
+        }
+        if rng.gen_bool(lengths.full_length_fraction()) {
+            lengths.max_len
+        } else {
+            rng.gen_range(lengths.min_len..lengths.max_len)
+        }
+    }
+
+    /// Apply the substitution error model to a read sequence.
+    fn apply_errors(&self, seq: &mut [u8], rng: &mut StdRng) {
+        const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+        for base in seq.iter_mut() {
+            if rng.gen_bool(self.error_rate.clamp(0.0, 1.0)) {
+                let mut alt = BASES[rng.gen_range(0..4)];
+                while alt == *base {
+                    alt = BASES[rng.gen_range(0..4)];
+                }
+                *base = alt;
+            }
+        }
+    }
+
+    /// Build the cumulative sampling distribution over target indices.
+    fn target_weights(&self, collection: &ReferenceCollection) -> Vec<(usize, f64)> {
+        match &self.abundance {
+            None => collection
+                .targets
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i, t.sequence.len() as f64))
+                .collect(),
+            Some(weights) => {
+                let mut out = Vec::new();
+                for (taxon, weight) in weights {
+                    // Distribute the species weight over its targets
+                    // proportionally to target length.
+                    let targets: Vec<(usize, usize)> = collection
+                        .targets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| t.taxon == *taxon)
+                        .map(|(i, t)| (i, t.sequence.len()))
+                        .collect();
+                    let total: usize = targets.iter().map(|(_, l)| *l).sum();
+                    if total == 0 {
+                        continue;
+                    }
+                    for (i, len) in targets {
+                        out.push((i, weight * len as f64 / total as f64));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Generate the read set.
+    pub fn simulate(&self, collection: &ReferenceCollection) -> SimulatedReadSet {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let weights = self.target_weights(collection);
+        let total_weight: f64 = weights.iter().map(|(_, w)| w).sum();
+        let mut reads = Vec::with_capacity(self.read_count);
+        let mut truth = Vec::with_capacity(self.read_count);
+        if total_weight <= 0.0 || collection.targets.is_empty() {
+            return SimulatedReadSet {
+                reads,
+                truth,
+                dataset: self.profile.name.clone(),
+            };
+        }
+        for read_index in 0..self.read_count {
+            // Sample a target by weight.
+            let mut pick = rng.gen_range(0.0..total_weight);
+            let mut target_index = weights[0].0;
+            for (i, w) in &weights {
+                if pick < *w {
+                    target_index = *i;
+                    break;
+                }
+                pick -= *w;
+            }
+            let target = &collection.targets[target_index];
+            let read_len = self.draw_length(&mut rng).min(target.sequence.len().max(1));
+            let span = if self.profile.paired {
+                (read_len + self.insert_size).min(target.sequence.len())
+            } else {
+                read_len
+            };
+            let max_start = target.sequence.len().saturating_sub(span);
+            let start = if max_start == 0 { 0 } else { rng.gen_range(0..=max_start) };
+            let mut seq = target.sequence[start..(start + read_len).min(target.sequence.len())].to_vec();
+            self.apply_errors(&mut seq, &mut rng);
+            let header = format!(
+                "synread_{}_{read_index} target={target_index} taxon={}",
+                self.profile.name, target.taxon
+            );
+            let mut record = if self.profile.fastq {
+                let qual = vec![b'I'; seq.len()];
+                SequenceRecord::with_quality(header, seq, qual)
+            } else {
+                SequenceRecord::new(header, seq)
+            };
+            if self.profile.paired {
+                // Mate 2: reverse complement of a window `insert_size` downstream.
+                let mate_end = (start + span).min(target.sequence.len());
+                let mate_start = mate_end.saturating_sub(read_len);
+                let mut mate_seq =
+                    mc_kmer::reverse_complement(&target.sequence[mate_start..mate_end]);
+                self.apply_errors(&mut mate_seq, &mut rng);
+                let mate_header = format!(
+                    "synread_{}_{read_index}/2 target={target_index} taxon={}",
+                    self.profile.name, target.taxon
+                );
+                let mate = if self.profile.fastq {
+                    let qual = vec![b'I'; mate_seq.len()];
+                    SequenceRecord::with_quality(mate_header, mate_seq, qual)
+                } else {
+                    SequenceRecord::new(mate_header, mate_seq)
+                };
+                record = record.with_mate(mate);
+            }
+            reads.push(record);
+            truth.push(ReadTruth {
+                read_index,
+                target_index,
+                taxon: target.taxon,
+            });
+        }
+        SimulatedReadSet {
+            reads,
+            truth,
+            dataset: self.profile.name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::community::{RefSeqLikeSpec, ReferenceCollection};
+    use crate::taxonomy_gen::TaxonomySpec;
+
+    fn small_collection() -> ReferenceCollection {
+        ReferenceCollection::refseq_like(RefSeqLikeSpec {
+            taxonomy: TaxonomySpec {
+                genera: 3,
+                species_per_genus: 2,
+                families: 2,
+            },
+            genome_length: 20_000,
+            strains_per_species: 1,
+            seed: 5,
+        })
+    }
+
+    #[test]
+    fn hiseq_profile_lengths_match_table2_shape() {
+        let coll = small_collection();
+        let reads = ReadSimulator::new(DatasetProfile::hiseq(), 2_000).simulate(&coll);
+        assert_eq!(reads.len(), 2_000);
+        let (min, max, mean) = reads.length_stats();
+        assert!(min >= 19);
+        assert_eq!(max, 101);
+        assert!((mean - 92.3).abs() < 3.0, "mean length {mean}");
+        assert!(reads.reads.iter().all(|r| !r.is_paired()));
+        assert!(reads.reads.iter().all(|r| r.quality.is_empty()));
+    }
+
+    #[test]
+    fn miseq_profile_has_longer_reads() {
+        let coll = small_collection();
+        let reads = ReadSimulator::new(DatasetProfile::miseq(), 2_000).simulate(&coll);
+        let (_, max, mean) = reads.length_stats();
+        assert_eq!(max, 251);
+        assert!((mean - 156.8).abs() < 6.0, "mean length {mean}");
+    }
+
+    #[test]
+    fn kal_d_profile_is_paired_fastq_fixed_length() {
+        let coll = small_collection();
+        let reads = ReadSimulator::new(DatasetProfile::kal_d(), 500).simulate(&coll);
+        let (min, max, _) = reads.length_stats();
+        assert_eq!((min, max), (101, 101));
+        assert!(reads.reads.iter().all(|r| r.is_paired()));
+        assert!(reads.reads.iter().all(|r| r.quality.len() == r.sequence.len()));
+        assert!(reads
+            .reads
+            .iter()
+            .all(|r| r.mate.as_ref().unwrap().sequence.len() == 101));
+    }
+
+    #[test]
+    fn truth_labels_match_targets() {
+        let coll = small_collection();
+        let reads = ReadSimulator::new(DatasetProfile::hiseq(), 300).simulate(&coll);
+        assert_eq!(reads.truth.len(), 300);
+        for t in &reads.truth {
+            assert_eq!(coll.targets[t.target_index].taxon, t.taxon);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let coll = small_collection();
+        let a = ReadSimulator::new(DatasetProfile::hiseq(), 100)
+            .with_seed(7)
+            .simulate(&coll);
+        let b = ReadSimulator::new(DatasetProfile::hiseq(), 100)
+            .with_seed(7)
+            .simulate(&coll);
+        let c = ReadSimulator::new(DatasetProfile::hiseq(), 100)
+            .with_seed(8)
+            .simulate(&coll);
+        assert_eq!(a.reads[0].sequence, b.reads[0].sequence);
+        assert_ne!(
+            a.reads.iter().map(|r| r.sequence.clone()).collect::<Vec<_>>(),
+            c.reads.iter().map(|r| r.sequence.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn abundance_weights_bias_sampling() {
+        let coll = small_collection();
+        let species = coll.taxonomy.taxa_at_rank(mc_taxonomy::Rank::Species);
+        let dominant = species[0];
+        let minor = species[1];
+        let reads = ReadSimulator::new(DatasetProfile::kal_d(), 3_000)
+            .with_abundance(vec![(dominant, 0.9), (minor, 0.1)])
+            .simulate(&coll);
+        let abundances = reads.true_abundances();
+        assert_eq!(abundances.len(), 2);
+        let dom_frac = abundances.iter().find(|(t, _)| *t == dominant).unwrap().1;
+        let min_frac = abundances.iter().find(|(t, _)| *t == minor).unwrap().1;
+        assert!((dom_frac - 0.9).abs() < 0.05, "dominant fraction {dom_frac}");
+        assert!((min_frac - 0.1).abs() < 0.05, "minor fraction {min_frac}");
+        // No reads from other species.
+        assert!(reads.truth.iter().all(|t| t.taxon == dominant || t.taxon == minor));
+    }
+
+    #[test]
+    fn reads_resemble_their_source_region() {
+        let coll = small_collection();
+        let sim = ReadSimulator::new(DatasetProfile::hiseq(), 50).with_seed(3);
+        let reads = sim.simulate(&coll);
+        // With a 0.2% error rate a 100 bp read should match its source nearly
+        // everywhere; verify by searching for a 31-mer of the read in the target.
+        let mut found = 0;
+        for (r, t) in reads.reads.iter().zip(&reads.truth) {
+            if r.sequence.len() < 31 {
+                continue;
+            }
+            let probe = &r.sequence[..31];
+            let target = &coll.targets[t.target_index].sequence;
+            if target.windows(31).any(|w| w == probe) {
+                found += 1;
+            }
+        }
+        assert!(found > 30, "only {found}/50 reads matched their source");
+    }
+
+    #[test]
+    fn empty_collection_produces_no_reads() {
+        let coll = ReferenceCollection {
+            targets: Vec::new(),
+            taxonomy: mc_taxonomy::Taxonomy::with_root(),
+            name: "empty".into(),
+        };
+        let reads = ReadSimulator::new(DatasetProfile::hiseq(), 100).simulate(&coll);
+        assert!(reads.is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Synthetic taxonomy generation.
+//!
+//! Creates NCBI-shaped taxonomies (root → domain → phylum → … → species →
+//! subspecies) sized to the synthetic genome sets, so that the classifier's
+//! rank-level evaluation (Table 6: species- and genus-level precision /
+//! sensitivity) exercises exactly the same code paths it would with the real
+//! NCBI dump.
+
+use mc_taxonomy::{Rank, TaxonId, Taxonomy, ROOT_TAXON};
+
+/// Specification of a synthetic taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaxonomySpec {
+    /// Number of genera.
+    pub genera: usize,
+    /// Number of species per genus.
+    pub species_per_genus: usize,
+    /// Number of families the genera are distributed over.
+    pub families: usize,
+}
+
+impl Default for TaxonomySpec {
+    fn default() -> Self {
+        Self {
+            genera: 10,
+            species_per_genus: 5,
+            families: 4,
+        }
+    }
+}
+
+/// Identifier block layout of the generated taxonomy (all ids are derived
+/// arithmetically so tests and generators can predict them).
+pub mod ids {
+    use mc_taxonomy::TaxonId;
+
+    /// Id of the single synthetic domain node.
+    pub const DOMAIN: TaxonId = 2;
+    /// First family id.
+    pub const FAMILY_BASE: TaxonId = 100;
+    /// First genus id.
+    pub const GENUS_BASE: TaxonId = 1_000;
+    /// First species id.
+    pub const SPECIES_BASE: TaxonId = 10_000;
+
+    /// Id of family `f`.
+    pub const fn family(f: usize) -> TaxonId {
+        FAMILY_BASE + f as TaxonId
+    }
+
+    /// Id of genus `g`.
+    pub const fn genus(g: usize) -> TaxonId {
+        GENUS_BASE + g as TaxonId
+    }
+
+    /// Id of species `s` of genus `g` given `species_per_genus`.
+    pub const fn species(g: usize, s: usize, species_per_genus: usize) -> TaxonId {
+        SPECIES_BASE + (g * species_per_genus + s) as TaxonId
+    }
+}
+
+impl TaxonomySpec {
+    /// Total number of species in the generated taxonomy.
+    pub fn species_count(&self) -> usize {
+        self.genera * self.species_per_genus
+    }
+
+    /// Generate the taxonomy.
+    pub fn generate(&self) -> Taxonomy {
+        let mut tax = Taxonomy::with_root();
+        tax.add_node(ids::DOMAIN, ROOT_TAXON, Rank::Domain, "Synthetica")
+            .expect("fresh taxonomy");
+        let families = self.families.max(1);
+        for f in 0..families {
+            tax.add_node(
+                ids::family(f),
+                ids::DOMAIN,
+                Rank::Family,
+                format!("Familia{f:03}"),
+            )
+            .expect("unique family id");
+        }
+        for g in 0..self.genera {
+            let family = ids::family(g % families);
+            tax.add_node(ids::genus(g), family, Rank::Genus, format!("Genus{g:03}"))
+                .expect("unique genus id");
+            for s in 0..self.species_per_genus {
+                tax.add_node(
+                    ids::species(g, s, self.species_per_genus),
+                    ids::genus(g),
+                    Rank::Species,
+                    format!("Genus{g:03} species{s:03}"),
+                )
+                .expect("unique species id");
+            }
+        }
+        tax
+    }
+
+    /// All species ids of the generated taxonomy, in generation order.
+    pub fn species_ids(&self) -> Vec<TaxonId> {
+        (0..self.genera)
+            .flat_map(|g| {
+                (0..self.species_per_genus)
+                    .map(move |s| ids::species(g, s, self.species_per_genus))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_expected_node_counts() {
+        let spec = TaxonomySpec {
+            genera: 10,
+            species_per_genus: 5,
+            families: 4,
+        };
+        let tax = spec.generate();
+        // root + domain + families + genera + species
+        assert_eq!(tax.len(), 1 + 1 + 4 + 10 + 50);
+        assert_eq!(tax.taxa_at_rank(Rank::Species).len(), 50);
+        assert_eq!(tax.taxa_at_rank(Rank::Genus).len(), 10);
+        assert!(tax.validate().is_ok());
+    }
+
+    #[test]
+    fn species_ids_are_consistent_with_tree() {
+        let spec = TaxonomySpec::default();
+        let tax = spec.generate();
+        let ids = spec.species_ids();
+        assert_eq!(ids.len(), spec.species_count());
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(tax.rank(*id), Some(Rank::Species), "species {i}");
+        }
+    }
+
+    #[test]
+    fn species_of_same_genus_share_genus_ancestor() {
+        let spec = TaxonomySpec {
+            genera: 3,
+            species_per_genus: 4,
+            families: 2,
+        };
+        let tax = spec.generate();
+        let cache = tax.lineage_cache();
+        let a = ids::species(1, 0, 4);
+        let b = ids::species(1, 3, 4);
+        let c = ids::species(2, 0, 4);
+        assert_eq!(cache.lca(a, b), ids::genus(1));
+        assert_ne!(cache.lca(a, c), ids::genus(1));
+        assert_eq!(cache.rank_of(cache.lca(a, c)).unwrap().level() >= Rank::Family.level(), true);
+    }
+
+    #[test]
+    fn lineages_reach_root() {
+        let tax = TaxonomySpec::default().generate();
+        for node in tax.iter() {
+            let path = tax.path_to_root(node.id);
+            assert_eq!(*path.last().unwrap(), ROOT_TAXON);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Kernel launches: a grid of warps executed in parallel on the host.
+//!
+//! A CUDA kernel launch maps a grid of thread blocks onto the device; the
+//! paper's kernels are warp-centric (one window, one read, or one segment per
+//! warp). [`launch_warps`] reproduces this: the caller supplies the number of
+//! warps and a closure that receives a [`Warp`] handle; warps execute in
+//! parallel on the rayon thread pool, which models the device's independent
+//! warp schedulers (and gives real CPU parallelism for the big experiment
+//! runs).
+
+use rayon::prelude::*;
+
+use crate::clock::{CostModel, DeviceClock, KernelCost, SimDuration};
+use crate::warp::Warp;
+
+/// Configuration of a kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of warps in the launch grid.
+    pub warps: usize,
+    /// Execute warps sequentially (useful for debugging determinism issues).
+    pub sequential: bool,
+}
+
+impl LaunchConfig {
+    /// A parallel launch with the given number of warps.
+    pub fn new(warps: usize) -> Self {
+        Self {
+            warps,
+            sequential: false,
+        }
+    }
+
+    /// A sequential launch (single host thread).
+    pub fn sequential(warps: usize) -> Self {
+        Self {
+            warps,
+            sequential: true,
+        }
+    }
+}
+
+/// Launch `config.warps` warps, each running `kernel`, and collect the
+/// per-warp results in warp order.
+pub fn launch_warps<R, F>(config: LaunchConfig, kernel: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Warp) -> R + Sync,
+{
+    if config.sequential {
+        (0..config.warps).map(|w| kernel(Warp::new(w))).collect()
+    } else {
+        (0..config.warps)
+            .into_par_iter()
+            .map(|w| kernel(Warp::new(w)))
+            .collect()
+    }
+}
+
+/// Like [`launch_warps`] but also advances a device clock by the combined
+/// cost reported by every warp, modelling the kernel's execution time.
+///
+/// Each warp returns `(result, cost)`; the costs are summed (the device
+/// executes the warps with massive parallelism, but the *data volume* they
+/// move — which is what the cost model charges for — is additive).
+pub fn launch_warps_with_clock<R, F>(
+    config: LaunchConfig,
+    clock: &DeviceClock,
+    model: &CostModel,
+    kernel: F,
+) -> (Vec<R>, SimDuration)
+where
+    R: Send,
+    F: Fn(Warp) -> (R, KernelCost) + Sync,
+{
+    let pairs = launch_warps(config, kernel);
+    let mut results = Vec::with_capacity(pairs.len());
+    let mut total = KernelCost {
+        launches: 1,
+        ..Default::default()
+    };
+    for (r, c) in pairs {
+        results.push(r);
+        total.bytes_read += c.bytes_read;
+        total.bytes_written += c.bytes_written;
+        total.ops += c.ops;
+    }
+    let elapsed = model.kernel_time(total);
+    clock.advance(elapsed);
+    (results, elapsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::WARP_SIZE;
+
+    #[test]
+    fn parallel_and_sequential_launches_agree() {
+        let work = |warp: Warp| {
+            let regs: [u64; WARP_SIZE] = std::array::from_fn(|l| (warp.warp_id * 100 + l) as u64);
+            warp.reduce_sum(&regs)
+        };
+        let par = launch_warps(LaunchConfig::new(64), work);
+        let seq = launch_warps(LaunchConfig::sequential(64), work);
+        assert_eq!(par, seq);
+        assert_eq!(par.len(), 64);
+        assert_eq!(par[0], (0..32).sum::<u64>());
+    }
+
+    #[test]
+    fn empty_launch_returns_nothing() {
+        let out: Vec<u32> = launch_warps(LaunchConfig::new(0), |_| 1u32);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn results_are_in_warp_order() {
+        let out = launch_warps(LaunchConfig::new(1000), |w| w.warp_id);
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clocked_launch_accumulates_cost() {
+        let clock = DeviceClock::new();
+        let model = CostModel {
+            memory_bandwidth: 1e9,
+            op_throughput: 1e9,
+            transfer_bandwidth: 1e9,
+            peer_bandwidth: 1e9,
+            launch_overhead: 0.0,
+        };
+        let (results, elapsed) = launch_warps_with_clock(
+            LaunchConfig::new(100),
+            &clock,
+            &model,
+            |w| (w.warp_id, KernelCost::memory(1_000_000, 0)),
+        );
+        assert_eq!(results.len(), 100);
+        // 100 MB at 1 GB/s = 0.1 s.
+        assert!((elapsed.as_secs_f64() - 0.1).abs() < 1e-6);
+        assert_eq!(clock.now(), elapsed);
+    }
+}

@@ -1,0 +1,176 @@
+//! Streams and events.
+//!
+//! The GPU pipeline of §5.2 processes batches through a chain of kernels and
+//! uses "CUDA events … to orchestrate the pipeline, signaling when a stream
+//! has to wait or can continue work using the same memory resources as its
+//! predecessor". In the simulation a [`Stream`] is an in-order sequence of
+//! operations on one device's clock, and an [`Event`] records the stream's
+//! simulated timestamp; waiting on an event advances the waiting stream's
+//! clock to at least that timestamp (never backwards).
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::clock::{CostModel, KernelCost, SimDuration};
+use crate::device::Device;
+
+/// A recorded synchronisation point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Event {
+    timestamp: SimDuration,
+}
+
+impl Event {
+    /// The simulated time at which the event was recorded.
+    pub fn timestamp(&self) -> SimDuration {
+        self.timestamp
+    }
+}
+
+/// An in-order work queue bound to one device.
+///
+/// The stream keeps its own simulated timeline (`position`) so that several
+/// streams on the same device can overlap, exactly like CUDA streams; the
+/// device clock records the furthest point any stream has reached.
+#[derive(Debug, Clone)]
+pub struct Stream {
+    device: Arc<Device>,
+    position: Arc<Mutex<SimDuration>>,
+}
+
+impl Stream {
+    /// Create a stream on a device.
+    pub fn new(device: Arc<Device>) -> Self {
+        Self {
+            device,
+            position: Arc::new(Mutex::new(SimDuration::ZERO)),
+        }
+    }
+
+    /// The stream's device.
+    pub fn device(&self) -> &Arc<Device> {
+        &self.device
+    }
+
+    /// The stream's current simulated position.
+    pub fn position(&self) -> SimDuration {
+        *self.position.lock()
+    }
+
+    fn cost_model(&self) -> CostModel {
+        *self.device.cost_model()
+    }
+
+    fn advance(&self, by: SimDuration) -> SimDuration {
+        let mut pos = self.position.lock();
+        *pos = pos.saturating_add(by);
+        // Keep the device clock at the maximum of all stream positions by
+        // advancing it by the same amount (device time models total busy time).
+        self.device.clock().advance(by);
+        *pos
+    }
+
+    /// Enqueue a kernel with the given cost; returns the stream position
+    /// after the kernel completes.
+    pub fn launch_kernel(&self, cost: KernelCost) -> SimDuration {
+        let time = self.cost_model().kernel_time(cost);
+        self.advance(time)
+    }
+
+    /// Enqueue a host↔device transfer of `bytes`.
+    pub fn transfer(&self, bytes: u64) -> SimDuration {
+        let time = self.cost_model().transfer_time(bytes);
+        self.advance(time)
+    }
+
+    /// Enqueue a device↔device (peer) transfer of `bytes`.
+    pub fn peer_transfer(&self, bytes: u64) -> SimDuration {
+        let time = self.cost_model().peer_transfer_time(bytes);
+        self.advance(time)
+    }
+
+    /// Record an event at the stream's current position.
+    pub fn record_event(&self) -> Event {
+        Event {
+            timestamp: self.position(),
+        }
+    }
+
+    /// Make this stream wait for an event recorded on another stream: the
+    /// stream's position is advanced to the event's timestamp if it is
+    /// currently behind it.
+    pub fn wait_event(&self, event: Event) {
+        let mut pos = self.position.lock();
+        if *pos < event.timestamp {
+            let gap = SimDuration::from_nanos(event.timestamp.as_nanos() - pos.as_nanos());
+            *pos = event.timestamp;
+            self.device.clock().advance(gap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceInfo;
+
+    fn test_device() -> Arc<Device> {
+        let info = DeviceInfo {
+            id: 0,
+            memory_capacity: 1 << 30,
+            cost_model: CostModel {
+                memory_bandwidth: 1e9,
+                op_throughput: 1e9,
+                transfer_bandwidth: 1e8,
+                peer_bandwidth: 1e9,
+                launch_overhead: 0.0,
+            },
+        };
+        Device::new(info)
+    }
+
+    #[test]
+    fn kernels_advance_stream_position() {
+        let stream = Stream::new(test_device());
+        assert_eq!(stream.position(), SimDuration::ZERO);
+        stream.launch_kernel(KernelCost::memory(500_000_000, 0)); // 0.5 s
+        stream.launch_kernel(KernelCost::memory(500_000_000, 0)); // 0.5 s
+        assert!((stream.position().as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transfer_uses_transfer_bandwidth() {
+        let stream = Stream::new(test_device());
+        stream.transfer(100_000_000); // 1 s at 1e8 B/s
+        assert!((stream.position().as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn events_synchronise_streams() {
+        let dev = test_device();
+        let a = Stream::new(Arc::clone(&dev));
+        let b = Stream::new(Arc::clone(&dev));
+        a.launch_kernel(KernelCost::memory(2_000_000_000, 0)); // 2 s
+        let event = a.record_event();
+        assert_eq!(b.position(), SimDuration::ZERO);
+        b.wait_event(event);
+        assert!((b.position().as_secs_f64() - 2.0).abs() < 1e-6);
+        // Waiting on an event in the past does nothing.
+        let early = Event {
+            timestamp: SimDuration::from_secs_f64(0.5),
+        };
+        b.wait_event(early);
+        assert!((b.position().as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn streams_share_the_device_clock() {
+        let dev = test_device();
+        let a = Stream::new(Arc::clone(&dev));
+        let b = Stream::new(Arc::clone(&dev));
+        a.launch_kernel(KernelCost::memory(1_000_000_000, 0));
+        b.launch_kernel(KernelCost::memory(1_000_000_000, 0));
+        assert!(dev.clock().now().as_secs_f64() >= 2.0 - 1e-6);
+    }
+}

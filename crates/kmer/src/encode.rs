@@ -1,0 +1,240 @@
+//! 2-bit nucleotide encoding and reverse complements.
+//!
+//! The GPU pipeline of the paper (§5.3) encodes four sequence characters per
+//! thread into a compact register representation (2 bits per regular base,
+//! an auxiliary bit for ambiguous characters). On the host side we mirror the
+//! same encoding so that features computed on the CPU reference path and in
+//! the simulated device kernels are bit-identical.
+
+/// Number of bits used per regular nucleotide.
+pub const BITS_PER_BASE: u32 = 2;
+
+/// Encode a single nucleotide character into its 2-bit code.
+///
+/// Returns `None` for any character that is not an unambiguous A/C/G/T
+/// (lower- or upper-case); such characters invalidate every k-mer they are
+/// part of, exactly like the `N` handling in the paper's encode kernel.
+///
+/// The mapping is `A → 0`, `C → 1`, `G → 2`, `T → 3`, chosen so that the
+/// complement of a code `c` is `3 - c` (equivalently `c ^ 3`).
+#[inline]
+pub const fn encode_base(base: u8) -> Option<u8> {
+    match base {
+        b'A' | b'a' => Some(0),
+        b'C' | b'c' => Some(1),
+        b'G' | b'g' => Some(2),
+        b'T' | b't' | b'U' | b'u' => Some(3),
+        _ => None,
+    }
+}
+
+/// Decode a 2-bit code back into an upper-case nucleotide character.
+///
+/// Only the two least-significant bits of `code` are considered.
+#[inline]
+pub const fn decode_base(code: u8) -> u8 {
+    match code & 3 {
+        0 => b'A',
+        1 => b'C',
+        2 => b'G',
+        _ => b'T',
+    }
+}
+
+/// Complement of a 2-bit base code (`A↔T`, `C↔G`).
+#[inline]
+pub const fn complement_base(code: u8) -> u8 {
+    (code & 3) ^ 3
+}
+
+/// Reverse-complement an ASCII nucleotide sequence.
+///
+/// Ambiguous characters are mapped to `N` in the output. This is a host-side
+/// convenience used by the read simulator and by tests; the hot paths work on
+/// packed k-mers and never materialise reverse-complement strings.
+pub fn reverse_complement(seq: &[u8]) -> Vec<u8> {
+    seq.iter()
+        .rev()
+        .map(|&b| match encode_base(b) {
+            Some(code) => decode_base(complement_base(code)),
+            None => b'N',
+        })
+        .collect()
+}
+
+/// A nucleotide sequence packed at 2 bits per base plus an ambiguity bitmask.
+///
+/// This mirrors the device-side representation from §5.3: regular bases are
+/// stored as 2-bit codes packed into `u64` words (32 bases per word) and any
+/// position holding an ambiguous character is flagged in `ambiguous` so that
+/// k-mers overlapping it can be discarded.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EncodedSequence {
+    /// Packed 2-bit codes, 32 bases per `u64`, little-endian base order
+    /// (base `i` occupies bits `2*(i % 32) .. 2*(i % 32) + 2` of word `i / 32`).
+    words: Vec<u64>,
+    /// One bit per base; set if the original character was ambiguous.
+    ambiguous: Vec<u64>,
+    /// Number of bases in the sequence.
+    len: usize,
+}
+
+impl EncodedSequence {
+    /// Encode an ASCII sequence.
+    pub fn from_ascii(seq: &[u8]) -> Self {
+        let n_words = seq.len().div_ceil(32);
+        let mut words = vec![0u64; n_words];
+        let mut ambiguous = vec![0u64; n_words.max(seq.len().div_ceil(64))];
+        // Ambiguity mask uses 64 flags per word; size it for that.
+        ambiguous.resize(seq.len().div_ceil(64), 0);
+        for (i, &b) in seq.iter().enumerate() {
+            match encode_base(b) {
+                Some(code) => {
+                    words[i / 32] |= (code as u64) << (2 * (i % 32));
+                }
+                None => {
+                    ambiguous[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+        }
+        Self {
+            words,
+            ambiguous,
+            len: seq.len(),
+        }
+    }
+
+    /// Number of bases.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// 2-bit code of base `i` (0 for ambiguous positions; check
+    /// [`EncodedSequence::is_ambiguous`]).
+    #[inline]
+    pub fn code(&self, i: usize) -> u8 {
+        debug_assert!(i < self.len);
+        ((self.words[i / 32] >> (2 * (i % 32))) & 3) as u8
+    }
+
+    /// Whether base `i` was an ambiguous character in the input.
+    #[inline]
+    pub fn is_ambiguous(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.ambiguous[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Whether any base in `[start, end)` is ambiguous.
+    pub fn range_has_ambiguity(&self, start: usize, end: usize) -> bool {
+        (start..end.min(self.len)).any(|i| self.is_ambiguous(i))
+    }
+
+    /// Decode back to an ASCII string (ambiguous positions become `N`).
+    pub fn to_ascii(&self) -> Vec<u8> {
+        (0..self.len)
+            .map(|i| {
+                if self.is_ambiguous(i) {
+                    b'N'
+                } else {
+                    decode_base(self.code(i))
+                }
+            })
+            .collect()
+    }
+
+    /// Number of bytes of storage used by the packed representation. Used by
+    /// the device memory accounting in `gpu-sim`.
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8 + self.ambiguous.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_all_bases() {
+        for (b, code) in [(b'A', 0u8), (b'C', 1), (b'G', 2), (b'T', 3)] {
+            assert_eq!(encode_base(b), Some(code));
+            assert_eq!(encode_base(b.to_ascii_lowercase()), Some(code));
+            assert_eq!(decode_base(code), b);
+        }
+        assert_eq!(encode_base(b'N'), None);
+        assert_eq!(encode_base(b'X'), None);
+        assert_eq!(encode_base(b'-'), None);
+    }
+
+    #[test]
+    fn uracil_maps_to_t() {
+        assert_eq!(encode_base(b'U'), Some(3));
+        assert_eq!(encode_base(b'u'), Some(3));
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for code in 0..4u8 {
+            assert_eq!(complement_base(complement_base(code)), code);
+        }
+        assert_eq!(complement_base(0), 3); // A -> T
+        assert_eq!(complement_base(1), 2); // C -> G
+    }
+
+    #[test]
+    fn reverse_complement_simple() {
+        assert_eq!(reverse_complement(b"ACGT"), b"ACGT".to_vec());
+        assert_eq!(reverse_complement(b"AAAA"), b"TTTT".to_vec());
+        assert_eq!(reverse_complement(b"ACGTN"), b"NACGT".to_vec());
+        assert_eq!(reverse_complement(b"GATTACA"), b"TGTAATC".to_vec());
+    }
+
+    #[test]
+    fn reverse_complement_is_involution_on_unambiguous() {
+        let seq = b"ACGTACGTGGCCTTAA";
+        assert_eq!(reverse_complement(&reverse_complement(seq)), seq.to_vec());
+    }
+
+    #[test]
+    fn encoded_sequence_roundtrip() {
+        let seq = b"ACGTNACGTACGTACGTACGTACGTACGTACGTACGTACG";
+        let enc = EncodedSequence::from_ascii(seq);
+        assert_eq!(enc.len(), seq.len());
+        assert_eq!(enc.to_ascii(), seq.to_vec());
+        assert!(enc.is_ambiguous(4));
+        assert!(!enc.is_ambiguous(3));
+        assert!(enc.range_has_ambiguity(0, 5));
+        assert!(!enc.range_has_ambiguity(5, seq.len()));
+    }
+
+    #[test]
+    fn encoded_sequence_empty() {
+        let enc = EncodedSequence::from_ascii(b"");
+        assert!(enc.is_empty());
+        assert_eq!(enc.to_ascii(), Vec::<u8>::new());
+        assert_eq!(enc.packed_bytes(), 0);
+    }
+
+    #[test]
+    fn encoded_sequence_long_crosses_word_boundaries() {
+        let seq: Vec<u8> = (0..200)
+            .map(|i| match i % 4 {
+                0 => b'A',
+                1 => b'C',
+                2 => b'G',
+                _ => b'T',
+            })
+            .collect();
+        let enc = EncodedSequence::from_ascii(&seq);
+        assert_eq!(enc.to_ascii(), seq);
+        for i in 0..seq.len() {
+            assert_eq!(decode_base(enc.code(i)), seq[i]);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Hash functions used by the minhashing scheme and the hash tables.
+//!
+//! The paper uses two hash functions: `h1` turns a canonical k-mer into a
+//! *feature* whose `s` smallest values per window form the minhash sketch,
+//! and `h2` maps a feature to a slot of the open-addressing hash table (to
+//! counteract the bias introduced by selecting minimal `h1` values, §4.1).
+//!
+//! We use well-known integer mixers with full avalanche behaviour:
+//! a Murmur3/SplitMix-style 64-bit finalizer for `h1` and a Wang-style 32-bit
+//! mixer for `h2`. The exact constants do not matter for the reproduction as
+//! long as the functions are deterministic and well distributed.
+
+/// 64-bit SplitMix64 finalizer — used as `h1` on packed canonical k-mers.
+///
+/// Full-avalanche mixing of all 64 input bits; this is the function whose
+/// minima define the minhash sketch.
+#[inline]
+pub const fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Alias for the feature hash `h1` on 64-bit packed k-mers.
+#[inline]
+pub const fn hash64(kmer: u64) -> u64 {
+    splitmix64(kmer)
+}
+
+/// 32-bit integer mixer (Thomas Wang style) — used as `h2` on features when
+/// probing hash-table slots.
+#[inline]
+pub const fn hash32(mut x: u32) -> u32 {
+    x = (x ^ 61) ^ (x >> 16);
+    x = x.wrapping_add(x << 3);
+    x ^= x >> 4;
+    x = x.wrapping_mul(0x27d4_eb2d);
+    x ^ (x >> 15)
+}
+
+/// Secondary 32-bit mixer used as the step function of the outer double
+/// hashing scheme in the WarpCore-style tables (must never return 0; the
+/// probing sequence needs a non-zero stride).
+#[inline]
+pub const fn hash32_alt(x: u32) -> u32 {
+    let h = splitmix64(x as u64 ^ 0xA076_1D64_78BD_642F) as u32;
+    h | 1
+}
+
+/// A small stateful helper bundling the `h1`/`h2` pair with a seed so that
+/// alternative hash families can be tested (e.g. in the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureHasher {
+    seed: u64,
+}
+
+impl Default for FeatureHasher {
+    fn default() -> Self {
+        Self { seed: 0 }
+    }
+}
+
+impl FeatureHasher {
+    /// Create a hasher with an explicit seed. Seed 0 reproduces the free
+    /// functions [`hash64`] / [`hash32`].
+    pub const fn with_seed(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Feature hash `h1` of a packed canonical k-mer; the minhash sketch keeps
+    /// the `s` smallest of these per window.
+    #[inline]
+    pub const fn h1(&self, kmer: u64) -> u64 {
+        splitmix64(kmer ^ self.seed)
+    }
+
+    /// Truncated 32-bit feature as stored in the database tables.
+    #[inline]
+    pub const fn feature(&self, kmer: u64) -> u32 {
+        (self.h1(kmer) >> 32) as u32
+    }
+
+    /// Slot hash `h2` of a feature, used for table addressing.
+    #[inline]
+    pub const fn h2(&self, feature: u32) -> u32 {
+        hash32(feature ^ (self.seed as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix_is_deterministic_and_distinct() {
+        assert_eq!(splitmix64(0), splitmix64(0));
+        assert_ne!(splitmix64(0), splitmix64(1));
+        assert_ne!(splitmix64(1), splitmix64(2));
+    }
+
+    #[test]
+    fn hash32_is_deterministic() {
+        assert_eq!(hash32(42), hash32(42));
+        assert_ne!(hash32(42), hash32(43));
+    }
+
+    #[test]
+    fn hash32_alt_is_odd() {
+        for x in [0u32, 1, 2, 1000, u32::MAX, 0xDEADBEEF] {
+            assert_eq!(hash32_alt(x) & 1, 1, "stride hash must be odd (non-zero)");
+        }
+    }
+
+    #[test]
+    fn hash64_has_few_collisions_on_small_domain() {
+        let n = 100_000u64;
+        let set: HashSet<u64> = (0..n).map(hash64).collect();
+        assert_eq!(set.len() as u64, n, "64-bit mixer should be injective here");
+    }
+
+    #[test]
+    fn hash32_spreads_low_entropy_inputs() {
+        // Consecutive integers should not collide and should differ in high bits.
+        let hashes: Vec<u32> = (0..1024u32).map(hash32).collect();
+        let distinct: HashSet<u32> = hashes.iter().copied().collect();
+        assert!(distinct.len() > 1000);
+        let high_bits: HashSet<u32> = hashes.iter().map(|h| h >> 24).collect();
+        assert!(high_bits.len() > 100, "high bits should vary");
+    }
+
+    #[test]
+    fn seeded_hasher_differs_from_unseeded() {
+        let a = FeatureHasher::default();
+        let b = FeatureHasher::with_seed(12345);
+        assert_ne!(a.h1(777), b.h1(777));
+        assert_ne!(a.feature(777), b.feature(777));
+        assert_eq!(a.h1(777), hash64(777));
+        assert_eq!(a.h2(9), hash32(9));
+    }
+
+    #[test]
+    fn avalanche_rough_check() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let mut total = 0u32;
+        let trials = 64;
+        for bit in 0..trials {
+            let a = hash64(0x0123_4567_89AB_CDEF);
+            let b = hash64(0x0123_4567_89AB_CDEF ^ (1u64 << bit));
+            total += (a ^ b).count_ones();
+        }
+        let avg = total as f64 / trials as f64;
+        assert!(avg > 24.0 && avg < 40.0, "poor avalanche: {avg}");
+    }
+}

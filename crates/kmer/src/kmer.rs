@@ -1,0 +1,341 @@
+//! Canonical k-mer extraction.
+//!
+//! A k-mer is a length-`k` substring of a nucleotide sequence, packed at
+//! 2 bits per base into a `u64` (so `k ≤ 32`; the paper uses `k = 16`).
+//! The *canonical* k-mer is the lexicographically smaller of the k-mer and
+//! its reverse complement, which makes features strand-independent.
+//!
+//! Both iterators skip k-mers containing ambiguous bases (`N` etc.), matching
+//! the "valid k-mers" notion of the paper's GPU kernel (§5.3).
+
+use crate::encode::{complement_base, encode_base};
+
+/// Maximum supported k-mer length (packed into a `u64`).
+pub const MAX_K: u32 = 32;
+
+/// Errors constructing [`KmerParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KmerError {
+    /// `k` was zero.
+    ZeroK,
+    /// `k` exceeded [`MAX_K`].
+    TooLarge(u32),
+}
+
+impl std::fmt::Display for KmerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KmerError::ZeroK => write!(f, "k-mer length must be at least 1"),
+            KmerError::TooLarge(k) => write!(f, "k-mer length {k} exceeds maximum of {MAX_K}"),
+        }
+    }
+}
+
+impl std::error::Error for KmerError {}
+
+/// Validated k-mer length parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KmerParams {
+    k: u32,
+}
+
+impl KmerParams {
+    /// Validate a k-mer length.
+    pub const fn new(k: u32) -> Result<Self, KmerError> {
+        if k == 0 {
+            Err(KmerError::ZeroK)
+        } else if k > MAX_K {
+            Err(KmerError::TooLarge(k))
+        } else {
+            Ok(Self { k })
+        }
+    }
+
+    /// The k-mer length.
+    #[inline]
+    pub const fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Bitmask selecting the `2k` low bits of a packed k-mer.
+    #[inline]
+    pub const fn mask(&self) -> u64 {
+        if self.k == 32 {
+            u64::MAX
+        } else {
+            (1u64 << (2 * self.k)) - 1
+        }
+    }
+}
+
+impl Default for KmerParams {
+    /// The paper's default `k = 16`.
+    fn default() -> Self {
+        Self { k: 16 }
+    }
+}
+
+/// A packed (forward-strand) k-mer value together with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Kmer {
+    value: u64,
+    k: u32,
+}
+
+impl Kmer {
+    /// Construct from a packed 2-bit representation (low `2k` bits used).
+    #[inline]
+    pub const fn from_packed(value: u64, params: KmerParams) -> Self {
+        Self {
+            value: value & params.mask(),
+            k: params.k(),
+        }
+    }
+
+    /// The packed 2-bit value.
+    #[inline]
+    pub const fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The k-mer length.
+    #[inline]
+    pub const fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Reverse complement of the packed value.
+    #[inline]
+    pub fn reverse_complement(&self) -> Self {
+        let mut rc = 0u64;
+        let mut v = self.value;
+        for _ in 0..self.k {
+            rc = (rc << 2) | (complement_base((v & 3) as u8) as u64);
+            v >>= 2;
+        }
+        Self { value: rc, k: self.k }
+    }
+
+    /// The canonical representation: the numerically smaller of the k-mer and
+    /// its reverse complement.
+    #[inline]
+    pub fn canonical(&self) -> Self {
+        let rc = self.reverse_complement();
+        if rc.value < self.value {
+            rc
+        } else {
+            *self
+        }
+    }
+
+    /// Decode to ASCII (most-significant base first).
+    pub fn to_ascii(&self) -> Vec<u8> {
+        (0..self.k)
+            .rev()
+            .map(|i| crate::encode::decode_base(((self.value >> (2 * i)) & 3) as u8))
+            .collect()
+    }
+}
+
+/// Canonicalise a packed forward k-mer value directly.
+#[inline]
+pub fn canonical(value: u64, params: KmerParams) -> u64 {
+    Kmer::from_packed(value, params).canonical().value()
+}
+
+/// Iterator over all *forward-strand* k-mers of a byte sequence, skipping any
+/// k-mer that overlaps an ambiguous base.
+pub struct KmerIter<'a> {
+    seq: &'a [u8],
+    params: KmerParams,
+    /// Next position to consume.
+    pos: usize,
+    /// Rolling packed k-mer (high bases shifted out as we advance).
+    current: u64,
+    /// How many consecutive valid bases end at `pos` (saturates at `k`).
+    valid_run: u32,
+}
+
+impl<'a> KmerIter<'a> {
+    /// Create an iterator over `seq` with the given parameters.
+    pub fn new(seq: &'a [u8], params: KmerParams) -> Self {
+        Self {
+            seq,
+            params,
+            pos: 0,
+            current: 0,
+            valid_run: 0,
+        }
+    }
+
+    /// Starting offset (in `seq`) of the k-mer that would be produced by the
+    /// *next* successful call to `next()`, if any. Used by the minimizer
+    /// iterator to recover positions.
+    fn next_offset(&self) -> usize {
+        self.pos.saturating_sub(self.params.k() as usize)
+    }
+}
+
+impl<'a> Iterator for KmerIter<'a> {
+    type Item = Kmer;
+
+    fn next(&mut self) -> Option<Kmer> {
+        let k = self.params.k();
+        while self.pos < self.seq.len() {
+            let base = self.seq[self.pos];
+            self.pos += 1;
+            match encode_base(base) {
+                Some(code) => {
+                    self.current = ((self.current << 2) | code as u64) & self.params.mask();
+                    self.valid_run = (self.valid_run + 1).min(k + 1);
+                    if self.valid_run >= k {
+                        return Some(Kmer::from_packed(self.current, self.params));
+                    }
+                }
+                None => {
+                    self.valid_run = 0;
+                    self.current = 0;
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over the *canonical* k-mers of a sequence (forward k-mers mapped
+/// through [`Kmer::canonical`]), skipping ambiguous positions.
+pub struct CanonicalKmerIter<'a> {
+    inner: KmerIter<'a>,
+}
+
+impl<'a> CanonicalKmerIter<'a> {
+    /// Create an iterator over `seq` with the given parameters.
+    pub fn new(seq: &'a [u8], params: KmerParams) -> Self {
+        Self {
+            inner: KmerIter::new(seq, params),
+        }
+    }
+
+    /// Offset bookkeeping of the underlying cursor: before a call to `next()`
+    /// this is a lower bound on the next k-mer's start offset; immediately
+    /// *after* a successful `next()` it is exactly the start offset of the
+    /// k-mer that was just produced. The minimizer extractor and the GPU
+    /// sketching kernel use the latter property to recover positions.
+    pub fn next_offset(&self) -> usize {
+        self.inner.next_offset()
+    }
+}
+
+impl<'a> Iterator for CanonicalKmerIter<'a> {
+    type Item = Kmer;
+
+    fn next(&mut self) -> Option<Kmer> {
+        self.inner.next().map(|k| k.canonical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pack(seq: &[u8], params: KmerParams) -> u64 {
+        let mut v = 0u64;
+        for &b in seq {
+            v = (v << 2) | encode_base(b).expect("unambiguous") as u64;
+        }
+        v & params.mask()
+    }
+
+    #[test]
+    fn params_validation() {
+        assert!(KmerParams::new(0).is_err());
+        assert!(KmerParams::new(33).is_err());
+        assert!(KmerParams::new(1).is_ok());
+        assert!(KmerParams::new(32).is_ok());
+        assert_eq!(KmerParams::default().k(), 16);
+    }
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(KmerParams::new(1).unwrap().mask(), 0b11);
+        assert_eq!(KmerParams::new(4).unwrap().mask(), 0xFF);
+        assert_eq!(KmerParams::new(32).unwrap().mask(), u64::MAX);
+    }
+
+    #[test]
+    fn kmer_iteration_counts() {
+        let params = KmerParams::new(4).unwrap();
+        let seq = b"ACGTACGT";
+        let kmers: Vec<_> = KmerIter::new(seq, params).collect();
+        assert_eq!(kmers.len(), 5);
+        assert_eq!(kmers[0].value(), pack(b"ACGT", params));
+        assert_eq!(kmers[1].value(), pack(b"CGTA", params));
+        assert_eq!(kmers[4].value(), pack(b"ACGT", params));
+    }
+
+    #[test]
+    fn kmer_iteration_skips_ambiguous() {
+        let params = KmerParams::new(4).unwrap();
+        // N at position 4 invalidates k-mers starting at positions 1..=4.
+        let seq = b"ACGTNACGTA";
+        let kmers: Vec<_> = KmerIter::new(seq, params).collect();
+        // Valid starts: 0 (ACGT), 5 (ACGT), 6 (CGTA).
+        assert_eq!(kmers.len(), 3);
+        assert_eq!(kmers[0].value(), pack(b"ACGT", params));
+        assert_eq!(kmers[1].value(), pack(b"ACGT", params));
+        assert_eq!(kmers[2].value(), pack(b"CGTA", params));
+    }
+
+    #[test]
+    fn sequence_shorter_than_k_yields_nothing() {
+        let params = KmerParams::new(16).unwrap();
+        assert_eq!(KmerIter::new(b"ACGTACGT", params).count(), 0);
+        assert_eq!(KmerIter::new(b"", params).count(), 0);
+    }
+
+    #[test]
+    fn reverse_complement_packed() {
+        let params = KmerParams::new(4).unwrap();
+        let fwd = Kmer::from_packed(pack(b"AACG", params), params);
+        let rc = fwd.reverse_complement();
+        assert_eq!(rc.to_ascii(), b"CGTT".to_vec());
+        assert_eq!(rc.reverse_complement().value(), fwd.value());
+    }
+
+    #[test]
+    fn canonical_is_strand_independent() {
+        let params = KmerParams::new(6).unwrap();
+        let seq = b"ACGTTGCACT";
+        let rc_seq = crate::encode::reverse_complement(seq);
+        let fwd: Vec<u64> = CanonicalKmerIter::new(seq, params).map(|k| k.value()).collect();
+        let mut rev: Vec<u64> = CanonicalKmerIter::new(&rc_seq, params)
+            .map(|k| k.value())
+            .collect();
+        rev.reverse();
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn canonical_of_palindrome_is_itself() {
+        let params = KmerParams::new(4).unwrap();
+        // ACGT is its own reverse complement.
+        let v = pack(b"ACGT", params);
+        assert_eq!(canonical(v, params), v);
+    }
+
+    #[test]
+    fn to_ascii_roundtrip() {
+        let params = KmerParams::new(8).unwrap();
+        let seq = b"GATTACAT";
+        let k = Kmer::from_packed(pack(seq, params), params);
+        assert_eq!(k.to_ascii(), seq.to_vec());
+    }
+
+    #[test]
+    fn default_k16_window_kmer_count_matches_paper() {
+        // Paper: each window of length w yields w - k + 1 k-mers (w=127, k=16 -> 112).
+        let params = KmerParams::default();
+        let seq: Vec<u8> = (0..127).map(|i| b"ACGT"[i % 4]).collect();
+        assert_eq!(CanonicalKmerIter::new(&seq, params).count(), 112);
+    }
+}

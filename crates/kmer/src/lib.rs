@@ -1,0 +1,117 @@
+//! # mc-kmer — nucleotide encoding, canonical k-mers and hashing
+//!
+//! This crate provides the low-level sequence primitives used throughout the
+//! MetaCache-GPU reproduction:
+//!
+//! * 2-bit nucleotide encoding of the regular bases `A`, `C`, `G`, `T`
+//!   (with an auxiliary ambiguity mask for `N` and other IUPAC codes), see
+//!   [`encode`],
+//! * canonical k-mer extraction over arbitrary byte sequences, see [`kmer`],
+//! * the hash functions `h1` (feature/sketch hash) and `h2` (table-slot hash)
+//!   used by the minhashing scheme and the hash tables, see [`hash`],
+//! * minimizer extraction as used by the Kraken2-style baseline, see
+//!   [`minimizer`],
+//! * reference-window arithmetic (window length `w`, overlap `k - 1`,
+//!   stride `w - k + 1`), see [`window`].
+//!
+//! All types are plain-old-data and `Copy` where possible so they can be moved
+//! freely between the host pipeline and the simulated device kernels without
+//! allocation.
+//!
+//! ## Example
+//!
+//! ```
+//! use mc_kmer::{CanonicalKmerIter, KmerParams, hash::hash64};
+//!
+//! let params = KmerParams::new(16).unwrap();
+//! let seq = b"ACGTACGTACGTACGTACGT";
+//! let kmers: Vec<u64> = CanonicalKmerIter::new(seq, params).map(|k| k.value()).collect();
+//! assert_eq!(kmers.len(), seq.len() - 16 + 1);
+//! // Features are the hashed canonical k-mers.
+//! let _features: Vec<u32> = kmers.iter().map(|&k| (hash64(k) >> 32) as u32).collect();
+//! ```
+
+pub mod encode;
+pub mod hash;
+pub mod kmer;
+pub mod minimizer;
+pub mod window;
+
+pub use encode::{
+    complement_base, decode_base, encode_base, reverse_complement, EncodedSequence,
+};
+pub use hash::{hash32, hash64, splitmix64, FeatureHasher};
+pub use kmer::{canonical, CanonicalKmerIter, Kmer, KmerError, KmerIter, KmerParams};
+pub use minimizer::{Minimizer, MinimizerIter, MinimizerParams};
+pub use window::{num_windows, window_range, WindowId, WindowParams};
+
+/// A database *feature*: the (possibly truncated) hash of a canonical k-mer.
+///
+/// MetaCache stores 32-bit features in the hash table keys; this mirrors the
+/// paper's choice (`feature` column in Figure 1) and keeps the simulated
+/// device tables compact.
+pub type Feature = u32;
+
+/// Identifier of a reference target (one genome / scaffold sequence).
+pub type TargetId = u32;
+
+/// A reference location: which target and which window of that target a
+/// feature was extracted from. This is the *value* type of the k-mer index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Location {
+    /// Index of the reference target (genome or scaffold).
+    pub target: TargetId,
+    /// Index of the window within the target.
+    pub window: u32,
+}
+
+impl Location {
+    /// Create a new location.
+    #[inline]
+    pub const fn new(target: TargetId, window: u32) -> Self {
+        Self { target, window }
+    }
+
+    /// Pack the location into a single `u64` (target in the high half) so the
+    /// simulated device kernels can sort locations with a plain key-only sort.
+    #[inline]
+    pub const fn pack(self) -> u64 {
+        ((self.target as u64) << 32) | self.window as u64
+    }
+
+    /// Inverse of [`Location::pack`].
+    #[inline]
+    pub const fn unpack(packed: u64) -> Self {
+        Self {
+            target: (packed >> 32) as u32,
+            window: (packed & 0xFFFF_FFFF) as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_pack_roundtrip() {
+        let loc = Location::new(0xDEAD_BEEF, 0x1234_5678);
+        assert_eq!(Location::unpack(loc.pack()), loc);
+    }
+
+    #[test]
+    fn location_pack_orders_by_target_then_window() {
+        let a = Location::new(1, 500).pack();
+        let b = Location::new(2, 0).pack();
+        let c = Location::new(2, 1).pack();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn location_default_is_zero() {
+        let loc = Location::default();
+        assert_eq!(loc.target, 0);
+        assert_eq!(loc.window, 0);
+        assert_eq!(loc.pack(), 0);
+    }
+}

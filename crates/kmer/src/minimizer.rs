@@ -1,0 +1,273 @@
+//! Minimizer extraction.
+//!
+//! MetaCache itself uses minhashing, but the paper's primary comparison
+//! baseline, Kraken2, subsamples k-mers with *minimizers*: for every window
+//! of `ell` consecutive k-mers, only the k-mer with the smallest hash value
+//! (the minimizer) is kept. Consecutive windows usually share their
+//! minimizer, so the scheme yields roughly one retained k-mer per
+//! `(ell + 1) / 2` positions.
+//!
+//! This module implements canonical-k-mer minimizers with a monotone deque,
+//! which the `mc-kraken2` baseline uses for both database construction and
+//! read classification.
+
+use std::collections::VecDeque;
+
+use crate::hash::hash64;
+use crate::kmer::{CanonicalKmerIter, KmerError, KmerParams};
+
+/// Parameters of the minimizer scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MinimizerParams {
+    kmer: KmerParams,
+    /// Number of consecutive k-mers per minimizer window.
+    ell: u32,
+}
+
+impl MinimizerParams {
+    /// Create a minimizer scheme over `k`-mers with a window of `ell` k-mers.
+    pub fn new(k: u32, ell: u32) -> Result<Self, KmerError> {
+        let kmer = KmerParams::new(k)?;
+        Ok(Self {
+            kmer,
+            ell: ell.max(1),
+        })
+    }
+
+    /// The k-mer parameters.
+    #[inline]
+    pub const fn kmer(&self) -> KmerParams {
+        self.kmer
+    }
+
+    /// The window length in k-mers.
+    #[inline]
+    pub const fn ell(&self) -> u32 {
+        self.ell
+    }
+}
+
+impl Default for MinimizerParams {
+    /// Kraken2-like defaults: `k = 16` (to match MetaCache's k in our
+    /// experiments) and a window of 8 k-mers.
+    fn default() -> Self {
+        Self {
+            kmer: KmerParams::default(),
+            ell: 8,
+        }
+    }
+}
+
+/// One extracted minimizer: the hashed canonical k-mer and the sequence
+/// offset it was taken from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Minimizer {
+    /// Hash (`h1`) of the canonical k-mer; this is the value stored by the
+    /// Kraken2-style table.
+    pub hash: u64,
+    /// Offset of the k-mer within the sequence.
+    pub position: usize,
+}
+
+/// Iterator producing the distinct minimizers of a sequence in order.
+///
+/// Duplicate consecutive minimizers (the common case when the window slides
+/// but the minimum stays) are emitted only once.
+pub struct MinimizerIter<'a> {
+    /// Hashes and positions of all canonical k-mers, in order.
+    kmers: Vec<(u64, usize)>,
+    /// Monotone deque of indices into `kmers` (hashes non-decreasing front to back).
+    deque: VecDeque<usize>,
+    /// Window length in k-mers.
+    window: usize,
+    /// Index of the next k-mer to push into the deque.
+    next: usize,
+    /// Index (into `kmers`) of the last emitted minimizer, if any.
+    last_emitted: Option<usize>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> MinimizerIter<'a> {
+    /// Create a minimizer iterator over `seq`.
+    pub fn new(seq: &'a [u8], params: MinimizerParams) -> Self {
+        let mut kmers = Vec::new();
+        let k = params.kmer().k() as usize;
+        let mut iter = CanonicalKmerIter::new(seq, params.kmer());
+        while let Some(kmer) = iter.next() {
+            // After `next()` returns, the underlying cursor sits just past the
+            // k-mer's last base, so its start offset is `cursor - k`.
+            let offset = iter.next_offset();
+            debug_assert!(offset + k <= seq.len());
+            kmers.push((hash64(kmer.value()), offset));
+        }
+        Self {
+            kmers,
+            deque: VecDeque::new(),
+            window: params.ell() as usize,
+            next: 0,
+            last_emitted: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'a> Iterator for MinimizerIter<'a> {
+    type Item = Minimizer;
+
+    fn next(&mut self) -> Option<Minimizer> {
+        let total = self.kmers.len();
+        if total == 0 {
+            return None;
+        }
+        let first_complete = self.window.min(total);
+        while self.next < total {
+            let idx = self.next;
+            let (h, _) = self.kmers[idx];
+            // Maintain monotonicity: pop strictly larger hashes from the back
+            // (ties keep the earlier k-mer, matching the leftmost-minimum rule).
+            while matches!(self.deque.back(), Some(&b) if self.kmers[b].0 > h) {
+                self.deque.pop_back();
+            }
+            self.deque.push_back(idx);
+            self.next += 1;
+            // Evict indices that fell out of the window ending at `idx`.
+            let window_start = (idx + 1).saturating_sub(self.window);
+            while matches!(self.deque.front(), Some(&f) if f < window_start) {
+                self.deque.pop_front();
+            }
+            // Emit once the first full window (or the entire short sequence) is seen.
+            if idx + 1 >= first_complete {
+                let &front = self.deque.front().expect("deque not empty");
+                if self.last_emitted != Some(front) {
+                    self.last_emitted = Some(front);
+                    let (hash, position) = self.kmers[front];
+                    return Some(Minimizer { hash, position });
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Convenience: collect all distinct minimizers of a sequence.
+pub fn minimizers(seq: &[u8], params: MinimizerParams) -> Vec<Minimizer> {
+    MinimizerIter::new(seq, params).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_seq(len: usize) -> Vec<u8> {
+        // Deterministic pseudo-random sequence.
+        let mut state = 0x1234_5678_u64;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                b"ACGT"[(state >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn minimizer_count_is_subsampled() {
+        let params = MinimizerParams::new(16, 8).unwrap();
+        let seq = make_seq(10_000);
+        let total_kmers = seq.len() - 15;
+        let mins = minimizers(&seq, params);
+        assert!(!mins.is_empty());
+        // Expected density is about 2 / (ell + 1) ≈ 0.22 of all k-mers.
+        assert!(mins.len() < total_kmers / 2);
+        assert!(mins.len() > total_kmers / 20);
+    }
+
+    #[test]
+    fn minimizers_are_deterministic() {
+        let params = MinimizerParams::default();
+        let seq = make_seq(2_000);
+        assert_eq!(minimizers(&seq, params), minimizers(&seq, params));
+    }
+
+    #[test]
+    fn minimizer_positions_increase_and_are_valid() {
+        let params = MinimizerParams::new(8, 4).unwrap();
+        let seq = make_seq(1_000);
+        let mins = minimizers(&seq, params);
+        for pair in mins.windows(2) {
+            assert!(pair[0].position < pair[1].position);
+        }
+        for m in &mins {
+            assert!(m.position + 8 <= seq.len());
+            // The hash must correspond to the canonical k-mer at that position.
+            let kparams = KmerParams::new(8).unwrap();
+            let kmer = CanonicalKmerIter::new(&seq[m.position..m.position + 8], kparams)
+                .next()
+                .unwrap();
+            assert_eq!(m.hash, hash64(kmer.value()));
+        }
+    }
+
+    #[test]
+    fn short_sequence_yields_single_minimizer() {
+        let params = MinimizerParams::new(4, 8).unwrap();
+        // Only 3 k-mers, fewer than the window length — still get the overall minimum.
+        let seq = b"ACGTAC";
+        let mins = minimizers(seq, params);
+        assert_eq!(mins.len(), 1);
+    }
+
+    #[test]
+    fn sequence_shorter_than_k_yields_none() {
+        let params = MinimizerParams::new(16, 8).unwrap();
+        assert!(minimizers(b"ACGT", params).is_empty());
+    }
+
+    #[test]
+    fn minimizer_is_window_minimum() {
+        let params = MinimizerParams::new(4, 4).unwrap();
+        let seq = make_seq(200);
+        let mins = minimizers(&seq, params);
+        let kparams = params.kmer();
+        let hashes: Vec<u64> = CanonicalKmerIter::new(&seq, kparams)
+            .map(|k| hash64(k.value()))
+            .collect();
+        for m in &mins {
+            let found = hashes
+                .windows(params.ell() as usize)
+                .any(|w| w.iter().copied().min() == Some(m.hash));
+            assert!(found, "minimizer {m:?} is not a window minimum");
+        }
+    }
+
+    #[test]
+    fn shared_minimizers_between_overlapping_sequences() {
+        // Two sequences sharing a long overlap should share many minimizers —
+        // the property Kraken2 relies on for classification.
+        let params = MinimizerParams::default();
+        let seq = make_seq(5_000);
+        let a = &seq[..3_000];
+        let b = &seq[1_000..4_000];
+        let set_a: std::collections::HashSet<u64> =
+            minimizers(a, params).into_iter().map(|m| m.hash).collect();
+        let set_b: std::collections::HashSet<u64> =
+            minimizers(b, params).into_iter().map(|m| m.hash).collect();
+        let shared = set_a.intersection(&set_b).count();
+        assert!(shared * 3 > set_a.len(), "expected many shared minimizers");
+    }
+
+    #[test]
+    fn ambiguous_bases_do_not_panic() {
+        let params = MinimizerParams::new(8, 4).unwrap();
+        let mut seq = make_seq(500);
+        for i in (50..450).step_by(37) {
+            seq[i] = b'N';
+        }
+        let mins = minimizers(&seq, params);
+        assert!(!mins.is_empty());
+        for m in &mins {
+            assert!(!seq[m.position..m.position + 8].contains(&b'N'));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Reference-window arithmetic.
+//!
+//! MetaCache splits every reference sequence into windows of length `w`
+//! overlapping by `k - 1` base pairs (§4.1), so consecutive windows start
+//! `w - k + 1` bases apart (the *window stride*). The paper's defaults are
+//! `w = 127` and `k = 16`, giving a stride of 112 — and the GPU version
+//! additionally requires the stride to be a multiple of 4 for aligned
+//! 4-character loads (§5.2).
+
+use crate::kmer::{KmerError, KmerParams};
+
+/// Identifier of a window within a reference target.
+pub type WindowId = u32;
+
+/// Validated windowing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowParams {
+    kmer: KmerParams,
+    window_len: u32,
+    stride: u32,
+}
+
+/// Errors constructing [`WindowParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowError {
+    /// The k-mer length was invalid.
+    Kmer(KmerError),
+    /// The window was shorter than the k-mer length.
+    WindowTooShort { window: u32, k: u32 },
+}
+
+impl std::fmt::Display for WindowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowError::Kmer(e) => write!(f, "{e}"),
+            WindowError::WindowTooShort { window, k } => {
+                write!(f, "window length {window} is shorter than k-mer length {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WindowError {}
+
+impl From<KmerError> for WindowError {
+    fn from(e: KmerError) -> Self {
+        WindowError::Kmer(e)
+    }
+}
+
+impl WindowParams {
+    /// Create window parameters with the standard overlap of `k - 1`
+    /// (stride `w - k + 1`).
+    pub fn new(k: u32, window_len: u32) -> Result<Self, WindowError> {
+        let kmer = KmerParams::new(k)?;
+        if window_len < k {
+            return Err(WindowError::WindowTooShort { window: window_len, k });
+        }
+        Ok(Self {
+            kmer,
+            window_len,
+            stride: window_len - k + 1,
+        })
+    }
+
+    /// Create window parameters with an explicit stride (used by the GPU
+    /// version which constrains the stride to a multiple of 4).
+    pub fn with_stride(k: u32, window_len: u32, stride: u32) -> Result<Self, WindowError> {
+        let mut p = Self::new(k, window_len)?;
+        p.stride = stride.clamp(1, window_len);
+        Ok(p)
+    }
+
+    /// The k-mer parameters.
+    #[inline]
+    pub const fn kmer(&self) -> KmerParams {
+        self.kmer
+    }
+
+    /// The k-mer length.
+    #[inline]
+    pub const fn k(&self) -> u32 {
+        self.kmer.k()
+    }
+
+    /// The window length in bases.
+    #[inline]
+    pub const fn window_len(&self) -> u32 {
+        self.window_len
+    }
+
+    /// Distance between consecutive window starts.
+    #[inline]
+    pub const fn stride(&self) -> u32 {
+        self.stride
+    }
+
+    /// Whether the stride satisfies the GPU alignment constraint (§5.2).
+    #[inline]
+    pub const fn gpu_aligned(&self) -> bool {
+        self.stride % 4 == 0
+    }
+}
+
+impl Default for WindowParams {
+    /// Paper defaults: `k = 16`, `w = 127` → stride 112.
+    fn default() -> Self {
+        Self::new(16, 127).expect("default parameters are valid")
+    }
+}
+
+/// Number of windows a sequence of `seq_len` bases is divided into.
+///
+/// Every window must contain at least one full k-mer. A sequence shorter than
+/// `k` has no windows; otherwise the count is `ceil((seq_len - k + 1) / stride)`.
+pub fn num_windows(seq_len: usize, params: WindowParams) -> u32 {
+    let k = params.k() as usize;
+    if seq_len < k {
+        return 0;
+    }
+    let positions = seq_len - k + 1;
+    positions.div_ceil(params.stride() as usize) as u32
+}
+
+/// Byte range `[start, end)` of window `w` within a sequence of `seq_len`
+/// bases. The final window is truncated to the sequence end.
+pub fn window_range(w: WindowId, seq_len: usize, params: WindowParams) -> (usize, usize) {
+    let start = w as usize * params.stride() as usize;
+    let end = (start + params.window_len() as usize).min(seq_len);
+    (start.min(seq_len), end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_match_paper() {
+        let p = WindowParams::default();
+        assert_eq!(p.k(), 16);
+        assert_eq!(p.window_len(), 127);
+        assert_eq!(p.stride(), 112);
+        assert!(p.gpu_aligned());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(WindowParams::new(16, 10).is_err());
+        assert!(WindowParams::new(0, 100).is_err());
+        assert!(WindowParams::new(33, 100).is_err());
+        assert!(WindowParams::new(16, 16).is_ok());
+    }
+
+    #[test]
+    fn window_count_edge_cases() {
+        let p = WindowParams::default();
+        assert_eq!(num_windows(0, p), 0);
+        assert_eq!(num_windows(15, p), 0);
+        assert_eq!(num_windows(16, p), 1);
+        assert_eq!(num_windows(127, p), 1);
+        assert_eq!(num_windows(128, p), 2);
+        assert_eq!(num_windows(127 + 112, p), 2);
+        assert_eq!(num_windows(127 + 112 + 1, p), 3);
+    }
+
+    #[test]
+    fn windows_cover_whole_sequence_with_overlap() {
+        let p = WindowParams::default();
+        let seq_len = 10_000;
+        let n = num_windows(seq_len, p);
+        let mut covered_until = 0usize;
+        for w in 0..n {
+            let (start, end) = window_range(w, seq_len, p);
+            assert!(start <= covered_until, "gap before window {w}");
+            assert!(end > start);
+            covered_until = covered_until.max(end);
+            if w > 0 {
+                let (prev_start, prev_end) = window_range(w - 1, seq_len, p);
+                // Overlap of exactly k-1 (except possibly the last, truncated window).
+                assert_eq!(start - prev_start, p.stride() as usize);
+                if end - start == p.window_len() as usize {
+                    assert_eq!(prev_end - start, (p.k() - 1) as usize);
+                }
+            }
+        }
+        assert_eq!(covered_until, seq_len);
+    }
+
+    #[test]
+    fn every_window_contains_a_kmer() {
+        let p = WindowParams::default();
+        for seq_len in [16usize, 100, 127, 128, 200, 1000, 1013] {
+            let n = num_windows(seq_len, p);
+            for w in 0..n {
+                let (start, end) = window_range(w, seq_len, p);
+                assert!(
+                    end - start >= p.k() as usize,
+                    "window {w} of seq {seq_len} too short: {}..{}",
+                    start,
+                    end
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn custom_stride() {
+        let p = WindowParams::with_stride(16, 128, 112).unwrap();
+        assert_eq!(p.stride(), 112);
+        assert!(p.gpu_aligned());
+        let q = WindowParams::with_stride(16, 128, 113).unwrap();
+        assert!(!q.gpu_aligned());
+    }
+}

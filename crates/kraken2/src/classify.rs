@@ -1,0 +1,352 @@
+//! Read classification with root-to-leaf path scoring and the sample report.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+
+use mc_kmer::MinimizerIter;
+use mc_seqio::SequenceRecord;
+use mc_taxonomy::{Rank, TaxonId, NO_TAXON};
+
+use crate::database::Kraken2Database;
+
+/// Classification of one read by the Kraken2-style baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadClassification {
+    /// The assigned taxon ([`NO_TAXON`] if unclassified).
+    pub taxon: TaxonId,
+    /// Number of minimizers of the read that hit the database.
+    pub hit_minimizers: usize,
+    /// Total number of minimizers extracted from the read.
+    pub total_minimizers: usize,
+    /// The winning root-to-leaf path score.
+    pub score: usize,
+}
+
+impl ReadClassification {
+    /// An unclassified result.
+    pub fn unclassified(total_minimizers: usize) -> Self {
+        Self {
+            taxon: NO_TAXON,
+            hit_minimizers: 0,
+            total_minimizers,
+            score: 0,
+        }
+    }
+
+    /// Whether the read was assigned a taxon.
+    pub fn is_classified(&self) -> bool {
+        self.taxon != NO_TAXON
+    }
+}
+
+/// The Kraken2-style classifier.
+pub struct Kraken2Classifier<'db> {
+    db: &'db Kraken2Database,
+}
+
+impl<'db> Kraken2Classifier<'db> {
+    /// Create a classifier over a database.
+    pub fn new(db: &'db Kraken2Database) -> Self {
+        Self { db }
+    }
+
+    /// Classify one read (or read pair: the mate's minimizers are pooled).
+    pub fn classify(&self, record: &SequenceRecord) -> ReadClassification {
+        let params = self
+            .db
+            .config
+            .minimizer_params()
+            .expect("database was built with a valid config");
+        // Count hits per taxon over the minimizers of both mates.
+        let mut hits_per_taxon: HashMap<TaxonId, usize> = HashMap::new();
+        let mut total = 0usize;
+        let mut hit = 0usize;
+        for seq in std::iter::once(&record.sequence)
+            .chain(record.mate.as_ref().map(|m| &m.sequence))
+        {
+            for minimizer in MinimizerIter::new(seq, params) {
+                total += 1;
+                if let Some(taxon) = self.db.lookup(minimizer.hash) {
+                    hit += 1;
+                    *hits_per_taxon.entry(taxon).or_default() += 1;
+                }
+            }
+        }
+        // "Hit groups" are distinct minimizers that hit the database (not
+        // distinct taxa): a read needs at least `min_hit_groups` of them.
+        if hit < self.db.config.min_hit_groups || hit == 0 {
+            return ReadClassification::unclassified(total);
+        }
+        // Root-to-leaf path scoring: each candidate taxon's score is the sum
+        // of hits of every taxon on its lineage (ancestors' hits support all
+        // of their descendants).
+        let mut best_taxon = NO_TAXON;
+        let mut best_score = 0usize;
+        for &candidate in hits_per_taxon.keys() {
+            let score: usize = hits_per_taxon
+                .iter()
+                .filter(|(t, _)| self.db.lineages.has_ancestor(candidate, **t))
+                .map(|(_, h)| *h)
+                .sum();
+            // Prefer higher scores; break ties towards the more specific taxon.
+            let better = score > best_score
+                || (score == best_score
+                    && best_taxon != NO_TAXON
+                    && rank_level(self.db, candidate) < rank_level(self.db, best_taxon));
+            if better {
+                best_score = score;
+                best_taxon = candidate;
+            }
+        }
+        // Confidence filter: the winning path must cover at least the
+        // configured fraction of all minimizers.
+        if (best_score as f64) < self.db.config.confidence * total as f64 {
+            return ReadClassification::unclassified(total);
+        }
+        ReadClassification {
+            taxon: best_taxon,
+            hit_minimizers: hit,
+            total_minimizers: total,
+            score: best_score,
+        }
+    }
+
+    /// Classify a batch of reads in parallel.
+    pub fn classify_batch(&self, records: &[SequenceRecord]) -> Vec<ReadClassification> {
+        records.par_iter().map(|r| self.classify(r)).collect()
+    }
+}
+
+fn rank_level(db: &Kraken2Database, taxon: TaxonId) -> u8 {
+    db.lineages
+        .rank_of(taxon)
+        .unwrap_or(Rank::None)
+        .level()
+}
+
+/// Kraken2's per-sample report: read counts per taxon, aggregated at species
+/// level for the abundance comparison of §6.5.
+#[derive(Debug, Clone, Default)]
+pub struct SampleReport {
+    /// Reads assigned per species taxon.
+    pub species_counts: HashMap<TaxonId, usize>,
+    /// Reads classified above species level.
+    pub above_species: usize,
+    /// Unclassified reads.
+    pub unclassified: usize,
+    /// Total reads in the sample.
+    pub total_reads: usize,
+}
+
+impl SampleReport {
+    /// Build the report from per-read classifications.
+    pub fn from_classifications(
+        db: &Kraken2Database,
+        classifications: &[ReadClassification],
+    ) -> Self {
+        let mut report = Self {
+            total_reads: classifications.len(),
+            ..Default::default()
+        };
+        for c in classifications {
+            if !c.is_classified() {
+                report.unclassified += 1;
+                continue;
+            }
+            let species = db.lineages.ancestor_at(c.taxon, Rank::Species);
+            if species == NO_TAXON {
+                report.above_species += 1;
+            } else {
+                *report.species_counts.entry(species).or_default() += 1;
+            }
+        }
+        report
+    }
+
+    /// The fraction of species-level reads assigned to `taxon`.
+    pub fn fraction(&self, taxon: TaxonId) -> f64 {
+        let total: usize = self.species_counts.values().sum();
+        if total == 0 {
+            0.0
+        } else {
+            *self.species_counts.get(&taxon).unwrap_or(&0) as f64 / total as f64
+        }
+    }
+
+    /// Accumulated absolute deviation from a known truth profile.
+    pub fn deviation_from(&self, truth: &[(TaxonId, f64)]) -> f64 {
+        truth
+            .iter()
+            .map(|(taxon, expected)| (self.fraction(*taxon) - expected).abs())
+            .sum()
+    }
+
+    /// Fraction of species-level reads assigned to species not in the truth.
+    pub fn false_positive_fraction(&self, truth: &[(TaxonId, f64)]) -> f64 {
+        let truth_taxa: std::collections::HashSet<TaxonId> =
+            truth.iter().map(|(t, _)| *t).collect();
+        let total: usize = self.species_counts.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.species_counts
+            .iter()
+            .filter(|(taxon, _)| !truth_taxa.contains(taxon))
+            .map(|(_, count)| *count as f64 / total as f64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{Kraken2Builder, Kraken2Config};
+    use mc_taxonomy::{Rank, Taxonomy};
+
+    fn make_seq(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                b"ACGT"[(state >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    fn database() -> (Kraken2Database, Vec<u8>, Vec<u8>) {
+        let mut taxonomy = Taxonomy::with_root();
+        taxonomy.add_node(10, 1, Rank::Genus, "G").unwrap();
+        taxonomy.add_node(100, 10, Rank::Species, "a").unwrap();
+        taxonomy.add_node(101, 10, Rank::Species, "b").unwrap();
+        let genome_a = make_seq(20_000, 1);
+        let genome_b = make_seq(20_000, 2);
+        let mut builder = Kraken2Builder::new(Kraken2Config::default(), taxonomy).unwrap();
+        builder.add_target(&SequenceRecord::new("a", genome_a.clone()), 100).unwrap();
+        builder.add_target(&SequenceRecord::new("b", genome_b.clone()), 101).unwrap();
+        (builder.finish(), genome_a, genome_b)
+    }
+
+    #[test]
+    fn reads_classify_to_their_source_species() {
+        let (db, genome_a, genome_b) = database();
+        let classifier = Kraken2Classifier::new(&db);
+        for (genome, offset, expected) in [(&genome_a, 500usize, 100u32), (&genome_b, 9_000, 101)] {
+            let read = SequenceRecord::new("r", genome[offset..offset + 150].to_vec());
+            let c = classifier.classify(&read);
+            assert_eq!(c.taxon, expected);
+            assert!(c.hit_minimizers > 0);
+            assert!(c.score >= c.hit_minimizers / 2);
+        }
+    }
+
+    #[test]
+    fn foreign_and_short_reads_unclassified() {
+        let (db, _, _) = database();
+        let classifier = Kraken2Classifier::new(&db);
+        let foreign = SequenceRecord::new("f", make_seq(150, 99));
+        assert!(!classifier.classify(&foreign).is_classified());
+        let short = SequenceRecord::new("s", b"ACGTACGT".to_vec());
+        let c = classifier.classify(&short);
+        assert!(!c.is_classified());
+        assert_eq!(c.total_minimizers, 0);
+    }
+
+    #[test]
+    fn paired_reads_pool_minimizers() {
+        let (db, genome_a, _) = database();
+        let classifier = Kraken2Classifier::new(&db);
+        let single = classifier.classify(&SequenceRecord::new("s", genome_a[100..201].to_vec()));
+        let paired = classifier.classify(
+            &SequenceRecord::new("p/1", genome_a[100..201].to_vec()).with_mate(
+                SequenceRecord::new(
+                    "p/2",
+                    mc_kmer::reverse_complement(&genome_a[400..501]),
+                ),
+            ),
+        );
+        assert_eq!(paired.taxon, 100);
+        assert!(paired.total_minimizers > single.total_minimizers);
+    }
+
+    #[test]
+    fn confidence_threshold_suppresses_weak_calls() {
+        let (db, genome_a, _) = database();
+        // Chimeric read: a small part from genome A, the rest random.
+        let mut chimera = genome_a[0..40].to_vec();
+        chimera.extend(make_seq(160, 77));
+        let weak_db = Kraken2Database {
+            config: Kraken2Config {
+                confidence: 0.5,
+                ..db.config
+            },
+            table: db.table.clone(),
+            taxonomy: db.taxonomy.clone(),
+            lineages: db.taxonomy.lineage_cache(),
+            target_count: db.target_count,
+            total_bases: db.total_bases,
+        };
+        let strict = Kraken2Classifier::new(&weak_db);
+        let lenient = Kraken2Classifier::new(&db);
+        let read = SequenceRecord::new("chimera", chimera);
+        let lenient_call = lenient.classify(&read);
+        let strict_call = strict.classify(&read);
+        assert!(!strict_call.is_classified() || strict_call.score * 2 >= strict_call.total_minimizers);
+        // The lenient classifier is allowed to call it; the strict one must not
+        // unless the evidence actually clears the bar.
+        let _ = lenient_call;
+    }
+
+    #[test]
+    fn batch_matches_individual_calls() {
+        let (db, genome_a, genome_b) = database();
+        let classifier = Kraken2Classifier::new(&db);
+        let reads: Vec<SequenceRecord> = (0..20)
+            .map(|i| {
+                let (g, o) = if i % 2 == 0 {
+                    (&genome_a, 100 + 91 * i)
+                } else {
+                    (&genome_b, 300 + 87 * i)
+                };
+                SequenceRecord::new(format!("r{i}"), g[o..o + 140].to_vec())
+            })
+            .collect();
+        let batch = classifier.classify_batch(&reads);
+        for (read, expected) in reads.iter().zip(&batch) {
+            assert_eq!(&classifier.classify(read), expected);
+        }
+        let correct = batch
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| c.taxon == if i % 2 == 0 { 100 } else { 101 })
+            .count();
+        assert!(correct >= 18);
+    }
+
+    #[test]
+    fn sample_report_aggregates_species() {
+        let (db, genome_a, genome_b) = database();
+        let classifier = Kraken2Classifier::new(&db);
+        let mut reads = Vec::new();
+        for i in 0..30 {
+            let (g, o) = if i % 3 == 0 {
+                (&genome_b, 200 + 61 * i)
+            } else {
+                (&genome_a, 100 + 53 * i)
+            };
+            reads.push(SequenceRecord::new(format!("r{i}"), g[o..o + 140].to_vec()));
+        }
+        let classifications = classifier.classify_batch(&reads);
+        let report = SampleReport::from_classifications(&db, &classifications);
+        assert_eq!(report.total_reads, 30);
+        let frac_a = report.fraction(100);
+        let frac_b = report.fraction(101);
+        assert!(frac_a > frac_b, "species a should dominate: {frac_a} vs {frac_b}");
+        assert!((frac_a + frac_b - 1.0).abs() < 1e-9);
+        let truth = vec![(100, 2.0 / 3.0), (101, 1.0 / 3.0)];
+        assert!(report.deviation_from(&truth) < 0.2);
+        assert!(report.false_positive_fraction(&truth) < 1e-9);
+    }
+}

@@ -1,0 +1,49 @@
+//! # mc-kraken2 — a Kraken2-style minimizer LCA classifier
+//!
+//! The paper's primary CPU comparison baseline is Kraken2 (Wood et al. 2019):
+//! a metagenomic classifier that subsamples k-mers with *minimizers* and maps
+//! each minimizer directly to the lowest common ancestor (LCA) of all genomes
+//! containing it. Classification scores every taxon in the taxonomy by the
+//! weight of minimizer hits on its root-to-leaf path and reports the best
+//! leaf above a confidence threshold.
+//!
+//! This crate reimplements that design so every "vs Kraken2" row of the
+//! paper's tables can be regenerated in-process:
+//!
+//! * [`Kraken2Builder`] — database construction: canonical minimizers of
+//!   every reference are folded into a minimizer → LCA table,
+//! * [`Kraken2Classifier`] — read classification with root-to-leaf path
+//!   scoring,
+//! * [`SampleReport`] — the per-taxon read-count report used for the
+//!   abundance comparison of §6.5.
+//!
+//! Key structural differences from MetaCache that the experiments surface:
+//! Kraken2 stores *one taxon per minimizer* (not location lists), so its
+//! query time is largely insensitive to database size, but it can only map
+//! reads to taxa — never to positions within reference genomes.
+
+pub mod classify;
+pub mod database;
+
+pub use classify::{Kraken2Classifier, ReadClassification, SampleReport};
+pub use database::{Kraken2Builder, Kraken2Config, Kraken2Database};
+
+/// Errors raised by the Kraken2-style baseline.
+#[derive(Debug)]
+pub enum Kraken2Error {
+    /// Invalid configuration.
+    Config(String),
+    /// A reference target referenced an unknown taxon.
+    UnknownTaxon(mc_taxonomy::TaxonId),
+}
+
+impl std::fmt::Display for Kraken2Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Kraken2Error::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            Kraken2Error::UnknownTaxon(id) => write!(f, "unknown taxon {id}"),
+        }
+    }
+}
+
+impl std::error::Error for Kraken2Error {}

@@ -1,0 +1,573 @@
+//! The build phase: turning reference genomes into a database.
+//!
+//! Two builders share the same windowing/sketching logic:
+//!
+//! * [`CpuBuilder`] — the original MetaCache CPU build (§4.1): a single
+//!   hash-table inserter thread feeds the open-addressing host table with a
+//!   per-feature location cap of 254. A producer–consumer variant
+//!   ([`CpuBuilder::build_from_queue`]) reproduces the three-thread pipeline
+//!   (parser / sketcher / inserter) of the paper.
+//! * [`GpuBuilder`] — the GPU build (§5): reference targets are distributed
+//!   over the devices of a [`MultiGpuSystem`] (a target never spans devices),
+//!   each device sketches its windows with warp kernels and inserts into its
+//!   own multi-bucket hash table, and all data movement / kernel work is
+//!   charged to the device clocks so that the simulated build times of
+//!   Table 3 can be reproduced.
+
+use std::sync::Arc;
+
+use mc_gpu_sim::{
+    launch_warps, DeviceBuffer, KernelCost, LaunchConfig, MultiGpuSystem, SimDuration, Warp,
+};
+use mc_kmer::{Location, TargetId};
+use mc_seqio::{BatchReceiver, SequenceRecord};
+use mc_taxonomy::{TaxonId, Taxonomy};
+use mc_warpcore::{
+    FeatureStore, HostHashTable, HostTableConfig, MultiBucketConfig, MultiBucketHashTable,
+    TableError,
+};
+
+use crate::config::MetaCacheConfig;
+use crate::database::{Database, Partition, PartitionStore, TargetInfo};
+use crate::error::MetaCacheError;
+use crate::gpu::warp_sketch_window;
+use crate::sketch::Sketcher;
+
+/// Statistics of a finished build.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BuildStats {
+    /// Number of reference targets inserted.
+    pub targets: usize,
+    /// Number of reference windows sketched.
+    pub windows: u64,
+    /// Number of (feature, location) pairs inserted (after capping).
+    pub locations_inserted: u64,
+    /// Number of locations dropped by the per-feature cap.
+    pub locations_dropped: u64,
+    /// Simulated device time of the build (zero for the CPU builder, which
+    /// is timed with the wall clock by the caller).
+    pub sim_build_time: SimDuration,
+    /// Bytes transferred host → device during the build.
+    pub bytes_to_device: u64,
+}
+
+/// The CPU builder (single inserter thread, host hash table).
+pub struct CpuBuilder {
+    config: MetaCacheConfig,
+    sketcher: Sketcher,
+    taxonomy: Taxonomy,
+    targets: Vec<TargetInfo>,
+    table: HostHashTable,
+    stats: BuildStats,
+}
+
+impl CpuBuilder {
+    /// Create a builder with the given configuration and taxonomy.
+    pub fn new(config: MetaCacheConfig, taxonomy: Taxonomy) -> Self {
+        let sketcher = Sketcher::new(&config).expect("configuration must be valid");
+        let table = HostHashTable::new(HostTableConfig {
+            max_locations_per_key: config.max_locations_per_feature,
+            ..Default::default()
+        });
+        Self {
+            config,
+            sketcher,
+            taxonomy,
+            targets: Vec::new(),
+            table,
+            stats: BuildStats::default(),
+        }
+    }
+
+    /// Add one reference target belonging to `taxon`.
+    pub fn add_target(
+        &mut self,
+        record: SequenceRecord,
+        taxon: TaxonId,
+    ) -> Result<TargetId, MetaCacheError> {
+        if !self.taxonomy.contains(taxon) {
+            return Err(MetaCacheError::UnknownTaxon(taxon));
+        }
+        let target_id = self.targets.len() as TargetId;
+        let sketches = self.sketcher.sketch_reference(&record.sequence);
+        for (window, sketch) in &sketches {
+            for &feature in sketch.features() {
+                match self.table.insert(feature, Location::new(target_id, *window)) {
+                    Ok(()) => self.stats.locations_inserted += 1,
+                    Err(TableError::ValueLimitReached) => self.stats.locations_dropped += 1,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        self.targets.push(TargetInfo {
+            id: target_id,
+            name: record.id().to_string(),
+            taxon,
+            length: record.sequence.len(),
+            num_windows: self.sketcher.num_windows(record.sequence.len()),
+        });
+        self.stats.targets += 1;
+        self.stats.windows += sketches.len() as u64;
+        Ok(target_id)
+    }
+
+    /// Add every record of an iterator, resolving each record's taxon with
+    /// `taxon_of` (e.g. a lookup from accession to taxid).
+    pub fn add_records<I, F>(&mut self, records: I, mut taxon_of: F) -> Result<usize, MetaCacheError>
+    where
+        I: IntoIterator<Item = SequenceRecord>,
+        F: FnMut(&SequenceRecord) -> TaxonId,
+    {
+        let mut added = 0;
+        for record in records {
+            let taxon = taxon_of(&record);
+            self.add_target(record, taxon)?;
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// Consume batches from a producer–consumer queue until the producers
+    /// close it — the three-thread build pipeline of §4.1 (parsers produce,
+    /// this consumer sketches and inserts).
+    pub fn build_from_queue<F>(
+        &mut self,
+        receiver: BatchReceiver,
+        mut taxon_of: F,
+    ) -> Result<usize, MetaCacheError>
+    where
+        F: FnMut(&SequenceRecord) -> TaxonId,
+    {
+        let mut added = 0;
+        for batch in receiver.iter() {
+            for record in batch.records {
+                let taxon = taxon_of(&record);
+                self.add_target(record, taxon)?;
+                added += 1;
+            }
+        }
+        Ok(added)
+    }
+
+    /// Build statistics so far.
+    pub fn stats(&self) -> BuildStats {
+        self.stats
+    }
+
+    /// Finish the build, producing a single-partition database.
+    pub fn finish(self) -> Database {
+        let lineages = self.taxonomy.lineage_cache();
+        let target_ids: Vec<TargetId> = self.targets.iter().map(|t| t.id).collect();
+        Database {
+            config: self.config,
+            targets: self.targets,
+            taxonomy: self.taxonomy,
+            lineages,
+            partitions: vec![Partition {
+                store: PartitionStore::Host(self.table),
+                targets: target_ids,
+            }],
+        }
+    }
+}
+
+/// The GPU builder: one partition (multi-bucket table) per device.
+pub struct GpuBuilder<'sys> {
+    config: MetaCacheConfig,
+    sketcher: Sketcher,
+    taxonomy: Taxonomy,
+    system: &'sys MultiGpuSystem,
+    targets: Vec<TargetInfo>,
+    partitions: Vec<GpuPartitionState>,
+    stats: BuildStats,
+    next_device: usize,
+}
+
+struct GpuPartitionState {
+    table: MultiBucketHashTable,
+    targets: Vec<TargetId>,
+    /// Keeps the table's bytes charged against the device for the lifetime of
+    /// the build.
+    _reservation: DeviceBuffer<u8>,
+}
+
+impl<'sys> GpuBuilder<'sys> {
+    /// Create a GPU builder over `system`, sizing each device's table for
+    /// `expected_locations_per_device` (feature, location) pairs.
+    pub fn new(
+        config: MetaCacheConfig,
+        taxonomy: Taxonomy,
+        system: &'sys MultiGpuSystem,
+        expected_locations_per_device: usize,
+    ) -> Result<Self, MetaCacheError> {
+        let sketcher = Sketcher::new(&config)?;
+        let mut partitions = Vec::with_capacity(system.device_count());
+        for device in system.devices() {
+            let table_config = MultiBucketConfig {
+                max_locations_per_key: config.max_locations_per_feature,
+                ..MultiBucketConfig::for_expected_values(expected_locations_per_device.max(1024), 0.8)
+            };
+            let table = MultiBucketHashTable::new(table_config);
+            // Charge the (statically allocated, §5.1) table against the
+            // device's memory; fails if the database partition does not fit.
+            let reservation = DeviceBuffer::<u8>::zeroed(Arc::clone(device), table.bytes())?;
+            partitions.push(GpuPartitionState {
+                table,
+                targets: Vec::new(),
+                _reservation: reservation,
+            });
+        }
+        Ok(Self {
+            config,
+            sketcher,
+            taxonomy,
+            system,
+            targets: Vec::new(),
+            partitions,
+            stats: BuildStats::default(),
+            next_device: 0,
+        })
+    }
+
+    /// Add one reference target; it is assigned to the least-loaded device
+    /// (by bases inserted so far) and never split across devices.
+    pub fn add_target(
+        &mut self,
+        record: SequenceRecord,
+        taxon: TaxonId,
+    ) -> Result<TargetId, MetaCacheError> {
+        if !self.taxonomy.contains(taxon) {
+            return Err(MetaCacheError::UnknownTaxon(taxon));
+        }
+        let device_count = self.partitions.len().max(1);
+        let device_idx = self.next_device % device_count;
+        self.next_device += 1;
+        let target_id = self.targets.len() as TargetId;
+
+        // Host -> device transfer of the raw sequence batch.
+        let stream = mc_gpu_sim::Stream::new(Arc::clone(self.system.device(device_idx)));
+        stream.transfer(record.sequence.len() as u64);
+        self.stats.bytes_to_device += record.sequence.len() as u64;
+
+        // One warp per window: encode, hash, sort, sketch (steps 1–3), then
+        // insert the sketch features into the device's multi-bucket table.
+        let params = self.sketcher.window_params();
+        let kmer = params.kmer();
+        let sketch_size = self.config.sketch_size;
+        let windows = self.sketcher.num_windows(record.sequence.len());
+        let sequence = &record.sequence;
+        let sketches: Vec<(u32, Vec<mc_kmer::Feature>, KernelCost)> = launch_warps(
+            LaunchConfig::new(windows as usize),
+            |warp: Warp| {
+                let w = warp.warp_id as u32;
+                let (start, end) = mc_kmer::window::window_range(w, sequence.len(), params);
+                let (features, cost) =
+                    warp_sketch_window(&warp, &sequence[start..end], kmer, sketch_size);
+                (w, features, cost)
+            },
+        );
+        let mut kernel_cost = KernelCost {
+            launches: 1,
+            ..Default::default()
+        };
+        let partition = &mut self.partitions[device_idx];
+        for (window, features, cost) in &sketches {
+            kernel_cost = kernel_cost.merge(*cost);
+            for &feature in features {
+                // Warp-aggregated insertion: charge one probe-group traversal
+                // plus the value write.
+                kernel_cost.ops += 8;
+                kernel_cost.bytes_written += 8;
+                match partition
+                    .table
+                    .insert(feature, Location::new(target_id, *window))
+                {
+                    Ok(()) => self.stats.locations_inserted += 1,
+                    Err(TableError::ValueLimitReached) => self.stats.locations_dropped += 1,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        kernel_cost.launches = 1;
+        stream.launch_kernel(kernel_cost);
+
+        partition.targets.push(target_id);
+        self.targets.push(TargetInfo {
+            id: target_id,
+            name: record.id().to_string(),
+            taxon,
+            length: record.sequence.len(),
+            num_windows: windows,
+        });
+        self.stats.targets += 1;
+        self.stats.windows += sketches.len() as u64;
+        Ok(target_id)
+    }
+
+    /// Add every record of an iterator (taxon resolved per record).
+    pub fn add_records<I, F>(&mut self, records: I, mut taxon_of: F) -> Result<usize, MetaCacheError>
+    where
+        I: IntoIterator<Item = SequenceRecord>,
+        F: FnMut(&SequenceRecord) -> TaxonId,
+    {
+        let mut added = 0;
+        for record in records {
+            let taxon = taxon_of(&record);
+            self.add_target(record, taxon)?;
+            added += 1;
+        }
+        Ok(added)
+    }
+
+    /// Build statistics so far, with the simulated build time set to the
+    /// node's makespan.
+    pub fn stats(&self) -> BuildStats {
+        BuildStats {
+            sim_build_time: self.system.makespan(),
+            ..self.stats
+        }
+    }
+
+    /// Finish the build, producing one partition per device.
+    pub fn finish(self) -> Database {
+        let lineages = self.taxonomy.lineage_cache();
+        let partitions = self
+            .partitions
+            .into_iter()
+            .map(|p| Partition {
+                store: PartitionStore::MultiBucket(p.table),
+                targets: p.targets,
+            })
+            .collect();
+        Database {
+            config: self.config,
+            targets: self.targets,
+            taxonomy: self.taxonomy,
+            lineages,
+            partitions,
+        }
+    }
+}
+
+/// Estimate the number of (feature, location) pairs a set of records will
+/// insert — used to size the per-device tables before a GPU build.
+pub fn estimate_locations(config: &MetaCacheConfig, records: &[SequenceRecord]) -> usize {
+    let sketcher = Sketcher::new(config).expect("valid config");
+    records
+        .iter()
+        .map(|r| sketcher.num_windows(r.sequence.len()) as usize * config.sketch_size)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_seqio::BatchQueue;
+    use mc_taxonomy::Rank;
+
+    fn make_seq(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                b"ACGT"[(state >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    fn taxonomy() -> Taxonomy {
+        let mut t = Taxonomy::with_root();
+        t.add_node(10, 1, Rank::Genus, "G").unwrap();
+        t.add_node(100, 10, Rank::Species, "G a").unwrap();
+        t.add_node(101, 10, Rank::Species, "G b").unwrap();
+        t
+    }
+
+    #[test]
+    fn cpu_build_creates_single_partition_database() {
+        let mut builder = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy());
+        builder
+            .add_target(SequenceRecord::new("a", make_seq(10_000, 1)), 100)
+            .unwrap();
+        builder
+            .add_target(SequenceRecord::new("b", make_seq(12_000, 2)), 101)
+            .unwrap();
+        let stats = builder.stats();
+        assert_eq!(stats.targets, 2);
+        assert!(stats.windows > 0);
+        assert!(stats.locations_inserted > 0);
+        let db = builder.finish();
+        assert_eq!(db.partition_count(), 1);
+        assert_eq!(db.target_count(), 2);
+        // 10,000 bases at stride 112 -> ceil((10000 - 16 + 1) / 112) = 90 windows.
+        assert_eq!(db.targets[0].num_windows, 90);
+        assert!(db.total_locations() > 0);
+        assert_eq!(db.taxon_of_target(0), 100);
+    }
+
+    #[test]
+    fn unknown_taxon_is_rejected() {
+        let mut builder = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy());
+        let err = builder
+            .add_target(SequenceRecord::new("a", make_seq(1_000, 1)), 999)
+            .unwrap_err();
+        assert!(matches!(err, MetaCacheError::UnknownTaxon(999)));
+    }
+
+    #[test]
+    fn queue_based_build_matches_direct_build() {
+        let records: Vec<SequenceRecord> = (0..6)
+            .map(|i| SequenceRecord::new(format!("r{i}"), make_seq(5_000, i as u64 + 1)))
+            .collect();
+        // Direct build.
+        let mut direct = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy());
+        direct
+            .add_records(records.clone(), |r| {
+                if r.id().ends_with(['0', '2', '4']) {
+                    100
+                } else {
+                    101
+                }
+            })
+            .unwrap();
+        let direct_db = direct.finish();
+
+        // Producer-consumer build.
+        let queue = BatchQueue::new(4, 2);
+        let (tx, rx) = queue.split();
+        let producer = std::thread::spawn(move || tx.send_all(records).unwrap());
+        let mut queued = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy());
+        let added = queued
+            .build_from_queue(rx, |r| {
+                if r.id().ends_with(['0', '2', '4']) {
+                    100
+                } else {
+                    101
+                }
+            })
+            .unwrap();
+        producer.join().unwrap();
+        assert_eq!(added, 6);
+        let queued_db = queued.finish();
+        assert_eq!(direct_db.target_count(), queued_db.target_count());
+        assert_eq!(direct_db.total_locations(), queued_db.total_locations());
+    }
+
+    #[test]
+    fn cpu_location_cap_drops_repetitive_features() {
+        // A highly repetitive reference generates the same features in many
+        // windows; the 254-location cap must kick in.
+        let config = MetaCacheConfig {
+            max_locations_per_feature: 16,
+            ..MetaCacheConfig::for_tests()
+        };
+        let repetitive: Vec<u8> = make_seq(500, 3)
+            .iter()
+            .cycle()
+            .take(100_000)
+            .copied()
+            .collect();
+        let mut builder = CpuBuilder::new(config, taxonomy());
+        builder
+            .add_target(SequenceRecord::new("rep", repetitive), 100)
+            .unwrap();
+        assert!(builder.stats().locations_dropped > 0);
+    }
+
+    #[test]
+    fn gpu_build_partitions_targets_across_devices() {
+        let system = MultiGpuSystem::dgx1(4);
+        let records: Vec<SequenceRecord> = (0..8)
+            .map(|i| SequenceRecord::new(format!("g{i}"), make_seq(8_000, i as u64 + 10)))
+            .collect();
+        let expected = estimate_locations(&MetaCacheConfig::for_tests(), &records);
+        let mut builder = GpuBuilder::new(
+            MetaCacheConfig::for_tests(),
+            taxonomy(),
+            &system,
+            expected / 4 + 1024,
+        )
+        .unwrap();
+        builder
+            .add_records(records, |r| {
+                if r.id().as_bytes()[1] % 2 == 0 {
+                    100
+                } else {
+                    101
+                }
+            })
+            .unwrap();
+        let stats = builder.stats();
+        assert!(stats.sim_build_time > SimDuration::ZERO);
+        assert!(stats.bytes_to_device >= 8 * 8_000);
+        let db = builder.finish();
+        assert_eq!(db.partition_count(), 4);
+        assert_eq!(db.target_count(), 8);
+        // Every partition got 2 of the 8 targets (round-robin assignment).
+        for p in &db.partitions {
+            assert_eq!(p.targets.len(), 2);
+        }
+        // No target appears in two partitions.
+        let mut all: Vec<TargetId> = db.partitions.iter().flat_map(|p| p.targets.clone()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8);
+    }
+
+    #[test]
+    fn gpu_build_fails_when_partition_exceeds_device_memory() {
+        // Devices with only 1 MB cannot hold a table sized for millions of
+        // locations — mirrors "AFS31+RefSeq202 did not fit in the memory of 4
+        // V100 GPUs".
+        let system = MultiGpuSystem::new(
+            (0..2)
+                .map(|i| mc_gpu_sim::DeviceInfo::with_capacity(i, 1 << 20))
+                .collect(),
+            mc_gpu_sim::Topology::DenseNvlink,
+        );
+        let result = GpuBuilder::new(
+            MetaCacheConfig::for_tests(),
+            taxonomy(),
+            &system,
+            10_000_000,
+        );
+        assert!(matches!(result, Err(MetaCacheError::Device(_))));
+    }
+
+    #[test]
+    fn gpu_and_cpu_builds_store_same_location_counts_without_capping() {
+        let system = MultiGpuSystem::dgx1(2);
+        let records: Vec<SequenceRecord> = (0..4)
+            .map(|i| SequenceRecord::new(format!("g{i}"), make_seq(6_000, i as u64 + 30)))
+            .collect();
+        let config = MetaCacheConfig::for_tests();
+        let mut cpu = CpuBuilder::new(config, taxonomy());
+        cpu.add_records(records.clone(), |_| 100).unwrap();
+        let expected = estimate_locations(&config, &records);
+        let mut gpu = GpuBuilder::new(config, taxonomy(), &system, expected).unwrap();
+        gpu.add_records(records, |_| 100).unwrap();
+        assert_eq!(
+            cpu.stats().locations_inserted + cpu.stats().locations_dropped,
+            gpu.stats().locations_inserted + gpu.stats().locations_dropped
+        );
+        let cpu_db = cpu.finish();
+        let gpu_db = gpu.finish();
+        assert_eq!(cpu_db.total_locations(), gpu_db.total_locations());
+    }
+
+    #[test]
+    fn estimate_locations_is_close_to_actual() {
+        let config = MetaCacheConfig::for_tests();
+        let records: Vec<SequenceRecord> = (0..3)
+            .map(|i| SequenceRecord::new(format!("e{i}"), make_seq(20_000, i as u64 + 50)))
+            .collect();
+        let estimate = estimate_locations(&config, &records);
+        let mut builder = CpuBuilder::new(config, taxonomy());
+        builder.add_records(records, |_| 100).unwrap();
+        let actual = builder.stats().locations_inserted + builder.stats().locations_dropped;
+        let ratio = estimate as f64 / actual as f64;
+        assert!(ratio > 0.95 && ratio < 1.3, "estimate {estimate} vs actual {actual}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Window count statistics and top-candidate generation.
+//!
+//! After querying a read's sketch features, the retrieved locations are
+//! "merged and identical locations are accumulated. This yields a (sparse)
+//! histogram of hit counts per window in the reference genomes (window count
+//! statistic) … the window count statistic is scanned with a sliding window
+//! approach to find target regions with the highest aggregated hit counts in
+//! a contiguous window range. The top m counts (top hits) are then used to
+//! classify the read." (§4.2, §5.6)
+
+use mc_kmer::{Location, TargetId};
+
+/// One candidate region: a contiguous window range of a target and the
+/// number of feature hits accumulated over that range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// The reference target.
+    pub target: TargetId,
+    /// First window of the candidate range (inclusive).
+    pub window_begin: u32,
+    /// Last window of the candidate range (inclusive).
+    pub window_end: u32,
+    /// Total hits accumulated over the range.
+    pub hits: u32,
+}
+
+/// A bounded, descending-by-hits list of the best candidates of a read.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CandidateList {
+    candidates: Vec<Candidate>,
+    capacity: usize,
+}
+
+impl CandidateList {
+    /// Create an empty list keeping at most `capacity` candidates.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            candidates: Vec::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The candidates, best first.
+    pub fn as_slice(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// The best candidate, if any.
+    pub fn best(&self) -> Option<&Candidate> {
+        self.candidates.first()
+    }
+
+    /// The runner-up candidate, if any.
+    pub fn second(&self) -> Option<&Candidate> {
+        self.candidates.get(1)
+    }
+
+    /// Number of candidates kept.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Insert a candidate, keeping at most one candidate per target (the best
+    /// one) and at most `capacity` candidates overall, ordered by hits
+    /// descending.
+    pub fn insert(&mut self, candidate: Candidate) {
+        if candidate.hits == 0 {
+            return;
+        }
+        if let Some(existing) = self
+            .candidates
+            .iter_mut()
+            .find(|c| c.target == candidate.target)
+        {
+            if candidate.hits > existing.hits {
+                *existing = candidate;
+            }
+        } else {
+            self.candidates.push(candidate);
+        }
+        self.candidates.sort_by(|a, b| {
+            b.hits
+                .cmp(&a.hits)
+                .then(a.target.cmp(&b.target))
+                .then(a.window_begin.cmp(&b.window_begin))
+        });
+        self.candidates.truncate(self.capacity);
+    }
+
+    /// Merge another candidate list into this one (used when combining the
+    /// per-partition top hits of a multi-GPU query, Figure 2).
+    pub fn merge(&mut self, other: &CandidateList) {
+        for c in other.as_slice() {
+            self.insert(*c);
+        }
+    }
+}
+
+/// Accumulate a sorted location list into the sparse window count statistic:
+/// runs of identical (target, window) locations become `(location, count)`
+/// pairs, preserving order.
+pub fn accumulate_locations(sorted: &[Location]) -> Vec<(Location, u32)> {
+    let mut out: Vec<(Location, u32)> = Vec::new();
+    for &loc in sorted {
+        match out.last_mut() {
+            Some((last, count)) if *last == loc => *count += 1,
+            _ => out.push((loc, 1)),
+        }
+    }
+    out
+}
+
+/// Scan the window count statistic with a sliding window of `sliding_window`
+/// reference windows and return the `max_candidates` best contiguous ranges
+/// (at most one per target).
+///
+/// `counts` must be sorted by location (target-major, window-minor), as
+/// produced by [`accumulate_locations`] on a sorted location list.
+pub fn top_candidates(
+    counts: &[(Location, u32)],
+    sliding_window: usize,
+    max_candidates: usize,
+) -> CandidateList {
+    let mut list = CandidateList::new(max_candidates);
+    let sliding_window = sliding_window.max(1) as u64;
+    let mut start = 0usize;
+    while start < counts.len() {
+        let (anchor, _) = counts[start];
+        // Accumulate all entries of the same target whose window lies within
+        // the sliding range starting at the anchor window.
+        let mut hits = 0u32;
+        let mut end_window = anchor.window;
+        let mut i = start;
+        while i < counts.len() {
+            let (loc, count) = counts[i];
+            if loc.target != anchor.target
+                || (loc.window as u64) >= anchor.window as u64 + sliding_window
+            {
+                break;
+            }
+            hits += count;
+            end_window = loc.window;
+            i += 1;
+        }
+        list.insert(Candidate {
+            target: anchor.target,
+            window_begin: anchor.window,
+            window_end: end_window,
+            hits,
+        });
+        start += 1;
+    }
+    list
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(t: u32, w: u32) -> Location {
+        Location::new(t, w)
+    }
+
+    #[test]
+    fn accumulation_counts_runs() {
+        let sorted = vec![loc(0, 1), loc(0, 1), loc(0, 2), loc(1, 0), loc(1, 0), loc(1, 0)];
+        let counts = accumulate_locations(&sorted);
+        assert_eq!(
+            counts,
+            vec![(loc(0, 1), 2), (loc(0, 2), 1), (loc(1, 0), 3)]
+        );
+        assert!(accumulate_locations(&[]).is_empty());
+    }
+
+    #[test]
+    fn top_candidates_prefers_contiguous_regions() {
+        // Target 0 has 3+4 hits in adjacent windows; target 1 has 5 hits in a
+        // single window; target 2 has 3+3 hits but in windows too far apart to
+        // be covered by a sliding window of 2.
+        let counts = vec![
+            (loc(0, 10), 3),
+            (loc(0, 11), 4),
+            (loc(1, 5), 5),
+            (loc(2, 0), 3),
+            (loc(2, 9), 3),
+        ];
+        let list = top_candidates(&counts, 2, 4);
+        assert_eq!(list.len(), 3);
+        let best = list.best().unwrap();
+        assert_eq!(best.target, 0);
+        assert_eq!(best.hits, 7);
+        assert_eq!((best.window_begin, best.window_end), (10, 11));
+        assert_eq!(list.second().unwrap().target, 1);
+        assert_eq!(list.as_slice()[2].hits, 3);
+    }
+
+    #[test]
+    fn sliding_window_of_one_counts_single_windows() {
+        let counts = vec![(loc(0, 10), 3), (loc(0, 11), 4)];
+        let list = top_candidates(&counts, 1, 2);
+        assert_eq!(list.best().unwrap().hits, 4);
+        assert_eq!(list.best().unwrap().window_begin, 11);
+    }
+
+    #[test]
+    fn one_candidate_per_target() {
+        // Two separate high-scoring regions in the same target must collapse
+        // to the better one.
+        let counts = vec![(loc(7, 0), 5), (loc(7, 100), 9)];
+        let list = top_candidates(&counts, 3, 4);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list.best().unwrap().hits, 9);
+        assert_eq!(list.best().unwrap().window_begin, 100);
+    }
+
+    #[test]
+    fn capacity_limits_candidates() {
+        let counts: Vec<(Location, u32)> = (0..10).map(|t| (loc(t, 0), 10 - t)).collect();
+        let list = top_candidates(&counts, 2, 3);
+        assert_eq!(list.len(), 3);
+        assert_eq!(list.as_slice()[0].hits, 10);
+        assert_eq!(list.as_slice()[2].hits, 8);
+    }
+
+    #[test]
+    fn merge_combines_partition_results() {
+        let mut a = CandidateList::new(3);
+        a.insert(Candidate {
+            target: 0,
+            window_begin: 0,
+            window_end: 1,
+            hits: 10,
+        });
+        a.insert(Candidate {
+            target: 1,
+            window_begin: 0,
+            window_end: 0,
+            hits: 4,
+        });
+        let mut b = CandidateList::new(3);
+        b.insert(Candidate {
+            target: 2,
+            window_begin: 5,
+            window_end: 6,
+            hits: 8,
+        });
+        b.insert(Candidate {
+            target: 0,
+            window_begin: 7,
+            window_end: 8,
+            hits: 12,
+        });
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.best().unwrap().target, 0);
+        assert_eq!(a.best().unwrap().hits, 12);
+        assert_eq!(a.second().unwrap().target, 2);
+    }
+
+    #[test]
+    fn zero_hit_candidates_are_ignored() {
+        let mut list = CandidateList::new(2);
+        list.insert(Candidate {
+            target: 0,
+            window_begin: 0,
+            window_end: 0,
+            hits: 0,
+        });
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_target() {
+        let counts = vec![(loc(5, 0), 7), (loc(3, 0), 7)];
+        let list = top_candidates(&counts, 2, 2);
+        assert_eq!(list.best().unwrap().target, 3);
+    }
+}

@@ -1,0 +1,332 @@
+//! The reference database: targets, taxonomy and hash-table partitions.
+
+use serde::{Deserialize, Serialize};
+
+use mc_kmer::{Feature, Location, TargetId};
+use mc_taxonomy::{LineageCache, TaxonId, Taxonomy};
+use mc_warpcore::{
+    pack_bucket_ref, unpack_bucket_ref, FeatureStore, HostHashTable, MultiBucketHashTable,
+    SingleValueHashTable, TableError,
+};
+
+use crate::config::MetaCacheConfig;
+
+/// Metadata of one reference target (a genome or scaffold sequence).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetInfo {
+    /// The target's id (index into [`Database::targets`]).
+    pub id: TargetId,
+    /// Accession / name extracted from the FASTA header.
+    pub name: String,
+    /// The (species-level) taxon this target belongs to.
+    pub taxon: TaxonId,
+    /// Sequence length in bases.
+    pub length: usize,
+    /// Number of reference windows the target was split into.
+    pub num_windows: u32,
+}
+
+/// The condensed read-only store used after loading a database from disk:
+/// all buckets live in one contiguous location array and a single-value table
+/// maps each feature to its (offset, length) bucket reference (§4.2, §5.1).
+pub struct CondensedStore {
+    index: SingleValueHashTable,
+    locations: Vec<Location>,
+}
+
+impl CondensedStore {
+    /// Build a condensed store from (feature, bucket) pairs.
+    pub fn from_buckets(buckets: impl IntoIterator<Item = (Feature, Vec<Location>)>) -> Self {
+        let buckets: Vec<(Feature, Vec<Location>)> = buckets.into_iter().collect();
+        let total: usize = buckets.iter().map(|(_, b)| b.len()).sum();
+        let index = SingleValueHashTable::for_expected_keys(buckets.len().max(1), 0.8);
+        let mut locations = Vec::with_capacity(total);
+        for (feature, bucket) in buckets {
+            let offset = locations.len() as u64;
+            let len = bucket.len() as u32;
+            locations.extend(bucket);
+            index
+                .insert(feature, pack_bucket_ref(offset, len))
+                .expect("condensed index sized for all keys");
+        }
+        Self { index, locations }
+    }
+
+    /// Number of stored locations.
+    pub fn location_count(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Visit every (feature, bucket) pair of the condensed layout — used when
+    /// re-serialising a loaded database.
+    pub fn for_each_bucket(&self, mut f: impl FnMut(Feature, &[Location])) {
+        self.index.for_each(|feature, packed| {
+            let (offset, len) = unpack_bucket_ref(packed);
+            f(
+                feature,
+                &self.locations[offset as usize..offset as usize + len as usize],
+            );
+        });
+    }
+}
+
+impl FeatureStore for CondensedStore {
+    fn insert(&self, _feature: Feature, _location: Location) -> Result<(), TableError> {
+        // The condensed layout is read-only (it is produced by loading a
+        // database from disk).
+        Err(TableError::TableFull)
+    }
+
+    fn query_into(&self, feature: Feature, out: &mut Vec<Location>) -> usize {
+        match self.index.get(feature) {
+            Some(packed) => {
+                let (offset, len) = unpack_bucket_ref(packed);
+                let slice = &self.locations[offset as usize..offset as usize + len as usize];
+                out.extend_from_slice(slice);
+                len as usize
+            }
+            None => 0,
+        }
+    }
+
+    fn key_count(&self) -> usize {
+        self.index.len()
+    }
+
+    fn value_count(&self) -> usize {
+        self.locations.len()
+    }
+
+    fn bytes(&self) -> usize {
+        self.index.bytes() + self.locations.len() * std::mem::size_of::<Location>()
+    }
+}
+
+/// The hash-table back end of one database partition.
+pub enum PartitionStore {
+    /// The paper's novel multi-bucket device table (GPU build path).
+    MultiBucket(MultiBucketHashTable),
+    /// The CPU MetaCache table (host build path).
+    Host(HostHashTable),
+    /// The condensed read-only layout used after loading from disk.
+    Condensed(CondensedStore),
+}
+
+impl PartitionStore {
+    /// Access the store through the common [`FeatureStore`] interface.
+    pub fn as_store(&self) -> &dyn FeatureStore {
+        match self {
+            PartitionStore::MultiBucket(t) => t,
+            PartitionStore::Host(t) => t,
+            PartitionStore::Condensed(t) => t,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PartitionStore::MultiBucket(_) => "multi-bucket",
+            PartitionStore::Host(_) => "host",
+            PartitionStore::Condensed(_) => "condensed",
+        }
+    }
+}
+
+/// One database partition: the hash table plus the ids of the targets whose
+/// sketches were inserted into it. In the GPU pipeline each partition lives
+/// on one device (§4.1: "a single reference sequence will never be
+/// distributed across multiple GPUs").
+pub struct Partition {
+    /// The feature → location store.
+    pub store: PartitionStore,
+    /// Targets assigned to this partition.
+    pub targets: Vec<TargetId>,
+}
+
+impl Partition {
+    /// Query a feature against this partition.
+    pub fn query_into(&self, feature: Feature, out: &mut Vec<Location>) -> usize {
+        self.store.as_store().query_into(feature, out)
+    }
+
+    /// Bytes occupied by this partition's table.
+    pub fn bytes(&self) -> usize {
+        self.store.as_store().bytes()
+    }
+}
+
+/// A complete reference database.
+pub struct Database {
+    /// The configuration it was built with.
+    pub config: MetaCacheConfig,
+    /// All reference targets, indexed by [`TargetId`].
+    pub targets: Vec<TargetInfo>,
+    /// The taxonomy.
+    pub taxonomy: Taxonomy,
+    /// The constant-time LCA cache (built once, before querying).
+    pub lineages: LineageCache,
+    /// The hash-table partitions (one per device in the GPU pipeline).
+    pub partitions: Vec<Partition>,
+}
+
+impl Database {
+    /// Look up a target's metadata.
+    pub fn target(&self, id: TargetId) -> Option<&TargetInfo> {
+        self.targets.get(id as usize)
+    }
+
+    /// The taxon of a target ([`mc_taxonomy::NO_TAXON`] if unknown).
+    pub fn taxon_of_target(&self, id: TargetId) -> TaxonId {
+        self.target(id).map_or(mc_taxonomy::NO_TAXON, |t| t.taxon)
+    }
+
+    /// Number of reference targets.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total number of stored (feature, location) pairs across partitions.
+    pub fn total_locations(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| p.store.as_store().value_count())
+            .sum()
+    }
+
+    /// Total number of distinct features across partitions (a feature present
+    /// in several partitions is counted once per partition, as on real
+    /// multi-GPU deployments).
+    pub fn total_features(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| p.store.as_store().key_count())
+            .sum()
+    }
+
+    /// Total bytes of all partition tables — the "DB size" column of Table 3.
+    pub fn table_bytes(&self) -> usize {
+        self.partitions.iter().map(|p| p.bytes()).sum()
+    }
+
+    /// Approximate host RAM occupied by database metadata (taxonomy, targets,
+    /// lineage cache) — the "RAM" column of Table 3 for the GPU version,
+    /// where the tables themselves live in device memory.
+    pub fn host_metadata_bytes(&self) -> usize {
+        let targets: usize = self
+            .targets
+            .iter()
+            .map(|t| std::mem::size_of::<TargetInfo>() + t.name.len())
+            .sum();
+        targets + self.taxonomy.heap_bytes() + self.lineages.heap_bytes()
+    }
+
+    /// Query a feature against every partition, appending all hits.
+    pub fn query_feature_into(&self, feature: Feature, out: &mut Vec<Location>) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| p.query_into(feature, out))
+            .sum()
+    }
+
+    /// Rebuild the lineage cache (needed if the taxonomy was extended after
+    /// construction).
+    pub fn refresh_lineages(&mut self) {
+        self.lineages = self.taxonomy.lineage_cache();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_taxonomy::Rank;
+
+    fn tiny_database() -> Database {
+        let mut taxonomy = Taxonomy::with_root();
+        taxonomy.add_node(10, 1, Rank::Genus, "G").unwrap();
+        taxonomy.add_node(100, 10, Rank::Species, "G a").unwrap();
+        taxonomy.add_node(101, 10, Rank::Species, "G b").unwrap();
+        let lineages = taxonomy.lineage_cache();
+        let store = HostHashTable::new(Default::default());
+        store.insert(7, Location::new(0, 0)).unwrap();
+        store.insert(7, Location::new(1, 2)).unwrap();
+        store.insert(9, Location::new(1, 3)).unwrap();
+        Database {
+            config: MetaCacheConfig::default(),
+            targets: vec![
+                TargetInfo {
+                    id: 0,
+                    name: "t0".into(),
+                    taxon: 100,
+                    length: 1000,
+                    num_windows: 9,
+                },
+                TargetInfo {
+                    id: 1,
+                    name: "t1".into(),
+                    taxon: 101,
+                    length: 2000,
+                    num_windows: 18,
+                },
+            ],
+            taxonomy,
+            lineages,
+            partitions: vec![Partition {
+                store: PartitionStore::Host(store),
+                targets: vec![0, 1],
+            }],
+        }
+    }
+
+    #[test]
+    fn target_and_taxon_lookup() {
+        let db = tiny_database();
+        assert_eq!(db.target_count(), 2);
+        assert_eq!(db.target(1).unwrap().name, "t1");
+        assert_eq!(db.taxon_of_target(0), 100);
+        assert_eq!(db.taxon_of_target(99), mc_taxonomy::NO_TAXON);
+    }
+
+    #[test]
+    fn query_feature_merges_partitions() {
+        let db = tiny_database();
+        let mut hits = Vec::new();
+        assert_eq!(db.query_feature_into(7, &mut hits), 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(db.total_locations(), 3);
+        assert_eq!(db.total_features(), 2);
+        assert!(db.table_bytes() > 0);
+        assert!(db.host_metadata_bytes() > 0);
+    }
+
+    #[test]
+    fn condensed_store_roundtrip() {
+        let buckets = vec![
+            (5u32, vec![Location::new(0, 1), Location::new(0, 2)]),
+            (9u32, vec![Location::new(3, 7)]),
+            (1_000_000u32, (0..100).map(|w| Location::new(9, w)).collect()),
+        ];
+        let store = CondensedStore::from_buckets(buckets.clone());
+        assert_eq!(store.location_count(), 103);
+        assert_eq!(store.key_count(), 3);
+        assert_eq!(store.value_count(), 103);
+        for (feature, bucket) in &buckets {
+            assert_eq!(&store.query(*feature), bucket);
+        }
+        assert!(store.query(4242).is_empty());
+        // Read-only: inserts are rejected.
+        assert!(store.insert(5, Location::new(0, 0)).is_err());
+    }
+
+    #[test]
+    fn partition_kind_labels() {
+        let db = tiny_database();
+        assert_eq!(db.partitions[0].store.kind(), "host");
+        let condensed = PartitionStore::Condensed(CondensedStore::from_buckets(Vec::new()));
+        assert_eq!(condensed.kind(), "condensed");
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type of the metacache crate.
+
+use mc_taxonomy::TaxonId;
+
+/// Errors raised by database construction, serialization and querying.
+#[derive(Debug)]
+pub enum MetaCacheError {
+    /// Invalid configuration parameters.
+    Config(String),
+    /// A reference target referenced an unknown taxon.
+    UnknownTaxon(TaxonId),
+    /// Underlying hash-table error (table full).
+    Table(mc_warpcore::TableError),
+    /// Device memory exhausted while building a partition.
+    Device(mc_gpu_sim::DeviceError),
+    /// I/O failure while saving or loading a database.
+    Io(std::io::Error),
+    /// Malformed database file.
+    Format(String),
+    /// Sequence parsing failure.
+    SeqIo(mc_seqio::SeqIoError),
+}
+
+impl std::fmt::Display for MetaCacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetaCacheError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            MetaCacheError::UnknownTaxon(id) => write!(f, "unknown taxon {id}"),
+            MetaCacheError::Table(e) => write!(f, "hash table error: {e}"),
+            MetaCacheError::Device(e) => write!(f, "device error: {e}"),
+            MetaCacheError::Io(e) => write!(f, "I/O error: {e}"),
+            MetaCacheError::Format(msg) => write!(f, "database format error: {msg}"),
+            MetaCacheError::SeqIo(e) => write!(f, "sequence I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaCacheError {}
+
+impl From<mc_warpcore::TableError> for MetaCacheError {
+    fn from(e: mc_warpcore::TableError) -> Self {
+        MetaCacheError::Table(e)
+    }
+}
+
+impl From<mc_gpu_sim::DeviceError> for MetaCacheError {
+    fn from(e: mc_gpu_sim::DeviceError) -> Self {
+        MetaCacheError::Device(e)
+    }
+}
+
+impl From<std::io::Error> for MetaCacheError {
+    fn from(e: std::io::Error) -> Self {
+        MetaCacheError::Io(e)
+    }
+}
+
+impl From<mc_seqio::SeqIoError> for MetaCacheError {
+    fn from(e: mc_seqio::SeqIoError) -> Self {
+        MetaCacheError::SeqIo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MetaCacheError::Config("sketch size must be positive".into());
+        assert!(e.to_string().contains("sketch size"));
+        let e = MetaCacheError::UnknownTaxon(42);
+        assert!(e.to_string().contains("42"));
+        let e: MetaCacheError = mc_warpcore::TableError::TableFull.into();
+        assert!(e.to_string().contains("full"));
+    }
+}

@@ -1,0 +1,79 @@
+//! # metacache — minhash-based metagenomic read classification
+//!
+//! A from-scratch Rust reproduction of **MetaCache-GPU: Ultra-Fast
+//! Metagenomic Classification** (Kobus et al., ICPP 2021). The library
+//! implements the complete MetaCache pipeline:
+//!
+//! * **Build phase** (§4.1): reference genomes are split into windows of
+//!   length `w` overlapping by `k − 1`; the `s` smallest hashes of each
+//!   window's canonical k-mers form its minhash sketch, and every sketch
+//!   feature is inserted into a feature → location hash table together with
+//!   its (target, window) location.
+//! * **Query phase** (§4.2): reads are sketched the same way, the sketches
+//!   are looked up, the retrieved locations are accumulated into a window
+//!   count statistic, a sliding-window scan produces candidate regions, and
+//!   the read is assigned either to the top candidate's taxon or to the
+//!   lowest common ancestor of all near-best candidates.
+//! * **Database partitioning** (§4.3) across multiple (simulated) GPUs, the
+//!   **on-the-fly mode** that queries the in-memory table right after
+//!   building, database **serialization** into the `.meta` / `.cache`
+//!   layout, and **abundance estimation** (§6.5).
+//!
+//! Two execution back ends share the same algorithms:
+//!
+//! * [`build::CpuBuilder`] / the host query path — the original CPU
+//!   MetaCache behaviour (single hash-table inserter thread, 254-location
+//!   bucket cap),
+//! * [`gpu`] — the GPU pipeline of §5 running on the [`mc_gpu_sim`]
+//!   substrate: warp-level sketching kernels, the multi-bucket hash table,
+//!   segmented sort, top-candidate generation, multi-device partitioning and
+//!   an analytical device clock that models V100 execution times.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use metacache::{MetaCacheConfig, build::CpuBuilder, query::Classifier};
+//! use mc_seqio::SequenceRecord;
+//! use mc_taxonomy::{Rank, Taxonomy};
+//!
+//! // Tiny reference set: two "genomes" from two species.
+//! let mut taxonomy = Taxonomy::with_root();
+//! taxonomy.add_node(100, 1, Rank::Species, "Species A").unwrap();
+//! taxonomy.add_node(200, 1, Rank::Species, "Species B").unwrap();
+//! let genome_a: Vec<u8> = (0..4000).map(|i| b"ACGT"[(i * 7 + i / 13) % 4]).collect();
+//! let genome_b: Vec<u8> = (0..4000).map(|i| b"TTGCA"[(i * 3 + i / 7) % 5]).collect();
+//!
+//! let config = MetaCacheConfig::default();
+//! let mut builder = CpuBuilder::new(config, taxonomy);
+//! builder.add_target(SequenceRecord::new("refA", genome_a.clone()), 100).unwrap();
+//! builder.add_target(SequenceRecord::new("refB", genome_b), 200).unwrap();
+//! let database = builder.finish();
+//!
+//! // Classify a read drawn from genome A.
+//! let classifier = Classifier::new(&database);
+//! let result = classifier.classify(&SequenceRecord::new("read", genome_a[100..220].to_vec()));
+//! assert_eq!(result.taxon, 100);
+//! ```
+
+pub mod abundance;
+pub mod build;
+pub mod candidate;
+pub mod classify;
+pub mod config;
+pub mod database;
+pub mod error;
+pub mod gpu;
+pub mod pipeline;
+pub mod query;
+pub mod serialize;
+pub mod sketch;
+
+pub use candidate::{Candidate, CandidateList};
+pub use classify::{Classification, ClassificationEvaluation};
+pub use config::MetaCacheConfig;
+pub use database::{Database, Partition, TargetInfo};
+pub use error::MetaCacheError;
+pub use sketch::{ReadSketch, Sketch, Sketcher};
+
+/// Convenient result alias.
+pub type Result<T> = std::result::Result<T, MetaCacheError>;

@@ -1,0 +1,183 @@
+//! The host query path: sketch → table lookup → window count statistic →
+//! top candidates → classification.
+//!
+//! This is the CPU MetaCache query phase of §4.2. The GPU pipeline in
+//! [`crate::gpu`] runs the same algorithm batched over simulated devices; the
+//! two paths produce identical classifications (asserted by integration
+//! tests), differing only in how the work is scheduled and costed.
+
+use rayon::prelude::*;
+
+use mc_kmer::Location;
+use mc_seqio::SequenceRecord;
+
+use crate::candidate::{accumulate_locations, top_candidates, CandidateList};
+use crate::classify::{classify_candidates, Classification};
+use crate::database::Database;
+use crate::sketch::Sketcher;
+
+/// Per-read classifier bound to a database.
+pub struct Classifier<'db> {
+    db: &'db Database,
+    sketcher: Sketcher,
+}
+
+impl<'db> Classifier<'db> {
+    /// Create a classifier for a database.
+    pub fn new(db: &'db Database) -> Self {
+        let sketcher = Sketcher::new(&db.config).expect("database config was validated at build");
+        Self { db, sketcher }
+    }
+
+    /// The sketcher used by this classifier.
+    pub fn sketcher(&self) -> &Sketcher {
+        &self.sketcher
+    }
+
+    /// Compute the candidate list of one read (or read pair).
+    pub fn candidates(&self, record: &SequenceRecord) -> CandidateList {
+        let read_sketch = self.sketcher.sketch_record(record);
+        if read_sketch.windows.is_empty() {
+            return CandidateList::new(self.db.config.top_candidates);
+        }
+        // Query every feature of every window against all partitions.
+        let mut locations: Vec<Location> = Vec::new();
+        for feature in read_sketch.all_features() {
+            self.db.query_feature_into(feature, &mut locations);
+        }
+        // Sort and accumulate into the window count statistic.
+        locations.sort_unstable_by_key(|l| l.pack());
+        let counts = accumulate_locations(&locations);
+        let sws = self.db.config.sliding_window_size(read_sketch.total_len);
+        top_candidates(&counts, sws, self.db.config.top_candidates)
+    }
+
+    /// Classify one read (or read pair).
+    pub fn classify(&self, record: &SequenceRecord) -> Classification {
+        let candidates = self.candidates(record);
+        classify_candidates(self.db, &self.db.config, &candidates)
+    }
+
+    /// Classify a batch of reads in parallel.
+    pub fn classify_batch(&self, records: &[SequenceRecord]) -> Vec<Classification> {
+        records.par_iter().map(|r| self.classify(r)).collect()
+    }
+
+    /// Classify reads sequentially (useful for deterministic profiling).
+    pub fn classify_all_sequential(&self, records: &[SequenceRecord]) -> Vec<Classification> {
+        records.iter().map(|r| self.classify(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::CpuBuilder;
+    use crate::config::MetaCacheConfig;
+    use mc_taxonomy::{Rank, Taxonomy};
+
+    fn make_seq(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                b"ACGT"[(state >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    fn two_species_database() -> (Database, Vec<u8>, Vec<u8>) {
+        let mut taxonomy = Taxonomy::with_root();
+        taxonomy.add_node(10, 1, Rank::Genus, "G").unwrap();
+        taxonomy.add_node(100, 10, Rank::Species, "G a").unwrap();
+        taxonomy.add_node(101, 10, Rank::Species, "G b").unwrap();
+        let genome_a = make_seq(20_000, 1);
+        let genome_b = make_seq(20_000, 2);
+        let mut builder = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy);
+        builder
+            .add_target(SequenceRecord::new("refA", genome_a.clone()), 100)
+            .unwrap();
+        builder
+            .add_target(SequenceRecord::new("refB", genome_b.clone()), 101)
+            .unwrap();
+        (builder.finish(), genome_a, genome_b)
+    }
+
+    #[test]
+    fn reads_classify_to_their_source_species() {
+        let (db, genome_a, genome_b) = two_species_database();
+        let classifier = Classifier::new(&db);
+        for (start, genome, expected) in
+            [(500usize, &genome_a, 100u32), (7_000, &genome_b, 101), (12_345, &genome_a, 100)]
+        {
+            let read = SequenceRecord::new("read", genome[start..start + 120].to_vec());
+            let c = classifier.classify(&read);
+            assert_eq!(c.taxon, expected, "read from offset {start}");
+            assert!(c.best_hits >= db.config.min_hits);
+        }
+    }
+
+    #[test]
+    fn foreign_read_is_unclassified() {
+        let (db, _, _) = two_species_database();
+        let classifier = Classifier::new(&db);
+        let foreign = make_seq(150, 99);
+        let c = classifier.classify(&SequenceRecord::new("alien", foreign));
+        assert!(!c.is_classified(), "unrelated read must stay unclassified, got {c:?}");
+    }
+
+    #[test]
+    fn too_short_read_is_unclassified() {
+        let (db, genome_a, _) = two_species_database();
+        let classifier = Classifier::new(&db);
+        let c = classifier.classify(&SequenceRecord::new("tiny", genome_a[..10].to_vec()));
+        assert!(!c.is_classified());
+    }
+
+    #[test]
+    fn batch_and_sequential_agree() {
+        let (db, genome_a, genome_b) = two_species_database();
+        let classifier = Classifier::new(&db);
+        let reads: Vec<SequenceRecord> = (0..40)
+            .map(|i| {
+                let (genome, offset) = if i % 2 == 0 {
+                    (&genome_a, 100 + i * 37)
+                } else {
+                    (&genome_b, 200 + i * 41)
+                };
+                SequenceRecord::new(format!("r{i}"), genome[offset..offset + 110].to_vec())
+            })
+            .collect();
+        let parallel = classifier.classify_batch(&reads);
+        let sequential = classifier.classify_all_sequential(&reads);
+        assert_eq!(parallel, sequential);
+        let correct = parallel
+            .iter()
+            .enumerate()
+            .filter(|(i, c)| c.taxon == if i % 2 == 0 { 100 } else { 101 })
+            .count();
+        assert!(correct >= 38, "only {correct}/40 reads classified correctly");
+    }
+
+    #[test]
+    fn paired_reads_use_both_mates() {
+        let (db, genome_a, _) = two_species_database();
+        let classifier = Classifier::new(&db);
+        let r1 = genome_a[3_000..3_101].to_vec();
+        let r2 = mc_kmer::reverse_complement(&genome_a[3_300..3_401]);
+        let paired = SequenceRecord::new("p/1", r1).with_mate(SequenceRecord::new("p/2", r2));
+        let single_hits = classifier
+            .candidates(&SequenceRecord::new("s", genome_a[3_000..3_101].to_vec()))
+            .best()
+            .unwrap()
+            .hits;
+        let c = classifier.candidates(&paired);
+        assert_eq!(classify_candidates(&db, &db.config, &c).taxon, 100);
+        assert!(
+            c.best().unwrap().hits > single_hits,
+            "paired read should accumulate more hits than a single mate"
+        );
+    }
+}

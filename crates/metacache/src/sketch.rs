@@ -1,0 +1,302 @@
+//! Minhash sketching.
+//!
+//! A window's sketch is the set of the `s` smallest *distinct* hash values of
+//! its canonical k-mers (§4.1). Reads are sketched the same way after being
+//! split into windows of the database's window length (§4.2). The host
+//! implementation here is the reference; the warp-kernel version in
+//! [`crate::gpu`] produces identical sketches (asserted by tests) while
+//! modelling the device execution of §5.3.
+
+use mc_kmer::{hash64, CanonicalKmerIter, Feature};
+use mc_kmer::window::{num_windows, window_range, WindowParams};
+
+use crate::config::MetaCacheConfig;
+
+/// A minhash sketch: up to `s` features, sorted ascending by hash value.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Sketch {
+    features: Vec<Feature>,
+}
+
+impl Sketch {
+    /// The sketch features (ascending, distinct).
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Number of features in the sketch.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the sketch is empty (window had no valid k-mer).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+}
+
+/// The sketch of one read (or read pair): the sketches of all its windows.
+#[derive(Debug, Clone, Default)]
+pub struct ReadSketch {
+    /// One sketch per read window (mate windows appended after mate-1 windows).
+    pub windows: Vec<Sketch>,
+    /// Total length (both mates) of the read, used to size the sliding window
+    /// during candidate generation.
+    pub total_len: usize,
+}
+
+impl ReadSketch {
+    /// Total number of features over all windows.
+    pub fn feature_count(&self) -> usize {
+        self.windows.iter().map(|s| s.len()).sum()
+    }
+
+    /// Iterate over all features of all windows.
+    pub fn all_features(&self) -> impl Iterator<Item = Feature> + '_ {
+        self.windows.iter().flat_map(|s| s.features().iter().copied())
+    }
+}
+
+/// Sketcher bound to a configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Sketcher {
+    params: WindowParams,
+    sketch_size: usize,
+}
+
+impl Sketcher {
+    /// Create a sketcher from a validated configuration.
+    pub fn new(config: &MetaCacheConfig) -> crate::Result<Self> {
+        Ok(Self {
+            params: config.window_params()?,
+            sketch_size: config.sketch_size,
+        })
+    }
+
+    /// The window parameters used by this sketcher.
+    pub fn window_params(&self) -> WindowParams {
+        self.params
+    }
+
+    /// The sketch size `s`.
+    pub fn sketch_size(&self) -> usize {
+        self.sketch_size
+    }
+
+    /// Sketch one window (an arbitrary subsequence): hash all canonical
+    /// k-mers with `h1` and keep the `s` smallest distinct values, truncated
+    /// to 32-bit features.
+    pub fn sketch_window(&self, window: &[u8]) -> Sketch {
+        let mut hashes: Vec<u64> = CanonicalKmerIter::new(window, self.params.kmer())
+            .map(|k| hash64(k.value()))
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        hashes.truncate(self.sketch_size);
+        Sketch {
+            features: hashes.into_iter().map(|h| (h >> 32) as Feature).collect(),
+        }
+    }
+
+    /// Number of windows a reference sequence of `len` bases produces.
+    pub fn num_windows(&self, len: usize) -> u32 {
+        num_windows(len, self.params)
+    }
+
+    /// Sketch every window of a reference sequence; returns `(window_id,
+    /// sketch)` pairs for non-empty sketches.
+    pub fn sketch_reference(&self, sequence: &[u8]) -> Vec<(u32, Sketch)> {
+        let n = self.num_windows(sequence.len());
+        (0..n)
+            .filter_map(|w| {
+                let (start, end) = window_range(w, sequence.len(), self.params);
+                let sketch = self.sketch_window(&sequence[start..end]);
+                if sketch.is_empty() {
+                    None
+                } else {
+                    Some((w, sketch))
+                }
+            })
+            .collect()
+    }
+
+    /// Split a read into windows of the database window length and sketch
+    /// each window. Short reads (the common case: read length ≤ window
+    /// length) produce a single window.
+    pub fn sketch_read(&self, sequence: &[u8]) -> Vec<Sketch> {
+        if sequence.len() < self.params.k() as usize {
+            return Vec::new();
+        }
+        let window_len = self.params.window_len() as usize;
+        if sequence.len() <= window_len {
+            let s = self.sketch_window(sequence);
+            return if s.is_empty() { Vec::new() } else { vec![s] };
+        }
+        let n = self.num_windows(sequence.len());
+        (0..n)
+            .filter_map(|w| {
+                let (start, end) = window_range(w, sequence.len(), self.params);
+                let s = self.sketch_window(&sequence[start..end]);
+                if s.is_empty() {
+                    None
+                } else {
+                    Some(s)
+                }
+            })
+            .collect()
+    }
+
+    /// Sketch a read and (if present) its mate into one [`ReadSketch`].
+    pub fn sketch_record(&self, record: &mc_seqio::SequenceRecord) -> ReadSketch {
+        let mut windows = self.sketch_read(&record.sequence);
+        if let Some(mate) = &record.mate {
+            windows.extend(self.sketch_read(&mate.sequence));
+        }
+        ReadSketch {
+            windows,
+            total_len: record.total_len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mc_seqio::SequenceRecord;
+
+    fn make_seq(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                b"ACGT"[(state >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    fn sketcher() -> Sketcher {
+        Sketcher::new(&MetaCacheConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn sketch_has_at_most_s_distinct_sorted_features() {
+        let s = sketcher();
+        let window = make_seq(127, 1);
+        let sketch = s.sketch_window(&window);
+        assert!(sketch.len() <= 16);
+        assert!(sketch.len() > 0);
+        let f = sketch.features();
+        assert!(f.windows(2).all(|p| p[0] < p[1]), "features must be sorted distinct");
+    }
+
+    #[test]
+    fn sketch_is_smallest_hashes() {
+        let s = sketcher();
+        let window = make_seq(127, 2);
+        let sketch = s.sketch_window(&window);
+        // Recompute all hashes; the sketch must equal the s smallest distinct,
+        // truncated to 32 bits.
+        let mut hashes: Vec<u64> = CanonicalKmerIter::new(&window, s.window_params().kmer())
+            .map(|k| hash64(k.value()))
+            .collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        let expected: Vec<Feature> = hashes.iter().take(16).map(|h| (h >> 32) as Feature).collect();
+        assert_eq!(sketch.features(), expected.as_slice());
+    }
+
+    #[test]
+    fn identical_windows_share_sketch_mutated_windows_share_some_features() {
+        let s = sketcher();
+        let a = make_seq(127, 3);
+        let mut b = a.clone();
+        // Mutate 4 bases.
+        for i in [10usize, 40, 80, 120] {
+            b[i] = if b[i] == b'A' { b'C' } else { b'A' };
+        }
+        let sa = s.sketch_window(&a);
+        let sb = s.sketch_window(&b);
+        assert_eq!(sa, s.sketch_window(&a));
+        let shared = sa
+            .features()
+            .iter()
+            .filter(|f| sb.features().contains(f))
+            .count();
+        assert!(shared >= 4, "mutated window shares only {shared} features");
+        assert!(shared < 16, "mutation should change some features");
+    }
+
+    #[test]
+    fn window_shorter_than_k_yields_empty() {
+        let s = sketcher();
+        assert!(s.sketch_window(b"ACGTACGT").is_empty());
+        assert!(s.sketch_read(b"ACGTACGT").is_empty());
+    }
+
+    #[test]
+    fn all_n_window_yields_empty_sketch() {
+        let s = sketcher();
+        let window = vec![b'N'; 127];
+        assert!(s.sketch_window(&window).is_empty());
+    }
+
+    #[test]
+    fn reference_sketching_covers_all_windows() {
+        let s = sketcher();
+        let genome = make_seq(10_000, 7);
+        let sketches = s.sketch_reference(&genome);
+        let expected_windows = s.num_windows(genome.len());
+        assert_eq!(sketches.len(), expected_windows as usize);
+        assert_eq!(sketches[0].0, 0);
+        assert_eq!(sketches.last().unwrap().0, expected_windows - 1);
+    }
+
+    #[test]
+    fn short_read_is_single_window_long_read_splits() {
+        let s = sketcher();
+        let short = make_seq(100, 9);
+        assert_eq!(s.sketch_read(&short).len(), 1);
+        let long = make_seq(250, 9);
+        // 250 bases at stride 112 -> 3 windows (paper: MiSeq reads split into
+        // two or more windows).
+        assert!(s.sketch_read(&long).len() >= 2);
+    }
+
+    #[test]
+    fn paired_record_combines_both_mates() {
+        let s = sketcher();
+        let r = SequenceRecord::new("r/1", make_seq(101, 11))
+            .with_mate(SequenceRecord::new("r/2", make_seq(101, 12)));
+        let sketch = s.sketch_record(&r);
+        assert_eq!(sketch.windows.len(), 2);
+        assert_eq!(sketch.total_len, 202);
+        assert!(sketch.feature_count() > 16);
+        assert_eq!(sketch.all_features().count(), sketch.feature_count());
+    }
+
+    #[test]
+    fn read_and_its_source_window_share_features() {
+        // The core minhash property the classifier relies on: a read drawn
+        // from a reference window shares most sketch features with it.
+        let s = sketcher();
+        let genome = make_seq(5_000, 21);
+        let read = &genome[1_120..1_220]; // aligned with window 10 (stride 112)
+        let read_sketch = s.sketch_read(read);
+        assert_eq!(read_sketch.len(), 1);
+        let ref_sketches = s.sketch_reference(&genome);
+        let best_overlap = ref_sketches
+            .iter()
+            .map(|(_, sk)| {
+                read_sketch[0]
+                    .features()
+                    .iter()
+                    .filter(|f| sk.features().contains(f))
+                    .count()
+            })
+            .max()
+            .unwrap();
+        assert!(best_overlap >= 8, "best window overlap only {best_overlap}/16");
+    }
+}

@@ -1,0 +1,272 @@
+//! Bounded multi-producer / multi-consumer batch queue.
+//!
+//! Both phases of the MetaCache pipeline use a concurrent queue between
+//! parsing (producer) threads and processing (consumer) threads — Figure 2 of
+//! the paper. The queue is bounded so that fast producers cannot exhaust host
+//! memory while consumers (the simulated devices) are busy.
+//!
+//! The implementation wraps a [`crossbeam`] bounded channel and adds batch
+//! sizing helpers plus simple occupancy statistics used by the experiment
+//! harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{bounded, Receiver, RecvError, SendError, Sender};
+
+use crate::record::{SequenceBatch, SequenceRecord};
+
+/// Shared statistics of a [`BatchQueue`].
+#[derive(Debug, Default)]
+pub struct QueueStats {
+    batches_sent: AtomicU64,
+    batches_received: AtomicU64,
+    records_sent: AtomicU64,
+    bases_sent: AtomicU64,
+}
+
+impl QueueStats {
+    /// Number of batches pushed into the queue so far.
+    pub fn batches_sent(&self) -> u64 {
+        self.batches_sent.load(Ordering::Relaxed)
+    }
+
+    /// Number of batches popped from the queue so far.
+    pub fn batches_received(&self) -> u64 {
+        self.batches_received.load(Ordering::Relaxed)
+    }
+
+    /// Number of records pushed so far.
+    pub fn records_sent(&self) -> u64 {
+        self.records_sent.load(Ordering::Relaxed)
+    }
+
+    /// Number of sequence bases pushed so far.
+    pub fn bases_sent(&self) -> u64 {
+        self.bases_sent.load(Ordering::Relaxed)
+    }
+}
+
+/// Producer handle of a [`BatchQueue`]. Cloneable; dropping every sender
+/// closes the queue and lets consumers drain and finish.
+#[derive(Clone)]
+pub struct BatchSender {
+    tx: Sender<SequenceBatch>,
+    stats: Arc<QueueStats>,
+    next_index: Arc<AtomicU64>,
+    batch_records: usize,
+}
+
+impl BatchSender {
+    /// Send a pre-assembled batch (its index is overwritten to preserve
+    /// global monotonic ordering).
+    pub fn send(&self, mut batch: SequenceBatch) -> Result<(), SendError<SequenceBatch>> {
+        batch.index = self.next_index.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .records_sent
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bases_sent
+            .fetch_add(batch.total_bases() as u64, Ordering::Relaxed);
+        self.stats.batches_sent.fetch_add(1, Ordering::Relaxed);
+        self.tx.send(batch)
+    }
+
+    /// Split a record stream into batches of the configured size and send
+    /// them all. Returns the number of batches sent.
+    pub fn send_all(
+        &self,
+        records: impl IntoIterator<Item = SequenceRecord>,
+    ) -> Result<usize, SendError<SequenceBatch>> {
+        let mut sent = 0;
+        let mut current: Vec<SequenceRecord> = Vec::with_capacity(self.batch_records);
+        for record in records {
+            current.push(record);
+            if current.len() >= self.batch_records {
+                self.send(SequenceBatch::new(0, std::mem::take(&mut current)))?;
+                sent += 1;
+            }
+        }
+        if !current.is_empty() {
+            self.send(SequenceBatch::new(0, current))?;
+            sent += 1;
+        }
+        Ok(sent)
+    }
+}
+
+/// Consumer handle of a [`BatchQueue`]. Cloneable; each batch is delivered to
+/// exactly one consumer.
+#[derive(Clone)]
+pub struct BatchReceiver {
+    rx: Receiver<SequenceBatch>,
+    stats: Arc<QueueStats>,
+}
+
+impl BatchReceiver {
+    /// Block until a batch is available or every sender has been dropped.
+    pub fn recv(&self) -> Result<SequenceBatch, RecvError> {
+        let batch = self.rx.recv()?;
+        self.stats.batches_received.fetch_add(1, Ordering::Relaxed);
+        Ok(batch)
+    }
+
+    /// Iterate over batches until the queue is closed and drained.
+    pub fn iter(&self) -> impl Iterator<Item = SequenceBatch> + '_ {
+        std::iter::from_fn(move || self.recv().ok())
+    }
+}
+
+/// A bounded batch queue connecting producers and consumers.
+pub struct BatchQueue {
+    sender: BatchSender,
+    receiver: BatchReceiver,
+    stats: Arc<QueueStats>,
+}
+
+impl BatchQueue {
+    /// Create a queue holding at most `capacity` in-flight batches, each with
+    /// up to `batch_records` records when assembled via
+    /// [`BatchSender::send_all`].
+    pub fn new(capacity: usize, batch_records: usize) -> Self {
+        let (tx, rx) = bounded(capacity.max(1));
+        let stats = Arc::new(QueueStats::default());
+        Self {
+            sender: BatchSender {
+                tx,
+                stats: Arc::clone(&stats),
+                next_index: Arc::new(AtomicU64::new(0)),
+                batch_records: batch_records.max(1),
+            },
+            receiver: BatchReceiver {
+                rx,
+                stats: Arc::clone(&stats),
+            },
+            stats,
+        }
+    }
+
+    /// Clone a producer handle.
+    pub fn sender(&self) -> BatchSender {
+        self.sender.clone()
+    }
+
+    /// Clone a consumer handle.
+    pub fn receiver(&self) -> BatchReceiver {
+        self.receiver.clone()
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Arc<QueueStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Split into the producer and consumer halves, dropping the queue's own
+    /// handles so the channel closes as soon as all external senders drop.
+    pub fn split(self) -> (BatchSender, BatchReceiver) {
+        (self.sender, self.receiver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn records(n: usize) -> Vec<SequenceRecord> {
+        (0..n)
+            .map(|i| SequenceRecord::new(format!("r{i}"), vec![b'A'; 10 + i % 5]))
+            .collect()
+    }
+
+    #[test]
+    fn send_all_batches_by_size() {
+        let queue = BatchQueue::new(16, 4);
+        let (tx, rx) = queue.split();
+        let sent = tx.send_all(records(10)).unwrap();
+        drop(tx);
+        assert_eq!(sent, 3); // 4 + 4 + 2
+        let batches: Vec<_> = rx.iter().collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 4);
+        assert_eq!(batches[2].len(), 2);
+        // Indices are monotone.
+        assert!(batches.windows(2).all(|w| w[0].index < w[1].index));
+    }
+
+    #[test]
+    fn stats_track_records_and_bases() {
+        let queue = BatchQueue::new(4, 8);
+        let stats = queue.stats();
+        let (tx, rx) = queue.split();
+        tx.send_all(records(5)).unwrap();
+        drop(tx);
+        let _ = rx.iter().count();
+        assert_eq!(stats.records_sent(), 5);
+        assert_eq!(stats.batches_sent(), 1);
+        assert_eq!(stats.batches_received(), 1);
+        assert!(stats.bases_sent() >= 50);
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_delivers_everything_once() {
+        let queue = BatchQueue::new(8, 16);
+        let stats = queue.stats();
+        let (tx, rx) = queue.split();
+
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                thread::spawn(move || {
+                    tx.send_all((0..250).map(|i| {
+                        SequenceRecord::new(format!("p{p}_r{i}"), b"ACGTACGT".to_vec())
+                    }))
+                    .unwrap();
+                })
+            })
+            .collect();
+        drop(tx);
+
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                thread::spawn(move || rx.iter().map(|b| b.len()).sum::<usize>())
+            })
+            .collect();
+        drop(rx);
+
+        for p in producers {
+            p.join().unwrap();
+        }
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 4 * 250);
+        assert_eq!(stats.records_sent(), 1000);
+        assert_eq!(stats.batches_received(), stats.batches_sent());
+    }
+
+    #[test]
+    fn receiver_finishes_when_senders_drop() {
+        let queue = BatchQueue::new(2, 4);
+        let (tx, rx) = queue.split();
+        drop(tx);
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.iter().count(), 0);
+    }
+
+    #[test]
+    fn bounded_capacity_applies_backpressure() {
+        let queue = BatchQueue::new(1, 1);
+        let (tx, rx) = queue.split();
+        // Fill the single slot.
+        tx.send(SequenceBatch::new(0, records(1))).unwrap();
+        // A second send would block; do it from a thread and unblock by receiving.
+        let t = {
+            let tx = tx.clone();
+            thread::spawn(move || tx.send(SequenceBatch::new(0, records(1))).is_ok())
+        };
+        thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!t.is_finished(), "send should block while the queue is full");
+        rx.recv().unwrap();
+        assert!(t.join().unwrap());
+    }
+}

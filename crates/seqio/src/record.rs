@@ -1,0 +1,175 @@
+//! Sequence records and batches.
+
+/// One parsed sequence: a reference genome/scaffold in the build phase or a
+/// read (optionally with its mate) in the query phase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SequenceRecord {
+    /// Full header line without the leading `>` / `@`.
+    pub header: String,
+    /// Nucleotide characters (uppercase not enforced; the k-mer layer accepts
+    /// both cases).
+    pub sequence: Vec<u8>,
+    /// Per-base quality string for FASTQ records; empty for FASTA.
+    pub quality: Vec<u8>,
+    /// Second mate of a paired-end read, if any.
+    pub mate: Option<Box<SequenceRecord>>,
+}
+
+impl SequenceRecord {
+    /// Create a FASTA-style record (no qualities).
+    pub fn new(header: impl Into<String>, sequence: impl Into<Vec<u8>>) -> Self {
+        Self {
+            header: header.into(),
+            sequence: sequence.into(),
+            quality: Vec::new(),
+            mate: None,
+        }
+    }
+
+    /// Create a FASTQ-style record with qualities.
+    pub fn with_quality(
+        header: impl Into<String>,
+        sequence: impl Into<Vec<u8>>,
+        quality: impl Into<Vec<u8>>,
+    ) -> Self {
+        Self {
+            header: header.into(),
+            sequence: sequence.into(),
+            quality: quality.into(),
+            mate: None,
+        }
+    }
+
+    /// Attach a mate, turning this record into a read pair.
+    pub fn with_mate(mut self, mate: SequenceRecord) -> Self {
+        self.mate = Some(Box::new(mate));
+        self
+    }
+
+    /// The sequence identifier: the header up to the first whitespace.
+    pub fn id(&self) -> &str {
+        self.header
+            .split_whitespace()
+            .next()
+            .unwrap_or(self.header.as_str())
+    }
+
+    /// Length of the (first-mate) sequence in bases.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+
+    /// Combined length of both mates (equals [`SequenceRecord::len`] for
+    /// single-end records).
+    pub fn total_len(&self) -> usize {
+        self.sequence.len() + self.mate.as_ref().map_or(0, |m| m.sequence.len())
+    }
+
+    /// Whether this record carries a mate.
+    pub fn is_paired(&self) -> bool {
+        self.mate.is_some()
+    }
+
+    /// Approximate number of heap bytes held by this record; used by batch
+    /// accounting and by the device transfer cost model.
+    pub fn heap_bytes(&self) -> usize {
+        self.header.len()
+            + self.sequence.len()
+            + self.quality.len()
+            + self.mate.as_ref().map_or(0, |m| m.heap_bytes())
+    }
+}
+
+/// A batch of sequence records as moved through the producer–consumer queue.
+///
+/// Batches carry a monotonically increasing id so consumers can restore
+/// global ordering (needed for deterministic target-id assignment in the
+/// build phase).
+#[derive(Debug, Clone, Default)]
+pub struct SequenceBatch {
+    /// Monotone batch index assigned by the producer.
+    pub index: u64,
+    /// The records of this batch.
+    pub records: Vec<SequenceRecord>,
+}
+
+impl SequenceBatch {
+    /// Create a batch.
+    pub fn new(index: u64, records: Vec<SequenceRecord>) -> Self {
+        Self { index, records }
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total number of sequence bases across all records (both mates).
+    pub fn total_bases(&self) -> usize {
+        self.records.iter().map(|r| r.total_len()).sum()
+    }
+
+    /// Approximate heap bytes of the whole batch.
+    pub fn heap_bytes(&self) -> usize {
+        self.records.iter().map(|r| r.heap_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_id_strips_description() {
+        let r = SequenceRecord::new("NC_000913.3 Escherichia coli K-12", b"ACGT".to_vec());
+        assert_eq!(r.id(), "NC_000913.3");
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_paired());
+    }
+
+    #[test]
+    fn record_id_of_headerless_record() {
+        let r = SequenceRecord::new("", b"ACGT".to_vec());
+        assert_eq!(r.id(), "");
+    }
+
+    #[test]
+    fn paired_record_total_len() {
+        let r = SequenceRecord::new("r1", b"ACGTACGT".to_vec())
+            .with_mate(SequenceRecord::new("r1/2", b"TTTT".to_vec()));
+        assert!(r.is_paired());
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.total_len(), 12);
+    }
+
+    #[test]
+    fn batch_accounting() {
+        let records = vec![
+            SequenceRecord::new("a", b"ACGT".to_vec()),
+            SequenceRecord::with_quality("b", b"ACGTACGT".to_vec(), b"IIIIIIII".to_vec()),
+        ];
+        let batch = SequenceBatch::new(7, records);
+        assert_eq!(batch.index, 7);
+        assert_eq!(batch.len(), 2);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.total_bases(), 12);
+        assert!(batch.heap_bytes() >= 12 + 8);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let batch = SequenceBatch::default();
+        assert!(batch.is_empty());
+        assert_eq!(batch.total_bases(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # mc-taxonomy — taxonomic tree, lineages and lowest common ancestors
+//!
+//! Metagenomic classification assigns reads to nodes of the NCBI taxonomy
+//! (paper §4.1–§4.2). This crate implements the taxonomy substrate:
+//!
+//! * [`rank::Rank`] — the standard ranks (species, genus, family, …),
+//! * [`tree::Taxonomy`] — the tree itself with parent/child navigation,
+//! * [`lineage::LineageCache`] — the acceleration structure built before the
+//!   query phase that stores each target's full ranked lineage and allows
+//!   computing the lowest common ancestor (LCA) of two taxa in constant time,
+//! * [`ncbi`] — reader/writer for the NCBI `nodes.dmp` / `names.dmp` dump
+//!   format so real dumps can be ingested and synthetic ones emitted.
+//!
+//! ## Example
+//!
+//! ```
+//! use mc_taxonomy::{Rank, Taxonomy};
+//!
+//! let mut tax = Taxonomy::new();
+//! tax.add_node(1, 1, Rank::Root, "root").unwrap();
+//! tax.add_node(10, 1, Rank::Genus, "Escherichia").unwrap();
+//! tax.add_node(100, 10, Rank::Species, "Escherichia coli").unwrap();
+//! tax.add_node(101, 10, Rank::Species, "Escherichia albertii").unwrap();
+//!
+//! let cache = tax.lineage_cache();
+//! assert_eq!(cache.lca(100, 101), 10);
+//! assert_eq!(cache.rank_of(cache.lca(100, 101)), Some(Rank::Genus));
+//! ```
+
+pub mod lineage;
+pub mod ncbi;
+pub mod node;
+pub mod rank;
+pub mod tree;
+
+pub use lineage::LineageCache;
+pub use node::TaxonNode;
+pub use rank::Rank;
+pub use tree::{Taxonomy, TaxonomyError};
+
+/// Identifier of a taxon. `0` is reserved as "unclassified / none".
+pub type TaxonId = u32;
+
+/// The conventional NCBI root taxon id.
+pub const ROOT_TAXON: TaxonId = 1;
+
+/// The "no taxon" sentinel used for unclassified reads.
+pub const NO_TAXON: TaxonId = 0;

@@ -1,0 +1,207 @@
+//! Ranked-lineage cache with constant-time LCA.
+//!
+//! Before the query phase MetaCache generates "an acceleration structure …
+//! that contains the taxonomic lineage of each target in the database thus
+//! allowing to compute the lowest common ancestor of two taxa in constant
+//! time during classification" (paper §4.2). This module is that structure:
+//! for every taxon we store its ancestor at each canonical rank, so the LCA
+//! of two taxa is found by scanning the fixed-size rank arrays from the most
+//! specific rank upward — O(number of ranks), i.e. constant.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rank::Rank;
+use crate::tree::Taxonomy;
+use crate::{TaxonId, NO_TAXON};
+
+/// A taxon's ancestors indexed by rank level (entry `r` = ancestor at rank
+/// `Rank::from_level(r)`, or [`NO_TAXON`] if the lineage skips that rank).
+pub type RankedLineage = [TaxonId; Rank::COUNT];
+
+/// The lineage cache: ranked lineages for every taxon of a [`Taxonomy`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LineageCache {
+    lineages: HashMap<TaxonId, RankedLineage>,
+    ranks: HashMap<TaxonId, Rank>,
+}
+
+impl LineageCache {
+    /// Build the cache for every node of the taxonomy.
+    pub fn build(taxonomy: &Taxonomy) -> Self {
+        let mut lineages = HashMap::with_capacity(taxonomy.len());
+        let mut ranks = HashMap::with_capacity(taxonomy.len());
+        for node in taxonomy.iter() {
+            let mut lineage: RankedLineage = [NO_TAXON; Rank::COUNT];
+            for ancestor in taxonomy.path_to_root(node.id) {
+                if let Some(rank) = taxonomy.rank(ancestor) {
+                    let slot = rank.level() as usize;
+                    // Keep the most specific taxon seen per rank (first wins
+                    // because we walk from specific to general).
+                    if lineage[slot] == NO_TAXON {
+                        lineage[slot] = ancestor;
+                    }
+                }
+            }
+            lineages.insert(node.id, lineage);
+            ranks.insert(node.id, node.rank);
+        }
+        Self { lineages, ranks }
+    }
+
+    /// Number of cached taxa.
+    pub fn len(&self) -> usize {
+        self.lineages.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lineages.is_empty()
+    }
+
+    /// The ranked lineage of a taxon, if cached.
+    pub fn lineage(&self, taxon: TaxonId) -> Option<&RankedLineage> {
+        self.lineages.get(&taxon)
+    }
+
+    /// Rank of a cached taxon.
+    pub fn rank_of(&self, taxon: TaxonId) -> Option<Rank> {
+        self.ranks.get(&taxon).copied()
+    }
+
+    /// The ancestor of `taxon` at the given rank ([`NO_TAXON`] if absent).
+    pub fn ancestor_at(&self, taxon: TaxonId, rank: Rank) -> TaxonId {
+        self.lineages
+            .get(&taxon)
+            .map_or(NO_TAXON, |l| l[rank.level() as usize])
+    }
+
+    /// Lowest common ancestor of two taxa in constant time.
+    ///
+    /// [`NO_TAXON`] acts as the identity element so hit lists containing
+    /// unclassified entries can be folded directly.
+    pub fn lca(&self, a: TaxonId, b: TaxonId) -> TaxonId {
+        if a == NO_TAXON || a == b {
+            return b;
+        }
+        if b == NO_TAXON {
+            return a;
+        }
+        let (Some(la), Some(lb)) = (self.lineages.get(&a), self.lineages.get(&b)) else {
+            return NO_TAXON;
+        };
+        for level in 0..Rank::COUNT {
+            let (ta, tb) = (la[level], lb[level]);
+            if ta != NO_TAXON && ta == tb {
+                return ta;
+            }
+        }
+        NO_TAXON
+    }
+
+    /// Fold the LCA over an iterator of taxa (the classification rule applied
+    /// when several candidates score close to the maximum, §4.2).
+    pub fn lca_of_all(&self, taxa: impl IntoIterator<Item = TaxonId>) -> TaxonId {
+        taxa.into_iter().fold(NO_TAXON, |acc, t| self.lca(acc, t))
+    }
+
+    /// Whether `ancestor` lies on the lineage of `taxon` (at any rank).
+    pub fn has_ancestor(&self, taxon: TaxonId, ancestor: TaxonId) -> bool {
+        if taxon == ancestor {
+            return true;
+        }
+        self.lineages
+            .get(&taxon)
+            .is_some_and(|l| l.contains(&ancestor) && ancestor != NO_TAXON)
+    }
+
+    /// Estimated heap size in bytes.
+    pub fn heap_bytes(&self) -> usize {
+        self.lineages.len()
+            * (std::mem::size_of::<RankedLineage>() + std::mem::size_of::<(TaxonId, Rank)>() + 16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Taxonomy;
+
+    fn fixture() -> Taxonomy {
+        let mut t = Taxonomy::with_root();
+        t.add_node(2, 1, Rank::Domain, "Bacteria").unwrap();
+        t.add_node(20, 2, Rank::Phylum, "Proteobacteria").unwrap();
+        t.add_node(200, 20, Rank::Family, "Enterobacteriaceae").unwrap();
+        t.add_node(2000, 200, Rank::Genus, "Escherichia").unwrap();
+        t.add_node(20000, 2000, Rank::Species, "Escherichia coli").unwrap();
+        t.add_node(20001, 2000, Rank::Species, "Escherichia albertii").unwrap();
+        t.add_node(21, 2, Rank::Phylum, "Firmicutes").unwrap();
+        t.add_node(2100, 21, Rank::Genus, "Bacillus").unwrap();
+        t.add_node(21000, 2100, Rank::Species, "Bacillus subtilis").unwrap();
+        t
+    }
+
+    #[test]
+    fn cache_matches_tree_walk_lca() {
+        let tree = fixture();
+        let cache = tree.lineage_cache();
+        let ids: Vec<TaxonId> = tree.iter().map(|n| n.id).collect();
+        for &a in &ids {
+            for &b in &ids {
+                assert_eq!(cache.lca(a, b), tree.lca(a, b), "lca({a},{b}) mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn lineage_contains_expected_ranks() {
+        let cache = fixture().lineage_cache();
+        assert_eq!(cache.ancestor_at(20000, Rank::Species), 20000);
+        assert_eq!(cache.ancestor_at(20000, Rank::Genus), 2000);
+        assert_eq!(cache.ancestor_at(20000, Rank::Phylum), 20);
+        assert_eq!(cache.ancestor_at(20000, Rank::Domain), 2);
+        assert_eq!(cache.ancestor_at(20000, Rank::Kingdom), NO_TAXON);
+        assert_eq!(cache.rank_of(2000), Some(Rank::Genus));
+    }
+
+    #[test]
+    fn lca_with_no_taxon_is_identity() {
+        let cache = fixture().lineage_cache();
+        assert_eq!(cache.lca(NO_TAXON, 20000), 20000);
+        assert_eq!(cache.lca(20000, NO_TAXON), 20000);
+        assert_eq!(cache.lca(NO_TAXON, NO_TAXON), NO_TAXON);
+    }
+
+    #[test]
+    fn lca_of_unknown_taxon_is_no_taxon() {
+        let cache = fixture().lineage_cache();
+        assert_eq!(cache.lca(20000, 987654), NO_TAXON);
+    }
+
+    #[test]
+    fn lca_of_all_folds() {
+        let cache = fixture().lineage_cache();
+        assert_eq!(cache.lca_of_all([20000, 20001]), 2000);
+        assert_eq!(cache.lca_of_all([20000, 20001, 21000]), 2);
+        assert_eq!(cache.lca_of_all([20000]), 20000);
+        assert_eq!(cache.lca_of_all(std::iter::empty()), NO_TAXON);
+    }
+
+    #[test]
+    fn has_ancestor_checks_lineage_membership() {
+        let cache = fixture().lineage_cache();
+        assert!(cache.has_ancestor(20000, 2000));
+        assert!(cache.has_ancestor(20000, 2));
+        assert!(cache.has_ancestor(20000, 20000));
+        assert!(!cache.has_ancestor(20000, 2100));
+        assert!(!cache.has_ancestor(20000, NO_TAXON));
+    }
+
+    #[test]
+    fn ancestor_relation_lca_is_the_ancestor() {
+        let cache = fixture().lineage_cache();
+        assert_eq!(cache.lca(20000, 2000), 2000);
+        assert_eq!(cache.lca(2000, 2), 2);
+    }
+}

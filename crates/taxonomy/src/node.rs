@@ -1,0 +1,49 @@
+//! Taxon nodes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rank::Rank;
+use crate::TaxonId;
+
+/// One node of the taxonomic tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaxonNode {
+    /// The taxon's id (NCBI taxid or synthetic id).
+    pub id: TaxonId,
+    /// Id of the parent taxon; the root points to itself.
+    pub parent: TaxonId,
+    /// Rank of this taxon.
+    pub rank: Rank,
+    /// Scientific name.
+    pub name: String,
+}
+
+impl TaxonNode {
+    /// Create a node.
+    pub fn new(id: TaxonId, parent: TaxonId, rank: Rank, name: impl Into<String>) -> Self {
+        Self {
+            id,
+            parent,
+            rank,
+            name: name.into(),
+        }
+    }
+
+    /// Whether this node is the root (its own parent).
+    pub fn is_root(&self) -> bool {
+        self.id == self.parent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_detection() {
+        let root = TaxonNode::new(1, 1, Rank::Root, "root");
+        assert!(root.is_root());
+        let child = TaxonNode::new(2, 1, Rank::Domain, "Bacteria");
+        assert!(!child.is_root());
+    }
+}

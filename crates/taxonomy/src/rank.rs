@@ -1,0 +1,185 @@
+//! Taxonomic ranks.
+
+use serde::{Deserialize, Serialize};
+
+/// The canonical subset of NCBI ranks used by MetaCache's classification and
+/// by the accuracy evaluation (Table 6 reports species- and genus-level
+/// precision/sensitivity).
+///
+/// Ranks are ordered from the most specific ([`Rank::Sequence`], an individual
+/// reference sequence) to the most general ([`Rank::Root`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Rank {
+    /// An individual reference sequence (below species; MetaCache can map
+    /// reads to concrete targets).
+    Sequence = 0,
+    /// Subspecies / strain level.
+    Subspecies = 1,
+    /// Species.
+    Species = 2,
+    /// Subgenus.
+    Subgenus = 3,
+    /// Genus.
+    Genus = 4,
+    /// Family.
+    Family = 5,
+    /// Order.
+    Order = 6,
+    /// Class.
+    Class = 7,
+    /// Phylum.
+    Phylum = 8,
+    /// Kingdom.
+    Kingdom = 9,
+    /// Domain / superkingdom.
+    Domain = 10,
+    /// The root of the taxonomy.
+    Root = 11,
+    /// Anything that does not map onto the canonical ranks ("no rank",
+    /// "clade", …).
+    None = 12,
+}
+
+impl Rank {
+    /// All canonical ranks from most specific to most general (excluding
+    /// [`Rank::None`]).
+    pub const ALL: [Rank; 12] = [
+        Rank::Sequence,
+        Rank::Subspecies,
+        Rank::Species,
+        Rank::Subgenus,
+        Rank::Genus,
+        Rank::Family,
+        Rank::Order,
+        Rank::Class,
+        Rank::Phylum,
+        Rank::Kingdom,
+        Rank::Domain,
+        Rank::Root,
+    ];
+
+    /// Number of distinct rank levels (including [`Rank::None`]).
+    pub const COUNT: usize = 13;
+
+    /// Numeric level; higher means more general.
+    #[inline]
+    pub const fn level(self) -> u8 {
+        self as u8
+    }
+
+    /// Construct from a numeric level (inverse of [`Rank::level`]).
+    pub const fn from_level(level: u8) -> Rank {
+        match level {
+            0 => Rank::Sequence,
+            1 => Rank::Subspecies,
+            2 => Rank::Species,
+            3 => Rank::Subgenus,
+            4 => Rank::Genus,
+            5 => Rank::Family,
+            6 => Rank::Order,
+            7 => Rank::Class,
+            8 => Rank::Phylum,
+            9 => Rank::Kingdom,
+            10 => Rank::Domain,
+            11 => Rank::Root,
+            _ => Rank::None,
+        }
+    }
+
+    /// The next more general rank ([`Rank::Root`] maps to itself).
+    pub const fn parent_rank(self) -> Rank {
+        match self {
+            Rank::Root | Rank::None => self,
+            other => Rank::from_level(other.level() + 1),
+        }
+    }
+
+    /// Parse an NCBI rank string ("species", "genus", "no rank", …).
+    pub fn parse(s: &str) -> Rank {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "sequence" => Rank::Sequence,
+            "subspecies" | "strain" | "varietas" | "forma" => Rank::Subspecies,
+            "species" => Rank::Species,
+            "subgenus" | "species group" | "species subgroup" => Rank::Subgenus,
+            "genus" => Rank::Genus,
+            "family" | "subfamily" | "tribe" => Rank::Family,
+            "order" | "suborder" => Rank::Order,
+            "class" | "subclass" => Rank::Class,
+            "phylum" | "subphylum" => Rank::Phylum,
+            "kingdom" | "subkingdom" => Rank::Kingdom,
+            "domain" | "superkingdom" | "realm" => Rank::Domain,
+            "root" => Rank::Root,
+            _ => Rank::None,
+        }
+    }
+
+    /// Canonical NCBI-style name of the rank.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Rank::Sequence => "sequence",
+            Rank::Subspecies => "subspecies",
+            Rank::Species => "species",
+            Rank::Subgenus => "subgenus",
+            Rank::Genus => "genus",
+            Rank::Family => "family",
+            Rank::Order => "order",
+            Rank::Class => "class",
+            Rank::Phylum => "phylum",
+            Rank::Kingdom => "kingdom",
+            Rank::Domain => "superkingdom",
+            Rank::Root => "root",
+            Rank::None => "no rank",
+        }
+    }
+}
+
+impl std::fmt::Display for Rank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_ordered_specific_to_general() {
+        assert!(Rank::Species < Rank::Genus);
+        assert!(Rank::Genus < Rank::Family);
+        assert!(Rank::Sequence < Rank::Species);
+        assert!(Rank::Domain < Rank::Root);
+    }
+
+    #[test]
+    fn level_roundtrip() {
+        for rank in Rank::ALL {
+            assert_eq!(Rank::from_level(rank.level()), rank);
+        }
+        assert_eq!(Rank::from_level(200), Rank::None);
+    }
+
+    #[test]
+    fn parent_rank_chain_terminates_at_root() {
+        let mut r = Rank::Sequence;
+        for _ in 0..20 {
+            r = r.parent_rank();
+        }
+        assert_eq!(r, Rank::Root);
+        assert_eq!(Rank::Root.parent_rank(), Rank::Root);
+        assert_eq!(Rank::None.parent_rank(), Rank::None);
+    }
+
+    #[test]
+    fn parse_and_name_roundtrip() {
+        for rank in Rank::ALL {
+            assert_eq!(Rank::parse(rank.name()), rank);
+        }
+        assert_eq!(Rank::parse("Species"), Rank::Species);
+        assert_eq!(Rank::parse("superkingdom"), Rank::Domain);
+        assert_eq!(Rank::parse("no rank"), Rank::None);
+        assert_eq!(Rank::parse("clade"), Rank::None);
+        assert_eq!(Rank::parse("strain"), Rank::Subspecies);
+    }
+}

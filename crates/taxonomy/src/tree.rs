@@ -1,0 +1,309 @@
+//! The taxonomy tree.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::lineage::LineageCache;
+use crate::node::TaxonNode;
+use crate::rank::Rank;
+use crate::{TaxonId, NO_TAXON, ROOT_TAXON};
+
+/// Errors mutating or querying a [`Taxonomy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaxonomyError {
+    /// The taxon id 0 is reserved for "unclassified".
+    ReservedId,
+    /// A node with this id already exists.
+    DuplicateId(TaxonId),
+    /// Referenced taxon does not exist.
+    UnknownTaxon(TaxonId),
+}
+
+impl std::fmt::Display for TaxonomyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaxonomyError::ReservedId => write!(f, "taxon id 0 is reserved for 'unclassified'"),
+            TaxonomyError::DuplicateId(id) => write!(f, "taxon {id} already exists"),
+            TaxonomyError::UnknownTaxon(id) => write!(f, "taxon {id} does not exist"),
+        }
+    }
+}
+
+impl std::error::Error for TaxonomyError {}
+
+/// The taxonomic tree: a map from taxon ids to [`TaxonNode`]s.
+///
+/// The tree tolerates nodes being added in any order (a node may reference a
+/// parent that is inserted later); [`Taxonomy::validate`] checks that all
+/// parents ultimately resolve to the root.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Taxonomy {
+    nodes: HashMap<TaxonId, TaxonNode>,
+}
+
+impl Taxonomy {
+    /// Create an empty taxonomy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a taxonomy that only contains a root node.
+    pub fn with_root() -> Self {
+        let mut t = Self::new();
+        t.add_node(ROOT_TAXON, ROOT_TAXON, Rank::Root, "root")
+            .expect("fresh taxonomy accepts the root");
+        t
+    }
+
+    /// Number of taxa.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the taxonomy has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Add a taxon. The root must reference itself as parent.
+    pub fn add_node(
+        &mut self,
+        id: TaxonId,
+        parent: TaxonId,
+        rank: Rank,
+        name: impl Into<String>,
+    ) -> Result<&TaxonNode, TaxonomyError> {
+        if id == NO_TAXON {
+            return Err(TaxonomyError::ReservedId);
+        }
+        if self.nodes.contains_key(&id) {
+            return Err(TaxonomyError::DuplicateId(id));
+        }
+        self.nodes.insert(id, TaxonNode::new(id, parent, rank, name));
+        Ok(&self.nodes[&id])
+    }
+
+    /// Insert or overwrite a taxon (used when merging taxonomies).
+    pub fn upsert_node(&mut self, node: TaxonNode) {
+        self.nodes.insert(node.id, node);
+    }
+
+    /// Look up a node.
+    pub fn node(&self, id: TaxonId) -> Option<&TaxonNode> {
+        self.nodes.get(&id)
+    }
+
+    /// Whether a taxon exists.
+    pub fn contains(&self, id: TaxonId) -> bool {
+        self.nodes.contains_key(&id)
+    }
+
+    /// Parent of a taxon (None if the taxon is unknown).
+    pub fn parent(&self, id: TaxonId) -> Option<TaxonId> {
+        self.nodes.get(&id).map(|n| n.parent)
+    }
+
+    /// Rank of a taxon.
+    pub fn rank(&self, id: TaxonId) -> Option<Rank> {
+        self.nodes.get(&id).map(|n| n.rank)
+    }
+
+    /// Name of a taxon.
+    pub fn name(&self, id: TaxonId) -> Option<&str> {
+        self.nodes.get(&id).map(|n| n.name.as_str())
+    }
+
+    /// Iterate over all nodes in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &TaxonNode> {
+        self.nodes.values()
+    }
+
+    /// Ids of all taxa with the given rank.
+    pub fn taxa_at_rank(&self, rank: Rank) -> Vec<TaxonId> {
+        let mut v: Vec<TaxonId> = self
+            .nodes
+            .values()
+            .filter(|n| n.rank == rank)
+            .map(|n| n.id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Walk from `id` towards the root, returning the full path including
+    /// `id` itself and the root.
+    ///
+    /// Stops (and truncates) if a parent link is missing or a cycle that does
+    /// not include the root is detected.
+    pub fn path_to_root(&self, id: TaxonId) -> Vec<TaxonId> {
+        let mut path = Vec::new();
+        let mut current = id;
+        for _ in 0..self.nodes.len() + 1 {
+            let Some(node) = self.nodes.get(&current) else {
+                break;
+            };
+            path.push(current);
+            if node.is_root() {
+                break;
+            }
+            current = node.parent;
+        }
+        path
+    }
+
+    /// The ancestor of `id` at exactly the requested rank, if any.
+    pub fn ancestor_at_rank(&self, id: TaxonId, rank: Rank) -> Option<TaxonId> {
+        self.path_to_root(id)
+            .into_iter()
+            .find(|&t| self.rank(t) == Some(rank))
+    }
+
+    /// Lowest common ancestor of two taxa computed by walking to the root.
+    ///
+    /// This is the slow, allocation-free reference implementation; the query
+    /// phase uses [`LineageCache::lca`] which answers in constant time.
+    pub fn lca(&self, a: TaxonId, b: TaxonId) -> TaxonId {
+        if a == NO_TAXON {
+            return b;
+        }
+        if b == NO_TAXON {
+            return a;
+        }
+        let path_a = self.path_to_root(a);
+        let path_b = self.path_to_root(b);
+        let set_a: std::collections::HashSet<TaxonId> = path_a.iter().copied().collect();
+        for t in path_b {
+            if set_a.contains(&t) {
+                return t;
+            }
+        }
+        NO_TAXON
+    }
+
+    /// Check that every node's parent chain reaches the root.
+    pub fn validate(&self) -> Result<(), TaxonomyError> {
+        for node in self.nodes.values() {
+            if !self.nodes.contains_key(&node.parent) {
+                return Err(TaxonomyError::UnknownTaxon(node.parent));
+            }
+            let path = self.path_to_root(node.id);
+            let last = *path.last().expect("path contains at least the node itself");
+            if !self.nodes[&last].is_root() {
+                return Err(TaxonomyError::UnknownTaxon(last));
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the constant-time LCA acceleration structure (paper §4.2: the
+    /// lineage of each target is cached before classification).
+    pub fn lineage_cache(&self) -> LineageCache {
+        LineageCache::build(self)
+    }
+
+    /// Estimated heap size in bytes (used for RAM accounting in Table 3).
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes
+            .values()
+            .map(|n| std::mem::size_of::<TaxonNode>() + n.name.len())
+            .sum::<usize>()
+            + self.nodes.len() * std::mem::size_of::<(TaxonId, TaxonNode)>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small fixture:
+    /// root(1) -> Bacteria(2) -> Proteo(20) -> Entero(200) -> Escherichia(2000)
+    ///   -> E.coli(20000), E.albertii(20001)
+    /// and Bacteria -> Firmicutes(21) -> Bacillales(210) -> Bacillus(2100) -> B.subtilis(21000)
+    pub(crate) fn fixture() -> Taxonomy {
+        let mut t = Taxonomy::with_root();
+        t.add_node(2, 1, Rank::Domain, "Bacteria").unwrap();
+        t.add_node(20, 2, Rank::Phylum, "Proteobacteria").unwrap();
+        t.add_node(200, 20, Rank::Family, "Enterobacteriaceae").unwrap();
+        t.add_node(2000, 200, Rank::Genus, "Escherichia").unwrap();
+        t.add_node(20000, 2000, Rank::Species, "Escherichia coli").unwrap();
+        t.add_node(20001, 2000, Rank::Species, "Escherichia albertii").unwrap();
+        t.add_node(21, 2, Rank::Phylum, "Firmicutes").unwrap();
+        t.add_node(210, 21, Rank::Order, "Bacillales").unwrap();
+        t.add_node(2100, 210, Rank::Genus, "Bacillus").unwrap();
+        t.add_node(21000, 2100, Rank::Species, "Bacillus subtilis").unwrap();
+        t
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let t = fixture();
+        assert_eq!(t.len(), 11);
+        assert_eq!(t.name(2000), Some("Escherichia"));
+        assert_eq!(t.rank(20000), Some(Rank::Species));
+        assert_eq!(t.parent(20000), Some(2000));
+        assert!(t.contains(1));
+        assert!(!t.contains(99999));
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_and_reserved_ids_rejected() {
+        let mut t = Taxonomy::with_root();
+        assert_eq!(t.add_node(0, 1, Rank::Species, "x"), Err(TaxonomyError::ReservedId));
+        t.add_node(5, 1, Rank::Species, "a").unwrap();
+        assert_eq!(
+            t.add_node(5, 1, Rank::Species, "b"),
+            Err(TaxonomyError::DuplicateId(5))
+        );
+    }
+
+    #[test]
+    fn path_to_root_orders_specific_first() {
+        let t = fixture();
+        let path = t.path_to_root(20000);
+        assert_eq!(path, vec![20000, 2000, 200, 20, 2, 1]);
+        assert_eq!(t.path_to_root(1), vec![1]);
+        assert!(t.path_to_root(424242).is_empty());
+    }
+
+    #[test]
+    fn ancestor_at_rank() {
+        let t = fixture();
+        assert_eq!(t.ancestor_at_rank(20000, Rank::Genus), Some(2000));
+        assert_eq!(t.ancestor_at_rank(20000, Rank::Domain), Some(2));
+        assert_eq!(t.ancestor_at_rank(20000, Rank::Kingdom), None);
+        assert_eq!(t.ancestor_at_rank(2000, Rank::Genus), Some(2000));
+    }
+
+    #[test]
+    fn lca_walk() {
+        let t = fixture();
+        assert_eq!(t.lca(20000, 20001), 2000); // same genus
+        assert_eq!(t.lca(20000, 21000), 2); // different phyla -> domain
+        assert_eq!(t.lca(20000, 20000), 20000);
+        assert_eq!(t.lca(20000, 2000), 2000); // ancestor relation
+        assert_eq!(t.lca(0, 20000), 20000); // NO_TAXON is the identity
+        assert_eq!(t.lca(20000, 0), 20000);
+    }
+
+    #[test]
+    fn validate_detects_dangling_parent() {
+        let mut t = Taxonomy::with_root();
+        t.add_node(7, 999, Rank::Species, "orphan").unwrap();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn taxa_at_rank_sorted() {
+        let t = fixture();
+        assert_eq!(t.taxa_at_rank(Rank::Species), vec![20000, 20001, 21000]);
+        assert_eq!(t.taxa_at_rank(Rank::Genus), vec![2000, 2100]);
+        assert!(t.taxa_at_rank(Rank::Kingdom).is_empty());
+    }
+
+    #[test]
+    fn heap_bytes_positive() {
+        assert!(fixture().heap_bytes() > 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Two-stage probing scheme.
+//!
+//! WarpCore's "cooperative probing scheme uses sub-warp tiles … over a hybrid
+//! two-stage probing scheme, where an outer double hashing strategy is used
+//! to suppress table clustering effects, while an inner group-parallel linear
+//! probing scheme ensures coalesced memory access" (paper §3).
+//!
+//! [`ProbingSequence`] reproduces that scheme on the host: the table is
+//! viewed as a sequence of *probing groups* of `group_size` consecutive
+//! slots; the outer double-hashing walk selects group starts and every slot
+//! of a group is visited before moving to the next group. On the simulated
+//! device the `group_size` corresponds to the cooperative-group width used by
+//! the insertion/retrieval kernels.
+
+use mc_kmer::hash::{hash32, hash32_alt};
+use mc_kmer::Feature;
+
+/// Configuration of the probing scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbingConfig {
+    /// Width of the inner linear-probing group (cooperative group size).
+    pub group_size: usize,
+    /// Maximum number of *groups* visited before giving up.
+    pub max_groups: usize,
+}
+
+impl Default for ProbingConfig {
+    /// WarpCore-style defaults: groups of 8 lanes and a generous probe bound.
+    fn default() -> Self {
+        Self {
+            group_size: 8,
+            max_groups: 1024,
+        }
+    }
+}
+
+/// Iterator over slot indices according to the two-stage scheme.
+///
+/// Yields at most `group_size * max_groups` indices, all in `0..capacity`.
+#[derive(Debug, Clone)]
+pub struct ProbingSequence {
+    capacity: usize,
+    group_size: usize,
+    max_groups: usize,
+    /// Number of probing groups the table is divided into.
+    num_groups: usize,
+    /// The group count rounded up to a power of two. The double-hashing walk
+    /// runs in this domain (where any odd stride has full period) and simply
+    /// skips positions that fall beyond `num_groups`, which guarantees every
+    /// real group is eventually visited regardless of the table size.
+    pow2_groups: usize,
+    /// Current group index (in the power-of-two domain, always < num_groups
+    /// when a slot is emitted).
+    group: usize,
+    /// Double-hashing stride in groups (odd, so it is coprime with the
+    /// power-of-two domain size).
+    stride_groups: usize,
+    /// Position within the current group.
+    in_group: usize,
+    /// Groups visited so far.
+    groups_visited: usize,
+}
+
+impl ProbingSequence {
+    /// Start a probing sequence for `key` over a table with `capacity` slots.
+    pub fn new(key: Feature, capacity: usize, config: ProbingConfig) -> Self {
+        let group_size = config.group_size.clamp(1, capacity.max(1));
+        let num_groups = (capacity / group_size).max(1);
+        let pow2_groups = num_groups.next_power_of_two();
+        let start_group = hash32(key) as usize % num_groups;
+        let stride_groups = ((hash32_alt(key) as usize % pow2_groups) | 1).max(1);
+        Self {
+            capacity,
+            group_size,
+            max_groups: config.max_groups.max(1),
+            num_groups,
+            pow2_groups,
+            group: start_group,
+            stride_groups,
+            in_group: 0,
+            groups_visited: 0,
+        }
+    }
+
+    /// The group width used by this sequence.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Advance to the next group that lies within the real table.
+    fn advance_group(&mut self) {
+        loop {
+            self.group = (self.group + self.stride_groups) & (self.pow2_groups - 1);
+            if self.group < self.num_groups {
+                return;
+            }
+        }
+    }
+}
+
+impl Iterator for ProbingSequence {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.capacity == 0 || self.groups_visited >= self.max_groups {
+            return None;
+        }
+        let slot = (self.group * self.group_size + self.in_group) % self.capacity;
+        self.in_group += 1;
+        if self.in_group >= self.group_size {
+            self.in_group = 0;
+            self.groups_visited += 1;
+            self.advance_group();
+        }
+        Some(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn probes_stay_in_bounds() {
+        let cfg = ProbingConfig::default();
+        for key in [0u32, 1, 42, 0xFFFF_FFFF, 123_456_789] {
+            for capacity in [8usize, 64, 100, 1024, 4096] {
+                for slot in ProbingSequence::new(key, capacity, cfg).take(500) {
+                    assert!(slot < capacity, "slot {slot} out of bounds for {capacity}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequence_is_deterministic() {
+        let cfg = ProbingConfig::default();
+        let a: Vec<usize> = ProbingSequence::new(7, 256, cfg).take(64).collect();
+        let b: Vec<usize> = ProbingSequence::new(7, 256, cfg).take(64).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn first_group_is_scanned_linearly() {
+        let cfg = ProbingConfig {
+            group_size: 8,
+            max_groups: 16,
+        };
+        let probes: Vec<usize> = ProbingSequence::new(99, 1024, cfg).take(8).collect();
+        for pair in probes.windows(2) {
+            assert_eq!(pair[1], (pair[0] + 1) % 1024, "inner probing must be linear");
+        }
+    }
+
+    #[test]
+    fn covers_whole_power_of_two_table() {
+        let capacity = 256;
+        let cfg = ProbingConfig {
+            group_size: 8,
+            max_groups: capacity / 8,
+        };
+        for key in [3u32, 77, 1_000_003] {
+            let visited: HashSet<usize> =
+                ProbingSequence::new(key, capacity, cfg).collect();
+            assert_eq!(visited.len(), capacity, "key {key} did not cover the table");
+        }
+    }
+
+    #[test]
+    fn different_keys_start_in_different_groups() {
+        let cfg = ProbingConfig::default();
+        let starts: HashSet<usize> = (0..64u32)
+            .map(|k| ProbingSequence::new(k, 4096, cfg).next().unwrap() / cfg.group_size)
+            .collect();
+        assert!(starts.len() > 32, "group starts should be spread out");
+    }
+
+    #[test]
+    fn respects_max_groups_bound() {
+        let cfg = ProbingConfig {
+            group_size: 4,
+            max_groups: 3,
+        };
+        assert_eq!(ProbingSequence::new(5, 1024, cfg).count(), 12);
+    }
+
+    #[test]
+    fn tiny_tables_do_not_panic() {
+        let cfg = ProbingConfig::default();
+        assert_eq!(ProbingSequence::new(5, 0, cfg).count(), 0);
+        let probes: Vec<usize> = ProbingSequence::new(5, 3, cfg).take(10).collect();
+        assert!(probes.iter().all(|&s| s < 3));
+    }
+}

@@ -1,0 +1,237 @@
+//! WarpCore's Single Value Hash Table.
+//!
+//! Maps every key to exactly one 64-bit value. MetaCache-GPU uses this table
+//! for the *condensed* query-phase layout (§5.1): after loading a database
+//! from disk, all location buckets are stored in one contiguous array and the
+//! single-value table maps each feature to its bucket pointer (offset and
+//! length packed into the value).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use mc_kmer::Feature;
+
+use crate::probing::{ProbingConfig, ProbingSequence};
+use crate::stats::TableStats;
+use crate::TableError;
+
+/// Sentinel marking an unoccupied slot.
+const EMPTY: u64 = u64::MAX;
+
+/// The single-value hash table. See the module documentation.
+pub struct SingleValueHashTable {
+    capacity: usize,
+    probing: ProbingConfig,
+    keys: Vec<AtomicU64>,
+    values: Vec<AtomicU64>,
+    slots_used: AtomicUsize,
+    failed_inserts: AtomicUsize,
+}
+
+impl SingleValueHashTable {
+    /// Allocate a table with `capacity` slots and default probing.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_probing(capacity, ProbingConfig::default())
+    }
+
+    /// Allocate a table with `capacity` slots and an explicit probing scheme.
+    pub fn with_probing(capacity: usize, probing: ProbingConfig) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            probing,
+            keys: (0..capacity).map(|_| AtomicU64::new(EMPTY)).collect(),
+            values: (0..capacity).map(|_| AtomicU64::new(EMPTY)).collect(),
+            slots_used: AtomicUsize::new(0),
+            failed_inserts: AtomicUsize::new(0),
+        }
+    }
+
+    /// Size a table for an expected number of keys at a target load factor.
+    pub fn for_expected_keys(expected_keys: usize, load_factor: f64) -> Self {
+        Self::new(((expected_keys as f64 / load_factor.clamp(0.05, 0.95)).ceil() as usize).max(64))
+    }
+
+    /// Insert a key/value pair. Inserting an existing key overwrites its value.
+    pub fn insert(&self, feature: Feature, value: u64) -> Result<(), TableError> {
+        let key = feature as u64;
+        for slot in ProbingSequence::new(feature, self.capacity, self.probing) {
+            let current = self.keys[slot].load(Ordering::Acquire);
+            if current == key {
+                self.values[slot].store(value, Ordering::Release);
+                return Ok(());
+            }
+            if current == EMPTY {
+                match self.keys[slot].compare_exchange(
+                    EMPTY,
+                    key,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.values[slot].store(value, Ordering::Release);
+                        self.slots_used.fetch_add(1, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                    Err(actual) if actual == key => {
+                        self.values[slot].store(value, Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }
+        self.failed_inserts.fetch_add(1, Ordering::Relaxed);
+        Err(TableError::TableFull)
+    }
+
+    /// Look up a key's value.
+    pub fn get(&self, feature: Feature) -> Option<u64> {
+        let key = feature as u64;
+        for slot in ProbingSequence::new(feature, self.capacity, self.probing) {
+            let current = self.keys[slot].load(Ordering::Acquire);
+            if current == EMPTY {
+                return None;
+            }
+            if current == key {
+                let v = self.values[slot].load(Ordering::Acquire);
+                return if v == EMPTY { None } else { Some(v) };
+            }
+        }
+        None
+    }
+
+    /// Whether a key is present.
+    pub fn contains(&self, feature: Feature) -> bool {
+        self.get(feature).is_some()
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.slots_used.load(Ordering::Relaxed)
+    }
+
+    /// Whether the table has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes of backing storage.
+    pub fn bytes(&self) -> usize {
+        self.capacity * 16
+    }
+
+    /// Visit every stored (key, value) pair in slot order.
+    pub fn for_each(&self, mut f: impl FnMut(Feature, u64)) {
+        for slot in 0..self.capacity {
+            let key = self.keys[slot].load(Ordering::Acquire);
+            if key == EMPTY {
+                continue;
+            }
+            let value = self.values[slot].load(Ordering::Acquire);
+            if value != EMPTY {
+                f(key as Feature, value);
+            }
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> TableStats {
+        TableStats {
+            key_count: self.len(),
+            value_count: self.len(),
+            slot_count: self.capacity,
+            slots_used: self.len(),
+            bytes: self.bytes(),
+            values_dropped: 0,
+            insert_failures: self.failed_inserts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Pack an (offset, length) bucket pointer into a single value: offset in the
+/// low 40 bits, length in the high 24 bits. Used by the condensed layout.
+pub const fn pack_bucket_ref(offset: u64, len: u32) -> u64 {
+    debug_assert!(offset < (1 << 40));
+    debug_assert!(len < (1 << 24));
+    (offset & ((1 << 40) - 1)) | ((len as u64) << 40)
+}
+
+/// Inverse of [`pack_bucket_ref`].
+pub const fn unpack_bucket_ref(value: u64) -> (u64, u32) {
+    (value & ((1 << 40) - 1), (value >> 40) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_contains() {
+        let t = SingleValueHashTable::new(1024);
+        assert!(t.is_empty());
+        t.insert(10, 111).unwrap();
+        t.insert(20, 222).unwrap();
+        assert_eq!(t.get(10), Some(111));
+        assert_eq!(t.get(20), Some(222));
+        assert_eq!(t.get(30), None);
+        assert!(t.contains(10));
+        assert!(!t.contains(30));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_overwrites() {
+        let t = SingleValueHashTable::new(256);
+        t.insert(5, 1).unwrap();
+        t.insert(5, 2).unwrap();
+        assert_eq!(t.get(5), Some(2));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn fills_to_high_load_factor() {
+        let t = SingleValueHashTable::for_expected_keys(10_000, 0.8);
+        for k in 0..10_000u32 {
+            t.insert(k, k as u64 * 3).unwrap();
+        }
+        for k in (0..10_000u32).step_by(101) {
+            assert_eq!(t.get(k), Some(k as u64 * 3));
+        }
+        assert!(t.stats().load_factor() > 0.7);
+    }
+
+    #[test]
+    fn bucket_ref_packing_roundtrip() {
+        for (off, len) in [(0u64, 0u32), (1, 1), (123_456_789, 254), ((1 << 40) - 1, (1 << 24) - 1)] {
+            let packed = pack_bucket_ref(off, len);
+            assert_eq!(unpack_bucket_ref(packed), (off, len));
+        }
+    }
+
+    #[test]
+    fn concurrent_distinct_key_inserts() {
+        let t = Arc::new(SingleValueHashTable::new(1 << 15));
+        let handles: Vec<_> = (0..8u32)
+            .map(|tid| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || {
+                    for i in 0..1000u32 {
+                        let key = tid * 10_000 + i;
+                        t.insert(key, key as u64).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 8000);
+        for tid in 0..8u32 {
+            for i in (0..1000u32).step_by(111) {
+                let key = tid * 10_000 + i;
+                assert_eq!(t.get(key), Some(key as u64));
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Table statistics.
+
+/// A snapshot of a table's occupancy and memory footprint.
+///
+/// The experiment harness uses these numbers for the database-size and
+/// GPU-memory columns of Table 3 and for the multi-bucket vs multi-value vs
+/// bucket-list memory comparison described in §6 of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TableStats {
+    /// Number of distinct keys stored.
+    pub key_count: usize,
+    /// Number of stored key/value pairs (after any per-key cap).
+    pub value_count: usize,
+    /// Number of slots in the table (0 for dynamically allocated layouts).
+    pub slot_count: usize,
+    /// Number of occupied slots.
+    pub slots_used: usize,
+    /// Total bytes of backing storage.
+    pub bytes: usize,
+    /// Values dropped because a per-key limit was hit.
+    pub values_dropped: usize,
+    /// Insertions that failed because probing was exhausted.
+    pub insert_failures: usize,
+}
+
+impl TableStats {
+    /// Fraction of slots occupied (0 when the layout is not slot based).
+    pub fn load_factor(&self) -> f64 {
+        if self.slot_count == 0 {
+            0.0
+        } else {
+            self.slots_used as f64 / self.slot_count as f64
+        }
+    }
+
+    /// Average number of values per distinct key.
+    pub fn values_per_key(&self) -> f64 {
+        if self.key_count == 0 {
+            0.0
+        } else {
+            self.value_count as f64 / self.key_count as f64
+        }
+    }
+
+    /// Storage bytes per stored value — the storage-density metric the paper
+    /// uses to motivate the multi-bucket layout.
+    pub fn bytes_per_value(&self) -> f64 {
+        if self.value_count == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.value_count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let stats = TableStats {
+            key_count: 10,
+            value_count: 40,
+            slot_count: 100,
+            slots_used: 25,
+            bytes: 800,
+            values_dropped: 2,
+            insert_failures: 0,
+        };
+        assert!((stats.load_factor() - 0.25).abs() < 1e-12);
+        assert!((stats.values_per_key() - 4.0).abs() < 1e-12);
+        assert!((stats.bytes_per_value() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_do_not_divide_by_zero() {
+        let stats = TableStats::default();
+        assert_eq!(stats.load_factor(), 0.0);
+        assert_eq!(stats.values_per_key(), 0.0);
+        assert_eq!(stats.bytes_per_value(), 0.0);
+    }
+}

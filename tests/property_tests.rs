@@ -1,0 +1,189 @@
+//! Property-based tests (proptest) of the core invariants:
+//! encoding round-trips, canonical k-mer strand independence, hash-table
+//! insert/query consistency across every variant, segmented-sort correctness,
+//! sketch stability and LCA algebra.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mc_gpu_sim::segmented_sort;
+use mc_kmer::{
+    canonical, reverse_complement, CanonicalKmerIter, EncodedSequence, KmerParams, Location,
+};
+use mc_taxonomy::{Rank, Taxonomy};
+use mc_warpcore::{
+    BucketListConfig, BucketListHashTable, FeatureStore, HostHashTable, HostTableConfig,
+    MultiBucketConfig, MultiBucketHashTable, MultiValueConfig, MultiValueHashTable,
+};
+use metacache::{MetaCacheConfig, Sketcher};
+
+fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    vec(prop_oneof![
+        Just(b'A'),
+        Just(b'C'),
+        Just(b'G'),
+        Just(b'T'),
+        Just(b'N'),
+    ], 0..max_len)
+}
+
+fn clean_dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn encoded_sequence_roundtrips(seq in dna(600)) {
+        let encoded = EncodedSequence::from_ascii(&seq);
+        prop_assert_eq!(encoded.len(), seq.len());
+        prop_assert_eq!(encoded.to_ascii(), seq);
+    }
+
+    #[test]
+    fn reverse_complement_involution(seq in clean_dna(400)) {
+        prop_assert_eq!(reverse_complement(&reverse_complement(&seq)), seq);
+    }
+
+    #[test]
+    fn canonical_kmers_are_strand_independent(seq in clean_dna(300), k in 2u32..24) {
+        let params = KmerParams::new(k).unwrap();
+        let fwd: Vec<u64> = CanonicalKmerIter::new(&seq, params).map(|x| x.value()).collect();
+        let mut rev: Vec<u64> = CanonicalKmerIter::new(&reverse_complement(&seq), params)
+            .map(|x| x.value())
+            .collect();
+        rev.reverse();
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn canonical_is_idempotent(value in any::<u64>(), k in 1u32..=32) {
+        let params = KmerParams::new(k).unwrap();
+        let c = canonical(value, params);
+        prop_assert_eq!(canonical(c, params), c);
+    }
+
+    #[test]
+    fn every_table_variant_returns_what_was_inserted(
+        pairs in vec((0u32..500, 0u32..50, 0u32..1000), 1..300)
+    ) {
+        // Build the same content in all four variants and compare per-key
+        // multisets of locations.
+        let n = pairs.len();
+        let mb = MultiBucketHashTable::new(MultiBucketConfig {
+            max_locations_per_key: usize::MAX >> 1,
+            ..MultiBucketConfig::for_expected_values(n, 0.5)
+        });
+        let mv = MultiValueHashTable::new(MultiValueConfig {
+            max_locations_per_key: usize::MAX >> 1,
+            ..MultiValueConfig::for_expected_values(n, 0.5)
+        });
+        let bl = BucketListHashTable::new(BucketListConfig {
+            capacity_keys: 2 * n + 64,
+            max_locations_per_key: usize::MAX >> 1,
+            ..Default::default()
+        });
+        let host = HostHashTable::new(HostTableConfig {
+            max_locations_per_key: usize::MAX >> 1,
+            ..Default::default()
+        });
+        let mut expected: std::collections::BTreeMap<u32, Vec<Location>> = Default::default();
+        for (key, target, window) in &pairs {
+            let loc = Location::new(*target, *window);
+            expected.entry(*key).or_default().push(loc);
+            mb.insert(*key, loc).unwrap();
+            mv.insert(*key, loc).unwrap();
+            bl.insert(*key, loc).unwrap();
+            host.insert(*key, loc).unwrap();
+        }
+        for (key, locs) in &expected {
+            let mut want = locs.clone();
+            want.sort();
+            for table in [&mb as &dyn FeatureStore, &mv, &bl, &host] {
+                let mut got = table.query(*key);
+                got.sort();
+                prop_assert_eq!(&got, &want, "key {} mismatch", key);
+            }
+        }
+        // Absent keys return nothing.
+        for probe in 1000u32..1010 {
+            prop_assert!(mb.query(probe).is_empty());
+            prop_assert!(host.query(probe).is_empty());
+        }
+    }
+
+    #[test]
+    fn segmented_sort_sorts_each_segment(
+        keys in vec(any::<u64>(), 0..2000),
+        cuts in vec(0usize..2000, 0..8)
+    ) {
+        let n = keys.len();
+        let mut bounds: Vec<usize> = cuts.into_iter().map(|c| c.min(n)).collect();
+        bounds.push(0);
+        bounds.push(n);
+        bounds.sort_unstable();
+        let mut data = keys.clone();
+        segmented_sort(&mut data, &bounds);
+        // Each segment is sorted and is a permutation of the original segment.
+        for w in bounds.windows(2) {
+            let mut original = keys[w[0]..w[1]].to_vec();
+            original.sort_unstable();
+            prop_assert_eq!(&data[w[0]..w[1]], original.as_slice());
+        }
+    }
+
+    #[test]
+    fn sketches_are_subsets_of_smaller_sketch_sizes(seq in clean_dna(200), s in 1usize..32) {
+        // A sketch of size s must be a prefix of the sketch of size s+8 over
+        // the same window (monotonicity of "s smallest distinct hashes").
+        let small_cfg = MetaCacheConfig { sketch_size: s, ..MetaCacheConfig::default() };
+        let large_cfg = MetaCacheConfig { sketch_size: s + 8, ..MetaCacheConfig::default() };
+        let small = Sketcher::new(&small_cfg).unwrap().sketch_window(&seq);
+        let large = Sketcher::new(&large_cfg).unwrap().sketch_window(&seq);
+        prop_assert!(small.len() <= large.len());
+        prop_assert_eq!(small.features(), &large.features()[..small.len()]);
+    }
+
+    #[test]
+    fn lca_is_commutative_and_idempotent(
+        a_idx in 0usize..12,
+        b_idx in 0usize..12
+    ) {
+        // Fixed small taxonomy; indices choose taxa.
+        let mut taxonomy = Taxonomy::with_root();
+        taxonomy.add_node(2, 1, Rank::Domain, "D").unwrap();
+        for g in 0..3u32 {
+            taxonomy.add_node(10 + g, 2, Rank::Genus, format!("G{g}")).unwrap();
+            for s in 0..3u32 {
+                taxonomy
+                    .add_node(100 + g * 10 + s, 10 + g, Rank::Species, format!("S{g}{s}"))
+                    .unwrap();
+            }
+        }
+        let ids: Vec<u32> = taxonomy.iter().map(|n| n.id).collect();
+        let a = ids[a_idx % ids.len()];
+        let b = ids[b_idx % ids.len()];
+        let cache = taxonomy.lineage_cache();
+        prop_assert_eq!(cache.lca(a, b), cache.lca(b, a));
+        prop_assert_eq!(cache.lca(a, a), a);
+        let l = cache.lca(a, b);
+        prop_assert_eq!(cache.lca(l, a), l);
+        prop_assert_eq!(cache.lca(l, b), l);
+        prop_assert_eq!(cache.lca(a, b), taxonomy.lca(a, b));
+    }
+
+    #[test]
+    fn window_count_statistic_conserves_hits(
+        locs in vec((0u32..20, 0u32..100), 0..500)
+    ) {
+        let mut locations: Vec<Location> =
+            locs.iter().map(|(t, w)| Location::new(*t, *w)).collect();
+        locations.sort_unstable_by_key(|l| l.pack());
+        let counts = metacache::candidate::accumulate_locations(&locations);
+        let total: u32 = counts.iter().map(|(_, c)| *c).sum();
+        prop_assert_eq!(total as usize, locations.len());
+        // Accumulated locations are strictly increasing.
+        prop_assert!(counts.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+}
