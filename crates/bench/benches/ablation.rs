@@ -44,7 +44,12 @@ fn bench_sketch_size(c: &mut Criterion) {
 fn bench_bucket_width(c: &mut Criterion) {
     let n = 50_000usize;
     let pairs: Vec<(u32, Location)> = (0..n)
-        .map(|i| (hash32((i % (n / 4)) as u32), Location::new(i as u32 % 16, i as u32)))
+        .map(|i| {
+            (
+                hash32((i % (n / 4)) as u32),
+                Location::new(i as u32 % 16, i as u32),
+            )
+        })
         .collect();
     let mut group = c.benchmark_group("ablation_bucket_width");
     for &bucket_size in &[1usize, 2, 4, 8] {

@@ -18,7 +18,9 @@ fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("database_build");
     group.throughput(Throughput::Bytes(bases));
     group.bench_function("metacache_cpu", |b| {
-        b.iter(|| setup::build_metacache_cpu(MetaCacheConfig::for_tests(), &refs.refseq).table_bytes)
+        b.iter(|| {
+            setup::build_metacache_cpu(MetaCacheConfig::for_tests(), &refs.refseq).table_bytes
+        })
     });
     group.bench_function("metacache_gpu_4dev", |b| {
         let system = MultiGpuSystem::dgx1(4);

@@ -1,0 +1,131 @@
+//! End-to-end read-classification throughput (reads/sec through
+//! `Classifier::classify_batch`) on a synthetic `mc-datagen` community.
+//!
+//! Three variants over identical reads and an identical database:
+//!
+//! * `baseline_collect_sort` — the original query path reconstructed from
+//!   the retained oracle pieces: per-window collect→sort→dedup sketching
+//!   ([`metacache::Sketcher::sketch_record_baseline`]), fresh `Vec`s per
+//!   read, and a global `sort_unstable_by_key` over all gathered locations.
+//! * `scratch_sequential` — the zero-allocation hot path
+//!   ([`metacache::query::Classifier::classify_all_sequential`]): one reused
+//!   `QueryScratch`, bounded top-s sketching and the natural-run merge. The
+//!   acceptance criterion compares this against `baseline_collect_sort`
+//!   (target ≥ 1.5×).
+//! * `scratch_parallel` — the production path (`classify_batch`): one
+//!   scratch per rayon worker via `map_init`.
+//!
+//! Run with `BENCH_JSON=BENCH_query.json cargo bench -p mc-bench --bench
+//! query_throughput` to record the measurements (see `BENCH_query.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use mc_datagen::community::{RefSeqLikeSpec, ReferenceCollection};
+use mc_datagen::profiles::DatasetProfile;
+use mc_datagen::reads::ReadSimulator;
+use mc_datagen::taxonomy_gen::TaxonomySpec;
+use mc_kmer::Location;
+use mc_seqio::SequenceRecord;
+use metacache::build::CpuBuilder;
+use metacache::candidate::{accumulate_locations, top_candidates};
+use metacache::classify::{classify_candidates, Classification};
+use metacache::query::Classifier;
+use metacache::{Database, MetaCacheConfig};
+
+fn community() -> ReferenceCollection {
+    ReferenceCollection::refseq_like(RefSeqLikeSpec {
+        taxonomy: TaxonomySpec {
+            genera: 6,
+            species_per_genus: 3,
+            families: 3,
+        },
+        genome_length: 40_000,
+        strains_per_species: 1,
+        seed: 2024,
+    })
+}
+
+fn build_database(collection: &ReferenceCollection) -> Database {
+    let mut builder = CpuBuilder::new(MetaCacheConfig::default(), collection.taxonomy.clone());
+    for target in &collection.targets {
+        builder
+            .add_target(target.to_record(), target.taxon)
+            .expect("valid targets");
+    }
+    builder.finish()
+}
+
+/// The pre-refactor query path, assembled from the retained oracle APIs:
+/// allocating sketches per window, fresh location/count vectors per read,
+/// global comparison sort over the gathered locations.
+fn classify_baseline(
+    db: &Database,
+    classifier: &Classifier,
+    read: &SequenceRecord,
+) -> Classification {
+    let read_sketch = classifier.sketcher().sketch_record_baseline(read);
+    let mut locations: Vec<Location> = Vec::new();
+    for feature in read_sketch.all_features() {
+        db.query_feature_into(feature, &mut locations);
+    }
+    locations.sort_unstable_by_key(|l| l.pack());
+    let counts = accumulate_locations(&locations);
+    let sws = db.config.sliding_window_size(read_sketch.total_len);
+    let candidates = top_candidates(&counts, sws, db.config.top_candidates);
+    classify_candidates(db, &db.config, &candidates)
+}
+
+fn bench_query_throughput(c: &mut Criterion) {
+    let collection = community();
+    let db = build_database(&collection);
+    let classifier = Classifier::new(&db);
+    let reads = ReadSimulator::new(DatasetProfile::hiseq(), 2_000)
+        .with_seed(7)
+        .simulate(&collection)
+        .reads;
+
+    // The refactor must not change any classification.
+    let baseline: Vec<Classification> = reads
+        .iter()
+        .map(|r| classify_baseline(&db, &classifier, r))
+        .collect();
+    let scratch = classifier.classify_all_sequential(&reads);
+    assert_eq!(baseline, scratch, "scratch path diverged from baseline");
+
+    let mut group = c.benchmark_group("query_throughput");
+    group.throughput(Throughput::Elements(reads.len() as u64));
+    group.bench_function("baseline_collect_sort", |b| {
+        b.iter(|| {
+            reads
+                .iter()
+                .filter(|r| classify_baseline(&db, &classifier, r).is_classified())
+                .count()
+        })
+    });
+    group.bench_function("scratch_sequential", |b| {
+        b.iter(|| {
+            classifier
+                .classify_all_sequential(&reads)
+                .iter()
+                .filter(|c| c.is_classified())
+                .count()
+        })
+    });
+    group.bench_function("scratch_parallel", |b| {
+        b.iter(|| {
+            classifier
+                .classify_batch(&reads)
+                .iter()
+                .filter(|c| c.is_classified())
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_query_throughput
+}
+criterion_main!(benches);

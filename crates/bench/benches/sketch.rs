@@ -1,11 +1,16 @@
-//! Criterion benchmarks of minhash sketching: host reference path vs the
-//! warp-kernel formulation (steps 1–3 of the GPU pipeline, §5.3).
+//! Criterion benchmarks of minhash sketching: the retained collect-sort
+//! baseline vs the bounded top-s scratch path (host), and the warp-kernel
+//! formulation (steps 1–3 of the GPU pipeline, §5.3).
+//!
+//! The `host_scratch` / `host_baseline` pair is the acceptance measurement
+//! for the zero-allocation sketching refactor (target: ≥ 1.5× speedup on the
+//! same inputs).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use mc_gpu_sim::Warp;
-use metacache::gpu::warp_sketch_window;
-use metacache::{MetaCacheConfig, Sketcher};
+use metacache::gpu::{warp_sketch_window_into, WarpSketchScratch};
+use metacache::{MetaCacheConfig, SketchScratch, Sketcher};
 
 fn make_seq(len: usize, seed: u64) -> Vec<u8> {
     let mut state = seed | 1;
@@ -27,21 +32,47 @@ fn bench_sketch(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("sketching");
     group.throughput(Throughput::Bytes(total_bases));
-    group.bench_function("host_sketcher", |b| {
+    group.bench_function("host_baseline", |b| {
         b.iter(|| {
             windows
                 .iter()
-                .map(|w| sketcher.sketch_window(w).len())
+                .map(|w| sketcher.sketch_window_baseline(w).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("host_scratch", |b| {
+        let mut scratch = SketchScratch::with_capacity(config.sketch_size);
+        let mut features = Vec::with_capacity(config.sketch_size);
+        b.iter(|| {
+            windows
+                .iter()
+                .map(|w| {
+                    features.clear();
+                    sketcher.sketch_window_into(w, &mut scratch, &mut features)
+                })
                 .sum::<usize>()
         })
     });
     group.bench_function("warp_kernel", |b| {
         let warp = Warp::new(0);
         let kmer = sketcher.window_params().kmer();
+        let mut scratch = WarpSketchScratch::new();
+        let mut features = Vec::with_capacity(config.sketch_size);
         b.iter(|| {
             windows
                 .iter()
-                .map(|w| warp_sketch_window(&warp, w, kmer, config.sketch_size).0.len())
+                .map(|w| {
+                    features.clear();
+                    warp_sketch_window_into(
+                        &warp,
+                        w,
+                        kmer,
+                        config.sketch_size,
+                        &mut scratch,
+                        &mut features,
+                    );
+                    features.len()
+                })
                 .sum::<usize>()
         })
     });
@@ -56,6 +87,17 @@ fn bench_reference_sketching(c: &mut Criterion) {
     group.throughput(Throughput::Bytes(genome.len() as u64));
     group.bench_function("sketch_reference_500kb", |b| {
         b.iter(|| sketcher.sketch_reference(&genome).len())
+    });
+    group.bench_function("visitor_scratch_500kb", |b| {
+        let mut scratch = SketchScratch::with_capacity(config.sketch_size);
+        b.iter(|| {
+            let mut windows = 0usize;
+            sketcher.for_each_window_sketch(&genome, &mut scratch, |_, _| {
+                windows += 1;
+                std::ops::ControlFlow::Continue(())
+            });
+            windows
+        })
     });
     group.finish();
 }

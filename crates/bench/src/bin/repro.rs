@@ -16,9 +16,7 @@
 
 use std::collections::BTreeSet;
 
-use mc_bench::experiments::{
-    accuracy, breakdown, build_perf, datasets, query_perf, tablemem, ttq,
-};
+use mc_bench::experiments::{accuracy, breakdown, build_perf, datasets, query_perf, tablemem, ttq};
 use mc_bench::ExperimentScale;
 
 fn usage() -> ! {
@@ -53,8 +51,17 @@ fn main() {
     }
     if requested.contains("all") {
         for e in [
-            "table1", "table2", "table3", "table4", "table5", "fig4", "table6", "abundance",
-            "fig5", "tablemem", "ablation",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "fig4",
+            "table6",
+            "abundance",
+            "fig5",
+            "tablemem",
+            "ablation",
         ] {
             requested.insert(e.to_string());
         }

@@ -147,9 +147,9 @@ pub fn run(scale: &ExperimentScale) -> AccuracyResult {
         // MetaCache CPU.
         let classifier = Classifier::new(cpu_db);
         let calls = classifier.classify_batch(&reads.reads);
-        result
-            .rows
-            .push(evaluate_metacache(cpu_db, &calls, &truth, dataset, "MC CPU"));
+        result.rows.push(evaluate_metacache(
+            cpu_db, &calls, &truth, dataset, "MC CPU",
+        ));
 
         // MetaCache GPU (small and large partition counts).
         for (db, system, label) in [
@@ -184,7 +184,9 @@ pub fn run(scale: &ExperimentScale) -> AccuracyResult {
     let truth = &workloads.kal_d_truth;
     let reads = &workloads.kal_d.reads;
 
-    let gpu_calls = GpuClassifier::new(afs_gpu_db, &afs_system).classify_all(reads).0;
+    let gpu_calls = GpuClassifier::new(afs_gpu_db, &afs_system)
+        .classify_all(reads)
+        .0;
     let gpu_profile = AbundanceProfile::estimate(afs_gpu_db, &gpu_calls);
     result.abundance.push(AbundanceRow {
         method: "MC GPU".into(),
@@ -282,8 +284,16 @@ mod tests {
             assert!(row.deviation >= 0.0 && row.deviation <= 2.0);
             assert!(row.false_positives >= 0.0 && row.false_positives <= 1.0);
         }
-        let mc_gpu = result.abundance.iter().find(|r| r.method == "MC GPU").unwrap();
-        assert!(mc_gpu.deviation < 0.75, "MC GPU deviation {}", mc_gpu.deviation);
+        let mc_gpu = result
+            .abundance
+            .iter()
+            .find(|r| r.method == "MC GPU")
+            .unwrap();
+        assert!(
+            mc_gpu.deviation < 0.75,
+            "MC GPU deviation {}",
+            mc_gpu.deviation
+        );
         let text = render(&result);
         assert!(text.contains("Table 6"));
         assert!(text.contains("False positives"));

@@ -115,7 +115,11 @@ mod tests {
         for row in &result.rows {
             let total =
                 row.transfer + row.sketch_query + row.compact + row.sort + row.top_candidates;
-            assert!((total - 1.0).abs() < 1e-6, "{}: shares sum to {total}", row.dataset);
+            assert!(
+                (total - 1.0).abs() < 1e-6,
+                "{}: shares sum to {total}",
+                row.dataset
+            );
             // Every stage participates.
             assert!(row.sketch_query > 0.0);
             assert!(row.sort > 0.0);

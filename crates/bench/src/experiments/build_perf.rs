@@ -79,7 +79,11 @@ pub fn run(scale: &ExperimentScale) -> BuildPerfResult {
             &refs.refseq,
             vec![scale.small_gpu_count, scale.large_gpu_count],
         ),
-        ("AFS-like+RefSeq-like", &refs.afs_refseq, vec![scale.large_gpu_count]),
+        (
+            "AFS-like+RefSeq-like",
+            &refs.afs_refseq,
+            vec![scale.large_gpu_count],
+        ),
     ] {
         // Kraken2 baseline (the paper reports only its total time).
         let kraken = setup::build_kraken2(collection);
@@ -192,7 +196,10 @@ mod tests {
             .find(|r| r.database == "RefSeq-like" && r.method.contains("GPU"))
             .unwrap()
             .ram_bytes;
-        assert!(gpu_ram * 2 < cpu_ram, "gpu ram {gpu_ram} vs cpu ram {cpu_ram}");
+        assert!(
+            gpu_ram * 2 < cpu_ram,
+            "gpu ram {gpu_ram} vs cpu ram {cpu_ram}"
+        );
         let text = render(&result);
         assert!(text.contains("Table 3"));
         assert!(text.contains("MC CPU"));

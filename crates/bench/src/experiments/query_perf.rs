@@ -91,7 +91,10 @@ pub fn run(scale: &ExperimentScale) -> QueryPerfResult {
                 database: db_name.into(),
                 secs,
                 reads_per_minute: reads_per_minute(reads.len(), secs),
-                classified_fraction: fraction(calls.iter().filter(|c| c.is_classified()).count(), reads.len()),
+                classified_fraction: fraction(
+                    calls.iter().filter(|c| c.is_classified()).count(),
+                    reads.len(),
+                ),
                 simulated: false,
             });
 
@@ -106,7 +109,10 @@ pub fn run(scale: &ExperimentScale) -> QueryPerfResult {
                 database: db_name.into(),
                 secs,
                 reads_per_minute: reads_per_minute(reads.len(), secs),
-                classified_fraction: fraction(calls.iter().filter(|c| c.is_classified()).count(), reads.len()),
+                classified_fraction: fraction(
+                    calls.iter().filter(|c| c.is_classified()).count(),
+                    reads.len(),
+                ),
                 simulated: false,
             });
 
@@ -121,7 +127,10 @@ pub fn run(scale: &ExperimentScale) -> QueryPerfResult {
                 database: db_name.into(),
                 secs,
                 reads_per_minute: reads_per_minute(reads.len(), secs),
-                classified_fraction: fraction(calls.iter().filter(|c| c.is_classified()).count(), reads.len()),
+                classified_fraction: fraction(
+                    calls.iter().filter(|c| c.is_classified()).count(),
+                    reads.len(),
+                ),
                 simulated: true,
             });
         }

@@ -171,9 +171,7 @@ pub fn run(scale: &ExperimentScale) -> TableMemResult {
             ..MetaCacheConfig::default()
         };
         let sketcher = Sketcher::new(&config).expect("valid");
-        let window: Vec<u8> = (0..127)
-            .map(|i| b"ACGT"[(i * 7 + i / 3) % 4])
-            .collect();
+        let window: Vec<u8> = (0..127).map(|i| b"ACGT"[(i * 7 + i / 3) % 4]).collect();
         let features = sketcher.sketch_window(&window).len();
         result.ablation.push(AblationRow {
             parameter: "sketch size".into(),

@@ -244,7 +244,10 @@ mod tests {
             let wl = rows.iter().find(|r| r.method.contains("GPUs W+L")).unwrap();
             let kraken = rows.iter().find(|r| r.method == "Kraken2").unwrap();
             assert!(otf.ttq_secs < wl.ttq_secs, "{db}: OTF must beat W+L");
-            assert!(otf.ttq_secs < kraken.ttq_secs, "{db}: OTF must beat Kraken2");
+            assert!(
+                otf.ttq_secs < kraken.ttq_secs,
+                "{db}: OTF must beat Kraken2"
+            );
             assert!(otf.speedup >= wl.speedup);
             // OTF bars have no write/load phases.
             let otf_bar = result

@@ -28,8 +28,7 @@ impl ReferenceSetup {
     /// Generate both collections for a scale.
     pub fn generate(scale: &ExperimentScale) -> Self {
         let refseq = ReferenceCollection::refseq_like(scale.refseq);
-        let afs_refseq =
-            ReferenceCollection::refseq_like(scale.refseq).with_afs_like(scale.afs);
+        let afs_refseq = ReferenceCollection::refseq_like(scale.refseq).with_afs_like(scale.afs);
         Self { refseq, afs_refseq }
     }
 }
@@ -183,8 +182,7 @@ pub fn build_metacache_gpu(
     system.reset_clocks();
     let start = Instant::now();
     let records: Vec<SequenceRecord> = collection.to_records();
-    let expected =
-        estimate_locations(&config, &records) / system.device_count().max(1) + 4096;
+    let expected = estimate_locations(&config, &records) / system.device_count().max(1) + 4096;
     let mut builder = GpuBuilder::new(config, collection.taxonomy.clone(), system, expected)
         .expect("device memory suffices at experiment scale");
     for target in &collection.targets {
@@ -208,9 +206,8 @@ pub fn build_metacache_gpu(
 /// Build a Kraken2-style database.
 pub fn build_kraken2(collection: &ReferenceCollection) -> BuiltDatabase {
     let start = Instant::now();
-    let mut builder =
-        Kraken2Builder::new(Kraken2Config::default(), collection.taxonomy.clone())
-            .expect("valid config");
+    let mut builder = Kraken2Builder::new(Kraken2Config::default(), collection.taxonomy.clone())
+        .expect("valid config");
     for target in &collection.targets {
         builder
             .add_target(&target.to_record(), target.taxon)

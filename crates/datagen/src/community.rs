@@ -114,8 +114,10 @@ impl ReferenceCollection {
                     let genome = if strain == 0 {
                         species_genome.clone()
                     } else {
-                        species_genome
-                            .mutate(MutationModel::strain(), spec.seed ^ (taxon as u64) ^ (strain as u64) << 32)
+                        species_genome.mutate(
+                            MutationModel::strain(),
+                            spec.seed ^ (taxon as u64) ^ (strain as u64) << 32,
+                        )
                     };
                     targets.push(ReferenceTarget {
                         header: format!(
@@ -150,7 +152,12 @@ impl ReferenceCollection {
                 .add_node(genus, ids::DOMAIN, Rank::Genus, format!("FoodGenus{i:02}"))
                 .ok();
             self.taxonomy
-                .add_node(species, genus, Rank::Species, format!("Food species {i:02}"))
+                .add_node(
+                    species,
+                    genus,
+                    Rank::Species,
+                    format!("Food species {i:02}"),
+                )
                 .ok();
             let genome = SyntheticGenome::generate(GenomeSpec {
                 length: spec.genome_length,
@@ -226,7 +233,10 @@ mod tests {
         // Mutation introduces a few indels, so target lengths are only
         // approximately the configured genome length.
         let mean_len = coll.total_bases() as f64 / coll.target_count() as f64;
-        assert!((mean_len - 10_000.0).abs() < 100.0, "mean target length {mean_len}");
+        assert!(
+            (mean_len - 10_000.0).abs() < 100.0,
+            "mean target length {mean_len}"
+        );
         assert!(coll.taxonomy.validate().is_ok());
         // Every target's taxon must be a species in the taxonomy.
         for t in &coll.targets {
@@ -241,7 +251,10 @@ mod tests {
         let b = ReferenceCollection::refseq_like(spec);
         assert_eq!(a.target_count(), b.target_count());
         assert_eq!(a.targets[0].sequence, b.targets[0].sequence);
-        assert_eq!(a.targets.last().unwrap().sequence, b.targets.last().unwrap().sequence);
+        assert_eq!(
+            a.targets.last().unwrap().sequence,
+            b.targets.last().unwrap().sequence
+        );
     }
 
     #[test]

@@ -194,7 +194,10 @@ mod tests {
             seed: 42,
             ..Default::default()
         };
-        assert_eq!(SyntheticGenome::generate(spec), SyntheticGenome::generate(spec));
+        assert_eq!(
+            SyntheticGenome::generate(spec),
+            SyntheticGenome::generate(spec)
+        );
         let other = SyntheticGenome::generate(GenomeSpec { seed: 43, ..spec });
         assert_ne!(SyntheticGenome::generate(spec), other);
     }
@@ -206,7 +209,10 @@ mod tests {
             ..Default::default()
         });
         assert_eq!(g.len(), 5_000);
-        assert!(g.sequence.iter().all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')));
+        assert!(g
+            .sequence
+            .iter()
+            .all(|b| matches!(b, b'A' | b'C' | b'G' | b'T')));
     }
 
     #[test]
@@ -218,7 +224,11 @@ mod tests {
                 seed: 7,
                 ..Default::default()
             });
-            assert!((g.gc_fraction() - gc).abs() < 0.02, "gc {gc} -> {}", g.gc_fraction());
+            assert!(
+                (g.gc_fraction() - gc).abs() < 0.02,
+                "gc {gc} -> {}",
+                g.gc_fraction()
+            );
         }
     }
 
@@ -232,7 +242,7 @@ mod tests {
         assert_eq!(g.scaffold_count(), 37);
         let total: usize = (0..37).map(|i| g.scaffold(i).len()).sum();
         assert_eq!(total, 100_000);
-        assert!(g.scaffold(0).len() > 0);
+        assert!(!g.scaffold(0).is_empty());
     }
 
     /// Fraction of the mutant's 31-mers (sampled) that also occur in the
@@ -257,7 +267,10 @@ mod tests {
         // A 31-mer survives strain-level mutation with probability
         // ~(1 - 0.6%)^31 ≈ 0.83; require a conservative 60%.
         let containment = kmer_containment(&g.sequence, &m.sequence);
-        assert!(containment > 0.6, "strain-level k-mer containment {containment}");
+        assert!(
+            containment > 0.6,
+            "strain-level k-mer containment {containment}"
+        );
     }
 
     #[test]
@@ -273,13 +286,22 @@ mod tests {
             strain > genus,
             "strain containment {strain} should exceed genus containment {genus}"
         );
-        assert!(genus < 0.1, "genus-level genomes should share few exact 31-mers");
+        assert!(
+            genus < 0.1,
+            "genus-level genomes should share few exact 31-mers"
+        );
     }
 
     #[test]
     fn mutation_is_deterministic_per_seed() {
         let g = SyntheticGenome::generate(GenomeSpec::default());
-        assert_eq!(g.mutate(MutationModel::species(), 3), g.mutate(MutationModel::species(), 3));
-        assert_ne!(g.mutate(MutationModel::species(), 3), g.mutate(MutationModel::species(), 4));
+        assert_eq!(
+            g.mutate(MutationModel::species(), 3),
+            g.mutate(MutationModel::species(), 3)
+        );
+        assert_ne!(
+            g.mutate(MutationModel::species(), 3),
+            g.mutate(MutationModel::species(), 4)
+        );
     }
 }

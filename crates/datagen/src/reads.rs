@@ -220,8 +220,13 @@ impl ReadSimulator {
                 read_len
             };
             let max_start = target.sequence.len().saturating_sub(span);
-            let start = if max_start == 0 { 0 } else { rng.gen_range(0..=max_start) };
-            let mut seq = target.sequence[start..(start + read_len).min(target.sequence.len())].to_vec();
+            let start = if max_start == 0 {
+                0
+            } else {
+                rng.gen_range(0..=max_start)
+            };
+            let mut seq =
+                target.sequence[start..(start + read_len).min(target.sequence.len())].to_vec();
             self.apply_errors(&mut seq, &mut rng);
             let header = format!(
                 "synread_{}_{read_index} target={target_index} taxon={}",
@@ -315,7 +320,10 @@ mod tests {
         let (min, max, _) = reads.length_stats();
         assert_eq!((min, max), (101, 101));
         assert!(reads.reads.iter().all(|r| r.is_paired()));
-        assert!(reads.reads.iter().all(|r| r.quality.len() == r.sequence.len()));
+        assert!(reads
+            .reads
+            .iter()
+            .all(|r| r.quality.len() == r.sequence.len()));
         assert!(reads
             .reads
             .iter()
@@ -346,8 +354,14 @@ mod tests {
             .simulate(&coll);
         assert_eq!(a.reads[0].sequence, b.reads[0].sequence);
         assert_ne!(
-            a.reads.iter().map(|r| r.sequence.clone()).collect::<Vec<_>>(),
-            c.reads.iter().map(|r| r.sequence.clone()).collect::<Vec<_>>()
+            a.reads
+                .iter()
+                .map(|r| r.sequence.clone())
+                .collect::<Vec<_>>(),
+            c.reads
+                .iter()
+                .map(|r| r.sequence.clone())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -364,10 +378,16 @@ mod tests {
         assert_eq!(abundances.len(), 2);
         let dom_frac = abundances.iter().find(|(t, _)| *t == dominant).unwrap().1;
         let min_frac = abundances.iter().find(|(t, _)| *t == minor).unwrap().1;
-        assert!((dom_frac - 0.9).abs() < 0.05, "dominant fraction {dom_frac}");
+        assert!(
+            (dom_frac - 0.9).abs() < 0.05,
+            "dominant fraction {dom_frac}"
+        );
         assert!((min_frac - 0.1).abs() < 0.05, "minor fraction {min_frac}");
         // No reads from other species.
-        assert!(reads.truth.iter().all(|t| t.taxon == dominant || t.taxon == minor));
+        assert!(reads
+            .truth
+            .iter()
+            .all(|t| t.taxon == dominant || t.taxon == minor));
     }
 
     #[test]

@@ -101,8 +101,7 @@ impl TaxonomySpec {
     pub fn species_ids(&self) -> Vec<TaxonId> {
         (0..self.genera)
             .flat_map(|g| {
-                (0..self.species_per_genus)
-                    .map(move |s| ids::species(g, s, self.species_per_genus))
+                (0..self.species_per_genus).map(move |s| ids::species(g, s, self.species_per_genus))
             })
             .collect()
     }
@@ -152,7 +151,7 @@ mod tests {
         let c = ids::species(2, 0, 4);
         assert_eq!(cache.lca(a, b), ids::genus(1));
         assert_ne!(cache.lca(a, c), ids::genus(1));
-        assert_eq!(cache.rank_of(cache.lca(a, c)).unwrap().level() >= Rank::Family.level(), true);
+        assert!(cache.rank_of(cache.lca(a, c)).unwrap().level() >= Rank::Family.level());
     }
 
     #[test]

@@ -263,7 +263,10 @@ mod tests {
     fn duration_display_scales() {
         assert_eq!(format!("{}", SimDuration::from_secs_f64(0.0123)), "12.3 ms");
         assert_eq!(format!("{}", SimDuration::from_secs_f64(4.26)), "4.3 s");
-        assert_eq!(format!("{}", SimDuration::from_secs_f64(72.0 * 60.0)), "72 min 0 s");
+        assert_eq!(
+            format!("{}", SimDuration::from_secs_f64(72.0 * 60.0)),
+            "72 min 0 s"
+        );
     }
 
     #[test]

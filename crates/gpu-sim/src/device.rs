@@ -129,9 +129,7 @@ impl Device {
 
     /// Remaining free bytes.
     pub fn available(&self) -> u64 {
-        self.info
-            .memory_capacity
-            .saturating_sub(self.allocated())
+        self.info.memory_capacity.saturating_sub(self.allocated())
     }
 
     /// Number of live allocations.

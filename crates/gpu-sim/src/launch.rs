@@ -130,12 +130,10 @@ mod tests {
             peer_bandwidth: 1e9,
             launch_overhead: 0.0,
         };
-        let (results, elapsed) = launch_warps_with_clock(
-            LaunchConfig::new(100),
-            &clock,
-            &model,
-            |w| (w.warp_id, KernelCost::memory(1_000_000, 0)),
-        );
+        let (results, elapsed) =
+            launch_warps_with_clock(LaunchConfig::new(100), &clock, &model, |w| {
+                (w.warp_id, KernelCost::memory(1_000_000, 0))
+            });
         assert_eq!(results.len(), 100);
         // 100 MB at 1 GB/s = 0.1 s.
         assert!((elapsed.as_secs_f64() - 0.1).abs() < 1e-6);

@@ -189,8 +189,12 @@ mod tests {
     #[test]
     fn makespan_is_max_over_devices() {
         let sys = MultiGpuSystem::dgx1(3);
-        sys.device(1).clock().advance(SimDuration::from_secs_f64(5.0));
-        sys.device(2).clock().advance(SimDuration::from_secs_f64(2.0));
+        sys.device(1)
+            .clock()
+            .advance(SimDuration::from_secs_f64(5.0));
+        sys.device(2)
+            .clock()
+            .advance(SimDuration::from_secs_f64(2.0));
         assert!((sys.makespan().as_secs_f64() - 5.0).abs() < 1e-9);
         sys.reset_clocks();
         assert_eq!(sys.makespan(), SimDuration::ZERO);

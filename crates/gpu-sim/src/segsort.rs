@@ -169,8 +169,7 @@ fn padded_bitonic_sort(seg: &mut [u64]) {
                 let partner = i ^ j;
                 if partner > i {
                     let ascending = (i & k) == 0;
-                    if (ascending && buf[i] > buf[partner])
-                        || (!ascending && buf[i] < buf[partner])
+                    if (ascending && buf[i] > buf[partner]) || (!ascending && buf[i] < buf[partner])
                     {
                         buf.swap(i, partner);
                     }
@@ -191,7 +190,9 @@ mod tests {
         let mut state = seed | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state >> 11
             })
             .collect()

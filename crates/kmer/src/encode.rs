@@ -47,6 +47,21 @@ pub const fn complement_base(code: u8) -> u8 {
     (code & 3) ^ 3
 }
 
+/// Table form of [`encode_base`]: the 2-bit code per ASCII byte, `-1` for
+/// every ambiguous character. The branch-free lookup is what the innermost
+/// k-mer loops use ([`crate::kmer::for_each_canonical_kmer`]).
+pub const ENCODE_LUT: [i8; 256] = {
+    let mut table = [-1i8; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        if let Some(code) = encode_base(i as u8) {
+            table[i] = code as i8
+        }
+        i += 1;
+    }
+    table
+};
+
 /// Reverse-complement an ASCII nucleotide sequence.
 ///
 /// Ambiguous characters are mapped to `N` in the output. This is a host-side
@@ -233,8 +248,8 @@ mod tests {
             .collect();
         let enc = EncodedSequence::from_ascii(&seq);
         assert_eq!(enc.to_ascii(), seq);
-        for i in 0..seq.len() {
-            assert_eq!(decode_base(enc.code(i)), seq[i]);
+        for (i, &base) in seq.iter().enumerate() {
+            assert_eq!(decode_base(enc.code(i)), base);
         }
     }
 }

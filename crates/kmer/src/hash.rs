@@ -50,15 +50,9 @@ pub const fn hash32_alt(x: u32) -> u32 {
 
 /// A small stateful helper bundling the `h1`/`h2` pair with a seed so that
 /// alternative hash families can be tested (e.g. in the ablation benches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FeatureHasher {
     seed: u64,
-}
-
-impl Default for FeatureHasher {
-    fn default() -> Self {
-        Self { seed: 0 }
-    }
 }
 
 impl FeatureHasher {

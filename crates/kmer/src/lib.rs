@@ -37,11 +37,11 @@ pub mod kmer;
 pub mod minimizer;
 pub mod window;
 
-pub use encode::{
-    complement_base, decode_base, encode_base, reverse_complement, EncodedSequence,
-};
+pub use encode::{complement_base, decode_base, encode_base, reverse_complement, EncodedSequence};
 pub use hash::{hash32, hash64, splitmix64, FeatureHasher};
-pub use kmer::{canonical, CanonicalKmerIter, Kmer, KmerError, KmerIter, KmerParams};
+pub use kmer::{
+    canonical, for_each_canonical_kmer, CanonicalKmerIter, Kmer, KmerError, KmerIter, KmerParams,
+};
 pub use minimizer::{Minimizer, MinimizerIter, MinimizerParams};
 pub use window::{num_windows, window_range, WindowId, WindowParams};
 

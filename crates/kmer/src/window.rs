@@ -54,7 +54,10 @@ impl WindowParams {
     pub fn new(k: u32, window_len: u32) -> Result<Self, WindowError> {
         let kmer = KmerParams::new(k)?;
         if window_len < k {
-            return Err(WindowError::WindowTooShort { window: window_len, k });
+            return Err(WindowError::WindowTooShort {
+                window: window_len,
+                k,
+            });
         }
         Ok(Self {
             kmer,
@@ -98,7 +101,7 @@ impl WindowParams {
     /// Whether the stride satisfies the GPU alignment constraint (§5.2).
     #[inline]
     pub const fn gpu_aligned(&self) -> bool {
-        self.stride % 4 == 0
+        self.stride.is_multiple_of(4)
     }
 }
 

@@ -62,8 +62,8 @@ impl<'db> Kraken2Classifier<'db> {
         let mut hits_per_taxon: HashMap<TaxonId, usize> = HashMap::new();
         let mut total = 0usize;
         let mut hit = 0usize;
-        for seq in std::iter::once(&record.sequence)
-            .chain(record.mate.as_ref().map(|m| &m.sequence))
+        for seq in
+            std::iter::once(&record.sequence).chain(record.mate.as_ref().map(|m| &m.sequence))
         {
             for minimizer in MinimizerIter::new(seq, params) {
                 total += 1;
@@ -119,10 +119,7 @@ impl<'db> Kraken2Classifier<'db> {
 }
 
 fn rank_level(db: &Kraken2Database, taxon: TaxonId) -> u8 {
-    db.lineages
-        .rank_of(taxon)
-        .unwrap_or(Rank::None)
-        .level()
+    db.lineages.rank_of(taxon).unwrap_or(Rank::None).level()
 }
 
 /// Kraken2's per-sample report: read counts per taxon, aggregated at species
@@ -224,8 +221,12 @@ mod tests {
         let genome_a = make_seq(20_000, 1);
         let genome_b = make_seq(20_000, 2);
         let mut builder = Kraken2Builder::new(Kraken2Config::default(), taxonomy).unwrap();
-        builder.add_target(&SequenceRecord::new("a", genome_a.clone()), 100).unwrap();
-        builder.add_target(&SequenceRecord::new("b", genome_b.clone()), 101).unwrap();
+        builder
+            .add_target(&SequenceRecord::new("a", genome_a.clone()), 100)
+            .unwrap();
+        builder
+            .add_target(&SequenceRecord::new("b", genome_b.clone()), 101)
+            .unwrap();
         (builder.finish(), genome_a, genome_b)
     }
 
@@ -261,10 +262,7 @@ mod tests {
         let single = classifier.classify(&SequenceRecord::new("s", genome_a[100..201].to_vec()));
         let paired = classifier.classify(
             &SequenceRecord::new("p/1", genome_a[100..201].to_vec()).with_mate(
-                SequenceRecord::new(
-                    "p/2",
-                    mc_kmer::reverse_complement(&genome_a[400..501]),
-                ),
+                SequenceRecord::new("p/2", mc_kmer::reverse_complement(&genome_a[400..501])),
             ),
         );
         assert_eq!(paired.taxon, 100);
@@ -293,7 +291,9 @@ mod tests {
         let read = SequenceRecord::new("chimera", chimera);
         let lenient_call = lenient.classify(&read);
         let strict_call = strict.classify(&read);
-        assert!(!strict_call.is_classified() || strict_call.score * 2 >= strict_call.total_minimizers);
+        assert!(
+            !strict_call.is_classified() || strict_call.score * 2 >= strict_call.total_minimizers
+        );
         // The lenient classifier is allowed to call it; the strict one must not
         // unless the evidence actually clears the bar.
         let _ = lenient_call;
@@ -343,7 +343,10 @@ mod tests {
         assert_eq!(report.total_reads, 30);
         let frac_a = report.fraction(100);
         let frac_b = report.fraction(101);
-        assert!(frac_a > frac_b, "species a should dominate: {frac_a} vs {frac_b}");
+        assert!(
+            frac_a > frac_b,
+            "species a should dominate: {frac_a} vs {frac_b}"
+        );
         assert!((frac_a + frac_b - 1.0).abs() < 1e-9);
         let truth = vec![(100, 2.0 / 3.0), (101, 1.0 / 3.0)];
         assert!(report.deviation_from(&truth) < 0.2);

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use mc_kmer::{MinimizerParams, MinimizerIter};
+use mc_kmer::{MinimizerIter, MinimizerParams};
 use mc_seqio::SequenceRecord;
 use mc_taxonomy::{LineageCache, TaxonId, Taxonomy};
 
@@ -131,7 +131,11 @@ impl Kraken2Builder {
     }
 
     /// Add many records, resolving each record's taxon with `taxon_of`.
-    pub fn add_records<'a, I, F>(&mut self, records: I, mut taxon_of: F) -> Result<usize, Kraken2Error>
+    pub fn add_records<'a, I, F>(
+        &mut self,
+        records: I,
+        mut taxon_of: F,
+    ) -> Result<usize, Kraken2Error>
     where
         I: IntoIterator<Item = &'a SequenceRecord>,
         F: FnMut(&SequenceRecord) -> TaxonId,
@@ -206,8 +210,12 @@ mod tests {
         let mut seq_a = shared.clone();
         seq_a.extend_from_slice(&unique_a);
         let mut builder = Kraken2Builder::new(Kraken2Config::default(), taxonomy()).unwrap();
-        builder.add_target(&SequenceRecord::new("a", seq_a), 100).unwrap();
-        builder.add_target(&SequenceRecord::new("b", shared.clone()), 101).unwrap();
+        builder
+            .add_target(&SequenceRecord::new("a", seq_a), 100)
+            .unwrap();
+        builder
+            .add_target(&SequenceRecord::new("b", shared.clone()), 101)
+            .unwrap();
         let db = builder.finish();
         let params = db.config.minimizer_params().unwrap();
         let mut lca_count = 0;
@@ -216,14 +224,20 @@ mod tests {
                 lca_count += 1;
             }
         }
-        assert!(lca_count > 100, "shared minimizers should map to the genus LCA");
+        assert!(
+            lca_count > 100,
+            "shared minimizers should map to the genus LCA"
+        );
         let mut species_count = 0;
         for m in MinimizerIter::new(&unique_a, params) {
             if db.lookup(m.hash) == Some(100) {
                 species_count += 1;
             }
         }
-        assert!(species_count > 100, "unique minimizers should keep the species");
+        assert!(
+            species_count > 100,
+            "unique minimizers should keep the species"
+        );
     }
 
     #[test]

@@ -30,8 +30,8 @@ use mc_warpcore::{
 use crate::config::MetaCacheConfig;
 use crate::database::{Database, Partition, PartitionStore, TargetInfo};
 use crate::error::MetaCacheError;
-use crate::gpu::warp_sketch_window;
-use crate::sketch::Sketcher;
+use crate::gpu::warp_sketch_owned;
+use crate::sketch::{SketchScratch, Sketcher};
 
 /// Statistics of a finished build.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -59,6 +59,9 @@ pub struct CpuBuilder {
     targets: Vec<TargetInfo>,
     table: HostHashTable,
     stats: BuildStats,
+    /// Reused across targets so reference sketching never allocates per
+    /// window (see [`Sketcher::for_each_window_sketch`]).
+    scratch: SketchScratch,
 }
 
 impl CpuBuilder {
@@ -76,6 +79,7 @@ impl CpuBuilder {
             targets: Vec::new(),
             table,
             stats: BuildStats::default(),
+            scratch: SketchScratch::with_capacity(config.sketch_size),
         }
     }
 
@@ -89,15 +93,37 @@ impl CpuBuilder {
             return Err(MetaCacheError::UnknownTaxon(taxon));
         }
         let target_id = self.targets.len() as TargetId;
-        let sketches = self.sketcher.sketch_reference(&record.sequence);
-        for (window, sketch) in &sketches {
-            for &feature in sketch.features() {
-                match self.table.insert(feature, Location::new(target_id, *window)) {
-                    Ok(()) => self.stats.locations_inserted += 1,
-                    Err(TableError::ValueLimitReached) => self.stats.locations_dropped += 1,
-                    Err(e) => return Err(e.into()),
+        // Sketch window by window through the reused scratch (no per-window
+        // allocation); table inserts take `&self`, so the sketch visitor can
+        // insert directly. A fatal table error breaks out of the walk — the
+        // rest of the genome is not sketched — and is returned below.
+        let mut windows_sketched = 0u64;
+        let mut inserted = 0u64;
+        let mut dropped = 0u64;
+        let mut fatal: Option<TableError> = None;
+        let table = &self.table;
+        self.sketcher.for_each_window_sketch(
+            &record.sequence,
+            &mut self.scratch,
+            |window, features| {
+                windows_sketched += 1;
+                for &feature in features {
+                    match table.insert(feature, Location::new(target_id, window)) {
+                        Ok(()) => inserted += 1,
+                        Err(TableError::ValueLimitReached) => dropped += 1,
+                        Err(e) => {
+                            fatal = Some(e);
+                            return std::ops::ControlFlow::Break(());
+                        }
+                    }
                 }
-            }
+                std::ops::ControlFlow::Continue(())
+            },
+        );
+        self.stats.locations_inserted += inserted;
+        self.stats.locations_dropped += dropped;
+        if let Some(e) = fatal {
+            return Err(e.into());
         }
         self.targets.push(TargetInfo {
             id: target_id,
@@ -107,13 +133,17 @@ impl CpuBuilder {
             num_windows: self.sketcher.num_windows(record.sequence.len()),
         });
         self.stats.targets += 1;
-        self.stats.windows += sketches.len() as u64;
+        self.stats.windows += windows_sketched;
         Ok(target_id)
     }
 
     /// Add every record of an iterator, resolving each record's taxon with
     /// `taxon_of` (e.g. a lookup from accession to taxid).
-    pub fn add_records<I, F>(&mut self, records: I, mut taxon_of: F) -> Result<usize, MetaCacheError>
+    pub fn add_records<I, F>(
+        &mut self,
+        records: I,
+        mut taxon_of: F,
+    ) -> Result<usize, MetaCacheError>
     where
         I: IntoIterator<Item = SequenceRecord>,
         F: FnMut(&SequenceRecord) -> TaxonId,
@@ -205,7 +235,10 @@ impl<'sys> GpuBuilder<'sys> {
         for device in system.devices() {
             let table_config = MultiBucketConfig {
                 max_locations_per_key: config.max_locations_per_feature,
-                ..MultiBucketConfig::for_expected_values(expected_locations_per_device.max(1024), 0.8)
+                ..MultiBucketConfig::for_expected_values(
+                    expected_locations_per_device.max(1024),
+                    0.8,
+                )
             };
             let table = MultiBucketHashTable::new(table_config);
             // Charge the (statically allocated, §5.1) table against the
@@ -256,16 +289,14 @@ impl<'sys> GpuBuilder<'sys> {
         let sketch_size = self.config.sketch_size;
         let windows = self.sketcher.num_windows(record.sequence.len());
         let sequence = &record.sequence;
-        let sketches: Vec<(u32, Vec<mc_kmer::Feature>, KernelCost)> = launch_warps(
-            LaunchConfig::new(windows as usize),
-            |warp: Warp| {
+        let sketches: Vec<(u32, Vec<mc_kmer::Feature>, KernelCost)> =
+            launch_warps(LaunchConfig::new(windows as usize), |warp: Warp| {
                 let w = warp.warp_id as u32;
                 let (start, end) = mc_kmer::window::window_range(w, sequence.len(), params);
                 let (features, cost) =
-                    warp_sketch_window(&warp, &sequence[start..end], kmer, sketch_size);
+                    warp_sketch_owned(&warp, &sequence[start..end], kmer, sketch_size);
                 (w, features, cost)
-            },
-        );
+            });
         let mut kernel_cost = KernelCost {
             launches: 1,
             ..Default::default()
@@ -305,7 +336,11 @@ impl<'sys> GpuBuilder<'sys> {
     }
 
     /// Add every record of an iterator (taxon resolved per record).
-    pub fn add_records<I, F>(&mut self, records: I, mut taxon_of: F) -> Result<usize, MetaCacheError>
+    pub fn add_records<I, F>(
+        &mut self,
+        records: I,
+        mut taxon_of: F,
+    ) -> Result<usize, MetaCacheError>
     where
         I: IntoIterator<Item = SequenceRecord>,
         F: FnMut(&SequenceRecord) -> TaxonId,
@@ -510,7 +545,11 @@ mod tests {
             assert_eq!(p.targets.len(), 2);
         }
         // No target appears in two partitions.
-        let mut all: Vec<TargetId> = db.partitions.iter().flat_map(|p| p.targets.clone()).collect();
+        let mut all: Vec<TargetId> = db
+            .partitions
+            .iter()
+            .flat_map(|p| p.targets.clone())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 8);
@@ -568,6 +607,9 @@ mod tests {
         builder.add_records(records, |_| 100).unwrap();
         let actual = builder.stats().locations_inserted + builder.stats().locations_dropped;
         let ratio = estimate as f64 / actual as f64;
-        assert!(ratio > 0.95 && ratio < 1.3, "estimate {estimate} vs actual {actual}");
+        assert!(
+            ratio > 0.95 && ratio < 1.3,
+            "estimate {estimate} vs actual {actual}"
+        );
     }
 }

@@ -65,6 +65,13 @@ impl CandidateList {
         self.candidates.is_empty()
     }
 
+    /// Clear the list and set a new capacity, retaining the allocation —
+    /// used to reuse one list across reads on the query hot path.
+    pub fn reset(&mut self, capacity: usize) {
+        self.candidates.clear();
+        self.capacity = capacity.max(1);
+    }
+
     /// Insert a candidate, keeping at most one candidate per target (the best
     /// one) and at most `capacity` candidates overall, ordered by hits
     /// descending.
@@ -101,17 +108,25 @@ impl CandidateList {
     }
 }
 
-/// Accumulate a sorted location list into the sparse window count statistic:
-/// runs of identical (target, window) locations become `(location, count)`
-/// pairs, preserving order.
-pub fn accumulate_locations(sorted: &[Location]) -> Vec<(Location, u32)> {
-    let mut out: Vec<(Location, u32)> = Vec::new();
+/// Accumulate a sorted location list into a caller-owned window count
+/// statistic buffer (cleared first): runs of identical (target, window)
+/// locations become `(location, count)` pairs, preserving order. Reusing
+/// `out` across reads keeps the query hot path allocation-free.
+pub fn accumulate_locations_into(sorted: &[Location], out: &mut Vec<(Location, u32)>) {
+    out.clear();
     for &loc in sorted {
         match out.last_mut() {
             Some((last, count)) if *last == loc => *count += 1,
             _ => out.push((loc, 1)),
         }
     }
+}
+
+/// Accumulate a sorted location list into the sparse window count statistic.
+/// Convenience form of [`accumulate_locations_into`] that allocates.
+pub fn accumulate_locations(sorted: &[Location]) -> Vec<(Location, u32)> {
+    let mut out: Vec<(Location, u32)> = Vec::new();
+    accumulate_locations_into(sorted, &mut out);
     out
 }
 
@@ -127,6 +142,19 @@ pub fn top_candidates(
     max_candidates: usize,
 ) -> CandidateList {
     let mut list = CandidateList::new(max_candidates);
+    top_candidates_into(counts, sliding_window, &mut list);
+    list
+}
+
+/// Scan the window count statistic into a caller-owned candidate list (its
+/// current capacity is kept; contents are replaced). Reusing `list` across
+/// reads keeps the query hot path allocation-free.
+pub fn top_candidates_into(
+    counts: &[(Location, u32)],
+    sliding_window: usize,
+    list: &mut CandidateList,
+) {
+    list.candidates.clear();
     let sliding_window = sliding_window.max(1) as u64;
     let mut start = 0usize;
     while start < counts.len() {
@@ -155,7 +183,6 @@ pub fn top_candidates(
         });
         start += 1;
     }
-    list
 }
 
 #[cfg(test)]
@@ -168,12 +195,16 @@ mod tests {
 
     #[test]
     fn accumulation_counts_runs() {
-        let sorted = vec![loc(0, 1), loc(0, 1), loc(0, 2), loc(1, 0), loc(1, 0), loc(1, 0)];
+        let sorted = vec![
+            loc(0, 1),
+            loc(0, 1),
+            loc(0, 2),
+            loc(1, 0),
+            loc(1, 0),
+            loc(1, 0),
+        ];
         let counts = accumulate_locations(&sorted);
-        assert_eq!(
-            counts,
-            vec![(loc(0, 1), 2), (loc(0, 2), 1), (loc(1, 0), 3)]
-        );
+        assert_eq!(counts, vec![(loc(0, 1), 2), (loc(0, 2), 1), (loc(1, 0), 3)]);
         assert!(accumulate_locations(&[]).is_empty());
     }
 

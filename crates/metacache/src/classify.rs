@@ -138,11 +138,7 @@ pub struct ClassificationEvaluation {
 impl ClassificationEvaluation {
     /// Evaluate `classifications` against `truth` (the true species-level
     /// taxon of each read) using the database's lineage cache.
-    pub fn evaluate(
-        db: &Database,
-        classifications: &[Classification],
-        truth: &[TaxonId],
-    ) -> Self {
+    pub fn evaluate(db: &Database, classifications: &[Classification], truth: &[TaxonId]) -> Self {
         assert_eq!(
             classifications.len(),
             truth.len(),
@@ -196,21 +192,16 @@ mod tests {
         taxonomy.add_node(101, 10, Rank::Species, "A two").unwrap();
         taxonomy.add_node(110, 11, Rank::Species, "B one").unwrap();
         let lineages = taxonomy.lineage_cache();
-        let targets = vec![
-            (0u32, 100u32),
-            (1, 100),
-            (2, 101),
-            (3, 110),
-        ]
-        .into_iter()
-        .map(|(id, taxon)| TargetInfo {
-            id,
-            name: format!("t{id}"),
-            taxon,
-            length: 1000,
-            num_windows: 9,
-        })
-        .collect();
+        let targets = vec![(0u32, 100u32), (1, 100), (2, 101), (3, 110)]
+            .into_iter()
+            .map(|(id, taxon)| TargetInfo {
+                id,
+                name: format!("t{id}"),
+                taxon,
+                length: 1000,
+                num_windows: 9,
+            })
+            .collect();
         Database {
             config: MetaCacheConfig::default(),
             targets,

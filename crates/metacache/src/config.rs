@@ -59,7 +59,9 @@ impl MetaCacheConfig {
     /// Validate the configuration and derive the window parameters.
     pub fn window_params(&self) -> Result<WindowParams, MetaCacheError> {
         if self.sketch_size == 0 {
-            return Err(MetaCacheError::Config("sketch size must be positive".into()));
+            return Err(MetaCacheError::Config(
+                "sketch size must be positive".into(),
+            ));
         }
         if self.top_candidates == 0 {
             return Err(MetaCacheError::Config(

@@ -149,6 +149,13 @@ impl Partition {
         self.store.as_store().query_into(feature, out)
     }
 
+    /// Query a whole sketch (feature batch) against this partition — lets
+    /// the store amortise per-lookup overhead (see
+    /// [`FeatureStore::query_batch_into`]).
+    pub fn query_batch_into(&self, features: &[Feature], out: &mut Vec<Location>) -> usize {
+        self.store.as_store().query_batch_into(features, out)
+    }
+
     /// Bytes occupied by this partition's table.
     pub fn bytes(&self) -> usize {
         self.store.as_store().bytes()
@@ -233,6 +240,17 @@ impl Database {
             .sum()
     }
 
+    /// Query a read's whole feature batch against every partition, appending
+    /// all hits partition-major (every feature of partition 0, then every
+    /// feature of partition 1, …). The query hot path uses this so each
+    /// partition's store amortises its per-lookup overhead across the batch.
+    pub fn query_features_into(&self, features: &[Feature], out: &mut Vec<Location>) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| p.query_batch_into(features, out))
+            .sum()
+    }
+
     /// Rebuild the lineage cache (needed if the taxonomy was extended after
     /// construction).
     pub fn refresh_lineages(&mut self) {
@@ -308,7 +326,10 @@ mod tests {
         let buckets = vec![
             (5u32, vec![Location::new(0, 1), Location::new(0, 2)]),
             (9u32, vec![Location::new(3, 7)]),
-            (1_000_000u32, (0..100).map(|w| Location::new(9, w)).collect()),
+            (
+                1_000_000u32,
+                (0..100).map(|w| Location::new(9, w)).collect(),
+            ),
         ];
         let store = CondensedStore::from_buckets(buckets.clone());
         assert_eq!(store.location_count(), 103);

@@ -25,7 +25,7 @@ use mc_gpu_sim::{
     launch_warps, segmented_sort, KernelCost, LaunchConfig, MultiGpuSystem, SimDuration, Stream,
     Warp, WARP_SIZE,
 };
-use mc_kmer::{hash64, CanonicalKmerIter, Feature, KmerParams, Location};
+use mc_kmer::{hash64, Feature, KmerParams, Location};
 use mc_seqio::SequenceRecord;
 
 use crate::candidate::{accumulate_locations, top_candidates, CandidateList};
@@ -33,68 +33,135 @@ use crate::classify::{classify_candidates, Classification};
 use crate::database::Database;
 use crate::sketch::Sketcher;
 
-/// Sketch one window with a warp, returning the sketch features and the
-/// modelled kernel cost.
+/// Reusable scratch buffers of the warp sketching kernel — the "device
+/// buffers" of §5.3. One scratch per simulated warp scheduler (in practice:
+/// per worker thread, see [`with_warp_scratch`]) removes all steady-state
+/// heap allocation from warp sketching, mirroring the host
+/// [`crate::sketch::SketchScratch`].
+#[derive(Debug, Clone, Default)]
+pub struct WarpSketchScratch {
+    /// Hash of the canonical k-mer at each window position (`u64::MAX` for
+    /// positions whose k-mer overlaps an ambiguous base).
+    hashes_by_pos: Vec<u64>,
+    /// Pool of per-round sorted, deduplicated register contents.
+    pool: Vec<u64>,
+}
+
+impl WarpSketchScratch {
+    /// Create an empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    static WARP_SCRATCH: std::cell::RefCell<WarpSketchScratch> =
+        std::cell::RefCell::new(WarpSketchScratch::new());
+}
+
+/// Run `f` with this thread's reusable [`WarpSketchScratch`] — per-warp
+/// scratch reuse inside `launch_warps` closures, which execute on a thread
+/// pool and therefore cannot share one mutable scratch.
+pub fn with_warp_scratch<R>(f: impl FnOnce(&mut WarpSketchScratch) -> R) -> R {
+    WARP_SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
+}
+
+/// Sketch one window with this thread's reusable warp scratch, returning the
+/// features as an owned vector plus the kernel cost — the shape `launch_warps`
+/// closures need. Used by both the query pipeline and the GPU builder so the
+/// scratch protocol lives in one place.
+pub fn warp_sketch_owned(
+    warp: &Warp,
+    window: &[u8],
+    kmer: KmerParams,
+    sketch_size: usize,
+) -> (Vec<Feature>, KernelCost) {
+    with_warp_scratch(|scratch| {
+        let mut features = Vec::with_capacity(sketch_size);
+        let cost = warp_sketch_window_into(warp, window, kmer, sketch_size, scratch, &mut features);
+        (features, cost)
+    })
+}
+
+/// Sketch one window with a warp into a caller-owned feature buffer,
+/// returning the modelled kernel cost. Appends the sketch's features to
+/// `out`; reuses `scratch`, so steady-state execution is allocation-free
+/// (apart from `out` growth up to the sketch size).
 ///
 /// Lane `i` is responsible for the k-mers starting at positions
 /// `4·i … 4·i + 3` of the window (§5.3); each round sorts one hash per lane
 /// with the warp's register bitonic network, then the per-round minima are
-/// combined, deduplicated and truncated to the sketch size.
+/// combined, deduplicated and truncated to the sketch size. The result is
+/// bit-identical to the host [`crate::sketch::Sketcher`] (asserted by tests
+/// in this module and in `tests/property_tests.rs`).
+pub fn warp_sketch_window_into(
+    warp: &Warp,
+    window: &[u8],
+    kmer: KmerParams,
+    sketch_size: usize,
+    scratch: &mut WarpSketchScratch,
+    out: &mut Vec<Feature>,
+) -> KernelCost {
+    let k = kmer.k() as usize;
+    let positions = window.len().saturating_sub(k.saturating_sub(1));
+    // Hash all canonical k-mers once (the lanes' work), keyed by position.
+    scratch.hashes_by_pos.clear();
+    scratch.hashes_by_pos.resize(positions, u64::MAX);
+    {
+        let hashes_by_pos = &mut scratch.hashes_by_pos;
+        mc_kmer::for_each_canonical_kmer(window, kmer, |offset, packed| {
+            if offset < positions {
+                hashes_by_pos[offset] = hash64(packed);
+            }
+        });
+    }
+    // Rounds of warp-register sorting: each round takes one hash per lane
+    // (4 rounds cover 4 positions per lane for the default 127-base window).
+    let rounds = positions.div_ceil(WARP_SIZE).max(1);
+    scratch.pool.clear();
+    for round in 0..rounds {
+        let mut regs = [u64::MAX; WARP_SIZE];
+        for (lane, reg) in regs.iter_mut().enumerate() {
+            let pos = round * WARP_SIZE + lane;
+            if pos < positions {
+                *reg = scratch.hashes_by_pos[pos];
+            }
+        }
+        warp.bitonic_sort(&mut regs);
+        let unique = warp.dedup_sorted(&mut regs);
+        scratch.pool.extend_from_slice(&regs[..unique]);
+    }
+    // Merge the per-round sorted runs, dedup, keep the s smallest.
+    scratch.pool.sort_unstable();
+    scratch.pool.dedup();
+    scratch.pool.truncate(sketch_size);
+    let start = out.len();
+    out.extend(scratch.pool.iter().map(|&h| (h >> 32) as Feature));
+    let emitted = out.len() - start;
+
+    let sort_ops = (rounds * WARP_SIZE * 25) as u64; // 32·log²32 compare-exchanges per round
+    KernelCost {
+        bytes_read: window.len() as u64,
+        bytes_written: (emitted * 4) as u64,
+        ops: positions as u64 + sort_ops,
+        launches: 0,
+    }
+}
+
+/// Sketch one window with a warp, returning the sketch features and the
+/// modelled kernel cost. Convenience form of [`warp_sketch_window_into`]
+/// that allocates its own scratch and output.
 pub fn warp_sketch_window(
     warp: &Warp,
     window: &[u8],
     kmer: KmerParams,
     sketch_size: usize,
 ) -> (Vec<Feature>, KernelCost) {
-    let k = kmer.k() as usize;
-    let positions = window.len().saturating_sub(k.saturating_sub(1));
-    // Hash all canonical k-mers once (the lanes' work), keyed by position.
-    let mut hashes_by_pos: Vec<u64> = vec![u64::MAX; positions];
-    {
-        let mut iter = CanonicalKmerIter::new(window, kmer);
-        while let Some(kmer_value) = iter.next() {
-            let offset = iter_offset(&iter, k);
-            if offset < positions {
-                hashes_by_pos[offset] = hash64(kmer_value.value());
-            }
-        }
-    }
-    // Rounds of warp-register sorting: each round takes one hash per lane
-    // (4 rounds cover 4 positions per lane for the default 127-base window).
-    let rounds = positions.div_ceil(WARP_SIZE).max(1);
-    let mut pool: Vec<u64> = Vec::with_capacity(positions);
-    for round in 0..rounds {
-        let mut regs = [u64::MAX; WARP_SIZE];
-        for lane in 0..WARP_SIZE {
-            let pos = round * WARP_SIZE + lane;
-            if pos < positions {
-                regs[lane] = hashes_by_pos[pos];
-            }
-        }
-        warp.bitonic_sort(&mut regs);
-        let unique = warp.dedup_sorted(&mut regs);
-        pool.extend_from_slice(&regs[..unique]);
-    }
-    // Merge the per-round sorted runs, dedup, keep the s smallest.
-    pool.sort_unstable();
-    pool.dedup();
-    pool.truncate(sketch_size);
-    let features: Vec<Feature> = pool.into_iter().map(|h| (h >> 32) as Feature).collect();
-
-    let sort_ops = (rounds * WARP_SIZE * 25) as u64; // 32·log²32 compare-exchanges per round
-    let cost = KernelCost {
-        bytes_read: window.len() as u64,
-        bytes_written: (features.len() * 4) as u64,
-        ops: positions as u64 + sort_ops,
-        launches: 0,
-    };
+    let mut scratch = WarpSketchScratch::new();
+    let mut features = Vec::with_capacity(sketch_size);
+    let cost =
+        warp_sketch_window_into(warp, window, kmer, sketch_size, &mut scratch, &mut features);
     (features, cost)
-}
-
-/// Start offset of the k-mer most recently produced by a canonical k-mer
-/// iterator (the iterator's cursor sits just past that k-mer's last base).
-fn iter_offset(iter: &CanonicalKmerIter<'_>, _k: usize) -> usize {
-    iter.next_offset()
 }
 
 /// Simulated time spent in each stage of the GPU query pipeline — the
@@ -202,8 +269,8 @@ impl<'db> GpuClassifier<'db> {
         // Collect every window of every read (both mates) with its read index.
         let mut read_windows: Vec<(usize, Vec<u8>)> = Vec::new();
         for (read_idx, record) in records.iter().enumerate() {
-            for seq in std::iter::once(&record.sequence)
-                .chain(record.mate.as_ref().map(|m| &m.sequence))
+            for seq in
+                std::iter::once(&record.sequence).chain(record.mate.as_ref().map(|m| &m.sequence))
             {
                 if seq.len() < kmer.k() as usize {
                     continue;
@@ -220,15 +287,14 @@ impl<'db> GpuClassifier<'db> {
             }
         }
 
-        // Launch one warp per window for sketch generation.
-        let sketch_results: Vec<(usize, Vec<Feature>, KernelCost)> = launch_warps(
-            LaunchConfig::new(read_windows.len()),
-            |warp: Warp| {
+        // Launch one warp per window for sketch generation; each worker
+        // thread reuses its warp scratch across the windows it executes.
+        let sketch_results: Vec<(usize, Vec<Feature>, KernelCost)> =
+            launch_warps(LaunchConfig::new(read_windows.len()), |warp: Warp| {
                 let (read_idx, window) = &read_windows[warp.warp_id];
-                let (features, cost) = warp_sketch_window(&warp, window, kmer, sketch_size);
+                let (features, cost) = warp_sketch_owned(&warp, window, kmer, sketch_size);
                 (*read_idx, features, cost)
-            },
-        );
+            });
         let mut sketch_cost = KernelCost {
             launches: 1,
             ..Default::default()
@@ -262,11 +328,10 @@ impl<'db> GpuClassifier<'db> {
             };
             devices
         ];
-        let mut total_locations_per_device: Vec<Vec<(usize, Location)>> =
-            vec![Vec::new(); devices];
+        let mut total_locations_per_device: Vec<Vec<(usize, Location)>> = vec![Vec::new(); devices];
+        let mut scratch = Vec::new();
         for (p, partition) in self.db.partitions.iter().enumerate() {
             let device = p % devices;
-            let mut scratch = Vec::new();
             for (read_idx, features, _) in &sketch_results {
                 for &feature in features {
                     scratch.clear();
@@ -313,7 +378,10 @@ impl<'db> GpuClassifier<'db> {
             let mut out = Vec::with_capacity(records.len());
             for (read_idx, window) in segments.windows(2).enumerate() {
                 let slice = &flat[window[0]..window[1]];
-                out.push((read_idx, slice.iter().map(|&p| Location::unpack(p)).collect()));
+                out.push((
+                    read_idx,
+                    slice.iter().map(|&p| Location::unpack(p)).collect(),
+                ));
             }
             sorted_per_device.push(out);
         }
@@ -340,9 +408,9 @@ impl<'db> GpuClassifier<'db> {
             streams[d].launch_kernel(KernelCost::compute(ops, ops * 8, 0));
         }
         // Ring merge: device d sends its per-read top lists to device d+1.
-        let top_bytes =
-            (records.len() * self.db.config.top_candidates * std::mem::size_of::<CandidateList>())
-                as u64;
+        let top_bytes = (records.len()
+            * self.db.config.top_candidates
+            * std::mem::size_of::<CandidateList>()) as u64;
         for d in 0..devices.saturating_sub(1) {
             self.system.peer_copy(d, d + 1, top_bytes.min(1 << 20));
         }
@@ -362,7 +430,10 @@ impl<'db> GpuClassifier<'db> {
 
     /// Classify all reads in batches of the configured batch size, returning
     /// every classification and the accumulated breakdown.
-    pub fn classify_all(&self, records: &[SequenceRecord]) -> (Vec<Classification>, StageBreakdown) {
+    pub fn classify_all(
+        &self,
+        records: &[SequenceRecord],
+    ) -> (Vec<Classification>, StageBreakdown) {
         let mut all = Vec::with_capacity(records.len());
         let mut breakdown = StageBreakdown::default();
         for chunk in records.chunks(self.db.config.batch_size.max(1)) {
@@ -414,11 +485,42 @@ mod tests {
         let kmer = sketcher.window_params().kmer();
         for seed in 0..20u64 {
             let window = make_seq(127, seed + 1);
-            let (gpu_features, cost) =
-                warp_sketch_window(&warp, &window, kmer, config.sketch_size);
+            let (gpu_features, cost) = warp_sketch_window(&warp, &window, kmer, config.sketch_size);
             let host = sketcher.sketch_window(&window);
             assert_eq!(gpu_features, host.features(), "seed {seed}");
             assert!(cost.ops > 0 && cost.bytes_read == 127);
+        }
+    }
+
+    #[test]
+    fn warp_scratch_reuse_is_bit_identical_to_host_and_oracle() {
+        let config = MetaCacheConfig::default();
+        let sketcher = Sketcher::new(&config).unwrap();
+        let warp = Warp::new(0);
+        let kmer = sketcher.window_params().kmer();
+        let mut scratch = WarpSketchScratch::new();
+        let mut features = Vec::new();
+        for seed in 0..30u64 {
+            // Window lengths vary so the scratch shrinks and grows.
+            let window = make_seq(60 + (seed as usize * 17) % 120, seed + 1);
+            features.clear();
+            warp_sketch_window_into(
+                &warp,
+                &window,
+                kmer,
+                config.sketch_size,
+                &mut scratch,
+                &mut features,
+            );
+            assert_eq!(
+                features.as_slice(),
+                sketcher.sketch_window(&window).features()
+            );
+            assert_eq!(
+                features.as_slice(),
+                sketcher.sketch_window_baseline(&window).features(),
+                "seed {seed}"
+            );
         }
     }
 
@@ -492,7 +594,10 @@ mod tests {
         let (_, b1) = gpu.classify_batch(&reads);
         let (_, b2) = gpu.classify_batch(&reads);
         let total = gpu.breakdown();
-        assert_eq!(total.total().as_nanos(), (b1.total() + b2.total()).as_nanos());
+        assert_eq!(
+            total.total().as_nanos(),
+            (b1.total() + b2.total()).as_nanos()
+        );
         let shares = total.shares();
         assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         gpu.reset_breakdown();

@@ -73,7 +73,8 @@ pub use classify::{Classification, ClassificationEvaluation};
 pub use config::MetaCacheConfig;
 pub use database::{Database, Partition, TargetInfo};
 pub use error::MetaCacheError;
-pub use sketch::{ReadSketch, Sketch, Sketcher};
+pub use query::{Classifier, QueryScratch};
+pub use sketch::{ReadSketch, Sketch, SketchScratch, Sketcher};
 
 /// Convenient result alias.
 pub type Result<T> = std::result::Result<T, MetaCacheError>;

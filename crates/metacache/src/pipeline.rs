@@ -121,8 +121,7 @@ pub fn run_on_the_fly(
     let (classifications, _) = classifier.classify_all(reads);
     // The build-phase table is not compacted, so OTF queries run ~20% slower
     // than queries against the condensed layout (§6.3).
-    let query_time =
-        SimDuration::from_nanos((system.makespan().as_nanos() as f64 * 1.25) as u64);
+    let query_time = SimDuration::from_nanos((system.makespan().as_nanos() as f64 * 1.25) as u64);
 
     Ok(PipelineReport {
         database,
@@ -139,6 +138,7 @@ pub fn run_on_the_fly(
 
 /// Build, write the database to `dir`, load it back (condensed layout) and
 /// query — the traditional W+L workflow.
+#[allow(clippy::too_many_arguments)] // mirrors the phases of the W+L workflow
 pub fn run_write_load_query(
     config: MetaCacheConfig,
     taxonomy: Taxonomy,
@@ -204,7 +204,11 @@ mod tests {
             .collect()
     }
 
-    fn setup() -> (Taxonomy, Vec<(SequenceRecord, TaxonId)>, Vec<SequenceRecord>) {
+    fn setup() -> (
+        Taxonomy,
+        Vec<(SequenceRecord, TaxonId)>,
+        Vec<SequenceRecord>,
+    ) {
         let mut taxonomy = Taxonomy::with_root();
         taxonomy.add_node(10, 1, Rank::Genus, "G").unwrap();
         taxonomy.add_node(100, 10, Rank::Species, "a").unwrap();

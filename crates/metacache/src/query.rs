@@ -5,16 +5,73 @@
 //! [`crate::gpu`] runs the same algorithm batched over simulated devices; the
 //! two paths produce identical classifications (asserted by integration
 //! tests), differing only in how the work is scheduled and costed.
+//!
+//! # The zero-allocation hot path
+//!
+//! Mirroring the paper's device pipeline — which keeps hashes in warp
+//! registers and compacts location lists in pre-allocated device buffers
+//! (§5.2–§5.5) — the host path performs no steady-state heap allocation:
+//!
+//! * every per-read buffer (sketch selector, flat feature list, gathered
+//!   locations, merge buffer, window count statistic, candidate list) lives
+//!   in a reusable [`QueryScratch`];
+//! * [`Classifier::classify_batch`] threads one scratch per worker through
+//!   `rayon`'s `map_init`, so a batch of millions of reads allocates a
+//!   handful of scratches total;
+//! * the gathered location list is a concatenation of per-bucket sorted runs
+//!   (buckets store locations in insertion order, which is ascending
+//!   `(target, window)` during the sequential build), so instead of a global
+//!   `sort_unstable` the hot path detects the natural runs in one O(n) scan
+//!   and merges them bottom-up in the scratch's ping-pong buffer — O(n log r)
+//!   for `r` runs, and a plain pass-through when the list is already sorted.
+//!   Lists with more than [`MAX_MERGE_RUNS`] runs fall back to `sort_unstable`
+//!   (run detection is O(n), so the fallback costs one extra scan).
 
 use rayon::prelude::*;
 
 use mc_kmer::Location;
 use mc_seqio::SequenceRecord;
 
-use crate::candidate::{accumulate_locations, top_candidates, CandidateList};
+use crate::candidate::{accumulate_locations_into, top_candidates_into, CandidateList};
 use crate::classify::{classify_candidates, Classification};
 use crate::database::Database;
-use crate::sketch::Sketcher;
+use crate::sketch::{SketchScratch, Sketcher};
+
+/// Location lists with more natural runs than this are sorted with
+/// `sort_unstable` instead of merged (each merge pass costs one full copy;
+/// beyond ~64 runs the comparison sort's cache behaviour wins).
+const MAX_MERGE_RUNS: usize = 64;
+
+/// Reusable per-worker scratch state for allocation-free classification.
+///
+/// Create one per worker (or reuse one across a sequential read stream) and
+/// pass it to [`Classifier::classify_with`] / [`Classifier::candidates_with`].
+/// All buffers grow to the high-water mark of the workload and are then
+/// reused; steady-state classification performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct QueryScratch {
+    /// Bounded top-`s` sketch selector.
+    sketch: SketchScratch,
+    /// Flat feature list of the read's windows.
+    features: Vec<mc_kmer::Feature>,
+    /// Locations gathered from all partitions for all features.
+    locations: Vec<Location>,
+    /// Ping-pong buffer for the natural-run merge.
+    merge_buf: Vec<Location>,
+    /// Natural-run boundaries detected in `locations`.
+    run_bounds: Vec<usize>,
+    /// The sparse window count statistic.
+    counts: Vec<(Location, u32)>,
+    /// The read's candidate list.
+    candidates: CandidateList,
+}
+
+impl QueryScratch {
+    /// Create an empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Per-read classifier bound to a database.
 pub struct Classifier<'db> {
@@ -34,39 +91,178 @@ impl<'db> Classifier<'db> {
         &self.sketcher
     }
 
-    /// Compute the candidate list of one read (or read pair).
+    /// Compute the candidate list of one read (or read pair) into
+    /// `scratch.candidates`, reusing every buffer — the allocation-free hot
+    /// path. Returns a reference to the computed list.
+    pub fn candidates_with<'s>(
+        &self,
+        record: &SequenceRecord,
+        scratch: &'s mut QueryScratch,
+    ) -> &'s CandidateList {
+        scratch.candidates.reset(self.db.config.top_candidates);
+
+        // Sketch all windows of the read (and mate) into one flat feature list.
+        scratch.features.clear();
+        self.sketcher
+            .sketch_record_into(record, &mut scratch.sketch, &mut scratch.features);
+
+        // Query the whole sketch against all partitions in one batched call
+        // per partition (amortises the store's per-lookup overhead).
+        scratch.locations.clear();
+        self.db
+            .query_features_into(&scratch.features, &mut scratch.locations);
+
+        // Order the gathered locations: merge the per-bucket sorted runs
+        // (fall back to sorting when the runs are too fragmented).
+        sort_location_runs(
+            &mut scratch.locations,
+            &mut scratch.merge_buf,
+            &mut scratch.run_bounds,
+        );
+
+        // Accumulate into the window count statistic and scan for candidates.
+        accumulate_locations_into(&scratch.locations, &mut scratch.counts);
+        let sws = self.db.config.sliding_window_size(record.total_len());
+        top_candidates_into(&scratch.counts, sws, &mut scratch.candidates);
+        &scratch.candidates
+    }
+
+    /// Compute the candidate list of one read (or read pair). Convenience
+    /// form of [`Self::candidates_with`] that allocates a fresh scratch.
     pub fn candidates(&self, record: &SequenceRecord) -> CandidateList {
-        let read_sketch = self.sketcher.sketch_record(record);
-        if read_sketch.windows.is_empty() {
-            return CandidateList::new(self.db.config.top_candidates);
-        }
-        // Query every feature of every window against all partitions.
-        let mut locations: Vec<Location> = Vec::new();
-        for feature in read_sketch.all_features() {
-            self.db.query_feature_into(feature, &mut locations);
-        }
-        // Sort and accumulate into the window count statistic.
-        locations.sort_unstable_by_key(|l| l.pack());
-        let counts = accumulate_locations(&locations);
-        let sws = self.db.config.sliding_window_size(read_sketch.total_len);
-        top_candidates(&counts, sws, self.db.config.top_candidates)
+        let mut scratch = QueryScratch::new();
+        self.candidates_with(record, &mut scratch);
+        scratch.candidates
+    }
+
+    /// Classify one read (or read pair) reusing `scratch` — the hot path.
+    pub fn classify_with(
+        &self,
+        record: &SequenceRecord,
+        scratch: &mut QueryScratch,
+    ) -> Classification {
+        self.candidates_with(record, scratch);
+        classify_candidates(self.db, &self.db.config, &scratch.candidates)
     }
 
     /// Classify one read (or read pair).
     pub fn classify(&self, record: &SequenceRecord) -> Classification {
-        let candidates = self.candidates(record);
-        classify_candidates(self.db, &self.db.config, &candidates)
+        let mut scratch = QueryScratch::new();
+        self.classify_with(record, &mut scratch)
     }
 
-    /// Classify a batch of reads in parallel.
+    /// Classify a batch of reads in parallel. One [`QueryScratch`] is created
+    /// per rayon worker and reused for every read that worker processes.
     pub fn classify_batch(&self, records: &[SequenceRecord]) -> Vec<Classification> {
-        records.par_iter().map(|r| self.classify(r)).collect()
+        records
+            .par_iter()
+            .map_init(QueryScratch::new, |scratch, r| {
+                self.classify_with(r, scratch)
+            })
+            .collect()
     }
 
-    /// Classify reads sequentially (useful for deterministic profiling).
+    /// Classify reads sequentially with a single reused scratch (useful for
+    /// deterministic profiling).
     pub fn classify_all_sequential(&self, records: &[SequenceRecord]) -> Vec<Classification> {
-        records.iter().map(|r| self.classify(r)).collect()
+        let mut scratch = QueryScratch::new();
+        records
+            .iter()
+            .map(|r| self.classify_with(r, &mut scratch))
+            .collect()
     }
+}
+
+/// Sort `locations` by packed `(target, window)` key using its natural sorted
+/// runs: detect run boundaries in one scan, then merge adjacent runs
+/// bottom-up, ping-ponging between `locations` and `buf`. Falls back to
+/// `sort_unstable_by_key` when more than [`MAX_MERGE_RUNS`] runs are found.
+///
+/// `buf` and `bounds` are caller-owned so repeated calls reuse their
+/// allocations.
+pub(crate) fn sort_location_runs(
+    locations: &mut [Location],
+    buf: &mut Vec<Location>,
+    bounds: &mut Vec<usize>,
+) {
+    bounds.clear();
+    if locations.len() < 2 {
+        return;
+    }
+    bounds.push(0);
+    for i in 1..locations.len() {
+        if locations[i].pack() < locations[i - 1].pack() {
+            bounds.push(i);
+        }
+    }
+    bounds.push(locations.len());
+    if bounds.len() == 2 {
+        return; // already sorted — the common case for single-window reads
+    }
+    if bounds.len() - 1 > MAX_MERGE_RUNS {
+        locations.sort_unstable_by_key(|l| l.pack());
+        return;
+    }
+
+    // Size the ping-pong buffer without clearing first: every merge pass
+    // overwrites all `n` slots, so stale contents never leak, and skipping
+    // the clear avoids re-filling the whole buffer on every call.
+    buf.resize(locations.len(), Location::new(0, 0));
+    let mut in_main = true;
+    while bounds.len() > 2 {
+        if in_main {
+            merge_pass(locations, buf, bounds);
+        } else {
+            merge_pass(buf, locations, bounds);
+        }
+        in_main = !in_main;
+    }
+    if !in_main {
+        locations.copy_from_slice(buf);
+    }
+}
+
+/// One bottom-up merge pass: adjacent run pairs of `src` are merged into
+/// `dst` and `bounds` is compacted to the surviving boundaries.
+fn merge_pass(src: &[Location], dst: &mut [Location], bounds: &mut Vec<usize>) {
+    let mut write = 0usize;
+    let mut pair = 0usize;
+    let mut kept = 1usize; // bounds[0] == 0 stays
+    while pair + 2 < bounds.len() {
+        let (a, b, c) = (bounds[pair], bounds[pair + 1], bounds[pair + 2]);
+        let (mut i, mut j) = (a, b);
+        while i < b && j < c {
+            if src[j].pack() < src[i].pack() {
+                dst[write] = src[j];
+                j += 1;
+            } else {
+                dst[write] = src[i];
+                i += 1;
+            }
+            write += 1;
+        }
+        while i < b {
+            dst[write] = src[i];
+            i += 1;
+            write += 1;
+        }
+        while j < c {
+            dst[write] = src[j];
+            j += 1;
+            write += 1;
+        }
+        bounds[kept] = c;
+        kept += 1;
+        pair += 2;
+    }
+    if pair + 2 == bounds.len() {
+        // Odd run count: the last run passes through unchanged.
+        let (a, b) = (bounds[pair], bounds[pair + 1]);
+        dst[write..write + (b - a)].copy_from_slice(&src[a..b]);
+        bounds[kept] = b;
+        kept += 1;
+    }
+    bounds.truncate(kept);
 }
 
 #[cfg(test)]
@@ -109,9 +305,11 @@ mod tests {
     fn reads_classify_to_their_source_species() {
         let (db, genome_a, genome_b) = two_species_database();
         let classifier = Classifier::new(&db);
-        for (start, genome, expected) in
-            [(500usize, &genome_a, 100u32), (7_000, &genome_b, 101), (12_345, &genome_a, 100)]
-        {
+        for (start, genome, expected) in [
+            (500usize, &genome_a, 100u32),
+            (7_000, &genome_b, 101),
+            (12_345, &genome_a, 100),
+        ] {
             let read = SequenceRecord::new("read", genome[start..start + 120].to_vec());
             let c = classifier.classify(&read);
             assert_eq!(c.taxon, expected, "read from offset {start}");
@@ -125,7 +323,10 @@ mod tests {
         let classifier = Classifier::new(&db);
         let foreign = make_seq(150, 99);
         let c = classifier.classify(&SequenceRecord::new("alien", foreign));
-        assert!(!c.is_classified(), "unrelated read must stay unclassified, got {c:?}");
+        assert!(
+            !c.is_classified(),
+            "unrelated read must stay unclassified, got {c:?}"
+        );
     }
 
     #[test]
@@ -158,7 +359,28 @@ mod tests {
             .enumerate()
             .filter(|(i, c)| c.taxon == if i % 2 == 0 { 100 } else { 101 })
             .count();
-        assert!(correct >= 38, "only {correct}/40 reads classified correctly");
+        assert!(
+            correct >= 38,
+            "only {correct}/40 reads classified correctly"
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch_per_read() {
+        let (db, genome_a, genome_b) = two_species_database();
+        let classifier = Classifier::new(&db);
+        let mut reused = QueryScratch::new();
+        for i in 0..30usize {
+            let (genome, offset) = if i % 2 == 0 {
+                (&genome_a, 150 + i * 53)
+            } else {
+                (&genome_b, 250 + i * 59)
+            };
+            let read = SequenceRecord::new(format!("r{i}"), genome[offset..offset + 120].to_vec());
+            let with_reuse = classifier.classify_with(&read, &mut reused);
+            let fresh = classifier.classify(&read);
+            assert_eq!(with_reuse, fresh, "read {i}");
+        }
     }
 
     #[test]
@@ -179,5 +401,55 @@ mod tests {
             c.best().unwrap().hits > single_hits,
             "paired read should accumulate more hits than a single mate"
         );
+    }
+
+    fn pack_locs(pairs: &[(u32, u32)]) -> Vec<Location> {
+        pairs.iter().map(|&(t, w)| Location::new(t, w)).collect()
+    }
+
+    fn assert_run_sort(input: Vec<Location>) {
+        let mut expected = input.clone();
+        expected.sort_unstable_by_key(|l| l.pack());
+        let mut got = input;
+        let mut buf = Vec::new();
+        let mut bounds = Vec::new();
+        sort_location_runs(&mut got, &mut buf, &mut bounds);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn run_merge_sorts_arbitrary_run_shapes() {
+        // Already sorted.
+        assert_run_sort(pack_locs(&[(0, 1), (0, 2), (1, 0), (2, 5)]));
+        // Two runs.
+        assert_run_sort(pack_locs(&[(1, 0), (1, 5), (0, 0), (0, 9)]));
+        // Odd number of runs, with duplicates across runs.
+        assert_run_sort(pack_locs(&[(3, 1), (3, 2), (1, 1), (2, 2), (0, 0), (3, 1)]));
+        // Empty and singleton.
+        assert_run_sort(Vec::new());
+        assert_run_sort(pack_locs(&[(7, 7)]));
+        // Fully descending (n runs of length 1 — exercises the fallback
+        // threshold boundary both below and above MAX_MERGE_RUNS).
+        for n in [MAX_MERGE_RUNS - 1, MAX_MERGE_RUNS + 5, 300] {
+            let desc: Vec<Location> = (0..n).map(|i| Location::new((n - i) as u32, 0)).collect();
+            assert_run_sort(desc);
+        }
+    }
+
+    #[test]
+    fn run_merge_matches_global_sort_on_random_inputs() {
+        let mut state = 0x1234_5678u64;
+        for case in 0..200 {
+            let len = (case % 37) * 7;
+            let locs: Vec<Location> = (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    Location::new((state >> 33) as u32 % 8, (state >> 20) as u32 % 16)
+                })
+                .collect();
+            assert_run_sort(locs);
+        }
     }
 }

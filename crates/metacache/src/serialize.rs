@@ -47,7 +47,11 @@ pub struct SaveReport {
 }
 
 /// Save a database into `dir` under the base name `name`.
-pub fn save(db: &Database, dir: impl AsRef<Path>, name: &str) -> Result<SaveReport, MetaCacheError> {
+pub fn save(
+    db: &Database,
+    dir: impl AsRef<Path>,
+    name: &str,
+) -> Result<SaveReport, MetaCacheError> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     let mut report = SaveReport::default();
@@ -176,11 +180,7 @@ pub fn load(dir: impl AsRef<Path>, name: &str) -> Result<Database, MetaCacheErro
         }
         partitions.push(Partition {
             store: PartitionStore::Condensed(CondensedStore::from_buckets(buckets)),
-            targets: meta
-                .partition_targets
-                .get(i)
-                .cloned()
-                .unwrap_or_default(),
+            targets: meta.partition_targets.get(i).cloned().unwrap_or_default(),
         });
     }
 
@@ -280,7 +280,10 @@ mod tests {
         let (db, _) = build_db();
         save(&db, &dir, "bad").unwrap();
         std::fs::write(dir.join("bad.cache0"), b"not a cache file").unwrap();
-        assert!(matches!(load(&dir, "bad"), Err(MetaCacheError::Format(_)) | Err(MetaCacheError::Io(_))));
+        assert!(matches!(
+            load(&dir, "bad"),
+            Err(MetaCacheError::Format(_)) | Err(MetaCacheError::Io(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

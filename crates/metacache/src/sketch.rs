@@ -6,9 +6,34 @@
 //! implementation here is the reference; the warp-kernel version in
 //! [`crate::gpu`] produces identical sketches (asserted by tests) while
 //! modelling the device execution of §5.3.
+//!
+//! # The zero-allocation hot path
+//!
+//! The paper's GPU pipeline never touches the heap per read: hashes live in
+//! warp registers and sketches are written into pre-allocated device buffers
+//! (§5.2–§5.3). The host path mirrors that with a two-part API:
+//!
+//! * [`SketchScratch`] — caller-owned scratch state holding the bounded
+//!   top-`s` selection buffer (a small sorted insertion buffer with on-the-fly
+//!   dedup, `s ≤ 64` in practice) plus a per-window feature buffer. Creating
+//!   one costs a couple of allocations; *reusing* one costs none.
+//! * [`Sketcher::sketch_window_into`] / [`Sketcher::sketch_record_into`] /
+//!   [`Sketcher::for_each_window_sketch`] — sketch into caller-owned buffers.
+//!   After warm-up these perform **zero heap allocations**: the selector
+//!   rejects most hashes with a single branch (a hash ≥ the current `s`-th
+//!   smallest cannot enter the sketch) instead of collecting and sorting all
+//!   ~`w − k + 1` hashes per window.
+//!
+//! The original collect→sort→dedup→truncate formulation is retained as
+//! [`Sketcher::sketch_window_baseline`]: it is the reference oracle the
+//! property tests compare against bit-for-bit, and the baseline the
+//! `sketch` / `query_throughput` criterion benches measure speedups over.
+//! The convenience APIs ([`Sketcher::sketch_window`], `sketch_record`, …)
+//! allocate fresh buffers per call and are kept for tests, examples and
+//! one-off use.
 
-use mc_kmer::{hash64, CanonicalKmerIter, Feature};
 use mc_kmer::window::{num_windows, window_range, WindowParams};
+use mc_kmer::{hash64, Feature};
 
 use crate::config::MetaCacheConfig;
 
@@ -53,7 +78,95 @@ impl ReadSketch {
 
     /// Iterate over all features of all windows.
     pub fn all_features(&self) -> impl Iterator<Item = Feature> + '_ {
-        self.windows.iter().flat_map(|s| s.features().iter().copied())
+        self.windows
+            .iter()
+            .flat_map(|s| s.features().iter().copied())
+    }
+}
+
+/// Reusable scratch state for allocation-free sketching.
+///
+/// Holds the bounded top-`s` selection buffer and a per-window feature
+/// buffer. One scratch serves any number of sequential sketching calls (its
+/// buffers are cleared, not reallocated, between windows); create one per
+/// worker thread and reuse it for every read — `rayon`'s `map_init` in
+/// [`crate::query::Classifier::classify_batch`] does exactly that via
+/// [`crate::query::QueryScratch`].
+#[derive(Debug, Clone, Default)]
+pub struct SketchScratch {
+    /// The current ≤ `s` smallest distinct hashes, sorted ascending.
+    hashes: Vec<u64>,
+    /// Selection bound `s` of the sketch in progress.
+    sketch_size: usize,
+    /// Fast-reject bound: the current `s`-th smallest hash once the selector
+    /// is full, `u64::MAX` before that. Any offered hash strictly above it is
+    /// rejected with a single comparison.
+    threshold: u64,
+    /// Per-window feature buffer used by [`Sketcher::for_each_window_sketch`].
+    features: Vec<Feature>,
+}
+
+impl SketchScratch {
+    /// Create an empty scratch. Buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a scratch pre-sized for sketches of `sketch_size` features.
+    pub fn with_capacity(sketch_size: usize) -> Self {
+        Self {
+            hashes: Vec::with_capacity(sketch_size),
+            sketch_size: 0,
+            threshold: u64::MAX,
+            features: Vec::with_capacity(sketch_size),
+        }
+    }
+
+    /// Start selecting the `s` smallest distinct hashes of a new window.
+    #[inline]
+    fn begin(&mut self, sketch_size: usize) {
+        debug_assert!(sketch_size > 0, "validated by MetaCacheConfig");
+        self.sketch_size = sketch_size;
+        self.threshold = u64::MAX;
+        self.hashes.clear();
+        // `reserve` is relative to the (now zero) length and a no-op when the
+        // capacity already suffices, so this never reallocates in steady state.
+        self.hashes.reserve(sketch_size);
+    }
+
+    /// Offer one hash to the bounded selector.
+    ///
+    /// The common case — a hash that cannot enter a full sketch — is rejected
+    /// with a single comparison against the threshold (the current `s`-th
+    /// smallest hash; `u64::MAX` while the selector is filling, so nothing is
+    /// wrongly rejected). Otherwise a binary search finds the insertion point
+    /// (or detects a duplicate) and the ≤ `s`-element buffer shifts at most
+    /// `s − 1` slots.
+    #[inline]
+    fn offer(&mut self, hash: u64) {
+        if hash > self.threshold {
+            return;
+        }
+        match self.hashes.binary_search(&hash) {
+            Ok(_) => {} // duplicate hash: sketches keep distinct values only
+            Err(pos) => {
+                if self.hashes.len() == self.sketch_size {
+                    self.hashes.pop();
+                }
+                self.hashes.insert(pos, hash);
+                if self.hashes.len() == self.sketch_size {
+                    self.threshold = *self.hashes.last().expect("selector is full");
+                }
+            }
+        }
+    }
+
+    /// Append the selected sketch (hashes truncated to 32-bit features, in
+    /// ascending hash order) to `out`; returns the number appended.
+    #[inline]
+    fn emit_into(&self, out: &mut Vec<Feature>) -> usize {
+        out.extend(self.hashes.iter().map(|&h| (h >> 32) as Feature));
+        self.hashes.len()
     }
 }
 
@@ -83,12 +196,35 @@ impl Sketcher {
         self.sketch_size
     }
 
-    /// Sketch one window (an arbitrary subsequence): hash all canonical
-    /// k-mers with `h1` and keep the `s` smallest distinct values, truncated
-    /// to 32-bit features.
-    pub fn sketch_window(&self, window: &[u8]) -> Sketch {
-        let mut hashes: Vec<u64> = CanonicalKmerIter::new(window, self.params.kmer())
-            .map(|k| hash64(k.value()))
+    /// Sketch one window into a caller-owned buffer — the allocation-free hot
+    /// path. Appends the window's features (ascending, distinct) to `out` and
+    /// returns the number appended. Reuses `scratch`; after warm-up this
+    /// performs no heap allocation.
+    pub fn sketch_window_into(
+        &self,
+        window: &[u8],
+        scratch: &mut SketchScratch,
+        out: &mut Vec<Feature>,
+    ) -> usize {
+        scratch.begin(self.sketch_size);
+        mc_kmer::for_each_canonical_kmer(window, self.params.kmer(), |_, packed| {
+            scratch.offer(hash64(packed));
+        });
+        scratch.emit_into(out)
+    }
+
+    /// Reference oracle: sketch one window with the seed implementation,
+    /// retained verbatim — per-k-mer canonicalisation (`O(k)` reverse
+    /// complement per position) followed by collect → sort → dedup →
+    /// truncate (two heap allocations and an `O(n log n)` sort per window).
+    ///
+    /// Retained for three purposes: the property tests assert the bounded
+    /// selector is bit-identical to it, the `sketch` / `query_throughput`
+    /// benches measure the hot path's speedup against it, and it documents
+    /// the §4.1 definition directly.
+    pub fn sketch_window_baseline(&self, window: &[u8]) -> Sketch {
+        let mut hashes: Vec<u64> = mc_kmer::KmerIter::new(window, self.params.kmer())
+            .map(|k| hash64(k.canonical().value()))
             .collect();
         hashes.sort_unstable();
         hashes.dedup();
@@ -98,31 +234,117 @@ impl Sketcher {
         }
     }
 
+    /// Sketch one window (an arbitrary subsequence): hash all canonical
+    /// k-mers with `h1` and keep the `s` smallest distinct values, truncated
+    /// to 32-bit features. Convenience form of [`Self::sketch_window_into`]
+    /// that allocates its own buffers.
+    pub fn sketch_window(&self, window: &[u8]) -> Sketch {
+        let mut scratch = SketchScratch::with_capacity(self.sketch_size);
+        let mut features = Vec::with_capacity(self.sketch_size);
+        self.sketch_window_into(window, &mut scratch, &mut features);
+        Sketch { features }
+    }
+
     /// Number of windows a reference sequence of `len` bases produces.
     pub fn num_windows(&self, len: usize) -> u32 {
         num_windows(len, self.params)
     }
 
-    /// Sketch every window of a reference sequence; returns `(window_id,
-    /// sketch)` pairs for non-empty sketches.
-    pub fn sketch_reference(&self, sequence: &[u8]) -> Vec<(u32, Sketch)> {
-        let n = self.num_windows(sequence.len());
-        (0..n)
-            .filter_map(|w| {
-                let (start, end) = window_range(w, sequence.len(), self.params);
-                let sketch = self.sketch_window(&sequence[start..end]);
-                if sketch.is_empty() {
-                    None
-                } else {
-                    Some((w, sketch))
+    /// Visit every non-empty window sketch of a reference sequence: calls
+    /// `f(window_id, features)` per window, reusing `scratch` so the whole
+    /// reference is sketched without per-window allocation. Returning
+    /// [`ControlFlow::Break`] from the visitor stops the walk early (e.g. the
+    /// build path aborts on a fatal table error without sketching the rest of
+    /// the genome). This is the build path of [`crate::build::CpuBuilder`].
+    pub fn for_each_window_sketch(
+        &self,
+        sequence: &[u8],
+        scratch: &mut SketchScratch,
+        mut f: impl FnMut(u32, &[Feature]) -> std::ops::ControlFlow<()>,
+    ) {
+        let mut features = std::mem::take(&mut scratch.features);
+        for w in 0..self.num_windows(sequence.len()) {
+            let (start, end) = window_range(w, sequence.len(), self.params);
+            features.clear();
+            self.sketch_window_into(&sequence[start..end], scratch, &mut features);
+            if !features.is_empty() {
+                if let std::ops::ControlFlow::Break(()) = f(w, &features) {
+                    break;
                 }
-            })
-            .collect()
+            }
+        }
+        scratch.features = features;
+    }
+
+    /// Sketch every window of a reference sequence; returns `(window_id,
+    /// sketch)` pairs for non-empty sketches. Convenience form of
+    /// [`Self::for_each_window_sketch`] that allocates per window.
+    pub fn sketch_reference(&self, sequence: &[u8]) -> Vec<(u32, Sketch)> {
+        let mut scratch = SketchScratch::with_capacity(self.sketch_size);
+        let mut out = Vec::new();
+        self.for_each_window_sketch(sequence, &mut scratch, |w, features| {
+            out.push((
+                w,
+                Sketch {
+                    features: features.to_vec(),
+                },
+            ));
+            std::ops::ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Sketch every window of one read sequence into `out` (flat, windows
+    /// concatenated in order), returning the number of windows that produced
+    /// a non-empty sketch. Short reads (length ≤ window length) form a single
+    /// window; reads shorter than `k` produce nothing.
+    fn sketch_sequence_into(
+        &self,
+        sequence: &[u8],
+        scratch: &mut SketchScratch,
+        out: &mut Vec<Feature>,
+    ) -> usize {
+        if sequence.len() < self.params.k() as usize {
+            return 0;
+        }
+        let window_len = self.params.window_len() as usize;
+        if sequence.len() <= window_len {
+            let appended = self.sketch_window_into(sequence, scratch, out);
+            return usize::from(appended > 0);
+        }
+        let mut windows = 0;
+        for w in 0..self.num_windows(sequence.len()) {
+            let (start, end) = window_range(w, sequence.len(), self.params);
+            if self.sketch_window_into(&sequence[start..end], scratch, out) > 0 {
+                windows += 1;
+            }
+        }
+        windows
+    }
+
+    /// Sketch a read and (if present) its mate into a caller-owned flat
+    /// feature buffer — the query hot path. Features of all windows are
+    /// appended to `out` in window order; returns the number of non-empty
+    /// windows. Zero heap allocations after warm-up.
+    ///
+    /// The flat layout is sufficient for classification: candidate generation
+    /// consumes the multiset of all window features plus the read's total
+    /// length (see [`crate::query::Classifier::candidates`]).
+    pub fn sketch_record_into(
+        &self,
+        record: &mc_seqio::SequenceRecord,
+        scratch: &mut SketchScratch,
+        out: &mut Vec<Feature>,
+    ) -> usize {
+        let mut windows = self.sketch_sequence_into(&record.sequence, scratch, out);
+        if let Some(mate) = &record.mate {
+            windows += self.sketch_sequence_into(&mate.sequence, scratch, out);
+        }
+        windows
     }
 
     /// Split a read into windows of the database window length and sketch
-    /// each window. Short reads (the common case: read length ≤ window
-    /// length) produce a single window.
+    /// each window. Convenience form that allocates per window.
     pub fn sketch_read(&self, sequence: &[u8]) -> Vec<Sketch> {
         if sequence.len() < self.params.k() as usize {
             return Vec::new();
@@ -147,6 +369,7 @@ impl Sketcher {
     }
 
     /// Sketch a read and (if present) its mate into one [`ReadSketch`].
+    /// Convenience form of [`Self::sketch_record_into`] that allocates.
     pub fn sketch_record(&self, record: &mc_seqio::SequenceRecord) -> ReadSketch {
         let mut windows = self.sketch_read(&record.sequence);
         if let Some(mate) = &record.mate {
@@ -157,11 +380,49 @@ impl Sketcher {
             total_len: record.total_len(),
         }
     }
+
+    /// Reference oracle counterpart of [`Self::sketch_record`]: every window
+    /// sketched with [`Self::sketch_window_baseline`]. Used by tests and the
+    /// `query_throughput` bench's collect-sort baseline.
+    pub fn sketch_record_baseline(&self, record: &mc_seqio::SequenceRecord) -> ReadSketch {
+        let mut windows = self.sketch_read_baseline(&record.sequence);
+        if let Some(mate) = &record.mate {
+            windows.extend(self.sketch_read_baseline(&mate.sequence));
+        }
+        ReadSketch {
+            windows,
+            total_len: record.total_len(),
+        }
+    }
+
+    fn sketch_read_baseline(&self, sequence: &[u8]) -> Vec<Sketch> {
+        if sequence.len() < self.params.k() as usize {
+            return Vec::new();
+        }
+        let window_len = self.params.window_len() as usize;
+        if sequence.len() <= window_len {
+            let s = self.sketch_window_baseline(sequence);
+            return if s.is_empty() { Vec::new() } else { vec![s] };
+        }
+        let n = self.num_windows(sequence.len());
+        (0..n)
+            .filter_map(|w| {
+                let (start, end) = window_range(w, sequence.len(), self.params);
+                let s = self.sketch_window_baseline(&sequence[start..end]);
+                if s.is_empty() {
+                    None
+                } else {
+                    Some(s)
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mc_kmer::CanonicalKmerIter;
     use mc_seqio::SequenceRecord;
 
     fn make_seq(len: usize, seed: u64) -> Vec<u8> {
@@ -186,9 +447,12 @@ mod tests {
         let window = make_seq(127, 1);
         let sketch = s.sketch_window(&window);
         assert!(sketch.len() <= 16);
-        assert!(sketch.len() > 0);
+        assert!(!sketch.is_empty());
         let f = sketch.features();
-        assert!(f.windows(2).all(|p| p[0] < p[1]), "features must be sorted distinct");
+        assert!(
+            f.windows(2).all(|p| p[0] < p[1]),
+            "features must be sorted distinct"
+        );
     }
 
     #[test]
@@ -203,8 +467,61 @@ mod tests {
             .collect();
         hashes.sort_unstable();
         hashes.dedup();
-        let expected: Vec<Feature> = hashes.iter().take(16).map(|h| (h >> 32) as Feature).collect();
+        let expected: Vec<Feature> = hashes
+            .iter()
+            .take(16)
+            .map(|h| (h >> 32) as Feature)
+            .collect();
         assert_eq!(sketch.features(), expected.as_slice());
+    }
+
+    #[test]
+    fn bounded_selector_matches_baseline_oracle() {
+        let s = sketcher();
+        let mut scratch = SketchScratch::new();
+        let mut features = Vec::new();
+        for seed in 0..50u64 {
+            let window = make_seq(40 + (seed as usize * 13) % 200, seed + 1);
+            features.clear();
+            s.sketch_window_into(&window, &mut scratch, &mut features);
+            assert_eq!(
+                features.as_slice(),
+                s.sketch_window_baseline(&window).features(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state_between_windows() {
+        let s = sketcher();
+        let mut scratch = SketchScratch::new();
+        let mut features = Vec::new();
+        let a = make_seq(127, 3);
+        let b = make_seq(127, 4);
+        // Sketch a, then b, then a again with the same scratch.
+        s.sketch_window_into(&a, &mut scratch, &mut features);
+        let first_a = features.clone();
+        features.clear();
+        s.sketch_window_into(&b, &mut scratch, &mut features);
+        features.clear();
+        s.sketch_window_into(&a, &mut scratch, &mut features);
+        assert_eq!(features, first_a);
+        assert_eq!(first_a.as_slice(), s.sketch_window_baseline(&a).features());
+    }
+
+    #[test]
+    fn sketch_record_into_is_flat_concatenation_of_window_sketches() {
+        let s = sketcher();
+        let mut scratch = SketchScratch::new();
+        let mut features = Vec::new();
+        let r = SequenceRecord::new("r/1", make_seq(250, 11))
+            .with_mate(SequenceRecord::new("r/2", make_seq(101, 12)));
+        let windows = s.sketch_record_into(&r, &mut scratch, &mut features);
+        let reference = s.sketch_record(&r);
+        assert_eq!(windows, reference.windows.len());
+        let expected: Vec<Feature> = reference.all_features().collect();
+        assert_eq!(features, expected);
     }
 
     #[test]
@@ -233,6 +550,13 @@ mod tests {
         let s = sketcher();
         assert!(s.sketch_window(b"ACGTACGT").is_empty());
         assert!(s.sketch_read(b"ACGTACGT").is_empty());
+        let mut scratch = SketchScratch::new();
+        let mut features = Vec::new();
+        assert_eq!(
+            s.sketch_window_into(b"ACGTACGT", &mut scratch, &mut features),
+            0
+        );
+        assert!(features.is_empty());
     }
 
     #[test]
@@ -240,6 +564,7 @@ mod tests {
         let s = sketcher();
         let window = vec![b'N'; 127];
         assert!(s.sketch_window(&window).is_empty());
+        assert!(s.sketch_window_baseline(&window).is_empty());
     }
 
     #[test]
@@ -251,6 +576,24 @@ mod tests {
         assert_eq!(sketches.len(), expected_windows as usize);
         assert_eq!(sketches[0].0, 0);
         assert_eq!(sketches.last().unwrap().0, expected_windows - 1);
+    }
+
+    #[test]
+    fn visitor_and_allocating_reference_sketching_agree() {
+        let s = sketcher();
+        let genome = make_seq(8_000, 17);
+        let allocated = s.sketch_reference(&genome);
+        let mut scratch = SketchScratch::new();
+        let mut visited: Vec<(u32, Vec<Feature>)> = Vec::new();
+        s.for_each_window_sketch(&genome, &mut scratch, |w, features| {
+            visited.push((w, features.to_vec()));
+            std::ops::ControlFlow::Continue(())
+        });
+        assert_eq!(allocated.len(), visited.len());
+        for ((w_a, sketch), (w_b, features)) in allocated.iter().zip(&visited) {
+            assert_eq!(w_a, w_b);
+            assert_eq!(sketch.features(), features.as_slice());
+        }
     }
 
     #[test]
@@ -297,6 +640,9 @@ mod tests {
             })
             .max()
             .unwrap();
-        assert!(best_overlap >= 8, "best window overlap only {best_overlap}/16");
+        assert!(
+            best_overlap >= 8,
+            "best window overlap only {best_overlap}/16"
+        );
     }
 }

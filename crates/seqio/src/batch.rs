@@ -214,17 +214,18 @@ mod tests {
         let stats = queue.stats();
         let (tx, rx) = queue.split();
 
-        let producers: Vec<_> = (0..4)
-            .map(|p| {
-                let tx = tx.clone();
-                thread::spawn(move || {
-                    tx.send_all((0..250).map(|i| {
-                        SequenceRecord::new(format!("p{p}_r{i}"), b"ACGTACGT".to_vec())
-                    }))
-                    .unwrap();
+        let producers: Vec<_> =
+            (0..4)
+                .map(|p| {
+                    let tx = tx.clone();
+                    thread::spawn(move || {
+                        tx.send_all((0..250).map(|i| {
+                            SequenceRecord::new(format!("p{p}_r{i}"), b"ACGTACGT".to_vec())
+                        }))
+                        .unwrap();
+                    })
                 })
-            })
-            .collect();
+                .collect();
         drop(tx);
 
         let consumers: Vec<_> = (0..3)
@@ -265,7 +266,10 @@ mod tests {
             thread::spawn(move || tx.send(SequenceBatch::new(0, records(1))).is_ok())
         };
         thread::sleep(std::time::Duration::from_millis(20));
-        assert!(!t.is_finished(), "send should block while the queue is full");
+        assert!(
+            !t.is_finished(),
+            "send should block while the queue is full"
+        );
         rx.recv().unwrap();
         assert!(t.join().unwrap());
     }

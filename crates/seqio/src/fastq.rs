@@ -65,9 +65,9 @@ impl<R: BufRead> Iterator for FastqReader<R> {
                     ))
                 })?
                 .to_string();
-            let sequence = self
-                .read_line()?
-                .ok_or_else(|| SeqIoError::Parse("truncated FASTQ record (missing sequence)".into()))?;
+            let sequence = self.read_line()?.ok_or_else(|| {
+                SeqIoError::Parse("truncated FASTQ record (missing sequence)".into())
+            })?;
             let plus = self
                 .read_line()?
                 .ok_or_else(|| SeqIoError::Parse("truncated FASTQ record (missing '+')".into()))?;
@@ -77,9 +77,9 @@ impl<R: BufRead> Iterator for FastqReader<R> {
                     self.line_no
                 )));
             }
-            let quality = self
-                .read_line()?
-                .ok_or_else(|| SeqIoError::Parse("truncated FASTQ record (missing quality)".into()))?;
+            let quality = self.read_line()?.ok_or_else(|| {
+                SeqIoError::Parse("truncated FASTQ record (missing quality)".into())
+            })?;
             if quality.len() != sequence.len() {
                 return Err(SeqIoError::Parse(format!(
                     "line {}: quality length {} does not match sequence length {}",
@@ -246,12 +246,10 @@ mod tests {
 
     #[test]
     fn paired_write_interleaves() {
-        let rec = SequenceRecord::with_quality("p/1", b"ACGT".to_vec(), b"IIII".to_vec())
-            .with_mate(SequenceRecord::with_quality(
-                "p/2",
-                b"TGCA".to_vec(),
-                b"####".to_vec(),
-            ));
+        let rec =
+            SequenceRecord::with_quality("p/1", b"ACGT".to_vec(), b"IIII".to_vec()).with_mate(
+                SequenceRecord::with_quality("p/2", b"TGCA".to_vec(), b"####".to_vec()),
+            );
         let text = to_string(&[rec]);
         let back = parse_str(&text).unwrap();
         assert_eq!(back.len(), 2);

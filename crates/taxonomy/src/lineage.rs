@@ -132,13 +132,17 @@ mod tests {
         let mut t = Taxonomy::with_root();
         t.add_node(2, 1, Rank::Domain, "Bacteria").unwrap();
         t.add_node(20, 2, Rank::Phylum, "Proteobacteria").unwrap();
-        t.add_node(200, 20, Rank::Family, "Enterobacteriaceae").unwrap();
+        t.add_node(200, 20, Rank::Family, "Enterobacteriaceae")
+            .unwrap();
         t.add_node(2000, 200, Rank::Genus, "Escherichia").unwrap();
-        t.add_node(20000, 2000, Rank::Species, "Escherichia coli").unwrap();
-        t.add_node(20001, 2000, Rank::Species, "Escherichia albertii").unwrap();
+        t.add_node(20000, 2000, Rank::Species, "Escherichia coli")
+            .unwrap();
+        t.add_node(20001, 2000, Rank::Species, "Escherichia albertii")
+            .unwrap();
         t.add_node(21, 2, Rank::Phylum, "Firmicutes").unwrap();
         t.add_node(2100, 21, Rank::Genus, "Bacillus").unwrap();
-        t.add_node(21000, 2100, Rank::Species, "Bacillus subtilis").unwrap();
+        t.add_node(21000, 2100, Rank::Species, "Bacillus subtilis")
+            .unwrap();
         t
     }
 

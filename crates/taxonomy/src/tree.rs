@@ -80,7 +80,8 @@ impl Taxonomy {
         if self.nodes.contains_key(&id) {
             return Err(TaxonomyError::DuplicateId(id));
         }
-        self.nodes.insert(id, TaxonNode::new(id, parent, rank, name));
+        self.nodes
+            .insert(id, TaxonNode::new(id, parent, rank, name));
         Ok(&self.nodes[&id])
     }
 
@@ -224,14 +225,18 @@ mod tests {
         let mut t = Taxonomy::with_root();
         t.add_node(2, 1, Rank::Domain, "Bacteria").unwrap();
         t.add_node(20, 2, Rank::Phylum, "Proteobacteria").unwrap();
-        t.add_node(200, 20, Rank::Family, "Enterobacteriaceae").unwrap();
+        t.add_node(200, 20, Rank::Family, "Enterobacteriaceae")
+            .unwrap();
         t.add_node(2000, 200, Rank::Genus, "Escherichia").unwrap();
-        t.add_node(20000, 2000, Rank::Species, "Escherichia coli").unwrap();
-        t.add_node(20001, 2000, Rank::Species, "Escherichia albertii").unwrap();
+        t.add_node(20000, 2000, Rank::Species, "Escherichia coli")
+            .unwrap();
+        t.add_node(20001, 2000, Rank::Species, "Escherichia albertii")
+            .unwrap();
         t.add_node(21, 2, Rank::Phylum, "Firmicutes").unwrap();
         t.add_node(210, 21, Rank::Order, "Bacillales").unwrap();
         t.add_node(2100, 210, Rank::Genus, "Bacillus").unwrap();
-        t.add_node(21000, 2100, Rank::Species, "Bacillus subtilis").unwrap();
+        t.add_node(21000, 2100, Rank::Species, "Bacillus subtilis")
+            .unwrap();
         t
     }
 
@@ -250,7 +255,10 @@ mod tests {
     #[test]
     fn duplicate_and_reserved_ids_rejected() {
         let mut t = Taxonomy::with_root();
-        assert_eq!(t.add_node(0, 1, Rank::Species, "x"), Err(TaxonomyError::ReservedId));
+        assert_eq!(
+            t.add_node(0, 1, Rank::Species, "x"),
+            Err(TaxonomyError::ReservedId)
+        );
         t.add_node(5, 1, Rank::Species, "a").unwrap();
         assert_eq!(
             t.add_node(5, 1, Rank::Species, "b"),

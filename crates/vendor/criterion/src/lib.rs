@@ -1,0 +1,354 @@
+//! Offline vendored shim for the `criterion` crate.
+//!
+//! A minimal benchmark harness exposing the criterion API surface this
+//! workspace's benches use: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, `Throughput`, `BenchmarkId` and the
+//! `criterion_group!` / `criterion_main!` macros. No statistics engine: each
+//! benchmark is warmed up briefly, then `sample_size` samples are timed and
+//! the min / median / mean are reported.
+//!
+//! Set `BENCH_JSON=<path>` to additionally write every measurement as a JSON
+//! array to `<path>` (used to record `BENCH_query.json` baselines).
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded measurement, exported via `BENCH_JSON`.
+#[derive(Debug, Clone)]
+struct Record {
+    group: String,
+    bench: String,
+    samples: usize,
+    min_ns: u128,
+    median_ns: u128,
+    mean_ns: u128,
+    throughput: Option<(String, f64)>,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Throughput annotation of a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.sample_size, "", &id.into().id, None, f);
+    }
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-iteration throughput used for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Run one benchmark of this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            self.criterion.sample_size,
+            &self.name,
+            &id.into().id,
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Run one benchmark of this group with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(
+            self.criterion.sample_size,
+            &self.name,
+            &id.into().id,
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine`: a short warmup, then `sample_size` timed iterations.
+    pub fn iter<R, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> R,
+    {
+        // Warmup: at least one iteration, up to ~100 ms.
+        let warmup_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warmup_start.elapsed() > Duration::from_millis(100) {
+                break;
+            }
+            if self.sample_size == 0 {
+                break;
+            }
+            // Cheap exit for slow benches: one warmup iteration is enough.
+            if warmup_start.elapsed() > Duration::from_millis(20) {
+                break;
+            }
+        }
+        // Timed samples, capped at ~3 s total wall clock.
+        let cap = Duration::from_secs(3);
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+            if run_start.elapsed() > cap && self.samples.len() >= 3 {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F>(
+    sample_size: usize,
+    group: &str,
+    bench: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+    };
+    f(&mut bencher);
+    let mut ns: Vec<u128> = bencher.samples.iter().map(Duration::as_nanos).collect();
+    if ns.is_empty() {
+        // The closure never called `iter`; nothing to report.
+        return;
+    }
+    ns.sort_unstable();
+    let min = ns[0];
+    let median = ns[ns.len() / 2];
+    let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+    let label = if group.is_empty() {
+        bench.to_string()
+    } else {
+        format!("{group}/{bench}")
+    };
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(b) => ("bytes_per_sec".to_string(), rate_per_sec(b, median)),
+        Throughput::Elements(e) => ("elements_per_sec".to_string(), rate_per_sec(e, median)),
+    });
+    let rate_text = match &rate {
+        Some((unit, value)) if unit == "bytes_per_sec" => {
+            format!("  thrpt: {:>10.1} MiB/s", value / (1024.0 * 1024.0))
+        }
+        Some((_, value)) => format!("  thrpt: {value:>12.0} elem/s"),
+        None => String::new(),
+    };
+    println!(
+        "{label:<48} time: [min {} med {} mean {}]{rate_text}",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+    RECORDS.lock().unwrap().push(Record {
+        group: group.to_string(),
+        bench: bench.to_string(),
+        samples: ns.len(),
+        min_ns: min,
+        median_ns: median,
+        mean_ns: mean,
+        throughput: rate,
+    });
+}
+
+fn rate_per_sec(amount: u64, ns: u128) -> f64 {
+    if ns == 0 {
+        return f64::INFINITY;
+    }
+    amount as f64 / (ns as f64 / 1e9)
+}
+
+fn fmt_ns(ns: u128) -> String {
+    match ns {
+        0..=999 => format!("{ns} ns"),
+        1_000..=999_999 => format!("{:.2} µs", ns as f64 / 1e3),
+        1_000_000..=999_999_999 => format!("{:.2} ms", ns as f64 / 1e6),
+        _ => format!("{:.3} s", ns as f64 / 1e9),
+    }
+}
+
+/// Write the collected measurements as a JSON array to `$BENCH_JSON`, if set.
+/// Called by `criterion_main!` after every group has run.
+pub fn __flush_json() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let records = RECORDS.lock().unwrap();
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"group\": \"{}\", \"bench\": \"{}\", \"samples\": {}, \
+             \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}",
+            r.group, r.bench, r.samples, r.min_ns, r.median_ns, r.mean_ns
+        ));
+        if let Some((unit, value)) = &r.throughput {
+            out.push_str(&format!(", \"{unit}\": {value:.1}"));
+        }
+        out.push('}');
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: could not write {path}: {e}");
+    } else {
+        println!(
+            "criterion shim: wrote {} measurements to {path}",
+            records.len()
+        );
+    }
+}
+
+/// Define a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark binary's `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::__flush_json();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_records() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim_test");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sum_n", 50), &50u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        let records = RECORDS.lock().unwrap();
+        assert!(records.iter().any(|r| r.bench == "sum"));
+        assert!(records.iter().any(|r| r.bench == "sum_n/50"));
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline vendored shim for the `rand` crate.
+//!
+//! Implements the surface `mc-datagen` uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::{gen_bool, gen_range}` over
+//! `usize`/integer ranges and `f64` ranges. The generator is xoshiro256++
+//! seeded through splitmix64 — deterministic per seed, statistically solid
+//! enough for the synthetic-data statistical assertions in the test suite
+//! (GC-content within 2%, read-length means, abundance fractions).
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The user-facing generator interface (subset).
+pub trait Rng {
+    /// Next uniformly distributed `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// A `bool` that is `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 random mantissa bits -> uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+
+    /// A uniformly distributed value from a range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Range types [`Rng::gen_range`] accepts. The element type parameter is
+/// linked to the range type through a single generic impl pair so that
+/// literal ranges (`0..4`) infer their element type from the call site, as
+/// with real rand.
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> T;
+}
+
+/// Element types uniform sampling is defined for.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[start, end)` (`inclusive` widens to `[start, end]`).
+    fn sample_between<G: Rng + ?Sized>(
+        rng: &mut G,
+        start: Self,
+        end: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+/// Unbiased-enough uniform integer in `[0, bound)` via 128-bit multiply
+/// (Lemire's multiply-shift; the tiny residual bias is irrelevant at the
+/// sample counts of this workspace).
+fn uniform_below<G: Rng + ?Sized>(rng: &mut G, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_ints {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: Rng + ?Sized>(
+                rng: &mut G,
+                start: Self,
+                end: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (end - start) as u64;
+                if inclusive {
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    start + uniform_below(rng, span + 1) as $t
+                } else {
+                    start + uniform_below(rng, span) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_ints!(usize, u64, u32, u16, u8, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_between<G: Rng + ?Sized>(
+        rng: &mut G,
+        start: Self,
+        end: Self,
+        _inclusive: bool,
+    ) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        start + unit * (end - start)
+    }
+}
+
+/// Named generator types.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The standard generator: xoshiro256++ seeded via splitmix64.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed with splitmix64 so nearby seeds diverge.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..10).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..10).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..10).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.3).abs() < 0.01, "gen_bool(0.3) -> {frac}");
+    }
+
+    #[test]
+    fn gen_range_is_uniform_and_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[rng.gen_range(0..4usize)] += 1;
+        }
+        for c in counts {
+            assert!((c as i64 - 10_000).abs() < 600, "bucket count {c}");
+        }
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(5..=9);
+            assert!((5..=9).contains(&v));
+            let f: f64 = rng.gen_range(1.5..2.5);
+            assert!((1.5..2.5).contains(&f));
+        }
+        assert_eq!(rng.gen_range(3..4usize), 3);
+        assert_eq!(rng.gen_range(0..=0usize), 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! Offline vendored shim for the `rayon` crate.
+//!
+//! Implements exactly the parallel-iterator surface this workspace uses —
+//! `par_iter().map(..).collect()`, `par_iter().map_init(..).collect()`,
+//! `par_iter_mut().for_each(..)` and `(range).into_par_iter().map(..)
+//! .collect()` — with real data parallelism on `std::thread::scope` chunks
+//! (one chunk per available core). Results are returned in input order, like
+//! rayon's indexed parallel iterators.
+//!
+//! The `map_init` combinator is the important one for the zero-allocation
+//! query hot path: each worker thread creates its scratch state once and
+//! reuses it for every item of its chunk.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+/// Number of worker threads used for parallel operations.
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f` over each input chunk on its own scoped thread and collect the
+/// per-chunk outputs in order.
+fn run_chunked<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    let threads = num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() < 2 {
+        return f(items);
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(|| f(slice)))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Shared (&T) parallel iteration.
+// ---------------------------------------------------------------------------
+
+/// `rayon::iter::IntoParallelRefIterator` equivalent: `.par_iter()` on slices
+/// (and everything that derefs to a slice, e.g. `Vec`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by reference.
+    type Item: Sync + 'a;
+    /// Create a parallel iterator over shared references.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over `&T` items of a slice.
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Map each item in parallel with per-worker state created by `init`
+    /// (rayon's `map_init`): each worker thread calls `init` once and then
+    /// passes `&mut` of that state to every `f` invocation it executes.
+    pub fn map_init<S, R, I, F>(self, init: I, f: F) -> ParMapInit<'a, T, I, F>
+    where
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, &T) -> R + Sync,
+    {
+        ParMapInit {
+            items: self.items,
+            init,
+            f,
+        }
+    }
+
+    /// Run `f` on each item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&T) + Sync,
+    {
+        run_chunked(self.items, |slice| {
+            slice.iter().for_each(&f);
+            Vec::<()>::new()
+        });
+    }
+}
+
+/// Lazy `map` stage of a [`ParIter`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T, R, F> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    /// Execute the map in parallel and collect results in input order.
+    pub fn collect<C: FromParResults<R>>(self) -> C {
+        C::from_vec(run_chunked(self.items, |slice| {
+            slice.iter().map(&self.f).collect()
+        }))
+    }
+}
+
+/// Lazy `map_init` stage of a [`ParIter`].
+pub struct ParMapInit<'a, T, I, F> {
+    items: &'a [T],
+    init: I,
+    f: F,
+}
+
+impl<'a, T, S, R, I, F> ParMapInit<'a, T, I, F>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    /// Execute the map in parallel — one `init` call per worker chunk — and
+    /// collect results in input order.
+    pub fn collect<C: FromParResults<R>>(self) -> C {
+        C::from_vec(run_chunked(self.items, |slice| {
+            let mut state = (self.init)();
+            slice
+                .iter()
+                .map(|item| (self.f)(&mut state, item))
+                .collect()
+        }))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exclusive (&mut T) parallel iteration.
+// ---------------------------------------------------------------------------
+
+/// `rayon::iter::IntoParallelRefMutIterator` equivalent: `.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Item type yielded by mutable reference.
+    type Item: Send + 'a;
+    /// Create a parallel iterator over exclusive references.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Parallel iterator over `&mut T` items of a slice.
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Run `f` on each item in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let threads = num_threads().min(self.items.len().max(1));
+        if threads <= 1 || self.items.len() < 2 {
+            self.items.iter_mut().for_each(f);
+            return;
+        }
+        let chunk = self.items.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            for slice in self.items.chunks_mut(chunk) {
+                scope.spawn(|| slice.iter_mut().for_each(&f));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Owned parallel iteration (ranges).
+// ---------------------------------------------------------------------------
+
+/// `rayon::iter::IntoParallelIterator` equivalent for owned inputs; only the
+/// `Range<usize>` form is needed by this workspace.
+pub trait IntoParallelIterator {
+    /// The owned item type.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { range: self }
+    }
+}
+
+/// Parallel iterator over a `usize` range.
+pub struct RangeParIter {
+    range: std::ops::Range<usize>,
+}
+
+impl RangeParIter {
+    /// Map each index in parallel.
+    pub fn map<R, F>(self, f: F) -> RangeParMap<F>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        RangeParMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// Lazy `map` stage of a [`RangeParIter`].
+pub struct RangeParMap<F> {
+    range: std::ops::Range<usize>,
+    f: F,
+}
+
+impl<R, F> RangeParMap<F>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    /// Execute the map in parallel and collect results in index order.
+    pub fn collect<C: FromParResults<R>>(self) -> C {
+        let indices: Vec<usize> = self.range.collect();
+        C::from_vec(run_chunked(&indices, |slice| {
+            slice.iter().map(|&i| (self.f)(i)).collect()
+        }))
+    }
+}
+
+/// Collection types a parallel map can collect into (rayon's
+/// `FromParallelIterator`, restricted to the ordered-`Vec` case used here).
+pub trait FromParResults<R> {
+    /// Build the collection from results in input order.
+    fn from_vec(v: Vec<R>) -> Self;
+}
+
+impl<R> FromParResults<R> for Vec<R> {
+    fn from_vec(v: Vec<R>) -> Self {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = items.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled.len(), 10_000);
+        assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+    }
+
+    #[test]
+    fn map_init_reuses_state_per_worker() {
+        let items: Vec<u32> = (0..1000).collect();
+        let out: Vec<u32> = items
+            .par_iter()
+            .map_init(Vec::<u32>::new, |scratch, &x| {
+                scratch.push(x);
+                x + 1
+            })
+            .collect();
+        assert_eq!(out[999], 1000);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_everything() {
+        let mut items: Vec<u32> = vec![1; 257];
+        items.par_iter_mut().for_each(|x| *x += 1);
+        assert!(items.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn range_collect_is_ordered() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i).collect();
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+}

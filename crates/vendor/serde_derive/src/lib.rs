@@ -1,0 +1,229 @@
+//! Offline vendored shim for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote` — those are not available
+//! offline) for the two shapes this workspace derives:
+//!
+//! * structs with named fields → JSON objects keyed by field name,
+//! * enums with unit variants only → JSON strings of the variant name.
+//!
+//! Generics, tuple/unit structs, data-carrying enum variants and
+//! `#[serde(...)]` attributes are not supported and fail loudly at compile
+//! time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+/// Skip one `#[...]` attribute; the leading `#` has already been consumed.
+fn skip_attr(iter: &mut impl Iterator<Item = TokenTree>) {
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+        other => panic!("serde shim derive: malformed attribute near {other:?}"),
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => skip_attr(&mut iter),
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                kind @ ("struct" | "enum") => {
+                    let name = match iter.next() {
+                        Some(TokenTree::Ident(n)) => n.to_string(),
+                        other => panic!("serde shim derive: expected type name, got {other:?}"),
+                    };
+                    for tt2 in iter.by_ref() {
+                        match tt2 {
+                            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                                return if kind == "struct" {
+                                    Shape::Struct {
+                                        name,
+                                        fields: parse_struct_fields(g.stream()),
+                                    }
+                                } else {
+                                    Shape::Enum {
+                                        name,
+                                        variants: parse_enum_variants(g.stream()),
+                                    }
+                                };
+                            }
+                            TokenTree::Punct(p) if p.as_char() == '<' => {
+                                panic!("serde shim derive: generic types are not supported")
+                            }
+                            TokenTree::Punct(p) if p.as_char() == ';' => {
+                                panic!("serde shim derive: unit/tuple structs are not supported")
+                            }
+                            _ => {}
+                        }
+                    }
+                    panic!("serde shim derive: missing body for `{name}`");
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    panic!("serde shim derive: unsupported input shape");
+}
+
+/// Parse `name: Type, ...` field lists; commas inside generic arguments are
+/// skipped by tracking `<`/`>` depth (angle brackets are not token groups).
+fn parse_struct_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Field prologue: attributes and visibility.
+        let name = loop {
+            match iter.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde shim derive: unexpected token {other:?} in struct"),
+            }
+        };
+        fields.push(name);
+        // Skip `: Type` until a top-level comma (or end of body).
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Parse `Variant, Variant = 3, ...`; data-carrying variants are rejected.
+fn parse_enum_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match iter.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attr(&mut iter),
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde shim derive: unexpected token {other:?} in enum"),
+            }
+        };
+        if let Some(TokenTree::Group(_)) = iter.peek() {
+            panic!("serde shim derive: enum variant `{name}` carries data (unsupported)");
+        }
+        variants.push(name);
+        // Skip optional `= discriminant` until the next comma.
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = tt {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "fields.push((\"{f}\".to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?,\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => Err(::serde::Error::msg(format!(\n\
+                                     \"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => Err(::serde::Error::msg(format!(\n\
+                                 \"expected string for {name}, found {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .expect("serde shim derive: generated invalid Rust")
+}

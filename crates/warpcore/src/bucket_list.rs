@@ -107,7 +107,9 @@ impl BucketListHashTable {
         };
         Self {
             keys: (0..slots).map(|_| AtomicU64::new(EMPTY)).collect(),
-            entries: (0..slots).map(|_| Mutex::new(KeyEntry::default())).collect(),
+            entries: (0..slots)
+                .map(|_| Mutex::new(KeyEntry::default()))
+                .collect(),
             arena: Mutex::new(Vec::new()),
             slots_used: AtomicUsize::new(0),
             stored_values: AtomicUsize::new(0),
@@ -284,7 +286,10 @@ mod tests {
         }
         let mut hits = t.query(5);
         hits.sort();
-        assert_eq!(hits, (0..20).map(|w| Location::new(1, w)).collect::<Vec<_>>());
+        assert_eq!(
+            hits,
+            (0..20).map(|w| Location::new(1, w)).collect::<Vec<_>>()
+        );
         assert_eq!(t.key_count(), 1);
         assert_eq!(t.value_count(), 20);
         // Chain buckets: 2 + 4 + 8 + 16 = 30 cells allocated for 20 values.

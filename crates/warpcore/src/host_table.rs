@@ -80,6 +80,22 @@ impl Inner {
         None
     }
 
+    /// Append the bucket of `feature` (if present) to `out`; returns the
+    /// number of locations appended. Shared by the single and batched query
+    /// paths, which differ only in how long they hold the read lock.
+    fn lookup_into(&self, feature: Feature, out: &mut Vec<Location>) -> usize {
+        let Some(slot_idx) = self.probe(feature) else {
+            return 0;
+        };
+        match &self.slots[slot_idx] {
+            Some(slot) if slot.feature == feature => {
+                out.extend_from_slice(&slot.bucket);
+                slot.bucket.len()
+            }
+            _ => 0,
+        }
+    }
+
     fn grow(&mut self, new_capacity: usize) {
         let old = std::mem::replace(
             &mut self.slots,
@@ -140,9 +156,12 @@ impl HostHashTable {
     /// (target, window) — holds when insertions arrive in ascending location
     /// order, as produced by the build pipeline.
     pub fn is_sorted(&self) -> bool {
-        self.inner.read().slots.iter().flatten().all(|s| {
-            s.bucket.windows(2).all(|w| w[0] <= w[1])
-        })
+        self.inner
+            .read()
+            .slots
+            .iter()
+            .flatten()
+            .all(|s| s.bucket.windows(2).all(|w| w[0] <= w[1]))
     }
 
     /// Apply a function to every (feature, bucket) pair, e.g. for
@@ -188,17 +207,14 @@ impl FeatureStore for HostHashTable {
     }
 
     fn query_into(&self, feature: Feature, out: &mut Vec<Location>) -> usize {
+        self.inner.read().lookup_into(feature, out)
+    }
+
+    fn query_batch_into(&self, features: &[Feature], out: &mut Vec<Location>) -> usize {
+        // One read-lock acquisition for the whole sketch, instead of one per
+        // feature — the query hot path looks up `s` features per window.
         let inner = self.inner.read();
-        let Some(slot_idx) = inner.probe(feature) else {
-            return 0;
-        };
-        match &inner.slots[slot_idx] {
-            Some(slot) if slot.feature == feature => {
-                out.extend_from_slice(&slot.bucket);
-                slot.bucket.len()
-            }
-            _ => 0,
-        }
+        features.iter().map(|&f| inner.lookup_into(f, out)).sum()
     }
 
     fn key_count(&self) -> usize {

@@ -103,6 +103,18 @@ pub trait FeatureStore: Send + Sync {
     /// of locations appended.
     fn query_into(&self, feature: Feature, out: &mut Vec<Location>) -> usize;
 
+    /// Append the locations of every feature of `features` to `out`, in
+    /// feature order. Returns the total number appended.
+    ///
+    /// This is the query-phase hot call: one read looks up its whole sketch
+    /// (`s` features per window) at once, so implementations can amortise
+    /// per-lookup overhead — the host table acquires its read lock once per
+    /// batch instead of once per feature. The default forwards to
+    /// [`FeatureStore::query_into`] per feature.
+    fn query_batch_into(&self, features: &[Feature], out: &mut Vec<Location>) -> usize {
+        features.iter().map(|&f| self.query_into(f, out)).sum()
+    }
+
     /// Convenience wrapper returning a fresh vector.
     fn query(&self, feature: Feature) -> Vec<Location> {
         let mut out = Vec::new();

@@ -329,7 +329,10 @@ mod tests {
         let mut hits = t.query(42);
         hits.sort();
         assert_eq!(hits.len(), 10);
-        assert_eq!(hits, (0..10).map(|w| Location::new(5, w)).collect::<Vec<_>>());
+        assert_eq!(
+            hits,
+            (0..10).map(|w| Location::new(5, w)).collect::<Vec<_>>()
+        );
         let stats = t.stats();
         assert_eq!(stats.key_count, 1);
         assert_eq!(stats.value_count, 10);

@@ -200,7 +200,10 @@ mod tests {
         t.insert(10, Location::new(4, 0)).unwrap();
         let mut hits = t.query(9);
         hits.sort();
-        assert_eq!(hits, (0..5).map(|w| Location::new(3, w)).collect::<Vec<_>>());
+        assert_eq!(
+            hits,
+            (0..5).map(|w| Location::new(3, w)).collect::<Vec<_>>()
+        );
         assert_eq!(t.query(10).len(), 1);
         assert_eq!(t.key_count(), 2);
         assert_eq!(t.value_count(), 6);

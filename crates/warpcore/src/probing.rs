@@ -149,7 +149,11 @@ mod tests {
         };
         let probes: Vec<usize> = ProbingSequence::new(99, 1024, cfg).take(8).collect();
         for pair in probes.windows(2) {
-            assert_eq!(pair[1], (pair[0] + 1) % 1024, "inner probing must be linear");
+            assert_eq!(
+                pair[1],
+                (pair[0] + 1) % 1024,
+                "inner probing must be linear"
+            );
         }
     }
 
@@ -161,8 +165,7 @@ mod tests {
             max_groups: capacity / 8,
         };
         for key in [3u32, 77, 1_000_003] {
-            let visited: HashSet<usize> =
-                ProbingSequence::new(key, capacity, cfg).collect();
+            let visited: HashSet<usize> = ProbingSequence::new(key, capacity, cfg).collect();
             assert_eq!(visited.len(), capacity, "key {key} did not cover the table");
         }
     }

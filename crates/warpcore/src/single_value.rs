@@ -203,7 +203,12 @@ mod tests {
 
     #[test]
     fn bucket_ref_packing_roundtrip() {
-        for (off, len) in [(0u64, 0u32), (1, 1), (123_456_789, 254), ((1 << 40) - 1, (1 << 24) - 1)] {
+        for (off, len) in [
+            (0u64, 0u32),
+            (1, 1),
+            (123_456_789, 254),
+            ((1 << 40) - 1, (1 << 24) - 1),
+        ] {
             let packed = pack_bucket_ref(off, len);
             assert_eq!(unpack_bucket_ref(packed), (off, len));
         }

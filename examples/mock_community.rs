@@ -42,7 +42,10 @@ fn main() {
         .simulate(&collection);
     let truth: Vec<TaxonId> = reads.truth.iter().map(|t| t.taxon).collect();
     let (min, max, avg) = reads.length_stats();
-    println!("simulated {} reads (len {min}-{max}, avg {avg:.1})", reads.len());
+    println!(
+        "simulated {} reads (len {min}-{max}, avg {avg:.1})",
+        reads.len()
+    );
 
     let config = MetaCacheConfig::default();
 
@@ -106,12 +109,7 @@ fn main() {
     report("Kraken2-style baseline", &cpu_db, &as_metacache, &truth);
 }
 
-fn report(
-    name: &str,
-    db: &metacache::Database,
-    calls: &[Classification],
-    truth: &[TaxonId],
-) {
+fn report(name: &str, db: &metacache::Database, calls: &[Classification], truth: &[TaxonId]) {
     let eval = ClassificationEvaluation::evaluate(db, calls, truth);
     println!(
         "{name}: species precision {:.2}% / sensitivity {:.2}%, genus precision {:.2}% / sensitivity {:.2}%",

@@ -84,8 +84,16 @@ fn main() {
             wl.phases.time_to_query(),
             format_args!("{:.1} MiB", wl.db_file_bytes as f64 / (1 << 20) as f64)
         );
-        let classified_otf = otf.classifications.iter().filter(|c| c.is_classified()).count();
-        let classified_wl = wl.classifications.iter().filter(|c| c.is_classified()).count();
+        let classified_otf = otf
+            .classifications
+            .iter()
+            .filter(|c| c.is_classified())
+            .count();
+        let classified_wl = wl
+            .classifications
+            .iter()
+            .filter(|c| c.is_classified())
+            .count();
         println!(
             "classified reads: OTF {classified_otf}/{} vs W+L {classified_wl}/{} (identical: {})",
             reads.len(),

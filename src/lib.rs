@@ -1,0 +1,21 @@
+//! Umbrella crate of the MetaCache-GPU reproduction workspace.
+//!
+//! Hosts the cross-crate integration tests (`tests/`) and the runnable
+//! examples (`examples/`), and re-exports the member crates for convenient
+//! one-import use:
+//!
+//! ```
+//! use metacache_repro::metacache::MetaCacheConfig;
+//!
+//! assert_eq!(MetaCacheConfig::default().sketch_size, 16);
+//! ```
+
+pub use mc_bench;
+pub use mc_datagen;
+pub use mc_gpu_sim;
+pub use mc_kmer;
+pub use mc_kraken2;
+pub use mc_seqio;
+pub use mc_taxonomy;
+pub use mc_warpcore;
+pub use metacache;

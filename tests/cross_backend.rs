@@ -101,7 +101,11 @@ fn cpu_and_gpu_builders_lead_to_agreeing_classifiers() {
         .zip(&truth)
         .filter(|(c, t)| c.taxon == **t)
         .count();
-    assert!(correct * 2 > reads.len(), "only {correct}/{} correct", reads.len());
+    assert!(
+        correct * 2 > reads.len(),
+        "only {correct}/{} correct",
+        reads.len()
+    );
 }
 
 #[test]
@@ -125,10 +129,24 @@ fn kraken2_and_metacache_agree_on_easy_reads() {
     let kr_calls = Kraken2Classifier::new(&kr_db).classify_batch(&reads.reads);
 
     // Both tools should be right on the vast majority of these clean reads.
-    let mc_correct = mc_calls.iter().zip(&truth).filter(|(c, t)| c.taxon == **t).count();
-    let kr_correct = kr_calls.iter().zip(&truth).filter(|(c, t)| c.taxon == **t).count();
-    assert!(mc_correct * 10 >= reads.len() * 7, "MetaCache correct: {mc_correct}");
-    assert!(kr_correct * 10 >= reads.len() * 7, "Kraken2 correct: {kr_correct}");
+    let mc_correct = mc_calls
+        .iter()
+        .zip(&truth)
+        .filter(|(c, t)| c.taxon == **t)
+        .count();
+    let kr_correct = kr_calls
+        .iter()
+        .zip(&truth)
+        .filter(|(c, t)| c.taxon == **t)
+        .count();
+    assert!(
+        mc_correct * 10 >= reads.len() * 7,
+        "MetaCache correct: {mc_correct}"
+    );
+    assert!(
+        kr_correct * 10 >= reads.len() * 7,
+        "Kraken2 correct: {kr_correct}"
+    );
 }
 
 #[test]

@@ -6,29 +6,68 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use mc_gpu_sim::segmented_sort;
+use mc_gpu_sim::{segmented_sort, Warp};
 use mc_kmer::{
     canonical, reverse_complement, CanonicalKmerIter, EncodedSequence, KmerParams, Location,
 };
+use mc_seqio::SequenceRecord;
 use mc_taxonomy::{Rank, Taxonomy};
 use mc_warpcore::{
     BucketListConfig, BucketListHashTable, FeatureStore, HostHashTable, HostTableConfig,
     MultiBucketConfig, MultiBucketHashTable, MultiValueConfig, MultiValueHashTable,
 };
-use metacache::{MetaCacheConfig, Sketcher};
+use metacache::build::CpuBuilder;
+use metacache::gpu::{warp_sketch_window_into, WarpSketchScratch};
+use metacache::query::{Classifier, QueryScratch};
+use metacache::{Database, MetaCacheConfig, SketchScratch, Sketcher};
 
 fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    vec(prop_oneof![
-        Just(b'A'),
-        Just(b'C'),
-        Just(b'G'),
-        Just(b'T'),
-        Just(b'N'),
-    ], 0..max_len)
+    vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T'), Just(b'N'),],
+        0..max_len,
+    )
 }
 
 fn clean_dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
-    vec(prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')], 0..max_len)
+    vec(
+        prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T')],
+        0..max_len,
+    )
+}
+
+fn make_seq(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b"ACGT"[(state >> 33) as usize % 4]
+        })
+        .collect()
+}
+
+/// A two-species database shared across property cases (building one per
+/// case would dominate the test's runtime).
+fn shared_database() -> (&'static Database, &'static [Vec<u8>]) {
+    use std::sync::OnceLock;
+    static DB: OnceLock<(Database, Vec<Vec<u8>>)> = OnceLock::new();
+    let (db, genomes) = DB.get_or_init(|| {
+        let mut taxonomy = Taxonomy::with_root();
+        taxonomy.add_node(10, 1, Rank::Genus, "G").unwrap();
+        taxonomy.add_node(100, 10, Rank::Species, "G a").unwrap();
+        taxonomy.add_node(101, 10, Rank::Species, "G b").unwrap();
+        let genomes = vec![make_seq(18_000, 11), make_seq(18_000, 12)];
+        let mut builder = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy);
+        builder
+            .add_target(SequenceRecord::new("refA", genomes[0].clone()), 100)
+            .unwrap();
+        builder
+            .add_target(SequenceRecord::new("refB", genomes[1].clone()), 101)
+            .unwrap();
+        (builder.finish(), genomes)
+    });
+    (db, genomes)
 }
 
 proptest! {
@@ -130,6 +169,86 @@ proptest! {
             let mut original = keys[w[0]..w[1]].to_vec();
             original.sort_unstable();
             prop_assert_eq!(&data[w[0]..w[1]], original.as_slice());
+        }
+    }
+
+    #[test]
+    fn bounded_selector_is_bit_identical_to_collect_sort_oracle(
+        // Windows over the full alphabet including `N` runs, from empty
+        // through shorter-than-k up to multi-window lengths.
+        window in dna(400),
+        n_run_start in 0usize..400,
+        n_run_len in 0usize..40,
+    ) {
+        let mut window = window;
+        // Splice an explicit N run so ambiguous stretches are always exercised.
+        for i in 0..n_run_len {
+            if let Some(base) = window.get_mut(n_run_start + i) {
+                *base = b'N';
+            }
+        }
+        let mut scratch = SketchScratch::new();
+        let mut features = Vec::new();
+        // The acceptance sketch sizes: minimal, paper default, selector bound.
+        for sketch_size in [1usize, 16, 64] {
+            let config = MetaCacheConfig { sketch_size, ..MetaCacheConfig::default() };
+            let sketcher = Sketcher::new(&config).unwrap();
+            features.clear();
+            sketcher.sketch_window_into(&window, &mut scratch, &mut features);
+            let oracle = sketcher.sketch_window_baseline(&window);
+            prop_assert_eq!(&features, oracle.features(), "sketch size {}", sketch_size);
+        }
+    }
+
+    #[test]
+    fn warp_kernel_host_scratch_and_oracle_sketches_agree(
+        window in dna(300),
+        sketch_size_choice in 0usize..3,
+    ) {
+        let sketch_size = [1usize, 16, 64][sketch_size_choice];
+        let config = MetaCacheConfig { sketch_size, ..MetaCacheConfig::default() };
+        let sketcher = Sketcher::new(&config).unwrap();
+        let kmer = sketcher.window_params().kmer();
+        let mut warp_scratch = WarpSketchScratch::new();
+        let mut warp_features = Vec::new();
+        warp_sketch_window_into(
+            &Warp::new(0), &window, kmer, sketch_size, &mut warp_scratch, &mut warp_features,
+        );
+        let mut host_scratch = SketchScratch::new();
+        let mut host_features = Vec::new();
+        sketcher.sketch_window_into(&window, &mut host_scratch, &mut host_features);
+        let oracle = sketcher.sketch_window_baseline(&window);
+        prop_assert_eq!(&warp_features, &host_features);
+        prop_assert_eq!(&warp_features, oracle.features());
+    }
+
+    #[test]
+    fn classify_batch_with_scratch_reuse_equals_sequential(
+        offsets in vec(0usize..17_000, 1..40),
+        lengths in vec(20usize..300, 1..40),
+    ) {
+        let (db, genomes) = shared_database();
+        let classifier = Classifier::new(db);
+        let reads: Vec<SequenceRecord> = offsets
+            .iter()
+            .zip(&lengths)
+            .enumerate()
+            .map(|(i, (&off, &len))| {
+                let genome = &genomes[i % genomes.len()];
+                let end = (off + len).min(genome.len());
+                SequenceRecord::new(format!("r{i}"), genome[off..end].to_vec())
+            })
+            .collect();
+        // classify_batch reuses one QueryScratch per rayon worker,
+        // classify_all_sequential reuses a single scratch, and classify()
+        // builds a fresh scratch per read: all three must agree exactly.
+        let batch = classifier.classify_batch(&reads);
+        let sequential = classifier.classify_all_sequential(&reads);
+        prop_assert_eq!(&batch, &sequential);
+        let mut reused = QueryScratch::new();
+        for (read, expected) in reads.iter().zip(&batch) {
+            prop_assert_eq!(&classifier.classify(read), expected);
+            prop_assert_eq!(&classifier.classify_with(read, &mut reused), expected);
         }
     }
 
