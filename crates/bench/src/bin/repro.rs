@@ -11,18 +11,21 @@
 //!   table6 abundance   classification accuracy and abundance estimation (Table 6, §6.5)
 //!   fig5               query pipeline breakdown (Figure 5)
 //!   tablemem ablation  hash-table memory comparison and parameter ablations (§6)
+//!   streaming          streaming vs materialised query pipeline (§5 pipelining)
 //!   all                everything above
 //! ```
 
 use std::collections::BTreeSet;
 
-use mc_bench::experiments::{accuracy, breakdown, build_perf, datasets, query_perf, tablemem, ttq};
+use mc_bench::experiments::{
+    accuracy, breakdown, build_perf, datasets, query_perf, streaming, tablemem, ttq,
+};
 use mc_bench::ExperimentScale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale tiny|default] [--json] \
-         <table1|table2|table3|table4|table5|table6|fig4|fig5|abundance|tablemem|ablation|all>..."
+         <table1|table2|table3|table4|table5|table6|fig4|fig5|abundance|tablemem|ablation|streaming|all>..."
     );
     std::process::exit(2);
 }
@@ -62,6 +65,7 @@ fn main() {
             "fig5",
             "tablemem",
             "ablation",
+            "streaming",
         ] {
             requested.insert(e.to_string());
         }
@@ -129,6 +133,14 @@ fn main() {
             println!("{}", serde_json::to_string_pretty(&result).unwrap());
         } else {
             println!("{}", tablemem::render(&result));
+        }
+    }
+    if wants(&["streaming"]) {
+        let result = streaming::run(&scale);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+        } else {
+            println!("{}", streaming::render(&result));
         }
     }
 }

@@ -9,12 +9,14 @@
 //! | [`accuracy`] | Table 6 (classification accuracy) and the §6.5 abundance comparison |
 //! | [`breakdown`] | Figure 5 (query pipeline breakdown) |
 //! | [`tablemem`] | the multi-bucket vs multi-value vs bucket-list memory comparison (§6) and hash-table/sketch ablations |
+//! | [`streaming`] | streaming vs materialised query pipeline (§5's pipelining, host-side) |
 
 pub mod accuracy;
 pub mod breakdown;
 pub mod build_perf;
 pub mod datasets;
 pub mod query_perf;
+pub mod streaming;
 pub mod tablemem;
 pub mod ttq;
 

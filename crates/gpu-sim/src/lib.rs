@@ -29,6 +29,14 @@
 //! identical to the CUDA original; only wall-clock performance differs, which
 //! is why the experiment harness reports both measured host time and
 //! simulated device time.
+//!
+//! The natural unit of work fed to [`launch_warps`] is one sequence batch
+//! popped from the bounded `mc-seqio` queue: the streaming pipelines
+//! (`metacache::pipeline::StreamingClassifier` on the host,
+//! `GpuClassifier::classify_stream` on this substrate) parse reads into
+//! sequence-numbered batches, launch one warp per read window per batch, and
+//! restore input order from the batch indices — the overlapped
+//! parse/sketch/classify architecture of the paper's Figure 2.
 
 pub mod clock;
 pub mod device;

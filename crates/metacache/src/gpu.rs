@@ -443,6 +443,31 @@ impl<'db> GpuClassifier<'db> {
         }
         (all, breakdown)
     }
+
+    /// Consume sequence batches from a bounded queue until it closes,
+    /// classifying each on the simulated devices and restoring input order
+    /// from the batch sequence numbers.
+    ///
+    /// This is the device-side consumer of the streaming architecture
+    /// (Figure 2): each [`mc_seqio::SequenceBatch`] popped from the queue is
+    /// the unit handed to `launch_warps` (one warp per read window inside
+    /// [`GpuClassifier::classify_batch`]), so parsing on the producer side
+    /// overlaps device execution here while the queue's capacity bounds host
+    /// memory.
+    pub fn classify_stream(
+        &self,
+        batches: &mc_seqio::BatchReceiver,
+    ) -> (Vec<Classification>, StageBreakdown) {
+        let mut by_index: std::collections::BTreeMap<u64, Vec<Classification>> =
+            std::collections::BTreeMap::new();
+        let mut breakdown = StageBreakdown::default();
+        while let Ok(batch) = batches.recv() {
+            let (classifications, b) = self.classify_batch(&batch.records);
+            breakdown.accumulate(&b);
+            by_index.insert(batch.index, classifications);
+        }
+        (by_index.into_values().flatten().collect(), breakdown)
+    }
 }
 
 fn diff(now: SimDuration, before: SimDuration) -> SimDuration {

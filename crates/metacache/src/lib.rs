@@ -29,6 +29,36 @@
 //!   segmented sort, top-candidate generation, multi-device partitioning and
 //!   an analytical device clock that models V100 execution times.
 //!
+//! Reads can be classified from a fully materialised slice
+//! ([`query::Classifier::classify_batch`]) or streamed from disk through the
+//! bounded-memory pipeline of [`pipeline::StreamingClassifier`], which
+//! overlaps parsing, sketching and table lookup across threads and emits
+//! bit-identical results in input order (see `docs/ARCHITECTURE.md`):
+//!
+//! ```
+//! # use metacache::{MetaCacheConfig, build::CpuBuilder};
+//! # use metacache::pipeline::StreamingClassifier;
+//! # use mc_seqio::SequenceRecord;
+//! # use mc_taxonomy::{Rank, Taxonomy};
+//! # let mut taxonomy = Taxonomy::with_root();
+//! # taxonomy.add_node(100, 1, Rank::Species, "Species A").unwrap();
+//! # let mut state = 3u64;
+//! # let genome: Vec<u8> = (0..6000).map(|_| {
+//! #     state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+//! #     b"ACGT"[(state >> 33) as usize % 4]
+//! # }).collect();
+//! # let mut builder = CpuBuilder::new(MetaCacheConfig::default(), taxonomy);
+//! # builder.add_target(SequenceRecord::new("refA", genome.clone()), 100).unwrap();
+//! # let db = builder.finish();
+//! let streaming = StreamingClassifier::new(&db);
+//! let reads = (0..10).map(|i| {
+//!     SequenceRecord::new(format!("r{i}"), genome[i * 100..i * 100 + 150].to_vec())
+//! });
+//! let (classifications, summary) = streaming.classify_iter(reads);
+//! assert_eq!(summary.records, 10);
+//! assert!(classifications.iter().all(|c| c.taxon == 100));
+//! ```
+//!
 //! ## Quick start
 //!
 //! ```
@@ -73,6 +103,7 @@ pub use classify::{Classification, ClassificationEvaluation};
 pub use config::MetaCacheConfig;
 pub use database::{Database, Partition, TargetInfo};
 pub use error::MetaCacheError;
+pub use pipeline::{StreamingClassifier, StreamingConfig, StreamingSummary};
 pub use query::{Classifier, QueryScratch};
 pub use sketch::{ReadSketch, Sketch, SketchScratch, Sketcher};
 

@@ -24,7 +24,7 @@
 //!   `sort_unstable` the hot path detects the natural runs in one O(n) scan
 //!   and merges them bottom-up in the scratch's ping-pong buffer — O(n log r)
 //!   for `r` runs, and a plain pass-through when the list is already sorted.
-//!   Lists with more than [`MAX_MERGE_RUNS`] runs fall back to `sort_unstable`
+//!   Lists with more than `MAX_MERGE_RUNS` runs fall back to `sort_unstable`
 //!   (run detection is O(n), so the fallback costs one extra scan).
 
 use rayon::prelude::*;
@@ -74,6 +74,46 @@ impl QueryScratch {
 }
 
 /// Per-read classifier bound to a database.
+///
+/// The entry points trade convenience against allocation control:
+/// [`Classifier::classify`] allocates a fresh [`QueryScratch`] per call,
+/// [`Classifier::classify_with`] reuses a caller-owned scratch (the
+/// zero-allocation hot path), and [`Classifier::classify_batch`] fans a slice
+/// of reads across rayon workers with one scratch per worker. For inputs too
+/// large to materialise, use
+/// [`StreamingClassifier`][crate::pipeline::StreamingClassifier], which
+/// produces bit-identical results.
+///
+/// # Example
+///
+/// ```
+/// use metacache::{MetaCacheConfig, build::CpuBuilder, query::{Classifier, QueryScratch}};
+/// use mc_seqio::SequenceRecord;
+/// use mc_taxonomy::{Rank, Taxonomy};
+///
+/// let mut taxonomy = Taxonomy::with_root();
+/// taxonomy.add_node(100, 1, Rank::Species, "Species A").unwrap();
+/// let mut state = 5u64;
+/// let genome: Vec<u8> = (0..6000)
+///     .map(|_| {
+///         state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+///         b"ACGT"[(state >> 33) as usize % 4]
+///     })
+///     .collect();
+/// let mut builder = CpuBuilder::new(MetaCacheConfig::default(), taxonomy);
+/// builder.add_target(SequenceRecord::new("refA", genome.clone()), 100).unwrap();
+/// let db = builder.finish();
+///
+/// let classifier = Classifier::new(&db);
+/// let mut scratch = QueryScratch::new();
+/// let read = SequenceRecord::new("read", genome[500..650].to_vec());
+/// let result = classifier.classify_with(&read, &mut scratch);
+/// assert_eq!(result.taxon, 100);
+///
+/// // A read shorter than k sketches to nothing and stays unclassified.
+/// let tiny = SequenceRecord::new("tiny", genome[..8].to_vec());
+/// assert!(!classifier.classify_with(&tiny, &mut scratch).is_classified());
+/// ```
 pub struct Classifier<'db> {
     db: &'db Database,
     sketcher: Sketcher,

@@ -253,7 +253,7 @@ impl Sketcher {
     /// Visit every non-empty window sketch of a reference sequence: calls
     /// `f(window_id, features)` per window, reusing `scratch` so the whole
     /// reference is sketched without per-window allocation. Returning
-    /// [`ControlFlow::Break`] from the visitor stops the walk early (e.g. the
+    /// [`std::ops::ControlFlow::Break`] from the visitor stops the walk early (e.g. the
     /// build path aborts on a fatal table error without sketching the rest of
     /// the genome). This is the build path of [`crate::build::CpuBuilder`].
     pub fn for_each_window_sketch(

@@ -23,6 +23,8 @@ pub struct QueueStats {
     batches_received: AtomicU64,
     records_sent: AtomicU64,
     bases_sent: AtomicU64,
+    in_flight: AtomicU64,
+    peak_in_flight: AtomicU64,
 }
 
 impl QueueStats {
@@ -45,6 +47,34 @@ impl QueueStats {
     pub fn bases_sent(&self) -> u64 {
         self.bases_sent.load(Ordering::Relaxed)
     }
+
+    /// Number of batches currently in flight.
+    ///
+    /// A batch counts as in flight from the moment a producer commits to
+    /// sending it (possibly blocking on a full channel) until a consumer's
+    /// `recv` has completed. The channel itself never holds more than the
+    /// queue's `capacity` batches; because the gauge brackets the handoff on
+    /// both sides, it can transiently exceed `capacity` by the number of
+    /// producers currently blocked inside `send` plus the number of consumers
+    /// between the internal dequeue and the end of `recv`.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`QueueStats::in_flight`] over the queue's lifetime:
+    /// at most `capacity + concurrent producers + concurrent consumers`.
+    pub fn peak_in_flight(&self) -> u64 {
+        self.peak_in_flight.load(Ordering::Relaxed)
+    }
+
+    fn enter_flight(&self) {
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_in_flight.fetch_max(now, Ordering::Relaxed);
+    }
+
+    fn leave_flight(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// Producer handle of a [`BatchQueue`]. Cloneable; dropping every sender
@@ -62,14 +92,22 @@ impl BatchSender {
     /// global monotonic ordering).
     pub fn send(&self, mut batch: SequenceBatch) -> Result<(), SendError<SequenceBatch>> {
         batch.index = self.next_index.fetch_add(1, Ordering::Relaxed);
-        self.stats
-            .records_sent
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        self.stats
-            .bases_sent
-            .fetch_add(batch.total_bases() as u64, Ordering::Relaxed);
-        self.stats.batches_sent.fetch_add(1, Ordering::Relaxed);
-        self.tx.send(batch)
+        let (records, bases) = (batch.len() as u64, batch.total_bases() as u64);
+        self.stats.enter_flight();
+        match self.tx.send(batch) {
+            Ok(()) => {
+                self.stats
+                    .records_sent
+                    .fetch_add(records, Ordering::Relaxed);
+                self.stats.bases_sent.fetch_add(bases, Ordering::Relaxed);
+                self.stats.batches_sent.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.leave_flight();
+                Err(e)
+            }
+        }
     }
 
     /// Split a record stream into batches of the configured size and send
@@ -107,6 +145,7 @@ impl BatchReceiver {
     /// Block until a batch is available or every sender has been dropped.
     pub fn recv(&self) -> Result<SequenceBatch, RecvError> {
         let batch = self.rx.recv()?;
+        self.stats.leave_flight();
         self.stats.batches_received.fetch_add(1, Ordering::Relaxed);
         Ok(batch)
     }
@@ -252,6 +291,66 @@ mod tests {
         drop(tx);
         assert!(rx.recv().is_err());
         assert_eq!(rx.iter().count(), 0);
+    }
+
+    #[test]
+    fn in_flight_gauge_tracks_occupancy_and_peak() {
+        let queue = BatchQueue::new(8, 2);
+        let stats = queue.stats();
+        let (tx, rx) = queue.split();
+        assert_eq!(stats.in_flight(), 0);
+        tx.send(SequenceBatch::new(0, records(2))).unwrap();
+        tx.send(SequenceBatch::new(0, records(2))).unwrap();
+        assert_eq!(stats.in_flight(), 2);
+        assert_eq!(stats.peak_in_flight(), 2);
+        rx.recv().unwrap();
+        assert_eq!(stats.in_flight(), 1);
+        rx.recv().unwrap();
+        assert_eq!(stats.in_flight(), 0);
+        // The peak is a high-water mark: it does not decay.
+        assert_eq!(stats.peak_in_flight(), 2);
+    }
+
+    #[test]
+    fn queue_never_holds_more_than_capacity_batches() {
+        // With capacity C and no consumer, exactly C sends complete and the
+        // C+1-th blocks: the channel itself enforces the memory bound.
+        const CAPACITY: usize = 3;
+        let queue = BatchQueue::new(CAPACITY, 1);
+        let stats = queue.stats();
+        let (tx, rx) = queue.split();
+        let producer = {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                for _ in 0..CAPACITY + 1 {
+                    tx.send(SequenceBatch::new(0, records(1))).unwrap();
+                }
+            })
+        };
+        drop(tx);
+        // Wait (with a deadline) until the producer has filled the queue and
+        // entered the blocking C+1-th send.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while stats.in_flight() < CAPACITY as u64 + 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "producer never entered the blocking send"
+            );
+            thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(
+            !producer.is_finished(),
+            "producer must block after filling the queue to capacity"
+        );
+        // Only the blocked batch exceeds the completed-send count.
+        assert_eq!(stats.batches_sent(), CAPACITY as u64);
+        assert_eq!(stats.in_flight(), CAPACITY as u64 + 1);
+        let drained = rx.iter().count();
+        producer.join().unwrap();
+        assert_eq!(drained, CAPACITY + 1);
+        assert_eq!(stats.in_flight(), 0);
+        // One producer: the gauge never exceeds capacity + 1.
+        assert!(stats.peak_in_flight() <= CAPACITY as u64 + 1);
     }
 
     #[test]

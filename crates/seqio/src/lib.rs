@@ -10,9 +10,20 @@
 //! * [`fasta`] / [`fastq`] — streaming parsers and writers for the two
 //!   formats used by the paper's datasets (Table 2: FASTA single-end,
 //!   FASTQ paired-end),
-//! * [`reader`] — format auto-detection and a unified reader,
+//! * [`reader`] — format auto-detection, a unified whole-file reader and the
+//!   streaming [`reader::RecordStream`] iterator used by the query pipeline,
 //! * [`batch`] — the bounded multi-producer / multi-consumer batch queue that
-//!   connects parsing threads with processing threads.
+//!   connects parsing threads with processing threads. Its
+//!   [`batch::QueueStats`] expose occupancy gauges
+//!   ([`batch::QueueStats::in_flight`] / [`batch::QueueStats::peak_in_flight`])
+//!   so pipelines can assert their memory bounds.
+//!
+//! Both phases use the same plumbing: a producer parses records from disk (or
+//! memory), groups them into [`record::SequenceBatch`]es carrying monotone
+//! sequence numbers, and pushes them through a [`BatchQueue`] whose bounded
+//! capacity applies backpressure. Consumers restore global order from the
+//! batch indices — see `metacache::pipeline::StreamingClassifier` for the
+//! query-side consumer and `docs/ARCHITECTURE.md` for the end-to-end picture.
 //!
 //! ## Example
 //!
@@ -32,8 +43,8 @@ pub mod fastq;
 pub mod reader;
 pub mod record;
 
-pub use batch::{BatchQueue, BatchReceiver, BatchSender};
-pub use reader::{detect_format, SequenceFormat, SequenceReader};
+pub use batch::{BatchQueue, BatchReceiver, BatchSender, QueueStats};
+pub use reader::{detect_format, RecordStream, SequenceFormat, SequenceReader};
 pub use record::{SequenceBatch, SequenceRecord};
 
 /// Errors produced while parsing sequence files.

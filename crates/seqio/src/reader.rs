@@ -1,8 +1,10 @@
 //! Format auto-detection and a unified sequence reader.
 
-use std::io::Read;
+use std::io::{BufReader, Read};
 use std::path::Path;
 
+use crate::fasta::FastaReader;
+use crate::fastq::FastqReader;
 use crate::record::SequenceRecord;
 use crate::{fasta, fastq, Result, SeqIoError};
 
@@ -44,10 +46,41 @@ pub fn detect_file_format(path: impl AsRef<Path>) -> Result<SequenceFormat> {
     detect_format(&head[..n])
 }
 
+/// A streaming, format-auto-detected iterator of records read from a file.
+///
+/// Unlike [`SequenceReader::read_file`], which materialises the whole file,
+/// this yields one record at a time so arbitrarily large inputs can be piped
+/// through the bounded [`crate::batch::BatchQueue`] with O(record) memory —
+/// the producer half of the streaming query pipeline.
+pub enum RecordStream {
+    /// Records streamed from a FASTA file.
+    Fasta(FastaReader<BufReader<std::fs::File>>),
+    /// Records streamed from a FASTQ file.
+    Fastq(FastqReader<BufReader<std::fs::File>>),
+}
+
+impl Iterator for RecordStream {
+    type Item = Result<SequenceRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            RecordStream::Fasta(r) => r.next(),
+            RecordStream::Fastq(r) => r.next(),
+        }
+    }
+}
+
 /// A unified reader that parses either format into [`SequenceRecord`]s.
 pub struct SequenceReader;
 
 impl SequenceReader {
+    /// Open a file as a streaming record iterator, auto-detecting the format.
+    pub fn open(path: impl AsRef<Path>) -> Result<RecordStream> {
+        Ok(match detect_file_format(&path)? {
+            SequenceFormat::Fasta => RecordStream::Fasta(FastaReader::open(path)?),
+            SequenceFormat::Fastq => RecordStream::Fastq(FastqReader::open(path)?),
+        })
+    }
     /// Parse an in-memory document, auto-detecting the format.
     pub fn parse_bytes(bytes: &[u8]) -> Result<Vec<SequenceRecord>> {
         match detect_format(bytes)? {
@@ -122,6 +155,26 @@ mod tests {
         assert_eq!(recs.len(), 1);
         std::fs::remove_file(&fa).ok();
         std::fs::remove_file(&unknown).ok();
+    }
+
+    #[test]
+    fn streaming_open_matches_materialised_read() {
+        let dir = std::env::temp_dir().join("mc_seqio_stream_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, contents) in [
+            ("s.fa", ">a\nACGT\nAC\n>b\nTTTT\n"),
+            ("s.fq", "@a\nACGT\n+\nIIII\n@b\nTT\n+\nII\n"),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, contents).unwrap();
+            let streamed: Vec<_> = SequenceReader::open(&path)
+                .unwrap()
+                .collect::<Result<_>>()
+                .unwrap();
+            let materialised = SequenceReader::read_file(&path).unwrap();
+            assert_eq!(streamed, materialised, "{name}");
+            std::fs::remove_file(&path).ok();
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! food genomes merged with a RefSeq-like bacterial background — the use case
 //! that motivates MetaCache-GPU's support for custom, on-demand databases.
 //!
-//! Run with: `cargo run --release -p mc-bench --example food_analysis`
+//! Run with: `cargo run --release --example food_analysis`
 
 use mc_datagen::community::{AfsLikeSpec, RefSeqLikeSpec, ReferenceCollection};
 use mc_datagen::profiles::DatasetProfile;

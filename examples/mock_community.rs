@@ -2,7 +2,7 @@
 //! Table 6 on a synthetic bacterial community, comparing the MetaCache CPU
 //! path, the simulated-GPU path and the Kraken2-style baseline.
 //!
-//! Run with: `cargo run --release -p mc-bench --example mock_community`
+//! Run with: `cargo run --release --example mock_community`
 
 use mc_datagen::community::{RefSeqLikeSpec, ReferenceCollection};
 use mc_datagen::profiles::DatasetProfile;

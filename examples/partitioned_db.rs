@@ -3,7 +3,7 @@
 //! device counts, inspect per-device memory, save/load the database, and
 //! compare the time-to-query of both workflows.
 //!
-//! Run with: `cargo run --release -p mc-bench --example partitioned_db`
+//! Run with: `cargo run --release --example partitioned_db`
 
 use mc_datagen::community::{RefSeqLikeSpec, ReferenceCollection};
 use mc_datagen::profiles::DatasetProfile;

@@ -1,7 +1,7 @@
 //! Quickstart: build a small reference database and classify a handful of
 //! reads with the public MetaCache API.
 //!
-//! Run with: `cargo run --release -p mc-bench --example quickstart`
+//! Run with: `cargo run --release --example quickstart`
 
 use mc_seqio::SequenceRecord;
 use mc_taxonomy::{Rank, Taxonomy};
