@@ -53,11 +53,11 @@ fn bench_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("read_classification");
     group.throughput(Throughput::Elements(reads.len() as u64));
     group.bench_function("metacache_cpu", |b| {
-        let classifier = Classifier::new(&cpu_db);
+        let classifier = Classifier::new(cpu_db.clone());
         b.iter(|| classifier.classify_batch(reads).len())
     });
     group.bench_function("metacache_gpu_pipeline", |b| {
-        let classifier = GpuClassifier::new(&gpu_db, &system);
+        let classifier = GpuClassifier::new(gpu_db.clone(), &system);
         b.iter(|| classifier.classify_all(reads).0.len())
     });
     group.bench_function("kraken2", |b| {

@@ -60,7 +60,7 @@ fn build_database(collection: &ReferenceCollection) -> Database {
 /// global comparison sort over the gathered locations.
 fn classify_baseline(
     db: &Database,
-    classifier: &Classifier,
+    classifier: &Classifier<&Database>,
     read: &SequenceRecord,
 ) -> Classification {
     let read_sketch = classifier.sketcher().sketch_record_baseline(read);

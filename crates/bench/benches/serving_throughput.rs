@@ -1,0 +1,186 @@
+//! Serving-engine throughput: request-shaped workloads over a resident
+//! worker pool vs per-call pipeline spawns.
+//!
+//! Same database/read corpus family as `streaming_throughput`, but the
+//! workload is *many small requests* (the serving shape) instead of one big
+//! stream, measured over a sessions × workers grid:
+//!
+//! * `spawn_per_request_w{N}` — the PR 2 path applied per request: every
+//!   request pays `StreamingClassifier`'s scoped thread spawn/join (~0.2 ms)
+//!   and cold worker scratch.
+//! * `engine_session_w{N}` — one resident [`ServingEngine`] with `N`
+//!   long-lived workers; one warm session submits the same requests. The
+//!   spawn overhead is paid once at engine startup and amortised across all
+//!   requests.
+//! * `engine_sessions{S}_w{N}` — `S` concurrent client sessions on `S`
+//!   threads multiplex the same total work over one shared engine and one
+//!   shared `Arc<Database>`.
+//! * `engine_one_stream_w{N}` — a single big stream through a session, for
+//!   direct comparison against `streaming_throughput`'s 317k reads/s floor.
+//!
+//! Run with `BENCH_JSON=BENCH_serving.json cargo bench -p mc-bench --bench
+//! serving_throughput` to record the measurements.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use mc_datagen::community::{RefSeqLikeSpec, ReferenceCollection};
+use mc_datagen::profiles::DatasetProfile;
+use mc_datagen::reads::ReadSimulator;
+use mc_datagen::taxonomy_gen::TaxonomySpec;
+use metacache::build::CpuBuilder;
+use metacache::pipeline::{StreamingClassifier, StreamingConfig};
+use metacache::query::Classifier;
+use metacache::serving::{EngineConfig, ServingEngine};
+use metacache::{Database, MetaCacheConfig};
+
+const REQUEST_READS: usize = 256;
+
+fn community() -> ReferenceCollection {
+    ReferenceCollection::refseq_like(RefSeqLikeSpec {
+        taxonomy: TaxonomySpec {
+            genera: 6,
+            species_per_genus: 3,
+            families: 3,
+        },
+        genome_length: 40_000,
+        strains_per_species: 1,
+        seed: 2024,
+    })
+}
+
+fn build_database(collection: &ReferenceCollection) -> Arc<Database> {
+    let mut builder = CpuBuilder::new(MetaCacheConfig::default(), collection.taxonomy.clone());
+    for target in &collection.targets {
+        builder
+            .add_target(target.to_record(), target.taxon)
+            .expect("valid targets");
+    }
+    Arc::new(builder.finish())
+}
+
+fn engine_config(workers: usize) -> EngineConfig {
+    EngineConfig {
+        workers,
+        queue_capacity: 4,
+        batch_records: 64,
+        session_max_in_flight: 0,
+    }
+}
+
+fn bench_serving_throughput(c: &mut Criterion) {
+    let collection = community();
+    let db = build_database(&collection);
+    let reads = ReadSimulator::new(DatasetProfile::hiseq(), 2_048)
+        .with_seed(7)
+        .simulate(&collection)
+        .reads;
+    let requests: Vec<&[mc_seqio::SequenceRecord]> = reads.chunks(REQUEST_READS).collect();
+
+    // The engine must not change any classification.
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+    {
+        let engine = ServingEngine::host_with_config(Arc::clone(&db), engine_config(2));
+        let mut session = engine.session();
+        let (got, _) = session.classify_iter(reads.iter().cloned());
+        assert_eq!(got, expected, "engine diverged from classify_batch");
+    }
+
+    let worker_counts = [1usize, 2, 4];
+    let mut group = c.benchmark_group("serving_throughput");
+    group.throughput(Throughput::Elements(reads.len() as u64));
+
+    for &workers in &worker_counts {
+        // Per-request pipeline spawn: the pre-engine serving cost.
+        let streaming_config = StreamingConfig {
+            batch_records: 64,
+            queue_capacity: 4,
+            workers,
+        };
+        group.bench_function(format!("spawn_per_request_w{workers}"), |b| {
+            b.iter(|| {
+                let streaming = StreamingClassifier::with_config(&*db, streaming_config);
+                requests
+                    .iter()
+                    .map(|request| {
+                        let (out, _) = streaming.classify_iter(request.iter().cloned());
+                        out.iter().filter(|c| c.is_classified()).count()
+                    })
+                    .sum::<usize>()
+            })
+        });
+
+        // Warm engine, one session, same requests.
+        let engine = ServingEngine::host_with_config(Arc::clone(&db), engine_config(workers));
+        let mut session = engine.session();
+        group.bench_function(format!("engine_session_w{workers}"), |b| {
+            b.iter(|| {
+                requests
+                    .iter()
+                    .map(|request| {
+                        session
+                            .classify_batch(request)
+                            .iter()
+                            .filter(|c| c.is_classified())
+                            .count()
+                    })
+                    .sum::<usize>()
+            })
+        });
+        drop(session);
+
+        // One big stream through a session (streaming_throughput comparison).
+        let mut session = engine.session();
+        group.bench_function(format!("engine_one_stream_w{workers}"), |b| {
+            b.iter(|| {
+                let (out, _) = session.classify_iter(reads.iter().cloned());
+                out.iter().filter(|c| c.is_classified()).count()
+            })
+        });
+        drop(session);
+
+        // Concurrent sessions multiplexing over the shared pool.
+        for sessions in [2usize, 4] {
+            group.bench_function(format!("engine_sessions{sessions}_w{workers}"), |b| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..sessions)
+                            .map(|s| {
+                                let engine = &engine;
+                                let requests = &requests;
+                                scope.spawn(move || {
+                                    let mut session = engine.session();
+                                    requests
+                                        .iter()
+                                        .skip(s)
+                                        .step_by(sessions)
+                                        .map(|request| {
+                                            session
+                                                .classify_batch(request)
+                                                .iter()
+                                                .filter(|c| c.is_classified())
+                                                .count()
+                                        })
+                                        .sum::<usize>()
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().unwrap())
+                            .sum::<usize>()
+                    })
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_serving_throughput
+}
+criterion_main!(benches);

@@ -12,20 +12,21 @@
 //!   fig5               query pipeline breakdown (Figure 5)
 //!   tablemem ablation  hash-table memory comparison and parameter ablations (§6)
 //!   streaming          streaming vs materialised query pipeline (§5 pipelining)
+//!   serving            serving engine vs per-request pipeline spawn (resident pool)
 //!   all                everything above
 //! ```
 
 use std::collections::BTreeSet;
 
 use mc_bench::experiments::{
-    accuracy, breakdown, build_perf, datasets, query_perf, streaming, tablemem, ttq,
+    accuracy, breakdown, build_perf, datasets, query_perf, serving, streaming, tablemem, ttq,
 };
 use mc_bench::ExperimentScale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale tiny|default] [--json] \
-         <table1|table2|table3|table4|table5|table6|fig4|fig5|abundance|tablemem|ablation|streaming|all>..."
+         <table1|table2|table3|table4|table5|table6|fig4|fig5|abundance|tablemem|ablation|streaming|serving|all>..."
     );
     std::process::exit(2);
 }
@@ -66,6 +67,7 @@ fn main() {
             "tablemem",
             "ablation",
             "streaming",
+            "serving",
         ] {
             requested.insert(e.to_string());
         }
@@ -141,6 +143,14 @@ fn main() {
             println!("{}", serde_json::to_string_pretty(&result).unwrap());
         } else {
             println!("{}", streaming::render(&result));
+        }
+    }
+    if wants(&["serving"]) {
+        let result = serving::run(&scale);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+        } else {
+            println!("{}", serving::render(&result));
         }
     }
 }

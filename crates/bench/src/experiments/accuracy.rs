@@ -11,6 +11,8 @@
 //! abundance deviation from the known component ratios plus false-positive
 //! fraction, for MetaCache (GPU and CPU) and Kraken2.
 
+use std::sync::Arc;
+
 use serde::Serialize;
 
 use mc_gpu_sim::MultiGpuSystem;
@@ -145,7 +147,7 @@ pub fn run(scale: &ExperimentScale) -> AccuracyResult {
         ));
 
         // MetaCache CPU.
-        let classifier = Classifier::new(cpu_db);
+        let classifier = Classifier::new(Arc::clone(cpu_db));
         let calls = classifier.classify_batch(&reads.reads);
         result.rows.push(evaluate_metacache(
             cpu_db, &calls, &truth, dataset, "MC CPU",
@@ -164,7 +166,7 @@ pub fn run(scale: &ExperimentScale) -> AccuracyResult {
                 format!("MC {} GPUs", scale.large_gpu_count),
             ),
         ] {
-            let classifier = GpuClassifier::new(db, system);
+            let classifier = GpuClassifier::new(Arc::clone(db), system);
             let (calls, _) = classifier.classify_all(&reads.reads);
             result
                 .rows
@@ -184,7 +186,7 @@ pub fn run(scale: &ExperimentScale) -> AccuracyResult {
     let truth = &workloads.kal_d_truth;
     let reads = &workloads.kal_d.reads;
 
-    let gpu_calls = GpuClassifier::new(afs_gpu_db, &afs_system)
+    let gpu_calls = GpuClassifier::new(Arc::clone(afs_gpu_db), &afs_system)
         .classify_all(reads)
         .0;
     let gpu_profile = AbundanceProfile::estimate(afs_gpu_db, &gpu_calls);
@@ -194,7 +196,7 @@ pub fn run(scale: &ExperimentScale) -> AccuracyResult {
         false_positives: gpu_profile.false_positive_fraction(truth),
     });
 
-    let cpu_calls = Classifier::new(afs_cpu_db).classify_batch(reads);
+    let cpu_calls = Classifier::new(Arc::clone(afs_cpu_db)).classify_batch(reads);
     let cpu_profile = AbundanceProfile::estimate(afs_cpu_db, &cpu_calls);
     result.abundance.push(AbundanceRow {
         method: "MC CPU".into(),

@@ -7,6 +7,8 @@
 //! generation. The reproduction records the same stages through the
 //! simulated device clocks.
 
+use std::sync::Arc;
+
 use serde::Serialize;
 
 use mc_gpu_sim::MultiGpuSystem;
@@ -52,7 +54,7 @@ pub fn run(scale: &ExperimentScale) -> BreakdownResult {
     let mut result = BreakdownResult::default();
     for (dataset, reads) in workloads.all() {
         system.reset_clocks();
-        let classifier = GpuClassifier::new(db, &system);
+        let classifier = GpuClassifier::new(Arc::clone(db), &system);
         let (_, breakdown) = classifier.classify_all(&reads.reads);
         let shares = breakdown.shares();
         result.rows.push(BreakdownRow {

@@ -10,12 +10,14 @@
 //! | [`breakdown`] | Figure 5 (query pipeline breakdown) |
 //! | [`tablemem`] | the multi-bucket vs multi-value vs bucket-list memory comparison (§6) and hash-table/sketch ablations |
 //! | [`streaming`] | streaming vs materialised query pipeline (§5's pipelining, host-side) |
+//! | [`serving`] | serving engine vs per-request pipeline spawn (resident worker pool) |
 
 pub mod accuracy;
 pub mod breakdown;
 pub mod build_perf;
 pub mod datasets;
 pub mod query_perf;
+pub mod serving;
 pub mod streaming;
 pub mod tablemem;
 pub mod ttq;

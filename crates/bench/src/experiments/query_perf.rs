@@ -7,6 +7,7 @@
 //! size, and MetaCache-CPU slows down substantially on the larger
 //! AFS+RefSeq database because its location lists grow.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::Serialize;
@@ -99,7 +100,7 @@ pub fn run(scale: &ExperimentScale) -> QueryPerfResult {
             });
 
             // MetaCache CPU (wall clock).
-            let classifier = Classifier::new(cpu_db);
+            let classifier = Classifier::new(Arc::clone(cpu_db));
             let start = Instant::now();
             let calls = classifier.classify_batch(&reads.reads);
             let secs = start.elapsed().as_secs_f64();
@@ -118,7 +119,7 @@ pub fn run(scale: &ExperimentScale) -> QueryPerfResult {
 
             // MetaCache GPU (simulated device time).
             system.reset_clocks();
-            let classifier = GpuClassifier::new(gpu_db, &system);
+            let classifier = GpuClassifier::new(Arc::clone(gpu_db), &system);
             let (calls, _) = classifier.classify_all(&reads.reads);
             let secs = system.makespan().as_secs_f64();
             result.rows.push(QueryRow {

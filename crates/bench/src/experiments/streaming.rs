@@ -9,6 +9,7 @@
 //! identical, and reports wall-clock throughput plus the pipeline's observed
 //! memory bound.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use serde::Serialize;
@@ -67,8 +68,8 @@ pub fn run(scale: &ExperimentScale) -> StreamingResult {
     let db = built.metacache.as_ref().unwrap();
 
     let config = StreamingConfig::default();
-    let classifier = Classifier::new(db);
-    let streaming = StreamingClassifier::with_config(db, config);
+    let classifier = Classifier::new(Arc::clone(db));
+    let streaming = StreamingClassifier::with_config(Arc::clone(db), config);
 
     let mut result = StreamingResult {
         batch_records: config.batch_records,

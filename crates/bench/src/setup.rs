@@ -2,6 +2,7 @@
 //! database construction helpers used by several experiments.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mc_datagen::community::ReferenceCollection;
@@ -134,9 +135,13 @@ pub fn taxon_lookup(collection: &ReferenceCollection) -> HashMap<String, TaxonId
 
 /// Result of building a database with one method: the database handle plus
 /// the timing/size measurements reported in Table 3.
+///
+/// The MetaCache database is held behind an [`Arc`]: experiments hand it to
+/// classifiers, streaming pipelines and serving engines, all of which co-own
+/// the shared database exactly as the production serving path does.
 pub struct BuiltDatabase {
     /// The constructed MetaCache database (None for the Kraken2 baseline).
-    pub metacache: Option<Database>,
+    pub metacache: Option<Arc<Database>>,
     /// The constructed Kraken2-style database (None for MetaCache builds).
     pub kraken2: Option<Kraken2Database>,
     /// Wall-clock time of the build on this machine.
@@ -166,7 +171,7 @@ pub fn build_metacache_cpu(
     BuiltDatabase {
         table_bytes: db.table_bytes(),
         host_bytes: db.table_bytes() + db.host_metadata_bytes(),
-        metacache: Some(db),
+        metacache: Some(Arc::new(db)),
         kraken2: None,
         wall_time,
         sim_time: SimDuration::ZERO,
@@ -196,7 +201,7 @@ pub fn build_metacache_gpu(
     BuiltDatabase {
         table_bytes: db.table_bytes(),
         host_bytes: db.host_metadata_bytes(),
-        metacache: Some(db),
+        metacache: Some(Arc::new(db)),
         kraken2: None,
         wall_time,
         sim_time,

@@ -57,6 +57,73 @@ where
     }
 }
 
+/// Launch warps that write their per-warp output items into one flat
+/// pre-allocated buffer instead of returning owned vectors — the device-style
+/// output layout of the paper's kernels, where every warp owns a fixed-stride
+/// slot of a global output array.
+///
+/// `buffer` is resized (never shrunk below the launch's needs, reusing its
+/// allocation across launches) to `warps × slots_per_warp` default-initialised
+/// slots. Each warp's kernel receives `Warp` plus the exclusive slice
+/// `buffer[warp_id × slots_per_warp ..][.. slots_per_warp]` and returns how
+/// many slots it filled alongside its per-warp result. The return value is
+/// `(filled, result)` per warp in warp order; warp `w`'s output lives in
+/// `buffer[w * slots_per_warp .. w * slots_per_warp + filled]`.
+pub fn launch_warps_into<T, R, F>(
+    config: LaunchConfig,
+    slots_per_warp: usize,
+    buffer: &mut Vec<T>,
+    kernel: F,
+) -> Vec<(usize, R)>
+where
+    T: Default + Clone + Send,
+    R: Send,
+    F: Fn(Warp, &mut [T]) -> (usize, R) + Sync,
+{
+    let slots = slots_per_warp.max(1);
+    buffer.clear();
+    buffer.resize(config.warps * slots, T::default());
+    if config.warps == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(config.warps);
+    if config.sequential || threads <= 1 || config.warps < 2 {
+        return buffer
+            .chunks_mut(slots)
+            .enumerate()
+            .map(|(w, slot)| kernel(Warp::new(w), slot))
+            .collect();
+    }
+    // Partition the flat buffer into contiguous per-thread regions (disjoint
+    // borrows), each covering a contiguous range of warp ids.
+    let warps_per_thread = config.warps.div_ceil(threads);
+    let mut out = Vec::with_capacity(config.warps);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = buffer
+            .chunks_mut(slots * warps_per_thread)
+            .enumerate()
+            .map(|(chunk_idx, chunk)| {
+                let kernel = &kernel;
+                scope.spawn(move || {
+                    let base = chunk_idx * warps_per_thread;
+                    chunk
+                        .chunks_mut(slots)
+                        .enumerate()
+                        .map(|(i, slot)| kernel(Warp::new(base + i), slot))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("warp kernel panicked"));
+        }
+    });
+    out
+}
+
 /// Like [`launch_warps`] but also advances a device clock by the combined
 /// cost reported by every warp, modelling the kernel's execution time.
 ///
@@ -118,6 +185,47 @@ mod tests {
     fn results_are_in_warp_order() {
         let out = launch_warps(LaunchConfig::new(1000), |w| w.warp_id);
         assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn flat_buffer_launch_matches_owned_launch() {
+        // Each warp writes warp_id copies of its id (capped at the slot
+        // count); the flat layout must agree with the owned-Vec launch.
+        let slots = 8usize;
+        let work = |warp: Warp, out: &mut [u64]| {
+            let n = (warp.warp_id % (slots + 1)).min(out.len());
+            for s in out.iter_mut().take(n) {
+                *s = warp.warp_id as u64;
+            }
+            (n, warp.warp_id)
+        };
+        let mut flat = Vec::new();
+        let spans = launch_warps_into(LaunchConfig::new(100), slots, &mut flat, work);
+        let mut flat_seq = Vec::new();
+        let spans_seq =
+            launch_warps_into(LaunchConfig::sequential(100), slots, &mut flat_seq, work);
+        assert_eq!(spans, spans_seq);
+        assert_eq!(flat, flat_seq);
+        assert_eq!(flat.len(), 100 * slots);
+        for (w, &(filled, result)) in spans.iter().enumerate() {
+            assert_eq!(result, w);
+            assert_eq!(filled, w % (slots + 1));
+            assert!(flat[w * slots..w * slots + filled]
+                .iter()
+                .all(|&v| v == w as u64));
+        }
+        // The buffer allocation is reused across launches.
+        let cap = flat.capacity();
+        launch_warps_into(LaunchConfig::new(50), slots, &mut flat, work);
+        assert_eq!(flat.capacity(), cap);
+    }
+
+    #[test]
+    fn flat_buffer_empty_launch() {
+        let mut flat: Vec<u32> = Vec::new();
+        let spans = launch_warps_into(LaunchConfig::new(0), 4, &mut flat, |_, _| (0, ()));
+        assert!(spans.is_empty());
+        assert!(flat.is_empty());
     }
 
     #[test]

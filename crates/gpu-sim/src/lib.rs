@@ -49,7 +49,7 @@ pub mod warp;
 
 pub use clock::{CostModel, DeviceClock, KernelCost, SimDuration};
 pub use device::{Device, DeviceError, DeviceInfo};
-pub use launch::{launch_warps, launch_warps_with_clock, LaunchConfig};
+pub use launch::{launch_warps, launch_warps_into, launch_warps_with_clock, LaunchConfig};
 pub use memory::DeviceBuffer;
 pub use multi_gpu::{MultiGpuSystem, Topology};
 pub use segsort::{segmented_sort, segmented_sort_by_key, SegmentedSortStats};

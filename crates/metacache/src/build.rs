@@ -17,7 +17,7 @@
 use std::sync::Arc;
 
 use mc_gpu_sim::{
-    launch_warps, DeviceBuffer, KernelCost, LaunchConfig, MultiGpuSystem, SimDuration, Warp,
+    launch_warps_into, DeviceBuffer, KernelCost, LaunchConfig, MultiGpuSystem, SimDuration, Warp,
 };
 use mc_kmer::{Location, TargetId};
 use mc_seqio::{BatchReceiver, SequenceRecord};
@@ -30,7 +30,7 @@ use mc_warpcore::{
 use crate::config::MetaCacheConfig;
 use crate::database::{Database, Partition, PartitionStore, TargetInfo};
 use crate::error::MetaCacheError;
-use crate::gpu::warp_sketch_owned;
+use crate::gpu::warp_sketch_to_slot;
 use crate::sketch::{SketchScratch, Sketcher};
 
 /// Statistics of a finished build.
@@ -211,6 +211,9 @@ pub struct GpuBuilder<'sys> {
     partitions: Vec<GpuPartitionState>,
     stats: BuildStats,
     next_device: usize,
+    /// Flat per-launch feature buffer (one `sketch_size` slot per window),
+    /// reused across targets so warp sketching never allocates per window.
+    feature_buf: Vec<mc_kmer::Feature>,
 }
 
 struct GpuPartitionState {
@@ -259,6 +262,7 @@ impl<'sys> GpuBuilder<'sys> {
             partitions,
             stats: BuildStats::default(),
             next_device: 0,
+            feature_buf: Vec::new(),
         })
     }
 
@@ -289,29 +293,34 @@ impl<'sys> GpuBuilder<'sys> {
         let sketch_size = self.config.sketch_size;
         let windows = self.sketcher.num_windows(record.sequence.len());
         let sequence = &record.sequence;
-        let sketches: Vec<(u32, Vec<mc_kmer::Feature>, KernelCost)> =
-            launch_warps(LaunchConfig::new(windows as usize), |warp: Warp| {
+        // One warp per window, all features written into one flat per-launch
+        // buffer (reused across targets) instead of an owned Vec per window.
+        let sketches: Vec<(usize, KernelCost)> = launch_warps_into(
+            LaunchConfig::new(windows as usize),
+            sketch_size,
+            &mut self.feature_buf,
+            |warp: Warp, slot: &mut [mc_kmer::Feature]| {
                 let w = warp.warp_id as u32;
                 let (start, end) = mc_kmer::window::window_range(w, sequence.len(), params);
-                let (features, cost) =
-                    warp_sketch_owned(&warp, &sequence[start..end], kmer, sketch_size);
-                (w, features, cost)
-            });
+                warp_sketch_to_slot(&warp, &sequence[start..end], kmer, sketch_size, slot)
+            },
+        );
         let mut kernel_cost = KernelCost {
             launches: 1,
             ..Default::default()
         };
         let partition = &mut self.partitions[device_idx];
-        for (window, features, cost) in &sketches {
-            kernel_cost = kernel_cost.merge(*cost);
-            for &feature in features {
+        for (window, &(filled, cost)) in (0u32..).zip(&sketches) {
+            kernel_cost = kernel_cost.merge(cost);
+            let slot = window as usize * sketch_size;
+            for &feature in &self.feature_buf[slot..slot + filled] {
                 // Warp-aggregated insertion: charge one probe-group traversal
                 // plus the value write.
                 kernel_cost.ops += 8;
                 kernel_cost.bytes_written += 8;
                 match partition
                     .table
-                    .insert(feature, Location::new(target_id, *window))
+                    .insert(feature, Location::new(target_id, window))
                 {
                     Ok(()) => self.stats.locations_inserted += 1,
                     Err(TableError::ValueLimitReached) => self.stats.locations_dropped += 1,

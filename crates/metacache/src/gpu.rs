@@ -19,11 +19,14 @@
 //! query path when run against the same database; only the execution / cost
 //! model differs.
 
+use std::ops::Deref;
+use std::sync::Arc;
+
 use parking_lot::Mutex;
 
 use mc_gpu_sim::{
-    launch_warps, segmented_sort, KernelCost, LaunchConfig, MultiGpuSystem, SimDuration, Stream,
-    Warp, WARP_SIZE,
+    launch_warps_into, segmented_sort, KernelCost, LaunchConfig, MultiGpuSystem, SimDuration,
+    Stream, Warp, WARP_SIZE,
 };
 use mc_kmer::{hash64, Feature, KmerParams, Location};
 use mc_seqio::SequenceRecord;
@@ -57,6 +60,12 @@ impl WarpSketchScratch {
 thread_local! {
     static WARP_SCRATCH: std::cell::RefCell<WarpSketchScratch> =
         std::cell::RefCell::new(WarpSketchScratch::new());
+    /// Flat per-launch feature buffer of the query pipeline's sketch stage,
+    /// reused across the batches a thread classifies (serving workers
+    /// classify many batches per thread; per-call allocation would undo the
+    /// launch buffer's cross-launch reuse).
+    static QUERY_FEATURE_BUF: std::cell::RefCell<Vec<Feature>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 /// Run `f` with this thread's reusable [`WarpSketchScratch`] — per-warp
@@ -66,20 +75,21 @@ pub fn with_warp_scratch<R>(f: impl FnOnce(&mut WarpSketchScratch) -> R) -> R {
     WARP_SCRATCH.with(|scratch| f(&mut scratch.borrow_mut()))
 }
 
-/// Sketch one window with this thread's reusable warp scratch, returning the
-/// features as an owned vector plus the kernel cost — the shape `launch_warps`
-/// closures need. Used by both the query pipeline and the GPU builder so the
-/// scratch protocol lives in one place.
-pub fn warp_sketch_owned(
+/// Sketch one window with this thread's reusable warp scratch into a slot of
+/// a flat pre-allocated feature buffer (the per-launch output array handed
+/// out by [`mc_gpu_sim::launch_warps_into`]), returning how many slots were
+/// filled plus the kernel cost. Used by both the query pipeline and the GPU
+/// builder so the scratch protocol lives in one place; windows no longer
+/// allocate an owned `Vec<Feature>` each.
+pub fn warp_sketch_to_slot(
     warp: &Warp,
     window: &[u8],
     kmer: KmerParams,
     sketch_size: usize,
-) -> (Vec<Feature>, KernelCost) {
+    slot: &mut [Feature],
+) -> (usize, KernelCost) {
     with_warp_scratch(|scratch| {
-        let mut features = Vec::with_capacity(sketch_size);
-        let cost = warp_sketch_window_into(warp, window, kmer, sketch_size, scratch, &mut features);
-        (features, cost)
+        warp_sketch_window_to_slice(warp, window, kmer, sketch_size, scratch, slot)
     })
 }
 
@@ -101,6 +111,40 @@ pub fn warp_sketch_window_into(
     sketch_size: usize,
     scratch: &mut WarpSketchScratch,
     out: &mut Vec<Feature>,
+) -> KernelCost {
+    let cost = warp_sketch_window_core(warp, window, kmer, sketch_size, scratch);
+    out.extend(scratch.pool.iter().map(|&h| (h >> 32) as Feature));
+    cost
+}
+
+/// Sketch one window with a warp into a caller-owned feature *slice* (a slot
+/// of a flat per-launch buffer), returning how many features were written and
+/// the modelled kernel cost. The slice must hold at least `sketch_size`
+/// slots. Bit-identical to [`warp_sketch_window_into`].
+pub fn warp_sketch_window_to_slice(
+    warp: &Warp,
+    window: &[u8],
+    kmer: KmerParams,
+    sketch_size: usize,
+    scratch: &mut WarpSketchScratch,
+    out: &mut [Feature],
+) -> (usize, KernelCost) {
+    let cost = warp_sketch_window_core(warp, window, kmer, sketch_size, scratch);
+    for (slot, &h) in out.iter_mut().zip(scratch.pool.iter()) {
+        *slot = (h >> 32) as Feature;
+    }
+    (scratch.pool.len(), cost)
+}
+
+/// The shared kernel body: leaves the sketch's hashes (sorted, deduplicated,
+/// truncated to `sketch_size`) in `scratch.pool` and returns the modelled
+/// cost; the public wrappers only differ in how they copy the features out.
+fn warp_sketch_window_core(
+    warp: &Warp,
+    window: &[u8],
+    kmer: KmerParams,
+    sketch_size: usize,
+    scratch: &mut WarpSketchScratch,
 ) -> KernelCost {
     let k = kmer.k() as usize;
     let positions = window.len().saturating_sub(k.saturating_sub(1));
@@ -135,9 +179,7 @@ pub fn warp_sketch_window_into(
     scratch.pool.sort_unstable();
     scratch.pool.dedup();
     scratch.pool.truncate(sketch_size);
-    let start = out.len();
-    out.extend(scratch.pool.iter().map(|&h| (h >> 32) as Feature));
-    let emitted = out.len() - start;
+    let emitted = scratch.pool.len();
 
     let sort_ops = (rounds * WARP_SIZE * 25) as u64; // 32·log²32 compare-exchanges per round
     KernelCost {
@@ -211,23 +253,47 @@ impl StageBreakdown {
 }
 
 /// The batched multi-device query pipeline.
-pub struct GpuClassifier<'db> {
-    db: &'db Database,
-    system: &'db MultiGpuSystem,
+///
+/// Like [`crate::query::Classifier`], the classifier is generic over how it
+/// holds the database and the device system: borrow both for one-shot use
+/// (`GpuClassifier::new(&db, &system)`) or hand it `Arc`s (the default type
+/// parameters) so a long-lived serving backend can co-own them.
+pub struct GpuClassifier<D = Arc<Database>, S = Arc<MultiGpuSystem>>
+where
+    D: Deref<Target = Database>,
+    S: Deref<Target = MultiGpuSystem>,
+{
+    db: D,
+    system: S,
     sketcher: Sketcher,
     breakdown: Mutex<StageBreakdown>,
 }
 
-impl<'db> GpuClassifier<'db> {
+impl<D, S> GpuClassifier<D, S>
+where
+    D: Deref<Target = Database>,
+    S: Deref<Target = MultiGpuSystem>,
+{
     /// Create a GPU classifier for a database whose partitions are resident
     /// on the devices of `system` (partition `i` on device `i % devices`).
-    pub fn new(db: &'db Database, system: &'db MultiGpuSystem) -> Self {
+    pub fn new(db: D, system: S) -> Self {
+        let sketcher = Sketcher::new(&db.config).expect("validated config");
         Self {
             db,
             system,
-            sketcher: Sketcher::new(&db.config).expect("validated config"),
+            sketcher,
             breakdown: Mutex::new(StageBreakdown::default()),
         }
+    }
+
+    /// The database this classifier queries.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The simulated device system batches are issued to.
+    pub fn system(&self) -> &MultiGpuSystem {
+        &self.system
     }
 
     /// The accumulated per-stage breakdown over all batches classified so far.
@@ -241,18 +307,36 @@ impl<'db> GpuClassifier<'db> {
     }
 
     /// Classify a batch of reads, returning one classification per read and
-    /// the simulated per-stage times of this batch.
+    /// the simulated per-stage times of this batch. Issues on device 0; use
+    /// [`GpuClassifier::classify_batch_on`] to rotate the issue device
+    /// (copy/compute overlap across concurrent batches).
     pub fn classify_batch(
         &self,
         records: &[SequenceRecord],
+    ) -> (Vec<Classification>, StageBreakdown) {
+        self.classify_batch_on(records, 0)
+    }
+
+    /// Classify a batch of reads with the transfer + sketching stage issued
+    /// on `issue_device` (wrapped modulo the device count) and the top-hit
+    /// merge ring starting there. Classifications are independent of the
+    /// issue device — only the simulated stream occupancy differs — so
+    /// concurrent callers (the serving engine's GPU backend, the streaming
+    /// consumer) can round-robin batches across devices to model the paper's
+    /// per-GPU copy/compute overlap.
+    pub fn classify_batch_on(
+        &self,
+        records: &[SequenceRecord],
+        issue_device: usize,
     ) -> (Vec<Classification>, StageBreakdown) {
         let mut batch_breakdown = StageBreakdown::default();
         if records.is_empty() {
             return (Vec::new(), batch_breakdown);
         }
         let devices = self.system.device_count().max(1);
+        let issue = issue_device % devices;
         let streams: Vec<Stream> = self.system.streams();
-        let first = &streams[0];
+        let first = &streams[issue];
 
         // --- Stage: host -> device transfer of the read windows (device 0). ---
         let batch_bytes: u64 = records.iter().map(|r| r.total_len() as u64).sum();
@@ -288,18 +372,33 @@ impl<'db> GpuClassifier<'db> {
         }
 
         // Launch one warp per window for sketch generation; each worker
-        // thread reuses its warp scratch across the windows it executes.
-        let sketch_results: Vec<(usize, Vec<Feature>, KernelCost)> =
-            launch_warps(LaunchConfig::new(read_windows.len()), |warp: Warp| {
+        // thread reuses its warp scratch across the windows it executes, and
+        // every warp writes its features into a fixed-stride slot of one flat
+        // per-launch buffer (no owned Vec per window). The buffer itself is
+        // thread-local so repeated batches on one serving worker reuse its
+        // allocation.
+        let mut feature_buf: Vec<Feature> =
+            QUERY_FEATURE_BUF.with(|b| std::mem::take(&mut *b.borrow_mut()));
+        let sketch_spans: Vec<(usize, (usize, KernelCost))> = launch_warps_into(
+            LaunchConfig::new(read_windows.len()),
+            sketch_size,
+            &mut feature_buf,
+            |warp: Warp, slot: &mut [Feature]| {
                 let (read_idx, window) = &read_windows[warp.warp_id];
-                let (features, cost) = warp_sketch_owned(&warp, window, kmer, sketch_size);
-                (*read_idx, features, cost)
-            });
+                let (filled, cost) = warp_sketch_to_slot(&warp, window, kmer, sketch_size, slot);
+                (filled, (*read_idx, cost))
+            },
+        );
+        // Flat (offset, len, read_idx) view of each warp's slot.
+        let window_sketch = |w: usize| -> &[Feature] {
+            let (filled, _) = sketch_spans[w];
+            &feature_buf[w * sketch_size..w * sketch_size + filled]
+        };
         let mut sketch_cost = KernelCost {
             launches: 1,
             ..Default::default()
         };
-        for (_, _, c) in &sketch_results {
+        for (_, (_, c)) in &sketch_spans {
             // Per-warp costs carry no launch overhead of their own; the whole
             // sketching stage counts as a single kernel launch.
             sketch_cost = sketch_cost.merge(*c);
@@ -307,13 +406,13 @@ impl<'db> GpuClassifier<'db> {
         let t1 = first.position();
         first.launch_kernel(sketch_cost);
 
-        // Broadcast sketches to the other devices (ring forwarding, Figure 2).
-        let sketch_bytes: u64 = sketch_results
-            .iter()
-            .map(|(_, f, _)| (f.len() * 4) as u64)
-            .sum();
-        for d in 1..devices {
-            self.system.peer_copy(d - 1, d, sketch_bytes);
+        // Broadcast sketches to the other devices along the ring starting at
+        // the issue device (ring forwarding, Figure 2).
+        let sketch_bytes: u64 = sketch_spans.iter().map(|(f, _)| (*f * 4) as u64).sum();
+        for i in 1..devices {
+            let src = (issue + i - 1) % devices;
+            let dst = (issue + i) % devices;
+            self.system.peer_copy(src, dst, sketch_bytes);
         }
 
         // Per-device hash-table queries: partition p is resident on device
@@ -332,8 +431,8 @@ impl<'db> GpuClassifier<'db> {
         let mut scratch = Vec::new();
         for (p, partition) in self.db.partitions.iter().enumerate() {
             let device = p % devices;
-            for (read_idx, features, _) in &sketch_results {
-                for &feature in features {
+            for (w, (_, (read_idx, _))) in sketch_spans.iter().enumerate() {
+                for &feature in window_sketch(w) {
                     scratch.clear();
                     partition.query_into(feature, &mut scratch);
                     query_cost_per_device[device].ops += 8; // probing group traversal
@@ -407,22 +506,28 @@ impl<'db> GpuClassifier<'db> {
             }
             streams[d].launch_kernel(KernelCost::compute(ops, ops * 8, 0));
         }
-        // Ring merge: device d sends its per-read top lists to device d+1.
+        // Ring merge: each device sends its per-read top lists to the next
+        // device along the ring starting at the issue device.
         let top_bytes = (records.len()
             * self.db.config.top_candidates
             * std::mem::size_of::<CandidateList>()) as u64;
-        for d in 0..devices.saturating_sub(1) {
-            self.system.peer_copy(d, d + 1, top_bytes.min(1 << 20));
+        for i in 0..devices.saturating_sub(1) {
+            let src = (issue + i) % devices;
+            let dst = (issue + i + 1) % devices;
+            self.system.peer_copy(src, dst, top_bytes.min(1 << 20));
         }
-        // Final top list travels back to the host.
-        streams[devices - 1].transfer((records.len() * 32) as u64);
+        // Final top list travels back to the host from the ring's last device.
+        streams[(issue + devices - 1) % devices].transfer((records.len() * 32) as u64);
         batch_breakdown.top_candidates = diff(max_position(&streams), t4);
 
         // Host-side final classification from the merged candidates.
         let classifications: Vec<Classification> = per_read_candidates
             .iter()
-            .map(|cands| classify_candidates(self.db, &self.db.config, cands))
+            .map(|cands| classify_candidates(&self.db, &self.db.config, cands))
             .collect();
+
+        // Hand the launch buffer back for the thread's next batch.
+        QUERY_FEATURE_BUF.with(|b| *b.borrow_mut() = feature_buf);
 
         self.breakdown.lock().accumulate(&batch_breakdown);
         (classifications, batch_breakdown)
@@ -450,19 +555,23 @@ impl<'db> GpuClassifier<'db> {
     ///
     /// This is the device-side consumer of the streaming architecture
     /// (Figure 2): each [`mc_seqio::SequenceBatch`] popped from the queue is
-    /// the unit handed to `launch_warps` (one warp per read window inside
-    /// [`GpuClassifier::classify_batch`]), so parsing on the producer side
+    /// the unit handed to the warp launch (one warp per read window inside
+    /// [`GpuClassifier::classify_batch_on`]), so parsing on the producer side
     /// overlaps device execution here while the queue's capacity bounds host
-    /// memory.
+    /// memory. Batches are issued round-robin across devices by their queue
+    /// index, modelling the paper's per-GPU streams with copy/compute
+    /// overlap (the "GPU streaming depth" of the serving architecture).
     pub fn classify_stream(
         &self,
         batches: &mc_seqio::BatchReceiver,
     ) -> (Vec<Classification>, StageBreakdown) {
+        let devices = self.system.device_count().max(1) as u64;
         let mut by_index: std::collections::BTreeMap<u64, Vec<Classification>> =
             std::collections::BTreeMap::new();
         let mut breakdown = StageBreakdown::default();
         while let Ok(batch) = batches.recv() {
-            let (classifications, b) = self.classify_batch(&batch.records);
+            let issue = (batch.index % devices) as usize;
+            let (classifications, b) = self.classify_batch_on(&batch.records, issue);
             breakdown.accumulate(&b);
             by_index.insert(batch.index, classifications);
         }
@@ -627,6 +736,30 @@ mod tests {
         assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         gpu.reset_breakdown();
         assert_eq!(gpu.breakdown().total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn issue_device_does_not_change_classifications() {
+        let (db, genome_a, genome_b) = small_db();
+        let reads: Vec<SequenceRecord> = (0..12)
+            .map(|i| {
+                let (g, off) = if i % 2 == 0 {
+                    (&genome_a, 300 + 101 * i)
+                } else {
+                    (&genome_b, 500 + 89 * i)
+                };
+                SequenceRecord::new(format!("r{i}"), g[off..off + 120].to_vec())
+            })
+            .collect();
+        let system = MultiGpuSystem::dgx1(3);
+        let gpu = GpuClassifier::new(&db, &system);
+        let (on0, _) = gpu.classify_batch_on(&reads, 0);
+        let (on1, _) = gpu.classify_batch_on(&reads, 1);
+        let (on2, _) = gpu.classify_batch_on(&reads, 2);
+        let (wrapped, _) = gpu.classify_batch_on(&reads, 5); // 5 % 3 == 2
+        assert_eq!(on0, on1);
+        assert_eq!(on1, on2);
+        assert_eq!(on2, wrapped);
     }
 
     #[test]

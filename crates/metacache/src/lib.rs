@@ -30,10 +30,16 @@
 //!   an analytical device clock that models V100 execution times.
 //!
 //! Reads can be classified from a fully materialised slice
-//! ([`query::Classifier::classify_batch`]) or streamed from disk through the
-//! bounded-memory pipeline of [`pipeline::StreamingClassifier`], which
+//! ([`query::Classifier::classify_batch`]), streamed from disk through the
+//! bounded-memory pipeline of [`pipeline::StreamingClassifier`] — which
 //! overlaps parsing, sketching and table lookup across threads and emits
-//! bit-identical results in input order (see `docs/ARCHITECTURE.md`):
+//! bit-identical results in input order — or served to many concurrent
+//! clients by the resident [`serving::ServingEngine`]: a long-lived worker
+//! pool over a shared `Arc<Database>`, multiplexing any number of
+//! [`serving::Session`] streams with per-session ordering and memory bounds.
+//! The host and simulated-GPU execution paths sit behind the
+//! [`backend::Backend`] trait, so all three entry points drive either path
+//! (see `docs/ARCHITECTURE.md`):
 //!
 //! ```
 //! # use metacache::{MetaCacheConfig, build::CpuBuilder};
@@ -86,6 +92,7 @@
 //! ```
 
 pub mod abundance;
+pub mod backend;
 pub mod build;
 pub mod candidate;
 pub mod classify;
@@ -96,8 +103,10 @@ pub mod gpu;
 pub mod pipeline;
 pub mod query;
 pub mod serialize;
+pub mod serving;
 pub mod sketch;
 
+pub use backend::{Backend, BackendWorker, GpuBackend, HostBackend};
 pub use candidate::{Candidate, CandidateList};
 pub use classify::{Classification, ClassificationEvaluation};
 pub use config::MetaCacheConfig;
@@ -105,6 +114,7 @@ pub use database::{Database, Partition, TargetInfo};
 pub use error::MetaCacheError;
 pub use pipeline::{StreamingClassifier, StreamingConfig, StreamingSummary};
 pub use query::{Classifier, QueryScratch};
+pub use serving::{EngineConfig, EngineStats, ServingEngine, Session, SessionConfig};
 pub use sketch::{ReadSketch, Sketch, SketchScratch, Sketcher};
 
 /// Convenient result alias.

@@ -10,11 +10,18 @@
 //!
 //! ```text
 //!  parse ──► bounded batch queue ──► worker pool ──► reorder ──► sink
-//!  (1 producer thread)  (mc-seqio)   (N workers,     (sequence-   (caller's
-//!   assembles batches of             one QueryScratch numbered     FnMut, in
-//!   `batch_records` reads            each, reused     batches)     input order)
-//!                                    across batches)
+//!  (1 producer thread)  (mc-seqio)   (N workers, one  (sequence-   (caller's
+//!   assembles batches of             Backend worker   numbered     FnMut, in
+//!   `batch_records` reads            each, scratch    batches)     input order)
+//!                                    reused across batches)
 //! ```
+//!
+//! The worker stage is written against the [`Backend`] trait, so the same
+//! pipeline drives the host path ([`crate::backend::HostBackend`], one
+//! `QueryScratch` per worker) and the simulated multi-GPU path
+//! ([`crate::backend::GpuBackend`], batches issued round-robin across
+//! devices). For many concurrent streams multiplexing over one long-lived
+//! worker pool, see [`crate::serving::ServingEngine`].
 //!
 //! Memory stays bounded regardless of input size: a credit scheme caps the
 //! number of batches alive anywhere in the pipeline (queue + workers +
@@ -42,21 +49,22 @@
 //! classifications.
 
 use std::collections::BTreeMap;
+use std::ops::Deref;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use mc_gpu_sim::{MultiGpuSystem, SimDuration};
 use mc_seqio::{BatchQueue, SequenceBatch, SequenceRecord};
 use mc_taxonomy::{TaxonId, Taxonomy};
 
+use crate::backend::{Backend, HostBackend};
 use crate::build::{estimate_locations, GpuBuilder};
 use crate::classify::Classification;
 use crate::config::MetaCacheConfig;
 use crate::database::Database;
 use crate::error::MetaCacheError;
 use crate::gpu::GpuClassifier;
-use crate::query::{Classifier, QueryScratch};
 use crate::serialize;
 
 /// Shape of the streaming query pipeline: batch size, queue depth, worker
@@ -216,7 +224,8 @@ impl Drop for CloseCreditsOnDrop<'_> {
 /// classification → in-order emission, overlapping all stages across threads.
 ///
 /// Produces classifications bit-identical to
-/// [`Classifier::classify_batch`] on the same record sequence while holding
+/// [`Classifier::classify_batch`][crate::query::Classifier::classify_batch]
+/// on the same record sequence while holding
 /// at most [`StreamingConfig::max_in_flight_batches`] batches in memory, so
 /// inputs of any size stream through in O(`batch_records` ×
 /// (`queue_capacity` + `workers`)) space. See the [module docs](self) for
@@ -254,25 +263,49 @@ impl Drop for CloseCreditsOnDrop<'_> {
 /// assert!(classifications.iter().all(|c| c.taxon == 100));
 /// assert_eq!(summary.records, 40);
 /// ```
-pub struct StreamingClassifier<'db> {
-    db: &'db Database,
-    classifier: Classifier<'db>,
+pub struct StreamingClassifier<B = HostBackend<Arc<Database>>>
+where
+    B: Backend,
+{
+    backend: B,
     config: StreamingConfig,
 }
 
-impl<'db> StreamingClassifier<'db> {
-    /// Create a streaming classifier with the default pipeline shape.
-    pub fn new(db: &'db Database) -> Self {
+impl<D> StreamingClassifier<HostBackend<D>>
+where
+    D: Deref<Target = Database> + Clone + Send + Sync,
+{
+    /// Create a host-path streaming classifier with the default pipeline
+    /// shape. `db` can be a borrow (`&Database`) or an owning handle
+    /// (`Arc<Database>`).
+    pub fn new(db: D) -> Self {
         Self::with_config(db, StreamingConfig::default())
     }
 
-    /// Create a streaming classifier with an explicit pipeline shape.
-    pub fn with_config(db: &'db Database, config: StreamingConfig) -> Self {
+    /// Create a host-path streaming classifier with an explicit pipeline
+    /// shape.
+    pub fn with_config(db: D, config: StreamingConfig) -> Self {
+        Self::with_backend(HostBackend::new(db), config)
+    }
+}
+
+impl<B> StreamingClassifier<B>
+where
+    B: Backend,
+{
+    /// Create a streaming classifier over an explicit execution backend —
+    /// the pipeline is written once against [`Backend`], so the same stages
+    /// drive the host path and [`crate::backend::GpuBackend`].
+    pub fn with_backend(backend: B, config: StreamingConfig) -> Self {
         Self {
-            db,
-            classifier: Classifier::new(db),
+            backend,
             config: config.normalized(),
         }
+    }
+
+    /// The execution backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     /// The (normalised) pipeline shape.
@@ -308,7 +341,7 @@ impl<'db> StreamingClassifier<'db> {
         let (out_tx, out_rx) =
             std::sync::mpsc::sync_channel::<ClassifiedBatch>(config.max_in_flight_batches());
         let source = records.into_iter();
-        let classifier = &self.classifier;
+        let backend = &self.backend;
         let credits = &credits;
 
         let mut summary = StreamingSummary::default();
@@ -357,19 +390,18 @@ impl<'db> StreamingClassifier<'db> {
                 error
             });
 
-            // --- Workers: classify batches with one reused scratch each. ---
+            // --- Workers: classify batches with one persistent backend
+            //     worker each (the host worker owns a reused QueryScratch;
+            //     the GPU worker rotates issue devices). ---
             for _ in 0..config.workers {
                 let rx = batch_rx.clone();
                 let tx = out_tx.clone();
                 scope.spawn(move || {
                     let _teardown = CloseCreditsOnDrop(credits);
-                    let mut scratch = QueryScratch::new();
+                    let mut worker = backend.worker();
                     while let Ok(batch) = rx.recv() {
-                        let classifications: Vec<Classification> = batch
-                            .records
-                            .iter()
-                            .map(|r| classifier.classify_with(r, &mut scratch))
-                            .collect();
+                        let mut classifications = Vec::with_capacity(batch.records.len());
+                        worker.classify_batch_into(&batch.records, &mut classifications);
                         let done = ClassifiedBatch {
                             index: batch.index,
                             records: batch.records,
@@ -454,8 +486,8 @@ impl<'db> StreamingClassifier<'db> {
     }
 
     /// The database this classifier queries.
-    pub fn database(&self) -> &'db Database {
-        self.db
+    pub fn database(&self) -> &Database {
+        self.backend.database()
     }
 }
 
@@ -518,10 +550,12 @@ impl PhaseTimes {
     }
 }
 
-/// The result of an end-to-end pipeline run.
+/// The result of an end-to-end pipeline run. The database is returned behind
+/// an [`Arc`] so callers can hand it straight to serving components
+/// ([`crate::serving::ServingEngine`], backends) without a copy.
 pub struct PipelineReport {
     /// The constructed (or reloaded) database.
-    pub database: Database,
+    pub database: Arc<Database>,
     /// Per-phase simulated times.
     pub phases: PhaseTimes,
     /// Classifications of the query reads.
@@ -546,10 +580,10 @@ pub fn run_on_the_fly(
         builder.add_target(record.clone(), *taxon)?;
     }
     let build_time = system.makespan();
-    let database = builder.finish();
+    let database = Arc::new(builder.finish());
 
     system.reset_clocks();
-    let classifier = GpuClassifier::new(&database, system);
+    let classifier = GpuClassifier::new(Arc::clone(&database), system);
     let (classifications, _) = classifier.classify_all(reads);
     // The build-phase table is not compacted, so OTF queries run ~20% slower
     // than queries against the condensed layout (§6.3).
@@ -602,7 +636,7 @@ pub fn run_write_load_query(
 
     // Query phase against the condensed database.
     system.reset_clocks();
-    let classifier = GpuClassifier::new(&loaded, system);
+    let classifier = GpuClassifier::new(Arc::clone(&loaded), system);
     let (classifications, _) = classifier.classify_all(reads);
     let query_time = system.makespan();
 
@@ -622,6 +656,7 @@ pub fn run_write_load_query(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::query::Classifier;
     use mc_taxonomy::Rank;
 
     fn make_seq(len: usize, seed: u64) -> Vec<u8> {

@@ -24,8 +24,24 @@
 //!   `sort_unstable` the hot path detects the natural runs in one O(n) scan
 //!   and merges them bottom-up in the scratch's ping-pong buffer — O(n log r)
 //!   for `r` runs, and a plain pass-through when the list is already sorted.
-//!   Lists with more than `MAX_MERGE_RUNS` runs fall back to `sort_unstable`
-//!   (run detection is O(n), so the fallback costs one extra scan).
+//!   Lists with more than `MAX_MERGE_RUNS` runs (heavily fragmented location
+//!   lists of repetitive references) fall back to an LSD radix sort over the
+//!   packed `(target, window)` keys in the same ping-pong buffer — the CPU
+//!   analogue of the paper's segmented device sort (§5.5), O(n) per varying
+//!   key byte instead of O(n log n) comparisons.
+//!
+//! # Database ownership
+//!
+//! [`Classifier`] is generic over *how it holds the database*: any
+//! `Deref<Target = Database>` works. Borrow for one-shot use
+//! (`Classifier::new(&db)`), or hand it an `Arc<Database>` (the default type
+//! parameter) so long-lived serving components — the
+//! [`ServingEngine`][crate::serving::ServingEngine] worker pool, backends
+//! shared across threads — can co-own the database without a borrow tying
+//! them to a caller's stack frame.
+
+use std::ops::Deref;
+use std::sync::Arc;
 
 use rayon::prelude::*;
 
@@ -37,9 +53,9 @@ use crate::classify::{classify_candidates, Classification};
 use crate::database::Database;
 use crate::sketch::{SketchScratch, Sketcher};
 
-/// Location lists with more natural runs than this are sorted with
-/// `sort_unstable` instead of merged (each merge pass costs one full copy;
-/// beyond ~64 runs the comparison sort's cache behaviour wins).
+/// Location lists with more natural runs than this are radix-sorted instead
+/// of merged (each merge pass costs one full copy over the list; beyond ~64
+/// runs the fixed number of radix passes wins).
 const MAX_MERGE_RUNS: usize = 64;
 
 /// Reusable per-worker scratch state for allocation-free classification.
@@ -114,16 +130,29 @@ impl QueryScratch {
 /// let tiny = SequenceRecord::new("tiny", genome[..8].to_vec());
 /// assert!(!classifier.classify_with(&tiny, &mut scratch).is_classified());
 /// ```
-pub struct Classifier<'db> {
-    db: &'db Database,
+pub struct Classifier<D = Arc<Database>>
+where
+    D: Deref<Target = Database>,
+{
+    db: D,
     sketcher: Sketcher,
 }
 
-impl<'db> Classifier<'db> {
-    /// Create a classifier for a database.
-    pub fn new(db: &'db Database) -> Self {
+impl<D> Classifier<D>
+where
+    D: Deref<Target = Database>,
+{
+    /// Create a classifier for a database. `db` can be a borrow
+    /// (`&Database`) for one-shot use or an owning handle (`Arc<Database>`)
+    /// for long-lived serving components.
+    pub fn new(db: D) -> Self {
         let sketcher = Sketcher::new(&db.config).expect("database config was validated at build");
         Self { db, sketcher }
+    }
+
+    /// The database this classifier queries.
+    pub fn database(&self) -> &Database {
+        &self.db
     }
 
     /// The sketcher used by this classifier.
@@ -182,24 +211,13 @@ impl<'db> Classifier<'db> {
         scratch: &mut QueryScratch,
     ) -> Classification {
         self.candidates_with(record, scratch);
-        classify_candidates(self.db, &self.db.config, &scratch.candidates)
+        classify_candidates(&self.db, &self.db.config, &scratch.candidates)
     }
 
     /// Classify one read (or read pair).
     pub fn classify(&self, record: &SequenceRecord) -> Classification {
         let mut scratch = QueryScratch::new();
         self.classify_with(record, &mut scratch)
-    }
-
-    /// Classify a batch of reads in parallel. One [`QueryScratch`] is created
-    /// per rayon worker and reused for every read that worker processes.
-    pub fn classify_batch(&self, records: &[SequenceRecord]) -> Vec<Classification> {
-        records
-            .par_iter()
-            .map_init(QueryScratch::new, |scratch, r| {
-                self.classify_with(r, scratch)
-            })
-            .collect()
     }
 
     /// Classify reads sequentially with a single reused scratch (useful for
@@ -213,10 +231,27 @@ impl<'db> Classifier<'db> {
     }
 }
 
+impl<D> Classifier<D>
+where
+    D: Deref<Target = Database> + Sync,
+{
+    /// Classify a batch of reads in parallel. One [`QueryScratch`] is created
+    /// per rayon worker and reused for every read that worker processes.
+    pub fn classify_batch(&self, records: &[SequenceRecord]) -> Vec<Classification> {
+        records
+            .par_iter()
+            .map_init(QueryScratch::new, |scratch, r| {
+                self.classify_with(r, scratch)
+            })
+            .collect()
+    }
+}
+
 /// Sort `locations` by packed `(target, window)` key using its natural sorted
 /// runs: detect run boundaries in one scan, then merge adjacent runs
-/// bottom-up, ping-ponging between `locations` and `buf`. Falls back to
-/// `sort_unstable_by_key` when more than [`MAX_MERGE_RUNS`] runs are found.
+/// bottom-up, ping-ponging between `locations` and `buf`. Falls back to an
+/// LSD radix sort in the same ping-pong buffer when more than
+/// [`MAX_MERGE_RUNS`] runs are found.
 ///
 /// `buf` and `bounds` are caller-owned so repeated calls reuse their
 /// allocations.
@@ -240,7 +275,7 @@ pub(crate) fn sort_location_runs(
         return; // already sorted — the common case for single-window reads
     }
     if bounds.len() - 1 > MAX_MERGE_RUNS {
-        locations.sort_unstable_by_key(|l| l.pack());
+        radix_sort_locations(locations, buf);
         return;
     }
 
@@ -259,6 +294,65 @@ pub(crate) fn sort_location_runs(
     }
     if !in_main {
         locations.copy_from_slice(buf);
+    }
+}
+
+/// LSD radix sort of `locations` by packed `(target, window)` key,
+/// ping-ponging between `locations` and the caller's scratch `buf` — the
+/// fragmented-list fallback of [`sort_location_runs`] and the CPU analogue
+/// of the paper's segmented device sort (§5.5).
+///
+/// One counting pass per *varying* key byte (a pre-scan XORs every key
+/// against the first, so lists whose locations share the high target bytes —
+/// the common case — run in two or three passes instead of eight). Each pass
+/// is a stable counting sort, so processing bytes least-significant first
+/// yields a total order over the full 64-bit key.
+pub(crate) fn radix_sort_locations(locations: &mut [Location], buf: &mut Vec<Location>) {
+    if locations.len() < 2 {
+        return;
+    }
+    // Like the merge path: every executed pass overwrites all `n` slots of
+    // the destination, so the buffer is resized without clearing.
+    buf.resize(locations.len(), Location::new(0, 0));
+    let first = locations[0].pack();
+    let mut varying = 0u64;
+    for l in locations.iter() {
+        varying |= l.pack() ^ first;
+    }
+    let mut in_main = true;
+    for shift in (0..64).step_by(8) {
+        if (varying >> shift) & 0xFF == 0 {
+            continue; // all keys share this byte — the pass is the identity
+        }
+        if in_main {
+            radix_pass(locations, buf, shift);
+        } else {
+            radix_pass(buf, locations, shift);
+        }
+        in_main = !in_main;
+    }
+    if !in_main {
+        locations.copy_from_slice(buf);
+    }
+}
+
+/// One stable counting-sort pass of the LSD radix sort: scatter `src` into
+/// `dst` ordered by the key byte at `shift`.
+fn radix_pass(src: &[Location], dst: &mut [Location], shift: usize) {
+    let mut counts = [0usize; 256];
+    for l in src {
+        counts[((l.pack() >> shift) & 0xFF) as usize] += 1;
+    }
+    let mut offset = 0usize;
+    for c in counts.iter_mut() {
+        let n = *c;
+        *c = offset;
+        offset += n;
+    }
+    for l in src {
+        let d = ((l.pack() >> shift) & 0xFF) as usize;
+        dst[counts[d]] = *l;
+        counts[d] += 1;
     }
 }
 
@@ -474,6 +568,62 @@ mod tests {
             let desc: Vec<Location> = (0..n).map(|i| Location::new((n - i) as u32, 0)).collect();
             assert_run_sort(desc);
         }
+    }
+
+    #[test]
+    fn radix_fallback_matches_global_sort_on_fragmented_lists() {
+        // Wide keys (large targets and windows, so all eight key bytes can
+        // vary) across many short runs — the shape that triggers the radix
+        // fallback in sort_location_runs.
+        let mut state = 0xDEAD_BEEFu64;
+        let mut next = |bound: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 31) % bound
+        };
+        for n in [65usize, 200, 1000, 4096] {
+            let locs: Vec<Location> = (0..n)
+                .map(|_| Location::new(next(u32::MAX as u64) as u32, next(u32::MAX as u64) as u32))
+                .collect();
+            assert_run_sort(locs);
+        }
+        // Keys sharing their high bytes (small targets): most radix passes
+        // are skipped by the varying-byte pre-scan.
+        let locs: Vec<Location> = (0..500)
+            .map(|_| Location::new(next(3) as u32, next(100) as u32))
+            .collect();
+        assert_run_sort(locs);
+        // All-equal keys: zero varying bytes, zero passes.
+        let mut equal = vec![Location::new(42, 7); 100];
+        equal.push(Location::new(42, 6)); // two runs, still one distinct pass shape
+        assert_run_sort(equal);
+    }
+
+    #[test]
+    fn radix_sort_direct_invocation() {
+        let mut state = 1u64;
+        let mut locs: Vec<Location> = (0..777)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                Location::new((state >> 32) as u32, state as u32)
+            })
+            .collect();
+        let mut expected = locs.clone();
+        expected.sort_unstable_by_key(|l| l.pack());
+        let mut buf = Vec::new();
+        radix_sort_locations(&mut locs, &mut buf);
+        assert_eq!(locs, expected);
+        // Odd number of executed passes leaves the result in `locations` too.
+        let mut one_byte: Vec<Location> = (0..300)
+            .map(|i| Location::new(0, (300 - i) % 256))
+            .collect();
+        let mut expected = one_byte.clone();
+        expected.sort_unstable_by_key(|l| l.pack());
+        radix_sort_locations(&mut one_byte, &mut buf);
+        assert_eq!(one_byte, expected);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -139,7 +140,12 @@ fn table_export(table: &mc_warpcore::MultiBucketHashTable) -> Vec<(Feature, Vec<
 
 /// Load a database saved with [`save`]. All partitions are loaded into the
 /// condensed read-only layout of §4.2.
-pub fn load(dir: impl AsRef<Path>, name: &str) -> Result<Database, MetaCacheError> {
+///
+/// The database is returned behind an [`Arc`]: a loaded database is the
+/// shared, read-only artefact the serving stack multiplexes over
+/// (classifiers, backends and the [`crate::serving::ServingEngine`] all
+/// co-own it), so ownership starts shared at the load boundary.
+pub fn load(dir: impl AsRef<Path>, name: &str) -> Result<Arc<Database>, MetaCacheError> {
     let dir = dir.as_ref();
     let meta_path = dir.join(format!("{name}.meta"));
     let meta_json = std::fs::read(&meta_path)?;
@@ -185,13 +191,13 @@ pub fn load(dir: impl AsRef<Path>, name: &str) -> Result<Database, MetaCacheErro
     }
 
     let lineages = meta.taxonomy.lineage_cache();
-    Ok(Database {
+    Ok(Arc::new(Database {
         config: meta.config,
         targets: meta.targets,
         taxonomy: meta.taxonomy,
         lineages,
         partitions,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -264,7 +270,7 @@ mod tests {
         // Classifications must be identical between the in-memory (OTF) and
         // the loaded (condensed) database.
         let original = Classifier::new(&db);
-        let reloaded = Classifier::new(&loaded);
+        let reloaded = Classifier::new(Arc::clone(&loaded));
         for offset in [100usize, 2_000, 7_333] {
             let read = SequenceRecord::new("r", genome_a[offset..offset + 120].to_vec());
             assert_eq!(original.classify(&read), reloaded.classify(&read));

@@ -1,0 +1,866 @@
+//! The persistent serving engine: a long-lived worker pool multiplexing many
+//! concurrent classification streams over one shared database.
+//!
+//! [`crate::pipeline::StreamingClassifier`] spawns and joins its own scoped
+//! threads on every call — fine for one big file, but a serving front-end
+//! handles many small concurrent requests, and per-call thread spawns
+//! (~0.2 ms) plus cold scratch buffers dominate short streams. The
+//! [`ServingEngine`] keeps the pipeline *resident*:
+//!
+//! ```text
+//!                 session A ──┐ tagged batches             ┌──► session A results
+//!   (per-session  session B ──┤──► bounded queue ──► worker├──► session B results
+//!    credits +    session C ──┘    (mc-seqio)        pool  └──► session C results
+//!    seq numbers)                                 (N threads,   (per-session channel,
+//!                                                  1 Backend     reordered client-side
+//!                                                  worker each,  by session_seq)
+//!                                                  live forever)
+//! ```
+//!
+//! * **Workers are long-lived.** Each worker thread mints one
+//!   [`Backend`] worker at startup and reuses it for every batch it ever
+//!   classifies — scratch buffers stay warm across requests, and request
+//!   latency no longer pays thread spawn/join.
+//! * **The database is shared.** The engine owns an `Arc<dyn Backend>`,
+//!   which co-owns the `Arc<Database>`: any number of engines, sessions and
+//!   classifiers serve from one resident database.
+//! * **Sessions multiplex.** Every [`Session`] tags its batches with a
+//!   session id and a per-session sequence number (`mc-seqio` batch tags);
+//!   workers route completed batches to the owning session's channel, and
+//!   the session restores *its own* input order from the sequence numbers —
+//!   exact-order emission per stream, independent of other streams.
+//! * **PR 2 guarantees are kept per session.** Results are bit-identical to
+//!   [`Classifier::classify_batch`][crate::query::Classifier::classify_batch]
+//!   including order; a per-session credit bound caps that session's
+//!   resident batches at `max_in_flight`; teardown is panic-safe (a
+//!   panicking sink only kills its own session, a panicking backend worker
+//!   is replaced and reported without deadlocking anyone).
+//! * **Shutdown drains.** [`ServingEngine::shutdown`] (or drop) closes the
+//!   queue, lets workers finish everything in flight and joins them.
+//!   Sessions borrow the engine, so the borrow checker proves the engine is
+//!   idle before it can shut down.
+//!
+//! Deadlock freedom: a session's result channel is sized to its credit
+//! total, and a session never holds more than `max_in_flight` batches
+//! anywhere in the engine, so workers can always deliver without blocking;
+//! the shared queue therefore always drains, and a client blocked on a
+//! credit always has an in-flight batch that will complete.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use mc_gpu_sim::MultiGpuSystem;
+use mc_seqio::{BatchQueue, BatchSender, QueueStats, SequenceBatch, SequenceRecord};
+
+use crate::backend::{Backend, GpuBackend, HostBackend};
+use crate::classify::Classification;
+use crate::database::Database;
+use crate::pipeline::StreamingSummary;
+
+/// Shape of a serving engine: worker count, queue depth and the per-session
+/// defaults handed to [`ServingEngine::session`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Number of long-lived worker threads.
+    pub workers: usize,
+    /// Bounded capacity of the shared submission queue (batches).
+    pub queue_capacity: usize,
+    /// Default records per batch for sessions.
+    pub batch_records: usize,
+    /// Default per-session bound on resident batches (credits). `0` means
+    /// `queue_capacity + workers` — the PR 2 streaming bound.
+    pub session_max_in_flight: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            queue_capacity: 4,
+            batch_records: 1024,
+            session_max_in_flight: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Clamp every knob to a workable value.
+    fn normalized(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        self.queue_capacity = self.queue_capacity.max(1);
+        self.batch_records = self.batch_records.max(1);
+        self
+    }
+
+    /// The per-session resident-batch bound sessions are created with:
+    /// `session_max_in_flight`, or `queue_capacity + workers` when 0.
+    pub fn effective_session_in_flight(&self) -> usize {
+        if self.session_max_in_flight > 0 {
+            self.session_max_in_flight
+        } else {
+            self.queue_capacity.max(1) + self.workers.max(1)
+        }
+    }
+}
+
+/// Per-session overrides of the engine's defaults.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Records per batch (`0` = engine default).
+    pub batch_records: usize,
+    /// Bound on this session's resident batches (`0` = engine default).
+    pub max_in_flight: usize,
+}
+
+/// Lifetime counters of a [`ServingEngine`], snapshotted by
+/// [`ServingEngine::stats`] and returned by [`ServingEngine::shutdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Sessions opened over the engine's lifetime.
+    pub sessions_opened: u64,
+    /// Batches classified by the pool.
+    pub batches_classified: u64,
+    /// Records classified by the pool.
+    pub records_classified: u64,
+    /// Backend workers replaced after a panic while classifying.
+    pub worker_panics: u64,
+    /// High-water mark of the shared submission queue's occupancy gauge
+    /// (bounded by `queue_capacity + concurrent producers + workers`).
+    pub peak_queue_batches: u64,
+}
+
+/// A completed (or failed) batch travelling from a worker back to its
+/// session.
+struct WorkerResult {
+    seq: u64,
+    records: Vec<SequenceRecord>,
+    classifications: Vec<Classification>,
+    /// The backend worker panicked while classifying this batch; the
+    /// session's drain turns this into a client-side panic.
+    panicked: bool,
+}
+
+/// Routing entry of one live session.
+struct SessionState {
+    /// Worker → session result channel; sized to the session's credit total
+    /// so workers never block on delivery.
+    out_tx: mpsc::SyncSender<WorkerResult>,
+}
+
+/// Counters shared between the engine handle and its workers.
+#[derive(Default)]
+struct EngineCounters {
+    sessions_opened: AtomicU64,
+    batches: AtomicU64,
+    records: AtomicU64,
+    panics: AtomicU64,
+}
+
+/// State shared by the engine handle, its worker threads and its sessions.
+struct EngineShared {
+    backend: Arc<dyn Backend + 'static>,
+    sessions: Mutex<HashMap<u64, Arc<SessionState>>>,
+    next_session: AtomicU64,
+    counters: EngineCounters,
+    queue_stats: Arc<QueueStats>,
+}
+
+/// A long-lived classification service: a pool of worker threads over one
+/// shared [`Backend`] (and therefore one shared `Arc<Database>`), serving
+/// any number of concurrent client [`Session`]s.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use metacache::{MetaCacheConfig, build::CpuBuilder};
+/// use metacache::serving::ServingEngine;
+/// use mc_seqio::SequenceRecord;
+/// use mc_taxonomy::{Rank, Taxonomy};
+///
+/// # let mut taxonomy = Taxonomy::with_root();
+/// # taxonomy.add_node(100, 1, Rank::Species, "Species A").unwrap();
+/// # let mut state = 7u64;
+/// # let genome: Vec<u8> = (0..8000).map(|_| {
+/// #     state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+/// #     b"ACGT"[(state >> 33) as usize % 4]
+/// # }).collect();
+/// # let mut builder = CpuBuilder::new(MetaCacheConfig::default(), taxonomy);
+/// # builder.add_target(SequenceRecord::new("refA", genome.clone()), 100).unwrap();
+/// let db = Arc::new(builder.finish());
+///
+/// // One resident engine; sessions come and go per client request.
+/// let engine = ServingEngine::host(Arc::clone(&db));
+/// let mut session = engine.session();
+/// let reads = (0..20).map(|i| {
+///     SequenceRecord::new(format!("r{i}"), genome[i * 100..i * 100 + 150].to_vec())
+/// });
+/// let (classifications, summary) = session.classify_iter(reads);
+/// assert_eq!(summary.records, 20);
+/// assert!(classifications.iter().all(|c| c.taxon == 100));
+/// drop(session);
+/// let stats = engine.shutdown();
+/// assert_eq!(stats.records_classified, 20);
+/// ```
+pub struct ServingEngine {
+    shared: Arc<EngineShared>,
+    /// The engine's own producer handle; dropped (last, after all sessions'
+    /// clones) to close the queue at shutdown.
+    work_tx: Option<BatchSender>,
+    workers: Vec<JoinHandle<()>>,
+    config: EngineConfig,
+}
+
+impl ServingEngine {
+    /// Start an engine over an explicit backend.
+    pub fn new<B>(backend: B, config: EngineConfig) -> Self
+    where
+        B: Backend + 'static,
+    {
+        let config = config.normalized();
+        let backend: Arc<dyn Backend + 'static> = Arc::new(backend);
+        let queue = BatchQueue::new(config.queue_capacity, config.batch_records);
+        let queue_stats = queue.stats();
+        let (work_tx, work_rx) = queue.split();
+        let shared = Arc::new(EngineShared {
+            backend,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            counters: EngineCounters::default(),
+            queue_stats,
+        });
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let rx = work_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("serving-worker-{i}"))
+                    .spawn(move || {
+                        let mut worker = shared.backend.worker();
+                        while let Ok(batch) = rx.recv() {
+                            let SequenceBatch {
+                                session,
+                                session_seq,
+                                records,
+                                ..
+                            } = batch;
+                            // Route to the owning session; a dropped session
+                            // leaves no registry entry and its batch is
+                            // discarded.
+                            let target = shared
+                                .sessions
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .get(&session)
+                                .cloned();
+                            let Some(target) = target else { continue };
+                            let mut classifications = Vec::with_capacity(records.len());
+                            let panicked =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    worker.classify_batch_into(&records, &mut classifications)
+                                }))
+                                .is_err();
+                            if panicked {
+                                // The worker's scratch state may be torn
+                                // mid-update; replace it and keep serving.
+                                worker = shared.backend.worker();
+                                classifications.clear();
+                                shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+                                shared
+                                    .counters
+                                    .records
+                                    .fetch_add(records.len() as u64, Ordering::Relaxed);
+                            }
+                            // Sized-to-credits channel: never blocks. A
+                            // session that died mid-flight just drops the
+                            // result.
+                            let _ = target.out_tx.send(WorkerResult {
+                                seq: session_seq,
+                                records,
+                                classifications,
+                                panicked,
+                            });
+                        }
+                    })
+                    .expect("spawn serving worker")
+            })
+            .collect();
+
+        Self {
+            shared,
+            work_tx: Some(work_tx),
+            workers,
+            config,
+        }
+    }
+
+    /// Start a host-path engine with the default shape over a shared
+    /// database.
+    pub fn host(db: Arc<Database>) -> Self {
+        Self::new(HostBackend::new(db), EngineConfig::default())
+    }
+
+    /// Start a host-path engine with an explicit shape.
+    pub fn host_with_config(db: Arc<Database>, config: EngineConfig) -> Self {
+        Self::new(HostBackend::new(db), config)
+    }
+
+    /// Start a simulated-GPU engine: batches issue round-robin across the
+    /// system's devices (per-device streams, copy/compute overlap).
+    pub fn gpu(db: Arc<Database>, system: Arc<MultiGpuSystem>, config: EngineConfig) -> Self {
+        Self::new(GpuBackend::new(db, system), config)
+    }
+
+    /// The engine's (normalised) shape.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The backend's short label (`"host"`, `"gpu-sim"`, …).
+    pub fn backend_name(&self) -> &'static str {
+        self.shared.backend.name()
+    }
+
+    /// The shared database the engine serves from.
+    pub fn database(&self) -> &Database {
+        self.shared.backend.database()
+    }
+
+    /// Open a client session with the engine's default shape. Sessions are
+    /// cheap (one registry entry + one channel): open one per request
+    /// stream, from any thread.
+    pub fn session(&self) -> Session<'_> {
+        self.session_with(SessionConfig::default())
+    }
+
+    /// Open a client session with explicit overrides.
+    pub fn session_with(&self, config: SessionConfig) -> Session<'_> {
+        let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let batch_records = if config.batch_records > 0 {
+            config.batch_records
+        } else {
+            self.config.batch_records
+        };
+        let max_in_flight = if config.max_in_flight > 0 {
+            config.max_in_flight
+        } else {
+            self.config.effective_session_in_flight()
+        };
+        let (out_tx, out_rx) = mpsc::sync_channel(max_in_flight);
+        self.shared
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(id, Arc::new(SessionState { out_tx }));
+        self.shared
+            .counters
+            .sessions_opened
+            .fetch_add(1, Ordering::Relaxed);
+        Session {
+            engine: self,
+            id,
+            work_tx: self
+                .work_tx
+                .as_ref()
+                .expect("engine is running while sessions exist")
+                .clone(),
+            out_rx,
+            pending: BTreeMap::new(),
+            next_submit_seq: 0,
+            next_emit_seq: 0,
+            in_flight: 0,
+            peak_in_flight: 0,
+            batch_records,
+            max_in_flight,
+        }
+    }
+
+    /// Snapshot the engine's lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            workers: self.workers.len() as u64,
+            sessions_opened: self.shared.counters.sessions_opened.load(Ordering::Relaxed),
+            batches_classified: self.shared.counters.batches.load(Ordering::Relaxed),
+            records_classified: self.shared.counters.records.load(Ordering::Relaxed),
+            worker_panics: self.shared.counters.panics.load(Ordering::Relaxed),
+            peak_queue_batches: self.shared.queue_stats.peak_in_flight(),
+        }
+    }
+
+    /// Gracefully shut the engine down: close the submission queue, let the
+    /// workers drain everything already queued (idle drain) and join them.
+    /// Consumes the engine — and because sessions borrow it, all sessions
+    /// must have been dropped first, so nothing can be lost mid-stream.
+    pub fn shutdown(mut self) -> EngineStats {
+        let workers = self.workers.len() as u64;
+        self.teardown();
+        EngineStats {
+            workers,
+            ..self.stats()
+        }
+    }
+
+    fn teardown(&mut self) {
+        // Closing the engine's producer handle is what ends the workers:
+        // sessions hold the only other clones and they are gone by now
+        // (shutdown) or simply absent (drop of an idle engine).
+        self.work_tx.take();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServingEngine {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+/// One client stream multiplexed over a [`ServingEngine`].
+///
+/// A session is single-owner (`&mut self` entry points) and cheap; its
+/// borrow of the engine guarantees the worker pool outlives it. Batches are
+/// submitted with per-session sequence numbers and the session restores its
+/// own input order in a client-side reorder buffer, releasing one credit per
+/// emitted batch — the per-stream analogue of the PR 2 pipeline's credit
+/// scheme, with identical guarantees (exact order, bit-identical results,
+/// `max_in_flight` resident batches).
+///
+/// Dropping a session (including mid-panic of the caller's sink) just
+/// removes its routing entry: in-flight batches are discarded on completion
+/// and no engine-wide resource stays held, so one misbehaving client cannot
+/// stall the pool or other sessions.
+pub struct Session<'e> {
+    engine: &'e ServingEngine,
+    id: u64,
+    work_tx: BatchSender,
+    out_rx: mpsc::Receiver<WorkerResult>,
+    pending: BTreeMap<u64, WorkerResult>,
+    next_submit_seq: u64,
+    next_emit_seq: u64,
+    in_flight: usize,
+    peak_in_flight: u64,
+    batch_records: usize,
+    max_in_flight: usize,
+}
+
+impl Session<'_> {
+    /// The session's engine-unique id (the tag its batches carry).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The engine this session is served by.
+    pub fn engine(&self) -> &ServingEngine {
+        self.engine
+    }
+
+    /// Stream a fallible record source through the engine, calling `sink`
+    /// with `(record_index, record, classification)` in exact input order —
+    /// the serving-path equivalent of
+    /// [`StreamingClassifier::classify_stream`][crate::pipeline::StreamingClassifier::classify_stream].
+    ///
+    /// The caller's thread parses and assembles batches while the engine's
+    /// resident workers classify concurrently; the session never holds more
+    /// than its `max_in_flight` batches anywhere in the engine. On a source
+    /// error, everything already submitted still drains to the sink, then
+    /// the error is returned. A session can run any number of streams back
+    /// to back — the warm worker pool is reused across all of them — and a
+    /// stream abandoned mid-flight (sink panic, re-raised worker failure)
+    /// is fully discarded before the next one starts, so stale batches
+    /// never leak into a later sink.
+    pub fn classify_stream<I, E, F>(
+        &mut self,
+        records: I,
+        mut sink: F,
+    ) -> std::result::Result<StreamingSummary, E>
+    where
+        I: IntoIterator<Item = std::result::Result<SequenceRecord, E>>,
+        F: FnMut(u64, &SequenceRecord, &Classification),
+    {
+        // A previous stream on this session may have been abandoned
+        // mid-flight (sink panic unwinding through us, or the panic re-raised
+        // for a failed batch): its leftover batches must never leak into this
+        // stream's sink.
+        self.discard_stale();
+
+        let mut summary = StreamingSummary::default();
+        let mut record_index: u64 = 0;
+        let mut error: Option<E> = None;
+        let mut current: Vec<SequenceRecord> = Vec::with_capacity(self.batch_records);
+        let start_peak = self.peak_in_flight;
+        self.peak_in_flight = self.in_flight as u64;
+
+        for item in records {
+            match item {
+                Ok(record) => {
+                    current.push(record);
+                    if current.len() >= self.batch_records {
+                        let batch =
+                            std::mem::replace(&mut current, Vec::with_capacity(self.batch_records));
+                        self.submit(batch, &mut summary, &mut sink, &mut record_index);
+                    }
+                }
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+        if !current.is_empty() {
+            self.submit(current, &mut summary, &mut sink, &mut record_index);
+        }
+        // Drain everything still in flight — also the prefix before a source
+        // error, matching the streaming pipeline's semantics.
+        while self.in_flight > 0 {
+            self.drain_one(&mut summary, &mut sink, &mut record_index);
+        }
+
+        summary.peak_resident_batches = self.peak_in_flight;
+        self.peak_in_flight = start_peak.max(self.peak_in_flight);
+        // The queue gauge is engine-wide (all sessions share the channel).
+        summary.peak_queue_batches = self.engine.shared.queue_stats.peak_in_flight();
+        match error {
+            Some(e) => Err(e),
+            None => Ok(summary),
+        }
+    }
+
+    /// Stream an infallible record source and collect the classifications in
+    /// input order. Convenience form of [`Session::classify_stream`].
+    pub fn classify_iter<I>(&mut self, records: I) -> (Vec<Classification>, StreamingSummary)
+    where
+        I: IntoIterator<Item = SequenceRecord>,
+    {
+        let mut out = Vec::new();
+        let result = self.classify_stream(
+            records.into_iter().map(Ok::<_, std::convert::Infallible>),
+            |_, _, c| out.push(*c),
+        );
+        let summary = match result {
+            Ok(summary) => summary,
+            Err(infallible) => match infallible {},
+        };
+        (out, summary)
+    }
+
+    /// Classify a slice of reads through the engine, returning one
+    /// classification per read in input order — the request-shaped entry
+    /// point for serving front-ends.
+    pub fn classify_batch(&mut self, records: &[SequenceRecord]) -> Vec<Classification> {
+        self.classify_iter(records.iter().cloned()).0
+    }
+
+    /// Discard every in-flight batch of an abandoned previous stream:
+    /// receive (and drop) the results still owed by the workers, clear the
+    /// reorder buffer and resynchronise the emit cursor. Safe to block: a
+    /// registered session's outstanding batches always complete (the sized
+    /// result channel means workers never block delivering them).
+    fn discard_stale(&mut self) {
+        if self.in_flight == 0 && self.pending.is_empty() {
+            return;
+        }
+        // Results already received sit in `pending`; the rest are still in
+        // the engine (queue, workers, or our channel).
+        let mut to_recv = self.in_flight.saturating_sub(self.pending.len());
+        while to_recv > 0 {
+            if self.out_rx.recv().is_err() {
+                break;
+            }
+            to_recv -= 1;
+        }
+        self.pending.clear();
+        self.in_flight = 0;
+        self.next_emit_seq = self.next_submit_seq;
+    }
+
+    /// Submit one assembled batch: block on this session's credit bound
+    /// (draining our own completed batches while waiting), then enqueue.
+    fn submit<F>(
+        &mut self,
+        records: Vec<SequenceRecord>,
+        summary: &mut StreamingSummary,
+        sink: &mut F,
+        record_index: &mut u64,
+    ) where
+        F: FnMut(u64, &SequenceRecord, &Classification),
+    {
+        while self.in_flight >= self.max_in_flight {
+            self.drain_one(summary, sink, record_index);
+        }
+        let batch = SequenceBatch::for_session(self.id, self.next_submit_seq, records);
+        self.work_tx
+            .send(batch)
+            .expect("serving engine queue closed while session alive");
+        self.next_submit_seq += 1;
+        self.in_flight += 1;
+        self.peak_in_flight = self.peak_in_flight.max(self.in_flight as u64);
+    }
+
+    /// Receive one completed batch and emit every contiguous batch from the
+    /// reorder buffer to the sink, releasing their credits.
+    fn drain_one<F>(&mut self, summary: &mut StreamingSummary, sink: &mut F, record_index: &mut u64)
+    where
+        F: FnMut(u64, &SequenceRecord, &Classification),
+    {
+        let result = self
+            .out_rx
+            .recv()
+            .expect("serving engine workers gone while session in flight");
+        self.pending.insert(result.seq, result);
+        while let Some(done) = self.pending.remove(&self.next_emit_seq) {
+            self.next_emit_seq += 1;
+            self.in_flight -= 1;
+            if done.panicked {
+                panic!(
+                    "serving engine worker panicked while classifying \
+                     session {} batch {}",
+                    self.id,
+                    self.next_emit_seq - 1
+                );
+            }
+            for (record, classification) in done.records.iter().zip(&done.classifications) {
+                sink(*record_index, record, classification);
+                summary.bases += record.total_len() as u64;
+                *record_index += 1;
+            }
+            summary.records += done.records.len() as u64;
+            summary.batches += 1;
+        }
+    }
+}
+
+impl Drop for Session<'_> {
+    fn drop(&mut self) {
+        // Unregister first so workers stop routing to our channel; anything
+        // still in flight is discarded on completion.
+        self.engine
+            .shared
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::CpuBuilder;
+    use crate::config::MetaCacheConfig;
+    use crate::query::Classifier;
+    use mc_taxonomy::{Rank, Taxonomy};
+
+    fn make_seq(len: usize, seed: u64) -> Vec<u8> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                b"ACGT"[(state >> 33) as usize % 4]
+            })
+            .collect()
+    }
+
+    fn serving_db() -> (Arc<Database>, Vec<SequenceRecord>) {
+        let mut taxonomy = Taxonomy::with_root();
+        taxonomy.add_node(100, 1, Rank::Species, "a").unwrap();
+        taxonomy.add_node(101, 1, Rank::Species, "b").unwrap();
+        let genome_a = make_seq(12_000, 1);
+        let genome_b = make_seq(12_000, 2);
+        let mut builder = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy);
+        builder
+            .add_target(SequenceRecord::new("a", genome_a.clone()), 100)
+            .unwrap();
+        builder
+            .add_target(SequenceRecord::new("b", genome_b.clone()), 101)
+            .unwrap();
+        let reads = (0..40)
+            .map(|i| {
+                let g = if i % 2 == 0 { &genome_a } else { &genome_b };
+                SequenceRecord::new(
+                    format!("r{i}"),
+                    g[100 + i * 37..100 + i * 37 + 120].to_vec(),
+                )
+            })
+            .collect();
+        (Arc::new(builder.finish()), reads)
+    }
+
+    #[test]
+    fn single_session_matches_classify_batch() {
+        let (db, reads) = serving_db();
+        let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+        let engine = ServingEngine::host_with_config(
+            Arc::clone(&db),
+            EngineConfig {
+                workers: 3,
+                queue_capacity: 2,
+                batch_records: 4,
+                session_max_in_flight: 0,
+            },
+        );
+        let mut session = engine.session();
+        let (got, summary) = session.classify_iter(reads.iter().cloned());
+        assert_eq!(got, expected);
+        assert_eq!(summary.records, reads.len() as u64);
+        assert_eq!(summary.batches, (reads.len() as u64).div_ceil(4));
+        assert!(summary.peak_resident_batches <= 2 + 3);
+        drop(session);
+        let stats = engine.shutdown();
+        assert_eq!(stats.records_classified, reads.len() as u64);
+        assert_eq!(stats.sessions_opened, 1);
+        assert_eq!(stats.worker_panics, 0);
+    }
+
+    #[test]
+    fn session_reuse_across_requests_keeps_order() {
+        let (db, reads) = serving_db();
+        let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+        let engine = ServingEngine::host_with_config(
+            Arc::clone(&db),
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 2,
+                batch_records: 3,
+                session_max_in_flight: 0,
+            },
+        );
+        let mut session = engine.session();
+        // Many small "requests" through one warm session.
+        for chunk in reads.chunks(7) {
+            let expected_chunk: Vec<_> = chunk
+                .iter()
+                .map(|r| Classifier::new(Arc::clone(&db)).classify(r))
+                .collect();
+            let got = session.classify_batch(chunk);
+            assert_eq!(got, expected_chunk);
+        }
+        // One big request on the same session still matches.
+        let (got, _) = session.classify_iter(reads.iter().cloned());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sink_sees_exact_input_order_with_tiny_batches() {
+        let (db, reads) = serving_db();
+        let engine = ServingEngine::host_with_config(
+            Arc::clone(&db),
+            EngineConfig {
+                workers: 4,
+                queue_capacity: 2,
+                batch_records: 1,
+                session_max_in_flight: 0,
+            },
+        );
+        let mut session = engine.session();
+        let mut seen = Vec::new();
+        let summary = session
+            .classify_stream(
+                reads.iter().cloned().map(Ok::<_, std::convert::Infallible>),
+                |index, record, _| seen.push((index, record.header.clone())),
+            )
+            .unwrap();
+        assert_eq!(seen.len(), reads.len());
+        for (i, (index, header)) in seen.iter().enumerate() {
+            assert_eq!(*index, i as u64);
+            assert_eq!(header, &reads[i].header);
+        }
+        assert!(summary.bases > 0);
+    }
+
+    #[test]
+    fn source_error_drains_prefix_and_propagates() {
+        let (db, reads) = serving_db();
+        let engine = ServingEngine::host(Arc::clone(&db));
+        let mut session = engine.session_with(SessionConfig {
+            batch_records: 3,
+            max_in_flight: 2,
+        });
+        let mut emitted = 0u64;
+        let source =
+            reads
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, r)| if i < 10 { Ok(r) } else { Err("boom") });
+        let err = session
+            .classify_stream(source, |_, _, _| emitted += 1)
+            .unwrap_err();
+        assert_eq!(err, "boom");
+        assert_eq!(emitted, 10);
+    }
+
+    #[test]
+    fn empty_stream_is_a_noop() {
+        let (db, _) = serving_db();
+        let engine = ServingEngine::host(Arc::clone(&db));
+        let mut session = engine.session();
+        let (out, summary) = session.classify_iter(std::iter::empty());
+        assert!(out.is_empty());
+        assert_eq!(summary.records, 0);
+        assert_eq!(summary.batches, 0);
+    }
+
+    #[test]
+    fn session_in_flight_stays_within_bound() {
+        let (db, reads) = serving_db();
+        let engine = ServingEngine::host_with_config(
+            Arc::clone(&db),
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 1,
+                batch_records: 1,
+                session_max_in_flight: 3,
+            },
+        );
+        let mut session = engine.session();
+        let (_, summary) = session.classify_iter(reads.iter().cloned());
+        assert!(
+            summary.peak_resident_batches <= 3,
+            "peak {} exceeds session bound 3",
+            summary.peak_resident_batches
+        );
+    }
+
+    #[test]
+    fn drop_without_shutdown_joins_workers() {
+        let (db, reads) = serving_db();
+        let engine = ServingEngine::host(Arc::clone(&db));
+        let mut session = engine.session();
+        let _ = session.classify_iter(reads.iter().cloned());
+        drop(session);
+        drop(engine); // Drop impl must join without hanging.
+    }
+
+    #[test]
+    fn config_normalization_and_defaults() {
+        let config = EngineConfig {
+            workers: 0,
+            queue_capacity: 0,
+            batch_records: 0,
+            session_max_in_flight: 0,
+        }
+        .normalized();
+        assert_eq!(config.workers, 1);
+        assert_eq!(config.queue_capacity, 1);
+        assert_eq!(config.batch_records, 1);
+        assert_eq!(config.effective_session_in_flight(), 2);
+        let explicit = EngineConfig {
+            session_max_in_flight: 7,
+            ..EngineConfig::default()
+        };
+        assert_eq!(explicit.effective_session_in_flight(), 7);
+    }
+}

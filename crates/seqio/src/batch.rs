@@ -8,6 +8,13 @@
 //! The implementation wraps a [`crossbeam`] bounded channel and adds batch
 //! sizing helpers plus simple occupancy statistics used by the experiment
 //! harness.
+//!
+//! The queue is deliberately *stream-agnostic*: many logical streams (the
+//! serving engine's sessions) can multiplex batches over one queue and one
+//! shared consumer pool. Batches carry `session` / `session_seq` tags (see
+//! [`SequenceBatch::for_session`]) that pass through untouched, so each
+//! stream restores its own order while memory bounds are enforced per stream
+//! by the producers (credit schemes) and globally by the channel capacity.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -88,8 +95,9 @@ pub struct BatchSender {
 }
 
 impl BatchSender {
-    /// Send a pre-assembled batch (its index is overwritten to preserve
-    /// global monotonic ordering).
+    /// Send a pre-assembled batch (its global `index` is overwritten to
+    /// preserve monotonic ordering; the `session` / `session_seq` tags are
+    /// preserved so multiplexed streams keep their own numbering).
     pub fn send(&self, mut batch: SequenceBatch) -> Result<(), SendError<SequenceBatch>> {
         batch.index = self.next_index.fetch_add(1, Ordering::Relaxed);
         let (records, bases) = (batch.len() as u64, batch.total_bases() as u64);
@@ -351,6 +359,30 @@ mod tests {
         assert_eq!(stats.in_flight(), 0);
         // One producer: the gauge never exceeds capacity + 1.
         assert!(stats.peak_in_flight() <= CAPACITY as u64 + 1);
+    }
+
+    #[test]
+    fn session_tags_survive_the_queue() {
+        let queue = BatchQueue::new(4, 8);
+        let (tx, rx) = queue.split();
+        tx.send(SequenceBatch::for_session(7, 41, records(2)))
+            .unwrap();
+        tx.send(SequenceBatch::for_session(9, 0, records(1)))
+            .unwrap();
+        tx.send(SequenceBatch::new(0, records(1))).unwrap();
+        drop(tx);
+        let batches: Vec<_> = rx.iter().collect();
+        // The global index is (re)assigned monotonically ...
+        assert_eq!(
+            batches.iter().map(|b| b.index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // ... while the session tags pass through untouched.
+        assert_eq!(batches[0].session, 7);
+        assert_eq!(batches[0].session_seq, 41);
+        assert_eq!(batches[1].session, 9);
+        assert_eq!(batches[1].session_seq, 0);
+        assert_eq!(batches[2].session, 0);
     }
 
     #[test]

@@ -89,19 +89,46 @@ impl SequenceRecord {
 ///
 /// Batches carry a monotonically increasing id so consumers can restore
 /// global ordering (needed for deterministic target-id assignment in the
-/// build phase).
+/// build phase). When several logical streams multiplex over one queue (the
+/// serving engine's sessions), each batch additionally carries a `session`
+/// tag and a per-session sequence number so a shared consumer pool can route
+/// results back to the right stream and each stream can restore *its own*
+/// order independently of the global `index`.
 #[derive(Debug, Clone, Default)]
 pub struct SequenceBatch {
     /// Monotone batch index assigned by the producer.
     pub index: u64,
+    /// Tag of the logical stream (serving session) this batch belongs to.
+    /// `0` for single-stream pipelines that only use `index`.
+    pub session: u64,
+    /// Position of this batch within its session's stream. Unlike `index`
+    /// (global, overwritten by [`crate::BatchSender::send`]), this is
+    /// assigned by the session and preserved end to end.
+    pub session_seq: u64,
     /// The records of this batch.
     pub records: Vec<SequenceRecord>,
 }
 
 impl SequenceBatch {
-    /// Create a batch.
+    /// Create an untagged batch (single-stream pipelines).
     pub fn new(index: u64, records: Vec<SequenceRecord>) -> Self {
-        Self { index, records }
+        Self {
+            index,
+            session: 0,
+            session_seq: 0,
+            records,
+        }
+    }
+
+    /// Create a batch tagged with its owning session and the batch's position
+    /// within that session's stream.
+    pub fn for_session(session: u64, session_seq: u64, records: Vec<SequenceRecord>) -> Self {
+        Self {
+            index: 0,
+            session,
+            session_seq,
+            records,
+        }
     }
 
     /// Number of records in the batch.

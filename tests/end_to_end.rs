@@ -98,7 +98,7 @@ fn database_roundtrips_through_disk_with_identical_results() {
     let dir = std::env::temp_dir().join("metacache_integration_roundtrip");
     serialize::save(&db, &dir, "e2e").unwrap();
     let loaded = serialize::load(&dir, "e2e").unwrap();
-    let after = Classifier::new(&loaded).classify_batch(&reads.reads);
+    let after = Classifier::new(loaded.clone()).classify_batch(&reads.reads);
     assert_eq!(before, after);
     assert_eq!(db.total_locations(), loaded.total_locations());
     std::fs::remove_dir_all(&dir).ok();
