@@ -18,12 +18,24 @@
 //! * `engine_one_stream_w{N}` — a single big stream through a session, for
 //!   direct comparison against `streaming_throughput`'s 317k reads/s floor.
 //!
+//! A second group, `serving_net`, puts the `mc-net` TCP front-end on top of
+//! the same engine and drives the identical request workload over loopback:
+//!
+//! * `in_process_w{N}` — the engine-session baseline the protocol is
+//!   measured against (same path as `engine_session_w{N}`).
+//! * `net_loopback_w{N}` — one `NetClient`, one `Classify` frame per
+//!   request; the delta to `in_process_w{N}` is the full protocol cost
+//!   (framing, copies, loopback TCP, the connection's reader/writer pair).
+//! * `net_stream_w{N}` — the same reads through `NetClient::classify_iter`,
+//!   pipelined across the connection's credit window.
+//!
 //! Run with `BENCH_JSON=BENCH_serving.json cargo bench -p mc-bench --bench
 //! serving_throughput` to record the measurements.
 
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mc_net::{NetClient, NetServer};
 
 use mc_datagen::community::{RefSeqLikeSpec, ReferenceCollection};
 use mc_datagen::profiles::DatasetProfile;
@@ -178,9 +190,90 @@ fn bench_serving_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Protocol overhead: the identical request workload through the `mc-net`
+/// loopback front-end vs directly through an engine session.
+fn bench_serving_net(c: &mut Criterion) {
+    let collection = community();
+    let db = build_database(&collection);
+    let reads = ReadSimulator::new(DatasetProfile::hiseq(), 2_048)
+        .with_seed(7)
+        .simulate(&collection)
+        .reads;
+    let requests: Vec<&[mc_seqio::SequenceRecord]> = reads.chunks(REQUEST_READS).collect();
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+
+    let workers = 2;
+    let engine = ServingEngine::host_with_config(Arc::clone(&db), engine_config(workers));
+    let server = NetServer::bind(&engine, "127.0.0.1:0").expect("bind loopback");
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    let mut group = c.benchmark_group("serving_net");
+    group.throughput(Throughput::Elements(reads.len() as u64));
+
+    // In-process baseline: the engine session path the protocol wraps.
+    let mut session = engine.session();
+    group.bench_function(format!("in_process_w{workers}"), |b| {
+        b.iter(|| {
+            requests
+                .iter()
+                .map(|request| {
+                    session
+                        .classify_batch(request)
+                        .iter()
+                        .filter(|c| c.is_classified())
+                        .count()
+                })
+                .sum::<usize>()
+        })
+    });
+    drop(session);
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run().expect("server run"));
+        let mut client = NetClient::connect(addr).expect("connect loopback");
+
+        // The network path must not change a single classification.
+        let over_wire = client.classify_batch(&reads).expect("network classify");
+        assert_eq!(
+            over_wire, expected,
+            "network path diverged from classify_batch"
+        );
+
+        group.bench_function(format!("net_loopback_w{workers}"), |b| {
+            b.iter(|| {
+                requests
+                    .iter()
+                    .map(|request| {
+                        client
+                            .classify_batch(request)
+                            .expect("network classify")
+                            .iter()
+                            .filter(|c| c.is_classified())
+                            .count()
+                    })
+                    .sum::<usize>()
+            })
+        });
+
+        group.bench_function(format!("net_stream_w{workers}"), |b| {
+            b.iter(|| {
+                let (out, _) = client
+                    .classify_iter(reads.iter().cloned())
+                    .expect("network stream");
+                out.iter().filter(|c| c.is_classified()).count()
+            })
+        });
+
+        drop(client);
+        handle.shutdown();
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_serving_throughput
+    targets = bench_serving_throughput, bench_serving_net
 }
 criterion_main!(benches);

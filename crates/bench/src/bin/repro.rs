@@ -13,20 +13,22 @@
 //!   tablemem ablation  hash-table memory comparison and parameter ablations (§6)
 //!   streaming          streaming vs materialised query pipeline (§5 pipelining)
 //!   serving            serving engine vs per-request pipeline spawn (resident pool)
+//!   serving_net        mc-net loopback TCP front-end vs in-process sessions
 //!   all                everything above
 //! ```
 
 use std::collections::BTreeSet;
 
 use mc_bench::experiments::{
-    accuracy, breakdown, build_perf, datasets, query_perf, serving, streaming, tablemem, ttq,
+    accuracy, breakdown, build_perf, datasets, query_perf, serving, serving_net, streaming,
+    tablemem, ttq,
 };
 use mc_bench::ExperimentScale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale tiny|default] [--json] \
-         <table1|table2|table3|table4|table5|table6|fig4|fig5|abundance|tablemem|ablation|streaming|serving|all>..."
+         <table1|table2|table3|table4|table5|table6|fig4|fig5|abundance|tablemem|ablation|streaming|serving|serving_net|all>..."
     );
     std::process::exit(2);
 }
@@ -68,6 +70,7 @@ fn main() {
             "ablation",
             "streaming",
             "serving",
+            "serving_net",
         ] {
             requested.insert(e.to_string());
         }
@@ -151,6 +154,14 @@ fn main() {
             println!("{}", serde_json::to_string_pretty(&result).unwrap());
         } else {
             println!("{}", serving::render(&result));
+        }
+    }
+    if wants(&["serving_net"]) {
+        let result = serving_net::run(&scale);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+        } else {
+            println!("{}", serving_net::render(&result));
         }
     }
 }

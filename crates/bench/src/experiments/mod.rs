@@ -11,6 +11,7 @@
 //! | [`tablemem`] | the multi-bucket vs multi-value vs bucket-list memory comparison (§6) and hash-table/sketch ablations |
 //! | [`streaming`] | streaming vs materialised query pipeline (§5's pipelining, host-side) |
 //! | [`serving`] | serving engine vs per-request pipeline spawn (resident worker pool) |
+//! | [`serving_net`] | `mc-net` loopback TCP front-end vs in-process sessions (protocol overhead) |
 
 pub mod accuracy;
 pub mod breakdown;
@@ -18,6 +19,7 @@ pub mod build_perf;
 pub mod datasets;
 pub mod query_perf;
 pub mod serving;
+pub mod serving_net;
 pub mod streaming;
 pub mod tablemem;
 pub mod ttq;

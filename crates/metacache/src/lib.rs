@@ -39,7 +39,9 @@
 //! [`serving::Session`] streams with per-session ordering and memory bounds.
 //! The host and simulated-GPU execution paths sit behind the
 //! [`backend::Backend`] trait, so all three entry points drive either path
-//! (see `docs/ARCHITECTURE.md`):
+//! (see `docs/ARCHITECTURE.md`). The companion `mc-net` crate exposes the
+//! serving engine over TCP (`docs/SERVING.md` specifies the wire
+//! protocol):
 //!
 //! ```
 //! # use metacache::{MetaCacheConfig, build::CpuBuilder};

@@ -9,8 +9,8 @@
 //!
 //! ```text
 //!                 session A ──┐ tagged batches             ┌──► session A results
-//!   (per-session  session B ──┤──► bounded queue ──► worker├──► session B results
-//!    credits +    session C ──┘    (mc-seqio)        pool  └──► session C results
+//!   (per-session  session B ──┤──► bounded fair ──► worker ├──► session B results
+//!    credits +    session C ──┘    queue (DRR pop)   pool  └──► session C results
 //!    seq numbers)                                 (N threads,   (per-session channel,
 //!                                                  1 Backend     reordered client-side
 //!                                                  worker each,  by session_seq)
@@ -35,6 +35,14 @@
 //!   resident batches at `max_in_flight`; teardown is panic-safe (a
 //!   panicking sink only kills its own session, a panicking backend worker
 //!   is replaced and reported without deadlocking anyone).
+//! * **The pop is fair across sessions.** The shared queue is not FIFO: a
+//!   deficit-round-robin scan (the internal `FairQueue`) across the
+//!   sessions with queued work decides which batch a worker takes next. A session streaming
+//!   thousands of queued batches cannot push another session's two-batch
+//!   request to the back of the line — every session receives its share of
+//!   worker attention per scheduling round (weighted by records, so small
+//!   batches are not penalised), bounding small-request latency under a
+//!   heavy concurrent stream.
 //! * **Shutdown drains.** [`ServingEngine::shutdown`] (or drop) closes the
 //!   queue, lets workers finish everything in flight and joins them.
 //!   Sessions borrow the engine, so the borrow checker proves the engine is
@@ -46,13 +54,13 @@
 //! the shared queue therefore always drains, and a client blocked on a
 //! credit always has an in-flight batch that will complete.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use mc_gpu_sim::MultiGpuSystem;
-use mc_seqio::{BatchQueue, BatchSender, QueueStats, SequenceBatch, SequenceRecord};
+use mc_seqio::{SequenceBatch, SequenceRecord};
 
 use crate::backend::{Backend, GpuBackend, HostBackend};
 use crate::classify::Classification;
@@ -130,8 +138,8 @@ pub struct EngineStats {
     pub records_classified: u64,
     /// Backend workers replaced after a panic while classifying.
     pub worker_panics: u64,
-    /// High-water mark of the shared submission queue's occupancy gauge
-    /// (bounded by `queue_capacity + concurrent producers + workers`).
+    /// High-water mark of the shared fair queue's occupancy (bounded by
+    /// `queue_capacity`).
     pub peak_queue_batches: u64,
 }
 
@@ -162,13 +170,176 @@ struct EngineCounters {
     panics: AtomicU64,
 }
 
+/// The engine's bounded submission queue with a **deficit-round-robin**
+/// (DRR) pop across sessions.
+///
+/// Each session gets its own FIFO lane; workers pop by scanning the active
+/// lanes round-robin, giving every visited lane a `quantum` of service
+/// credit (in records) and taking its head batch once the accumulated
+/// credit covers the batch's record count. Consequences:
+///
+/// * **Per-session order is untouched** — a lane is a FIFO, and sessions
+///   re-order by `session_seq` anyway.
+/// * **No cross-session starvation** — a session with thousands of queued
+///   batches cannot delay another session's batch by more than one
+///   scheduling round (≈ one batch per other active session), the classic
+///   DRR latency bound. A plain FIFO pop made small-request latency
+///   proportional to the *largest* competing backlog.
+/// * **Record weighting** — lanes with big batches spend more credit per
+///   pop, so sessions submitting oversized batches get proportionally
+///   fewer pops; byte-fairness, not turn-fairness.
+///
+/// Capacity bounds the *total* queued batches across all lanes, exactly
+/// like the bounded channel it replaces: `push` blocks while full, so the
+/// engine-wide memory bound and the deadlock-freedom argument are
+/// unchanged.
+struct FairQueue {
+    state: Mutex<FairState>,
+    /// Consumers wait here for work.
+    ready: Condvar,
+    /// Producers wait here for capacity.
+    space: Condvar,
+    capacity: usize,
+    /// Service credit (records) granted to a lane per round-robin visit.
+    quantum: u64,
+}
+
+#[derive(Default)]
+struct FairState {
+    /// Per-session FIFO of submitted batches.
+    lanes: HashMap<u64, VecDeque<SequenceBatch>>,
+    /// Sessions with a non-empty lane, in round-robin visit order.
+    active: VecDeque<u64>,
+    /// Unspent service credit of each active session.
+    deficit: HashMap<u64, u64>,
+    /// Total batches across all lanes.
+    len: usize,
+    /// High-water mark of `len`.
+    peak: u64,
+    closed: bool,
+}
+
+impl FairState {
+    /// Take the next batch by deficit round robin. Caller guarantees
+    /// `len > 0`.
+    fn pop_drr(&mut self, quantum: u64) -> SequenceBatch {
+        loop {
+            let session = *self.active.front().expect("non-empty fair queue");
+            let lane = self.lanes.get_mut(&session).expect("active lane exists");
+            let cost = (lane.front().expect("active lane non-empty").records.len() as u64).max(1);
+            let deficit = self.deficit.entry(session).or_insert(0);
+            if *deficit >= cost {
+                *deficit -= cost;
+                let batch = lane.pop_front().expect("active lane non-empty");
+                if lane.is_empty() {
+                    // An emptied lane leaves the rotation and forfeits its
+                    // leftover credit (classic DRR: only backlogged flows
+                    // accumulate deficit).
+                    self.lanes.remove(&session);
+                    self.deficit.remove(&session);
+                    self.active.pop_front();
+                }
+                self.len -= 1;
+                return batch;
+            }
+            // Not enough credit for this lane's head batch: grant the
+            // quantum and move on. Credit grows monotonically, so the scan
+            // terminates in at most ⌈cost/quantum⌉ rounds.
+            *deficit += quantum;
+            self.active.rotate_left(1);
+        }
+    }
+}
+
+impl FairQueue {
+    fn new(capacity: usize, quantum: usize) -> Self {
+        Self {
+            state: Mutex::new(FairState::default()),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+            quantum: quantum.max(1) as u64,
+        }
+    }
+
+    /// Enqueue a session-tagged batch, blocking while the queue is at
+    /// capacity. Fails (returning the batch) only on a closed queue.
+    fn push(&self, batch: SequenceBatch) -> Result<(), SequenceBatch> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.closed {
+                return Err(batch);
+            }
+            if state.len < self.capacity {
+                break;
+            }
+            state = self.space.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        let session = batch.session;
+        let newly_active = {
+            let lane = state.lanes.entry(session).or_default();
+            let was_empty = lane.is_empty();
+            lane.push_back(batch);
+            was_empty
+        };
+        if newly_active {
+            state.active.push_back(session);
+        }
+        state.len += 1;
+        state.peak = state.peak.max(state.len as u64);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next batch by deficit round robin, blocking while the
+    /// queue is empty. Returns `None` once the queue is closed **and**
+    /// drained — workers finish everything already submitted.
+    fn pop(&self) -> Option<SequenceBatch> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.len > 0 {
+                let batch = state.pop_drr(self.quantum);
+                drop(state);
+                self.space.notify_one();
+                return Some(batch);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Close the queue: producers fail fast, consumers drain what is left
+    /// and then observe the end of stream. Idempotent.
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Batches currently queued (excluding ones being classified).
+    #[cfg(test)]
+    fn queued(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).len as u64
+    }
+
+    /// High-water mark of [`FairQueue::queued`] (at most `capacity`).
+    fn peak_queued(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).peak
+    }
+}
+
 /// State shared by the engine handle, its worker threads and its sessions.
 struct EngineShared {
     backend: Arc<dyn Backend + 'static>,
     sessions: Mutex<HashMap<u64, Arc<SessionState>>>,
     next_session: AtomicU64,
     counters: EngineCounters,
-    queue_stats: Arc<QueueStats>,
+    queue: FairQueue,
 }
 
 /// A long-lived classification service: a pool of worker threads over one
@@ -210,9 +381,6 @@ struct EngineShared {
 /// ```
 pub struct ServingEngine {
     shared: Arc<EngineShared>,
-    /// The engine's own producer handle; dropped (last, after all sessions'
-    /// clones) to close the queue at shutdown.
-    work_tx: Option<BatchSender>,
     workers: Vec<JoinHandle<()>>,
     config: EngineConfig,
 }
@@ -225,26 +393,22 @@ impl ServingEngine {
     {
         let config = config.normalized();
         let backend: Arc<dyn Backend + 'static> = Arc::new(backend);
-        let queue = BatchQueue::new(config.queue_capacity, config.batch_records);
-        let queue_stats = queue.stats();
-        let (work_tx, work_rx) = queue.split();
         let shared = Arc::new(EngineShared {
             backend,
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             counters: EngineCounters::default(),
-            queue_stats,
+            queue: FairQueue::new(config.queue_capacity, config.batch_records),
         });
 
         let workers = (0..config.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                let rx = work_rx.clone();
                 std::thread::Builder::new()
                     .name(format!("serving-worker-{i}"))
                     .spawn(move || {
                         let mut worker = shared.backend.worker();
-                        while let Ok(batch) = rx.recv() {
+                        while let Some(batch) = shared.queue.pop() {
                             let SequenceBatch {
                                 session,
                                 session_seq,
@@ -297,7 +461,6 @@ impl ServingEngine {
 
         Self {
             shared,
-            work_tx: Some(work_tx),
             workers,
             config,
         }
@@ -368,11 +531,6 @@ impl ServingEngine {
         Session {
             engine: self,
             id,
-            work_tx: self
-                .work_tx
-                .as_ref()
-                .expect("engine is running while sessions exist")
-                .clone(),
             out_rx,
             pending: BTreeMap::new(),
             next_submit_seq: 0,
@@ -392,7 +550,7 @@ impl ServingEngine {
             batches_classified: self.shared.counters.batches.load(Ordering::Relaxed),
             records_classified: self.shared.counters.records.load(Ordering::Relaxed),
             worker_panics: self.shared.counters.panics.load(Ordering::Relaxed),
-            peak_queue_batches: self.shared.queue_stats.peak_in_flight(),
+            peak_queue_batches: self.shared.queue.peak_queued(),
         }
     }
 
@@ -410,10 +568,9 @@ impl ServingEngine {
     }
 
     fn teardown(&mut self) {
-        // Closing the engine's producer handle is what ends the workers:
-        // sessions hold the only other clones and they are gone by now
-        // (shutdown) or simply absent (drop of an idle engine).
-        self.work_tx.take();
+        // Closing the queue ends the workers once they have drained it;
+        // sessions borrow the engine, so none can still be submitting.
+        self.shared.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -440,10 +597,48 @@ impl Drop for ServingEngine {
 /// removes its routing entry: in-flight batches are discarded on completion
 /// and no engine-wide resource stays held, so one misbehaving client cannot
 /// stall the pool or other sessions.
+///
+/// # Example
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use metacache::{MetaCacheConfig, build::CpuBuilder};
+/// # use metacache::serving::ServingEngine;
+/// # use mc_seqio::SequenceRecord;
+/// # use mc_taxonomy::{Rank, Taxonomy};
+/// # let mut taxonomy = Taxonomy::with_root();
+/// # taxonomy.add_node(100, 1, Rank::Species, "Species A").unwrap();
+/// # let mut state = 9u64;
+/// # let genome: Vec<u8> = (0..8000).map(|_| {
+/// #     state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+/// #     b"ACGT"[(state >> 33) as usize % 4]
+/// # }).collect();
+/// # let mut builder = CpuBuilder::new(MetaCacheConfig::default(), taxonomy);
+/// # builder.add_target(SequenceRecord::new("refA", genome.clone()), 100).unwrap();
+/// # let engine = ServingEngine::host(Arc::new(builder.finish()));
+/// let mut session = engine.session();
+/// // Request-shaped: one call per request, results in input order.
+/// let reads = vec![SequenceRecord::new("r0", genome[100..250].to_vec())];
+/// let classifications = session.classify_batch(&reads);
+/// assert_eq!(classifications[0].taxon, 100);
+/// // Stream-shaped: the sink sees (index, read, classification) in exact
+/// // input order while the warm pool classifies concurrently.
+/// let summary = session
+///     .classify_stream(
+///         (0..5).map(|i| {
+///             Ok::<_, std::convert::Infallible>(SequenceRecord::new(
+///                 format!("s{i}"),
+///                 genome[i * 50..i * 50 + 150].to_vec(),
+///             ))
+///         }),
+///         |index, _read, c| assert!(index < 5 && c.taxon == 100),
+///     )
+///     .unwrap();
+/// assert_eq!(summary.records, 5);
+/// ```
 pub struct Session<'e> {
     engine: &'e ServingEngine,
     id: u64,
-    work_tx: BatchSender,
     out_rx: mpsc::Receiver<WorkerResult>,
     pending: BTreeMap<u64, WorkerResult>,
     next_submit_seq: u64,
@@ -528,8 +723,8 @@ impl Session<'_> {
 
         summary.peak_resident_batches = self.peak_in_flight;
         self.peak_in_flight = start_peak.max(self.peak_in_flight);
-        // The queue gauge is engine-wide (all sessions share the channel).
-        summary.peak_queue_batches = self.engine.shared.queue_stats.peak_in_flight();
+        // The queue gauge is engine-wide (all sessions share the queue).
+        summary.peak_queue_batches = self.engine.shared.queue.peak_queued();
         match error {
             Some(e) => Err(e),
             None => Ok(summary),
@@ -599,9 +794,11 @@ impl Session<'_> {
             self.drain_one(summary, sink, record_index);
         }
         let batch = SequenceBatch::for_session(self.id, self.next_submit_seq, records);
-        self.work_tx
-            .send(batch)
-            .expect("serving engine queue closed while session alive");
+        self.engine
+            .shared
+            .queue
+            .push(batch)
+            .unwrap_or_else(|_| panic!("serving engine queue closed while session alive"));
         self.next_submit_seq += 1;
         self.in_flight += 1;
         self.peak_in_flight = self.peak_in_flight.max(self.in_flight as u64);
@@ -842,6 +1039,209 @@ mod tests {
         let _ = session.classify_iter(reads.iter().cloned());
         drop(session);
         drop(engine); // Drop impl must join without hanging.
+    }
+
+    fn batch_of(session: u64, seq: u64, records: usize) -> SequenceBatch {
+        SequenceBatch::for_session(
+            session,
+            seq,
+            (0..records)
+                .map(|i| SequenceRecord::new(format!("s{session}b{seq}r{i}"), b"ACGT".to_vec()))
+                .collect(),
+        )
+    }
+
+    /// The starvation regression test (queue level): with a FIFO pop, a
+    /// small session's lone batch submitted behind a big session's backlog
+    /// waits for the *entire* backlog. The DRR pop must serve it within one
+    /// scheduling round.
+    #[test]
+    fn drr_pop_does_not_starve_small_sessions_behind_a_backlog() {
+        let queue = FairQueue::new(64, 4);
+        // Session 1: a big backlog of 8 batches, 4 records each.
+        for seq in 0..8 {
+            queue.push(batch_of(1, seq, 4)).unwrap();
+        }
+        // Session 2: one small batch, queued dead last.
+        queue.push(batch_of(2, 0, 2)).unwrap();
+
+        let order: Vec<u64> = (0..9).map(|_| queue.pop().unwrap().session).collect();
+        let small_position = order.iter().position(|&s| s == 2).unwrap();
+        assert!(
+            small_position <= 2,
+            "small session served at position {small_position} of {order:?}; \
+             FIFO would serve it last"
+        );
+        // Per-session FIFO order is preserved by the fair pop.
+        queue.push(batch_of(3, 0, 1)).unwrap();
+        queue.push(batch_of(3, 1, 1)).unwrap();
+        queue.push(batch_of(3, 2, 1)).unwrap();
+        let seqs: Vec<u64> = (0..3).map(|_| queue.pop().unwrap().session_seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    /// Record weighting: a session submitting few large batches and one
+    /// submitting many small batches interleave by records, not turns —
+    /// the small-batch session is not starved of pops.
+    #[test]
+    fn drr_pop_interleaves_sessions_with_queued_work() {
+        let queue = FairQueue::new(64, 4);
+        for seq in 0..4 {
+            queue.push(batch_of(1, seq, 4)).unwrap(); // 16 records in 4 batches
+        }
+        for seq in 0..8 {
+            queue.push(batch_of(2, seq, 2)).unwrap(); // 16 records in 8 batches
+        }
+        let order: Vec<u64> = (0..12).map(|_| queue.pop().unwrap().session).collect();
+        // Within the first half of the pops, both sessions must appear.
+        assert!(
+            order[..4].contains(&1) && order[..4].contains(&2),
+            "{order:?}"
+        );
+        // And the queue drains completely and closes cleanly.
+        queue.close();
+        assert!(queue.pop().is_none());
+        assert!(queue.push(batch_of(9, 0, 1)).is_err());
+    }
+
+    #[test]
+    fn fair_queue_close_drains_remaining_batches() {
+        let queue = FairQueue::new(8, 1);
+        queue.push(batch_of(1, 0, 1)).unwrap();
+        queue.push(batch_of(2, 0, 1)).unwrap();
+        queue.close();
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_none());
+        assert_eq!(queue.queued(), 0);
+        assert_eq!(queue.peak_queued(), 2);
+    }
+
+    /// A backend gate that blocks workers until the test releases them and
+    /// records the order in which batches reach the backend.
+    struct GatedBackend {
+        inner: HostBackend<Arc<Database>>,
+        open: Arc<(Mutex<bool>, std::sync::Condvar)>,
+        log: Arc<Mutex<Vec<String>>>,
+    }
+
+    struct GatedWorker<'b> {
+        backend: &'b GatedBackend,
+        inner: Box<dyn crate::backend::BackendWorker + 'b>,
+    }
+
+    impl Backend for GatedBackend {
+        fn database(&self) -> &Database {
+            self.inner.database()
+        }
+
+        fn name(&self) -> &'static str {
+            "gated-host"
+        }
+
+        fn worker(&self) -> Box<dyn crate::backend::BackendWorker + '_> {
+            Box::new(GatedWorker {
+                backend: self,
+                inner: self.inner.worker(),
+            })
+        }
+    }
+
+    impl crate::backend::BackendWorker for GatedWorker<'_> {
+        fn classify_batch_into(
+            &mut self,
+            records: &[SequenceRecord],
+            out: &mut Vec<Classification>,
+        ) {
+            let (lock, condvar) = &*self.backend.open;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = condvar.wait(open).unwrap();
+            }
+            drop(open);
+            if let Some(first) = records.first() {
+                self.backend.log.lock().unwrap().push(first.header.clone());
+            }
+            self.inner.classify_batch_into(records, out);
+        }
+    }
+
+    /// The starvation regression test (engine level): a single worker, a
+    /// big session's backlog queued ahead of a small session's lone
+    /// request — once the worker runs, the small request must be served
+    /// within one DRR round, not after the whole backlog.
+    #[test]
+    fn small_request_is_not_starved_behind_a_big_stream() {
+        let (db, _) = serving_db();
+        let open = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let engine = ServingEngine::new(
+            GatedBackend {
+                inner: HostBackend::new(Arc::clone(&db)),
+                open: Arc::clone(&open),
+                log: Arc::clone(&log),
+            },
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 8,
+                batch_records: 1,
+                session_max_in_flight: 0,
+            },
+        );
+        let genome = make_seq(2_000, 99);
+        let read = |name: &str| SequenceRecord::new(name, genome[0..150].to_vec());
+
+        let wait_for_queue = |want: u64| {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+            while engine.shared.queue.queued() != want {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "queue never reached {want} batches (at {})",
+                    engine.shared.queue.queued()
+                );
+                std::thread::yield_now();
+            }
+        };
+
+        std::thread::scope(|scope| {
+            // Big session: 7 one-record batches. The gated worker takes the
+            // first and blocks; 6 remain queued.
+            let engine_ref = &engine;
+            let big = scope.spawn({
+                let reads: Vec<_> = (0..7).map(|i| read(&format!("big{i}"))).collect();
+                move || {
+                    let mut session = engine_ref.session();
+                    session.classify_batch(&reads)
+                }
+            });
+            wait_for_queue(6);
+            // Small session: one batch, queued dead last.
+            let small = scope.spawn(move || {
+                let mut session = engine_ref.session();
+                session.classify_batch(&[read("small")])
+            });
+            wait_for_queue(7);
+            // Release the worker and let everything drain.
+            {
+                let (lock, condvar) = &*open;
+                *lock.lock().unwrap() = true;
+                condvar.notify_all();
+            }
+            assert_eq!(big.join().unwrap().len(), 7);
+            assert_eq!(small.join().unwrap().len(), 1);
+        });
+
+        let order = log.lock().unwrap().clone();
+        let position = order
+            .iter()
+            .position(|h| h == "small")
+            .expect("small request classified");
+        assert!(
+            position <= 3,
+            "small request served at position {position} of {order:?}; \
+             a FIFO pop would serve it last (position 7)"
+        );
+        engine.shutdown();
     }
 
     #[test]

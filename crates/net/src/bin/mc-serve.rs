@@ -1,0 +1,370 @@
+//! `mc-serve` — serve a MetaCache database over TCP, or talk to a server.
+//!
+//! ```text
+//! Usage:
+//!   mc-serve serve --refs <fasta> [--listen <addr>] [--workers N]
+//!                  [--batch N] [--queue N]
+//!       Build a database from a reference FASTA/FASTQ (every record
+//!       becomes one species-level target) and serve it until stdin closes,
+//!       then drain gracefully.
+//!
+//!   mc-serve classify --addr <host:port> <reads-file>
+//!       Stream a FASTA/FASTQ file through a running server and print one
+//!       TSV line per read: id, taxon, rank, best hit count.
+//!
+//!   mc-serve smoke [--reads N]
+//!       Self-contained loopback round-trip on a synthetic database:
+//!       starts a server on an ephemeral port, classifies N reads through
+//!       a NetClient, verifies the results against the in-process session
+//!       bit for bit, shuts down cleanly. Exit code 0 = pass (CI smoke).
+//! ```
+
+use std::sync::Arc;
+
+use mc_net::{NetClient, NetServer};
+use mc_seqio::{SequenceReader, SequenceRecord};
+use mc_taxonomy::{Rank, Taxonomy, NO_TAXON};
+use metacache::build::CpuBuilder;
+use metacache::query::Classifier;
+use metacache::serving::{EngineConfig, ServingEngine};
+use metacache::MetaCacheConfig;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mc-serve serve --refs <file> [--listen <addr>] [--workers N] [--batch N] [--queue N]\n       mc-serve classify --addr <host:port> <reads-file>\n       mc-serve smoke [--reads N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("classify") => classify(&args[1..]),
+        Some("smoke") => smoke(&args[1..]),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}
+
+/// Pull `--flag value` out of an argument list; returns the remainder.
+fn parse_flags(args: &[String], flags: &[&str]) -> (Vec<(String, String)>, Vec<String>) {
+    let mut values = Vec::new();
+    let mut rest = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if flags.contains(&arg.as_str()) {
+            let Some(value) = iter.next() else { usage() };
+            values.push((arg.clone(), value.clone()));
+        } else if arg.starts_with('-') {
+            usage();
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    (values, rest)
+}
+
+fn flag<'a>(values: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    values
+        .iter()
+        .rev()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parsed<T: std::str::FromStr>(values: &[(String, String)], name: &str, default: T) -> T {
+    match flag(values, name) {
+        None => default,
+        Some(text) => text.parse().unwrap_or_else(|_| {
+            eprintln!("mc-serve: invalid value for {name}: {text}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Build a database from a reference file: each record becomes one target
+/// under its own species taxon.
+fn build_from_refs(path: &str) -> Result<Arc<metacache::Database>, String> {
+    let mut taxonomy = Taxonomy::with_root();
+    let stream = SequenceReader::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let mut records = Vec::new();
+    for record in stream {
+        records.push(record.map_err(|e| format!("parse {path}: {e}"))?);
+    }
+    if records.is_empty() {
+        return Err(format!("{path}: no reference sequences"));
+    }
+    let mut builder = CpuBuilder::new(MetaCacheConfig::default(), {
+        for (i, record) in records.iter().enumerate() {
+            let taxon = 100 + i as u32;
+            taxonomy
+                .add_node(taxon, 1, Rank::Species, record.id())
+                .map_err(|e| format!("taxonomy: {e}"))?;
+        }
+        taxonomy
+    });
+    for (i, record) in records.into_iter().enumerate() {
+        let taxon = 100 + i as u32;
+        builder
+            .add_target(record, taxon)
+            .map_err(|e| format!("add target: {e}"))?;
+    }
+    Ok(Arc::new(builder.finish()))
+}
+
+fn serve(args: &[String]) -> i32 {
+    let (flags, rest) = parse_flags(
+        args,
+        &["--refs", "--listen", "--workers", "--batch", "--queue"],
+    );
+    if !rest.is_empty() {
+        usage();
+    }
+    let Some(refs) = flag(&flags, "--refs") else {
+        usage()
+    };
+    let listen = flag(&flags, "--listen").unwrap_or("127.0.0.1:7878");
+    let config = EngineConfig {
+        workers: parsed(&flags, "--workers", EngineConfig::default().workers),
+        queue_capacity: parsed(&flags, "--queue", 4),
+        batch_records: parsed(&flags, "--batch", 256),
+        session_max_in_flight: 0,
+    };
+
+    let db = match build_from_refs(refs) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("mc-serve: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "mc-serve: database ready ({} targets, {} features)",
+        db.target_count(),
+        db.total_features()
+    );
+    let engine = ServingEngine::host_with_config(Arc::clone(&db), config);
+    let server = match NetServer::bind(&engine, listen) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("mc-serve: bind {listen}: {e}");
+            return 1;
+        }
+    };
+    let handle = server.handle();
+    eprintln!(
+        "mc-serve: listening on {} ({} workers); close stdin to stop",
+        handle.local_addr(),
+        config.workers
+    );
+
+    let stats = std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        // Drain stdin; EOF (or a "quit" line) triggers the graceful stop.
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match std::io::stdin().read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) if line.trim() == "quit" => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        handle.shutdown();
+        runner.join().expect("server thread")
+    });
+    match stats {
+        Ok(stats) => {
+            let engine_stats = engine.shutdown();
+            eprintln!(
+                "mc-serve: drained; {} connections, {} requests, {} reads ({} protocol errors); engine classified {} records",
+                stats.connections,
+                stats.requests,
+                stats.reads,
+                stats.protocol_errors,
+                engine_stats.records_classified
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("mc-serve: server error: {e}");
+            1
+        }
+    }
+}
+
+fn classify(args: &[String]) -> i32 {
+    let (flags, rest) = parse_flags(args, &["--addr"]);
+    let (Some(addr), [reads_file]) = (flag(&flags, "--addr"), rest.as_slice()) else {
+        usage()
+    };
+    let stream = match SequenceReader::open(reads_file) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("mc-serve: open {reads_file}: {e}");
+            return 1;
+        }
+    };
+    let mut client = match NetClient::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("mc-serve: connect {addr}: {e}");
+            return 1;
+        }
+    };
+    // Materialise ids alongside the stream so output lines carry them.
+    let mut reads = Vec::new();
+    for record in stream {
+        match record {
+            Ok(record) => reads.push(record),
+            Err(e) => {
+                eprintln!("mc-serve: parse {reads_file}: {e}");
+                return 1;
+            }
+        }
+    }
+    let ids: Vec<String> = reads.iter().map(|r| r.id().to_string()).collect();
+    match client.classify_iter(reads) {
+        Ok((classifications, summary)) => {
+            let mut stdout = String::new();
+            for (id, c) in ids.iter().zip(&classifications) {
+                let rank = c.rank.map_or("-", |r| r.name());
+                let taxon = if c.taxon == NO_TAXON {
+                    "unclassified".to_string()
+                } else {
+                    c.taxon.to_string()
+                };
+                stdout.push_str(&format!("{id}\t{taxon}\t{rank}\t{}\n", c.best_hits));
+            }
+            print!("{stdout}");
+            eprintln!(
+                "mc-serve: classified {} reads in {} requests (peak {} in flight)",
+                summary.reads, summary.requests, summary.peak_in_flight
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("mc-serve: classify: {e}");
+            1
+        }
+    }
+}
+
+fn synthetic_genome(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b"ACGT"[(state >> 33) as usize % 4]
+        })
+        .collect()
+}
+
+/// Self-contained loopback round-trip: synthetic database, ephemeral-port
+/// server, one pipelined client; verifies network ≡ in-process bit for bit.
+fn smoke(args: &[String]) -> i32 {
+    let (flags, rest) = parse_flags(args, &["--reads"]);
+    if !rest.is_empty() {
+        usage();
+    }
+    let read_count: usize = parsed(&flags, "--reads", 200);
+
+    let mut taxonomy = Taxonomy::with_root();
+    taxonomy.add_node(100, 1, Rank::Species, "smoke a").unwrap();
+    taxonomy.add_node(101, 1, Rank::Species, "smoke b").unwrap();
+    let genomes = [synthetic_genome(20_000, 41), synthetic_genome(20_000, 42)];
+    let mut builder = CpuBuilder::new(MetaCacheConfig::default(), taxonomy);
+    builder
+        .add_target(SequenceRecord::new("refA", genomes[0].clone()), 100)
+        .unwrap();
+    builder
+        .add_target(SequenceRecord::new("refB", genomes[1].clone()), 101)
+        .unwrap();
+    let db = Arc::new(builder.finish());
+    let reads: Vec<SequenceRecord> = (0..read_count)
+        .map(|i| {
+            let genome = &genomes[i % 2];
+            let offset = (i * 97) % (genome.len() - 160);
+            SequenceRecord::new(format!("r{i}"), genome[offset..offset + 150].to_vec())
+        })
+        .collect();
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+
+    let engine = ServingEngine::host_with_config(
+        Arc::clone(&db),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 4,
+            batch_records: 32,
+            session_max_in_flight: 0,
+        },
+    );
+    let server = match NetServer::bind(&engine, "127.0.0.1:0") {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("mc-serve smoke: bind: {e}");
+            return 1;
+        }
+    };
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    let verdict = std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        let result = (|| -> Result<(), String> {
+            let mut client =
+                NetClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+            let batch = client
+                .classify_batch(&reads)
+                .map_err(|e| format!("classify_batch: {e}"))?;
+            if batch != expected {
+                return Err("network classify_batch diverged from in-process results".into());
+            }
+            let (streamed, summary) = client
+                .classify_iter(reads.iter().cloned())
+                .map_err(|e| format!("classify_iter: {e}"))?;
+            if streamed != expected {
+                return Err("network classify_iter diverged from in-process results".into());
+            }
+            eprintln!(
+                "mc-serve smoke: {} reads on {} ≡ in-process ({} requests, peak {} in flight, credits {})",
+                reads.len(),
+                addr,
+                summary.requests,
+                summary.peak_in_flight,
+                client.credits()
+            );
+            Ok(())
+        })();
+        handle.shutdown();
+        let stats = runner.join().expect("server thread");
+        result.and_then(|()| stats.map_err(|e| format!("server: {e}")))
+    });
+
+    let engine_stats = engine.shutdown();
+    match verdict {
+        Ok(stats) => {
+            if engine_stats.records_classified != 2 * reads.len() as u64 {
+                eprintln!(
+                    "mc-serve smoke: engine classified {} records, expected {}",
+                    engine_stats.records_classified,
+                    2 * reads.len()
+                );
+                return 1;
+            }
+            eprintln!(
+                "mc-serve smoke: PASS ({} connections, {} requests, clean shutdown)",
+                stats.connections, stats.requests
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("mc-serve smoke: FAIL: {e}");
+            1
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The blocking client of the `mc-net` protocol.
+//!
+//! [`NetClient`] is deliberately synchronous — the serving path is
+//! thread-per-connection on both sides — and mirrors the engine's
+//! [`Session`](metacache::serving::Session) API: [`NetClient::classify_batch`]
+//! for one request/response exchange, [`NetClient::classify_iter`] for a
+//! record stream pipelined over the connection's credit window.
+//!
+//! Results over the network are **bit-identical, including order,** to an
+//! in-process session on the same engine (asserted by `tests/net.rs`): the
+//! wire protocol adds framing, never semantics.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+use mc_seqio::SequenceRecord;
+use metacache::Classification;
+
+use crate::protocol::{
+    encode_classify, read_frame, write_frame, Frame, NetError, ProtocolError, MAGIC,
+    PROTOCOL_VERSION,
+};
+
+/// Connection preferences sent in the handshake. The server may shrink but
+/// never grow them; `0` means "use the server's default".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Requested records per engine batch.
+    pub batch_records: u32,
+    /// Requested credit (simultaneously unanswered requests).
+    pub max_in_flight: u32,
+}
+
+/// Counters of one [`NetClient::classify_iter`] stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetSummary {
+    /// Reads classified.
+    pub reads: u64,
+    /// `Classify` requests the stream was split into.
+    pub requests: u64,
+    /// High-water mark of simultaneously unanswered requests (bounded by
+    /// the granted credit).
+    pub peak_in_flight: u64,
+}
+
+/// A blocking connection to a [`NetServer`](crate::NetServer).
+///
+/// One client maps to one engine session on the server: results of each
+/// request come back in read order, and distinct clients are fully isolated
+/// from each other (a disconnecting or misbehaving client cannot affect
+/// another's stream).
+///
+/// # Example
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use mc_net::{NetClient, NetServer};
+/// # use mc_seqio::SequenceRecord;
+/// # use mc_taxonomy::{Rank, Taxonomy};
+/// # use metacache::{build::CpuBuilder, serving::ServingEngine, MetaCacheConfig};
+/// # let mut taxonomy = Taxonomy::with_root();
+/// # taxonomy.add_node(100, 1, Rank::Species, "Species A").unwrap();
+/// # let mut state = 11u64;
+/// # let genome: Vec<u8> = (0..8000).map(|_| {
+/// #     state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+/// #     b"ACGT"[(state >> 33) as usize % 4]
+/// # }).collect();
+/// # let mut builder = CpuBuilder::new(MetaCacheConfig::default(), taxonomy);
+/// # builder.add_target(SequenceRecord::new("refA", genome.clone()), 100).unwrap();
+/// # let engine = ServingEngine::host(Arc::new(builder.finish()));
+/// # let server = NetServer::bind(&engine, "127.0.0.1:0").unwrap();
+/// # let handle = server.handle();
+/// # std::thread::scope(|scope| {
+/// #     scope.spawn(|| server.run());
+/// let mut client = NetClient::connect(handle.local_addr()).unwrap();
+/// // One request/response exchange …
+/// let reads = vec![SequenceRecord::new("r0", genome[300..450].to_vec())];
+/// assert_eq!(client.classify_batch(&reads).unwrap()[0].taxon, 100);
+/// // … or a pipelined stream over the connection's credit window.
+/// let (classifications, summary) = client
+///     .classify_iter((0..40).map(|i| {
+///         SequenceRecord::new(format!("r{i}"), genome[i * 100..i * 100 + 150].to_vec())
+///     }))
+///     .unwrap();
+/// assert_eq!(classifications.len(), 40);
+/// assert!(summary.peak_in_flight <= u64::from(client.credits()));
+/// #     drop(client);
+/// #     handle.shutdown();
+/// # });
+/// # engine.shutdown();
+/// ```
+pub struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    credits: u32,
+    batch_records: u32,
+    backend: String,
+    next_request: u64,
+    /// Set once the connection is unusable (error frame seen or I/O
+    /// failure); later calls fail fast instead of deadlocking.
+    dead: bool,
+}
+
+impl NetClient {
+    /// Connect and handshake with default preferences.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NetError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect and handshake with explicit preferences.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = BufWriter::new(stream);
+        write_frame(
+            &mut writer,
+            &Frame::Hello {
+                magic: MAGIC,
+                version: PROTOCOL_VERSION,
+                batch_records: config.batch_records,
+                max_in_flight: config.max_in_flight,
+            },
+        )?;
+        writer.flush()?;
+        let mut client = Self {
+            reader,
+            writer,
+            credits: 1,
+            batch_records: 1,
+            backend: String::new(),
+            next_request: 0,
+            dead: false,
+        };
+        match client.read_reply()? {
+            Frame::HelloAck {
+                version,
+                credits,
+                batch_records,
+                backend,
+            } => {
+                if version != PROTOCOL_VERSION {
+                    return Err(ProtocolError::UnsupportedVersion(version).into());
+                }
+                client.credits = credits.max(1);
+                client.batch_records = batch_records.max(1);
+                client.backend = backend;
+                Ok(client)
+            }
+            other => Err(ProtocolError::Malformed(unexpected(&other)).into()),
+        }
+    }
+
+    /// The credit granted by the server: how many requests
+    /// [`NetClient::classify_iter`] keeps in flight.
+    pub fn credits(&self) -> u32 {
+        self.credits
+    }
+
+    /// The server session's records-per-batch (also the request size
+    /// [`NetClient::classify_iter`] uses).
+    pub fn batch_records(&self) -> u32 {
+        self.batch_records
+    }
+
+    /// The serving backend's label, as reported in the handshake.
+    pub fn backend(&self) -> &str {
+        self.backend.as_str()
+    }
+
+    /// Classify a batch of reads in one request/response exchange. Returns
+    /// one [`Classification`] per read, in read order.
+    pub fn classify_batch(
+        &mut self,
+        reads: &[SequenceRecord],
+    ) -> Result<Vec<Classification>, NetError> {
+        let id = self.send_request(reads)?;
+        self.recv_results(id)
+    }
+
+    /// Stream reads through the connection, pipelining up to the granted
+    /// credit of requests, and collect the classifications in input order.
+    ///
+    /// Reads are grouped into requests of [`NetClient::batch_records`]
+    /// reads — each request is exactly one engine batch on the server, so
+    /// the connection's credit window is the engine's per-session
+    /// `max_in_flight` bound seen from the outside.
+    pub fn classify_iter(
+        &mut self,
+        reads: impl IntoIterator<Item = SequenceRecord>,
+    ) -> Result<(Vec<Classification>, NetSummary), NetError> {
+        let chunk = self.batch_records as usize;
+        let mut summary = NetSummary::default();
+        let mut out = Vec::new();
+        // Request ids are monotone and responses come back in request
+        // order, so a simple count of unanswered requests is the window.
+        let mut oldest_pending: u64 = self.next_request;
+        let mut in_flight: u64 = 0;
+        let mut current: Vec<SequenceRecord> = Vec::with_capacity(chunk);
+        let mut send_error: Option<NetError> = None;
+        for read in reads {
+            current.push(read);
+            if current.len() >= chunk {
+                if let Err(e) = self.pipeline_send(
+                    &current,
+                    &mut oldest_pending,
+                    &mut in_flight,
+                    &mut summary,
+                    &mut out,
+                ) {
+                    send_error = Some(e);
+                    break;
+                }
+                current.clear();
+            }
+        }
+        if send_error.is_none() && !current.is_empty() {
+            if let Err(e) = self.pipeline_send(
+                &current,
+                &mut oldest_pending,
+                &mut in_flight,
+                &mut summary,
+                &mut out,
+            ) {
+                send_error = Some(e);
+            }
+        }
+        // Drain everything still owed — also after a send error, so a
+        // purely local failure (e.g. an unencodable read) leaves the
+        // connection in sync and usable for the next request. If the
+        // connection itself is dead, the drain fails fast and the original
+        // error wins.
+        while in_flight > 0 {
+            match self.recv_results(oldest_pending) {
+                Ok(results) => {
+                    out.extend(results);
+                    oldest_pending += 1;
+                    in_flight -= 1;
+                }
+                Err(e) => return Err(send_error.unwrap_or(e)),
+            }
+        }
+        if let Some(e) = send_error {
+            return Err(e);
+        }
+        summary.reads = out.len() as u64;
+        Ok((out, summary))
+    }
+
+    fn pipeline_send(
+        &mut self,
+        reads: &[SequenceRecord],
+        oldest_pending: &mut u64,
+        in_flight: &mut u64,
+        summary: &mut NetSummary,
+        out: &mut Vec<Classification>,
+    ) -> Result<(), NetError> {
+        while *in_flight >= u64::from(self.credits) {
+            out.extend(self.recv_results(*oldest_pending)?);
+            *oldest_pending += 1;
+            *in_flight -= 1;
+        }
+        self.send_request(reads)?;
+        *in_flight += 1;
+        summary.requests += 1;
+        summary.peak_in_flight = summary.peak_in_flight.max(*in_flight);
+        Ok(())
+    }
+
+    /// Send a `Goodbye` and half-close the write side; the server finishes
+    /// any in-flight work and closes. Called implicitly on drop.
+    pub fn close(mut self) -> Result<(), NetError> {
+        self.close_inner()?;
+        self.dead = true; // drop must not send a second goodbye
+        Ok(())
+    }
+
+    fn close_inner(&mut self) -> Result<(), NetError> {
+        write_frame(&mut self.writer, &Frame::Goodbye)?;
+        self.writer.flush()?;
+        self.writer.get_ref().shutdown(Shutdown::Write)?;
+        Ok(())
+    }
+
+    fn send_request(&mut self, reads: &[SequenceRecord]) -> Result<u64, NetError> {
+        self.check_alive()?;
+        // Encode straight from the borrowed slice — no clone of the reads.
+        // An encode failure is purely local (nothing reached the socket):
+        // report it without burning the request id or killing the
+        // connection, which stays usable for well-formed requests.
+        let bytes = encode_classify(self.next_request, reads)?;
+        if let Err(e) = self
+            .writer
+            .write_all(&bytes)
+            .and_then(|()| self.writer.flush())
+        {
+            self.dead = true;
+            return Err(e.into());
+        }
+        let request_id = self.next_request;
+        self.next_request += 1;
+        Ok(request_id)
+    }
+
+    fn recv_results(&mut self, expect_id: u64) -> Result<Vec<Classification>, NetError> {
+        self.check_alive()?;
+        match self.read_reply()? {
+            Frame::Results {
+                request_id,
+                entries,
+            } => {
+                if request_id != expect_id {
+                    self.dead = true;
+                    return Err(ProtocolError::Malformed("response out of order").into());
+                }
+                Ok(entries.iter().map(|e| e.to_classification()).collect())
+            }
+            other => {
+                self.dead = true;
+                Err(ProtocolError::Malformed(unexpected(&other)).into())
+            }
+        }
+    }
+
+    /// Read one frame, mapping `Error` frames and dead connections to
+    /// client-side errors.
+    fn read_reply(&mut self) -> Result<Frame, NetError> {
+        match read_frame(&mut self.reader) {
+            Ok(Some(Frame::Error { code, message })) => {
+                self.dead = true;
+                Err(NetError::Remote { code, message })
+            }
+            Ok(Some(frame)) => Ok(frame),
+            Ok(None) => {
+                self.dead = true;
+                Err(NetError::Disconnected)
+            }
+            Err(e) => {
+                self.dead = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn check_alive(&self) -> Result<(), NetError> {
+        if self.dead {
+            return Err(NetError::Disconnected);
+        }
+        Ok(())
+    }
+}
+
+impl Drop for NetClient {
+    fn drop(&mut self) {
+        if !self.dead {
+            let _ = self.close_inner();
+        }
+    }
+}
+
+fn unexpected(frame: &Frame) -> &'static str {
+    match frame {
+        Frame::Hello { .. } => "unexpected Hello",
+        Frame::HelloAck { .. } => "unexpected HelloAck",
+        Frame::Classify { .. } => "unexpected Classify",
+        Frame::Results { .. } => "unexpected Results",
+        Frame::Error { .. } => "unexpected Error",
+        Frame::Goodbye => "unexpected Goodbye",
+    }
+}

@@ -1,0 +1,39 @@
+//! # mc-net — the network serving front-end of the MetaCache reproduction
+//!
+//! Maps TCP connections onto [`metacache::serving::ServingEngine`] sessions:
+//! the engine's `Session` API is request-shaped (`classify_batch`,
+//! `classify_stream`), so the network layer is a thin shim — framing,
+//! handshake and error reporting, with every classification guarantee
+//! inherited from the engine:
+//!
+//! * **Bit-identity.** A read classified over the wire gets exactly the
+//!   result `Classifier::classify_batch` produces in process, in the same
+//!   order (`tests/net.rs` proves round-trip equality).
+//! * **Bounded memory.** The engine's per-session `max_in_flight` credit
+//!   bound becomes the connection's credit window, announced in the
+//!   handshake; a slow client stalls only itself (TCP backpressure), a fast
+//!   client cannot make the server buffer unboundedly.
+//! * **Isolation.** One connection = one session: a disconnect, a malformed
+//!   frame or a backend panic tears down that session alone.
+//!
+//! The crate splits into three layers:
+//!
+//! * [`protocol`] — the length-prefixed binary wire format (pure
+//!   encode/decode, property-tested), specified in `docs/SERVING.md`;
+//! * [`server`] — [`NetServer`]: one acceptor plus a reader/writer thread
+//!   pair per connection, graceful drain composing with
+//!   [`ServingEngine::shutdown`](metacache::serving::ServingEngine::shutdown);
+//! * [`client`] — [`NetClient`]: blocking connect / `classify_batch` /
+//!   pipelined `classify_iter`.
+//!
+//! The `mc-serve` binary wraps all three: `mc-serve serve` exposes a
+//! database on a socket, `mc-serve classify` is a command-line client, and
+//! `mc-serve smoke` runs a self-contained loopback round-trip (used by CI).
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientConfig, NetClient, NetSummary};
+pub use protocol::{ErrorCode, Frame, NetError, ProtocolError, ResultEntry};
+pub use server::{NetServer, ServerConfig, ServerHandle, ServerStats};

@@ -1,0 +1,829 @@
+//! The `mc-net` wire protocol: length-prefixed binary frames.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! ┌────────────┬──────────┬───────────────────────┐
+//! │ len: u32le │ type: u8 │ payload (len − 1 B)   │
+//! └────────────┴──────────┴───────────────────────┘
+//! ```
+//!
+//! where `len` counts the type byte plus the payload (so `len ≥ 1`) and is
+//! capped at [`MAX_FRAME_LEN`] — a reader can reject a corrupt or hostile
+//! header before allocating anything. All integers are little-endian. The
+//! full frame catalogue, the connection state machine and the error codes
+//! are specified in `docs/SERVING.md`; this module is the single source of
+//! truth for the encoding itself.
+//!
+//! A connection starts with a version handshake ([`Frame::Hello`] →
+//! [`Frame::HelloAck`]), then carries any number of pipelined
+//! [`Frame::Classify`] requests answered in order by [`Frame::Results`]
+//! frames. Fatal conditions (bad magic, malformed payload, a worker panic)
+//! are reported with a [`Frame::Error`] frame before the connection closes.
+//!
+//! Encoding and decoding are pure functions over byte buffers
+//! ([`Frame::encode`] / [`Frame::decode`]) so they can be property-tested
+//! without sockets; [`write_frame`] and [`read_frame`] adapt them to
+//! `std::io` streams.
+
+use std::io::{self, Read, Write};
+
+use mc_seqio::SequenceRecord;
+use mc_taxonomy::Rank;
+use metacache::Classification;
+
+/// Protocol magic carried by the [`Frame::Hello`] frame: `"MCNT"`.
+pub const MAGIC: u32 = 0x4D43_4E54;
+
+/// Current protocol version. Peers with a different major version must be
+/// rejected with [`ErrorCode::UnsupportedVersion`].
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Upper bound on `len` (type byte + payload) of any frame: 64 MiB. A header
+/// announcing more is rejected as [`ProtocolError::FrameTooLarge`] without
+/// reading (or allocating) the payload.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Frame type tags (the byte after the length prefix).
+pub mod frame_type {
+    /// Client → server: connection handshake.
+    pub const HELLO: u8 = 1;
+    /// Server → client: handshake accepted, credits granted.
+    pub const HELLO_ACK: u8 = 2;
+    /// Client → server: one classification request (a batch of reads).
+    pub const CLASSIFY: u8 = 3;
+    /// Server → client: ordered classifications of one request.
+    pub const RESULTS: u8 = 4;
+    /// Either direction: fatal error; the connection closes after it.
+    pub const ERROR: u8 = 5;
+    /// Client → server: graceful end of stream (equivalent to a clean EOF).
+    pub const GOODBYE: u8 = 6;
+}
+
+/// Error codes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The `Hello` magic did not match [`MAGIC`].
+    BadMagic = 1,
+    /// The peer speaks an unsupported protocol version.
+    UnsupportedVersion = 2,
+    /// A frame payload could not be decoded.
+    Malformed = 3,
+    /// An unknown frame type tag.
+    UnknownFrameType = 4,
+    /// A frame length exceeded [`MAX_FRAME_LEN`].
+    FrameTooLarge = 5,
+    /// The server failed internally while classifying (e.g. a backend
+    /// worker panic); the request's results are lost.
+    Internal = 6,
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown = 7,
+}
+
+impl ErrorCode {
+    /// Decode a wire error code (unknown values map to `Malformed`).
+    pub fn from_u16(value: u16) -> Self {
+        match value {
+            1 => Self::BadMagic,
+            2 => Self::UnsupportedVersion,
+            4 => Self::UnknownFrameType,
+            5 => Self::FrameTooLarge,
+            6 => Self::Internal,
+            7 => Self::ShuttingDown,
+            _ => Self::Malformed,
+        }
+    }
+}
+
+/// A decoding failure: the bytes do not form a valid frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The `Hello` magic was wrong.
+    BadMagic(u32),
+    /// The peer's protocol version is not supported.
+    UnsupportedVersion(u16),
+    /// A frame announced a length over [`MAX_FRAME_LEN`] (or zero).
+    FrameTooLarge(u32),
+    /// Unknown frame type tag.
+    UnknownFrameType(u8),
+    /// The payload ended early or had trailing garbage.
+    Truncated,
+    /// A structurally invalid payload field.
+    Malformed(&'static str),
+    /// A read carried a mate that itself had a mate; the wire format only
+    /// supports read pairs.
+    NestedMate,
+}
+
+impl ProtocolError {
+    /// The wire error code a server reports for this failure.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            Self::BadMagic(_) => ErrorCode::BadMagic,
+            Self::UnsupportedVersion(_) => ErrorCode::UnsupportedVersion,
+            Self::FrameTooLarge(_) => ErrorCode::FrameTooLarge,
+            Self::UnknownFrameType(_) => ErrorCode::UnknownFrameType,
+            Self::Truncated | Self::Malformed(_) | Self::NestedMate => ErrorCode::Malformed,
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic(got) => write!(f, "bad protocol magic {got:#010x}"),
+            Self::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported protocol version {v} (want {PROTOCOL_VERSION})"
+                )
+            }
+            Self::FrameTooLarge(len) => {
+                write!(f, "frame length {len} outside 1..={MAX_FRAME_LEN}")
+            }
+            Self::UnknownFrameType(t) => write!(f, "unknown frame type {t}"),
+            Self::Truncated => write!(f, "truncated frame payload"),
+            Self::Malformed(what) => write!(f, "malformed frame: {what}"),
+            Self::NestedMate => write!(f, "read mate must not itself carry a mate"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Any failure of a networked operation: transport, encoding, or an error
+/// frame reported by the remote peer.
+#[derive(Debug)]
+pub enum NetError {
+    /// A socket-level failure.
+    Io(io::Error),
+    /// The peer sent bytes that do not decode.
+    Protocol(ProtocolError),
+    /// The peer reported a fatal error frame and closed the connection.
+    Remote {
+        /// The reported error code.
+        code: ErrorCode,
+        /// Human-readable detail from the peer.
+        message: String,
+    },
+    /// The connection closed before the expected response arrived.
+    Disconnected,
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ProtocolError> for NetError {
+    fn from(e: ProtocolError) -> Self {
+        Self::Protocol(e)
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::Protocol(e) => write!(f, "protocol error: {e}"),
+            Self::Remote { code, message } => {
+                write!(f, "remote error {code:?}: {message}")
+            }
+            Self::Disconnected => write!(f, "connection closed mid-exchange"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Per-read status flags in a [`Frame::Results`] entry.
+pub mod status {
+    /// The read was assigned a taxon.
+    pub const CLASSIFIED: u8 = 1 << 0;
+    /// The entry carries a rank byte that is meaningful.
+    pub const HAS_RANK: u8 = 1 << 1;
+    /// The entry carries a best-target id that is meaningful.
+    pub const HAS_TARGET: u8 = 1 << 2;
+}
+
+/// One decoded protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection handshake (client → server).
+    Hello {
+        /// Must equal [`MAGIC`].
+        magic: u32,
+        /// The client's protocol version.
+        version: u16,
+        /// Requested records per engine batch (`0` = server default).
+        batch_records: u32,
+        /// Requested in-flight request credit (`0` = server default).
+        max_in_flight: u32,
+    },
+    /// Handshake accepted (server → client).
+    HelloAck {
+        /// The server's protocol version.
+        version: u16,
+        /// Granted credit: the client may keep at most this many `Classify`
+        /// frames unanswered.
+        credits: u32,
+        /// Records per engine batch the session was opened with.
+        batch_records: u32,
+        /// The serving backend's label (`"host"`, `"gpu-sim"`, …).
+        backend: String,
+    },
+    /// One classification request (client → server).
+    Classify {
+        /// Client-chosen id echoed by the matching [`Frame::Results`].
+        /// Must increase strictly monotonically within a connection.
+        request_id: u64,
+        /// The reads to classify.
+        reads: Vec<SequenceRecord>,
+    },
+    /// Ordered classifications of one request (server → client).
+    Results {
+        /// The id of the request these results answer.
+        request_id: u64,
+        /// One entry per read, in the request's read order.
+        entries: Vec<ResultEntry>,
+    },
+    /// Fatal error; the sender closes the connection after this frame.
+    Error {
+        /// Machine-readable code.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Graceful end of stream (client → server).
+    Goodbye,
+}
+
+/// One read's classification on the wire (fixed 14 bytes:
+/// status + taxon + rank + best_target + best_hits = 1+4+1+4+4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResultEntry {
+    /// [`status`] flag bits.
+    pub status: u8,
+    /// Assigned taxon (`0` when unclassified).
+    pub taxon: u32,
+    /// Rank level (see `mc_taxonomy::Rank::level`); meaningful only with
+    /// [`status::HAS_RANK`].
+    pub rank: u8,
+    /// Best candidate target id; meaningful only with [`status::HAS_TARGET`].
+    pub best_target: u32,
+    /// Hit count of the best candidate.
+    pub best_hits: u32,
+}
+
+impl ResultEntry {
+    /// Encode a [`Classification`] as a wire entry.
+    pub fn from_classification(c: &Classification) -> Self {
+        let mut status = 0u8;
+        if c.is_classified() {
+            status |= status::CLASSIFIED;
+        }
+        if c.rank.is_some() {
+            status |= status::HAS_RANK;
+        }
+        if c.best_target.is_some() {
+            status |= status::HAS_TARGET;
+        }
+        Self {
+            status,
+            taxon: c.taxon,
+            rank: c.rank.map_or(0, Rank::level),
+            best_target: c.best_target.unwrap_or(0),
+            best_hits: c.best_hits,
+        }
+    }
+
+    /// Decode a wire entry back into a [`Classification`].
+    pub fn to_classification(self) -> Classification {
+        Classification {
+            taxon: self.taxon,
+            rank: (self.status & status::HAS_RANK != 0).then(|| Rank::from_level(self.rank)),
+            best_target: (self.status & status::HAS_TARGET != 0).then_some(self.best_target),
+            best_hits: self.best_hits,
+        }
+    }
+}
+
+impl Frame {
+    /// The frame's type tag.
+    pub fn frame_type(&self) -> u8 {
+        match self {
+            Self::Hello { .. } => frame_type::HELLO,
+            Self::HelloAck { .. } => frame_type::HELLO_ACK,
+            Self::Classify { .. } => frame_type::CLASSIFY,
+            Self::Results { .. } => frame_type::RESULTS,
+            Self::Error { .. } => frame_type::ERROR,
+            Self::Goodbye => frame_type::GOODBYE,
+        }
+    }
+
+    /// Append the frame's *payload* (everything after the type byte) to
+    /// `out`. The envelope (length prefix + type byte) is written by
+    /// [`Frame::encode`].
+    fn encode_payload(&self, out: &mut Vec<u8>) -> Result<(), ProtocolError> {
+        match self {
+            Self::Hello {
+                magic,
+                version,
+                batch_records,
+                max_in_flight,
+            } => {
+                put_u32(out, *magic);
+                put_u16(out, *version);
+                put_u32(out, *batch_records);
+                put_u32(out, *max_in_flight);
+            }
+            Self::HelloAck {
+                version,
+                credits,
+                batch_records,
+                backend,
+            } => {
+                put_u16(out, *version);
+                put_u32(out, *credits);
+                put_u32(out, *batch_records);
+                put_str16(out, backend)?;
+            }
+            Self::Classify { request_id, reads } => {
+                encode_classify_payload(out, *request_id, reads)?;
+            }
+            Self::Results {
+                request_id,
+                entries,
+            } => {
+                put_u64(out, *request_id);
+                put_u32(
+                    out,
+                    u32::try_from(entries.len())
+                        .map_err(|_| ProtocolError::Malformed("entry count"))?,
+                );
+                for e in entries {
+                    out.push(e.status);
+                    put_u32(out, e.taxon);
+                    out.push(e.rank);
+                    put_u32(out, e.best_target);
+                    put_u32(out, e.best_hits);
+                }
+            }
+            Self::Error { code, message } => {
+                put_u16(out, *code as u16);
+                put_str16(out, message)?;
+            }
+            Self::Goodbye => {}
+        }
+        Ok(())
+    }
+
+    /// Encode the full frame (length prefix, type byte, payload) into a
+    /// fresh buffer. Fails if the frame cannot be represented (payload over
+    /// [`MAX_FRAME_LEN`], oversized strings, a nested mate).
+    pub fn encode(&self) -> Result<Vec<u8>, ProtocolError> {
+        let mut out = vec![0u8; 4];
+        out.push(self.frame_type());
+        self.encode_payload(&mut out)?;
+        seal_frame(out)
+    }
+
+    /// Decode a frame from its type tag and payload bytes (the envelope has
+    /// already been stripped by [`read_frame`]). Rejects trailing garbage.
+    pub fn decode(frame_type: u8, payload: &[u8]) -> Result<Self, ProtocolError> {
+        let mut cursor = Cursor::new(payload);
+        let frame = match frame_type {
+            frame_type::HELLO => Self::Hello {
+                magic: cursor.u32()?,
+                version: cursor.u16()?,
+                batch_records: cursor.u32()?,
+                max_in_flight: cursor.u32()?,
+            },
+            frame_type::HELLO_ACK => Self::HelloAck {
+                version: cursor.u16()?,
+                credits: cursor.u32()?,
+                batch_records: cursor.u32()?,
+                backend: cursor.str16()?,
+            },
+            frame_type::CLASSIFY => {
+                let request_id = cursor.u64()?;
+                let count = cursor.u32()? as usize;
+                // Cap the pre-allocation: the payload proves at least 11
+                // bytes per read, so a lying count cannot balloon memory.
+                let mut reads = Vec::with_capacity(count.min(payload.len() / 11 + 1));
+                for _ in 0..count {
+                    reads.push(decode_record(&mut cursor, true)?);
+                }
+                Self::Classify { request_id, reads }
+            }
+            frame_type::RESULTS => {
+                let request_id = cursor.u64()?;
+                let count = cursor.u32()? as usize;
+                let mut entries = Vec::with_capacity(count.min(payload.len() / 14 + 1));
+                for _ in 0..count {
+                    entries.push(ResultEntry {
+                        status: cursor.u8()?,
+                        taxon: cursor.u32()?,
+                        rank: cursor.u8()?,
+                        best_target: cursor.u32()?,
+                        best_hits: cursor.u32()?,
+                    });
+                }
+                Self::Results {
+                    request_id,
+                    entries,
+                }
+            }
+            frame_type::ERROR => Self::Error {
+                code: ErrorCode::from_u16(cursor.u16()?),
+                message: cursor.str16()?,
+            },
+            frame_type::GOODBYE => Self::Goodbye,
+            other => return Err(ProtocolError::UnknownFrameType(other)),
+        };
+        cursor.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Write the length prefix of an assembled `[0u8; 4] + type + payload`
+/// buffer, validating the frame cap.
+fn seal_frame(mut out: Vec<u8>) -> Result<Vec<u8>, ProtocolError> {
+    let len = u32::try_from(out.len() - 4).map_err(|_| ProtocolError::FrameTooLarge(u32::MAX))?;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    out[0..4].copy_from_slice(&len.to_le_bytes());
+    Ok(out)
+}
+
+/// The one `Classify` payload encoder, shared by [`Frame::encode`] (owned
+/// frame) and [`encode_classify`] (borrowed slice).
+fn encode_classify_payload(
+    out: &mut Vec<u8>,
+    request_id: u64,
+    reads: &[SequenceRecord],
+) -> Result<(), ProtocolError> {
+    put_u64(out, request_id);
+    put_u32(
+        out,
+        u32::try_from(reads.len()).map_err(|_| ProtocolError::Malformed("read count"))?,
+    );
+    for read in reads {
+        encode_record(out, read, true)?;
+    }
+    Ok(())
+}
+
+/// Encode a [`Frame::Classify`] directly from a borrowed read slice — the
+/// client's hot path, byte-identical to building an owned frame and calling
+/// [`Frame::encode`] but without cloning the reads first.
+pub fn encode_classify(
+    request_id: u64,
+    reads: &[SequenceRecord],
+) -> Result<Vec<u8>, ProtocolError> {
+    let mut out = vec![0u8; 4];
+    out.push(frame_type::CLASSIFY);
+    encode_classify_payload(&mut out, request_id, reads)?;
+    seal_frame(out)
+}
+
+/// A read on the wire: `header` (u16 length + UTF-8), `sequence`
+/// (u32 length + bytes), `quality` (u32 length + bytes), then a mate flag
+/// byte and — for paired reads — the mate encoded the same way (mates must
+/// not nest further).
+fn encode_record(
+    out: &mut Vec<u8>,
+    record: &SequenceRecord,
+    allow_mate: bool,
+) -> Result<(), ProtocolError> {
+    put_str16(out, &record.header)?;
+    put_bytes32(out, &record.sequence)?;
+    put_bytes32(out, &record.quality)?;
+    match (&record.mate, allow_mate) {
+        (None, _) => out.push(0),
+        (Some(_), false) => return Err(ProtocolError::NestedMate),
+        (Some(mate), true) => {
+            out.push(1);
+            encode_record(out, mate, false)?;
+        }
+    }
+    Ok(())
+}
+
+fn decode_record(
+    cursor: &mut Cursor<'_>,
+    allow_mate: bool,
+) -> Result<SequenceRecord, ProtocolError> {
+    let header = cursor.str16()?;
+    let sequence = cursor.bytes32()?.to_vec();
+    let quality = cursor.bytes32()?.to_vec();
+    let mate = match cursor.u8()? {
+        0 => None,
+        1 if allow_mate => Some(Box::new(decode_record(cursor, false)?)),
+        1 => return Err(ProtocolError::NestedMate),
+        _ => return Err(ProtocolError::Malformed("mate flag")),
+    };
+    let mut record = SequenceRecord::with_quality(header, sequence, quality);
+    record.mate = mate;
+    Ok(record)
+}
+
+/// Write one frame to a stream. Does not flush — callers batch frames and
+/// flush at message boundaries.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), NetError> {
+    let bytes = frame.encode()?;
+    w.write_all(&bytes)?;
+    Ok(())
+}
+
+/// Read one frame from a stream. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary; EOF inside a frame is [`NetError::Disconnected`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, NetError> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(len).into());
+    }
+    let mut frame_type = [0u8; 1];
+    read_exact_or_disconnect(r, &mut frame_type)?;
+    let mut payload = vec![0u8; len as usize - 1];
+    read_exact_or_disconnect(r, &mut payload)?;
+    Ok(Some(Frame::decode(frame_type[0], &payload)?))
+}
+
+fn read_exact_or_disconnect(r: &mut impl Read, buf: &mut [u8]) -> Result<(), NetError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            NetError::Disconnected
+        } else {
+            NetError::Io(e)
+        }
+    })
+}
+
+// ---- little-endian primitives -------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str16(out: &mut Vec<u8>, s: &str) -> Result<(), ProtocolError> {
+    let len = u16::try_from(s.len()).map_err(|_| ProtocolError::Malformed("string too long"))?;
+    put_u16(out, len);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_bytes32(out: &mut Vec<u8>, bytes: &[u8]) -> Result<(), ProtocolError> {
+    let len = u32::try_from(bytes.len()).map_err(|_| ProtocolError::Malformed("bytes too long"))?;
+    put_u32(out, len);
+    out.extend_from_slice(bytes);
+    Ok(())
+}
+
+/// A checked payload reader: every accessor fails with
+/// [`ProtocolError::Truncated`] instead of panicking on short input.
+struct Cursor<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Cursor<'a> {
+    fn new(payload: &'a [u8]) -> Self {
+        Self { rest: payload }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.rest.len() < n {
+            return Err(ProtocolError::Truncated);
+        }
+        let (head, tail) = self.rest.split_at(n);
+        self.rest = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn bytes32(&mut self) -> Result<&'a [u8], ProtocolError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    fn str16(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::Malformed("invalid utf-8"))
+    }
+
+    /// Require that the whole payload was consumed.
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.rest.is_empty() {
+            Ok(())
+        } else {
+            Err(ProtocolError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = frame.encode().unwrap();
+        let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, bytes.len() - 4);
+        let decoded = Frame::decode(bytes[4], &bytes[5..]).unwrap();
+        assert_eq!(decoded, frame);
+        // And through the io adapters.
+        let mut cursor = io::Cursor::new(&bytes);
+        let read = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(read, frame);
+    }
+
+    #[test]
+    fn all_frame_kinds_roundtrip() {
+        roundtrip(Frame::Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION,
+            batch_records: 64,
+            max_in_flight: 0,
+        });
+        roundtrip(Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+            credits: 8,
+            batch_records: 1024,
+            backend: "host".into(),
+        });
+        let mut paired =
+            SequenceRecord::with_quality("r1 pair", b"ACGT".to_vec(), b"IIII".to_vec());
+        paired.mate = Some(Box::new(SequenceRecord::new("r1/2", b"GGTA".to_vec())));
+        roundtrip(Frame::Classify {
+            request_id: 42,
+            reads: vec![
+                SequenceRecord::new("plain", b"ACGTACGT".to_vec()),
+                SequenceRecord::new("", Vec::new()),
+                paired,
+            ],
+        });
+        roundtrip(Frame::Results {
+            request_id: 42,
+            entries: vec![
+                ResultEntry {
+                    status: status::CLASSIFIED | status::HAS_RANK | status::HAS_TARGET,
+                    taxon: 100,
+                    rank: Rank::Species.level(),
+                    best_target: 3,
+                    best_hits: 17,
+                },
+                ResultEntry {
+                    status: 0,
+                    taxon: 0,
+                    rank: 0,
+                    best_target: 0,
+                    best_hits: 0,
+                },
+            ],
+        });
+        roundtrip(Frame::Error {
+            code: ErrorCode::Malformed,
+            message: "bad payload".into(),
+        });
+        roundtrip(Frame::Goodbye);
+    }
+
+    #[test]
+    fn borrowed_classify_encoding_matches_owned() {
+        let reads = vec![
+            SequenceRecord::new("r0", b"ACGTACGT".to_vec()),
+            SequenceRecord::with_quality("r1", b"GGTA".to_vec(), b"IIII".to_vec()),
+        ];
+        let borrowed = encode_classify(99, &reads).unwrap();
+        let owned = Frame::Classify {
+            request_id: 99,
+            reads,
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(borrowed, owned);
+    }
+
+    #[test]
+    fn classification_entry_roundtrips() {
+        let classified = Classification {
+            taxon: 101,
+            rank: Some(Rank::Genus),
+            best_target: Some(7),
+            best_hits: 21,
+        };
+        let entry = ResultEntry::from_classification(&classified);
+        assert_eq!(entry.to_classification(), classified);
+        let unclassified = Classification::unclassified();
+        let entry = ResultEntry::from_classification(&unclassified);
+        assert_eq!(entry.status, 0);
+        assert_eq!(entry.to_classification(), unclassified);
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_are_rejected() {
+        let mut cursor = io::Cursor::new(0u32.to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(NetError::Protocol(ProtocolError::FrameTooLarge(0)))
+        ));
+        let mut cursor = io::Cursor::new((MAX_FRAME_LEN + 1).to_le_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(NetError::Protocol(ProtocolError::FrameTooLarge(_)))
+        ));
+    }
+
+    #[test]
+    fn eof_at_boundary_is_none_mid_frame_is_disconnect() {
+        let mut empty = io::Cursor::new(Vec::new());
+        assert!(matches!(read_frame(&mut empty), Ok(None)));
+        let frame = Frame::Goodbye.encode().unwrap();
+        let mut cut = io::Cursor::new(frame[..4].to_vec());
+        assert!(matches!(read_frame(&mut cut), Err(NetError::Disconnected)));
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let bytes = Frame::Classify {
+            request_id: 9,
+            reads: vec![SequenceRecord::new("r", b"ACGT".to_vec())],
+        }
+        .encode()
+        .unwrap();
+        // Every strict prefix of the payload fails to decode.
+        for cut in 0..bytes.len() - 5 {
+            let result = Frame::decode(bytes[4], &bytes[5..5 + cut]);
+            assert!(result.is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let bytes = Frame::Goodbye.encode().unwrap();
+        let mut payload = bytes[5..].to_vec();
+        payload.push(0xAB);
+        assert_eq!(
+            Frame::decode(bytes[4], &payload),
+            Err(ProtocolError::Malformed("trailing bytes"))
+        );
+    }
+
+    #[test]
+    fn unknown_frame_type_is_rejected() {
+        assert_eq!(
+            Frame::decode(200, &[]),
+            Err(ProtocolError::UnknownFrameType(200))
+        );
+    }
+
+    #[test]
+    fn nested_mate_fails_to_encode() {
+        let inner = SequenceRecord::new("m2", b"AC".to_vec());
+        let mut mate = SequenceRecord::new("m1", b"GT".to_vec());
+        mate.mate = Some(Box::new(inner));
+        let mut read = SequenceRecord::new("r", b"ACGT".to_vec());
+        read.mate = Some(Box::new(mate));
+        assert_eq!(
+            Frame::Classify {
+                request_id: 1,
+                reads: vec![read]
+            }
+            .encode(),
+            Err(ProtocolError::NestedMate)
+        );
+    }
+}

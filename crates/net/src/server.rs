@@ -1,0 +1,604 @@
+//! The TCP serving front-end: connections mapped onto [`ServingEngine`]
+//! sessions.
+//!
+//! One [`NetServer`] wraps one engine. The thread layout is exactly the
+//! ISSUE's shape — an acceptor plus a reader/writer pair per connection:
+//!
+//! ```text
+//!                    ┌───────────────┐ accept  ┌──────────────────────────────┐
+//!  clients ─────────►│ acceptor      │────────►│ connection (one per client)  │
+//!                    │ (run() thread)│         │  reader thread ──► request   │
+//!                    └───────────────┘         │   decode frames    channel   │
+//!                                              │                      │       │
+//!                                              │  writer thread ◄─────┘       │
+//!                                              │   owns the Session,          │
+//!                                              │   classify_batch per request,│
+//!                                              │   encodes Results frames     │
+//!                                              └──────────────────────────────┘
+//! ```
+//!
+//! * **Backpressure is credit-based and reuses the engine's bound.** The
+//!   session's `max_in_flight` caps batches resident in the engine; the
+//!   connection's request channel is small and bounded; once both are full
+//!   the reader stops reading and TCP flow control pushes back on the
+//!   client. The handshake tells the client its credit
+//!   ([`Frame::HelloAck`]`::credits`) so a well-behaved client pipelines
+//!   exactly that many requests.
+//! * **Errors are frames, not resets.** Malformed input, version mismatch
+//!   and internal failures produce a [`Frame::Error`] with a machine-
+//!   readable code before the connection closes.
+//! * **Failure is isolated per connection.** A client that disconnects
+//!   mid-request, sends garbage, or whose request panics a backend worker
+//!   only tears down its own session (the engine discards that session's
+//!   in-flight batches); every other connection keeps streaming.
+//! * **Shutdown drains.** [`ServerHandle::shutdown`] stops the acceptor and
+//!   half-closes every live connection's read side: readers see EOF,
+//!   already-decoded requests still classify and their results still reach
+//!   the client, then [`NetServer::run`] joins every connection thread and
+//!   returns. Because the server borrows the engine, a following
+//!   [`ServingEngine::shutdown`] is guaranteed to see an idle engine — the
+//!   two drains compose.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use mc_seqio::SequenceRecord;
+use metacache::serving::{ServingEngine, SessionConfig};
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, Frame, NetError, ProtocolError, ResultEntry, MAGIC,
+    PROTOCOL_VERSION,
+};
+
+/// Tuning knobs of a [`NetServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Per-connection session overrides (`0` fields = engine defaults).
+    pub session: SessionConfig,
+    /// Decoded requests buffered between a connection's reader and writer
+    /// threads (in addition to the engine-side credit bound).
+    pub pending_requests: usize,
+    /// Set `TCP_NODELAY` on accepted connections (request/response traffic
+    /// is latency-bound; leave on unless batching huge requests).
+    pub nodelay: bool,
+    /// Socket write timeout per connection. A client that stops *reading*
+    /// while keeping the connection open would otherwise block its writer
+    /// thread in `send` forever — and with it the graceful drain of
+    /// [`NetServer::run`]. After this long blocked on one write, the
+    /// connection is treated as gone and torn down. `None` disables the
+    /// bound (not recommended for untrusted clients).
+    pub write_timeout: Option<std::time::Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            session: SessionConfig::default(),
+            pending_requests: 2,
+            nodelay: true,
+            write_timeout: Some(std::time::Duration::from_secs(30)),
+        }
+    }
+}
+
+/// Lifetime counters of a server, returned by [`NetServer::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted (including ones that failed the handshake).
+    pub connections: u64,
+    /// `Classify` requests answered with `Results`.
+    pub requests: u64,
+    /// Reads classified across all connections.
+    pub reads: u64,
+    /// Connections terminated with a protocol error frame.
+    pub protocol_errors: u64,
+    /// Requests lost to an internal failure (backend worker panic).
+    pub internal_errors: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    reads: AtomicU64,
+    protocol_errors: AtomicU64,
+    internal_errors: AtomicU64,
+}
+
+/// State shared between the acceptor, its connections and every
+/// [`ServerHandle`].
+struct Shared {
+    shutting_down: AtomicBool,
+    /// Read-half handles of live connections, keyed by connection id, so
+    /// shutdown can half-close them and let their streams drain.
+    connections: Mutex<HashMap<u64, TcpStream>>,
+    next_connection: AtomicU64,
+    counters: Counters,
+    addr: SocketAddr,
+}
+
+/// A cloneable remote control of a running [`NetServer`]: triggers the
+/// graceful drain from any thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on (useful with an ephemeral
+    /// port bind like `127.0.0.1:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Begin the graceful drain: stop accepting, half-close every live
+    /// connection's read side so in-flight requests finish and their
+    /// results are delivered, then let [`NetServer::run`] join and return.
+    /// Idempotent.
+    ///
+    /// The acceptor is woken with a loopback connection to its own listen
+    /// address; the bound address must therefore be reachable from this
+    /// process (always true for loopback and unspecified binds) and one
+    /// spare file descriptor must be available — the connect is retried
+    /// briefly to ride out transient fd exhaustion.
+    pub fn shutdown(&self) {
+        if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Half-close live connections: readers see EOF and drain.
+        let connections = self
+            .shared
+            .connections
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        for stream in connections.values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        drop(connections);
+        // Wake the acceptor with a throwaway connection. This is the only
+        // thing that unblocks a parked accept(), so retry a few times
+        // rather than giving up on one failed connect.
+        for _ in 0..5 {
+            if TcpStream::connect(connect_addr(self.shared.addr)).is_ok() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+}
+
+/// An unspecified bind address (0.0.0.0 / ::) is not connectable; aim the
+/// shutdown wake-up at loopback instead.
+fn connect_addr(addr: SocketAddr) -> SocketAddr {
+    match addr.ip() {
+        IpAddr::V4(ip) if ip.is_unspecified() => {
+            SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), addr.port())
+        }
+        IpAddr::V6(ip) if ip.is_unspecified() => {
+            SocketAddr::new(IpAddr::V6(Ipv6Addr::LOCALHOST), addr.port())
+        }
+        _ => addr,
+    }
+}
+
+/// A TCP front-end serving one [`ServingEngine`]: each accepted connection
+/// becomes one engine [`Session`](metacache::serving::Session).
+///
+/// The server borrows the engine, so the borrow checker proves the engine
+/// outlives every connection — and that [`ServingEngine::shutdown`] can only
+/// run after the server has fully drained.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use mc_net::{NetClient, NetServer};
+/// use mc_seqio::SequenceRecord;
+/// use mc_taxonomy::{Rank, Taxonomy};
+/// use metacache::{build::CpuBuilder, serving::ServingEngine, MetaCacheConfig};
+///
+/// # let mut taxonomy = Taxonomy::with_root();
+/// # taxonomy.add_node(100, 1, Rank::Species, "Species A").unwrap();
+/// # let mut state = 5u64;
+/// # let genome: Vec<u8> = (0..8000).map(|_| {
+/// #     state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+/// #     b"ACGT"[(state >> 33) as usize % 4]
+/// # }).collect();
+/// # let mut builder = CpuBuilder::new(MetaCacheConfig::default(), taxonomy);
+/// # builder.add_target(SequenceRecord::new("refA", genome.clone()), 100).unwrap();
+/// let engine = ServingEngine::host(Arc::new(builder.finish()));
+/// let server = NetServer::bind(&engine, "127.0.0.1:0").unwrap();
+/// let handle = server.handle();
+///
+/// std::thread::scope(|scope| {
+///     scope.spawn(|| server.run());
+///     let mut client = NetClient::connect(handle.local_addr()).unwrap();
+///     let reads = vec![SequenceRecord::new("r0", genome[200..350].to_vec())];
+///     let classifications = client.classify_batch(&reads).unwrap();
+///     assert_eq!(classifications[0].taxon, 100);
+///     drop(client);
+///     handle.shutdown(); // graceful drain; run() returns
+/// });
+/// let stats = engine.shutdown(); // engine drain composes with the server's
+/// assert_eq!(stats.records_classified, 1);
+/// ```
+pub struct NetServer<'e> {
+    engine: &'e ServingEngine,
+    listener: TcpListener,
+    config: ServerConfig,
+    shared: Arc<Shared>,
+}
+
+impl<'e> NetServer<'e> {
+    /// Bind a server for `engine` on `addr` (use port `0` for an ephemeral
+    /// port, then [`ServerHandle::local_addr`]). Default [`ServerConfig`].
+    pub fn bind(engine: &'e ServingEngine, addr: impl std::net::ToSocketAddrs) -> io::Result<Self> {
+        Self::bind_with(engine, addr, ServerConfig::default())
+    }
+
+    /// Bind with an explicit configuration.
+    pub fn bind_with(
+        engine: &'e ServingEngine,
+        addr: impl std::net::ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            shutting_down: AtomicBool::new(false),
+            connections: Mutex::new(HashMap::new()),
+            next_connection: AtomicU64::new(1),
+            counters: Counters::default(),
+            addr: listener.local_addr()?,
+        });
+        Ok(Self {
+            engine,
+            listener,
+            config,
+            shared,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// A handle for triggering the graceful drain from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Serve until [`ServerHandle::shutdown`] is called: accept connections
+    /// on the calling thread, a reader/writer thread pair per connection.
+    /// Returns after every live connection has drained and closed.
+    pub fn run(self) -> io::Result<ServerStats> {
+        let shared = &self.shared;
+        let engine = self.engine;
+        let config = self.config;
+        std::thread::scope(|scope| {
+            loop {
+                let (stream, _peer) = match self.listener.accept() {
+                    Ok(accepted) => accepted,
+                    Err(_) if shared.shutting_down.load(Ordering::SeqCst) => break,
+                    // Transient accept failures (per-connection resource
+                    // errors, fd exhaustion) must not kill the server — but
+                    // must not busy-spin the acceptor either.
+                    Err(_) => {
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        continue;
+                    }
+                };
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    // Late arrival (possibly the shutdown wake-up itself):
+                    // refuse politely and stop accepting.
+                    refuse_shutting_down(stream);
+                    break;
+                }
+                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                let id = shared.next_connection.fetch_add(1, Ordering::Relaxed);
+                match stream.try_clone() {
+                    Ok(clone) => {
+                        shared
+                            .connections
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .insert(id, clone);
+                    }
+                    // An unregistered connection could never be half-closed
+                    // by shutdown() and would hang the drain; refuse it
+                    // instead of serving it untracked (try_clone only fails
+                    // under fd exhaustion, where refusing is right anyway).
+                    Err(_) => continue,
+                }
+                // Close the race against a concurrent shutdown(): the flag
+                // is set *before* shutdown walks the registry, so either the
+                // walk saw our entry and half-closed it, or this re-check
+                // sees the flag and half-closes it here. Without this, a
+                // connection accepted in the window would never get its EOF
+                // and run() would join forever.
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    let _ = stream.shutdown(Shutdown::Read);
+                }
+                scope.spawn(move || {
+                    // A connection must never take down the server: isolate
+                    // panics (the engine already isolates the session).
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        serve_connection(engine, &config, shared, stream);
+                    }));
+                    shared
+                        .connections
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .remove(&id);
+                });
+            }
+            // Leaving the scope joins every connection thread: all sessions
+            // are dropped and the engine is idle when run() returns.
+        });
+        let c = &self.shared.counters;
+        Ok(ServerStats {
+            connections: c.connections.load(Ordering::Relaxed),
+            requests: c.requests.load(Ordering::Relaxed),
+            reads: c.reads.load(Ordering::Relaxed),
+            protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
+            internal_errors: c.internal_errors.load(Ordering::Relaxed),
+        })
+    }
+}
+
+fn refuse_shutting_down(stream: TcpStream) {
+    let mut writer = BufWriter::new(stream);
+    let _ = write_frame(
+        &mut writer,
+        &Frame::Error {
+            code: ErrorCode::ShuttingDown,
+            message: "server is draining".into(),
+        },
+    );
+    let _ = writer.flush();
+}
+
+/// What the reader thread hands to the writer thread.
+enum ConnEvent {
+    Request {
+        request_id: u64,
+        reads: Vec<SequenceRecord>,
+    },
+    /// The reader hit undecodable input; the writer reports it and closes.
+    Bad(ProtocolError),
+}
+
+/// Drive one connection to completion: handshake, then a reader thread
+/// feeding decoded requests to this thread, which owns the session and
+/// writes responses.
+fn serve_connection(
+    engine: &ServingEngine,
+    config: &ServerConfig,
+    shared: &Shared,
+    stream: TcpStream,
+) {
+    if config.nodelay {
+        let _ = stream.set_nodelay(true);
+    }
+    // Bound every socket write so a client that stops reading cannot pin
+    // this connection's writer (and the server's drain) forever.
+    let _ = stream.set_write_timeout(config.write_timeout);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+
+    // --- Handshake -------------------------------------------------------
+    let hello = match read_frame(&mut reader) {
+        Ok(Some(Frame::Hello {
+            magic,
+            version,
+            batch_records,
+            max_in_flight,
+        })) => {
+            if magic != MAGIC {
+                fail(shared, &mut writer, &ProtocolError::BadMagic(magic));
+                return;
+            }
+            if version != PROTOCOL_VERSION {
+                fail(
+                    shared,
+                    &mut writer,
+                    &ProtocolError::UnsupportedVersion(version),
+                );
+                return;
+            }
+            (batch_records, max_in_flight)
+        }
+        Ok(Some(_)) => {
+            fail(
+                shared,
+                &mut writer,
+                &ProtocolError::Malformed("expected Hello"),
+            );
+            return;
+        }
+        Ok(None) => return, // probe connection; nothing to do
+        Err(NetError::Protocol(e)) => {
+            fail(shared, &mut writer, &e);
+            return;
+        }
+        Err(_) => return,
+    };
+
+    // Resolve the session shape: client hints can shrink, never grow, the
+    // server-side bounds (the engine's credit bound is the protocol's credit
+    // bound — one resident engine batch per credit).
+    let server_batch = if config.session.batch_records > 0 {
+        config.session.batch_records
+    } else {
+        engine.config().batch_records
+    };
+    let server_credit = if config.session.max_in_flight > 0 {
+        config.session.max_in_flight
+    } else {
+        engine.config().effective_session_in_flight()
+    };
+    let batch_records = match hello.0 as usize {
+        0 => server_batch,
+        requested => requested.min(server_batch.max(1)),
+    };
+    let credits = match hello.1 as usize {
+        0 => server_credit,
+        requested => requested.clamp(1, server_credit),
+    };
+    let mut session = engine.session_with(SessionConfig {
+        batch_records,
+        max_in_flight: credits,
+    });
+    if write_frame(
+        &mut writer,
+        &Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+            credits: credits as u32,
+            batch_records: batch_records as u32,
+            backend: engine.backend_name().to_string(),
+        },
+    )
+    .is_err()
+        || writer.flush().is_err()
+    {
+        return;
+    }
+
+    // --- Request loop ----------------------------------------------------
+    let (tx, rx) = mpsc::sync_channel::<ConnEvent>(config.pending_requests.max(1));
+    std::thread::scope(|conn_scope| {
+        conn_scope.spawn(move || read_loop(&mut reader, &tx));
+
+        let mut last_request_id: Option<u64> = None;
+        let close = |writer: &mut BufWriter<TcpStream>| {
+            // Unblock the reader if it is still mid-read (writer-side exit).
+            let _ = writer.get_ref().shutdown(Shutdown::Both);
+        };
+        for event in rx {
+            match event {
+                ConnEvent::Request { request_id, reads } => {
+                    if last_request_id.is_some_and(|last| request_id <= last) {
+                        fail(
+                            shared,
+                            &mut writer,
+                            &ProtocolError::Malformed("request ids must increase"),
+                        );
+                        close(&mut writer);
+                        break;
+                    }
+                    last_request_id = Some(request_id);
+                    // A backend worker panic re-raises in the owning session
+                    // only; turn it into an error frame instead of a torn
+                    // connection without a goodbye.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        session.classify_batch(&reads)
+                    }));
+                    match outcome {
+                        Ok(classifications) => {
+                            let entries: Vec<ResultEntry> = classifications
+                                .iter()
+                                .map(ResultEntry::from_classification)
+                                .collect();
+                            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                            shared
+                                .counters
+                                .reads
+                                .fetch_add(reads.len() as u64, Ordering::Relaxed);
+                            let ok = write_frame(
+                                &mut writer,
+                                &Frame::Results {
+                                    request_id,
+                                    entries,
+                                },
+                            )
+                            .is_ok()
+                                && writer.flush().is_ok();
+                            if !ok {
+                                // Client went away; drop the connection. The
+                                // session's drop discards its in-flight work.
+                                close(&mut writer);
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            shared
+                                .counters
+                                .internal_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                            let _ = write_frame(
+                                &mut writer,
+                                &Frame::Error {
+                                    code: ErrorCode::Internal,
+                                    message: format!(
+                                        "classification failed for request {request_id}"
+                                    ),
+                                },
+                            );
+                            let _ = writer.flush();
+                            close(&mut writer);
+                            break;
+                        }
+                    }
+                }
+                ConnEvent::Bad(e) => {
+                    fail(shared, &mut writer, &e);
+                    close(&mut writer);
+                    break;
+                }
+            }
+        }
+        // Reader exits on EOF/error once the socket is closed or drained;
+        // the scope joins it.
+    });
+    drop(session);
+}
+
+/// The connection's reader: decode frames into requests until EOF, goodbye,
+/// or undecodable input.
+fn read_loop(reader: &mut BufReader<TcpStream>, tx: &mpsc::SyncSender<ConnEvent>) {
+    loop {
+        match read_frame(reader) {
+            Ok(Some(Frame::Classify { request_id, reads })) => {
+                if tx.send(ConnEvent::Request { request_id, reads }).is_err() {
+                    return; // writer side is gone
+                }
+            }
+            Ok(Some(Frame::Goodbye)) | Ok(None) => return, // clean end of stream
+            Ok(Some(_)) => {
+                let _ = tx.send(ConnEvent::Bad(ProtocolError::Malformed(
+                    "unexpected frame after handshake",
+                )));
+                return;
+            }
+            Err(NetError::Protocol(e)) => {
+                let _ = tx.send(ConnEvent::Bad(e));
+                return;
+            }
+            Err(_) => return, // disconnect / reset: nothing to report to
+        }
+    }
+}
+
+/// Report a protocol failure with an error frame and count it.
+fn fail(shared: &Shared, writer: &mut BufWriter<TcpStream>, error: &ProtocolError) {
+    shared
+        .counters
+        .protocol_errors
+        .fetch_add(1, Ordering::Relaxed);
+    let _ = write_frame(
+        writer,
+        &Frame::Error {
+            code: error.code(),
+            message: error.to_string(),
+        },
+    );
+    let _ = writer.flush();
+}

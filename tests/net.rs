@@ -1,0 +1,468 @@
+//! Integration tests of the `mc-net` TCP front-end: network round-trips are
+//! bit-identical (including order) to in-process sessions, concurrent
+//! connections map to concurrent sessions without interference, a client
+//! disconnect mid-stream is isolated, malformed input is answered with an
+//! error frame, and the server's graceful drain composes with
+//! `ServingEngine::shutdown`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use mc_net::protocol::{self, Frame, MAGIC, PROTOCOL_VERSION};
+use mc_net::{ClientConfig, ErrorCode, NetClient, NetError, NetServer, ServerConfig};
+use mc_seqio::SequenceRecord;
+use mc_taxonomy::{Rank, Taxonomy};
+use metacache::build::CpuBuilder;
+use metacache::classify::Classification;
+use metacache::query::Classifier;
+use metacache::serving::{EngineConfig, ServingEngine};
+use metacache::{Database, MetaCacheConfig};
+
+fn make_seq(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b"ACGT"[(state >> 33) as usize % 4]
+        })
+        .collect()
+}
+
+/// One shared two-species database plus its genomes.
+fn shared_database() -> (Arc<Database>, &'static [Vec<u8>]) {
+    use std::sync::OnceLock;
+    static DB: OnceLock<(Arc<Database>, Vec<Vec<u8>>)> = OnceLock::new();
+    let (db, genomes) = DB.get_or_init(|| {
+        let mut taxonomy = Taxonomy::with_root();
+        taxonomy.add_node(10, 1, Rank::Genus, "G").unwrap();
+        taxonomy.add_node(100, 10, Rank::Species, "G a").unwrap();
+        taxonomy.add_node(101, 10, Rank::Species, "G b").unwrap();
+        let genomes = vec![make_seq(18_000, 61), make_seq(18_000, 62)];
+        let mut builder = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy);
+        builder
+            .add_target(SequenceRecord::new("refA", genomes[0].clone()), 100)
+            .unwrap();
+        builder
+            .add_target(SequenceRecord::new("refB", genomes[1].clone()), 101)
+            .unwrap();
+        (Arc::new(builder.finish()), genomes)
+    });
+    (Arc::clone(db), genomes)
+}
+
+/// A mixed read set (genome reads, foreign reads, short reads, empty
+/// records, a paired read) deterministically derived from `seed`.
+fn mixed_reads(n: usize, seed: u64) -> Vec<SequenceRecord> {
+    let (_, genomes) = shared_database();
+    let mut state = seed | 1;
+    (0..n)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            match (state >> 33) % 10 {
+                0 => SequenceRecord::new(format!("empty{i}"), Vec::new()),
+                1 => SequenceRecord::new(format!("tiny{i}"), genomes[0][..6].to_vec()),
+                2 => SequenceRecord::new(format!("alien{i}"), make_seq(130, state)),
+                3 => {
+                    let genome = &genomes[i % 2];
+                    let offset = (state as usize >> 7) % (genome.len() - 300);
+                    SequenceRecord::new(format!("pair{i}"), genome[offset..offset + 140].to_vec())
+                        .with_mate(SequenceRecord::new(
+                            format!("pair{i}/2"),
+                            genome[offset + 150..offset + 290].to_vec(),
+                        ))
+                }
+                _ => {
+                    let genome = &genomes[i % 2];
+                    let offset = (state as usize >> 7) % (genome.len() - 150);
+                    SequenceRecord::new(
+                        format!("s{seed}_r{i}"),
+                        genome[offset..offset + 150].to_vec(),
+                    )
+                }
+            }
+        })
+        .collect()
+}
+
+fn test_engine(db: Arc<Database>) -> ServingEngine {
+    ServingEngine::host_with_config(
+        db,
+        EngineConfig {
+            workers: 3,
+            queue_capacity: 4,
+            batch_records: 8,
+            session_max_in_flight: 0,
+        },
+    )
+}
+
+/// The acceptance criterion: `NetClient::classify_batch` over TCP is
+/// bit-identical (including order) to an in-process
+/// `Session::classify_batch`, while another client disconnects mid-stream.
+#[test]
+fn loopback_roundtrip_is_bit_identical_and_survives_disconnects() {
+    let (db, _) = shared_database();
+    let reads = mixed_reads(120, 2024);
+    let expected_direct = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+
+    let engine = test_engine(Arc::clone(&db));
+    // The in-process reference: a session on the same engine.
+    let in_process = {
+        let mut session = engine.session();
+        session.classify_batch(&reads)
+    };
+    assert_eq!(in_process, expected_direct);
+
+    let server = NetServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run().unwrap());
+
+        // A rude client that connects, handshakes, sends half a request and
+        // vanishes — concurrently with the well-behaved client.
+        let rude = scope.spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let hello = Frame::Hello {
+                magic: MAGIC,
+                version: PROTOCOL_VERSION,
+                batch_records: 0,
+                max_in_flight: 0,
+            }
+            .encode()
+            .unwrap();
+            stream.write_all(&hello).unwrap();
+            let classify = Frame::Classify {
+                request_id: 0,
+                reads: mixed_reads(40, 1),
+            }
+            .encode()
+            .unwrap();
+            // Send a truncated frame, then drop the connection entirely.
+            stream.write_all(&classify[..classify.len() / 2]).unwrap();
+            drop(stream);
+        });
+
+        let mut client = NetClient::connect(addr).unwrap();
+        // Network round-trip ≡ in-process session, bit for bit and in order.
+        let over_network = client.classify_batch(&reads).unwrap();
+        assert_eq!(over_network, in_process);
+        // Streaming form too, pipelined across the credit window.
+        let (streamed, summary) = client.classify_iter(reads.iter().cloned()).unwrap();
+        assert_eq!(streamed, in_process);
+        assert!(summary.peak_in_flight <= u64::from(client.credits()));
+        assert_eq!(summary.reads, reads.len() as u64);
+
+        rude.join().unwrap();
+        // The rude client's death did not poison this connection.
+        let again = client.classify_batch(&reads[..17]).unwrap();
+        assert_eq!(again, in_process[..17]);
+
+        drop(client);
+        handle.shutdown();
+    });
+    let stats = engine.shutdown();
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// The satellite criterion: N concurrent clients over N connections get
+/// exactly what N in-process sessions get — bit-identical, ordered, no
+/// cross-talk.
+#[test]
+fn n_clients_match_n_in_process_sessions() {
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    let clients = 5;
+    let per_client: Vec<(Vec<SequenceRecord>, Vec<Classification>)> = (0..clients)
+        .map(|c| {
+            let reads = mixed_reads(50 + c * 11, 3_000 + c as u64);
+            // The in-process reference for this client's stream.
+            let mut session = engine.session();
+            let want = session.classify_batch(&reads);
+            (reads, want)
+        })
+        .collect();
+
+    let server = NetServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run().unwrap());
+        let workers: Vec<_> = per_client
+            .iter()
+            .enumerate()
+            .map(|(c, (reads, want))| {
+                scope.spawn(move || {
+                    let mut client = NetClient::connect_with(
+                        addr,
+                        ClientConfig {
+                            batch_records: 4 + c as u32,
+                            max_in_flight: 2,
+                        },
+                    )
+                    .unwrap();
+                    // Interleave small requests and one streamed pass.
+                    for (i, chunk) in reads.chunks(13).enumerate() {
+                        let got = client.classify_batch(chunk).unwrap();
+                        let start = i * 13;
+                        assert_eq!(got, want[start..start + chunk.len()], "client {c} chunk");
+                    }
+                    let (got, _) = client.classify_iter(reads.iter().cloned()).unwrap();
+                    assert_eq!(&got, want, "client {c} stream diverged");
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().unwrap();
+        }
+        handle.shutdown();
+    });
+    let stats = engine.shutdown();
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// Malformed input is answered with a typed error frame, and the failure is
+/// confined to the offending connection.
+#[test]
+fn malformed_input_gets_an_error_frame() {
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    let server = NetServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run().unwrap());
+
+        // Bad magic in the handshake.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let bad_hello = Frame::Hello {
+            magic: 0xDEAD_BEEF,
+            version: PROTOCOL_VERSION,
+            batch_records: 0,
+            max_in_flight: 0,
+        }
+        .encode()
+        .unwrap();
+        stream.write_all(&bad_hello).unwrap();
+        match protocol::read_frame(&mut stream).unwrap().unwrap() {
+            Frame::Error { code, .. } => assert_eq!(code, ErrorCode::BadMagic),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+
+        // Wrong protocol version.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let bad_version = Frame::Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION + 7,
+            batch_records: 0,
+            max_in_flight: 0,
+        }
+        .encode()
+        .unwrap();
+        stream.write_all(&bad_version).unwrap();
+        match protocol::read_frame(&mut stream).unwrap().unwrap() {
+            Frame::Error { code, .. } => assert_eq!(code, ErrorCode::UnsupportedVersion),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+
+        // Garbage after a valid handshake: unknown frame type.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let hello = Frame::Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION,
+            batch_records: 0,
+            max_in_flight: 0,
+        }
+        .encode()
+        .unwrap();
+        stream.write_all(&hello).unwrap();
+        match protocol::read_frame(&mut stream).unwrap().unwrap() {
+            Frame::HelloAck { .. } => {}
+            other => panic!("expected hello ack, got {other:?}"),
+        }
+        stream.write_all(&[5, 0, 0, 0, 99, 1, 2, 3, 4]).unwrap();
+        match protocol::read_frame(&mut stream).unwrap().unwrap() {
+            Frame::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownFrameType),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        // The connection is closed after the error frame.
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty());
+
+        // Non-monotonic request ids are rejected.
+        let mut client = NetClient::connect(addr).unwrap();
+        let reads = mixed_reads(4, 9);
+        client.classify_batch(&reads).unwrap();
+        // Cheat below the public API: replay request id 0 on the raw socket.
+        // (NetClient always increments, so craft the frame by hand.)
+        drop(client);
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&hello).unwrap();
+        protocol::read_frame(&mut stream).unwrap().unwrap();
+        let req = |id: u64| {
+            Frame::Classify {
+                request_id: id,
+                reads: reads.clone(),
+            }
+            .encode()
+            .unwrap()
+        };
+        stream.write_all(&req(5)).unwrap();
+        protocol::read_frame(&mut stream).unwrap().unwrap();
+        stream.write_all(&req(5)).unwrap();
+        match protocol::read_frame(&mut stream).unwrap().unwrap() {
+            Frame::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+
+        // A healthy client still works after all that abuse.
+        let mut client = NetClient::connect(addr).unwrap();
+        let got = client.classify_batch(&reads).unwrap();
+        assert_eq!(got, Classifier::new(Arc::clone(&db)).classify_batch(&reads));
+
+        drop(client);
+        handle.shutdown();
+    });
+    let stats = engine.shutdown();
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// Graceful drain: shutdown lets in-flight requests finish and compose with
+/// the engine's own drain; the engine's stats account for every read served.
+#[test]
+fn shutdown_drains_and_composes_with_engine_shutdown() {
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    let reads = mixed_reads(60, 4242);
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+
+    let server = NetServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    let server_stats = std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        let mut client = NetClient::connect(addr).unwrap();
+        let got = client.classify_batch(&reads).unwrap();
+        assert_eq!(got, expected);
+        drop(client);
+        handle.shutdown();
+        // Connecting after shutdown is refused with an error frame or a
+        // closed connection — never a hang.
+        match NetClient::connect(addr) {
+            Ok(_) => panic!("connected to a draining server"),
+            Err(NetError::Remote { code, .. }) => assert_eq!(code, ErrorCode::ShuttingDown),
+            Err(_) => {} // refused / reset: equally fine
+        }
+        runner.join().unwrap().unwrap()
+    });
+    assert_eq!(server_stats.reads, reads.len() as u64);
+    assert_eq!(server_stats.requests, 1);
+    assert!(server_stats.connections >= 1);
+
+    // The engine drain composes: all sessions are gone, stats are complete.
+    let stats = engine.shutdown();
+    assert_eq!(stats.records_classified, reads.len() as u64);
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// A purely local encode failure mid-pipeline (an unencodable read) must
+/// not desync or kill the connection: outstanding responses are drained and
+/// the next request works.
+#[test]
+fn local_encode_failure_leaves_connection_usable() {
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    let reads = mixed_reads(30, 77);
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+
+    let server = NetServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run().unwrap());
+        let mut client = NetClient::connect(addr).unwrap();
+
+        // A read whose mate itself has a mate is not representable on the
+        // wire; placed late in the stream, it fails encoding after earlier
+        // requests are already pipelined.
+        let mut nested = SequenceRecord::new("bad", b"ACGT".to_vec());
+        nested.mate = Some(Box::new(
+            SequenceRecord::new("m1", b"ACGT".to_vec())
+                .with_mate(SequenceRecord::new("m2", b"GT".to_vec())),
+        ));
+        let mut stream_reads = reads.clone();
+        stream_reads.push(nested);
+        let err = client.classify_iter(stream_reads).unwrap_err();
+        assert!(
+            matches!(err, NetError::Protocol(_)),
+            "expected a local protocol error, got {err:?}"
+        );
+
+        // The connection stayed in sync: a well-formed request still gets
+        // bit-identical results.
+        let got = client.classify_batch(&reads).unwrap();
+        assert_eq!(got, expected);
+
+        drop(client);
+        handle.shutdown();
+    });
+    engine.shutdown();
+}
+
+/// Client-side handshake knobs shrink the server's defaults but cannot grow
+/// past them.
+#[test]
+fn handshake_negotiates_credits_and_batch_size() {
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    let server = NetServer::bind_with(&engine, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+    let server_credit = engine.config().effective_session_in_flight() as u32;
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run().unwrap());
+
+        let defaults = NetClient::connect(addr).unwrap();
+        assert_eq!(defaults.credits(), server_credit);
+        assert_eq!(defaults.batch_records(), 8);
+        assert_eq!(defaults.backend(), "host");
+
+        let small = NetClient::connect_with(
+            addr,
+            ClientConfig {
+                batch_records: 2,
+                max_in_flight: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(small.credits(), 1);
+        assert_eq!(small.batch_records(), 2);
+
+        let greedy = NetClient::connect_with(
+            addr,
+            ClientConfig {
+                batch_records: 1_000_000,
+                max_in_flight: 1_000_000,
+            },
+        )
+        .unwrap();
+        assert_eq!(greedy.credits(), server_credit, "credits must not grow");
+        assert_eq!(greedy.batch_records(), 8, "batch size must not grow");
+
+        drop((defaults, small, greedy));
+        handle.shutdown();
+    });
+    engine.shutdown();
+}
