@@ -24,7 +24,8 @@ use std::time::Instant;
 
 use serde::Serialize;
 
-use mc_net::{NetClient, NetServer};
+use mc_net::{protocol, ClientConfig, NetClient, NetServer};
+use mc_seqio::SequenceRecord;
 use metacache::query::Classifier;
 use metacache::serving::{EngineConfig, ServingEngine};
 use metacache::MetaCacheConfig;
@@ -76,6 +77,18 @@ pub struct ServingNetResult {
     pub server_requests: u64,
     /// Protocol errors observed (must be 0).
     pub server_protocol_errors: u64,
+    /// A v2 (packed) client, a v1 (verbatim) client and an in-process
+    /// session produced bit-identical classifications on a torture corpus
+    /// (N runs, all-N reads, paired reads, empty reads, FASTQ qualities).
+    pub packed_identical: bool,
+    /// `Classify` wire bytes per read for an ACGT read corpus, v1 verbatim
+    /// encoding.
+    pub wire_bytes_per_read_v1: f64,
+    /// Same corpus, v2 packed encoding.
+    pub wire_bytes_per_read_packed: f64,
+    /// `wire_bytes_per_read_v1 / wire_bytes_per_read_packed` — the request
+    /// bandwidth reduction of the packed encoding (target ≥ 3×).
+    pub wire_compression: f64,
 }
 
 /// Run the experiment.
@@ -194,6 +207,68 @@ pub fn run(scale: &ExperimentScale) -> ServingNetResult {
             });
         }
 
+        // --- Packed ≡ verbatim bit-identity (the v2 acceptance check) ----
+        // A torture corpus the 2-bit packing must carry byte-exactly: plain
+        // ACGT reads, N runs, all-N reads, paired reads, empty reads and
+        // FASTQ qualities.
+        let torture: Vec<SequenceRecord> = {
+            let base = &workloads.all()[0].1.reads;
+            let mut reads = Vec::new();
+            for (i, read) in base.iter().take(48).enumerate() {
+                let mut read = read.clone();
+                match i % 6 {
+                    1 if read.sequence.len() >= 30 => {
+                        let len = read.sequence.len();
+                        read.sequence[len / 3..len / 3 + 8].fill(b'N');
+                    }
+                    2 => read.sequence = vec![b'N'; 64],
+                    3 => {
+                        let mate_seq: Vec<u8> = read.sequence.iter().rev().copied().collect();
+                        read.mate = Some(Box::new(SequenceRecord::new(format!("{i}/2"), mate_seq)));
+                    }
+                    4 => read.sequence.clear(),
+                    5 => read.quality = vec![b'I'; read.sequence.len()],
+                    _ => {}
+                }
+                reads.push(read);
+            }
+            reads
+        };
+        let expected = classifier.classify_batch(&torture);
+        let mut v2 = NetClient::connect(addr).expect("connect v2");
+        let mut v1 = NetClient::connect_with(
+            addr,
+            ClientConfig {
+                version: 1,
+                ..ClientConfig::default()
+            },
+        )
+        .expect("connect v1");
+        let v2_out = v2.classify_batch(&torture).expect("v2 classify");
+        let v1_out = v1.classify_batch(&torture).expect("v1 classify");
+        result.packed_identical = v2_out == expected && v1_out == expected;
+        drop((v1, v2));
+
+        // --- Wire bytes per read, ACGT payload (serving-shaped corpus) ---
+        // Compact headers and full-length reads: the request bandwidth the
+        // packed encoding exists to cut.
+        let genome = &refs.refseq.targets[0].sequence;
+        let acgt: Vec<SequenceRecord> = (0..256)
+            .map(|i| {
+                let offset = (i * 131) % genome.len().saturating_sub(220).max(1);
+                SequenceRecord::new(format!("r{i}"), genome[offset..offset + 200].to_vec())
+            })
+            .collect();
+        let v1_bytes = protocol::encode_classify(0, &acgt)
+            .expect("v1 encode")
+            .len();
+        let packed_bytes = protocol::encode_classify_packed(0, &acgt)
+            .expect("packed encode")
+            .len();
+        result.wire_bytes_per_read_v1 = v1_bytes as f64 / acgt.len() as f64;
+        result.wire_bytes_per_read_packed = packed_bytes as f64 / acgt.len() as f64;
+        result.wire_compression = v1_bytes as f64 / packed_bytes as f64;
+
         handle.shutdown();
         runner.join().expect("server thread").expect("server stats")
     });
@@ -242,6 +317,18 @@ pub fn render(result: &ServingNetResult) -> String {
          every network path bit-identical to classify_batch)\n",
         result.server_connections, result.server_requests, result.server_protocol_errors
     ));
+    out.push_str(&format!(
+        "packed wire encoding: {} on N-laden/paired/empty/FASTQ torture reads; \
+         ACGT payload {:.1} B/read verbatim vs {:.1} B/read packed ({:.2}x)\n",
+        if result.packed_identical {
+            "v2 ≡ v1 ≡ in-process"
+        } else {
+            "DIVERGED"
+        },
+        result.wire_bytes_per_read_v1,
+        result.wire_bytes_per_read_packed,
+        result.wire_compression
+    ));
     out
 }
 
@@ -260,10 +347,19 @@ mod tests {
         }
         assert_eq!(result.server_protocol_errors, 0);
         // One single-connection client + `clients` concurrent ones per
-        // dataset.
+        // dataset, plus the two identity-check clients (v1 + v2).
         assert_eq!(
             result.server_connections,
-            (result.rows.len() * (1 + result.clients)) as u64
+            (result.rows.len() * (1 + result.clients) + 2) as u64
+        );
+        assert!(
+            result.packed_identical,
+            "packed encoding diverged from verbatim"
+        );
+        assert!(
+            result.wire_compression >= 3.0,
+            "ACGT wire compression {:.2}x below the 3x bar",
+            result.wire_compression
         );
         assert!(render(&result).contains("mc-net loopback"));
     }

@@ -171,6 +171,112 @@ impl EncodedSequence {
     }
 }
 
+/// Whether `base` survives a 2-bit encode/decode round trip unchanged —
+/// i.e. it is an upper-case `A`/`C`/`G`/`T`. Lower-case bases, `U`, `N` and
+/// every other byte decode to something else and must be carried as
+/// exceptions by byte-exact packed representations (the `mc-net` v2 wire
+/// encoding).
+#[inline]
+pub const fn base_packs_exactly(base: u8) -> bool {
+    matches!(base, b'A' | b'C' | b'G' | b'T')
+}
+
+/// Number of bytes in `seq` that [`base_packs_exactly`] rejects — the size
+/// of the exception side list a byte-exact 2-bit packing of `seq` needs.
+pub fn count_packing_exceptions(seq: &[u8]) -> usize {
+    seq.iter().filter(|&&b| !base_packs_exactly(b)).count()
+}
+
+/// [`ENCODE_LUT`] restricted to the bytes that round-trip exactly: only
+/// upper-case `A`/`C`/`G`/`T` get a code, everything else (including the
+/// lower-case and `U` aliases the k-mer LUT accepts) is `-1`, because it
+/// would decode to a different byte.
+const PACK_LUT: [i8; 256] = {
+    let mut table = [-1i8; 256];
+    table[b'A' as usize] = 0;
+    table[b'C' as usize] = 1;
+    table[b'G' as usize] = 2;
+    table[b'T' as usize] = 3;
+    table
+};
+
+/// The 4-base expansion of every packed byte, precomputed so unpacking is
+/// one table load per 4 bases.
+const UNPACK_LUT: [[u8; 4]; 256] = {
+    let mut table = [[0u8; 4]; 256];
+    let mut byte = 0usize;
+    while byte < 256 {
+        let mut j = 0;
+        while j < 4 {
+            table[byte][j] = decode_base((byte >> (2 * j)) as u8);
+            j += 1;
+        }
+        byte += 1;
+    }
+    table
+};
+
+/// Pack an ASCII sequence at 2 bits per base, 4 bases per byte, appending
+/// `seq.len().div_ceil(4)` bytes to `packed`.
+///
+/// Base `i` occupies bits `2*(i % 4) .. 2*(i % 4) + 2` of byte `i / 4` —
+/// exactly the truncated little-endian byte image of the
+/// [`EncodedSequence`] word layout, so host- and (simulated) device-side
+/// packed buffers are interchangeable. Every byte that does not round-trip
+/// through the 2-bit code space (see [`base_packs_exactly`]) is packed as
+/// code `0` and recorded in `exceptions` as `(position, original byte)`, in
+/// increasing position order; applying the exceptions over
+/// [`unpack_2bit`]'s output reconstructs `seq` byte for byte.
+pub fn pack_2bit(seq: &[u8], packed: &mut Vec<u8>, exceptions: &mut Vec<(u32, u8)>) {
+    debug_assert!(u32::try_from(seq.len()).is_ok(), "sequence over u32::MAX");
+    let start = packed.len();
+    packed.resize(start + seq.len().div_ceil(4), 0);
+    let bytes = &mut packed[start..];
+    let mut chunks = seq.chunks_exact(4);
+    let mut i = 0usize;
+    for chunk in chunks.by_ref() {
+        let mut byte = 0u8;
+        for (j, &base) in chunk.iter().enumerate() {
+            let code = PACK_LUT[base as usize];
+            if code >= 0 {
+                byte |= (code as u8) << (2 * j);
+            } else {
+                exceptions.push(((i + j) as u32, base));
+            }
+        }
+        bytes[i / 4] = byte;
+        i += 4;
+    }
+    let mut tail = 0u8;
+    for (j, &base) in chunks.remainder().iter().enumerate() {
+        let code = PACK_LUT[base as usize];
+        if code >= 0 {
+            tail |= (code as u8) << (2 * j);
+        } else {
+            exceptions.push(((i + j) as u32, base));
+        }
+    }
+    if let Some(last) = bytes.get_mut(i / 4) {
+        *last = tail;
+    }
+}
+
+/// Expand `len` bases from a [`pack_2bit`] buffer back to upper-case ASCII,
+/// appending them to `out`. The caller supplies at least
+/// `len.div_ceil(4)` packed bytes (panics otherwise) and re-applies any
+/// exception list itself.
+pub fn unpack_2bit(packed: &[u8], len: usize, out: &mut Vec<u8>) {
+    assert!(packed.len() >= len.div_ceil(4), "packed buffer too short");
+    out.reserve(len);
+    let whole = len / 4;
+    for &byte in &packed[..whole] {
+        out.extend_from_slice(&UNPACK_LUT[byte as usize]);
+    }
+    if !len.is_multiple_of(4) {
+        out.extend_from_slice(&UNPACK_LUT[packed[whole] as usize][..len % 4]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +340,79 @@ mod tests {
         assert!(enc.is_empty());
         assert_eq!(enc.to_ascii(), Vec::<u8>::new());
         assert_eq!(enc.packed_bytes(), 0);
+    }
+
+    fn pack_roundtrip(seq: &[u8]) -> Vec<u8> {
+        let mut packed = Vec::new();
+        let mut exceptions = Vec::new();
+        pack_2bit(seq, &mut packed, &mut exceptions);
+        assert_eq!(packed.len(), seq.len().div_ceil(4));
+        assert_eq!(exceptions.len(), count_packing_exceptions(seq));
+        let mut out = Vec::new();
+        unpack_2bit(&packed, seq.len(), &mut out);
+        for &(pos, byte) in &exceptions {
+            out[pos as usize] = byte;
+        }
+        out
+    }
+
+    #[test]
+    fn pack_2bit_roundtrips_byte_exact() {
+        for seq in [
+            b"".as_slice(),
+            b"A",
+            b"ACGT",
+            b"ACGTACGTACGTACGTG",
+            b"NNNNN",
+            b"ACGTNNNNACGTNNN",
+            b"acgtACGT",  // lower case must survive as exceptions
+            b"ACUGU",     // U decodes to T: exception
+            b"AC-GT.XYZ", // arbitrary garbage bytes
+        ] {
+            assert_eq!(pack_roundtrip(seq), seq.to_vec(), "seq {seq:?}");
+        }
+    }
+
+    #[test]
+    fn pack_2bit_exceptions_are_increasing_and_exact() {
+        let seq = b"ANGTnACGU";
+        let mut packed = Vec::new();
+        let mut exceptions = Vec::new();
+        pack_2bit(seq, &mut packed, &mut exceptions);
+        assert_eq!(exceptions, vec![(1, b'N'), (4, b'n'), (8, b'U')]);
+        assert!(exceptions.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn pack_2bit_appends_without_clobbering() {
+        let mut packed = vec![0xFF, 0xEE];
+        let mut exceptions = vec![(99, b'Q')];
+        pack_2bit(b"ACGTAC", &mut packed, &mut exceptions);
+        assert_eq!(&packed[..2], &[0xFF, 0xEE]);
+        assert_eq!(packed.len(), 2 + 2);
+        assert_eq!(exceptions[0], (99, b'Q'));
+        let mut out = Vec::new();
+        unpack_2bit(&packed[2..], 6, &mut out);
+        assert_eq!(out, b"ACGTAC".to_vec());
+    }
+
+    /// The packed byte stream is the truncated little-endian serialization
+    /// of [`EncodedSequence`]'s word layout (for unambiguous sequences).
+    #[test]
+    fn pack_2bit_matches_encoded_sequence_word_image() {
+        let seq: Vec<u8> = (0..77).map(|i| b"ACGT"[(i * 7 + 3) % 4]).collect();
+        let mut packed = Vec::new();
+        let mut exceptions = Vec::new();
+        pack_2bit(&seq, &mut packed, &mut exceptions);
+        assert!(exceptions.is_empty());
+        let encoded = EncodedSequence::from_ascii(&seq);
+        let word_bytes: Vec<u8> = encoded
+            .words
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .take(seq.len().div_ceil(4))
+            .collect();
+        assert_eq!(packed, word_bytes);
     }
 
     #[test]

@@ -37,7 +37,10 @@ pub mod kmer;
 pub mod minimizer;
 pub mod window;
 
-pub use encode::{complement_base, decode_base, encode_base, reverse_complement, EncodedSequence};
+pub use encode::{
+    base_packs_exactly, complement_base, count_packing_exceptions, decode_base, encode_base,
+    pack_2bit, reverse_complement, unpack_2bit, EncodedSequence,
+};
 pub use hash::{hash32, hash64, splitmix64, FeatureHasher};
 pub use kmer::{
     canonical, for_each_canonical_kmer, CanonicalKmerIter, Kmer, KmerError, KmerIter, KmerParams,

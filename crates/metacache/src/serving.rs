@@ -120,9 +120,18 @@ impl EngineConfig {
 pub struct SessionConfig {
     /// Records per batch (`0` = engine default).
     pub batch_records: usize,
-    /// Bound on this session's resident batches (`0` = engine default).
+    /// Bound on this session's resident batches (`0` = engine default;
+    /// clamped to [`MAX_SESSION_IN_FLIGHT`]).
     pub max_in_flight: usize,
 }
+
+/// Hard ceiling on a session's `max_in_flight`. The per-session result
+/// channel is *pre-sized* to the credit total (that sizing is what makes
+/// worker delivery non-blocking, the engine's deadlock-freedom invariant),
+/// so an absurd configured credit would otherwise translate into an absurd
+/// allocation. 65 536 in-flight batches is far beyond any useful pipeline
+/// depth.
+pub const MAX_SESSION_IN_FLIGHT: usize = 1 << 16;
 
 /// Lifetime counters of a [`ServingEngine`], snapshotted by
 /// [`ServingEngine::stats`] and returned by [`ServingEngine::shutdown`].
@@ -309,6 +318,30 @@ impl FairQueue {
             }
             state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Drop every batch a dead session still has queued: remove its lane,
+    /// deficit and rotation slot, and wake producers blocked on capacity.
+    /// Returns how many batches were discarded.
+    ///
+    /// Without this, a session unregistering with queued work left its lane
+    /// alive until workers classified the orphaned batches and dropped the
+    /// results — wasted backend time, and queue capacity held hostage
+    /// against every live session's `push`.
+    fn purge_session(&self, session: u64) -> usize {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(lane) = state.lanes.remove(&session) else {
+            return 0;
+        };
+        state.deficit.remove(&session);
+        state.active.retain(|&s| s != session);
+        let purged = lane.len();
+        state.len -= purged;
+        drop(state);
+        if purged > 0 {
+            self.space.notify_all();
+        }
+        purged
     }
 
     /// Close the queue: producers fail fast, consumers drain what is left
@@ -517,7 +550,8 @@ impl ServingEngine {
             config.max_in_flight
         } else {
             self.config.effective_session_in_flight()
-        };
+        }
+        .min(MAX_SESSION_IN_FLIGHT);
         let (out_tx, out_rx) = mpsc::sync_channel(max_in_flight);
         self.shared
             .sessions
@@ -593,9 +627,11 @@ impl Drop for ServingEngine {
 /// scheme, with identical guarantees (exact order, bit-identical results,
 /// `max_in_flight` resident batches).
 ///
-/// Dropping a session (including mid-panic of the caller's sink) just
-/// removes its routing entry: in-flight batches are discarded on completion
-/// and no engine-wide resource stays held, so one misbehaving client cannot
+/// Dropping a session (including mid-panic of the caller's sink) removes
+/// its routing entry and purges its still-queued batches from the fair
+/// queue: workers never waste time on orphaned work, the freed capacity
+/// immediately unblocks other sessions' producers, and batches already on
+/// a worker are discarded on completion — one misbehaving client cannot
 /// stall the pool or other sessions.
 ///
 /// # Example
@@ -692,7 +728,11 @@ impl Session<'_> {
         let mut summary = StreamingSummary::default();
         let mut record_index: u64 = 0;
         let mut error: Option<E> = None;
-        let mut current: Vec<SequenceRecord> = Vec::with_capacity(self.batch_records);
+        // Cap the eager allocation: batch_records is caller-configured and
+        // may be huge; the vector grows past this only if records really
+        // arrive.
+        let prealloc = self.batch_records.min(64 * 1024);
+        let mut current: Vec<SequenceRecord> = Vec::with_capacity(prealloc);
         let start_peak = self.peak_in_flight;
         self.peak_in_flight = self.in_flight as u64;
 
@@ -701,8 +741,7 @@ impl Session<'_> {
                 Ok(record) => {
                     current.push(record);
                     if current.len() >= self.batch_records {
-                        let batch =
-                            std::mem::replace(&mut current, Vec::with_capacity(self.batch_records));
+                        let batch = std::mem::replace(&mut current, Vec::with_capacity(prealloc));
                         self.submit(batch, &mut summary, &mut sink, &mut record_index);
                     }
                 }
@@ -753,21 +792,136 @@ impl Session<'_> {
     /// classification per read in input order — the request-shaped entry
     /// point for serving front-ends.
     pub fn classify_batch(&mut self, records: &[SequenceRecord]) -> Vec<Classification> {
-        self.classify_iter(records.iter().cloned()).0
+        let mut out = Vec::with_capacity(records.len());
+        self.classify_owned(records.to_vec(), &mut out);
+        out
+    }
+
+    /// Classify an **owned** batch of reads without cloning a single record:
+    /// the records travel through the engine by move and come back out. One
+    /// classification per read is appended to `out` in input order, and the
+    /// records are returned — same order, same contents, heap buffers
+    /// intact — so a caller that decodes requests into reusable buffers
+    /// (the `mc-net` server) can recycle them for the next request.
+    ///
+    /// Semantically identical to [`Session::classify_batch`] (bit-identical
+    /// classifications, a worker panic re-raises here); the only difference
+    /// is ownership flow.
+    pub fn classify_owned(
+        &mut self,
+        records: Vec<SequenceRecord>,
+        out: &mut Vec<Classification>,
+    ) -> Vec<SequenceRecord> {
+        self.discard_stale();
+        let total = records.len();
+        if total == 0 {
+            return records;
+        }
+        out.reserve(total);
+        if total <= self.batch_records {
+            // One batch: the vector rides to the worker and back untouched.
+            self.submit_owned(records);
+            let mut returned = Vec::new();
+            let mut spines = Vec::new();
+            while self.in_flight > 0 {
+                if let Some(single) = self.drain_owned(out, &mut returned, &mut spines, true) {
+                    return single;
+                }
+            }
+            unreachable!("single-batch drain always yields the batch back");
+        }
+        // Multiple batches: records are *moved* (never cloned) into
+        // per-batch chunks; drained chunk spines are reused for later
+        // chunks, and the records reassemble into `returned` in order.
+        let mut returned: Vec<SequenceRecord> = Vec::with_capacity(total);
+        let mut spines: Vec<Vec<SequenceRecord>> = Vec::new();
+        let mut source = records.into_iter();
+        loop {
+            let mut chunk = spines
+                .pop()
+                .unwrap_or_else(|| Vec::with_capacity(self.batch_records.min(64 * 1024)));
+            chunk.extend(source.by_ref().take(self.batch_records));
+            if chunk.is_empty() {
+                break;
+            }
+            while self.in_flight >= self.max_in_flight {
+                self.drain_owned(out, &mut returned, &mut spines, false);
+            }
+            self.submit_owned(chunk);
+        }
+        while self.in_flight > 0 {
+            self.drain_owned(out, &mut returned, &mut spines, false);
+        }
+        returned
+    }
+
+    /// Enqueue one owned batch under this session's next sequence number.
+    fn submit_owned(&mut self, records: Vec<SequenceRecord>) {
+        let batch = SequenceBatch::for_session(self.id, self.next_submit_seq, records);
+        self.engine
+            .shared
+            .queue
+            .push(batch)
+            .unwrap_or_else(|_| panic!("serving engine queue closed while session alive"));
+        self.next_submit_seq += 1;
+        self.in_flight += 1;
+        self.peak_in_flight = self.peak_in_flight.max(self.in_flight as u64);
+    }
+
+    /// Receive one completed batch and emit every contiguous batch from the
+    /// reorder buffer: classifications append to `out`, records move into
+    /// `returned` (their emptied spines into `spines` for reuse). With
+    /// `single`, the first emitted batch's record vector is handed back
+    /// whole instead.
+    fn drain_owned(
+        &mut self,
+        out: &mut Vec<Classification>,
+        returned: &mut Vec<SequenceRecord>,
+        spines: &mut Vec<Vec<SequenceRecord>>,
+        single: bool,
+    ) -> Option<Vec<SequenceRecord>> {
+        let result = self
+            .out_rx
+            .recv()
+            .expect("serving engine workers gone while session in flight");
+        self.pending.insert(result.seq, result);
+        while let Some(done) = self.pending.remove(&self.next_emit_seq) {
+            self.next_emit_seq += 1;
+            self.in_flight -= 1;
+            if done.panicked {
+                panic!(
+                    "serving engine worker panicked while classifying \
+                     session {} batch {}",
+                    self.id,
+                    self.next_emit_seq - 1
+                );
+            }
+            out.extend(done.classifications);
+            if single {
+                return Some(done.records);
+            }
+            let mut records = done.records;
+            returned.append(&mut records);
+            spines.push(records);
+        }
+        None
     }
 
     /// Discard every in-flight batch of an abandoned previous stream:
-    /// receive (and drop) the results still owed by the workers, clear the
-    /// reorder buffer and resynchronise the emit cursor. Safe to block: a
-    /// registered session's outstanding batches always complete (the sized
-    /// result channel means workers never block delivering them).
+    /// purge what is still queued (so no worker wastes time on it), receive
+    /// (and drop) the results owed for batches already being classified,
+    /// clear the reorder buffer and resynchronise the emit cursor. Safe to
+    /// block: a registered session's outstanding batches either get purged
+    /// here or always complete (the sized result channel means workers
+    /// never block delivering them).
     fn discard_stale(&mut self) {
         if self.in_flight == 0 && self.pending.is_empty() {
             return;
         }
-        // Results already received sit in `pending`; the rest are still in
-        // the engine (queue, workers, or our channel).
-        let mut to_recv = self.in_flight.saturating_sub(self.pending.len());
+        let purged = self.engine.shared.queue.purge_session(self.id);
+        // Results already received sit in `pending`; purged batches will
+        // never produce one; the rest are with workers or in our channel.
+        let mut to_recv = self.in_flight.saturating_sub(self.pending.len() + purged);
         while to_recv > 0 {
             if self.out_rx.recv().is_err() {
                 break;
@@ -793,15 +947,7 @@ impl Session<'_> {
         while self.in_flight >= self.max_in_flight {
             self.drain_one(summary, sink, record_index);
         }
-        let batch = SequenceBatch::for_session(self.id, self.next_submit_seq, records);
-        self.engine
-            .shared
-            .queue
-            .push(batch)
-            .unwrap_or_else(|_| panic!("serving engine queue closed while session alive"));
-        self.next_submit_seq += 1;
-        self.in_flight += 1;
-        self.peak_in_flight = self.peak_in_flight.max(self.in_flight as u64);
+        self.submit_owned(records);
     }
 
     /// Receive one completed batch and emit every contiguous batch from the
@@ -840,13 +986,17 @@ impl Session<'_> {
 impl Drop for Session<'_> {
     fn drop(&mut self) {
         // Unregister first so workers stop routing to our channel; anything
-        // still in flight is discarded on completion.
+        // a worker already holds is discarded on completion.
         self.engine
             .shared
             .sessions
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .remove(&self.id);
+        // Then purge what never reached a worker: a dead session must not
+        // burn backend time on orphaned batches or hold queue capacity
+        // hostage against live sessions.
+        self.engine.shared.queue.purge_session(self.id);
     }
 }
 
@@ -1104,6 +1254,33 @@ mod tests {
         assert!(queue.push(batch_of(9, 0, 1)).is_err());
     }
 
+    /// Satellite regression: purging a dead session's lane frees its queue
+    /// capacity immediately and wakes producers blocked on `space`.
+    #[test]
+    fn purge_session_removes_lane_and_wakes_blocked_producers() {
+        let queue = FairQueue::new(4, 1);
+        for seq in 0..4 {
+            queue.push(batch_of(1, seq, 1)).unwrap(); // dead session fills the queue
+        }
+        assert_eq!(queue.queued(), 4);
+        // A producer for a live session blocks on the full queue.
+        let queue_ref = &queue;
+        std::thread::scope(|scope| {
+            let blocked = scope.spawn(move || queue_ref.push(batch_of(2, 0, 1)).is_ok());
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert!(!blocked.is_finished(), "push must block on a full queue");
+            // Purging the dead session's lane unblocks it without any worker
+            // classifying the orphans.
+            assert_eq!(queue.purge_session(1), 4);
+            assert!(blocked.join().unwrap());
+        });
+        assert_eq!(queue.queued(), 1);
+        // Only the live session's batch remains.
+        assert_eq!(queue.pop().unwrap().session, 2);
+        // Purging an unknown session is a no-op.
+        assert_eq!(queue.purge_session(99), 0);
+    }
+
     #[test]
     fn fair_queue_close_drains_remaining_batches() {
         let queue = FairQueue::new(8, 1);
@@ -1242,6 +1419,176 @@ mod tests {
              a FIFO pop would serve it last (position 7)"
         );
         engine.shutdown();
+    }
+
+    #[test]
+    fn classify_owned_matches_classify_batch_and_returns_records() {
+        let (db, reads) = serving_db();
+        let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+        let engine = ServingEngine::host_with_config(
+            Arc::clone(&db),
+            EngineConfig {
+                workers: 3,
+                queue_capacity: 2,
+                batch_records: 4, // multi-batch path: 40 reads → 10 batches
+                session_max_in_flight: 3,
+            },
+        );
+        let mut session = engine.session();
+        let mut out = vec![Classification::unclassified()]; // must append
+        let returned = session.classify_owned(reads.clone(), &mut out);
+        assert_eq!(out[1..], expected[..]);
+        assert_eq!(returned, reads, "records must come back in input order");
+
+        // Single-batch fast path: the input vector itself travels through
+        // the engine and back.
+        let mut session = engine.session_with(SessionConfig {
+            batch_records: 1_000,
+            max_in_flight: 0,
+        });
+        let mut out = Vec::new();
+        let returned = session.classify_owned(reads.clone(), &mut out);
+        assert_eq!(out, expected);
+        assert_eq!(returned, reads);
+
+        // Empty input is a no-op that hands the vector straight back.
+        let empty = session.classify_owned(Vec::new(), &mut out);
+        assert!(empty.is_empty());
+        assert_eq!(out, expected);
+    }
+
+    /// A backend whose workers consume one permit per batch and block while
+    /// none are available, logging what actually reached the backend.
+    struct PermitBackend {
+        inner: HostBackend<Arc<Database>>,
+        permits: Arc<(Mutex<usize>, std::sync::Condvar)>,
+        log: Arc<Mutex<Vec<String>>>,
+    }
+
+    struct PermitWorker<'b> {
+        backend: &'b PermitBackend,
+        inner: Box<dyn crate::backend::BackendWorker + 'b>,
+    }
+
+    impl Backend for PermitBackend {
+        fn database(&self) -> &Database {
+            self.inner.database()
+        }
+
+        fn name(&self) -> &'static str {
+            "permit-host"
+        }
+
+        fn worker(&self) -> Box<dyn crate::backend::BackendWorker + '_> {
+            Box::new(PermitWorker {
+                backend: self,
+                inner: self.inner.worker(),
+            })
+        }
+    }
+
+    impl crate::backend::BackendWorker for PermitWorker<'_> {
+        fn classify_batch_into(
+            &mut self,
+            records: &[SequenceRecord],
+            out: &mut Vec<Classification>,
+        ) {
+            let (lock, condvar) = &*self.backend.permits;
+            let mut permits = lock.lock().unwrap();
+            while *permits == 0 {
+                permits = condvar.wait(permits).unwrap();
+            }
+            *permits -= 1;
+            drop(permits);
+            if let Some(first) = records.first() {
+                self.backend.log.lock().unwrap().push(first.header.clone());
+            }
+            self.inner.classify_batch_into(records, out);
+        }
+    }
+
+    /// Satellite regression (engine level): a session abandoned with
+    /// batches still queued must not keep its lane alive — the orphans are
+    /// purged on unregister (no wasted backend work), the queue capacity
+    /// frees up immediately, and other sessions keep going.
+    #[test]
+    fn dropping_a_session_purges_its_queued_batches() {
+        let (db, _) = serving_db();
+        let permits = Arc::new((Mutex::new(1usize), std::sync::Condvar::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let engine = ServingEngine::new(
+            PermitBackend {
+                inner: HostBackend::new(Arc::clone(&db)),
+                permits: Arc::clone(&permits),
+                log: Arc::clone(&log),
+            },
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 8,
+                batch_records: 1,
+                session_max_in_flight: 0,
+            },
+        );
+        let genome = make_seq(2_000, 7);
+        let read = |name: &str| SequenceRecord::new(name, genome[0..150].to_vec());
+
+        let deadline = || std::time::Instant::now() + std::time::Duration::from_secs(20);
+        std::thread::scope(|scope| {
+            let engine_ref = &engine;
+            // The abandoned session: 6 one-record batches; the single
+            // permit lets the worker classify a0 only, then the sink panic
+            // on a0's result drops the session with a2..a5 still queued
+            // (the worker sits blocked holding a1).
+            let abandoned = scope.spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut session = engine_ref.session();
+                    let reads: Vec<_> = (0..6).map(|i| read(&format!("a{i}"))).collect();
+                    session
+                        .classify_stream(
+                            reads.into_iter().map(Ok::<_, std::convert::Infallible>),
+                            |_, _, _| panic!("sink abandons the stream"),
+                        )
+                        .ok();
+                }));
+                assert!(result.is_err(), "sink panic must propagate");
+            });
+            abandoned.join().unwrap();
+
+            // The purge must empty the queue *without* any further permits:
+            // no worker may classify the orphaned batches.
+            let stop = deadline();
+            while engine.shared.queue.queued() > 0 {
+                assert!(
+                    std::time::Instant::now() < stop,
+                    "orphaned batches were not purged (queued {})",
+                    engine.shared.queue.queued()
+                );
+                std::thread::yield_now();
+            }
+
+            // Free the worker (it still holds a1) and serve another session.
+            {
+                let (lock, condvar) = &*permits;
+                *lock.lock().unwrap() = 1_000;
+                condvar.notify_all();
+            }
+            let small = scope.spawn(move || {
+                let mut session = engine_ref.session();
+                session.classify_batch(&[read("b0")])
+            });
+            assert_eq!(small.join().unwrap().len(), 1);
+        });
+        engine.shutdown();
+
+        let classified = log.lock().unwrap().clone();
+        assert!(classified.contains(&"a0".to_string()));
+        assert!(classified.contains(&"b0".to_string()));
+        for orphan in ["a2", "a3", "a4", "a5"] {
+            assert!(
+                !classified.contains(&orphan.to_string()),
+                "purged batch {orphan} still reached the backend: {classified:?}"
+            );
+        }
     }
 
     #[test]

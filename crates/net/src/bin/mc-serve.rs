@@ -330,10 +330,29 @@ fn smoke(args: &[String]) -> i32 {
             if streamed != expected {
                 return Err("network classify_iter diverged from in-process results".into());
             }
+            // The packed (v2) and verbatim (v1) encodings must classify
+            // bit-identically — a v1 client against this v2 server is the
+            // compatibility matrix's hard case.
+            let mut v1 = mc_net::NetClient::connect_with(
+                addr,
+                mc_net::ClientConfig {
+                    version: 1,
+                    ..mc_net::ClientConfig::default()
+                },
+            )
+            .map_err(|e| format!("v1 connect {addr}: {e}"))?;
+            let v1_results = v1
+                .classify_batch(&reads)
+                .map_err(|e| format!("v1 classify_batch: {e}"))?;
+            if v1_results != expected {
+                return Err("v1 (verbatim) client diverged from in-process results".into());
+            }
             eprintln!(
-                "mc-serve smoke: {} reads on {} ≡ in-process ({} requests, peak {} in flight, credits {})",
+                "mc-serve smoke: {} reads on {} ≡ in-process, v{} packed ≡ v1 verbatim \
+                 ({} requests, peak {} in flight, credits {})",
                 reads.len(),
                 addr,
+                client.protocol_version(),
                 summary.requests,
                 summary.peak_in_flight,
                 client.credits()
@@ -348,11 +367,12 @@ fn smoke(args: &[String]) -> i32 {
     let engine_stats = engine.shutdown();
     match verdict {
         Ok(stats) => {
-            if engine_stats.records_classified != 2 * reads.len() as u64 {
+            // Three passes: v2 classify_batch, v2 classify_iter, v1 classify_batch.
+            if engine_stats.records_classified != 3 * reads.len() as u64 {
                 eprintln!(
                     "mc-serve smoke: engine classified {} records, expected {}",
                     engine_stats.records_classified,
-                    2 * reads.len()
+                    3 * reads.len()
                 );
                 return 1;
             }

@@ -17,8 +17,8 @@ use mc_seqio::SequenceRecord;
 use metacache::Classification;
 
 use crate::protocol::{
-    encode_classify, read_frame, write_frame, Frame, NetError, ProtocolError, MAGIC,
-    PROTOCOL_VERSION,
+    encode_classify, encode_classify_packed, read_frame, write_frame, Frame, NetError,
+    ProtocolError, MAGIC, MIN_PROTOCOL_VERSION, PACKED_MIN_VERSION, PROTOCOL_VERSION,
 };
 
 /// Connection preferences sent in the handshake. The server may shrink but
@@ -29,6 +29,11 @@ pub struct ClientConfig {
     pub batch_records: u32,
     /// Requested credit (simultaneously unanswered requests).
     pub max_in_flight: u32,
+    /// Protocol version to announce in `Hello` (`0` = the crate's current
+    /// version, [`PROTOCOL_VERSION`]). Announce `1` to force a verbatim v1
+    /// conversation — useful against old servers and for measuring the
+    /// packed encoding's bandwidth win.
+    pub version: u16,
 }
 
 /// Counters of one [`NetClient::classify_iter`] stream.
@@ -95,6 +100,9 @@ pub struct NetClient {
     credits: u32,
     batch_records: u32,
     backend: String,
+    /// Protocol version negotiated in the handshake; ≥
+    /// [`PACKED_MIN_VERSION`] means requests go out 2-bit packed.
+    version: u16,
     next_request: u64,
     /// Set once the connection is unusable (error frame seen or I/O
     /// failure); later calls fail fast instead of deadlocking.
@@ -109,6 +117,11 @@ impl NetClient {
 
     /// Connect and handshake with explicit preferences.
     pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Self, NetError> {
+        let announced = if config.version == 0 {
+            PROTOCOL_VERSION
+        } else {
+            config.version
+        };
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
         let reader = BufReader::new(stream.try_clone()?);
@@ -117,7 +130,7 @@ impl NetClient {
             &mut writer,
             &Frame::Hello {
                 magic: MAGIC,
-                version: PROTOCOL_VERSION,
+                version: announced,
                 batch_records: config.batch_records,
                 max_in_flight: config.max_in_flight,
             },
@@ -129,6 +142,7 @@ impl NetClient {
             credits: 1,
             batch_records: 1,
             backend: String::new(),
+            version: MIN_PROTOCOL_VERSION,
             next_request: 0,
             dead: false,
         };
@@ -139,9 +153,12 @@ impl NetClient {
                 batch_records,
                 backend,
             } => {
-                if version != PROTOCOL_VERSION {
+                // The server picks min(client, server); anything above what
+                // we announced (or below the floor) is a broken peer.
+                if version > announced || version < MIN_PROTOCOL_VERSION {
                     return Err(ProtocolError::UnsupportedVersion(version).into());
                 }
+                client.version = version;
                 client.credits = credits.max(1);
                 client.batch_records = batch_records.max(1);
                 client.backend = backend;
@@ -166,6 +183,14 @@ impl NetClient {
     /// The serving backend's label, as reported in the handshake.
     pub fn backend(&self) -> &str {
         self.backend.as_str()
+    }
+
+    /// The protocol version negotiated in the handshake. At
+    /// [`PACKED_MIN_VERSION`] or above, requests cross the wire 2-bit
+    /// packed (≈ 4× less request bandwidth on ACGT payloads); below it the
+    /// connection is a bit-identical v1 verbatim conversation.
+    pub fn protocol_version(&self) -> u16 {
+        self.version
     }
 
     /// Classify a batch of reads in one request/response exchange. Returns
@@ -196,7 +221,9 @@ impl NetClient {
         // order, so a simple count of unanswered requests is the window.
         let mut oldest_pending: u64 = self.next_request;
         let mut in_flight: u64 = 0;
-        let mut current: Vec<SequenceRecord> = Vec::with_capacity(chunk);
+        // Cap the eager allocation: `chunk` is server-announced and may be
+        // saturated to u32::MAX by a server with huge configured batches.
+        let mut current: Vec<SequenceRecord> = Vec::with_capacity(chunk.min(64 * 1024));
         let mut send_error: Option<NetError> = None;
         for read in reads {
             current.push(read);
@@ -284,11 +311,17 @@ impl NetClient {
 
     fn send_request(&mut self, reads: &[SequenceRecord]) -> Result<u64, NetError> {
         self.check_alive()?;
-        // Encode straight from the borrowed slice — no clone of the reads.
-        // An encode failure is purely local (nothing reached the socket):
-        // report it without burning the request id or killing the
-        // connection, which stays usable for well-formed requests.
-        let bytes = encode_classify(self.next_request, reads)?;
+        // Encode straight from the borrowed slice — no clone of the reads,
+        // and (on a v2 connection) sequences pack 2-bit directly into the
+        // frame buffer without an owned encoded copy per read. An encode
+        // failure is purely local (nothing reached the socket): report it
+        // without burning the request id or killing the connection, which
+        // stays usable for well-formed requests.
+        let bytes = if self.version >= PACKED_MIN_VERSION {
+            encode_classify_packed(self.next_request, reads)?
+        } else {
+            encode_classify(self.next_request, reads)?
+        };
         if let Err(e) = self
             .writer
             .write_all(&bytes)
@@ -363,6 +396,7 @@ fn unexpected(frame: &Frame) -> &'static str {
         Frame::Hello { .. } => "unexpected Hello",
         Frame::HelloAck { .. } => "unexpected HelloAck",
         Frame::Classify { .. } => "unexpected Classify",
+        Frame::ClassifyPacked { .. } => "unexpected ClassifyPacked",
         Frame::Results { .. } => "unexpected Results",
         Frame::Error { .. } => "unexpected Error",
         Frame::Goodbye => "unexpected Goodbye",

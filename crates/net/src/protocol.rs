@@ -35,9 +35,21 @@ use metacache::Classification;
 /// Protocol magic carried by the [`Frame::Hello`] frame: `"MCNT"`.
 pub const MAGIC: u32 = 0x4D43_4E54;
 
-/// Current protocol version. Peers with a different major version must be
-/// rejected with [`ErrorCode::UnsupportedVersion`].
-pub const PROTOCOL_VERSION: u16 = 1;
+/// Current protocol version. Version 2 adds the packed request encoding
+/// ([`Frame::ClassifyPacked`]); everything else is identical to version 1.
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// Oldest protocol version a server still accepts. The connection speaks
+/// `min(client version, PROTOCOL_VERSION)` — a v1 peer gets a bit-identical
+/// v1 conversation and a future (higher-versioned) client is downgraded to
+/// [`PROTOCOL_VERSION`]; only announcements below this floor are rejected
+/// with [`ErrorCode::UnsupportedVersion`].
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
+
+/// First protocol version that understands [`Frame::ClassifyPacked`]. On a
+/// connection negotiated below this, the packed frame type is rejected as
+/// [`ErrorCode::UnknownFrameType`].
+pub const PACKED_MIN_VERSION: u16 = 2;
 
 /// Upper bound on `len` (type byte + payload) of any frame: 64 MiB. A header
 /// announcing more is rejected as [`ProtocolError::FrameTooLarge`] without
@@ -58,6 +70,24 @@ pub mod frame_type {
     pub const ERROR: u8 = 5;
     /// Client → server: graceful end of stream (equivalent to a clean EOF).
     pub const GOODBYE: u8 = 6;
+    /// Client → server: one classification request with 2-bit packed
+    /// sequences (protocol version ≥ 2).
+    pub const CLASSIFY_PACKED: u8 = 7;
+}
+
+/// Per-record flag bits of the packed read encoding
+/// (inside [`Frame::ClassifyPacked`]).
+pub mod record_flags {
+    /// The sequence is 2-bit packed (otherwise it follows verbatim — the
+    /// encoder's fallback when an exception-dense sequence would grow).
+    pub const PACKED: u8 = 1 << 0;
+    /// A quality string of exactly `seq_len` bytes follows the sequence.
+    pub const HAS_QUALITY: u8 = 1 << 1;
+    /// An exception list follows the packed bytes (only valid with
+    /// [`PACKED`]).
+    pub const HAS_EXCEPTIONS: u8 = 1 << 2;
+    /// Every currently defined flag; any other bit is a `Malformed` error.
+    pub const ALL: u8 = PACKED | HAS_QUALITY | HAS_EXCEPTIONS;
 }
 
 /// Error codes carried by [`Frame::Error`].
@@ -234,10 +264,21 @@ pub enum Frame {
         /// The serving backend's label (`"host"`, `"gpu-sim"`, …).
         backend: String,
     },
-    /// One classification request (client → server).
+    /// One classification request (client → server), sequences verbatim.
     Classify {
         /// Client-chosen id echoed by the matching [`Frame::Results`].
         /// Must increase strictly monotonically within a connection.
+        request_id: u64,
+        /// The reads to classify.
+        reads: Vec<SequenceRecord>,
+    },
+    /// One classification request with 2-bit packed sequences (protocol
+    /// version ≥ 2). Decodes to exactly the same reads as the equivalent
+    /// [`Frame::Classify`] — the packing is byte-exact (non-ACGT bytes ride
+    /// in an exception side list) — at roughly a quarter of the wire bytes
+    /// for ACGT-dominated payloads.
+    ClassifyPacked {
+        /// Client-chosen id echoed by the matching [`Frame::Results`].
         request_id: u64,
         /// The reads to classify.
         reads: Vec<SequenceRecord>,
@@ -317,6 +358,7 @@ impl Frame {
             Self::Hello { .. } => frame_type::HELLO,
             Self::HelloAck { .. } => frame_type::HELLO_ACK,
             Self::Classify { .. } => frame_type::CLASSIFY,
+            Self::ClassifyPacked { .. } => frame_type::CLASSIFY_PACKED,
             Self::Results { .. } => frame_type::RESULTS,
             Self::Error { .. } => frame_type::ERROR,
             Self::Goodbye => frame_type::GOODBYE,
@@ -352,6 +394,9 @@ impl Frame {
             }
             Self::Classify { request_id, reads } => {
                 encode_classify_payload(out, *request_id, reads)?;
+            }
+            Self::ClassifyPacked { request_id, reads } => {
+                encode_classify_packed_payload(out, *request_id, reads)?;
             }
             Self::Results {
                 request_id,
@@ -407,16 +452,14 @@ impl Frame {
                 batch_records: cursor.u32()?,
                 backend: cursor.str16()?,
             },
-            frame_type::CLASSIFY => {
-                let request_id = cursor.u64()?;
-                let count = cursor.u32()? as usize;
-                // Cap the pre-allocation: the payload proves at least 11
-                // bytes per read, so a lying count cannot balloon memory.
-                let mut reads = Vec::with_capacity(count.min(payload.len() / 11 + 1));
-                for _ in 0..count {
-                    reads.push(decode_record(&mut cursor, true)?);
-                }
-                Self::Classify { request_id, reads }
+            frame_type::CLASSIFY | frame_type::CLASSIFY_PACKED => {
+                let mut reads = Vec::new();
+                let request_id = decode_classify_into(frame_type, payload, &mut reads)?;
+                return Ok(if frame_type == frame_type::CLASSIFY {
+                    Self::Classify { request_id, reads }
+                } else {
+                    Self::ClassifyPacked { request_id, reads }
+                });
             }
             frame_type::RESULTS => {
                 let request_id = cursor.u64()?;
@@ -478,7 +521,7 @@ fn encode_classify_payload(
 }
 
 /// Encode a [`Frame::Classify`] directly from a borrowed read slice — the
-/// client's hot path, byte-identical to building an owned frame and calling
+/// v1 client hot path, byte-identical to building an owned frame and calling
 /// [`Frame::encode`] but without cloning the reads first.
 pub fn encode_classify(
     request_id: u64,
@@ -490,15 +533,54 @@ pub fn encode_classify(
     seal_frame(out)
 }
 
+/// Encode a [`Frame::ClassifyPacked`] directly from a borrowed read slice —
+/// the v2 client hot path. Sequences are 2-bit packed straight into the
+/// frame buffer (no intermediate encoded copy per read); decoding the frame
+/// reproduces the reads byte for byte.
+pub fn encode_classify_packed(
+    request_id: u64,
+    reads: &[SequenceRecord],
+) -> Result<Vec<u8>, ProtocolError> {
+    let mut out = vec![0u8; 4];
+    out.push(frame_type::CLASSIFY_PACKED);
+    encode_classify_packed_payload(&mut out, request_id, reads)?;
+    seal_frame(out)
+}
+
+/// The `ClassifyPacked` payload encoder, shared by [`Frame::encode`] and
+/// [`encode_classify_packed`].
+fn encode_classify_packed_payload(
+    out: &mut Vec<u8>,
+    request_id: u64,
+    reads: &[SequenceRecord],
+) -> Result<(), ProtocolError> {
+    put_u64(out, request_id);
+    put_u32(
+        out,
+        u32::try_from(reads.len()).map_err(|_| ProtocolError::Malformed("read count"))?,
+    );
+    // One exception scratch for the whole frame (cleared per sequence);
+    // records themselves are packed straight into `out`.
+    let mut exceptions: Vec<(u32, u8)> = Vec::new();
+    for read in reads {
+        encode_record_packed(out, read, true, &mut exceptions)?;
+    }
+    Ok(())
+}
+
 /// A read on the wire: `header` (u16 length + UTF-8), `sequence`
 /// (u32 length + bytes), `quality` (u32 length + bytes), then a mate flag
 /// byte and — for paired reads — the mate encoded the same way (mates must
-/// not nest further).
+/// not nest further). A non-empty quality string must match the sequence
+/// length (FASTQ semantics); mismatches fail to encode and fail to decode.
 fn encode_record(
     out: &mut Vec<u8>,
     record: &SequenceRecord,
     allow_mate: bool,
 ) -> Result<(), ProtocolError> {
+    if !record.quality.is_empty() && record.quality.len() != record.sequence.len() {
+        return Err(ProtocolError::Malformed("quality/sequence length mismatch"));
+    }
     put_str16(out, &record.header)?;
     put_bytes32(out, &record.sequence)?;
     put_bytes32(out, &record.quality)?;
@@ -513,22 +595,224 @@ fn encode_record(
     Ok(())
 }
 
-fn decode_record(
-    cursor: &mut Cursor<'_>,
+/// A read in the packed encoding: `header` (str16), `seq_len` (u32), a
+/// [`record_flags`] byte, the sequence body, a quality string of exactly
+/// `seq_len` bytes iff [`record_flags::HAS_QUALITY`], then the mate flag
+/// byte as in the verbatim encoding.
+///
+/// With [`record_flags::PACKED`] the body is `seq_len.div_ceil(4)` bytes of
+/// 2-bit codes ([`mc_kmer::pack_2bit`] layout) followed — iff
+/// [`record_flags::HAS_EXCEPTIONS`] — by `count: u32` and `count` strictly
+/// position-ascending `(pos: u32, byte: u8)` exceptions restoring the bytes
+/// (`N`, lower case, anything non-ACGT) that 2-bit codes cannot represent.
+/// Without `PACKED` the body is `seq_len` verbatim bytes — the encoder's
+/// fallback when the exception list would outweigh the packing (chosen per
+/// record, so a hostile all-`N` payload never inflates).
+fn encode_record_packed(
+    out: &mut Vec<u8>,
+    record: &SequenceRecord,
     allow_mate: bool,
-) -> Result<SequenceRecord, ProtocolError> {
-    let header = cursor.str16()?;
-    let sequence = cursor.bytes32()?.to_vec();
-    let quality = cursor.bytes32()?.to_vec();
-    let mate = match cursor.u8()? {
-        0 => None,
-        1 if allow_mate => Some(Box::new(decode_record(cursor, false)?)),
+    exceptions: &mut Vec<(u32, u8)>,
+) -> Result<(), ProtocolError> {
+    if !record.quality.is_empty() && record.quality.len() != record.sequence.len() {
+        return Err(ProtocolError::Malformed("quality/sequence length mismatch"));
+    }
+    put_str16(out, &record.header)?;
+    let seq = record.sequence.as_slice();
+    put_u32(
+        out,
+        u32::try_from(seq.len()).map_err(|_| ProtocolError::Malformed("bytes too long"))?,
+    );
+    let mut flags = if record.quality.is_empty() {
+        0u8
+    } else {
+        record_flags::HAS_QUALITY
+    };
+    let flags_at = out.len();
+    out.push(0); // patched below once the exception count is known
+                 // Pack optimistically in one pass over the sequence; only an
+                 // exception-dense record pays the rewind to verbatim.
+    let packed_at = out.len();
+    exceptions.clear();
+    mc_kmer::pack_2bit(seq, out, exceptions);
+    let packed_body = (out.len() - packed_at)
+        + if exceptions.is_empty() {
+            0
+        } else {
+            4 + 5 * exceptions.len()
+        };
+    if packed_body < seq.len() {
+        flags |= record_flags::PACKED;
+        if !exceptions.is_empty() {
+            flags |= record_flags::HAS_EXCEPTIONS;
+            put_u32(out, exceptions.len() as u32);
+            for &(pos, byte) in exceptions.iter() {
+                put_u32(out, pos);
+                out.push(byte);
+            }
+        }
+    } else {
+        out.truncate(packed_at);
+        out.extend_from_slice(seq);
+    }
+    out[flags_at] = flags;
+    out.extend_from_slice(&record.quality);
+    match (&record.mate, allow_mate) {
+        (None, _) => out.push(0),
+        (Some(_), false) => return Err(ProtocolError::NestedMate),
+        (Some(mate), true) => {
+            out.push(1);
+            encode_record_packed(out, mate, false, exceptions)?;
+        }
+    }
+    Ok(())
+}
+
+/// Decode a `Classify` / `ClassifyPacked` payload straight into a reusable
+/// record vector, returning the request id. Existing records (and their
+/// header/sequence/quality buffers, and mate boxes) are refilled in place;
+/// the vector is truncated or grown to the decoded read count. This is the
+/// server's zero-copy ingest path — after the first few requests of a
+/// connection, decoding allocates nothing.
+///
+/// The whole payload must be consumed (trailing bytes are rejected), so the
+/// result is exactly [`Frame::decode`]'s, without the per-request
+/// allocations.
+pub fn decode_classify_into(
+    frame_type: u8,
+    payload: &[u8],
+    records: &mut Vec<SequenceRecord>,
+) -> Result<u64, ProtocolError> {
+    let packed = match frame_type {
+        frame_type::CLASSIFY => false,
+        frame_type::CLASSIFY_PACKED => true,
+        other => return Err(ProtocolError::UnknownFrameType(other)),
+    };
+    let mut cursor = Cursor::new(payload);
+    let request_id = cursor.u64()?;
+    let count = cursor.u32()? as usize;
+    // No pre-allocation by the announced count: records are grown one by
+    // one and every read consumes payload bytes, so a lying count fails
+    // with `Truncated` before memory balloons.
+    for i in 0..count {
+        if records.len() <= i {
+            records.push(SequenceRecord::default());
+        }
+        decode_record_into(&mut cursor, packed, true, &mut records[i])?;
+    }
+    records.truncate(count);
+    cursor.finish()?;
+    Ok(request_id)
+}
+
+fn decode_record_into(
+    cursor: &mut Cursor<'_>,
+    packed: bool,
+    allow_mate: bool,
+    record: &mut SequenceRecord,
+) -> Result<(), ProtocolError> {
+    let spare_mate = record.clear_for_reuse();
+    cursor.str16_into(&mut record.header)?;
+    if packed {
+        decode_packed_sequence(cursor, record)?;
+    } else {
+        let sequence = cursor.bytes32()?;
+        record.sequence.extend_from_slice(sequence);
+        let quality = cursor.bytes32()?;
+        if !quality.is_empty() && quality.len() != record.sequence.len() {
+            return Err(ProtocolError::Malformed("quality/sequence length mismatch"));
+        }
+        record.quality.extend_from_slice(quality);
+    }
+    match cursor.u8()? {
+        0 => {}
+        1 if allow_mate => {
+            let mut mate = spare_mate.unwrap_or_default();
+            decode_record_into(cursor, packed, false, &mut mate)?;
+            record.mate = Some(mate);
+        }
         1 => return Err(ProtocolError::NestedMate),
         _ => return Err(ProtocolError::Malformed("mate flag")),
-    };
-    let mut record = SequenceRecord::with_quality(header, sequence, quality);
-    record.mate = mate;
-    Ok(record)
+    }
+    Ok(())
+}
+
+/// Decode the `seq_len`/flags/body/quality block of a packed record into
+/// `record.sequence` / `record.quality` (both already cleared).
+fn decode_packed_sequence(
+    cursor: &mut Cursor<'_>,
+    record: &mut SequenceRecord,
+) -> Result<(), ProtocolError> {
+    let len = cursor.u32()? as usize;
+    let flags = cursor.u8()?;
+    if flags & !record_flags::ALL != 0 {
+        return Err(ProtocolError::Malformed("record flags"));
+    }
+    if flags & record_flags::PACKED != 0 {
+        // Take the packed bytes before reserving the expansion: a lying
+        // length fails as `Truncated` before any allocation.
+        let packed = cursor.take(len.div_ceil(4))?;
+        mc_kmer::unpack_2bit(packed, len, &mut record.sequence);
+        if flags & record_flags::HAS_EXCEPTIONS != 0 {
+            let count = cursor.u32()? as usize;
+            if count == 0 || count > len {
+                return Err(ProtocolError::Malformed("exception count"));
+            }
+            let mut previous: Option<usize> = None;
+            for _ in 0..count {
+                let pos = cursor.u32()? as usize;
+                let byte = cursor.u8()?;
+                if pos >= len || previous.is_some_and(|p| pos <= p) {
+                    return Err(ProtocolError::Malformed("exception position"));
+                }
+                record.sequence[pos] = byte;
+                previous = Some(pos);
+            }
+        }
+    } else {
+        if flags & record_flags::HAS_EXCEPTIONS != 0 {
+            return Err(ProtocolError::Malformed("record flags"));
+        }
+        record.sequence.extend_from_slice(cursor.take(len)?);
+    }
+    if flags & record_flags::HAS_QUALITY != 0 {
+        record.quality.extend_from_slice(cursor.take(len)?);
+    }
+    Ok(())
+}
+
+/// Encode a complete [`Frame::Results`] (envelope included) straight from a
+/// classification slice into a reusable buffer — the server's response hot
+/// path, byte-identical to building the frame's entry vector and calling
+/// [`Frame::encode`], with zero allocations once `out` has grown.
+pub fn encode_results_into(
+    out: &mut Vec<u8>,
+    request_id: u64,
+    classifications: &[Classification],
+) -> Result<(), ProtocolError> {
+    out.clear();
+    out.extend_from_slice(&[0u8; 4]);
+    out.push(frame_type::RESULTS);
+    put_u64(out, request_id);
+    put_u32(
+        out,
+        u32::try_from(classifications.len())
+            .map_err(|_| ProtocolError::Malformed("entry count"))?,
+    );
+    for c in classifications {
+        let e = ResultEntry::from_classification(c);
+        out.push(e.status);
+        put_u32(out, e.taxon);
+        out.push(e.rank);
+        put_u32(out, e.best_target);
+        put_u32(out, e.best_hits);
+    }
+    let len = u32::try_from(out.len() - 4).map_err(|_| ProtocolError::FrameTooLarge(u32::MAX))?;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    out[0..4].copy_from_slice(&len.to_le_bytes());
+    Ok(())
 }
 
 /// Write one frame to a stream. Does not flush — callers batch frames and
@@ -542,11 +826,34 @@ pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<(), NetError> {
 /// Read one frame from a stream. Returns `Ok(None)` on a clean EOF at a
 /// frame boundary; EOF inside a frame is [`NetError::Disconnected`].
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, NetError> {
+    let mut payload = Vec::new();
+    match read_frame_buf(r, &mut payload)? {
+        None => Ok(None),
+        Some(frame_type) => Ok(Some(Frame::decode(frame_type, &payload)?)),
+    }
+}
+
+/// Read one frame's envelope into a reusable payload buffer, returning the
+/// frame's type tag (`Ok(None)` on a clean EOF at a frame boundary). The
+/// server's reader threads use this with one long-lived buffer per
+/// connection so steady-state frame ingest allocates nothing; pair it with
+/// [`Frame::decode`] or [`decode_classify_into`].
+///
+/// A peer that disappears after sending *part* of the 4-byte length prefix
+/// is a torn connection ([`NetError::Disconnected`]), not a clean EOF —
+/// only 0 bytes before EOF count as a frame boundary.
+pub fn read_frame_buf(r: &mut impl Read, payload: &mut Vec<u8>) -> Result<Option<u8>, NetError> {
+    payload.clear();
     let mut len_bytes = [0u8; 4];
-    match r.read_exact(&mut len_bytes) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
+    let mut filled = 0usize;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(NetError::Disconnected),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
     }
     let len = u32::from_le_bytes(len_bytes);
     if len == 0 || len > MAX_FRAME_LEN {
@@ -554,9 +861,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, NetError> {
     }
     let mut frame_type = [0u8; 1];
     read_exact_or_disconnect(r, &mut frame_type)?;
-    let mut payload = vec![0u8; len as usize - 1];
-    read_exact_or_disconnect(r, &mut payload)?;
-    Ok(Some(Frame::decode(frame_type[0], &payload)?))
+    payload.resize(len as usize - 1, 0);
+    read_exact_or_disconnect(r, payload)?;
+    Ok(Some(frame_type[0]))
 }
 
 fn read_exact_or_disconnect(r: &mut impl Read, buf: &mut [u8]) -> Result<(), NetError> {
@@ -639,9 +946,19 @@ impl<'a> Cursor<'a> {
     }
 
     fn str16(&mut self) -> Result<String, ProtocolError> {
+        let mut out = String::new();
+        self.str16_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Decode a str16 into a reusable (already cleared) `String`.
+    fn str16_into(&mut self, out: &mut String) -> Result<(), ProtocolError> {
         let len = self.u16()? as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| ProtocolError::Malformed("invalid utf-8"))
+        let text =
+            std::str::from_utf8(bytes).map_err(|_| ProtocolError::Malformed("invalid utf-8"))?;
+        out.push_str(text);
+        Ok(())
     }
 
     /// Require that the whole payload was consumed.
@@ -692,6 +1009,16 @@ mod tests {
             reads: vec![
                 SequenceRecord::new("plain", b"ACGTACGT".to_vec()),
                 SequenceRecord::new("", Vec::new()),
+                paired.clone(),
+            ],
+        });
+        roundtrip(Frame::ClassifyPacked {
+            request_id: 42,
+            reads: vec![
+                SequenceRecord::new("plain", b"ACGTACGTACGTACGTACGTACGT".to_vec()),
+                SequenceRecord::new("", Vec::new()),
+                SequenceRecord::new("ns", b"ACGTNNACGTNNacgtACGTACGT".to_vec()),
+                SequenceRecord::new("all n", b"NNNNNNNN".to_vec()),
                 paired,
             ],
         });
@@ -730,11 +1057,199 @@ mod tests {
         let borrowed = encode_classify(99, &reads).unwrap();
         let owned = Frame::Classify {
             request_id: 99,
-            reads,
+            reads: reads.clone(),
         }
         .encode()
         .unwrap();
         assert_eq!(borrowed, owned);
+        let borrowed_packed = encode_classify_packed(99, &reads).unwrap();
+        let owned_packed = Frame::ClassifyPacked {
+            request_id: 99,
+            reads,
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(borrowed_packed, owned_packed);
+    }
+
+    /// The headline property: both encodings of the same reads decode to the
+    /// same reads, and the packed frame is about 4× smaller on ACGT-heavy
+    /// payloads.
+    #[test]
+    fn packed_and_verbatim_decode_identically_and_packed_is_smaller() {
+        let genome: Vec<u8> = (0..4000).map(|i| b"ACGT"[(i * 31 + 1) % 4]).collect();
+        let reads: Vec<SequenceRecord> = (0..16)
+            .map(|i| SequenceRecord::new(format!("r{i}"), genome[i * 200..i * 200 + 200].to_vec()))
+            .collect();
+        let verbatim = encode_classify(7, &reads).unwrap();
+        let packed = encode_classify_packed(7, &reads).unwrap();
+        let from_verbatim = match Frame::decode(verbatim[4], &verbatim[5..]).unwrap() {
+            Frame::Classify { reads, .. } => reads,
+            other => panic!("unexpected {other:?}"),
+        };
+        let from_packed = match Frame::decode(packed[4], &packed[5..]).unwrap() {
+            Frame::ClassifyPacked { reads, .. } => reads,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(from_verbatim, reads);
+        assert_eq!(from_packed, reads);
+        assert!(
+            packed.len() * 3 < verbatim.len(),
+            "packed {} bytes vs verbatim {} bytes",
+            packed.len(),
+            verbatim.len()
+        );
+    }
+
+    /// Exception-dense sequences fall back to verbatim bytes per record:
+    /// the packed frame never inflates past the verbatim frame by more than
+    /// the per-record flag byte.
+    #[test]
+    fn packed_encoding_never_inflates_on_hostile_payloads() {
+        let reads: Vec<SequenceRecord> = (0..8)
+            .map(|i| SequenceRecord::new(format!("n{i}"), vec![b'N'; 100 + i]))
+            .collect();
+        let verbatim = encode_classify(1, &reads).unwrap();
+        let packed = encode_classify_packed(1, &reads).unwrap();
+        assert!(packed.len() <= verbatim.len());
+        let decoded = match Frame::decode(packed[4], &packed[5..]).unwrap() {
+            Frame::ClassifyPacked { reads, .. } => reads,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(decoded, reads);
+    }
+
+    #[test]
+    fn decode_classify_into_reuses_buffers_and_matches_frame_decode() {
+        let reads = vec![
+            SequenceRecord::with_quality("q0", b"ACGTNACGT".to_vec(), b"IIIIIIIII".to_vec()),
+            SequenceRecord::new("q1", b"GGTAGGTAGGTA".to_vec())
+                .with_mate(SequenceRecord::new("q1/2", b"TTACNN".to_vec())),
+        ];
+        for bytes in [
+            encode_classify(5, &reads).unwrap(),
+            encode_classify_packed(5, &reads).unwrap(),
+        ] {
+            // Pre-populate the reusable buffer with stale garbage records.
+            let mut buffer: Vec<SequenceRecord> = (0..4)
+                .map(|i| {
+                    SequenceRecord::with_quality(
+                        format!("stale{i}"),
+                        vec![b'G'; 500],
+                        vec![b'#'; 500],
+                    )
+                    .with_mate(SequenceRecord::new("stale mate", vec![b'T'; 100]))
+                })
+                .collect();
+            let capacity_before = buffer[0].sequence.capacity();
+            let request_id = decode_classify_into(bytes[4], &bytes[5..], &mut buffer).unwrap();
+            assert_eq!(request_id, 5);
+            assert_eq!(buffer, reads);
+            assert!(
+                buffer[0].sequence.capacity() >= capacity_before.min(500),
+                "reused buffer lost its capacity"
+            );
+        }
+    }
+
+    #[test]
+    fn quality_length_mismatch_is_rejected_both_ways() {
+        let bad = SequenceRecord::with_quality("r", b"ACGTACGT".to_vec(), b"III".to_vec());
+        // Encoding refuses to put the malformed record on the wire …
+        for result in [
+            encode_classify(1, std::slice::from_ref(&bad)),
+            encode_classify_packed(1, std::slice::from_ref(&bad)),
+        ] {
+            assert_eq!(
+                result,
+                Err(ProtocolError::Malformed("quality/sequence length mismatch"))
+            );
+        }
+        // … including when it hides in a mate.
+        let carrier = SequenceRecord::new("ok", b"ACGT".to_vec()).with_mate(bad);
+        assert!(encode_classify(1, std::slice::from_ref(&carrier)).is_err());
+        assert!(encode_classify_packed(1, std::slice::from_ref(&carrier)).is_err());
+        // And decoding rejects a hand-crafted v1 frame carrying one.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1); // request id
+        put_u32(&mut payload, 1); // read count
+        put_str16(&mut payload, "r").unwrap();
+        put_bytes32(&mut payload, b"ACGTACGT").unwrap();
+        put_bytes32(&mut payload, b"III").unwrap();
+        payload.push(0); // no mate
+        assert_eq!(
+            Frame::decode(frame_type::CLASSIFY, &payload),
+            Err(ProtocolError::Malformed("quality/sequence length mismatch"))
+        );
+    }
+
+    #[test]
+    fn packed_exception_lists_are_validated() {
+        // 40 bases, two exceptions at 36/37 — sparse enough that the
+        // encoder picks the packed representation.
+        let reads = vec![SequenceRecord::new(
+            "n",
+            b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTNNGT".to_vec(),
+        )];
+        let bytes = encode_classify_packed(3, &reads).unwrap();
+        let payload = bytes[5..].to_vec();
+        // Locate the exception count: header(2+1) + seq_len(4) + flags(1)
+        // + packed(ceil(40/4)=10) bytes into the record, which starts after
+        // request id (8) + count (4).
+        let exc_count_at = 8 + 4 + 3 + 4 + 1 + 10;
+        assert_eq!(
+            u32::from_le_bytes(payload[exc_count_at..exc_count_at + 4].try_into().unwrap()),
+            2
+        );
+        // Out-of-range position.
+        let mut corrupt = payload.clone();
+        corrupt[exc_count_at + 4..exc_count_at + 8].copy_from_slice(&999u32.to_le_bytes());
+        assert_eq!(
+            Frame::decode(frame_type::CLASSIFY_PACKED, &corrupt),
+            Err(ProtocolError::Malformed("exception position"))
+        );
+        // Non-increasing positions.
+        let mut corrupt = payload.clone();
+        let second = exc_count_at + 4 + 5;
+        corrupt[second..second + 4].copy_from_slice(&4u32.to_le_bytes());
+        assert_eq!(
+            Frame::decode(frame_type::CLASSIFY_PACKED, &corrupt),
+            Err(ProtocolError::Malformed("exception position"))
+        );
+        // Undefined record flag bits.
+        let flags_at = 8 + 4 + 3 + 4;
+        let mut corrupt = payload;
+        corrupt[flags_at] |= 0x80;
+        assert_eq!(
+            Frame::decode(frame_type::CLASSIFY_PACKED, &corrupt),
+            Err(ProtocolError::Malformed("record flags"))
+        );
+    }
+
+    #[test]
+    fn encode_results_into_matches_frame_encode() {
+        let classifications = vec![
+            Classification {
+                taxon: 101,
+                rank: Some(Rank::Genus),
+                best_target: Some(7),
+                best_hits: 21,
+            },
+            Classification::unclassified(),
+        ];
+        let entries: Vec<ResultEntry> = classifications
+            .iter()
+            .map(ResultEntry::from_classification)
+            .collect();
+        let framed = Frame::Results {
+            request_id: 31,
+            entries,
+        }
+        .encode()
+        .unwrap();
+        let mut reused = vec![0xAB; 64]; // stale content must be overwritten
+        encode_results_into(&mut reused, 31, &classifications).unwrap();
+        assert_eq!(reused, framed);
     }
 
     #[test]
@@ -774,6 +1289,37 @@ mod tests {
         let frame = Frame::Goodbye.encode().unwrap();
         let mut cut = io::Cursor::new(frame[..4].to_vec());
         assert!(matches!(read_frame(&mut cut), Err(NetError::Disconnected)));
+    }
+
+    /// Regression: a peer dropping after 1–3 bytes of the length prefix is
+    /// a torn connection, not a clean EOF (`read_exact` reports
+    /// `UnexpectedEof` for both, so the prefix must be read byte-counted).
+    #[test]
+    fn partial_length_prefix_is_disconnect_not_clean_eof() {
+        let frame = Frame::Goodbye.encode().unwrap();
+        for cut in 1..4 {
+            let mut cursor = io::Cursor::new(frame[..cut].to_vec());
+            assert!(
+                matches!(read_frame(&mut cursor), Err(NetError::Disconnected)),
+                "{cut}-byte prefix must be a disconnect"
+            );
+        }
+    }
+
+    /// An interrupted-then-resumed prefix read still assembles the frame.
+    #[test]
+    fn fragmented_length_prefix_still_reads() {
+        struct OneByteAtATime(io::Cursor<Vec<u8>>);
+        impl Read for OneByteAtATime {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let n = buf.len().min(1);
+                self.0.read(&mut buf[..n])
+            }
+        }
+        let frame = Frame::Goodbye.encode().unwrap();
+        let mut reader = OneByteAtATime(io::Cursor::new(frame));
+        assert_eq!(read_frame(&mut reader).unwrap(), Some(Frame::Goodbye));
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
     }
 
     #[test]

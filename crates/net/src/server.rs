@@ -12,8 +12,9 @@
 //!                                              │                      │       │
 //!                                              │  writer thread ◄─────┘       │
 //!                                              │   owns the Session,          │
-//!                                              │   classify_batch per request,│
-//!                                              │   encodes Results frames     │
+//!                                              │   classify_owned per request,│
+//!                                              │   encodes Results frames,    │
+//!                                              │   recycles record buffers    │
 //!                                              └──────────────────────────────┘
 //! ```
 //!
@@ -47,9 +48,11 @@ use std::sync::{mpsc, Arc, Mutex};
 
 use mc_seqio::SequenceRecord;
 use metacache::serving::{ServingEngine, SessionConfig};
+use metacache::Classification;
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, Frame, NetError, ProtocolError, ResultEntry, MAGIC,
+    decode_classify_into, encode_results_into, frame_type, read_frame, read_frame_buf, write_frame,
+    ErrorCode, Frame, NetError, ProtocolError, MAGIC, MIN_PROTOCOL_VERSION, PACKED_MIN_VERSION,
     PROTOCOL_VERSION,
 };
 
@@ -406,7 +409,7 @@ fn serve_connection(
                 fail(shared, &mut writer, &ProtocolError::BadMagic(magic));
                 return;
             }
-            if version != PROTOCOL_VERSION {
+            if version < MIN_PROTOCOL_VERSION {
                 fail(
                     shared,
                     &mut writer,
@@ -414,7 +417,7 @@ fn serve_connection(
                 );
                 return;
             }
-            (batch_records, max_in_flight)
+            (batch_records, max_in_flight, version)
         }
         Ok(Some(_)) => {
             fail(
@@ -449,10 +452,20 @@ fn serve_connection(
         0 => server_batch,
         requested => requested.min(server_batch.max(1)),
     };
+    // The engine clamps session credits at MAX_SESSION_IN_FLIGHT (the
+    // result channel is pre-sized to the credit); announce the clamped
+    // value so the client's window matches the session's real bound.
     let credits = match hello.1 as usize {
         0 => server_credit,
         requested => requested.clamp(1, server_credit),
-    };
+    }
+    .min(metacache::serving::MAX_SESSION_IN_FLIGHT);
+    // The connection speaks min(client, server): a v1 peer gets a
+    // bit-identical v1 conversation, a v2 peer may send packed requests,
+    // and a future (higher-versioned) client is downgraded to our version
+    // instead of rejected — each side already accepts any ack at or below
+    // what it announced.
+    let version = hello.2.min(PROTOCOL_VERSION);
     let mut session = engine.session_with(SessionConfig {
         batch_records,
         max_in_flight: credits,
@@ -460,9 +473,11 @@ fn serve_connection(
     if write_frame(
         &mut writer,
         &Frame::HelloAck {
-            version: PROTOCOL_VERSION,
-            credits: credits as u32,
-            batch_records: batch_records as u32,
+            version,
+            // Saturate, never wrap: a server configured beyond u32 range
+            // must announce u32::MAX, not a tiny truncated credit.
+            credits: u32::try_from(credits).unwrap_or(u32::MAX),
+            batch_records: u32::try_from(batch_records).unwrap_or(u32::MAX),
             backend: engine.backend_name().to_string(),
         },
     )
@@ -473,11 +488,20 @@ fn serve_connection(
     }
 
     // --- Request loop ----------------------------------------------------
+    // Decoded requests ride in record vectors recycled through `pool`: the
+    // reader refills a vector the writer's last classify handed back (the
+    // engine returns owned records after classification), so the steady
+    // state of a connection decodes and classifies without allocating — no
+    // intermediate `Vec<SequenceRecord>` copy anywhere on the hot path.
+    let pool: Mutex<Vec<Vec<SequenceRecord>>> = Mutex::new(Vec::new());
     let (tx, rx) = mpsc::sync_channel::<ConnEvent>(config.pending_requests.max(1));
     std::thread::scope(|conn_scope| {
-        conn_scope.spawn(move || read_loop(&mut reader, &tx));
+        let pool_ref = &pool;
+        conn_scope.spawn(move || read_loop(&mut reader, tx, pool_ref, version));
 
         let mut last_request_id: Option<u64> = None;
+        let mut classifications: Vec<Classification> = Vec::new();
+        let mut results_frame: Vec<u8> = Vec::new();
         let close = |writer: &mut BufWriter<TcpStream>| {
             // Unblock the reader if it is still mid-read (writer-side exit).
             let _ = writer.get_ref().shutdown(Shutdown::Both);
@@ -495,31 +519,29 @@ fn serve_connection(
                         break;
                     }
                     last_request_id = Some(request_id);
+                    let read_count = reads.len() as u64;
+                    classifications.clear();
                     // A backend worker panic re-raises in the owning session
                     // only; turn it into an error frame instead of a torn
                     // connection without a goodbye.
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        session.classify_batch(&reads)
+                        session.classify_owned(reads, &mut classifications)
                     }));
                     match outcome {
-                        Ok(classifications) => {
-                            let entries: Vec<ResultEntry> = classifications
-                                .iter()
-                                .map(ResultEntry::from_classification)
-                                .collect();
+                        Ok(recycled) => {
+                            recycle(&pool, config, recycled);
                             shared.counters.requests.fetch_add(1, Ordering::Relaxed);
                             shared
                                 .counters
                                 .reads
-                                .fetch_add(reads.len() as u64, Ordering::Relaxed);
-                            let ok = write_frame(
-                                &mut writer,
-                                &Frame::Results {
-                                    request_id,
-                                    entries,
-                                },
+                                .fetch_add(read_count, Ordering::Relaxed);
+                            let ok = encode_results_into(
+                                &mut results_frame,
+                                request_id,
+                                &classifications,
                             )
                             .is_ok()
+                                && writer.write_all(&results_frame).is_ok()
                                 && writer.flush().is_ok();
                             if !ok {
                                 // Client went away; drop the connection. The
@@ -561,21 +583,90 @@ fn serve_connection(
     drop(session);
 }
 
+/// Heap bytes a pooled record vector would keep alive: the spine plus every
+/// record's retained *capacities* (not lengths — `clear_for_reuse` keeps
+/// capacity, which is exactly what pooling preserves).
+fn retained_bytes(records: &Vec<SequenceRecord>) -> usize {
+    fn record_bytes(r: &SequenceRecord) -> usize {
+        r.header.capacity()
+            + r.sequence.capacity()
+            + r.quality.capacity()
+            + r.mate.as_ref().map_or(0, |m| record_bytes(m))
+    }
+    records.capacity() * std::mem::size_of::<SequenceRecord>()
+        + records.iter().map(record_bytes).sum::<usize>()
+}
+
+/// Upper bound on the heap a single pooled record vector may retain. A
+/// normal request (hundreds of reads, a few hundred bases each) is well
+/// under 1 MiB; one maximum-size packed frame can legally decode to
+/// ~256 MiB of sequence, which must not stay pinned for the connection's
+/// lifetime.
+const MAX_POOLED_BYTES: usize = 8 * 1024 * 1024;
+
+/// Hand a drained record vector back to the connection's reuse pool,
+/// bounding both the entry count and the retained bytes so a one-off giant
+/// request cannot pin its buffers forever.
+fn recycle(
+    pool: &Mutex<Vec<Vec<SequenceRecord>>>,
+    config: &ServerConfig,
+    records: Vec<SequenceRecord>,
+) {
+    if retained_bytes(&records) > MAX_POOLED_BYTES {
+        return;
+    }
+    let mut pool = pool.lock().unwrap_or_else(|e| e.into_inner());
+    if pool.len() <= config.pending_requests.max(1) {
+        pool.push(records);
+    }
+}
+
 /// The connection's reader: decode frames into requests until EOF, goodbye,
-/// or undecodable input.
-fn read_loop(reader: &mut BufReader<TcpStream>, tx: &mpsc::SyncSender<ConnEvent>) {
+/// or undecodable input. Frame payloads land in one reusable buffer and
+/// `Classify` / `ClassifyPacked` requests decode straight into recycled
+/// record vectors from `pool`.
+fn read_loop(
+    reader: &mut BufReader<TcpStream>,
+    tx: mpsc::SyncSender<ConnEvent>,
+    pool: &Mutex<Vec<Vec<SequenceRecord>>>,
+    version: u16,
+) {
+    let mut payload: Vec<u8> = Vec::new();
     loop {
-        match read_frame(reader) {
-            Ok(Some(Frame::Classify { request_id, reads })) => {
-                if tx.send(ConnEvent::Request { request_id, reads }).is_err() {
-                    return; // writer side is gone
+        match read_frame_buf(reader, &mut payload) {
+            Ok(Some(tag)) if tag == frame_type::CLASSIFY || tag == frame_type::CLASSIFY_PACKED => {
+                if tag == frame_type::CLASSIFY_PACKED && version < PACKED_MIN_VERSION {
+                    // A v1 peer must not smuggle in v2 frames.
+                    let _ = tx.send(ConnEvent::Bad(ProtocolError::UnknownFrameType(tag)));
+                    return;
+                }
+                let mut reads = pool
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop()
+                    .unwrap_or_default();
+                match decode_classify_into(tag, &payload, &mut reads) {
+                    Ok(request_id) => {
+                        if tx.send(ConnEvent::Request { request_id, reads }).is_err() {
+                            return; // writer side is gone
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(ConnEvent::Bad(e));
+                        return;
+                    }
                 }
             }
-            Ok(Some(Frame::Goodbye)) | Ok(None) => return, // clean end of stream
-            Ok(Some(_)) => {
-                let _ = tx.send(ConnEvent::Bad(ProtocolError::Malformed(
-                    "unexpected frame after handshake",
-                )));
+            Ok(Some(tag)) if tag == frame_type::GOODBYE && payload.is_empty() => return,
+            Ok(None) => return, // clean end of stream
+            Ok(Some(tag)) => {
+                // Control frames and garbage: decode only to classify the
+                // failure precisely (unknown tag, trailing bytes, …).
+                let error = match Frame::decode(tag, &payload) {
+                    Ok(_) => ProtocolError::Malformed("unexpected frame after handshake"),
+                    Err(e) => e,
+                };
+                let _ = tx.send(ConnEvent::Bad(error));
                 return;
             }
             Err(NetError::Protocol(e)) => {

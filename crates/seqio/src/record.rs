@@ -46,6 +46,22 @@ impl SequenceRecord {
         self
     }
 
+    /// Empty the record for refilling **without releasing its heap
+    /// buffers**: `header`, `sequence` and `quality` are cleared in place
+    /// (capacity retained) and the mate box, if any, is detached and
+    /// returned so the caller can reuse its allocation too.
+    ///
+    /// This is the building block of allocation-free decode paths (the
+    /// `mc-net` server decodes request frames into recycled records): a
+    /// record that has gone through one request already owns buffers of
+    /// about the right size for the next one.
+    pub fn clear_for_reuse(&mut self) -> Option<Box<SequenceRecord>> {
+        self.header.clear();
+        self.sequence.clear();
+        self.quality.clear();
+        self.mate.take()
+    }
+
     /// The sequence identifier: the header up to the first whitespace.
     pub fn id(&self) -> &str {
         self.header
@@ -131,6 +147,14 @@ impl SequenceBatch {
         }
     }
 
+    /// Dismantle the batch into its record vector for buffer reuse: the
+    /// spine and every record's heap buffers stay allocated, ready to be
+    /// refilled (see [`SequenceRecord::clear_for_reuse`]) and re-wrapped by
+    /// [`SequenceBatch::new`] / [`SequenceBatch::for_session`].
+    pub fn into_records(self) -> Vec<SequenceRecord> {
+        self.records
+    }
+
     /// Number of records in the batch.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -198,5 +222,40 @@ mod tests {
         let batch = SequenceBatch::default();
         assert!(batch.is_empty());
         assert_eq!(batch.total_bases(), 0);
+    }
+
+    #[test]
+    fn clear_for_reuse_keeps_capacity_and_detaches_mate() {
+        let mut r = SequenceRecord::with_quality(
+            "header with room",
+            b"ACGTACGTACGT".to_vec(),
+            b"IIIIIIIIIIII".to_vec(),
+        )
+        .with_mate(SequenceRecord::new("mate", b"TTTT".to_vec()));
+        let header_cap = r.header.capacity();
+        let seq_cap = r.sequence.capacity();
+        let qual_cap = r.quality.capacity();
+        let mate = r.clear_for_reuse();
+        assert!(r.header.is_empty() && r.sequence.is_empty() && r.quality.is_empty());
+        assert!(r.mate.is_none());
+        assert_eq!(r.header.capacity(), header_cap);
+        assert_eq!(r.sequence.capacity(), seq_cap);
+        assert_eq!(r.quality.capacity(), qual_cap);
+        assert_eq!(mate.unwrap().header, "mate");
+    }
+
+    #[test]
+    fn batch_into_records_returns_the_spine() {
+        let batch = SequenceBatch::for_session(3, 9, records_for_reuse());
+        let records = batch.into_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].header, "a");
+    }
+
+    fn records_for_reuse() -> Vec<SequenceRecord> {
+        vec![
+            SequenceRecord::new("a", b"ACGT".to_vec()),
+            SequenceRecord::new("b", b"GGCC".to_vec()),
+        ]
     }
 }

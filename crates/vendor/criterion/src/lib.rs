@@ -254,6 +254,30 @@ fn run_bench<F>(
     });
 }
 
+/// Record a plain (non-timing) gauge into the `BENCH_JSON` export — an
+/// offline-shim extension, not part of the real criterion API. Benches use
+/// it to persist derived metrics alongside their timings (e.g. the
+/// `serving_net` bench records wire bytes per read for each protocol
+/// encoding). The gauge appears as a record with zero timing fields and a
+/// `"{unit}": value` entry.
+pub fn record_gauge(group: &str, bench: &str, unit: &str, value: f64) {
+    let label = if group.is_empty() {
+        bench.to_string()
+    } else {
+        format!("{group}/{bench}")
+    };
+    println!("{label:<48} gauge: {value:.2} {unit}");
+    RECORDS.lock().unwrap().push(Record {
+        group: group.to_string(),
+        bench: bench.to_string(),
+        samples: 0,
+        min_ns: 0,
+        median_ns: 0,
+        mean_ns: 0,
+        throughput: Some((unit.to_string(), value)),
+    });
+}
+
 fn rate_per_sec(amount: u64, ns: u128) -> f64 {
     if ns == 0 {
         return f64::INFINITY;

@@ -67,6 +67,17 @@ fn mixed_reads(n: usize, seed: u64) -> Vec<SequenceRecord> {
                 0 => SequenceRecord::new(format!("empty{i}"), Vec::new()),
                 1 => SequenceRecord::new(format!("tiny{i}"), genomes[0][..6].to_vec()),
                 2 => SequenceRecord::new(format!("alien{i}"), make_seq(130, state)),
+                4 => {
+                    // N-laden read: genome bases with an ambiguity run in
+                    // the middle (exercises the packed encoding's
+                    // exception list end to end).
+                    let mut seq = genomes[i % 2][200..350].to_vec();
+                    let n_start = 20 + (state as usize >> 9) % 100;
+                    let n_len = 1 + (state as usize >> 17) % 25;
+                    seq[n_start..n_start + n_len].fill(b'N');
+                    SequenceRecord::new(format!("nrun{i}"), seq)
+                }
+                5 => SequenceRecord::new(format!("alln{i}"), vec![b'N'; 80]),
                 3 => {
                     let genome = &genomes[i % 2];
                     let offset = (state as usize >> 7) % (genome.len() - 300);
@@ -205,6 +216,7 @@ fn n_clients_match_n_in_process_sessions() {
                         ClientConfig {
                             batch_records: 4 + c as u32,
                             max_in_flight: 2,
+                            ..ClientConfig::default()
                         },
                     )
                     .unwrap();
@@ -257,11 +269,11 @@ fn malformed_input_gets_an_error_frame() {
             other => panic!("expected error frame, got {other:?}"),
         }
 
-        // Wrong protocol version.
+        // A protocol version below the floor is rejected …
         let mut stream = TcpStream::connect(addr).unwrap();
         let bad_version = Frame::Hello {
             magic: MAGIC,
-            version: PROTOCOL_VERSION + 7,
+            version: 0,
             batch_records: 0,
             max_in_flight: 0,
         }
@@ -272,6 +284,24 @@ fn malformed_input_gets_an_error_frame() {
             Frame::Error { code, .. } => assert_eq!(code, ErrorCode::UnsupportedVersion),
             other => panic!("expected error frame, got {other:?}"),
         }
+
+        // … while a *future* client version is downgraded to ours, not
+        // rejected (min(client, server) negotiation).
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let future_version = Frame::Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION + 7,
+            batch_records: 0,
+            max_in_flight: 0,
+        }
+        .encode()
+        .unwrap();
+        stream.write_all(&future_version).unwrap();
+        match protocol::read_frame(&mut stream).unwrap().unwrap() {
+            Frame::HelloAck { version, .. } => assert_eq!(version, PROTOCOL_VERSION),
+            other => panic!("expected downgraded HelloAck, got {other:?}"),
+        }
+        drop(stream);
 
         // Garbage after a valid handshake: unknown frame type.
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -444,6 +474,7 @@ fn handshake_negotiates_credits_and_batch_size() {
             ClientConfig {
                 batch_records: 2,
                 max_in_flight: 1,
+                ..ClientConfig::default()
             },
         )
         .unwrap();
@@ -455,6 +486,7 @@ fn handshake_negotiates_credits_and_batch_size() {
             ClientConfig {
                 batch_records: 1_000_000,
                 max_in_flight: 1_000_000,
+                ..ClientConfig::default()
             },
         )
         .unwrap();
@@ -462,6 +494,195 @@ fn handshake_negotiates_credits_and_batch_size() {
         assert_eq!(greedy.batch_records(), 8, "batch size must not grow");
 
         drop((defaults, small, greedy));
+        handle.shutdown();
+    });
+    engine.shutdown();
+}
+
+/// The tentpole acceptance check: a v1 (verbatim) client against a v2
+/// server classifies bit-identically to a v2 (packed) client and to an
+/// in-process session — the packed encoding changes bandwidth, never
+/// results — and the packed request frames are measurably smaller.
+#[test]
+fn v1_and_v2_clients_are_bit_identical_to_in_process() {
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    // Mixed reads: genome/foreign/short/empty, paired, N runs, all-N.
+    let reads = mixed_reads(90, 555);
+    let in_process = {
+        let mut session = engine.session();
+        session.classify_batch(&reads)
+    };
+    assert_eq!(
+        in_process,
+        Classifier::new(Arc::clone(&db)).classify_batch(&reads)
+    );
+
+    let server = NetServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run().unwrap());
+
+        let mut v2 = NetClient::connect(addr).unwrap();
+        assert_eq!(v2.protocol_version(), protocol::PROTOCOL_VERSION);
+        let mut v1 = NetClient::connect_with(
+            addr,
+            ClientConfig {
+                version: 1,
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(v1.protocol_version(), 1);
+
+        assert_eq!(v2.classify_batch(&reads).unwrap(), in_process);
+        assert_eq!(v1.classify_batch(&reads).unwrap(), in_process);
+        let (v2_stream, _) = v2.classify_iter(reads.iter().cloned()).unwrap();
+        let (v1_stream, _) = v1.classify_iter(reads.iter().cloned()).unwrap();
+        assert_eq!(v2_stream, in_process);
+        assert_eq!(v1_stream, in_process);
+
+        // The wire encodings decode to the same reads, and the packed one
+        // is smaller even on this mixed (partly hostile) read set.
+        let verbatim = protocol::encode_classify(0, &reads).unwrap();
+        let packed = protocol::encode_classify_packed(0, &reads).unwrap();
+        assert!(packed.len() < verbatim.len());
+
+        drop((v1, v2));
+        handle.shutdown();
+    });
+    let stats = engine.shutdown();
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// A v1 connection must not accept v2 packed frames: the server answers
+/// with an UnknownFrameType error, exactly what a genuine v1 server would
+/// say.
+#[test]
+fn packed_frames_on_a_v1_connection_are_rejected() {
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    let server = NetServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run().unwrap());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let hello = Frame::Hello {
+            magic: MAGIC,
+            version: 1,
+            batch_records: 0,
+            max_in_flight: 0,
+        }
+        .encode()
+        .unwrap();
+        stream.write_all(&hello).unwrap();
+        match protocol::read_frame(&mut stream).unwrap().unwrap() {
+            Frame::HelloAck { version, .. } => assert_eq!(version, 1),
+            other => panic!("expected HelloAck, got {other:?}"),
+        }
+        let packed = protocol::encode_classify_packed(0, &mixed_reads(3, 8)).unwrap();
+        stream.write_all(&packed).unwrap();
+        match protocol::read_frame(&mut stream).unwrap().unwrap() {
+            Frame::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownFrameType),
+            other => panic!("expected error frame, got {other:?}"),
+        }
+        handle.shutdown();
+    });
+    engine.shutdown();
+}
+
+/// Satellite regression: a peer dropping after part of the 4-byte length
+/// prefix is a torn connection (`Disconnected`), not a clean EOF — and a
+/// server connection fed such a tail tears down without affecting others.
+#[test]
+fn partial_length_prefix_reads_as_disconnect() {
+    let frame = Frame::Goodbye.encode().unwrap();
+    for cut in 1..4 {
+        let mut cursor = std::io::Cursor::new(frame[..cut].to_vec());
+        assert!(
+            matches!(
+                protocol::read_frame(&mut cursor),
+                Err(NetError::Disconnected)
+            ),
+            "{cut} prefix bytes must read as a disconnect, not Ok(None)"
+        );
+    }
+    let mut empty = std::io::Cursor::new(Vec::new());
+    assert!(matches!(protocol::read_frame(&mut empty), Ok(None)));
+
+    // Over a real connection: a client vanishing mid-prefix is survived,
+    // and a healthy client on the same server is unaffected.
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    let server = NetServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run().unwrap());
+        let mut rude = TcpStream::connect(addr).unwrap();
+        let hello = Frame::Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION,
+            batch_records: 0,
+            max_in_flight: 0,
+        }
+        .encode()
+        .unwrap();
+        rude.write_all(&hello).unwrap();
+        protocol::read_frame(&mut rude).unwrap().unwrap();
+        rude.write_all(&[0x10, 0x00]).unwrap(); // half a length prefix
+        drop(rude);
+
+        let mut client = NetClient::connect(addr).unwrap();
+        let reads = mixed_reads(12, 99);
+        let got = client.classify_batch(&reads).unwrap();
+        assert_eq!(got, Classifier::new(Arc::clone(&db)).classify_batch(&reads));
+        drop(client);
+        handle.shutdown();
+    });
+    engine.shutdown();
+}
+
+/// Satellite regression: server-side limits beyond u32 range must saturate
+/// in the handshake, not silently wrap to a tiny credit/batch size.
+#[cfg(target_pointer_width = "64")]
+#[test]
+fn oversized_server_limits_saturate_in_handshake() {
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    let server = NetServer::bind_with(
+        &engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            session: metacache::serving::SessionConfig {
+                // Would wrap to 2 and 5 under `as u32`.
+                batch_records: (u32::MAX as usize) + 3,
+                max_in_flight: (u32::MAX as usize) + 6,
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run().unwrap());
+        let client = NetClient::connect(addr).unwrap();
+        // Credits are clamped by the engine's in-flight ceiling (the result
+        // channel is pre-sized to them); batch size saturates at u32::MAX.
+        // Before the fix both wrapped (`as u32`) to 5 and 2 respectively.
+        assert_eq!(
+            client.credits(),
+            metacache::serving::MAX_SESSION_IN_FLIGHT as u32,
+            "credits wrapped"
+        );
+        assert_eq!(client.batch_records(), u32::MAX, "batch size wrapped");
+        drop(client);
         handle.shutdown();
     });
     engine.shutdown();

@@ -8,13 +8,40 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use mc_net::protocol::{
-    read_frame, ErrorCode, Frame, NetError, ProtocolError, ResultEntry, MAX_FRAME_LEN,
+    decode_classify_into, encode_classify, encode_classify_packed, read_frame, ErrorCode, Frame,
+    NetError, ProtocolError, ResultEntry, MAX_FRAME_LEN,
 };
 use mc_seqio::SequenceRecord;
 
 fn dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
     vec(
         prop_oneof![Just(b'A'), Just(b'C'), Just(b'G'), Just(b'T'), Just(b'N')],
+        0..max_len,
+    )
+}
+
+/// DNA with the full mess the packed encoding must carry byte-exactly:
+/// upper/lower case, `N` runs, `U`, and stray garbage bytes (ACGT-biased
+/// by repetition so most draws stay packable).
+fn messy_dna(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    vec(
+        prop_oneof![
+            Just(b'A'),
+            Just(b'C'),
+            Just(b'G'),
+            Just(b'T'),
+            Just(b'A'),
+            Just(b'C'),
+            Just(b'G'),
+            Just(b'T'),
+            Just(b'N'),
+            Just(b'N'),
+            Just(b'a'),
+            Just(b't'),
+            Just(b'U'),
+            Just(b'-'),
+            Just(0xFFu8),
+        ],
         0..max_len,
     )
 }
@@ -75,6 +102,122 @@ proptest! {
         prop_assert_eq!(roundtrip(&frame), frame);
     }
 
+    /// The tentpole property: for any record set — `N` runs, lower case,
+    /// garbage bytes, empty reads, mates, qualities — the packed and the
+    /// verbatim encodings both round-trip byte-exactly to the same reads,
+    /// whether decoded through `Frame::decode` or through the server's
+    /// buffer-reusing `decode_classify_into`.
+    #[test]
+    fn packed_and_verbatim_roundtrip_bit_identically(
+        request_id in any::<u64>(),
+        sequences in vec(messy_dna(180), 0..8),
+        with_quality in any::<bool>(),
+        with_mates in any::<bool>(),
+    ) {
+        let reads: Vec<SequenceRecord> = sequences
+            .iter()
+            .enumerate()
+            .map(|(i, seq)| {
+                let quality = if with_quality && i % 2 == 0 {
+                    vec![b'I'; seq.len()]
+                } else {
+                    Vec::new()
+                };
+                let mut record =
+                    SequenceRecord::with_quality(format!("read {i}"), seq.clone(), quality);
+                if with_mates && i % 3 == 1 {
+                    let mate_seq: Vec<u8> = seq.iter().rev().copied().collect();
+                    record.mate = Some(Box::new(SequenceRecord::new("mate", mate_seq)));
+                }
+                record
+            })
+            .collect();
+
+        let verbatim = encode_classify(request_id, &reads).unwrap();
+        let packed = encode_classify_packed(request_id, &reads).unwrap();
+
+        for (bytes, expect_type) in [(&verbatim, 3u8), (&packed, 7u8)] {
+            prop_assert_eq!(bytes[4], expect_type);
+            // Through the owned decoder …
+            let (decoded_id, decoded) = match Frame::decode(bytes[4], &bytes[5..]).unwrap() {
+                Frame::Classify { request_id, reads }
+                | Frame::ClassifyPacked { request_id, reads } => (request_id, reads),
+                other => panic!("unexpected frame {other:?}"),
+            };
+            prop_assert_eq!(decoded_id, request_id);
+            prop_assert_eq!(&decoded, &reads);
+            // … and through the zero-copy decoder over a dirty buffer.
+            let mut buffer = vec![
+                SequenceRecord::with_quality("stale", vec![b'T'; 64], vec![b'#'; 64])
+                    .with_mate(SequenceRecord::new("stale mate", vec![b'A'; 32]));
+                3
+            ];
+            let got_id = decode_classify_into(bytes[4], &bytes[5..], &mut buffer).unwrap();
+            prop_assert_eq!(got_id, request_id);
+            prop_assert_eq!(&buffer, &reads);
+        }
+    }
+
+    /// On ACGT-only payloads the packed frame shrinks towards 4× (bounded
+    /// by headers and framing); it never grows beyond verbatim + one flag
+    /// byte per record, whatever the input.
+    #[test]
+    fn packed_frames_never_inflate(
+        sequences in vec(messy_dna(300), 1..6),
+    ) {
+        let reads: Vec<SequenceRecord> = sequences
+            .iter()
+            .enumerate()
+            .map(|(i, seq)| SequenceRecord::new(format!("r{i}"), seq.clone()))
+            .collect();
+        let verbatim = encode_classify(1, &reads).unwrap();
+        let packed = encode_classify_packed(1, &reads).unwrap();
+        prop_assert!(packed.len() <= verbatim.len() + reads.len());
+    }
+
+    /// A FASTQ record whose quality length differs from its sequence length
+    /// must be rejected — for the read and for its mate, at encode time and
+    /// on a hand-crafted wire frame.
+    #[test]
+    fn quality_length_mismatch_frames_are_rejected(
+        seq in dna(60),
+        qual_delta in 1usize..20,
+        in_mate in any::<bool>(),
+    ) {
+        let quality = vec![b'I'; seq.len() + qual_delta];
+        let bad = SequenceRecord::with_quality("bad", seq.clone(), quality.clone());
+        let record = if in_mate {
+            SequenceRecord::new("carrier", b"ACGT".to_vec()).with_mate(bad)
+        } else {
+            bad
+        };
+        let reads = vec![record];
+        prop_assert!(encode_classify(0, &reads).is_err());
+        prop_assert!(encode_classify_packed(0, &reads).is_err());
+
+        // Hand-craft the v1 wire image the encoder now refuses to produce.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0u64.to_le_bytes()); // request id
+        payload.extend_from_slice(&1u32.to_le_bytes()); // read count
+        let put_record = |payload: &mut Vec<u8>, seq: &[u8], qual: &[u8], mate: bool| {
+            payload.extend_from_slice(&1u16.to_le_bytes());
+            payload.push(b'r');
+            payload.extend_from_slice(&(seq.len() as u32).to_le_bytes());
+            payload.extend_from_slice(seq);
+            payload.extend_from_slice(&(qual.len() as u32).to_le_bytes());
+            payload.extend_from_slice(qual);
+            payload.push(u8::from(mate));
+        };
+        if in_mate {
+            put_record(&mut payload, b"ACGT", b"", true);
+        }
+        put_record(&mut payload, &seq, &quality, false);
+        prop_assert_eq!(
+            Frame::decode(3, &payload),
+            Err(ProtocolError::Malformed("quality/sequence length mismatch"))
+        );
+    }
+
     #[test]
     fn results_frames_roundtrip(
         request_id in any::<u64>(),
@@ -129,21 +272,26 @@ proptest! {
     /// panic.
     #[test]
     fn truncations_never_decode(
-        sequence in dna(120),
+        sequence in messy_dna(120),
         cut_fraction in 0u32..1000,
+        packed in any::<bool>(),
     ) {
-        let frame = Frame::Classify {
-            request_id: 7,
-            reads: vec![
-                SequenceRecord::new("a read", sequence.clone()),
-                SequenceRecord::with_quality("q", sequence, b"".to_vec()),
-            ],
+        let reads = vec![
+            SequenceRecord::new("a read", sequence.clone()),
+            SequenceRecord::with_quality("q", sequence, b"".to_vec()),
+        ];
+        let bytes = if packed {
+            Frame::ClassifyPacked { request_id: 7, reads }.encode().unwrap()
+        } else {
+            Frame::Classify { request_id: 7, reads }.encode().unwrap()
         };
-        let bytes = frame.encode().unwrap();
         let cut = (cut_fraction as usize * (bytes.len() - 1)) / 1000;
         let mut cursor = std::io::Cursor::new(&bytes[..cut]);
         match read_frame(&mut cursor) {
-            Ok(None) => prop_assert!(cut < 4, "EOF-at-boundary only before the header"),
+            // The clean-EOF boundary is exactly 0 bytes: a partial length
+            // prefix reads as a disconnect (regression for the
+            // `read_exact`-maps-everything-to-EOF bug).
+            Ok(None) => prop_assert!(cut == 0, "EOF-at-boundary only with 0 bytes, not {cut}"),
             Ok(Some(_)) => prop_assert!(false, "decoded a truncated frame ({cut} bytes)"),
             Err(NetError::Disconnected) | Err(NetError::Protocol(_)) => {}
             Err(other) => prop_assert!(false, "unexpected error {other:?}"),
