@@ -36,6 +36,11 @@
 //!   formats, plus `wire_bytes_per_read_*` / `wire_compression_*` gauges
 //!   recording the packed encoding's request-bandwidth win (≥ 3× on ACGT
 //!   payloads is asserted).
+//! * `overload_*` gauges — clients offering ~2× the server's
+//!   `max_inflight_records` capacity: the shed rate, the latency of served
+//!   requests, and the (fast-fail) latency of a `Busy` answer. Records what
+//!   load shedding buys over unbounded queueing: the server keeps serving
+//!   at capacity and refusals come back in microseconds.
 //!
 //! Run with `BENCH_JSON=BENCH_serving.json cargo bench -p mc-bench --bench
 //! serving_throughput` to record the measurements.
@@ -43,7 +48,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use mc_net::{protocol, ClientConfig, NetClient, NetServer};
+use mc_net::{protocol, ClientConfig, NetClient, NetError, NetServer, ServerConfig};
 
 use mc_datagen::community::{RefSeqLikeSpec, ReferenceCollection};
 use mc_datagen::profiles::DatasetProfile;
@@ -393,6 +398,112 @@ fn bench_serving_net(c: &mut Criterion) {
         acgt_v1 >= 3.0 * acgt_packed,
         "ACGT wire compression regressed below 3x: {acgt_v1} vs {acgt_packed}"
     );
+
+    // --- Overload gauge: Busy shedding at ~2× capacity -------------------
+    // Four clients fire full-size requests as fast as they can against a
+    // server capped at two requests' worth of in-flight records. The cap
+    // turns the excess into fast `Busy` refusals instead of queue growth.
+    let overload_engine = ServingEngine::host_with_config(Arc::clone(&db), engine_config(workers));
+    let overload_server = NetServer::bind_with(
+        &overload_engine,
+        "127.0.0.1:0",
+        ServerConfig {
+            max_inflight_records: 2 * REQUEST_READS,
+            retry_after_ms: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind overload loopback");
+    let overload_handle = overload_server.handle();
+    let overload_addr = overload_handle.local_addr();
+    let request = &reads[..REQUEST_READS];
+    let expected_request = &expected[..REQUEST_READS];
+
+    // A panic anywhere in the scope (a failed assert in a client thread)
+    // must still shut the server down, or the scope's implicit join would
+    // wait forever on the acceptor thread.
+    struct ShutdownOnDrop(mc_net::ServerHandle);
+    impl Drop for ShutdownOnDrop {
+        fn drop(&mut self) {
+            self.0.shutdown();
+        }
+    }
+
+    let overload_stats = std::thread::scope(|scope| {
+        let runner = scope.spawn(|| overload_server.run().expect("overload server run"));
+        let _guard = ShutdownOnDrop(overload_handle.clone());
+        let clients = 4;
+        let served_target = 10u64;
+        // (served, served_ns, shed, busy_ns) per client. Each client keeps
+        // offering until it has been served `served_target` times, honoring
+        // the `retry_after_ms` hint on each shed — `Busy` answers return in
+        // microseconds, so an attempt-bounded loop could burn every attempt
+        // while the other clients hold the in-flight slots with real work.
+        let outcomes: Vec<(u64, u64, u64, u64)> = std::thread::scope(|clients_scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    clients_scope.spawn(move || {
+                        let mut client =
+                            NetClient::connect(overload_addr).expect("connect overload");
+                        let (mut served, mut served_ns, mut shed, mut busy_ns) = (0u64, 0, 0u64, 0);
+                        while served < served_target {
+                            let start = std::time::Instant::now();
+                            match client.classify_batch(request) {
+                                Ok(out) => {
+                                    served_ns += start.elapsed().as_nanos() as u64;
+                                    served += 1;
+                                    assert_eq!(
+                                        out, expected_request,
+                                        "overloaded server corrupted a served request"
+                                    );
+                                }
+                                Err(NetError::Busy { retry_after_ms }) => {
+                                    busy_ns += start.elapsed().as_nanos() as u64;
+                                    shed += 1;
+                                    std::thread::sleep(std::time::Duration::from_millis(
+                                        u64::from(retry_after_ms.max(1)),
+                                    ));
+                                }
+                                Err(other) => panic!("unexpected overload error: {other}"),
+                            }
+                        }
+                        (served, served_ns, shed, busy_ns)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let served: u64 = outcomes.iter().map(|o| o.0).sum();
+        let served_ns: u64 = outcomes.iter().map(|o| o.1).sum();
+        let shed: u64 = outcomes.iter().map(|o| o.2).sum();
+        let busy_ns: u64 = outcomes.iter().map(|o| o.3).sum();
+        overload_handle.shutdown();
+        runner.join().expect("overload server thread");
+        (served, served_ns, shed, busy_ns)
+    });
+    overload_engine.shutdown();
+    let (served, served_ns, shed, busy_ns) = overload_stats;
+    assert!(shed > 0, "2x overload never tripped the in-flight cap");
+    criterion::record_gauge(
+        "serving_net",
+        "overload_shed_rate_2x",
+        "fraction",
+        shed as f64 / (served + shed) as f64,
+    );
+    criterion::record_gauge(
+        "serving_net",
+        "overload_served_latency_ms",
+        "ms",
+        served_ns as f64 / served as f64 / 1e6,
+    );
+    if shed > 0 {
+        criterion::record_gauge(
+            "serving_net",
+            "overload_busy_latency_ms",
+            "ms",
+            busy_ns as f64 / shed as f64 / 1e6,
+        );
+    }
 }
 
 criterion_group! {

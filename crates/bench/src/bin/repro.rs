@@ -14,21 +14,22 @@
 //!   streaming          streaming vs materialised query pipeline (§5 pipelining)
 //!   serving            serving engine vs per-request pipeline spawn (resident pool)
 //!   serving_net        mc-net loopback TCP front-end vs in-process sessions
+//!   serving_chaos      serving under injected faults (chaos sweep + overload)
 //!   all                everything above
 //! ```
 
 use std::collections::BTreeSet;
 
 use mc_bench::experiments::{
-    accuracy, breakdown, build_perf, datasets, query_perf, serving, serving_net, streaming,
-    tablemem, ttq,
+    accuracy, breakdown, build_perf, datasets, query_perf, serving, serving_chaos, serving_net,
+    streaming, tablemem, ttq,
 };
 use mc_bench::ExperimentScale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale tiny|default] [--json] \
-         <table1|table2|table3|table4|table5|table6|fig4|fig5|abundance|tablemem|ablation|streaming|serving|serving_net|all>..."
+         <table1|table2|table3|table4|table5|table6|fig4|fig5|abundance|tablemem|ablation|streaming|serving|serving_net|serving_chaos|all>..."
     );
     std::process::exit(2);
 }
@@ -71,6 +72,7 @@ fn main() {
             "streaming",
             "serving",
             "serving_net",
+            "serving_chaos",
         ] {
             requested.insert(e.to_string());
         }
@@ -162,6 +164,14 @@ fn main() {
             println!("{}", serde_json::to_string_pretty(&result).unwrap());
         } else {
             println!("{}", serving_net::render(&result));
+        }
+    }
+    if wants(&["serving_chaos"]) {
+        let result = serving_chaos::run(&scale);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+        } else {
+            println!("{}", serving_chaos::render(&result));
         }
     }
 }

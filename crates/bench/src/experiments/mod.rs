@@ -12,6 +12,7 @@
 //! | [`streaming`] | streaming vs materialised query pipeline (§5's pipelining, host-side) |
 //! | [`serving`] | serving engine vs per-request pipeline spawn (resident worker pool) |
 //! | [`serving_net`] | `mc-net` loopback TCP front-end vs in-process sessions (protocol overhead) |
+//! | [`serving_chaos`] | serving under injected faults: chaos-proxy sweep + overload shedding (robustness) |
 
 pub mod accuracy;
 pub mod breakdown;
@@ -19,6 +20,7 @@ pub mod build_perf;
 pub mod datasets;
 pub mod query_perf;
 pub mod serving;
+pub mod serving_chaos;
 pub mod serving_net;
 pub mod streaming;
 pub mod tablemem;

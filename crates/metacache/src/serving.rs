@@ -360,6 +360,19 @@ impl FairQueue {
         self.state.lock().unwrap_or_else(|e| e.into_inner()).len as u64
     }
 
+    /// The high-water admission check: `true` while the queue is full *and*
+    /// `session` has no lane in it — i.e. the session would be a brand-new
+    /// entrant competing with established streams for capacity that does
+    /// not exist. A front-end uses this to *shed* a newcomer's first
+    /// request instead of letting its `push` pile onto the blocked-producer
+    /// queue, where a flood of new sessions would starve established
+    /// streams of push slots. Established sessions (lane present) are never
+    /// refused — they block on `push` exactly as before.
+    fn over_high_water(&self, session: u64) -> bool {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.len >= self.capacity && !state.lanes.contains_key(&session)
+    }
+
     /// High-water mark of [`FairQueue::queued`] (at most `capacity`).
     fn peak_queued(&self) -> u64 {
         self.state.lock().unwrap_or_else(|e| e.into_inner()).peak
@@ -576,6 +589,26 @@ impl ServingEngine {
         }
     }
 
+    /// Sessions currently registered (created and not yet dropped) — the
+    /// front-end's leak gauge: after every connection of a drained server
+    /// has closed, this must be back to its pre-traffic value.
+    pub fn live_sessions(&self) -> usize {
+        self.shared
+            .sessions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// The fair queue's high-water admission check for `session` (see
+    /// [`Session::over_high_water`]): `true` while the shared queue is at
+    /// capacity and the session has no queued work of its own. A serving
+    /// front-end sheds such a request (answering "busy, retry later")
+    /// instead of queueing it unboundedly behind established streams.
+    pub fn over_high_water(&self, session: u64) -> bool {
+        self.shared.queue.over_high_water(session)
+    }
+
     /// Snapshot the engine's lifetime counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
@@ -694,6 +727,16 @@ impl Session<'_> {
     /// The engine this session is served by.
     pub fn engine(&self) -> &ServingEngine {
         self.engine
+    }
+
+    /// The high-water admission check for this session: `true` while the
+    /// engine's shared queue is full and this session has nothing queued —
+    /// the moment a load-shedding front-end answers "busy" instead of
+    /// submitting. Sessions with queued work are exempt (they hold a lane
+    /// and drain it), so established streams keep their throughput while
+    /// a flood of newcomers is shed.
+    pub fn over_high_water(&self) -> bool {
+        self.engine.shared.queue.over_high_water(self.id)
     }
 
     /// Stream a fallible record source through the engine, calling `sink`
@@ -1279,6 +1322,41 @@ mod tests {
         assert_eq!(queue.pop().unwrap().session, 2);
         // Purging an unknown session is a no-op.
         assert_eq!(queue.purge_session(99), 0);
+    }
+
+    /// High-water admission: a full queue refuses only sessions without a
+    /// lane; sessions with queued work are never refused, and capacity
+    /// freeing up re-admits newcomers.
+    #[test]
+    fn over_high_water_spares_established_lanes() {
+        let queue = FairQueue::new(3, 1);
+        assert!(!queue.over_high_water(1), "empty queue admits anyone");
+        queue.push(batch_of(1, 0, 1)).unwrap();
+        queue.push(batch_of(1, 1, 1)).unwrap();
+        queue.push(batch_of(2, 0, 1)).unwrap();
+        // Full: session 3 (no lane) is over the high water, 1 and 2 are not.
+        assert!(queue.over_high_water(3));
+        assert!(!queue.over_high_water(1));
+        assert!(!queue.over_high_water(2));
+        // Draining one batch re-opens admission.
+        let _ = queue.pop().unwrap();
+        assert!(!queue.over_high_water(3));
+    }
+
+    #[test]
+    fn live_sessions_tracks_session_lifetimes() {
+        let (db, _) = serving_db();
+        let engine = ServingEngine::host(Arc::clone(&db));
+        assert_eq!(engine.live_sessions(), 0);
+        let a = engine.session();
+        let b = engine.session();
+        assert_eq!(engine.live_sessions(), 2);
+        assert!(!a.over_high_water(), "idle engine is under the high water");
+        drop(a);
+        assert_eq!(engine.live_sessions(), 1);
+        drop(b);
+        assert_eq!(engine.live_sessions(), 0);
+        engine.shutdown();
     }
 
     #[test]

@@ -12,16 +12,28 @@
 //!       Stream a FASTA/FASTQ file through a running server and print one
 //!       TSV line per read: id, taxon, rank, best hit count.
 //!
-//!   mc-serve smoke [--reads N]
+//!   mc-serve smoke [--reads N] [--chaos]
 //!       Self-contained loopback round-trip on a synthetic database:
 //!       starts a server on an ephemeral port, classifies N reads through
 //!       a NetClient, verifies the results against the in-process session
-//!       bit for bit, shuts down cleanly. Exit code 0 = pass (CI smoke).
+//!       bit for bit, shuts down cleanly. With --chaos, adds a pass through
+//!       a fault-injecting proxy (truncation, reset, dribble, stall) driven
+//!       by the backoff-retry client — results must still be bit-identical.
+//!       Exit code 0 = pass (CI smoke).
+//!
+//!   mc-serve chaos --upstream <host:port> [--seed N] [--conns N]
+//!       Fault-injection proxy for manual torture: listens on an ephemeral
+//!       loopback port and forwards to the upstream server, applying a
+//!       seeded fault script to the first N connections (later ones pass
+//!       through verbatim). Runs until stdin closes.
 //! ```
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use mc_net::{NetClient, NetServer};
+use mc_net::{
+    ChaosProxy, ClientConfig, ConnPlan, Fault, NetClient, NetServer, RetryClient, RetryPolicy,
+};
 use mc_seqio::{SequenceReader, SequenceRecord};
 use mc_taxonomy::{Rank, Taxonomy, NO_TAXON};
 use metacache::build::CpuBuilder;
@@ -31,7 +43,7 @@ use metacache::MetaCacheConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mc-serve serve --refs <file> [--listen <addr>] [--workers N] [--batch N] [--queue N]\n       mc-serve classify --addr <host:port> <reads-file>\n       mc-serve smoke [--reads N]"
+        "usage: mc-serve serve --refs <file> [--listen <addr>] [--workers N] [--batch N] [--queue N]\n       mc-serve classify --addr <host:port> <reads-file>\n       mc-serve smoke [--reads N] [--chaos]\n       mc-serve chaos --upstream <host:port> [--seed N] [--conns N]"
     );
     std::process::exit(2);
 }
@@ -42,6 +54,7 @@ fn main() {
         Some("serve") => serve(&args[1..]),
         Some("classify") => classify(&args[1..]),
         Some("smoke") => smoke(&args[1..]),
+        Some("chaos") => chaos(&args[1..]),
         _ => usage(),
     };
     std::process::exit(code);
@@ -252,6 +265,62 @@ fn classify(args: &[String]) -> i32 {
     }
 }
 
+/// Fault-injection proxy in front of a running server, for manual torture
+/// (`mc-serve smoke --chaos` is the scripted CI variant of the same idea).
+fn chaos(args: &[String]) -> i32 {
+    let (flags, rest) = parse_flags(args, &["--upstream", "--seed", "--conns"]);
+    if !rest.is_empty() {
+        usage();
+    }
+    let Some(upstream) = flag(&flags, "--upstream") else {
+        usage()
+    };
+    let seed: u64 = parsed(&flags, "--seed", 1);
+    let conns: usize = parsed(&flags, "--conns", 16);
+    let upstream_addr = match std::net::ToSocketAddrs::to_socket_addrs(&upstream)
+        .ok()
+        .and_then(|mut addrs| addrs.next())
+    {
+        Some(addr) => addr,
+        None => {
+            eprintln!("mc-serve chaos: cannot resolve upstream {upstream}");
+            return 1;
+        }
+    };
+    let plans: Vec<ConnPlan> = (0..conns as u64)
+        .map(|i| ConnPlan::seeded(seed ^ i))
+        .collect();
+    for (i, plan) in plans.iter().enumerate() {
+        eprintln!("mc-serve chaos: conn {i}: {plan:?}");
+    }
+    let proxy = match ChaosProxy::start(upstream_addr, plans) {
+        Ok(proxy) => proxy,
+        Err(e) => {
+            eprintln!("mc-serve chaos: start proxy: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "mc-serve chaos: proxying {} -> {} ({} scripted conns, then verbatim); close stdin to stop",
+        proxy.local_addr(),
+        upstream_addr,
+        conns
+    );
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::stdin().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    proxy.shutdown();
+    eprintln!("mc-serve chaos: stopped");
+    0
+}
+
 fn synthetic_genome(len: usize, seed: u64) -> Vec<u8> {
     let mut state = seed | 1;
     (0..len)
@@ -267,7 +336,15 @@ fn synthetic_genome(len: usize, seed: u64) -> Vec<u8> {
 /// Self-contained loopback round-trip: synthetic database, ephemeral-port
 /// server, one pipelined client; verifies network ≡ in-process bit for bit.
 fn smoke(args: &[String]) -> i32 {
-    let (flags, rest) = parse_flags(args, &["--reads"]);
+    let mut args: Vec<String> = args.to_vec();
+    let with_chaos = match args.iter().position(|a| a == "--chaos") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    let (flags, rest) = parse_flags(&args, &["--reads"]);
     if !rest.is_empty() {
         usage();
     }
@@ -357,6 +434,50 @@ fn smoke(args: &[String]) -> i32 {
                 summary.peak_in_flight,
                 client.credits()
             );
+            if with_chaos {
+                // Fourth pass, through a fault-injecting proxy: handshake
+                // truncation, a mid-stream reset, slow-loris dribble and a
+                // stall — the retry client must converge bit-identically.
+                let plans = vec![
+                    ConnPlan::upstream(Fault::Truncate { after: 9 }),
+                    ConnPlan::downstream(Fault::Reset { after: 30 }),
+                    ConnPlan::upstream(Fault::Stall { after: 7 }),
+                    ConnPlan::upstream(Fault::Dribble {
+                        chunk: 16,
+                        pause: Duration::from_millis(1),
+                    }),
+                ];
+                let proxy =
+                    ChaosProxy::start(addr, plans).map_err(|e| format!("chaos proxy: {e}"))?;
+                let mut retry = RetryClient::connect_with(
+                    proxy.local_addr(),
+                    ClientConfig {
+                        connect_timeout: Some(Duration::from_secs(2)),
+                        request_timeout: Some(Duration::from_secs(2)),
+                        ..ClientConfig::default()
+                    },
+                    RetryPolicy {
+                        max_retries: 12,
+                        base_delay: Duration::from_millis(5),
+                        max_delay: Duration::from_millis(100),
+                        seed: 7,
+                    },
+                )
+                .map_err(|e| format!("chaos connect: {e}"))?;
+                let (chaotic, _) = retry
+                    .classify_iter(reads.iter().cloned())
+                    .map_err(|e| format!("chaos classify_iter: {e}"))?;
+                if chaotic != expected {
+                    return Err("chaos-pass results diverged from in-process results".into());
+                }
+                let rstats = retry.stats();
+                eprintln!(
+                    "mc-serve smoke: chaos pass ≡ in-process \
+                     ({} connects, {} retries, {} busy sheds)",
+                    rstats.connects, rstats.retries, rstats.busy_sheds
+                );
+                proxy.shutdown();
+            }
             Ok(())
         })();
         handle.shutdown();
@@ -367,12 +488,19 @@ fn smoke(args: &[String]) -> i32 {
     let engine_stats = engine.shutdown();
     match verdict {
         Ok(stats) => {
-            // Three passes: v2 classify_batch, v2 classify_iter, v1 classify_batch.
-            if engine_stats.records_classified != 3 * reads.len() as u64 {
+            // Three clean passes (v2 classify_batch, v2 classify_iter, v1
+            // classify_batch); the chaos pass classifies every read at
+            // least once more, plus replays of unacknowledged chunks.
+            let floor = if with_chaos { 4 } else { 3 } * reads.len() as u64;
+            let exact = !with_chaos;
+            if (exact && engine_stats.records_classified != floor)
+                || engine_stats.records_classified < floor
+            {
                 eprintln!(
-                    "mc-serve smoke: engine classified {} records, expected {}",
+                    "mc-serve smoke: engine classified {} records, expected {}{}",
                     engine_stats.records_classified,
-                    3 * reads.len()
+                    if exact { "" } else { "at least " },
+                    floor
                 );
                 return 1;
             }

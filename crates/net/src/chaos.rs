@@ -1,0 +1,449 @@
+//! A deterministic fault-injection TCP proxy for torturing the serving
+//! stack.
+//!
+//! [`ChaosProxy`] sits between a client and an upstream server and applies
+//! a scripted [`Fault`] to each direction of each proxied connection:
+//! delays, byte-dribbling (slow-loris), truncated frames, stalls,
+//! connection resets, and one-way half-closes. Plans are per-connection in
+//! accept order and every parameter is explicit (or drawn from a seeded
+//! generator), so a fault schedule replays identically — chaos tests are
+//! regression tests, not flaky ones.
+//!
+//! Connections beyond the scripted plan list are forwarded verbatim, which
+//! is exactly what a convergence test wants: the retry client burns
+//! through the faulty connections, then succeeds on a clean one.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Poll granularity of the pump threads: how quickly they notice the stop
+/// flag while blocked on a quiet socket.
+const TICK: Duration = Duration::from_millis(25);
+
+/// One direction's scripted misbehavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward verbatim.
+    None,
+    /// Forward verbatim after an initial one-off delay.
+    Delay(Duration),
+    /// Slow-loris: forward in `chunk`-byte pieces with `pause` between
+    /// them, stretching every frame over many small writes.
+    Dribble { chunk: usize, pause: Duration },
+    /// Forward exactly `after` bytes, then cleanly close this direction —
+    /// the receiver sees EOF, typically mid-frame.
+    Truncate { after: usize },
+    /// Forward exactly `after` bytes, then go silent while holding the
+    /// connection open — the receiver's deadline, not its parser, must
+    /// catch this.
+    Stall { after: usize },
+    /// Forward exactly `after` bytes, then tear down the whole proxied
+    /// connection (both directions, both sockets) at once — the closest a
+    /// userspace proxy gets to a crashed peer.
+    Reset { after: usize },
+    /// Forward exactly `after` bytes, then half-close this direction only;
+    /// the opposite direction keeps flowing.
+    HalfClose { after: usize },
+}
+
+impl Fault {
+    /// Draw one fault deterministically from `seed`, covering every class
+    /// across a sweep of seeds. Byte counts are chosen small enough to cut
+    /// inside handshakes and frame headers.
+    pub fn seeded(seed: u64) -> Self {
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let r = xorshift(&mut state);
+        let after = 3 + (xorshift(&mut state) % 40) as usize;
+        match r % 7 {
+            0 => Self::None,
+            1 => Self::Delay(Duration::from_millis(1 + xorshift(&mut state) % 40)),
+            2 => Self::Dribble {
+                chunk: 1 + (xorshift(&mut state) % 3) as usize,
+                pause: Duration::from_millis(1 + xorshift(&mut state) % 5),
+            },
+            3 => Self::Truncate { after },
+            4 => Self::Stall { after },
+            5 => Self::Reset { after },
+            _ => Self::HalfClose { after },
+        }
+    }
+
+    /// Whether this fault eventually kills or wedges its connection (so a
+    /// client on it must fail over) rather than merely slowing it down.
+    pub fn is_lossy(&self) -> bool {
+        matches!(
+            self,
+            Self::Truncate { .. }
+                | Self::Stall { .. }
+                | Self::Reset { .. }
+                | Self::HalfClose { .. }
+        )
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = state.wrapping_add(1);
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// The fault script of one proxied connection: independent faults for the
+/// client→server (`upstream`) and server→client (`downstream`) directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnPlan {
+    /// Applied to bytes flowing client → server.
+    pub upstream: Fault,
+    /// Applied to bytes flowing server → client.
+    pub downstream: Fault,
+}
+
+/// Forward both directions verbatim.
+pub const PASSTHROUGH: ConnPlan = ConnPlan {
+    upstream: Fault::None,
+    downstream: Fault::None,
+};
+
+impl ConnPlan {
+    /// A plan applying `fault` upstream only.
+    pub fn upstream(fault: Fault) -> Self {
+        Self {
+            upstream: fault,
+            downstream: Fault::None,
+        }
+    }
+
+    /// A plan applying `fault` downstream only.
+    pub fn downstream(fault: Fault) -> Self {
+        Self {
+            upstream: Fault::None,
+            downstream: fault,
+        }
+    }
+
+    /// Draw a whole plan from `seed`: one direction gets a seeded fault,
+    /// the other stays clean (mirroring how real networks usually break
+    /// one way at a time).
+    pub fn seeded(seed: u64) -> Self {
+        let mut state = seed;
+        let fault = Fault::seeded(xorshift(&mut state));
+        if xorshift(&mut state).is_multiple_of(2) {
+            Self::upstream(fault)
+        } else {
+            Self::downstream(fault)
+        }
+    }
+}
+
+/// A fault-injecting TCP proxy in front of one upstream address.
+///
+/// Accepts on an ephemeral loopback port ([`ChaosProxy::local_addr`]); the
+/// `n`-th accepted connection runs the `n`-th [`ConnPlan`] (verbatim
+/// forwarding once the script runs out). [`ChaosProxy::shutdown`] tears
+/// down every proxied connection and joins all pump threads — bounded by
+/// the pumps' poll tick, never by a stuck peer.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Start proxying `upstream` with the given per-connection scripts.
+    pub fn start(upstream: SocketAddr, plans: Vec<ConnPlan>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_accept = Arc::clone(&stop);
+        let acceptor = std::thread::spawn(move || {
+            let mut pumps: Vec<std::thread::JoinHandle<()>> = Vec::new();
+            let mut index = 0usize;
+            loop {
+                let Ok((client, _)) = listener.accept() else {
+                    break;
+                };
+                if stop_accept.load(Ordering::SeqCst) {
+                    break; // the shutdown wake-up (or a raced late arrival)
+                }
+                let plan = plans.get(index).copied().unwrap_or(PASSTHROUGH);
+                index += 1;
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    continue; // upstream gone: drop the client on the floor
+                };
+                let _ = client.set_nodelay(true);
+                let _ = server.set_nodelay(true);
+                let (Ok(client_r), Ok(server_r)) = (client.try_clone(), server.try_clone()) else {
+                    continue;
+                };
+                let up_stop = Arc::clone(&stop_accept);
+                let down_stop = Arc::clone(&stop_accept);
+                pumps.push(std::thread::spawn(move || {
+                    pump(client_r, server, plan.upstream, &up_stop);
+                }));
+                pumps.push(std::thread::spawn(move || {
+                    pump(server_r, client, plan.downstream, &down_stop);
+                }));
+            }
+            for pump in pumps {
+                let _ = pump.join();
+            }
+        });
+        Ok(Self {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The address clients should connect to instead of the upstream.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop proxying: close every proxied connection, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor with a throwaway connection (same trick as the
+        // server's shutdown); the pumps notice the flag within a tick.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Sleep `total` in stop-aware slices; true if the stop flag fired.
+fn sleep_poll(total: Duration, stop: &AtomicBool) -> bool {
+    let mut remaining = total;
+    while remaining > Duration::ZERO {
+        if stop.load(Ordering::SeqCst) {
+            return true;
+        }
+        let slice = remaining.min(TICK);
+        std::thread::sleep(slice);
+        remaining -= slice;
+    }
+    stop.load(Ordering::SeqCst)
+}
+
+/// Kill both sockets of a proxied pair outright.
+fn teardown(a: &TcpStream, b: &TcpStream) {
+    let _ = a.shutdown(Shutdown::Both);
+    let _ = b.shutdown(Shutdown::Both);
+}
+
+/// Pump one direction, applying `fault`. Exits when the source reaches
+/// EOF (propagating the half-close), the fault script says so, either
+/// socket errors out, or the stop flag fires.
+fn pump(mut src: TcpStream, mut dst: TcpStream, fault: Fault, stop: &AtomicBool) {
+    // Short read timeouts keep the pump responsive to the stop flag even
+    // when the wire is quiet; a bounded write timeout keeps shutdown from
+    // waiting on a peer that stopped reading.
+    let _ = src.set_read_timeout(Some(TICK));
+    let _ = dst.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut buf = [0u8; 16 * 1024];
+    let mut forwarded = 0usize;
+    let mut delayed = false;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            teardown(&src, &dst);
+            return;
+        }
+        let n = match src.read(&mut buf) {
+            Ok(0) => {
+                // Source half-closed: propagate the EOF, leave the other
+                // direction alone.
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => {
+                teardown(&src, &dst);
+                return;
+            }
+        };
+        let bytes = &buf[..n];
+        match fault {
+            Fault::None => {
+                if dst.write_all(bytes).is_err() {
+                    teardown(&src, &dst);
+                    return;
+                }
+            }
+            Fault::Delay(before) => {
+                if !delayed {
+                    delayed = true;
+                    if sleep_poll(before, stop) {
+                        teardown(&src, &dst);
+                        return;
+                    }
+                }
+                if dst.write_all(bytes).is_err() {
+                    teardown(&src, &dst);
+                    return;
+                }
+            }
+            Fault::Dribble { chunk, pause } => {
+                for piece in bytes.chunks(chunk.max(1)) {
+                    if dst.write_all(piece).is_err() {
+                        teardown(&src, &dst);
+                        return;
+                    }
+                    if sleep_poll(pause, stop) {
+                        teardown(&src, &dst);
+                        return;
+                    }
+                }
+            }
+            Fault::Truncate { after } | Fault::HalfClose { after } => {
+                let take = after.saturating_sub(forwarded).min(n);
+                if take > 0 && dst.write_all(&bytes[..take]).is_err() {
+                    teardown(&src, &dst);
+                    return;
+                }
+                forwarded += take;
+                if forwarded >= after {
+                    // Close this direction only: receiver sees EOF.
+                    let _ = dst.shutdown(Shutdown::Write);
+                    let _ = src.shutdown(Shutdown::Read);
+                    return;
+                }
+            }
+            Fault::Reset { after } => {
+                let take = after.saturating_sub(forwarded).min(n);
+                if take > 0 && dst.write_all(&bytes[..take]).is_err() {
+                    teardown(&src, &dst);
+                    return;
+                }
+                forwarded += take;
+                if forwarded >= after {
+                    teardown(&src, &dst);
+                    return;
+                }
+            }
+            Fault::Stall { after } => {
+                let take = after.saturating_sub(forwarded).min(n);
+                if take > 0 && dst.write_all(&bytes[..take]).is_err() {
+                    teardown(&src, &dst);
+                    return;
+                }
+                forwarded += take;
+                if forwarded >= after {
+                    // Go silent but keep the connection open: stop reading
+                    // (TCP backpressure stalls the sender) and park until
+                    // shutdown. Only a receiver-side deadline gets out.
+                    while !sleep_poll(TICK, stop) {}
+                    teardown(&src, &dst);
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An upstream echo server good for one connection at a time.
+    fn echo_upstream() -> (SocketAddr, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handle = std::thread::spawn(move || {
+            while let Ok((mut conn, _)) = listener.accept() {
+                let mut buf = [0u8; 1024];
+                loop {
+                    match conn.read(&mut buf) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => {
+                            if conn.write_all(&buf[..n]).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn passthrough_and_dribble_deliver_bytes_intact() {
+        let (upstream, _echo) = echo_upstream();
+        let proxy = ChaosProxy::start(
+            upstream,
+            vec![
+                PASSTHROUGH,
+                ConnPlan::upstream(Fault::Dribble {
+                    chunk: 1,
+                    pause: Duration::from_millis(1),
+                }),
+            ],
+        )
+        .unwrap();
+        for _ in 0..2 {
+            let mut conn = TcpStream::connect(proxy.local_addr()).unwrap();
+            conn.write_all(b"hello chaos").unwrap();
+            let mut back = [0u8; 11];
+            conn.read_exact(&mut back).unwrap();
+            assert_eq!(&back, b"hello chaos");
+        }
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn truncate_cuts_after_exact_byte_count() {
+        let (upstream, _echo) = echo_upstream();
+        let proxy = ChaosProxy::start(
+            upstream,
+            vec![ConnPlan::downstream(Fault::Truncate { after: 5 })],
+        )
+        .unwrap();
+        let mut conn = TcpStream::connect(proxy.local_addr()).unwrap();
+        conn.write_all(b"0123456789").unwrap();
+        let mut back = Vec::new();
+        conn.read_to_end(&mut back).unwrap();
+        assert_eq!(back, b"01234");
+        proxy.shutdown();
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_cover_fault_classes() {
+        let a: Vec<ConnPlan> = (0..64).map(ConnPlan::seeded).collect();
+        let b: Vec<ConnPlan> = (0..64).map(ConnPlan::seeded).collect();
+        assert_eq!(a, b);
+        let lossy = a
+            .iter()
+            .filter(|p| p.upstream.is_lossy() || p.downstream.is_lossy())
+            .count();
+        assert!(lossy > 8, "seeded sweep must exercise lossy faults");
+        assert!(lossy < 64, "seeded sweep must also pass clean traffic");
+    }
+}

@@ -11,19 +11,21 @@
 //! wire protocol adds framing, never semantics.
 
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use mc_seqio::SequenceRecord;
 use metacache::Classification;
 
 use crate::protocol::{
     encode_classify, encode_classify_packed, read_frame, write_frame, Frame, NetError,
-    ProtocolError, MAGIC, MIN_PROTOCOL_VERSION, PACKED_MIN_VERSION, PROTOCOL_VERSION,
+    ProtocolError, BUSY_CONNECTION, LIVENESS_MIN_VERSION, MAGIC, MIN_PROTOCOL_VERSION,
+    PACKED_MIN_VERSION, PROTOCOL_VERSION,
 };
 
 /// Connection preferences sent in the handshake. The server may shrink but
 /// never grow them; `0` means "use the server's default".
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ClientConfig {
     /// Requested records per engine batch.
     pub batch_records: u32,
@@ -34,6 +36,17 @@ pub struct ClientConfig {
     /// conversation — useful against old servers and for measuring the
     /// packed encoding's bandwidth win.
     pub version: u16,
+    /// Deadline for establishing the TCP connection (`None` = the OS
+    /// default, typically tens of seconds).
+    pub connect_timeout: Option<Duration>,
+    /// Per-request deadline: the longest any single blocking receive may
+    /// wait for server bytes. A stalled server surfaces as an
+    /// [`std::io::ErrorKind::TimedOut`] I/O error (retryable) instead of a
+    /// hang. `None` waits forever.
+    pub request_timeout: Option<Duration>,
+    /// Pre-shared token sent in `Hello` (requires announcing protocol v3 or
+    /// later — earlier servers treat the token bytes as trailing garbage).
+    pub auth_token: Option<String>,
 }
 
 /// Counters of one [`NetClient::classify_iter`] stream.
@@ -122,8 +135,17 @@ impl NetClient {
         } else {
             config.version
         };
-        let stream = TcpStream::connect(addr)?;
+        if config.auth_token.is_some() && announced < LIVENESS_MIN_VERSION {
+            // A pre-v3 server would read the token as trailing garbage and
+            // reject the Hello; refuse locally with a clear error instead.
+            return Err(ProtocolError::Malformed("auth token requires protocol v3").into());
+        }
+        let stream = connect_stream(addr, config.connect_timeout)?;
         let _ = stream.set_nodelay(true);
+        // The per-request deadline rides on the socket: every blocking
+        // receive wakes within it, turning a stalled server into a
+        // retryable TimedOut error instead of a wedged client.
+        stream.set_read_timeout(config.request_timeout)?;
         let reader = BufReader::new(stream.try_clone()?);
         let mut writer = BufWriter::new(stream);
         write_frame(
@@ -133,6 +155,7 @@ impl NetClient {
                 version: announced,
                 batch_records: config.batch_records,
                 max_in_flight: config.max_in_flight,
+                auth_token: config.auth_token.clone(),
             },
         )?;
         writer.flush()?;
@@ -191,6 +214,35 @@ impl NetClient {
     /// connection is a bit-identical v1 verbatim conversation.
     pub fn protocol_version(&self) -> u16 {
         self.version
+    }
+
+    /// Probe connection liveness with a `Ping`/`Pong` round trip (also
+    /// resets the server's idle-reaping clock). Requires a negotiated
+    /// protocol of v3 or later and **no requests in flight** — the pong
+    /// must be the next frame on the wire.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        self.check_alive()?;
+        if self.version < LIVENESS_MIN_VERSION {
+            return Err(ProtocolError::Malformed("ping requires protocol v3").into());
+        }
+        let nonce = self.next_request ^ 0x6d63_7069_6e67; // "mcping"
+        if let Err(e) = write_frame(&mut self.writer, &Frame::Ping { nonce })
+            .and_then(|()| self.writer.flush().map_err(NetError::from))
+        {
+            self.dead = true;
+            return Err(e);
+        }
+        match self.read_reply()? {
+            Frame::Pong { nonce: echoed } if echoed == nonce => Ok(()),
+            Frame::Pong { .. } => {
+                self.dead = true;
+                Err(ProtocolError::Malformed("pong nonce mismatch").into())
+            }
+            other => {
+                self.dead = true;
+                Err(ProtocolError::Malformed(unexpected(&other)).into())
+            }
+        }
     }
 
     /// Classify a batch of reads in one request/response exchange. Returns
@@ -309,7 +361,13 @@ impl NetClient {
         Ok(())
     }
 
-    fn send_request(&mut self, reads: &[SequenceRecord]) -> Result<u64, NetError> {
+    /// Whether the connection has been marked unusable (crate-internal:
+    /// `RetryClient` decides between resend and reconnect with this).
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    pub(crate) fn send_request(&mut self, reads: &[SequenceRecord]) -> Result<u64, NetError> {
         self.check_alive()?;
         // Encode straight from the borrowed slice — no clone of the reads,
         // and (on a v2 connection) sequences pack 2-bit directly into the
@@ -335,7 +393,7 @@ impl NetClient {
         Ok(request_id)
     }
 
-    fn recv_results(&mut self, expect_id: u64) -> Result<Vec<Classification>, NetError> {
+    pub(crate) fn recv_results(&mut self, expect_id: u64) -> Result<Vec<Classification>, NetError> {
         self.check_alive()?;
         match self.read_reply()? {
             Frame::Results {
@@ -362,6 +420,18 @@ impl NetClient {
             Ok(Some(Frame::Error { code, message })) => {
                 self.dead = true;
                 Err(NetError::Remote { code, message })
+            }
+            Ok(Some(Frame::Busy {
+                request_id,
+                retry_after_ms,
+            })) => {
+                // A request-level Busy is that request's (in-order) answer:
+                // the connection stays usable. A connection-level Busy means
+                // the server refused to serve this connection at all.
+                if request_id == BUSY_CONNECTION {
+                    self.dead = true;
+                }
+                Err(NetError::Busy { retry_after_ms })
             }
             Ok(Some(frame)) => Ok(frame),
             Ok(None) => {
@@ -391,6 +461,41 @@ impl Drop for NetClient {
     }
 }
 
+/// Connect with an optional per-address deadline. `connect_timeout`
+/// requires resolved addresses, so resolution happens here either way.
+fn connect_stream(
+    addr: impl ToSocketAddrs,
+    timeout: Option<Duration>,
+) -> Result<TcpStream, NetError> {
+    let Some(timeout) = timeout else {
+        return Ok(TcpStream::connect(addr)?);
+    };
+    let mut last: Option<std::io::Error> = None;
+    for resolved in addr.to_socket_addrs()? {
+        match TcpStream::connect_timeout(&resolved, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(last
+        .unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses resolved")
+        })
+        .into())
+}
+
+/// Resolve `addr` once, for reuse across reconnects (`RetryPolicy` needs a
+/// stable target that does not re-hit DNS on every attempt).
+pub(crate) fn resolve_addrs(addr: impl ToSocketAddrs) -> Result<Vec<SocketAddr>, NetError> {
+    let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+    if addrs.is_empty() {
+        return Err(
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "no addresses resolved").into(),
+        );
+    }
+    Ok(addrs)
+}
+
 fn unexpected(frame: &Frame) -> &'static str {
     match frame {
         Frame::Hello { .. } => "unexpected Hello",
@@ -400,5 +505,8 @@ fn unexpected(frame: &Frame) -> &'static str {
         Frame::Results { .. } => "unexpected Results",
         Frame::Error { .. } => "unexpected Error",
         Frame::Goodbye => "unexpected Goodbye",
+        Frame::Ping { .. } => "unexpected Ping",
+        Frame::Pong { .. } => "unexpected Pong",
+        Frame::Busy { .. } => "unexpected Busy",
     }
 }

@@ -16,7 +16,13 @@
 //! * **Isolation.** One connection = one session: a disconnect, a malformed
 //!   frame or a backend panic tears down that session alone.
 //!
-//! The crate splits into three layers:
+//! * **Fault tolerance.** Deadlines bound every server-side wait
+//!   (handshake, frame read, idle, write), overload is answered with typed
+//!   `Busy` frames instead of unbounded queueing, and [`RetryClient`]
+//!   absorbs transient failures with reconnect + replay — results stay
+//!   bit-identical even under injected faults (`tests/net_chaos.rs`).
+//!
+//! The crate splits into five layers:
 //!
 //! * [`protocol`] — the length-prefixed binary wire format (pure
 //!   encode/decode, property-tested), specified in `docs/SERVING.md`;
@@ -24,16 +30,27 @@
 //!   pair per connection, graceful drain composing with
 //!   [`ServingEngine::shutdown`](metacache::serving::ServingEngine::shutdown);
 //! * [`client`] — [`NetClient`]: blocking connect / `classify_batch` /
-//!   pipelined `classify_iter`.
+//!   pipelined `classify_iter`;
+//! * [`retry`] — [`RetryClient`]: capped-exponential-backoff reconnect and
+//!   safe replay on top of [`NetClient`];
+//! * [`chaos`] — [`ChaosProxy`]: a deterministic fault-injection proxy
+//!   (delays, slow-loris dribble, truncation, stalls, resets, half-closes)
+//!   that turns failure-mode testing into seeded regression tests.
 //!
-//! The `mc-serve` binary wraps all three: `mc-serve serve` exposes a
-//! database on a socket, `mc-serve classify` is a command-line client, and
-//! `mc-serve smoke` runs a self-contained loopback round-trip (used by CI).
+//! The `mc-serve` binary wraps all of it: `mc-serve serve` exposes a
+//! database on a socket, `mc-serve classify` is a command-line client,
+//! `mc-serve smoke` runs a self-contained loopback round-trip (used by CI,
+//! `--chaos` adds a fault-injected pass), and `mc-serve chaos` proxies an
+//! address with scripted faults for manual torture.
 
+pub mod chaos;
 pub mod client;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 
+pub use chaos::{ChaosProxy, ConnPlan, Fault, PASSTHROUGH};
 pub use client::{ClientConfig, NetClient, NetSummary};
 pub use protocol::{ErrorCode, Frame, NetError, ProtocolError, ResultEntry};
+pub use retry::{RetryClient, RetryPolicy, RetryStats};
 pub use server::{NetServer, ServerConfig, ServerHandle, ServerStats};

@@ -35,9 +35,11 @@ use metacache::Classification;
 /// Protocol magic carried by the [`Frame::Hello`] frame: `"MCNT"`.
 pub const MAGIC: u32 = 0x4D43_4E54;
 
-/// Current protocol version. Version 2 adds the packed request encoding
-/// ([`Frame::ClassifyPacked`]); everything else is identical to version 1.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// Current protocol version. Version 3 adds the fault-tolerance vocabulary
+/// — [`Frame::Ping`]/[`Frame::Pong`] liveness probes, the typed
+/// [`Frame::Busy`] overload answer and the optional `Hello` auth token;
+/// version 2 added the packed request encoding ([`Frame::ClassifyPacked`]).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Oldest protocol version a server still accepts. The connection speaks
 /// `min(client version, PROTOCOL_VERSION)` — a v1 peer gets a bit-identical
@@ -50,6 +52,20 @@ pub const MIN_PROTOCOL_VERSION: u16 = 1;
 /// connection negotiated below this, the packed frame type is rejected as
 /// [`ErrorCode::UnknownFrameType`].
 pub const PACKED_MIN_VERSION: u16 = 2;
+
+/// First protocol version that speaks the fault-tolerance vocabulary:
+/// [`Frame::Ping`]/[`Frame::Pong`], [`Frame::Busy`] and the optional
+/// `Hello` auth token. On a connection negotiated below this, those frame
+/// types are rejected as [`ErrorCode::UnknownFrameType`] and the server
+/// falls back to the v1/v2 behaviour (no shedding answer, no keepalives) —
+/// old peers interoperate unchanged.
+pub const LIVENESS_MIN_VERSION: u16 = 3;
+
+/// The `request_id` a [`Frame::Busy`] carries when the *connection* (not an
+/// individual request) was refused — the server closes right after sending
+/// it. Any other id means "this one request was shed; the connection stays
+/// open, retry after the hinted delay".
+pub const BUSY_CONNECTION: u64 = u64::MAX;
 
 /// Upper bound on `len` (type byte + payload) of any frame: 64 MiB. A header
 /// announcing more is rejected as [`ProtocolError::FrameTooLarge`] without
@@ -73,6 +89,13 @@ pub mod frame_type {
     /// Client → server: one classification request with 2-bit packed
     /// sequences (protocol version ≥ 2).
     pub const CLASSIFY_PACKED: u8 = 7;
+    /// Client → server: liveness probe (protocol version ≥ 3).
+    pub const PING: u8 = 8;
+    /// Server → client: answer to a [`PING`], echoing its nonce.
+    pub const PONG: u8 = 9;
+    /// Server → client: the request (or connection) was shed under
+    /// overload; retry after the hinted delay (protocol version ≥ 3).
+    pub const BUSY: u8 = 10;
 }
 
 /// Per-record flag bits of the packed read encoding
@@ -109,6 +132,12 @@ pub enum ErrorCode {
     Internal = 6,
     /// The server is shutting down and no longer accepts requests.
     ShuttingDown = 7,
+    /// The `Hello` auth token was missing or wrong for a server that
+    /// requires one.
+    Unauthorized = 8,
+    /// The peer stalled past a connection deadline (handshake, mid-frame
+    /// read, or idle without a [`Frame::Ping`]); the connection closes.
+    TimedOut = 9,
 }
 
 impl ErrorCode {
@@ -121,6 +150,8 @@ impl ErrorCode {
             5 => Self::FrameTooLarge,
             6 => Self::Internal,
             7 => Self::ShuttingDown,
+            8 => Self::Unauthorized,
+            9 => Self::TimedOut,
             _ => Self::Malformed,
         }
     }
@@ -199,6 +230,31 @@ pub enum NetError {
     },
     /// The connection closed before the expected response arrived.
     Disconnected,
+    /// The peer shed the request (or refused the connection) under
+    /// overload and hinted when to retry. Retryable by construction —
+    /// [`crate::RetryClient`] backs off at least this long and resends.
+    Busy {
+        /// Server-suggested minimum delay before retrying, milliseconds.
+        retry_after_ms: u32,
+    },
+}
+
+impl NetError {
+    /// Whether retrying the same operation (possibly on a fresh
+    /// connection) can succeed. Transient transport conditions — socket
+    /// failures, disconnects, timeouts, overload sheds, a draining server —
+    /// are retryable; protocol violations and rejections (bad magic,
+    /// version, auth) are permanent and retrying would only repeat them.
+    /// This is the classification [`crate::RetryClient`] acts on.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            Self::Io(_) | Self::Disconnected | Self::Busy { .. } => true,
+            Self::Remote { code, .. } => {
+                matches!(code, ErrorCode::ShuttingDown | ErrorCode::TimedOut)
+            }
+            Self::Protocol(_) => false,
+        }
+    }
 }
 
 impl From<io::Error> for NetError {
@@ -222,6 +278,9 @@ impl std::fmt::Display for NetError {
                 write!(f, "remote error {code:?}: {message}")
             }
             Self::Disconnected => write!(f, "connection closed mid-exchange"),
+            Self::Busy { retry_after_ms } => {
+                write!(f, "peer overloaded; retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -251,6 +310,11 @@ pub enum Frame {
         batch_records: u32,
         /// Requested in-flight request credit (`0` = server default).
         max_in_flight: u32,
+        /// Optional pre-shared auth token (protocol version ≥ 3). When
+        /// `None`, the payload is byte-identical to a v1/v2 `Hello`; a
+        /// token rides as one trailing str16, which pre-v3 servers reject
+        /// as trailing garbage — authenticating requires a v3 server.
+        auth_token: Option<String>,
     },
     /// Handshake accepted (server → client).
     HelloAck {
@@ -299,6 +363,30 @@ pub enum Frame {
     },
     /// Graceful end of stream (client → server).
     Goodbye,
+    /// Liveness probe (client → server, protocol version ≥ 3): an
+    /// idle-but-alive streaming session pings within the server's idle
+    /// timeout to keep its connection off the idle reaper.
+    Ping {
+        /// Client-chosen value echoed by the matching [`Frame::Pong`].
+        nonce: u64,
+    },
+    /// Answer to a [`Frame::Ping`] (server → client), echoing its nonce.
+    /// Ordered with `Results` frames: the server answers every frame of a
+    /// connection in receive order.
+    Pong {
+        /// The nonce of the `Ping` this answers.
+        nonce: u64,
+    },
+    /// Overload answer (server → client, protocol version ≥ 3): the
+    /// request identified by `request_id` was shed instead of queued —
+    /// or, with [`BUSY_CONNECTION`], the whole connection was refused and
+    /// closes after this frame.
+    Busy {
+        /// The shed request's id, or [`BUSY_CONNECTION`].
+        request_id: u64,
+        /// Server-suggested minimum delay before retrying, milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 /// One read's classification on the wire (fixed 14 bytes:
@@ -362,6 +450,9 @@ impl Frame {
             Self::Results { .. } => frame_type::RESULTS,
             Self::Error { .. } => frame_type::ERROR,
             Self::Goodbye => frame_type::GOODBYE,
+            Self::Ping { .. } => frame_type::PING,
+            Self::Pong { .. } => frame_type::PONG,
+            Self::Busy { .. } => frame_type::BUSY,
         }
     }
 
@@ -375,11 +466,15 @@ impl Frame {
                 version,
                 batch_records,
                 max_in_flight,
+                auth_token,
             } => {
                 put_u32(out, *magic);
                 put_u16(out, *version);
                 put_u32(out, *batch_records);
                 put_u32(out, *max_in_flight);
+                if let Some(token) = auth_token {
+                    put_str16(out, token)?;
+                }
             }
             Self::HelloAck {
                 version,
@@ -421,6 +516,14 @@ impl Frame {
                 put_str16(out, message)?;
             }
             Self::Goodbye => {}
+            Self::Ping { nonce } | Self::Pong { nonce } => put_u64(out, *nonce),
+            Self::Busy {
+                request_id,
+                retry_after_ms,
+            } => {
+                put_u64(out, *request_id);
+                put_u32(out, *retry_after_ms);
+            }
         }
         Ok(())
     }
@@ -445,6 +548,13 @@ impl Frame {
                 version: cursor.u16()?,
                 batch_records: cursor.u32()?,
                 max_in_flight: cursor.u32()?,
+                // A v3 peer may append one str16 auth token; the bare
+                // 14-byte payload stays bit-compatible with v1/v2.
+                auth_token: if cursor.is_empty() {
+                    None
+                } else {
+                    Some(cursor.str16()?)
+                },
             },
             frame_type::HELLO_ACK => Self::HelloAck {
                 version: cursor.u16()?,
@@ -484,6 +594,16 @@ impl Frame {
                 message: cursor.str16()?,
             },
             frame_type::GOODBYE => Self::Goodbye,
+            frame_type::PING => Self::Ping {
+                nonce: cursor.u64()?,
+            },
+            frame_type::PONG => Self::Pong {
+                nonce: cursor.u64()?,
+            },
+            frame_type::BUSY => Self::Busy {
+                request_id: cursor.u64()?,
+                retry_after_ms: cursor.u32()?,
+            },
             other => return Err(ProtocolError::UnknownFrameType(other)),
         };
         cursor.finish()?;
@@ -876,6 +996,19 @@ fn read_exact_or_disconnect(r: &mut impl Read, buf: &mut [u8]) -> Result<(), Net
     })
 }
 
+/// Compare two byte strings in time independent of where they differ —
+/// the auth-token check must not leak the matching prefix length through
+/// timing. (Length still leaks; tokens are not secrets of varying length.)
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        diff |= usize::from(x ^ y);
+    }
+    diff == 0
+}
+
 // ---- little-endian primitives -------------------------------------------
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
@@ -913,6 +1046,10 @@ struct Cursor<'a> {
 impl<'a> Cursor<'a> {
     fn new(payload: &'a [u8]) -> Self {
         Self { rest: payload }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.rest.is_empty()
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
@@ -994,6 +1131,14 @@ mod tests {
             version: PROTOCOL_VERSION,
             batch_records: 64,
             max_in_flight: 0,
+            auth_token: None,
+        });
+        roundtrip(Frame::Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION,
+            batch_records: 64,
+            max_in_flight: 8,
+            auth_token: Some("hunter2".into()),
         });
         roundtrip(Frame::HelloAck {
             version: PROTOCOL_VERSION,
@@ -1046,6 +1191,70 @@ mod tests {
             message: "bad payload".into(),
         });
         roundtrip(Frame::Goodbye);
+        roundtrip(Frame::Ping { nonce: 7 });
+        roundtrip(Frame::Pong { nonce: u64::MAX });
+        roundtrip(Frame::Busy {
+            request_id: 3,
+            retry_after_ms: 250,
+        });
+        roundtrip(Frame::Busy {
+            request_id: BUSY_CONNECTION,
+            retry_after_ms: 100,
+        });
+    }
+
+    /// The v3 `Hello` without a token must stay byte-identical to the
+    /// v1/v2 wire layout (fixed 14-byte payload) — old servers keep
+    /// accepting new clients that don't authenticate.
+    #[test]
+    fn tokenless_hello_is_bit_compatible_with_v1() {
+        let bytes = Frame::Hello {
+            magic: MAGIC,
+            version: 1,
+            batch_records: 32,
+            max_in_flight: 4,
+            auth_token: None,
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(bytes.len(), 4 + 1 + 14);
+        let mut expected = Vec::new();
+        put_u32(&mut expected, MAGIC);
+        put_u16(&mut expected, 1);
+        put_u32(&mut expected, 32);
+        put_u32(&mut expected, 4);
+        assert_eq!(&bytes[5..], expected.as_slice());
+    }
+
+    #[test]
+    fn hello_with_truncated_token_is_rejected() {
+        let mut payload = Vec::new();
+        put_u32(&mut payload, MAGIC);
+        put_u16(&mut payload, 3);
+        put_u32(&mut payload, 0);
+        put_u32(&mut payload, 0);
+        put_u16(&mut payload, 40); // token claims 40 bytes …
+        payload.extend_from_slice(b"short"); // … but only 5 follow
+        assert_eq!(
+            Frame::decode(frame_type::HELLO, &payload),
+            Err(ProtocolError::Truncated)
+        );
+    }
+
+    #[test]
+    fn constant_time_eq_matches_plain_equality() {
+        let cases: &[(&[u8], &[u8])] = &[
+            (b"", b""),
+            (b"a", b""),
+            (b"", b"a"),
+            (b"token", b"token"),
+            (b"token", b"tokex"),
+            (b"token", b"toke"),
+            (b"aaaaaaaa", b"aaaaaaab"),
+        ];
+        for (a, b) in cases {
+            assert_eq!(constant_time_eq(a, b), a == b, "{a:?} vs {b:?}");
+        }
     }
 
     #[test]

@@ -41,23 +41,24 @@
 //!   two drains compose.
 
 use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use mc_seqio::SequenceRecord;
 use metacache::serving::{ServingEngine, SessionConfig};
 use metacache::Classification;
 
 use crate::protocol::{
-    decode_classify_into, encode_results_into, frame_type, read_frame, read_frame_buf, write_frame,
-    ErrorCode, Frame, NetError, ProtocolError, MAGIC, MIN_PROTOCOL_VERSION, PACKED_MIN_VERSION,
-    PROTOCOL_VERSION,
+    constant_time_eq, decode_classify_into, encode_results_into, frame_type, read_frame,
+    read_frame_buf, write_frame, ErrorCode, Frame, NetError, ProtocolError, BUSY_CONNECTION,
+    LIVENESS_MIN_VERSION, MAGIC, MIN_PROTOCOL_VERSION, PACKED_MIN_VERSION, PROTOCOL_VERSION,
 };
 
 /// Tuning knobs of a [`NetServer`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Per-connection session overrides (`0` fields = engine defaults).
     pub session: SessionConfig,
@@ -73,7 +74,40 @@ pub struct ServerConfig {
     /// [`NetServer::run`]. After this long blocked on one write, the
     /// connection is treated as gone and torn down. `None` disables the
     /// bound (not recommended for untrusted clients).
-    pub write_timeout: Option<std::time::Duration>,
+    pub write_timeout: Option<Duration>,
+    /// Deadline for completing one frame once its first byte has arrived.
+    /// The deadline is fixed at frame start, so a slow-loris peer dribbling
+    /// bytes cannot extend it — the whole frame lands within this bound or
+    /// the connection is torn down with [`ErrorCode::TimedOut`]. `None`
+    /// disables the bound (not recommended for untrusted clients).
+    pub read_timeout: Option<Duration>,
+    /// Idle reaping: the longest a connection may sit at a frame boundary
+    /// with no traffic at all. Any frame resets the clock — an idle-but-
+    /// alive v3 client stays off the reaper by sending [`Frame::Ping`]
+    /// within this window. `None` keeps idle connections forever.
+    pub idle_timeout: Option<Duration>,
+    /// Deadline from accept to a complete `Hello` (covers both the wait
+    /// for the first byte and a dribbled handshake). `None` disables it.
+    pub handshake_timeout: Option<Duration>,
+    /// Cap on simultaneously served connections (`0` = unbounded). Past
+    /// the cap, an accepted connection is answered with a connection-level
+    /// [`Frame::Busy`] and closed instead of being served.
+    pub max_connections: usize,
+    /// Cap on reads being classified across all connections at once
+    /// (`0` = unbounded). A v3 request that would push past it is shed
+    /// with a request-level [`Frame::Busy`] instead of queueing; v1/v2
+    /// connections are exempt (their protocol has no shed answer) and
+    /// block exactly as before. Setting the cap also arms high-water
+    /// admission: a brand-new session is shed while the engine's fair
+    /// queue is saturated. `0` disables request shedding entirely —
+    /// every client keeps the legacy blocking backpressure.
+    pub max_inflight_records: usize,
+    /// The retry hint carried by every [`Frame::Busy`] this server sends.
+    pub retry_after_ms: u32,
+    /// Require this pre-shared token in every `Hello` (compared in
+    /// constant time); a missing or wrong token is answered with
+    /// [`ErrorCode::Unauthorized`]. `None` disables auth.
+    pub auth_token: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -82,7 +116,14 @@ impl Default for ServerConfig {
             session: SessionConfig::default(),
             pending_requests: 2,
             nodelay: true,
-            write_timeout: Some(std::time::Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            read_timeout: Some(Duration::from_secs(30)),
+            idle_timeout: Some(Duration::from_secs(300)),
+            handshake_timeout: Some(Duration::from_secs(10)),
+            max_connections: 0,
+            max_inflight_records: 0,
+            retry_after_ms: 100,
+            auth_token: None,
         }
     }
 }
@@ -100,6 +141,14 @@ pub struct ServerStats {
     pub protocol_errors: u64,
     /// Requests lost to an internal failure (backend worker panic).
     pub internal_errors: u64,
+    /// Requests refused with a request-level [`Frame::Busy`] (load shed).
+    pub shed_requests: u64,
+    /// Connections refused with a connection-level [`Frame::Busy`].
+    pub shed_connections: u64,
+    /// Connections torn down by a read/idle/handshake deadline.
+    pub timeouts: u64,
+    /// Handshakes rejected for a missing or wrong auth token.
+    pub auth_failures: u64,
 }
 
 #[derive(Default)]
@@ -109,6 +158,10 @@ struct Counters {
     reads: AtomicU64,
     protocol_errors: AtomicU64,
     internal_errors: AtomicU64,
+    shed_requests: AtomicU64,
+    shed_connections: AtomicU64,
+    timeouts: AtomicU64,
+    auth_failures: AtomicU64,
 }
 
 /// State shared between the acceptor, its connections and every
@@ -119,6 +172,9 @@ struct Shared {
     /// shutdown can half-close them and let their streams drain.
     connections: Mutex<HashMap<u64, TcpStream>>,
     next_connection: AtomicU64,
+    /// Reads currently being classified across all connections — the gauge
+    /// behind [`ServerConfig::max_inflight_records`].
+    inflight_records: AtomicU64,
     counters: Counters,
     addr: SocketAddr,
 }
@@ -253,6 +309,7 @@ impl<'e> NetServer<'e> {
             shutting_down: AtomicBool::new(false),
             connections: Mutex::new(HashMap::new()),
             next_connection: AtomicU64::new(1),
+            inflight_records: AtomicU64::new(0),
             counters: Counters::default(),
             addr: listener.local_addr()?,
         });
@@ -282,7 +339,7 @@ impl<'e> NetServer<'e> {
     pub fn run(self) -> io::Result<ServerStats> {
         let shared = &self.shared;
         let engine = self.engine;
-        let config = self.config;
+        let config = &self.config;
         std::thread::scope(|scope| {
             loop {
                 let (stream, _peer) = match self.listener.accept() {
@@ -303,6 +360,24 @@ impl<'e> NetServer<'e> {
                     break;
                 }
                 shared.counters.connections.fetch_add(1, Ordering::Relaxed);
+                if config.max_connections > 0 {
+                    let live = shared
+                        .connections
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .len();
+                    if live >= config.max_connections {
+                        // Shed at the door: a connection-level Busy instead
+                        // of an unbounded accept backlog. The write happens
+                        // on the acceptor thread, so bound it tightly.
+                        shared
+                            .counters
+                            .shed_connections
+                            .fetch_add(1, Ordering::Relaxed);
+                        refuse_busy(stream, config.retry_after_ms);
+                        continue;
+                    }
+                }
                 let id = shared.next_connection.fetch_add(1, Ordering::Relaxed);
                 match stream.try_clone() {
                     Ok(clone) => {
@@ -331,7 +406,7 @@ impl<'e> NetServer<'e> {
                     // A connection must never take down the server: isolate
                     // panics (the engine already isolates the session).
                     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        serve_connection(engine, &config, shared, stream);
+                        serve_connection(engine, config, shared, stream);
                     }));
                     shared
                         .connections
@@ -350,6 +425,10 @@ impl<'e> NetServer<'e> {
             reads: c.reads.load(Ordering::Relaxed),
             protocol_errors: c.protocol_errors.load(Ordering::Relaxed),
             internal_errors: c.internal_errors.load(Ordering::Relaxed),
+            shed_requests: c.shed_requests.load(Ordering::Relaxed),
+            shed_connections: c.shed_connections.load(Ordering::Relaxed),
+            timeouts: c.timeouts.load(Ordering::Relaxed),
+            auth_failures: c.auth_failures.load(Ordering::Relaxed),
         })
     }
 }
@@ -366,14 +445,122 @@ fn refuse_shutting_down(stream: TcpStream) {
     let _ = writer.flush();
 }
 
+/// Refuse a past-capacity connection with a connection-level `Busy`. Runs
+/// on the acceptor thread, so the write is tightly bounded: a peer that
+/// won't read its refusal is simply dropped.
+fn refuse_busy(stream: TcpStream, retry_after_ms: u32) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    let mut writer = BufWriter::new(stream);
+    let _ = write_frame(
+        &mut writer,
+        &Frame::Busy {
+            request_id: BUSY_CONNECTION,
+            retry_after_ms,
+        },
+    );
+    let _ = writer.flush();
+}
+
+/// A socket reader that turns the server's deadlines into hard errors.
+///
+/// [`DeadlineReader::arm`] opens a frame window: until the first byte
+/// arrives the *boundary* deadline applies (idle or handshake reaping);
+/// from the first byte the whole frame must land within the *frame*
+/// timeout, and the deadline is fixed at that instant — a slow-loris peer
+/// dribbling one byte at a time cannot push it back.
+///
+/// Implemented with `set_read_timeout` + a retry loop, so a blocked `read`
+/// wakes at least once per remaining window; the extra syscall per read is
+/// noise next to classification (the hot path moves whole frames per read).
+struct DeadlineReader {
+    stream: TcpStream,
+    frame_timeout: Option<Duration>,
+    deadline: Option<Instant>,
+    in_frame: bool,
+}
+
+impl DeadlineReader {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            frame_timeout: None,
+            deadline: None,
+            in_frame: false,
+        }
+    }
+
+    /// Start a frame window: `boundary` bounds the wait for the first byte,
+    /// `frame` bounds the whole frame once it has started.
+    fn arm(&mut self, boundary: Option<Duration>, frame: Option<Duration>) {
+        self.deadline = boundary.map(|t| Instant::now() + t);
+        self.frame_timeout = frame;
+        self.in_frame = false;
+    }
+
+    /// Whether the last deadline fired while waiting *between* frames
+    /// (idle) rather than inside one (stall).
+    fn timed_out_idle(&self) -> bool {
+        !self.in_frame
+    }
+}
+
+impl Read for DeadlineReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            let timeout = match self.deadline {
+                None => None,
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "read deadline elapsed",
+                        ));
+                    }
+                    Some(deadline - now)
+                }
+            };
+            // `timeout` is non-zero by construction (checked above), which
+            // set_read_timeout requires.
+            self.stream.set_read_timeout(timeout)?;
+            match self.stream.read(buf) {
+                Ok(n) => {
+                    if n > 0 && !self.in_frame {
+                        // First byte of a frame: switch from the boundary
+                        // deadline to a fixed whole-frame deadline.
+                        self.in_frame = true;
+                        self.deadline = self.frame_timeout.map(|t| Instant::now() + t);
+                    }
+                    return Ok(n);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue; // re-check the deadline, then retry
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
 /// What the reader thread hands to the writer thread.
 enum ConnEvent {
     Request {
         request_id: u64,
         reads: Vec<SequenceRecord>,
     },
+    /// A liveness probe; the writer echoes a `Pong`.
+    Ping { nonce: u64 },
     /// The reader hit undecodable input; the writer reports it and closes.
     Bad(ProtocolError),
+    /// A read/idle deadline fired; the writer reports it and closes.
+    TimedOut { idle: bool },
 }
 
 /// Drive one connection to completion: handshake, then a reader thread
@@ -394,16 +581,20 @@ fn serve_connection(
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
+    let mut reader = DeadlineReader::new(read_half);
     let mut writer = BufWriter::new(stream);
 
     // --- Handshake -------------------------------------------------------
+    // The whole Hello — first byte *and* last — must land within the
+    // handshake deadline; a mid-handshake stall is reaped, not parked.
+    reader.arm(config.handshake_timeout, config.handshake_timeout);
     let hello = match read_frame(&mut reader) {
         Ok(Some(Frame::Hello {
             magic,
             version,
             batch_records,
             max_in_flight,
+            auth_token,
         })) => {
             if magic != MAGIC {
                 fail(shared, &mut writer, &ProtocolError::BadMagic(magic));
@@ -416,6 +607,26 @@ fn serve_connection(
                     &ProtocolError::UnsupportedVersion(version),
                 );
                 return;
+            }
+            if let Some(required) = config.auth_token.as_deref() {
+                // Constant-time compare; an absent token compares as empty
+                // (same timing as a wrong one).
+                let supplied = auth_token.as_deref().unwrap_or("");
+                if !constant_time_eq(required.as_bytes(), supplied.as_bytes()) {
+                    shared
+                        .counters
+                        .auth_failures
+                        .fetch_add(1, Ordering::Relaxed);
+                    let _ = write_frame(
+                        &mut writer,
+                        &Frame::Error {
+                            code: ErrorCode::Unauthorized,
+                            message: "invalid auth token".into(),
+                        },
+                    );
+                    let _ = writer.flush();
+                    return;
+                }
             }
             (batch_records, max_in_flight, version)
         }
@@ -430,6 +641,18 @@ fn serve_connection(
         Ok(None) => return, // probe connection; nothing to do
         Err(NetError::Protocol(e)) => {
             fail(shared, &mut writer, &e);
+            return;
+        }
+        Err(NetError::Io(e)) if e.kind() == io::ErrorKind::TimedOut => {
+            shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+            let _ = write_frame(
+                &mut writer,
+                &Frame::Error {
+                    code: ErrorCode::TimedOut,
+                    message: "handshake deadline elapsed".into(),
+                },
+            );
+            let _ = writer.flush();
             return;
         }
         Err(_) => return,
@@ -497,9 +720,21 @@ fn serve_connection(
     let (tx, rx) = mpsc::sync_channel::<ConnEvent>(config.pending_requests.max(1));
     std::thread::scope(|conn_scope| {
         let pool_ref = &pool;
-        conn_scope.spawn(move || read_loop(&mut reader, tx, pool_ref, version));
+        let idle_timeout = config.idle_timeout;
+        let read_timeout = config.read_timeout;
+        conn_scope.spawn(move || {
+            read_loop(
+                &mut reader,
+                tx,
+                pool_ref,
+                version,
+                idle_timeout,
+                read_timeout,
+            )
+        });
 
         let mut last_request_id: Option<u64> = None;
+        let mut served_any = false;
         let mut classifications: Vec<Classification> = Vec::new();
         let mut results_frame: Vec<u8> = Vec::new();
         let close = |writer: &mut BufWriter<TcpStream>| {
@@ -520,6 +755,50 @@ fn serve_connection(
                     }
                     last_request_id = Some(request_id);
                     let read_count = reads.len() as u64;
+                    // Reserve the records in the global in-flight gauge, then
+                    // decide whether to shed. Only v3 peers can be shed — a
+                    // request-level Busy is this request's (in-order) answer;
+                    // v1/v2 peers have no shed vocabulary and keep the legacy
+                    // blocking backpressure.
+                    let inflight = shared
+                        .inflight_records
+                        .fetch_add(read_count, Ordering::Relaxed)
+                        + read_count;
+                    // Shedding is opt-in: with the cap unset every client
+                    // keeps the legacy blocking backpressure — a plain v3
+                    // client on a default-config server must never see Busy.
+                    let shed = version >= LIVENESS_MIN_VERSION
+                        && config.max_inflight_records > 0
+                        && (inflight > config.max_inflight_records as u64
+                            // High-water admission: a brand-new stream is
+                            // refused while the fair queue is saturated, so a
+                            // flood of fresh sessions cannot starve the
+                            // established ones (which are exempt).
+                            || (!served_any && session.over_high_water()));
+                    if shed {
+                        shared
+                            .inflight_records
+                            .fetch_sub(read_count, Ordering::Relaxed);
+                        shared
+                            .counters
+                            .shed_requests
+                            .fetch_add(1, Ordering::Relaxed);
+                        recycle(&pool, config, reads);
+                        let ok = write_frame(
+                            &mut writer,
+                            &Frame::Busy {
+                                request_id,
+                                retry_after_ms: config.retry_after_ms,
+                            },
+                        )
+                        .is_ok()
+                            && writer.flush().is_ok();
+                        if !ok {
+                            close(&mut writer);
+                            break;
+                        }
+                        continue;
+                    }
                     classifications.clear();
                     // A backend worker panic re-raises in the owning session
                     // only; turn it into an error frame instead of a torn
@@ -527,6 +806,10 @@ fn serve_connection(
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         session.classify_owned(reads, &mut classifications)
                     }));
+                    shared
+                        .inflight_records
+                        .fetch_sub(read_count, Ordering::Relaxed);
+                    served_any = true;
                     match outcome {
                         Ok(recycled) => {
                             recycle(&pool, config, recycled);
@@ -570,8 +853,33 @@ fn serve_connection(
                         }
                     }
                 }
+                ConnEvent::Ping { nonce } => {
+                    let ok = write_frame(&mut writer, &Frame::Pong { nonce }).is_ok()
+                        && writer.flush().is_ok();
+                    if !ok {
+                        close(&mut writer);
+                        break;
+                    }
+                }
                 ConnEvent::Bad(e) => {
                     fail(shared, &mut writer, &e);
+                    close(&mut writer);
+                    break;
+                }
+                ConnEvent::TimedOut { idle } => {
+                    shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                    let _ = write_frame(
+                        &mut writer,
+                        &Frame::Error {
+                            code: ErrorCode::TimedOut,
+                            message: if idle {
+                                "idle timeout".into()
+                            } else {
+                                "frame read deadline elapsed".into()
+                            },
+                        },
+                    );
+                    let _ = writer.flush();
                     close(&mut writer);
                     break;
                 }
@@ -626,13 +934,19 @@ fn recycle(
 /// `Classify` / `ClassifyPacked` requests decode straight into recycled
 /// record vectors from `pool`.
 fn read_loop(
-    reader: &mut BufReader<TcpStream>,
+    reader: &mut DeadlineReader,
     tx: mpsc::SyncSender<ConnEvent>,
     pool: &Mutex<Vec<Vec<SequenceRecord>>>,
     version: u16,
+    idle_timeout: Option<Duration>,
+    read_timeout: Option<Duration>,
 ) {
     let mut payload: Vec<u8> = Vec::new();
     loop {
+        // Every frame opens a fresh window: `idle_timeout` to first byte,
+        // then the whole frame within `read_timeout`. Any frame (a Ping
+        // included) resets the idle clock.
+        reader.arm(idle_timeout, read_timeout);
         match read_frame_buf(reader, &mut payload) {
             Ok(Some(tag)) if tag == frame_type::CLASSIFY || tag == frame_type::CLASSIFY_PACKED => {
                 if tag == frame_type::CLASSIFY_PACKED && version < PACKED_MIN_VERSION {
@@ -657,6 +971,25 @@ fn read_loop(
                     }
                 }
             }
+            Ok(Some(tag)) if tag == frame_type::PING => {
+                if version < LIVENESS_MIN_VERSION {
+                    // A pre-v3 peer must not smuggle in v3 frames.
+                    let _ = tx.send(ConnEvent::Bad(ProtocolError::UnknownFrameType(tag)));
+                    return;
+                }
+                match Frame::decode(tag, &payload) {
+                    Ok(Frame::Ping { nonce }) => {
+                        if tx.send(ConnEvent::Ping { nonce }).is_err() {
+                            return; // writer side is gone
+                        }
+                    }
+                    Ok(_) => unreachable!("PING tag decodes to Frame::Ping"),
+                    Err(e) => {
+                        let _ = tx.send(ConnEvent::Bad(e));
+                        return;
+                    }
+                }
+            }
             Ok(Some(tag)) if tag == frame_type::GOODBYE && payload.is_empty() => return,
             Ok(None) => return, // clean end of stream
             Ok(Some(tag)) => {
@@ -671,6 +1004,12 @@ fn read_loop(
             }
             Err(NetError::Protocol(e)) => {
                 let _ = tx.send(ConnEvent::Bad(e));
+                return;
+            }
+            Err(NetError::Io(e)) if e.kind() == io::ErrorKind::TimedOut => {
+                let _ = tx.send(ConnEvent::TimedOut {
+                    idle: reader.timed_out_idle(),
+                });
                 return;
             }
             Err(_) => return, // disconnect / reset: nothing to report to

@@ -100,6 +100,17 @@ fn mixed_reads(n: usize, seed: u64) -> Vec<SequenceRecord> {
         .collect()
 }
 
+/// Shuts the server down when dropped, so a panicking assertion inside a
+/// `thread::scope` fails the test instead of deadlocking the scope's
+/// implicit join on the acceptor thread. `shutdown()` is idempotent.
+struct ShutdownOnDrop(mc_net::ServerHandle);
+
+impl Drop for ShutdownOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
 fn test_engine(db: Arc<Database>) -> ServingEngine {
     ServingEngine::host_with_config(
         db,
@@ -135,6 +146,7 @@ fn loopback_roundtrip_is_bit_identical_and_survives_disconnects() {
 
     std::thread::scope(|scope| {
         scope.spawn(|| server.run().unwrap());
+        let _guard = ShutdownOnDrop(handle.clone());
 
         // A rude client that connects, handshakes, sends half a request and
         // vanishes — concurrently with the well-behaved client.
@@ -145,6 +157,7 @@ fn loopback_roundtrip_is_bit_identical_and_survives_disconnects() {
                 version: PROTOCOL_VERSION,
                 batch_records: 0,
                 max_in_flight: 0,
+                auth_token: None,
             }
             .encode()
             .unwrap();
@@ -206,6 +219,7 @@ fn n_clients_match_n_in_process_sessions() {
 
     std::thread::scope(|scope| {
         scope.spawn(|| server.run().unwrap());
+        let _guard = ShutdownOnDrop(handle.clone());
         let workers: Vec<_> = per_client
             .iter()
             .enumerate()
@@ -252,6 +266,7 @@ fn malformed_input_gets_an_error_frame() {
 
     std::thread::scope(|scope| {
         scope.spawn(|| server.run().unwrap());
+        let _guard = ShutdownOnDrop(handle.clone());
 
         // Bad magic in the handshake.
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -260,6 +275,7 @@ fn malformed_input_gets_an_error_frame() {
             version: PROTOCOL_VERSION,
             batch_records: 0,
             max_in_flight: 0,
+            auth_token: None,
         }
         .encode()
         .unwrap();
@@ -276,6 +292,7 @@ fn malformed_input_gets_an_error_frame() {
             version: 0,
             batch_records: 0,
             max_in_flight: 0,
+            auth_token: None,
         }
         .encode()
         .unwrap();
@@ -293,6 +310,7 @@ fn malformed_input_gets_an_error_frame() {
             version: PROTOCOL_VERSION + 7,
             batch_records: 0,
             max_in_flight: 0,
+            auth_token: None,
         }
         .encode()
         .unwrap();
@@ -310,6 +328,7 @@ fn malformed_input_gets_an_error_frame() {
             version: PROTOCOL_VERSION,
             batch_records: 0,
             max_in_flight: 0,
+            auth_token: None,
         }
         .encode()
         .unwrap();
@@ -381,6 +400,7 @@ fn shutdown_drains_and_composes_with_engine_shutdown() {
 
     let server_stats = std::thread::scope(|scope| {
         let runner = scope.spawn(|| server.run());
+        let _guard = ShutdownOnDrop(handle.clone());
         let mut client = NetClient::connect(addr).unwrap();
         let got = client.classify_batch(&reads).unwrap();
         assert_eq!(got, expected);
@@ -421,6 +441,7 @@ fn local_encode_failure_leaves_connection_usable() {
 
     std::thread::scope(|scope| {
         scope.spawn(|| server.run().unwrap());
+        let _guard = ShutdownOnDrop(handle.clone());
         let mut client = NetClient::connect(addr).unwrap();
 
         // A read whose mate itself has a mate is not representable on the
@@ -463,6 +484,7 @@ fn handshake_negotiates_credits_and_batch_size() {
 
     std::thread::scope(|scope| {
         scope.spawn(|| server.run().unwrap());
+        let _guard = ShutdownOnDrop(handle.clone());
 
         let defaults = NetClient::connect(addr).unwrap();
         assert_eq!(defaults.credits(), server_credit);
@@ -524,6 +546,7 @@ fn v1_and_v2_clients_are_bit_identical_to_in_process() {
 
     std::thread::scope(|scope| {
         scope.spawn(|| server.run().unwrap());
+        let _guard = ShutdownOnDrop(handle.clone());
 
         let mut v2 = NetClient::connect(addr).unwrap();
         assert_eq!(v2.protocol_version(), protocol::PROTOCOL_VERSION);
@@ -570,12 +593,14 @@ fn packed_frames_on_a_v1_connection_are_rejected() {
 
     std::thread::scope(|scope| {
         scope.spawn(|| server.run().unwrap());
+        let _guard = ShutdownOnDrop(handle.clone());
         let mut stream = TcpStream::connect(addr).unwrap();
         let hello = Frame::Hello {
             magic: MAGIC,
             version: 1,
             batch_records: 0,
             max_in_flight: 0,
+            auth_token: None,
         }
         .encode()
         .unwrap();
@@ -623,12 +648,14 @@ fn partial_length_prefix_reads_as_disconnect() {
     let addr = handle.local_addr();
     std::thread::scope(|scope| {
         scope.spawn(|| server.run().unwrap());
+        let _guard = ShutdownOnDrop(handle.clone());
         let mut rude = TcpStream::connect(addr).unwrap();
         let hello = Frame::Hello {
             magic: MAGIC,
             version: PROTOCOL_VERSION,
             batch_records: 0,
             max_in_flight: 0,
+            auth_token: None,
         }
         .encode()
         .unwrap();
@@ -672,6 +699,7 @@ fn oversized_server_limits_saturate_in_handshake() {
 
     std::thread::scope(|scope| {
         scope.spawn(|| server.run().unwrap());
+        let _guard = ShutdownOnDrop(handle.clone());
         let client = NetClient::connect(addr).unwrap();
         // Credits are clamped by the engine's in-flight ceiling (the result
         // channel is pre-sized to them); batch size saturates at u32::MAX.

@@ -1,0 +1,695 @@
+//! Fault-injection tests of the serving stack: every chaos-proxy fault
+//! class (delay, dribble, truncate, stall, reset, half-close, handshake
+//! stall) must leave the server serviceable — sessions reclaimed in
+//! bounded time, other connections unaffected, stats accounted — and the
+//! backoff-retry client must converge to results bit-identical to the
+//! in-process engine. Also covers the satellite features riding on
+//! protocol v3: pre-shared-token auth, Ping/Pong keepalive vs idle
+//! reaping, and `Busy` load shedding.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mc_net::protocol::{self, frame_type, Frame, MAGIC};
+use mc_net::{
+    ChaosProxy, ClientConfig, ConnPlan, ErrorCode, Fault, NetClient, NetError, NetServer,
+    RetryClient, RetryPolicy, ServerConfig, ServerHandle, PASSTHROUGH,
+};
+use mc_seqio::SequenceRecord;
+use mc_taxonomy::{Rank, Taxonomy};
+use metacache::build::CpuBuilder;
+use metacache::query::Classifier;
+use metacache::serving::{EngineConfig, ServingEngine};
+use metacache::{Database, MetaCacheConfig};
+
+fn make_seq(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b"ACGT"[(state >> 33) as usize % 4]
+        })
+        .collect()
+}
+
+/// One shared two-species database plus its genomes.
+fn shared_database() -> (Arc<Database>, &'static [Vec<u8>]) {
+    use std::sync::OnceLock;
+    static DB: OnceLock<(Arc<Database>, Vec<Vec<u8>>)> = OnceLock::new();
+    let (db, genomes) = DB.get_or_init(|| {
+        let mut taxonomy = Taxonomy::with_root();
+        taxonomy.add_node(10, 1, Rank::Genus, "G").unwrap();
+        taxonomy.add_node(100, 10, Rank::Species, "G a").unwrap();
+        taxonomy.add_node(101, 10, Rank::Species, "G b").unwrap();
+        let genomes = vec![make_seq(18_000, 61), make_seq(18_000, 62)];
+        let mut builder = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy);
+        builder
+            .add_target(SequenceRecord::new("refA", genomes[0].clone()), 100)
+            .unwrap();
+        builder
+            .add_target(SequenceRecord::new("refB", genomes[1].clone()), 101)
+            .unwrap();
+        (Arc::new(builder.finish()), genomes)
+    });
+    (Arc::clone(db), genomes)
+}
+
+fn genome_reads(n: usize, seed: u64) -> Vec<SequenceRecord> {
+    let (_, genomes) = shared_database();
+    let mut state = seed | 1;
+    (0..n)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let genome = &genomes[i % 2];
+            let offset = (state as usize >> 7) % (genome.len() - 150);
+            SequenceRecord::new(
+                format!("c{seed}_r{i}"),
+                genome[offset..offset + 150].to_vec(),
+            )
+        })
+        .collect()
+}
+
+fn test_engine(db: Arc<Database>) -> ServingEngine {
+    ServingEngine::host_with_config(
+        db,
+        EngineConfig {
+            workers: 3,
+            queue_capacity: 4,
+            batch_records: 8,
+            session_max_in_flight: 0,
+        },
+    )
+}
+
+/// Tight deadlines so faults are reaped inside test time.
+fn fast_config() -> ServerConfig {
+    ServerConfig {
+        read_timeout: Some(Duration::from_millis(400)),
+        idle_timeout: Some(Duration::from_secs(5)),
+        handshake_timeout: Some(Duration::from_millis(400)),
+        write_timeout: Some(Duration::from_secs(5)),
+        ..ServerConfig::default()
+    }
+}
+
+/// Shuts the server down when dropped, so a failed assertion inside a
+/// `thread::scope` unwinds cleanly instead of deadlocking on the join of
+/// the still-running acceptor (shutdown is idempotent).
+struct ShutdownOnDrop(ServerHandle);
+
+impl Drop for ShutdownOnDrop {
+    fn drop(&mut self) {
+        self.0.shutdown();
+    }
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return cond();
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn hello_bytes() -> Vec<u8> {
+    Frame::Hello {
+        magic: MAGIC,
+        version: protocol::PROTOCOL_VERSION,
+        batch_records: 0,
+        max_in_flight: 0,
+        auth_token: None,
+    }
+    .encode()
+    .unwrap()
+}
+
+/// The tentpole acceptance test: a seeded sweep over every fault class,
+/// driven by the retry client, must end bit-identical to the in-process
+/// classifier with every session reclaimed.
+#[test]
+fn retry_client_converges_bit_identical_through_seeded_fault_sweep() {
+    let (db, _) = shared_database();
+    let reads = genome_reads(60, 31);
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+
+    let engine = test_engine(Arc::clone(&db));
+    let server = NetServer::bind_with(&engine, "127.0.0.1:0", fast_config()).unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run().unwrap());
+        let _guard = ShutdownOnDrop(handle.clone());
+        // Ten scripted connections drawn from the seeded generator (every
+        // class appears across these seeds), then verbatim forwarding.
+        let plans: Vec<ConnPlan> = (0..10).map(ConnPlan::seeded).collect();
+        assert!(
+            plans
+                .iter()
+                .any(|p| p.upstream.is_lossy() || p.downstream.is_lossy()),
+            "sweep must contain lossy faults"
+        );
+        let proxy = ChaosProxy::start(addr, plans).unwrap();
+        let mut client = RetryClient::connect_with(
+            proxy.local_addr(),
+            ClientConfig {
+                connect_timeout: Some(Duration::from_secs(1)),
+                request_timeout: Some(Duration::from_millis(500)),
+                ..ClientConfig::default()
+            },
+            RetryPolicy {
+                max_retries: 30,
+                base_delay: Duration::from_millis(2),
+                max_delay: Duration::from_millis(20),
+                seed: 41,
+            },
+        )
+        .unwrap();
+        let (got, summary) = client.classify_iter(reads.iter().cloned()).unwrap();
+        assert_eq!(got, expected, "chaos results diverged from in-process");
+        assert!(summary.requests >= 8, "60 reads over 8-record chunks");
+        drop(client);
+        proxy.shutdown();
+
+        // The server must still be serviceable on a clean connection …
+        let mut direct = NetClient::connect(addr).unwrap();
+        assert_eq!(direct.classify_batch(&reads).unwrap(), expected);
+        drop(direct);
+        // … and every chaos-era session must be reclaimed in bounded time.
+        assert!(
+            wait_until(|| engine.live_sessions() == 0, Duration::from_secs(5)),
+            "sessions leaked after the fault sweep: {}",
+            engine.live_sessions()
+        );
+        handle.shutdown();
+        runner.join().unwrap();
+    });
+    engine.shutdown();
+}
+
+/// Satellite: a connection that vanishes mid-stream (chaos reset) must
+/// purge its session promptly — not at process exit — while a concurrent
+/// session streams on unaffected.
+#[test]
+fn reset_mid_stream_purges_session_while_others_stream_on() {
+    let (db, _) = shared_database();
+    let reads = genome_reads(48, 77);
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+
+    let engine = test_engine(Arc::clone(&db));
+    let server = NetServer::bind_with(&engine, "127.0.0.1:0", fast_config()).unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run().unwrap());
+        let _guard = ShutdownOnDrop(handle.clone());
+        // Victim: its upstream direction is cut 40 bytes in — right after
+        // the handshake, inside the first classify frame.
+        let proxy =
+            ChaosProxy::start(addr, vec![ConnPlan::upstream(Fault::Reset { after: 40 })]).unwrap();
+        let mut victim = NetClient::connect_with(
+            proxy.local_addr(),
+            ClientConfig {
+                request_timeout: Some(Duration::from_secs(2)),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(engine.live_sessions(), 1, "victim session registered");
+        let victim_result = victim.classify_batch(&reads);
+        assert!(
+            victim_result.is_err(),
+            "reset connection must surface an error"
+        );
+
+        // The victim's session must be gone well before process exit.
+        assert!(
+            wait_until(|| engine.live_sessions() == 0, Duration::from_secs(3)),
+            "rude disconnect leaked its session"
+        );
+
+        // A well-behaved concurrent client is unaffected.
+        let mut good = NetClient::connect(addr).unwrap();
+        assert_eq!(good.classify_batch(&reads).unwrap(), expected);
+        drop(good);
+        drop(victim);
+        proxy.shutdown();
+        handle.shutdown();
+        runner.join().unwrap();
+    });
+    let stats = engine.shutdown();
+    assert!(
+        stats.records_classified >= 48,
+        "good client's reads classified"
+    );
+}
+
+/// Satellite: slow-loris and partial-frame stalls are disconnected in
+/// bounded time by the per-frame read deadline — a dribbled handshake, a
+/// 3-byte length prefix, and a stall inside a ClassifyPacked payload.
+#[test]
+fn slow_loris_and_partial_frame_stalls_are_reaped_in_bounded_time() {
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    let server = NetServer::bind_with(&engine, "127.0.0.1:0", fast_config()).unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        let _guard = ShutdownOnDrop(handle.clone());
+
+        // (a) Handshake dribbled one byte per 50 ms: the 400 ms handshake
+        // deadline fires long before the Hello completes.
+        let started = Instant::now();
+        let mut dribbler = TcpStream::connect(addr).unwrap();
+        dribbler
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let hello = hello_bytes();
+        for byte in &hello {
+            std::thread::sleep(Duration::from_millis(50));
+            if dribbler.write_all(std::slice::from_ref(byte)).is_err() {
+                break; // server already gave up on us — that's the point
+            }
+        }
+        // ~19 bytes × 50 ms ≫ the 400 ms handshake deadline: by now the
+        // server has killed the handshake. Read its parting TimedOut error
+        // (or the bare close, if the error frame was lost to the reset).
+        match protocol::read_frame(&mut dribbler) {
+            Ok(Some(Frame::Error { code, .. })) => assert_eq!(code, ErrorCode::TimedOut),
+            Ok(Some(other)) => panic!("expected TimedOut error, got {other:?}"),
+            Ok(None) | Err(_) => {}
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "dribbled handshake was not reaped in bounded time"
+        );
+        drop(dribbler);
+
+        // (b) Three bytes of a length prefix, then silence: the frame has
+        // started, so the read deadline (not the idle one) must fire.
+        let mut stall = TcpStream::connect(addr).unwrap();
+        stall
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stall.write_all(&hello).unwrap();
+        let ack = protocol::read_frame(&mut stall).unwrap().unwrap();
+        assert!(matches!(ack, Frame::HelloAck { .. }));
+        assert_eq!(engine.live_sessions(), 1);
+        stall.write_all(&[0x40, 0x00, 0x00]).unwrap();
+        let started = Instant::now();
+        match protocol::read_frame(&mut stall) {
+            Ok(Some(Frame::Error { code, .. })) => assert_eq!(code, ErrorCode::TimedOut),
+            Ok(Some(other)) => panic!("expected TimedOut error, got {other:?}"),
+            Ok(None) | Err(_) => {} // already torn down: fine
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "stalled length prefix was not reaped in bounded time"
+        );
+        assert!(
+            wait_until(|| engine.live_sessions() == 0, Duration::from_secs(3)),
+            "stalled connection leaked its session"
+        );
+        drop(stall);
+
+        // (c) A stall *inside* a ClassifyPacked payload: full handshake,
+        // then a frame that announces 600 payload bytes and delivers 10.
+        let mut midframe = TcpStream::connect(addr).unwrap();
+        midframe
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        midframe.write_all(&hello).unwrap();
+        protocol::read_frame(&mut midframe).unwrap().unwrap();
+        assert_eq!(engine.live_sessions(), 1);
+        let mut partial = 600u32.to_le_bytes().to_vec();
+        partial.push(frame_type::CLASSIFY_PACKED);
+        partial.extend_from_slice(&[0u8; 10]);
+        midframe.write_all(&partial).unwrap();
+        let started = Instant::now();
+        match protocol::read_frame(&mut midframe) {
+            Ok(Some(Frame::Error { code, .. })) => assert_eq!(code, ErrorCode::TimedOut),
+            Ok(Some(other)) => panic!("expected TimedOut error, got {other:?}"),
+            Ok(None) | Err(_) => {}
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "mid-payload stall was not reaped in bounded time"
+        );
+        assert!(
+            wait_until(|| engine.live_sessions() == 0, Duration::from_secs(3)),
+            "mid-payload stall leaked its session"
+        );
+        drop(midframe);
+
+        handle.shutdown();
+        let stats = runner.join().unwrap().unwrap();
+        assert!(
+            stats.timeouts >= 3,
+            "every stalled connection must count a timeout, got {}",
+            stats.timeouts
+        );
+    });
+    engine.shutdown();
+}
+
+/// v3 liveness: pings reset the idle reaper, so an idle-but-alive client
+/// outlives several idle windows; a silent one is reaped.
+#[test]
+fn pings_keep_idle_connection_alive_until_they_stop() {
+    let (db, _) = shared_database();
+    let reads = genome_reads(8, 5);
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+
+    let engine = test_engine(Arc::clone(&db));
+    let config = ServerConfig {
+        idle_timeout: Some(Duration::from_millis(500)),
+        read_timeout: Some(Duration::from_secs(2)),
+        ..ServerConfig::default()
+    };
+    let server = NetServer::bind_with(&engine, "127.0.0.1:0", config).unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        let _guard = ShutdownOnDrop(handle.clone());
+        let mut client = NetClient::connect(addr).unwrap();
+        // 6 × 150 ms of pinging spans ~900 ms — nearly two idle windows.
+        for _ in 0..6 {
+            std::thread::sleep(Duration::from_millis(150));
+            client.ping().expect("ping must keep the connection alive");
+        }
+        assert_eq!(client.classify_batch(&reads).unwrap(), expected);
+        // Now go silent: the idle reaper must claim the connection.
+        assert!(
+            wait_until(|| engine.live_sessions() == 0, Duration::from_secs(4)),
+            "idle connection was never reaped"
+        );
+        assert!(
+            client.classify_batch(&reads).is_err(),
+            "reaped connection must error"
+        );
+        drop(client);
+        handle.shutdown();
+        let stats = runner.join().unwrap().unwrap();
+        assert!(stats.timeouts >= 1, "idle reap must count a timeout");
+    });
+    engine.shutdown();
+}
+
+/// Satellite: pre-shared-token auth — right token in, wrong token out (as
+/// a typed Unauthorized frame), tokens refused locally below v3.
+#[test]
+fn auth_token_gates_the_handshake() {
+    let (db, _) = shared_database();
+    let reads = genome_reads(8, 9);
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+
+    let engine = test_engine(Arc::clone(&db));
+    let config = ServerConfig {
+        auth_token: Some("open sesame".into()),
+        ..ServerConfig::default()
+    };
+    let server = NetServer::bind_with(&engine, "127.0.0.1:0", config).unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        let _guard = ShutdownOnDrop(handle.clone());
+
+        let mut authed = NetClient::connect_with(
+            addr,
+            ClientConfig {
+                auth_token: Some("open sesame".into()),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(authed.classify_batch(&reads).unwrap(), expected);
+        drop(authed);
+
+        for bad in [Some("wrong token".to_string()), None] {
+            let err = match NetClient::connect_with(
+                addr,
+                ClientConfig {
+                    auth_token: bad,
+                    ..ClientConfig::default()
+                },
+            ) {
+                Err(e) => e,
+                Ok(_) => panic!("handshake must be rejected without the right token"),
+            };
+            match &err {
+                NetError::Remote { code, .. } => assert_eq!(*code, ErrorCode::Unauthorized),
+                other => panic!("expected Unauthorized, got {other}"),
+            }
+            assert!(!err.is_retryable(), "auth rejection must not be retried");
+        }
+
+        // A token on a v1/v2 announcement is refused before any bytes move.
+        let local = NetClient::connect_with(
+            addr,
+            ClientConfig {
+                version: 2,
+                auth_token: Some("open sesame".into()),
+                ..ClientConfig::default()
+            },
+        );
+        assert!(matches!(local, Err(NetError::Protocol(_))));
+
+        handle.shutdown();
+        let stats = runner.join().unwrap().unwrap();
+        assert_eq!(stats.auth_failures, 2);
+    });
+    engine.shutdown();
+}
+
+/// Load shedding: past `max_inflight_records`, a v3 request is answered
+/// with a request-level Busy (the connection survives); a v1 peer is never
+/// shed; past `max_connections`, the whole connection is refused.
+#[test]
+fn overload_is_shed_with_busy_frames() {
+    let (db, _) = shared_database();
+    let small = genome_reads(3, 13);
+    let expected_small = Classifier::new(Arc::clone(&db)).classify_batch(&small);
+    // Exactly one negotiated request (the engine's batch is 8 records), so
+    // it always lands over the 4-record cap in a single Busy answer.
+    let big = genome_reads(8, 14);
+    let expected_big = Classifier::new(Arc::clone(&db)).classify_batch(&big);
+
+    let engine = test_engine(Arc::clone(&db));
+    let config = ServerConfig {
+        max_inflight_records: 4,
+        retry_after_ms: 25,
+        ..ServerConfig::default()
+    };
+    let server = NetServer::bind_with(&engine, "127.0.0.1:0", config).unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        let _guard = ShutdownOnDrop(handle.clone());
+
+        // An 8-read request can never fit under the 4-record cap: shed.
+        let mut v3 = NetClient::connect(addr).unwrap();
+        match v3.classify_batch(&big) {
+            Err(NetError::Busy { retry_after_ms }) => assert_eq!(retry_after_ms, 25),
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        // The same connection keeps working for requests under the cap.
+        assert_eq!(v3.classify_batch(&small).unwrap(), expected_small);
+        drop(v3);
+
+        // A v1 peer has no Busy vocabulary: the same oversized request is
+        // served with the legacy blocking backpressure instead.
+        let mut v1 = NetClient::connect_with(
+            addr,
+            ClientConfig {
+                version: 1,
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(v1.classify_batch(&big).unwrap(), expected_big);
+        drop(v1);
+
+        // The retry client gives up on a permanently-shed request only
+        // after its policy is exhausted.
+        let mut retry = RetryClient::connect_with(
+            addr,
+            ClientConfig::default(),
+            RetryPolicy {
+                max_retries: 2,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(5),
+                seed: 3,
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            retry.classify_batch(&big),
+            Err(NetError::Busy { .. })
+        ));
+        assert_eq!(retry.stats().busy_sheds, 3, "initial try + 2 retries");
+
+        handle.shutdown();
+        let stats = runner.join().unwrap().unwrap();
+        assert!(stats.shed_requests >= 4, "got {}", stats.shed_requests);
+    });
+    engine.shutdown();
+}
+
+/// Connection-level shedding: past `max_connections` the server answers a
+/// connection-level Busy at the door; once capacity frees, the same peer
+/// gets in.
+#[test]
+fn connection_cap_refuses_at_the_door_until_capacity_frees() {
+    let (db, _) = shared_database();
+    let reads = genome_reads(6, 21);
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+
+    let engine = test_engine(Arc::clone(&db));
+    let config = ServerConfig {
+        max_connections: 1,
+        retry_after_ms: 10,
+        ..ServerConfig::default()
+    };
+    let server = NetServer::bind_with(&engine, "127.0.0.1:0", config).unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        let _guard = ShutdownOnDrop(handle.clone());
+        let first = NetClient::connect(addr).unwrap();
+        let refused = NetClient::connect(addr);
+        assert!(
+            matches!(refused, Err(NetError::Busy { retry_after_ms: 10 })),
+            "second connection must be refused at the door"
+        );
+        drop(first);
+        // Capacity frees once the first connection is torn down; the retry
+        // client rides the Busy hint until it gets in.
+        let mut retry = RetryClient::connect_with(
+            addr,
+            ClientConfig::default(),
+            RetryPolicy {
+                max_retries: 20,
+                base_delay: Duration::from_millis(5),
+                max_delay: Duration::from_millis(50),
+                seed: 9,
+            },
+        )
+        .unwrap();
+        assert_eq!(retry.classify_batch(&reads).unwrap(), expected);
+        handle.shutdown();
+        let stats = runner.join().unwrap().unwrap();
+        assert!(stats.shed_connections >= 1);
+    });
+    engine.shutdown();
+}
+
+/// Truncated and half-closed connections (the remaining fault classes,
+/// pointed at the handshake) are absorbed by the retry client and leave
+/// no session behind.
+#[test]
+fn truncate_and_half_close_faults_are_absorbed_by_retry() {
+    let (db, _) = shared_database();
+    let reads = genome_reads(24, 55);
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+
+    let engine = test_engine(Arc::clone(&db));
+    let server = NetServer::bind_with(&engine, "127.0.0.1:0", fast_config()).unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run().unwrap());
+        let _guard = ShutdownOnDrop(handle.clone());
+        let plans = vec![
+            ConnPlan::upstream(Fault::Truncate { after: 7 }),
+            ConnPlan::downstream(Fault::Truncate { after: 12 }),
+            ConnPlan::upstream(Fault::HalfClose { after: 25 }),
+            ConnPlan::downstream(Fault::Delay(Duration::from_millis(30))),
+            PASSTHROUGH,
+        ];
+        let proxy = ChaosProxy::start(addr, plans).unwrap();
+        let mut retry = RetryClient::connect_with(
+            proxy.local_addr(),
+            ClientConfig {
+                connect_timeout: Some(Duration::from_secs(1)),
+                request_timeout: Some(Duration::from_millis(500)),
+                ..ClientConfig::default()
+            },
+            RetryPolicy {
+                max_retries: 15,
+                base_delay: Duration::from_millis(2),
+                max_delay: Duration::from_millis(20),
+                seed: 77,
+            },
+        )
+        .unwrap();
+        assert_eq!(retry.classify_batch(&reads).unwrap(), expected);
+        assert!(retry.stats().retries >= 1, "the faults must have bitten");
+        drop(retry);
+        proxy.shutdown();
+        assert!(
+            wait_until(|| engine.live_sessions() == 0, Duration::from_secs(5)),
+            "faulted connections leaked sessions"
+        );
+        handle.shutdown();
+        runner.join().unwrap();
+    });
+    engine.shutdown();
+}
+
+/// `ServerHandle::shutdown` must complete even while a peer is stalled
+/// mid-frame — the drain is bounded by deadlines, not by peer behavior.
+#[test]
+fn shutdown_is_bounded_with_a_stuck_peer() {
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    let server = NetServer::bind_with(&engine, "127.0.0.1:0", fast_config()).unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        let _guard = ShutdownOnDrop(handle.clone());
+        // A peer that handshakes, then leaves half a frame on the wire and
+        // goes silent (but keeps the socket open).
+        let mut stuck = TcpStream::connect(addr).unwrap();
+        stuck.write_all(&hello_bytes()).unwrap();
+        protocol::read_frame(&mut stuck).unwrap().unwrap();
+        stuck.write_all(&[0x99, 0x00]).unwrap();
+
+        std::thread::sleep(Duration::from_millis(50));
+        let started = Instant::now();
+        handle.shutdown();
+        let stats = runner.join().unwrap().unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown blocked on a stuck peer"
+        );
+        assert_eq!(stats.connections, 1);
+        drop(stuck);
+    });
+    engine.shutdown();
+}

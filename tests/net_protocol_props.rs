@@ -249,6 +249,7 @@ proptest! {
             version,
             batch_records: batch,
             max_in_flight: credit,
+            auth_token: None,
         };
         prop_assert_eq!(roundtrip(&hello), hello);
         let ack = Frame::HelloAck {
