@@ -42,6 +42,17 @@
 //!   load shedding buys over unbounded queueing: the server keeps serving
 //!   at capacity and refusals come back in microseconds.
 //!
+//! A third group, `serving_sharded`, measures the scatter-gather layer over
+//! a shards × workers grid:
+//!
+//! * `sharded_s{S}_w{W}` — the identical request workload through a
+//!   [`ServingEngine::sharded`] engine over an `S`-way
+//!   [`ShardedDatabase`] split with `W` workers; `s1` is the merge layer's
+//!   fixed cost over `engine_session_w{W}`, and larger `S` shows the
+//!   scatter-gather overhead staying bounded while the per-shard table
+//!   (the `sharded_max_shard_table_bytes_s{S}` gauge — the paper's
+//!   per-device memory) shrinks near-linearly.
+//!
 //! Run with `BENCH_JSON=BENCH_serving.json cargo bench -p mc-bench --bench
 //! serving_throughput` to record the measurements.
 
@@ -58,7 +69,7 @@ use metacache::build::CpuBuilder;
 use metacache::pipeline::{StreamingClassifier, StreamingConfig};
 use metacache::query::Classifier;
 use metacache::serving::{EngineConfig, ServingEngine};
-use metacache::{Database, MetaCacheConfig};
+use metacache::{Database, MetaCacheConfig, ShardedDatabase};
 
 const REQUEST_READS: usize = 256;
 
@@ -506,9 +517,93 @@ fn bench_serving_net(c: &mut Criterion) {
     }
 }
 
+/// Scatter-gather overhead and per-shard memory over a shards × workers
+/// grid: the same request workload as `serving_throughput`, through
+/// [`ServingEngine::sharded`] engines over round-robin splits.
+fn bench_serving_sharded(c: &mut Criterion) {
+    let collection = community();
+    let reads = ReadSimulator::new(DatasetProfile::hiseq(), 2_048)
+        .with_seed(7)
+        .simulate(&collection)
+        .reads;
+    let requests: Vec<&[mc_seqio::SequenceRecord]> = reads.chunks(REQUEST_READS).collect();
+    let expected = {
+        let db = build_database(&collection);
+        criterion::record_gauge(
+            "serving_sharded",
+            "unsharded_table_bytes",
+            "bytes",
+            db.table_bytes() as f64,
+        );
+        Classifier::new(db).classify_batch(&reads)
+    };
+
+    let mut group = c.benchmark_group("serving_sharded");
+    group.throughput(Throughput::Elements(reads.len() as u64));
+
+    for &shards in &[1usize, 2, 4] {
+        // The split consumes its database, so rebuild one per shard count
+        // (deterministic: same collection, same config → identical tables).
+        let owned = {
+            let mut builder =
+                CpuBuilder::new(MetaCacheConfig::default(), collection.taxonomy.clone());
+            for target in &collection.targets {
+                builder
+                    .add_target(target.to_record(), target.taxon)
+                    .expect("valid targets");
+            }
+            builder.finish()
+        };
+        let split = Arc::new(ShardedDatabase::round_robin(owned, shards).expect("split"));
+        let max_shard_bytes = split
+            .shards()
+            .iter()
+            .map(|s| s.table_bytes())
+            .max()
+            .unwrap_or(0);
+        criterion::record_gauge(
+            "serving_sharded",
+            &format!("max_shard_table_bytes_s{shards}"),
+            "bytes",
+            max_shard_bytes as f64,
+        );
+        criterion::record_gauge(
+            "serving_sharded",
+            &format!("total_table_bytes_s{shards}"),
+            "bytes",
+            split.table_bytes() as f64,
+        );
+
+        for &workers in &[1usize, 2, 4] {
+            let engine = ServingEngine::sharded(Arc::clone(&split), engine_config(workers));
+            let mut session = engine.session();
+            // Sharding must not change a single classification.
+            let (got, _) = session.classify_iter(reads.iter().cloned());
+            assert_eq!(got, expected, "sharded engine diverged ({shards} shards)");
+            group.bench_function(format!("sharded_s{shards}_w{workers}"), |b| {
+                b.iter(|| {
+                    requests
+                        .iter()
+                        .map(|request| {
+                            session
+                                .classify_batch(request)
+                                .iter()
+                                .filter(|c| c.is_classified())
+                                .count()
+                        })
+                        .sum::<usize>()
+                })
+            });
+            drop(session);
+            engine.shutdown();
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_serving_throughput, bench_serving_net
+    targets = bench_serving_throughput, bench_serving_net, bench_serving_sharded
 }
 criterion_main!(benches);

@@ -15,6 +15,7 @@
 //!   serving            serving engine vs per-request pipeline spawn (resident pool)
 //!   serving_net        mc-net loopback TCP front-end vs in-process sessions
 //!   serving_chaos      serving under injected faults (chaos sweep + overload)
+//!   serving_sharded    sharded scatter-gather serving vs unsharded + routed loopback
 //!   all                everything above
 //! ```
 
@@ -22,14 +23,14 @@ use std::collections::BTreeSet;
 
 use mc_bench::experiments::{
     accuracy, breakdown, build_perf, datasets, query_perf, serving, serving_chaos, serving_net,
-    streaming, tablemem, ttq,
+    serving_sharded, streaming, tablemem, ttq,
 };
 use mc_bench::ExperimentScale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale tiny|default] [--json] \
-         <table1|table2|table3|table4|table5|table6|fig4|fig5|abundance|tablemem|ablation|streaming|serving|serving_net|serving_chaos|all>..."
+         <table1|table2|table3|table4|table5|table6|fig4|fig5|abundance|tablemem|ablation|streaming|serving|serving_net|serving_chaos|serving_sharded|all>..."
     );
     std::process::exit(2);
 }
@@ -73,6 +74,7 @@ fn main() {
             "serving",
             "serving_net",
             "serving_chaos",
+            "serving_sharded",
         ] {
             requested.insert(e.to_string());
         }
@@ -172,6 +174,14 @@ fn main() {
             println!("{}", serde_json::to_string_pretty(&result).unwrap());
         } else {
             println!("{}", serving_chaos::render(&result));
+        }
+    }
+    if wants(&["serving_sharded"]) {
+        let result = serving_sharded::run(&scale);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+        } else {
+            println!("{}", serving_sharded::render(&result));
         }
     }
 }

@@ -13,6 +13,7 @@
 //! | [`serving`] | serving engine vs per-request pipeline spawn (resident worker pool) |
 //! | [`serving_net`] | `mc-net` loopback TCP front-end vs in-process sessions (protocol overhead) |
 //! | [`serving_chaos`] | serving under injected faults: chaos-proxy sweep + overload shedding (robustness) |
+//! | [`serving_sharded`] | sharded scatter-gather serving vs unsharded (§4.3 partitioning, serving-side) + routed loopback |
 
 pub mod accuracy;
 pub mod breakdown;
@@ -22,6 +23,7 @@ pub mod query_perf;
 pub mod serving;
 pub mod serving_chaos;
 pub mod serving_net;
+pub mod serving_sharded;
 pub mod streaming;
 pub mod tablemem;
 pub mod ttq;

@@ -311,4 +311,148 @@ mod tests {
         let list = top_candidates(&counts, 2, 2);
         assert_eq!(list.best().unwrap().target, 3);
     }
+
+    // ---- merge oracle ------------------------------------------------
+    //
+    // `merge` is the keystone of scatter-gather classification: the
+    // sharded paths (`crate::shard`, `mc-net`'s router) are bit-identical
+    // to the unsharded path only if merging per-shard top-m lists
+    // reproduces the global top-m list exactly. The tests below pin that
+    // lemma exhaustively on small universes against rebuild-from-scratch
+    // oracles, so a future optimized merge (e.g. a sorted two-way merge)
+    // cannot drift on ties, truncation or duplicate targets.
+
+    fn cand(target: u32, window_begin: u32, hits: u32) -> Candidate {
+        Candidate {
+            target,
+            window_begin,
+            window_end: window_begin + 1,
+            hits,
+        }
+    }
+
+    fn list_of(capacity: usize, cands: &[Candidate]) -> CandidateList {
+        let mut list = CandidateList::new(capacity);
+        for &c in cands {
+            list.insert(c);
+        }
+        list
+    }
+
+    /// `a.merge(&b)` must equal inserting `b`'s entries into `a` one by
+    /// one — exhaustively over every pair of sub-multisets of a small
+    /// candidate universe and every capacity, including hit ties and
+    /// duplicate targets across the two lists.
+    #[test]
+    fn merge_matches_insert_oracle_exhaustively() {
+        // 2 targets × 2 windows × 2 hit values = 8 distinct candidates.
+        let universe: Vec<Candidate> = (1..=2u32)
+            .flat_map(|t| [0u32, 5].into_iter().map(move |w| (t, w)))
+            .flat_map(|(t, w)| [1u32, 2].into_iter().map(move |h| cand(t, w, h)))
+            .collect();
+        let mut cases = 0usize;
+        // Each universe element goes to list A, list B or neither.
+        for assignment in 0..3usize.pow(universe.len() as u32) {
+            let mut a_items = Vec::new();
+            let mut b_items = Vec::new();
+            let mut code = assignment;
+            for &c in &universe {
+                match code % 3 {
+                    0 => {}
+                    1 => a_items.push(c),
+                    _ => b_items.push(c),
+                }
+                code /= 3;
+            }
+            for capacity in 1..=3usize {
+                let mut merged = list_of(capacity, &a_items);
+                let b = list_of(capacity, &b_items);
+                merged.merge(&b);
+                let mut oracle = list_of(capacity, &a_items);
+                for &c in b.as_slice() {
+                    oracle.insert(c);
+                }
+                assert_eq!(merged, oracle, "a={a_items:?} b={b_items:?} cap={capacity}");
+                cases += 1;
+            }
+        }
+        assert_eq!(cases, 3usize.pow(8) * 3);
+    }
+
+    /// The sharding lemma: when the two lists' target sets are disjoint
+    /// (shards partition targets) and both kept the *same* capacity m,
+    /// merging the truncated per-shard lists equals building one
+    /// capacity-m list from all raw candidates — exhaustively over hit
+    /// assignments, so every tie pattern is covered.
+    #[test]
+    fn disjoint_merge_equals_global_top_m_exhaustively() {
+        // One candidate per target (what `top_candidates_into` emits),
+        // shard 1 owns targets {1, 2}, shard 2 owns {3, 4}.
+        for h1 in 1..=3u32 {
+            for h2 in 1..=3u32 {
+                for h3 in 1..=3u32 {
+                    for h4 in 1..=3u32 {
+                        let raw = [
+                            cand(1, 2, h1),
+                            cand(2, 4, h2),
+                            cand(3, 6, h3),
+                            cand(4, 8, h4),
+                        ];
+                        for m in 1..=4usize {
+                            let shard1 = list_of(m, &raw[..2]);
+                            let shard2 = list_of(m, &raw[2..]);
+                            let mut merged = CandidateList::new(m);
+                            merged.merge(&shard1);
+                            merged.merge(&shard2);
+                            let global = list_of(m, &raw);
+                            assert_eq!(merged, global, "hits=({h1},{h2},{h3},{h4}) m={m}");
+                            // Merge order must not matter for disjoint
+                            // targets (shard reply order is arbitrary).
+                            let mut flipped = CandidateList::new(m);
+                            flipped.merge(&shard2);
+                            flipped.merge(&shard1);
+                            assert_eq!(flipped, global);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Duplicate targets across merged lists collapse to the best entry;
+    /// on an exact hit tie the incumbent wins (`insert` replaces only on
+    /// strictly more hits). This keep-first rule is why bit-equivalence
+    /// needs disjoint shard targets — same-target ties from *different*
+    /// lists would be order-dependent — and shard splits guarantee
+    /// exactly that.
+    #[test]
+    fn duplicate_targets_keep_best_and_incumbent_on_ties() {
+        let mut a = list_of(4, &[cand(7, 0, 5)]);
+        a.merge(&list_of(4, &[cand(7, 9, 8)]));
+        assert_eq!(a.as_slice(), &[cand(7, 9, 8)], "higher hits replace");
+
+        let mut tie = list_of(4, &[cand(7, 0, 5)]);
+        tie.merge(&list_of(4, &[cand(7, 9, 5)]));
+        assert_eq!(tie.as_slice(), &[cand(7, 0, 5)], "ties keep incumbent");
+
+        // With distinct hits the collapse is order-independent.
+        let mut rev = list_of(4, &[cand(7, 9, 8)]);
+        rev.merge(&list_of(4, &[cand(7, 0, 5)]));
+        assert_eq!(rev.as_slice(), &[cand(7, 9, 8)]);
+    }
+
+    /// Merging into a smaller-capacity list truncates to the best m with
+    /// the full tie order (hits desc, target asc, window asc) applied
+    /// before the cut.
+    #[test]
+    fn merge_truncates_by_full_tie_order() {
+        let big = list_of(
+            4,
+            &[cand(4, 0, 7), cand(2, 0, 7), cand(3, 0, 9), cand(1, 0, 1)],
+        );
+        let mut small = CandidateList::new(2);
+        small.merge(&big);
+        assert_eq!(small.as_slice(), &[cand(3, 0, 9), cand(2, 0, 7)]);
+        // The tied target 4 lost to target 2 on the target tie-break.
+    }
 }

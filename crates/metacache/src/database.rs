@@ -232,6 +232,24 @@ impl Database {
         targets + self.taxonomy.heap_bytes() + self.lineages.heap_bytes()
     }
 
+    /// A table-free copy of this database: full configuration, target
+    /// table, taxonomy and lineage cache, but no partitions. This is the
+    /// shared metadata view of a scatter-gather deployment — the
+    /// [`crate::shard::ShardedDatabase`] hands it to merge/classify code
+    /// and a router process serves from it — where candidate *lookup*
+    /// happens elsewhere (per shard) and only the final
+    /// [`crate::classify::classify_candidates`] step runs locally, which
+    /// touches targets, taxonomy and lineages but never the hash table.
+    pub fn metadata_view(&self) -> Database {
+        Database {
+            config: self.config,
+            targets: self.targets.clone(),
+            taxonomy: self.taxonomy.clone(),
+            lineages: self.lineages.clone(),
+            partitions: Vec::new(),
+        }
+    }
+
     /// Query a feature against every partition, appending all hits.
     pub fn query_feature_into(&self, feature: Feature, out: &mut Vec<Location>) -> usize {
         self.partitions

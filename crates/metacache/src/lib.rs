@@ -106,6 +106,7 @@ pub mod pipeline;
 pub mod query;
 pub mod serialize;
 pub mod serving;
+pub mod shard;
 pub mod sketch;
 
 pub use backend::{Backend, BackendWorker, GpuBackend, HostBackend};
@@ -117,6 +118,7 @@ pub use error::MetaCacheError;
 pub use pipeline::{StreamingClassifier, StreamingConfig, StreamingSummary};
 pub use query::{Classifier, QueryScratch};
 pub use serving::{EngineConfig, EngineStats, ServingEngine, Session, SessionConfig};
+pub use shard::{ShardPlan, ShardedBackend, ShardedClassifier, ShardedDatabase, ShardedScratch};
 pub use sketch::{ReadSketch, Sketch, SketchScratch, Sketcher};
 
 /// Convenient result alias.

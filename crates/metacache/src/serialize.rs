@@ -98,8 +98,9 @@ pub fn save(
 }
 
 /// Extract every (feature, bucket) pair of a partition, regardless of its
-/// back-end table type.
-fn collect_buckets(partition: &Partition) -> Vec<(Feature, Vec<Location>)> {
+/// back-end table type. Shared with the sharding splitter
+/// ([`crate::shard::ShardedDatabase::from_database`]).
+pub(crate) fn collect_buckets(partition: &Partition) -> Vec<(Feature, Vec<Location>)> {
     match &partition.store {
         PartitionStore::Host(table) => {
             let mut out = Vec::new();

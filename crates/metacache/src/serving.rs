@@ -529,6 +529,13 @@ impl ServingEngine {
         Self::new(GpuBackend::new(db, system), config)
     }
 
+    /// Start a scatter-gather engine over a sharded database: every batch
+    /// fans out to all shards in-process and the merged results are
+    /// bit-identical to an unsharded host engine (see [`crate::shard`]).
+    pub fn sharded(db: Arc<crate::shard::ShardedDatabase>, config: EngineConfig) -> Self {
+        Self::new(crate::shard::ShardedBackend::new(db), config)
+    }
+
     /// The engine's (normalised) shape.
     pub fn config(&self) -> &EngineConfig {
         &self.config

@@ -4,9 +4,24 @@
 //! Usage:
 //!   mc-serve serve --refs <fasta> [--listen <addr>] [--workers N]
 //!                  [--batch N] [--queue N]
+//!                  [--shard K --shard-count N]
 //!       Build a database from a reference FASTA/FASTQ (every record
 //!       becomes one species-level target) and serve it until stdin closes,
-//!       then drain gracefully.
+//!       then drain gracefully. With --shard K --shard-count N, the same
+//!       deterministic build is split round-robin into N target shards and
+//!       only shard K's slice of the hash table is held and served — run N
+//!       such processes (same refs, one per K) behind `mc-serve route`.
+//!
+//!   mc-serve route --refs <fasta> --shard <addr> [--shard <addr> ...]
+//!                  [--listen <addr>] [--workers N] [--batch N] [--queue N]
+//!       Scatter-gather router over N shard servers: every classify batch
+//!       fans out to all shards as candidate queries, the per-shard top-hit
+//!       lists merge losslessly, and the final classification step runs on
+//!       the router. Clients speak the ordinary protocol — a routed
+//!       topology is indistinguishable from a single server (and
+//!       bit-identical to it). --refs must name the same reference file the
+//!       shard servers were built from (the router rebuilds the shared
+//!       metadata deterministically; its hash table is dropped).
 //!
 //!   mc-serve classify --addr <host:port> <reads-file>
 //!       Stream a FASTA/FASTQ file through a running server and print one
@@ -33,6 +48,7 @@ use std::time::Duration;
 
 use mc_net::{
     ChaosProxy, ClientConfig, ConnPlan, Fault, NetClient, NetServer, RetryClient, RetryPolicy,
+    RouterBackend, RouterConfig,
 };
 use mc_seqio::{SequenceReader, SequenceRecord};
 use mc_taxonomy::{Rank, Taxonomy, NO_TAXON};
@@ -43,7 +59,7 @@ use metacache::MetaCacheConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mc-serve serve --refs <file> [--listen <addr>] [--workers N] [--batch N] [--queue N]\n       mc-serve classify --addr <host:port> <reads-file>\n       mc-serve smoke [--reads N] [--chaos]\n       mc-serve chaos --upstream <host:port> [--seed N] [--conns N]"
+        "usage: mc-serve serve --refs <file> [--listen <addr>] [--workers N] [--batch N] [--queue N] [--shard K --shard-count N]\n       mc-serve route --refs <file> --shard <host:port> [--shard <host:port> ...] [--listen <addr>] [--workers N] [--batch N] [--queue N]\n       mc-serve classify --addr <host:port> <reads-file>\n       mc-serve smoke [--reads N] [--chaos]\n       mc-serve chaos --upstream <host:port> [--seed N] [--conns N]"
     );
     std::process::exit(2);
 }
@@ -52,6 +68,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
+        Some("route") => route(&args[1..]),
         Some("classify") => classify(&args[1..]),
         Some("smoke") => smoke(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
@@ -97,8 +114,11 @@ fn parsed<T: std::str::FromStr>(values: &[(String, String)], name: &str, default
 }
 
 /// Build a database from a reference file: each record becomes one target
-/// under its own species taxon.
-fn build_from_refs(path: &str) -> Result<Arc<metacache::Database>, String> {
+/// under its own species taxon. The build is deterministic, so every
+/// process given the same file agrees on target ids — the property the
+/// sharded topology rests on (shard servers answer with global target ids
+/// the router resolves against its own build of the same file).
+fn build_from_refs(path: &str) -> Result<metacache::Database, String> {
     let mut taxonomy = Taxonomy::with_root();
     let stream = SequenceReader::open(path).map_err(|e| format!("open {path}: {e}"))?;
     let mut records = Vec::new();
@@ -123,41 +143,23 @@ fn build_from_refs(path: &str) -> Result<Arc<metacache::Database>, String> {
             .add_target(record, taxon)
             .map_err(|e| format!("add target: {e}"))?;
     }
-    Ok(Arc::new(builder.finish()))
+    Ok(builder.finish())
 }
 
-fn serve(args: &[String]) -> i32 {
-    let (flags, rest) = parse_flags(
-        args,
-        &["--refs", "--listen", "--workers", "--batch", "--queue"],
-    );
-    if !rest.is_empty() {
-        usage();
-    }
-    let Some(refs) = flag(&flags, "--refs") else {
-        usage()
-    };
-    let listen = flag(&flags, "--listen").unwrap_or("127.0.0.1:7878");
-    let config = EngineConfig {
-        workers: parsed(&flags, "--workers", EngineConfig::default().workers),
-        queue_capacity: parsed(&flags, "--queue", 4),
-        batch_records: parsed(&flags, "--batch", 256),
+/// Resolve the engine shape flags shared by `serve` and `route`.
+fn engine_config(flags: &[(String, String)]) -> EngineConfig {
+    EngineConfig {
+        workers: parsed(flags, "--workers", EngineConfig::default().workers),
+        queue_capacity: parsed(flags, "--queue", 4),
+        batch_records: parsed(flags, "--batch", 256),
         session_max_in_flight: 0,
-    };
+    }
+}
 
-    let db = match build_from_refs(refs) {
-        Ok(db) => db,
-        Err(e) => {
-            eprintln!("mc-serve: {e}");
-            return 1;
-        }
-    };
-    eprintln!(
-        "mc-serve: database ready ({} targets, {} features)",
-        db.target_count(),
-        db.total_features()
-    );
-    let engine = ServingEngine::host_with_config(Arc::clone(&db), config);
+/// Bind `engine` on `listen` and run it until stdin closes (or a "quit"
+/// line), then drain both the server and the engine — the shared tail of
+/// `serve` and `route`.
+fn run_engine(engine: ServingEngine, listen: &str, workers: usize) -> i32 {
     let server = match NetServer::bind(&engine, listen) {
         Ok(server) => server,
         Err(e) => {
@@ -169,7 +171,7 @@ fn serve(args: &[String]) -> i32 {
     eprintln!(
         "mc-serve: listening on {} ({} workers); close stdin to stop",
         handle.local_addr(),
-        config.workers
+        workers
     );
 
     let stats = std::thread::scope(|scope| {
@@ -206,6 +208,144 @@ fn serve(args: &[String]) -> i32 {
             1
         }
     }
+}
+
+fn serve(args: &[String]) -> i32 {
+    let (flags, rest) = parse_flags(
+        args,
+        &[
+            "--refs",
+            "--listen",
+            "--workers",
+            "--batch",
+            "--queue",
+            "--shard",
+            "--shard-count",
+        ],
+    );
+    if !rest.is_empty() {
+        usage();
+    }
+    let Some(refs) = flag(&flags, "--refs") else {
+        usage()
+    };
+    let listen = flag(&flags, "--listen").unwrap_or("127.0.0.1:7878");
+    let config = engine_config(&flags);
+    let shard_count: usize = parsed(&flags, "--shard-count", 1);
+    let shard: usize = parsed(&flags, "--shard", 0);
+    let sharded = flag(&flags, "--shard").is_some() || flag(&flags, "--shard-count").is_some();
+    if sharded && shard >= shard_count {
+        eprintln!("mc-serve: --shard {shard} out of range for --shard-count {shard_count}");
+        return 2;
+    }
+
+    let db = match build_from_refs(refs) {
+        Ok(db) => db,
+        Err(e) => {
+            eprintln!("mc-serve: {e}");
+            return 1;
+        }
+    };
+    let db = if sharded {
+        // Build the full table first, then keep only this shard's slice:
+        // splitting one finished build (instead of building per shard)
+        // keeps the per-feature location cap global, which is what makes
+        // the scatter-gather merge bit-identical (see metacache::shard).
+        let split = match metacache::ShardedDatabase::round_robin(db, shard_count) {
+            Ok(split) => split,
+            Err(e) => {
+                eprintln!("mc-serve: shard split: {e}");
+                return 1;
+            }
+        };
+        let slice = Arc::clone(&split.shards()[shard]);
+        eprintln!(
+            "mc-serve: serving shard {shard}/{shard_count}: {} of {} targets, {} of {} table bytes",
+            slice.partitions[0].targets.len(),
+            slice.target_count(),
+            slice.table_bytes(),
+            split.table_bytes(),
+        );
+        slice
+    } else {
+        Arc::new(db)
+    };
+    eprintln!(
+        "mc-serve: database ready ({} targets, {} features)",
+        db.target_count(),
+        db.total_features()
+    );
+    let engine = ServingEngine::host_with_config(db, config);
+    run_engine(engine, listen, config.workers)
+}
+
+/// Scatter-gather router over N shard servers (see the module docs and
+/// [`mc_net::router`]).
+fn route(args: &[String]) -> i32 {
+    let (flags, rest) = parse_flags(
+        args,
+        &[
+            "--refs",
+            "--listen",
+            "--workers",
+            "--batch",
+            "--queue",
+            "--shard",
+        ],
+    );
+    if !rest.is_empty() {
+        usage();
+    }
+    let Some(refs) = flag(&flags, "--refs") else {
+        usage()
+    };
+    // --shard repeats, one occurrence per shard server, in scatter order.
+    let shards: Vec<String> = flags
+        .iter()
+        .filter(|(k, _)| k == "--shard")
+        .map(|(_, v)| v.clone())
+        .collect();
+    if shards.is_empty() {
+        usage();
+    }
+    let listen = flag(&flags, "--listen").unwrap_or("127.0.0.1:7879");
+    let config = engine_config(&flags);
+
+    // The router needs only the shared metadata (targets, taxonomy,
+    // lineages) — rebuild it deterministically from the same refs the
+    // shard servers use and drop the hash table.
+    let meta = match build_from_refs(refs) {
+        Ok(db) => Arc::new(db.metadata_view()),
+        Err(e) => {
+            eprintln!("mc-serve: {e}");
+            return 1;
+        }
+    };
+    eprintln!(
+        "mc-serve: routing {} targets across {} shard servers",
+        meta.target_count(),
+        shards.len()
+    );
+    let backend = match RouterBackend::new(
+        meta,
+        &shards,
+        RouterConfig {
+            client: ClientConfig {
+                connect_timeout: Some(Duration::from_secs(5)),
+                request_timeout: Some(Duration::from_secs(30)),
+                ..ClientConfig::default()
+            },
+            policy: RetryPolicy::default(),
+        },
+    ) {
+        Ok(backend) => backend,
+        Err(e) => {
+            eprintln!("mc-serve: resolve shard addresses: {e}");
+            return 1;
+        }
+    };
+    let engine = ServingEngine::new(backend, config);
+    run_engine(engine, listen, config.workers)
 }
 
 fn classify(args: &[String]) -> i32 {

@@ -15,12 +15,12 @@ use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use mc_seqio::SequenceRecord;
-use metacache::Classification;
+use metacache::{Candidate, Classification};
 
 use crate::protocol::{
-    encode_classify, encode_classify_packed, read_frame, write_frame, Frame, NetError,
-    ProtocolError, BUSY_CONNECTION, LIVENESS_MIN_VERSION, MAGIC, MIN_PROTOCOL_VERSION,
-    PACKED_MIN_VERSION, PROTOCOL_VERSION,
+    encode_candidates, encode_classify, encode_classify_packed, read_frame, write_frame, Frame,
+    NetError, ProtocolError, BUSY_CONNECTION, CANDIDATES_MIN_VERSION, LIVENESS_MIN_VERSION, MAGIC,
+    MIN_PROTOCOL_VERSION, PACKED_MIN_VERSION, PROTOCOL_VERSION,
 };
 
 /// Connection preferences sent in the handshake. The server may shrink but
@@ -255,6 +255,20 @@ impl NetClient {
         self.recv_results(id)
     }
 
+    /// Fetch each read's merged top-hit candidate list in one
+    /// request/response exchange — the scatter leg a shard router drives
+    /// against its shard servers. Returns one list per read, in read
+    /// order, sorted by the classifier's deterministic candidate order.
+    /// Requires a negotiated protocol of v4 or later
+    /// ([`CANDIDATES_MIN_VERSION`]).
+    pub fn candidates_batch(
+        &mut self,
+        reads: &[SequenceRecord],
+    ) -> Result<Vec<Vec<Candidate>>, NetError> {
+        let id = self.send_candidates_request(reads)?;
+        self.recv_candidates(id)
+    }
+
     /// Stream reads through the connection, pipelining up to the granted
     /// credit of requests, and collect the classifications in input order.
     ///
@@ -393,6 +407,54 @@ impl NetClient {
         Ok(request_id)
     }
 
+    pub(crate) fn send_candidates_request(
+        &mut self,
+        reads: &[SequenceRecord],
+    ) -> Result<u64, NetError> {
+        self.check_alive()?;
+        if self.version < CANDIDATES_MIN_VERSION {
+            return Err(ProtocolError::Malformed("candidates require protocol v4").into());
+        }
+        // Same locality contract as `send_request`: an encode failure never
+        // reaches the socket, so it neither burns the id nor kills the
+        // connection.
+        let bytes = encode_candidates(self.next_request, reads)?;
+        if let Err(e) = self
+            .writer
+            .write_all(&bytes)
+            .and_then(|()| self.writer.flush())
+        {
+            self.dead = true;
+            return Err(e.into());
+        }
+        let request_id = self.next_request;
+        self.next_request += 1;
+        Ok(request_id)
+    }
+
+    pub(crate) fn recv_candidates(
+        &mut self,
+        expect_id: u64,
+    ) -> Result<Vec<Vec<Candidate>>, NetError> {
+        self.check_alive()?;
+        match self.read_reply()? {
+            Frame::CandidateResults {
+                request_id,
+                candidates,
+            } => {
+                if request_id != expect_id {
+                    self.dead = true;
+                    return Err(ProtocolError::Malformed("response out of order").into());
+                }
+                Ok(candidates)
+            }
+            other => {
+                self.dead = true;
+                Err(ProtocolError::Malformed(unexpected(&other)).into())
+            }
+        }
+    }
+
     pub(crate) fn recv_results(&mut self, expect_id: u64) -> Result<Vec<Classification>, NetError> {
         self.check_alive()?;
         match self.read_reply()? {
@@ -508,5 +570,7 @@ fn unexpected(frame: &Frame) -> &'static str {
         Frame::Ping { .. } => "unexpected Ping",
         Frame::Pong { .. } => "unexpected Pong",
         Frame::Busy { .. } => "unexpected Busy",
+        Frame::Candidates { .. } => "unexpected Candidates",
+        Frame::CandidateResults { .. } => "unexpected CandidateResults",
     }
 }

@@ -22,7 +22,7 @@
 //!   absorbs transient failures with reconnect + replay — results stay
 //!   bit-identical even under injected faults (`tests/net_chaos.rs`).
 //!
-//! The crate splits into five layers:
+//! The crate splits into six layers:
 //!
 //! * [`protocol`] — the length-prefixed binary wire format (pure
 //!   encode/decode, property-tested), specified in `docs/SERVING.md`;
@@ -33,24 +33,31 @@
 //!   pipelined `classify_iter`;
 //! * [`retry`] — [`RetryClient`]: capped-exponential-backoff reconnect and
 //!   safe replay on top of [`NetClient`];
+//! * [`router`] — [`RouterBackend`]: scatter-gather classification over N
+//!   shard servers (candidate queries per shard, lossless merge, one final
+//!   classification step), served back out through the same protocol;
 //! * [`chaos`] — [`ChaosProxy`]: a deterministic fault-injection proxy
 //!   (delays, slow-loris dribble, truncation, stalls, resets, half-closes)
 //!   that turns failure-mode testing into seeded regression tests.
 //!
 //! The `mc-serve` binary wraps all of it: `mc-serve serve` exposes a
-//! database on a socket, `mc-serve classify` is a command-line client,
-//! `mc-serve smoke` runs a self-contained loopback round-trip (used by CI,
-//! `--chaos` adds a fault-injected pass), and `mc-serve chaos` proxies an
-//! address with scripted faults for manual torture.
+//! database (or one shard of it, `--shard K --shard-count N`) on a socket,
+//! `mc-serve route` fronts N shard servers with a scatter-gather router,
+//! `mc-serve classify` is a command-line client, `mc-serve smoke` runs a
+//! self-contained loopback round-trip (used by CI, `--chaos` adds a
+//! fault-injected pass), and `mc-serve chaos` proxies an address with
+//! scripted faults for manual torture.
 
 pub mod chaos;
 pub mod client;
 pub mod protocol;
 pub mod retry;
+pub mod router;
 pub mod server;
 
 pub use chaos::{ChaosProxy, ConnPlan, Fault, PASSTHROUGH};
 pub use client::{ClientConfig, NetClient, NetSummary};
 pub use protocol::{ErrorCode, Frame, NetError, ProtocolError, ResultEntry};
 pub use retry::{RetryClient, RetryPolicy, RetryStats};
+pub use router::{RouterBackend, RouterConfig};
 pub use server::{NetServer, ServerConfig, ServerHandle, ServerStats};

@@ -30,16 +30,19 @@ use std::io::{self, Read, Write};
 
 use mc_seqio::SequenceRecord;
 use mc_taxonomy::Rank;
-use metacache::Classification;
+use metacache::{Candidate, Classification};
 
 /// Protocol magic carried by the [`Frame::Hello`] frame: `"MCNT"`.
 pub const MAGIC: u32 = 0x4D43_4E54;
 
-/// Current protocol version. Version 3 adds the fault-tolerance vocabulary
-/// — [`Frame::Ping`]/[`Frame::Pong`] liveness probes, the typed
-/// [`Frame::Busy`] overload answer and the optional `Hello` auth token;
+/// Current protocol version. Version 4 adds the scatter-gather vocabulary —
+/// the [`Frame::Candidates`] request and its [`Frame::CandidateResults`]
+/// answer, which let a router merge per-shard top-hit lists instead of
+/// final classifications; version 3 added the fault-tolerance vocabulary
+/// ([`Frame::Ping`]/[`Frame::Pong`] liveness probes, the typed
+/// [`Frame::Busy`] overload answer and the optional `Hello` auth token);
 /// version 2 added the packed request encoding ([`Frame::ClassifyPacked`]).
-pub const PROTOCOL_VERSION: u16 = 3;
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Oldest protocol version a server still accepts. The connection speaks
 /// `min(client version, PROTOCOL_VERSION)` — a v1 peer gets a bit-identical
@@ -60,6 +63,13 @@ pub const PACKED_MIN_VERSION: u16 = 2;
 /// falls back to the v1/v2 behaviour (no shedding answer, no keepalives) —
 /// old peers interoperate unchanged.
 pub const LIVENESS_MIN_VERSION: u16 = 3;
+
+/// First protocol version that speaks the scatter-gather vocabulary:
+/// [`Frame::Candidates`] / [`Frame::CandidateResults`]. On a connection
+/// negotiated below this, those frame types are rejected as
+/// [`ErrorCode::UnknownFrameType`] — classification-only peers interoperate
+/// unchanged.
+pub const CANDIDATES_MIN_VERSION: u16 = 4;
 
 /// The `request_id` a [`Frame::Busy`] carries when the *connection* (not an
 /// individual request) was refused — the server closes right after sending
@@ -96,6 +106,14 @@ pub mod frame_type {
     /// Server → client: the request (or connection) was shed under
     /// overload; retry after the hinted delay (protocol version ≥ 3).
     pub const BUSY: u8 = 10;
+    /// Client → server: one candidate query (a batch of reads whose merged
+    /// top-hit candidate lists, not final classifications, are wanted) —
+    /// the scatter leg of a router (protocol version ≥ 4). The payload is
+    /// identical to [`CLASSIFY_PACKED`].
+    pub const CANDIDATES: u8 = 11;
+    /// Server → client: per-read candidate lists answering a
+    /// [`CANDIDATES`] request (protocol version ≥ 4).
+    pub const CANDIDATE_RESULTS: u8 = 12;
 }
 
 /// Per-record flag bits of the packed read encoding
@@ -387,6 +405,31 @@ pub enum Frame {
         /// Server-suggested minimum delay before retrying, milliseconds.
         retry_after_ms: u32,
     },
+    /// One candidate query (client → server, protocol version ≥ 4): like
+    /// [`Frame::ClassifyPacked`] — the payload encoding is byte-identical —
+    /// but the server answers with each read's merged top-hit candidate
+    /// list ([`Frame::CandidateResults`]) instead of final classifications.
+    /// This is the scatter leg of the shard router: candidate lists from
+    /// disjoint shards merge losslessly, final classifications do not.
+    Candidates {
+        /// Client-chosen id echoed by the matching
+        /// [`Frame::CandidateResults`]. Must increase strictly
+        /// monotonically within a connection.
+        request_id: u64,
+        /// The reads to query.
+        reads: Vec<SequenceRecord>,
+    },
+    /// Ordered candidate lists of one [`Frame::Candidates`] request
+    /// (server → client, protocol version ≥ 4).
+    CandidateResults {
+        /// The id of the request these lists answer.
+        request_id: u64,
+        /// One candidate list per read, in the request's read order; each
+        /// list is sorted hits-descending with the classifier's
+        /// deterministic tie-break and truncated to the server database's
+        /// `top_candidates` capacity.
+        candidates: Vec<Vec<Candidate>>,
+    },
 }
 
 /// One read's classification on the wire (fixed 14 bytes:
@@ -453,6 +496,8 @@ impl Frame {
             Self::Ping { .. } => frame_type::PING,
             Self::Pong { .. } => frame_type::PONG,
             Self::Busy { .. } => frame_type::BUSY,
+            Self::Candidates { .. } => frame_type::CANDIDATES,
+            Self::CandidateResults { .. } => frame_type::CANDIDATE_RESULTS,
         }
     }
 
@@ -524,6 +569,15 @@ impl Frame {
                 put_u64(out, *request_id);
                 put_u32(out, *retry_after_ms);
             }
+            Self::Candidates { request_id, reads } => {
+                encode_classify_packed_payload(out, *request_id, reads)?;
+            }
+            Self::CandidateResults {
+                request_id,
+                candidates,
+            } => {
+                encode_candidate_results_payload(out, *request_id, candidates)?;
+            }
         }
         Ok(())
     }
@@ -562,13 +616,13 @@ impl Frame {
                 batch_records: cursor.u32()?,
                 backend: cursor.str16()?,
             },
-            frame_type::CLASSIFY | frame_type::CLASSIFY_PACKED => {
+            frame_type::CLASSIFY | frame_type::CLASSIFY_PACKED | frame_type::CANDIDATES => {
                 let mut reads = Vec::new();
                 let request_id = decode_classify_into(frame_type, payload, &mut reads)?;
-                return Ok(if frame_type == frame_type::CLASSIFY {
-                    Self::Classify { request_id, reads }
-                } else {
-                    Self::ClassifyPacked { request_id, reads }
+                return Ok(match frame_type {
+                    frame_type::CLASSIFY => Self::Classify { request_id, reads },
+                    frame_type::CLASSIFY_PACKED => Self::ClassifyPacked { request_id, reads },
+                    _ => Self::Candidates { request_id, reads },
                 });
             }
             frame_type::RESULTS => {
@@ -604,6 +658,30 @@ impl Frame {
                 request_id: cursor.u64()?,
                 retry_after_ms: cursor.u32()?,
             },
+            frame_type::CANDIDATE_RESULTS => {
+                let request_id = cursor.u64()?;
+                let read_count = cursor.u32()? as usize;
+                // Grown per read, never by the announced count: a lying
+                // count fails as `Truncated` before memory balloons.
+                let mut candidates = Vec::new();
+                for _ in 0..read_count {
+                    let entry_count = cursor.u32()? as usize;
+                    let mut list = Vec::with_capacity(entry_count.min(payload.len() / 16 + 1));
+                    for _ in 0..entry_count {
+                        list.push(Candidate {
+                            target: cursor.u32()?,
+                            window_begin: cursor.u32()?,
+                            window_end: cursor.u32()?,
+                            hits: cursor.u32()?,
+                        });
+                    }
+                    candidates.push(list);
+                }
+                Self::CandidateResults {
+                    request_id,
+                    candidates,
+                }
+            }
             other => return Err(ProtocolError::UnknownFrameType(other)),
         };
         cursor.finish()?;
@@ -805,7 +883,9 @@ pub fn decode_classify_into(
 ) -> Result<u64, ProtocolError> {
     let packed = match frame_type {
         frame_type::CLASSIFY => false,
-        frame_type::CLASSIFY_PACKED => true,
+        // A `Candidates` request carries the exact `ClassifyPacked`
+        // payload, so the server's zero-copy ingest handles both tags.
+        frame_type::CLASSIFY_PACKED | frame_type::CANDIDATES => true,
         other => return Err(ProtocolError::UnknownFrameType(other)),
     };
     let mut cursor = Cursor::new(payload);
@@ -927,6 +1007,71 @@ pub fn encode_results_into(
         put_u32(out, e.best_target);
         put_u32(out, e.best_hits);
     }
+    let len = u32::try_from(out.len() - 4).map_err(|_| ProtocolError::FrameTooLarge(u32::MAX))?;
+    if len > MAX_FRAME_LEN {
+        return Err(ProtocolError::FrameTooLarge(len));
+    }
+    out[0..4].copy_from_slice(&len.to_le_bytes());
+    Ok(())
+}
+
+/// Encode a [`Frame::Candidates`] directly from a borrowed read slice — the
+/// router's scatter hot path. The payload is byte-identical to
+/// [`encode_classify_packed`]'s; only the type tag differs.
+pub fn encode_candidates(
+    request_id: u64,
+    reads: &[SequenceRecord],
+) -> Result<Vec<u8>, ProtocolError> {
+    let mut out = vec![0u8; 4];
+    out.push(frame_type::CANDIDATES);
+    encode_classify_packed_payload(&mut out, request_id, reads)?;
+    seal_frame(out)
+}
+
+/// The `CandidateResults` payload encoder, shared by [`Frame::encode`] and
+/// [`encode_candidate_results_into`]. Generic over the per-read list type so
+/// the server encodes straight from borrowed [`metacache::CandidateList`]
+/// slices while owned frames hold `Vec<Candidate>`.
+fn encode_candidate_results_payload<L: AsRef<[Candidate]>>(
+    out: &mut Vec<u8>,
+    request_id: u64,
+    reads: &[L],
+) -> Result<(), ProtocolError> {
+    put_u64(out, request_id);
+    put_u32(
+        out,
+        u32::try_from(reads.len()).map_err(|_| ProtocolError::Malformed("read count"))?,
+    );
+    for list in reads {
+        let list = list.as_ref();
+        put_u32(
+            out,
+            u32::try_from(list.len()).map_err(|_| ProtocolError::Malformed("candidate count"))?,
+        );
+        for c in list {
+            put_u32(out, c.target);
+            put_u32(out, c.window_begin);
+            put_u32(out, c.window_end);
+            put_u32(out, c.hits);
+        }
+    }
+    Ok(())
+}
+
+/// Encode a complete [`Frame::CandidateResults`] (envelope included)
+/// straight from per-read candidate slices into a reusable buffer — the
+/// server's candidates response hot path, byte-identical to building the
+/// frame's nested vectors and calling [`Frame::encode`], with zero
+/// allocations once `out` has grown.
+pub fn encode_candidate_results_into<L: AsRef<[Candidate]>>(
+    out: &mut Vec<u8>,
+    request_id: u64,
+    reads: &[L],
+) -> Result<(), ProtocolError> {
+    out.clear();
+    out.extend_from_slice(&[0u8; 4]);
+    out.push(frame_type::CANDIDATE_RESULTS);
+    encode_candidate_results_payload(out, request_id, reads)?;
     let len = u32::try_from(out.len() - 4).map_err(|_| ProtocolError::FrameTooLarge(u32::MAX))?;
     if len > MAX_FRAME_LEN {
         return Err(ProtocolError::FrameTooLarge(len));
@@ -1201,6 +1346,134 @@ mod tests {
             request_id: BUSY_CONNECTION,
             retry_after_ms: 100,
         });
+        roundtrip(Frame::Candidates {
+            request_id: 43,
+            reads: vec![
+                SequenceRecord::new("plain", b"ACGTACGTACGTACGTACGTACGT".to_vec()),
+                SequenceRecord::new("", Vec::new()),
+                SequenceRecord::new("ns", b"ACGTNNACGTNNacgtACGTACGT".to_vec()),
+            ],
+        });
+        roundtrip(Frame::CandidateResults {
+            request_id: 43,
+            candidates: vec![
+                vec![
+                    Candidate {
+                        target: 2,
+                        window_begin: 10,
+                        window_end: 14,
+                        hits: 31,
+                    },
+                    Candidate {
+                        target: 0,
+                        window_begin: 0,
+                        window_end: 4,
+                        hits: 30,
+                    },
+                ],
+                Vec::new(),
+                vec![Candidate {
+                    target: u32::MAX,
+                    window_begin: u32::MAX,
+                    window_end: u32::MAX,
+                    hits: u32::MAX,
+                }],
+            ],
+        });
+        roundtrip(Frame::CandidateResults {
+            request_id: 0,
+            candidates: Vec::new(),
+        });
+    }
+
+    /// A `Candidates` frame must be byte-identical to the `ClassifyPacked`
+    /// frame for the same reads except for its type tag: routers reuse the
+    /// packed encoder and servers reuse the packed zero-copy decoder.
+    #[test]
+    fn candidates_payload_matches_classify_packed() {
+        let reads = vec![
+            SequenceRecord::new("a", b"ACGTACGTACGTNNACGT".to_vec()),
+            SequenceRecord::with_quality("q", b"ACGTACGT".to_vec(), b"IIIIIIII".to_vec()),
+        ];
+        let packed = encode_classify_packed(9, &reads).unwrap();
+        let cand = encode_candidates(9, &reads).unwrap();
+        assert_eq!(cand[4], frame_type::CANDIDATES);
+        assert_eq!(packed[4], frame_type::CLASSIFY_PACKED);
+        assert_eq!(&cand[..4], &packed[..4]);
+        assert_eq!(&cand[5..], &packed[5..]);
+        // The owned-frame encoder and the borrowed hot path agree.
+        let owned = Frame::Candidates {
+            request_id: 9,
+            reads: reads.clone(),
+        }
+        .encode()
+        .unwrap();
+        assert_eq!(owned, cand);
+        // The server's zero-copy ingest accepts the CANDIDATES tag as packed.
+        let mut records = Vec::new();
+        let id = decode_classify_into(frame_type::CANDIDATES, &cand[5..], &mut records).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(records, reads);
+    }
+
+    /// The borrowed-slice `CandidateResults` hot path is byte-identical to
+    /// encoding the owned frame.
+    #[test]
+    fn encode_candidate_results_into_matches_frame_encode() {
+        let lists: Vec<Vec<Candidate>> = vec![
+            vec![
+                Candidate {
+                    target: 1,
+                    window_begin: 3,
+                    window_end: 7,
+                    hits: 12,
+                },
+                Candidate {
+                    target: 4,
+                    window_begin: 0,
+                    window_end: 4,
+                    hits: 12,
+                },
+            ],
+            Vec::new(),
+        ];
+        let owned = Frame::CandidateResults {
+            request_id: 77,
+            candidates: lists.clone(),
+        }
+        .encode()
+        .unwrap();
+        let mut hot = vec![0xAA; 3]; // stale contents must be cleared
+        let borrowed: Vec<&[Candidate]> = lists.iter().map(Vec::as_slice).collect();
+        encode_candidate_results_into(&mut hot, 77, &borrowed).unwrap();
+        assert_eq!(hot, owned);
+    }
+
+    /// A truncated `CandidateResults` payload (count promising more entries
+    /// than present) fails as `Truncated`, and trailing bytes are rejected.
+    #[test]
+    fn candidate_results_rejects_truncation_and_trailing_bytes() {
+        let frame = Frame::CandidateResults {
+            request_id: 5,
+            candidates: vec![vec![Candidate {
+                target: 1,
+                window_begin: 0,
+                window_end: 4,
+                hits: 9,
+            }]],
+        };
+        let bytes = frame.encode().unwrap();
+        let payload = &bytes[5..];
+        assert_eq!(
+            Frame::decode(frame_type::CANDIDATE_RESULTS, &payload[..payload.len() - 1]),
+            Err(ProtocolError::Truncated)
+        );
+        let mut trailing = payload.to_vec();
+        trailing.push(0);
+        assert_eq!(
+            Frame::decode(frame_type::CANDIDATE_RESULTS, &trailing),
+            Err(ProtocolError::Malformed("trailing bytes"))
+        );
     }
 
     /// The v3 `Hello` without a token must stay byte-identical to the

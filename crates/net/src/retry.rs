@@ -20,7 +20,7 @@ use std::net::{SocketAddr, ToSocketAddrs};
 use std::time::Duration;
 
 use mc_seqio::SequenceRecord;
-use metacache::Classification;
+use metacache::{Candidate, Classification};
 
 use crate::client::{resolve_addrs, ClientConfig, NetClient, NetSummary};
 use crate::protocol::NetError;
@@ -204,6 +204,39 @@ impl RetryClient {
                     if !conn.is_dead() {
                         // Request-level Busy (or a local encode failure):
                         // the connection itself is fine — keep it.
+                        self.conn = Some(conn);
+                    }
+                    self.backoff(&mut attempt, e)?;
+                }
+            }
+        }
+    }
+
+    /// [`NetClient::candidates_batch`] with retries — the router's
+    /// per-shard scatter leg. Replay is safe for exactly the reason
+    /// classification replay is: a candidate query is deterministic and
+    /// read-only, and its lists are only handed to the caller once the
+    /// whole exchange succeeds.
+    pub fn candidates_batch(
+        &mut self,
+        reads: &[SequenceRecord],
+    ) -> Result<Vec<Vec<Candidate>>, NetError> {
+        let mut attempt = 0u32;
+        loop {
+            let mut conn = match self.take_conn() {
+                Ok(conn) => conn,
+                Err(e) => {
+                    self.backoff(&mut attempt, e)?;
+                    continue;
+                }
+            };
+            match conn.candidates_batch(reads) {
+                Ok(lists) => {
+                    self.conn = Some(conn);
+                    return Ok(lists);
+                }
+                Err(e) => {
+                    if !conn.is_dead() {
                         self.conn = Some(conn);
                     }
                     self.backoff(&mut attempt, e)?;

@@ -1,0 +1,178 @@
+//! Scatter-gather routing: a [`metacache::Backend`] that fans every batch
+//! out to N shard servers over the wire and merges their candidate lists.
+//!
+//! A [`RouterBackend`] fronts shard servers that each hold one shard of a
+//! [`metacache::ShardedDatabase`] split (typically `mc-serve serve --shard
+//! K --shard-count N` processes). Classification of one batch runs in three
+//! steps, mirroring the in-process [`metacache::ShardedClassifier`]:
+//!
+//! 1. **Scatter**: the batch goes to every shard as one
+//!    [`Frame::Candidates`](crate::Frame::Candidates) request, through a
+//!    per-worker [`RetryClient`] — deadlines, reconnect/replay and `Busy`
+//!    backoff compose per shard leg.
+//! 2. **Merge**: each read's per-shard top-hit lists are merged into one
+//!    [`CandidateList`]. Shards partition the *targets*, so their candidate
+//!    lists are disjoint by target and the merge is lossless: the result is
+//!    bit-identical to querying the unsharded table (the argument lives in
+//!    `metacache::shard`'s module docs and is enforced by
+//!    `tests/sharding.rs`).
+//! 3. **Classify**: [`classify_candidates`] runs once over the merged list
+//!    against the router's metadata-only database (taxonomy + lineages; no
+//!    hash table) — the same final step the unsharded path runs.
+//!
+//! Because [`RouterBackend`] is just a [`Backend`], a
+//! [`ServingEngine`](metacache::serving::ServingEngine) +
+//! [`NetServer`](crate::NetServer) over it is a drop-in classification
+//! server: clients speak the ordinary protocol and cannot tell a routed
+//! topology from a single process. A shard leg whose retry policy is
+//! exhausted panics the worker; the engine replaces the worker and re-raises
+//! in the owning session only, which the server answers with a typed
+//! `Internal` error frame — healthy sessions and healthy shards are
+//! unaffected (`tests/net_chaos.rs` covers the routed topology).
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
+
+use mc_seqio::SequenceRecord;
+use metacache::classify::classify_candidates;
+use metacache::{Backend, BackendWorker, CandidateList, Classification, Database};
+
+use crate::client::{resolve_addrs, ClientConfig};
+use crate::protocol::NetError;
+use crate::retry::{RetryClient, RetryPolicy};
+
+/// Connection settings of a [`RouterBackend`]: how each worker talks to
+/// each shard server.
+#[derive(Debug, Clone, Default)]
+pub struct RouterConfig {
+    /// Per-shard-connection client preferences. The announced protocol
+    /// version must be 0 (current) or ≥ 4 — candidates require v4.
+    pub client: ClientConfig,
+    /// Per-shard-leg retry policy (reconnect, replay, `Busy` backoff).
+    pub policy: RetryPolicy,
+}
+
+/// A [`Backend`] that classifies by scattering candidate queries to N shard
+/// servers and merging their per-read top-hit lists (see the module docs).
+///
+/// Engine worker threads each mint their own [`BackendWorker`], so every
+/// worker owns one [`RetryClient`] per shard: N shards × W workers
+/// connections, with no cross-worker locking on the hot path.
+pub struct RouterBackend {
+    meta: Arc<Database>,
+    shards: Vec<Vec<SocketAddr>>,
+    config: RouterConfig,
+}
+
+impl RouterBackend {
+    /// Create a router over `meta` (the full database's metadata — config,
+    /// targets, taxonomy, lineages; its hash table is never queried) and
+    /// one address per shard server. Addresses are resolved once, here;
+    /// connections are established lazily by each worker's first batch.
+    ///
+    /// `meta` must describe the same reference set the shard servers were
+    /// split from — shard servers answer with *global* target ids, which
+    /// are only meaningful against the shared target table.
+    pub fn new(
+        meta: Arc<Database>,
+        shard_addrs: &[impl ToSocketAddrs],
+        config: RouterConfig,
+    ) -> Result<Self, NetError> {
+        let shards = shard_addrs
+            .iter()
+            .map(resolve_addrs)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            meta,
+            shards,
+            config,
+        })
+    }
+
+    /// Number of shard servers this router scatters to.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+}
+
+impl Backend for RouterBackend {
+    fn database(&self) -> &Database {
+        &self.meta
+    }
+
+    fn name(&self) -> &'static str {
+        "router"
+    }
+
+    fn worker(&self) -> Box<dyn BackendWorker + '_> {
+        let legs = self
+            .shards
+            .iter()
+            .map(|addrs| {
+                RetryClient::connect_with(
+                    &addrs[..],
+                    self.config.client.clone(),
+                    self.config.policy.clone(),
+                )
+                .expect("addresses were resolved at router construction")
+            })
+            .collect();
+        Box::new(RouterWorker {
+            meta: &self.meta,
+            legs,
+            merged: CandidateList::new(self.meta.config.top_candidates),
+        })
+    }
+}
+
+/// One engine worker's routing state: a retrying connection per shard plus
+/// the merge scratch.
+struct RouterWorker<'b> {
+    meta: &'b Database,
+    legs: Vec<RetryClient>,
+    merged: CandidateList,
+}
+
+impl BackendWorker for RouterWorker<'_> {
+    fn classify_batch_into(&mut self, records: &[SequenceRecord], out: &mut Vec<Classification>) {
+        // Scatter: one candidates exchange per shard. A leg that stays down
+        // past its retry policy panics the worker — the engine's contract
+        // for a broken execution substrate: the owning session re-raises,
+        // the engine mints a replacement worker (with fresh connections),
+        // and every other session keeps streaming.
+        let per_shard: Vec<Vec<Vec<metacache::Candidate>>> = self
+            .legs
+            .iter_mut()
+            .enumerate()
+            .map(|(shard, leg)| match leg.candidates_batch(records) {
+                Ok(lists) => {
+                    assert_eq!(
+                        lists.len(),
+                        records.len(),
+                        "shard {shard} answered {} candidate lists for {} reads",
+                        lists.len(),
+                        records.len(),
+                    );
+                    lists
+                }
+                Err(e) => panic!("shard leg {shard} failed beyond its retry policy: {e}"),
+            })
+            .collect();
+        // Gather: merge each read's disjoint per-shard lists and run the
+        // final classification step once, exactly like the in-process
+        // sharded path.
+        for read in 0..records.len() {
+            self.merged.reset(self.meta.config.top_candidates);
+            for lists in &per_shard {
+                for &candidate in &lists[read] {
+                    self.merged.insert(candidate);
+                }
+            }
+            out.push(classify_candidates(
+                self.meta,
+                &self.meta.config,
+                &self.merged,
+            ));
+        }
+    }
+}

@@ -49,12 +49,13 @@ use std::time::{Duration, Instant};
 
 use mc_seqio::SequenceRecord;
 use metacache::serving::{ServingEngine, SessionConfig};
-use metacache::Classification;
+use metacache::{Candidate, Classification, Classifier, Database, QueryScratch};
 
 use crate::protocol::{
-    constant_time_eq, decode_classify_into, encode_results_into, frame_type, read_frame,
-    read_frame_buf, write_frame, ErrorCode, Frame, NetError, ProtocolError, BUSY_CONNECTION,
-    LIVENESS_MIN_VERSION, MAGIC, MIN_PROTOCOL_VERSION, PACKED_MIN_VERSION, PROTOCOL_VERSION,
+    constant_time_eq, decode_classify_into, encode_candidate_results_into, encode_results_into,
+    frame_type, read_frame, read_frame_buf, write_frame, ErrorCode, Frame, NetError, ProtocolError,
+    BUSY_CONNECTION, CANDIDATES_MIN_VERSION, LIVENESS_MIN_VERSION, MAGIC, MIN_PROTOCOL_VERSION,
+    PACKED_MIN_VERSION, PROTOCOL_VERSION,
 };
 
 /// Tuning knobs of a [`NetServer`].
@@ -555,6 +556,12 @@ enum ConnEvent {
         request_id: u64,
         reads: Vec<SequenceRecord>,
     },
+    /// A candidates query (protocol ≥ v4); the writer answers with the
+    /// merged top-hit lists instead of classifications.
+    Candidates {
+        request_id: u64,
+        reads: Vec<SequenceRecord>,
+    },
     /// A liveness probe; the writer echoes a `Pong`.
     Ping { nonce: u64 },
     /// The reader hit undecodable input; the writer reports it and closes.
@@ -737,6 +744,15 @@ fn serve_connection(
         let mut served_any = false;
         let mut classifications: Vec<Classification> = Vec::new();
         let mut results_frame: Vec<u8> = Vec::new();
+        // Candidates requests are answered on this thread with a lazily
+        // built classifier over the engine's database rather than through
+        // the engine queue: the engine pipeline is typed to final
+        // classifications, and the scatter leg needs per-read candidate
+        // lists. The trade-off — candidate work is not counted against the
+        // engine's fair queue — is bounded by the same credit window and
+        // the global in-flight record gauge as classify requests.
+        let mut candidate_state: Option<(Classifier<&Database>, QueryScratch)> = None;
+        let mut candidate_lists: Vec<Vec<Candidate>> = Vec::new();
         let close = |writer: &mut BufWriter<TcpStream>| {
             // Unblock the reader if it is still mid-read (writer-side exit).
             let _ = writer.get_ref().shutdown(Shutdown::Both);
@@ -844,6 +860,123 @@ fn serve_connection(
                                     code: ErrorCode::Internal,
                                     message: format!(
                                         "classification failed for request {request_id}"
+                                    ),
+                                },
+                            );
+                            let _ = writer.flush();
+                            close(&mut writer);
+                            break;
+                        }
+                    }
+                }
+                ConnEvent::Candidates { request_id, reads } => {
+                    if last_request_id.is_some_and(|last| request_id <= last) {
+                        fail(
+                            shared,
+                            &mut writer,
+                            &ProtocolError::Malformed("request ids must increase"),
+                        );
+                        close(&mut writer);
+                        break;
+                    }
+                    last_request_id = Some(request_id);
+                    if engine.database().partition_count() == 0 {
+                        // A metadata-only database (a router fronting this
+                        // very protocol) has no local table to query;
+                        // answering with empty lists would silently corrupt
+                        // a two-level scatter, so refuse the frame type.
+                        fail(
+                            shared,
+                            &mut writer,
+                            &ProtocolError::UnknownFrameType(frame_type::CANDIDATES),
+                        );
+                        close(&mut writer);
+                        break;
+                    }
+                    let read_count = reads.len() as u64;
+                    let inflight = shared
+                        .inflight_records
+                        .fetch_add(read_count, Ordering::Relaxed)
+                        + read_count;
+                    // Same shed policy as classify requests (candidates
+                    // require ≥ v4, so the peer always speaks Busy).
+                    let shed = config.max_inflight_records > 0
+                        && (inflight > config.max_inflight_records as u64
+                            || (!served_any && session.over_high_water()));
+                    if shed {
+                        shared
+                            .inflight_records
+                            .fetch_sub(read_count, Ordering::Relaxed);
+                        shared
+                            .counters
+                            .shed_requests
+                            .fetch_add(1, Ordering::Relaxed);
+                        recycle(&pool, config, reads);
+                        let ok = write_frame(
+                            &mut writer,
+                            &Frame::Busy {
+                                request_id,
+                                retry_after_ms: config.retry_after_ms,
+                            },
+                        )
+                        .is_ok()
+                            && writer.flush().is_ok();
+                        if !ok {
+                            close(&mut writer);
+                            break;
+                        }
+                        continue;
+                    }
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let (classifier, scratch) = candidate_state.get_or_insert_with(|| {
+                            (Classifier::new(engine.database()), QueryScratch::new())
+                        });
+                        for (i, read) in reads.iter().enumerate() {
+                            if candidate_lists.len() <= i {
+                                candidate_lists.push(Vec::new());
+                            }
+                            let list = classifier.candidates_with(read, scratch);
+                            candidate_lists[i].clear();
+                            candidate_lists[i].extend_from_slice(list.as_slice());
+                        }
+                        candidate_lists.truncate(reads.len());
+                    }));
+                    shared
+                        .inflight_records
+                        .fetch_sub(read_count, Ordering::Relaxed);
+                    served_any = true;
+                    recycle(&pool, config, reads);
+                    match outcome {
+                        Ok(()) => {
+                            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+                            shared
+                                .counters
+                                .reads
+                                .fetch_add(read_count, Ordering::Relaxed);
+                            let ok = encode_candidate_results_into(
+                                &mut results_frame,
+                                request_id,
+                                &candidate_lists,
+                            )
+                            .is_ok()
+                                && writer.write_all(&results_frame).is_ok()
+                                && writer.flush().is_ok();
+                            if !ok {
+                                close(&mut writer);
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            shared
+                                .counters
+                                .internal_errors
+                                .fetch_add(1, Ordering::Relaxed);
+                            let _ = write_frame(
+                                &mut writer,
+                                &Frame::Error {
+                                    code: ErrorCode::Internal,
+                                    message: format!(
+                                        "candidate query failed for request {request_id}"
                                     ),
                                 },
                             );
@@ -962,6 +1095,32 @@ fn read_loop(
                 match decode_classify_into(tag, &payload, &mut reads) {
                     Ok(request_id) => {
                         if tx.send(ConnEvent::Request { request_id, reads }).is_err() {
+                            return; // writer side is gone
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(ConnEvent::Bad(e));
+                        return;
+                    }
+                }
+            }
+            Ok(Some(tag)) if tag == frame_type::CANDIDATES => {
+                if version < CANDIDATES_MIN_VERSION {
+                    // A pre-v4 peer must not smuggle in v4 frames.
+                    let _ = tx.send(ConnEvent::Bad(ProtocolError::UnknownFrameType(tag)));
+                    return;
+                }
+                let mut reads = pool
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .pop()
+                    .unwrap_or_default();
+                match decode_classify_into(tag, &payload, &mut reads) {
+                    Ok(request_id) => {
+                        if tx
+                            .send(ConnEvent::Candidates { request_id, reads })
+                            .is_err()
+                        {
                             return; // writer side is gone
                         }
                     }

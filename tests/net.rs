@@ -715,3 +715,157 @@ fn oversized_server_limits_saturate_in_handshake() {
     });
     engine.shutdown();
 }
+
+/// The v4 candidates exchange is bit-identical to in-process candidate
+/// queries: every list, entry and ordering matches `candidates_with`, and a
+/// pre-v4 connection cannot use the frame.
+#[test]
+fn candidates_over_the_wire_match_in_process() {
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    let server = NetServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| server.run().unwrap());
+        let _guard = ShutdownOnDrop(handle.clone());
+        let reads = mixed_reads(40, 1234);
+        let classifier = Classifier::new(Arc::clone(&db));
+        let mut scratch = metacache::QueryScratch::new();
+        let expected: Vec<Vec<metacache::Candidate>> = reads
+            .iter()
+            .map(|r| {
+                classifier
+                    .candidates_with(r, &mut scratch)
+                    .as_slice()
+                    .to_vec()
+            })
+            .collect();
+
+        let mut client = NetClient::connect(addr).unwrap();
+        let got = client.candidates_batch(&reads).unwrap();
+        assert_eq!(got, expected);
+        // Interleaving with classification on the same connection works
+        // (request ids keep increasing across both frame kinds).
+        let classifications = client.classify_batch(&reads).unwrap();
+        assert_eq!(classifications, classifier.classify_batch(&reads));
+        assert_eq!(client.candidates_batch(&reads[..5]).unwrap(), expected[..5]);
+        drop(client);
+
+        // A v3 connection refuses to send candidates locally.
+        let mut v3 = NetClient::connect_with(
+            addr,
+            ClientConfig {
+                version: 3,
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            v3.candidates_batch(&reads[..2]),
+            Err(NetError::Protocol(_))
+        ));
+        drop(v3);
+        handle.shutdown();
+    });
+    engine.shutdown();
+}
+
+/// Rebuild the shared fixture database as an owned value (the build is
+/// deterministic, so it is bit-identical to [`shared_database`]'s) — shard
+/// splitting consumes a `Database` by value.
+fn owned_database() -> Database {
+    let mut taxonomy = Taxonomy::with_root();
+    taxonomy.add_node(10, 1, Rank::Genus, "G").unwrap();
+    taxonomy.add_node(100, 10, Rank::Species, "G a").unwrap();
+    taxonomy.add_node(101, 10, Rank::Species, "G b").unwrap();
+    let (_, genomes) = shared_database();
+    let mut builder = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy);
+    builder
+        .add_target(SequenceRecord::new("refA", genomes[0].clone()), 100)
+        .unwrap();
+    builder
+        .add_target(SequenceRecord::new("refB", genomes[1].clone()), 101)
+        .unwrap();
+    builder.finish()
+}
+
+/// A routed topology — router process fronting two shard servers — is
+/// bit-identical to the unsharded in-process classifier, end to end over
+/// the ordinary protocol.
+#[test]
+fn routed_scatter_gather_matches_unsharded() {
+    let (db, _) = shared_database();
+    let split = Arc::new(metacache::ShardedDatabase::round_robin(owned_database(), 2).unwrap());
+
+    // Two shard servers, each holding one slice of the table.
+    let shard_engines: Vec<ServingEngine> = split
+        .shards()
+        .iter()
+        .map(|shard| test_engine(Arc::clone(shard)))
+        .collect();
+    let shard_servers: Vec<NetServer> = shard_engines
+        .iter()
+        .map(|engine| NetServer::bind(engine, "127.0.0.1:0").unwrap())
+        .collect();
+    let shard_handles: Vec<mc_net::ServerHandle> =
+        shard_servers.iter().map(|s| s.handle()).collect();
+    let shard_addrs: Vec<std::net::SocketAddr> =
+        shard_handles.iter().map(|h| h.local_addr()).collect();
+
+    // The router: a metadata-only database plus the shard addresses.
+    let meta = Arc::new(db.metadata_view());
+    let backend = mc_net::RouterBackend::new(
+        Arc::clone(&meta),
+        &shard_addrs,
+        mc_net::RouterConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(backend.shard_count(), 2);
+    let router_engine = ServingEngine::new(
+        backend,
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 4,
+            batch_records: 8,
+            session_max_in_flight: 4,
+        },
+    );
+    let router_server = NetServer::bind(&router_engine, "127.0.0.1:0").unwrap();
+    let router_handle = router_server.handle();
+    let router_addr = router_handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let _guards: Vec<ShutdownOnDrop> = shard_handles
+            .iter()
+            .cloned()
+            .map(ShutdownOnDrop)
+            .chain(std::iter::once(ShutdownOnDrop(router_handle.clone())))
+            .collect();
+        for server in shard_servers {
+            scope.spawn(move || server.run().unwrap());
+        }
+        scope.spawn(move || router_server.run().unwrap());
+
+        let reads = mixed_reads(60, 777);
+        let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+        let mut client = NetClient::connect(router_addr).unwrap();
+        assert_eq!(client.backend(), "router");
+        let got = client.classify_batch(&reads).unwrap();
+        assert_eq!(got, expected, "routed results diverged from unsharded");
+        let (streamed, _) = client.classify_iter(reads.iter().cloned()).unwrap();
+        assert_eq!(streamed, expected);
+        drop(client);
+
+        // A router's database has no table: candidates against the router
+        // itself are refused (no silent empty lists for nested routing).
+        let mut direct = NetClient::connect(router_addr).unwrap();
+        assert!(direct.candidates_batch(&reads[..2]).is_err());
+        drop(direct);
+    });
+    router_engine.shutdown();
+    for engine in shard_engines {
+        engine.shutdown();
+    }
+}

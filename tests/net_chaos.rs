@@ -693,3 +693,272 @@ fn shutdown_is_bounded_with_a_stuck_peer() {
     });
     engine.shutdown();
 }
+
+/// Rebuild the shared fixture database as an owned value (deterministic, so
+/// bit-identical to [`shared_database`]'s) — the shard split consumes it.
+fn owned_database() -> Database {
+    let mut taxonomy = Taxonomy::with_root();
+    taxonomy.add_node(10, 1, Rank::Genus, "G").unwrap();
+    taxonomy.add_node(100, 10, Rank::Species, "G a").unwrap();
+    taxonomy.add_node(101, 10, Rank::Species, "G b").unwrap();
+    let (_, genomes) = shared_database();
+    let mut builder = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy);
+    builder
+        .add_target(SequenceRecord::new("refA", genomes[0].clone()), 100)
+        .unwrap();
+    builder
+        .add_target(SequenceRecord::new("refB", genomes[1].clone()), 101)
+        .unwrap();
+    builder.finish()
+}
+
+/// Routed topology under chaos: a [`ChaosProxy`] sits between the router
+/// and one of its two shard servers, feeding the first leg connections
+/// truncations and resets. The router's per-leg [`RetryClient`] must absorb
+/// the faults and converge to results bit-identical to the unsharded
+/// in-process classifier — a flaky shard leg must never corrupt a merge
+/// with partial (healthy-shards-only) answers — and every session on every
+/// leg must drain to zero afterwards.
+#[test]
+fn routed_chaos_leg_retries_to_bit_identical_convergence() {
+    let (db, _) = shared_database();
+    let reads = genome_reads(40, 83);
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+    let split = Arc::new(metacache::ShardedDatabase::round_robin(owned_database(), 2).unwrap());
+
+    let shard_engines: Vec<ServingEngine> = split
+        .shards()
+        .iter()
+        .map(|shard| test_engine(Arc::clone(shard)))
+        .collect();
+    let shard_servers: Vec<NetServer> = shard_engines
+        .iter()
+        .map(|engine| NetServer::bind_with(engine, "127.0.0.1:0", fast_config()).unwrap())
+        .collect();
+    let shard_handles: Vec<ServerHandle> = shard_servers.iter().map(|s| s.handle()).collect();
+
+    // Chaos between the router and shard 1 only: the first three leg
+    // connections are cut in various ways, then verbatim forwarding.
+    let proxy = ChaosProxy::start(
+        shard_handles[1].local_addr(),
+        vec![
+            ConnPlan::upstream(Fault::Truncate { after: 40 }),
+            ConnPlan::downstream(Fault::Reset { after: 60 }),
+            ConnPlan::downstream(Fault::Truncate { after: 21 }),
+        ],
+    )
+    .unwrap();
+    let leg_addrs = vec![shard_handles[0].local_addr(), proxy.local_addr()];
+    let backend = mc_net::RouterBackend::new(
+        Arc::new(db.metadata_view()),
+        &leg_addrs,
+        mc_net::RouterConfig {
+            client: ClientConfig {
+                connect_timeout: Some(Duration::from_secs(1)),
+                request_timeout: Some(Duration::from_millis(500)),
+                ..ClientConfig::default()
+            },
+            policy: RetryPolicy {
+                max_retries: 15,
+                base_delay: Duration::from_millis(2),
+                max_delay: Duration::from_millis(20),
+                seed: 19,
+            },
+        },
+    )
+    .unwrap();
+    let router_engine = ServingEngine::new(
+        backend,
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 4,
+            batch_records: 8,
+            session_max_in_flight: 0,
+        },
+    );
+    let router_server = NetServer::bind_with(&router_engine, "127.0.0.1:0", fast_config()).unwrap();
+    let router_handle = router_server.handle();
+    let router_addr = router_handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let _guards: Vec<ShutdownOnDrop> =
+            shard_handles.iter().cloned().map(ShutdownOnDrop).collect();
+        let _router_guard = ShutdownOnDrop(router_handle.clone());
+        for server in shard_servers {
+            scope.spawn(move || server.run().unwrap());
+        }
+        let router_runner = scope.spawn(|| router_server.run().unwrap());
+
+        let mut client = NetClient::connect_with(
+            router_addr,
+            ClientConfig {
+                request_timeout: Some(Duration::from_secs(10)),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        let got = client.classify_batch(&reads).unwrap();
+        assert_eq!(got, expected, "chaos on one shard leg corrupted results");
+        drop(client);
+        proxy.shutdown();
+
+        // Every leg drains: the router's own sessions and both shard
+        // servers' sessions (the router workers' leg connections close with
+        // the engine shutdown below; chaos-era leg sessions must already be
+        // reclaimed by the shard servers' deadlines).
+        assert!(
+            wait_until(
+                || router_engine.live_sessions() == 0,
+                Duration::from_secs(5)
+            ),
+            "router sessions leaked"
+        );
+        router_handle.shutdown();
+        router_runner.join().unwrap();
+        for handle in &shard_handles {
+            handle.shutdown();
+        }
+    });
+    // The router workers' own leg connections close with the engine
+    // shutdown; only then must the shard servers' sessions all be gone.
+    router_engine.shutdown();
+    for (i, engine) in shard_engines.iter().enumerate() {
+        assert!(
+            wait_until(|| engine.live_sessions() == 0, Duration::from_secs(5)),
+            "shard {i} leaked sessions: {}",
+            engine.live_sessions()
+        );
+    }
+    for engine in shard_engines {
+        engine.shutdown();
+    }
+}
+
+/// A shard leg that is down past its retry policy must surface as a *typed*
+/// Internal error on the routed session — never as a silently partial
+/// merge — while the healthy shard server keeps serving untouched and all
+/// sessions drain.
+#[test]
+fn dead_shard_leg_surfaces_typed_error_without_corrupting_healthy_leg() {
+    let (db, _) = shared_database();
+    let reads = genome_reads(16, 29);
+    let split = Arc::new(metacache::ShardedDatabase::round_robin(owned_database(), 2).unwrap());
+
+    let shard_engines: Vec<ServingEngine> = split
+        .shards()
+        .iter()
+        .map(|shard| test_engine(Arc::clone(shard)))
+        .collect();
+    let shard_servers: Vec<NetServer> = shard_engines
+        .iter()
+        .map(|engine| NetServer::bind_with(engine, "127.0.0.1:0", fast_config()).unwrap())
+        .collect();
+    let shard_handles: Vec<ServerHandle> = shard_servers.iter().map(|s| s.handle()).collect();
+    let shard_addrs: Vec<std::net::SocketAddr> =
+        shard_handles.iter().map(|h| h.local_addr()).collect();
+
+    let backend = mc_net::RouterBackend::new(
+        Arc::new(db.metadata_view()),
+        &shard_addrs,
+        mc_net::RouterConfig {
+            client: ClientConfig {
+                connect_timeout: Some(Duration::from_millis(300)),
+                request_timeout: Some(Duration::from_millis(400)),
+                ..ClientConfig::default()
+            },
+            policy: RetryPolicy {
+                max_retries: 2,
+                base_delay: Duration::from_millis(1),
+                max_delay: Duration::from_millis(5),
+                seed: 5,
+            },
+        },
+    )
+    .unwrap();
+    let router_engine = ServingEngine::new(
+        backend,
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 4,
+            batch_records: 8,
+            session_max_in_flight: 0,
+        },
+    );
+    let router_server = NetServer::bind_with(&router_engine, "127.0.0.1:0", fast_config()).unwrap();
+    let router_handle = router_server.handle();
+    let router_addr = router_handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let _guards: Vec<ShutdownOnDrop> =
+            shard_handles.iter().cloned().map(ShutdownOnDrop).collect();
+        let _router_guard = ShutdownOnDrop(router_handle.clone());
+        let mut runners = Vec::new();
+        for server in shard_servers {
+            runners.push(scope.spawn(move || server.run().unwrap()));
+        }
+        let router_runner = scope.spawn(|| router_server.run().unwrap());
+
+        // Kill shard 1 before any routed traffic: its leg can never connect.
+        shard_handles[1].shutdown();
+        runners.pop().unwrap().join().unwrap();
+
+        let mut victim = NetClient::connect_with(
+            router_addr,
+            ClientConfig {
+                request_timeout: Some(Duration::from_secs(10)),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        match victim.classify_batch(&reads) {
+            Err(NetError::Remote { code, .. }) => assert_eq!(
+                code,
+                ErrorCode::Internal,
+                "an exhausted shard leg must surface as Internal"
+            ),
+            other => panic!("expected a typed Internal error, got {other:?}"),
+        }
+        drop(victim);
+
+        // The healthy shard server is untouched: its candidate answers still
+        // match its own in-process classifier exactly.
+        let mut direct = NetClient::connect(shard_addrs[0]).unwrap();
+        let classifier = Classifier::new(Arc::clone(&split.shards()[0]));
+        let mut scratch = metacache::QueryScratch::new();
+        let expected_cands: Vec<Vec<metacache::Candidate>> = reads
+            .iter()
+            .map(|r| {
+                classifier
+                    .candidates_with(r, &mut scratch)
+                    .as_slice()
+                    .to_vec()
+            })
+            .collect();
+        assert_eq!(direct.candidates_batch(&reads).unwrap(), expected_cands);
+        drop(direct);
+
+        // Sessions drain on the router and the surviving shard.
+        assert!(
+            wait_until(
+                || router_engine.live_sessions() == 0,
+                Duration::from_secs(5)
+            ),
+            "router sessions leaked after the dead-leg error"
+        );
+        router_handle.shutdown();
+        router_runner.join().unwrap();
+        assert!(
+            wait_until(
+                || shard_engines[0].live_sessions() == 0,
+                Duration::from_secs(5)
+            ),
+            "healthy shard leaked sessions"
+        );
+        shard_handles[0].shutdown();
+        runners.pop().unwrap().join().unwrap();
+    });
+    router_engine.shutdown();
+    for engine in shard_engines {
+        engine.shutdown();
+    }
+}

@@ -200,22 +200,23 @@ fn panicking_sink_does_not_deadlock_other_sessions() {
 }
 
 /// A backend whose workers panic on a marked record — exercises worker
-/// replacement and per-session failure reporting through the public trait.
-struct FaultInjectingBackend {
-    inner: HostBackend<Arc<Database>>,
+/// replacement and per-session failure reporting through the public trait,
+/// over any inner backend (host, sharded, …).
+struct FaultInjectingBackend<B> {
+    inner: B,
 }
 
 struct FaultInjectingWorker<'b> {
     inner: Box<dyn BackendWorker + 'b>,
 }
 
-impl Backend for FaultInjectingBackend {
+impl<B: Backend> Backend for FaultInjectingBackend<B> {
     fn database(&self) -> &Database {
         self.inner.database()
     }
 
     fn name(&self) -> &'static str {
-        "fault-injecting-host"
+        "fault-injecting"
     }
 
     fn worker(&self) -> Box<dyn BackendWorker + '_> {
@@ -392,4 +393,118 @@ fn per_session_overrides_and_request_reuse() {
     // max_in_flight 1 serialises batches: peak must be exactly 1.
     let (_, summary) = session.classify_iter(reads.iter().cloned());
     assert_eq!(summary.peak_resident_batches, 1);
+}
+
+/// Rebuild the shared fixture database as an owned value (deterministic, so
+/// bit-identical to [`shared_database`]'s) — the shard split consumes it.
+fn owned_database() -> Database {
+    let mut taxonomy = Taxonomy::with_root();
+    taxonomy.add_node(10, 1, Rank::Genus, "G").unwrap();
+    taxonomy.add_node(100, 10, Rank::Species, "G a").unwrap();
+    taxonomy.add_node(101, 10, Rank::Species, "G b").unwrap();
+    let (_, genomes) = shared_database();
+    let mut builder = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy);
+    builder
+        .add_target(SequenceRecord::new("refA", genomes[0].clone()), 100)
+        .unwrap();
+    builder
+        .add_target(SequenceRecord::new("refB", genomes[1].clone()), 101)
+        .unwrap();
+    builder.finish()
+}
+
+/// The sharded backend behind the engine mirrors the GPU-parity test: N
+/// concurrent sessions over a scatter-gather backend are bit-identical to
+/// the unsharded in-process classifier.
+#[test]
+fn sharded_engine_matches_unsharded_sessions() {
+    let (db, _) = shared_database();
+    let reads = mixed_reads(45, 321);
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+    let split = Arc::new(metacache::ShardedDatabase::round_robin(owned_database(), 2).unwrap());
+
+    let engine = ServingEngine::sharded(
+        Arc::clone(&split),
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 2,
+            batch_records: 6,
+            session_max_in_flight: 0,
+        },
+    );
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let engine = &engine;
+            let reads = &reads;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut session = engine.session();
+                let (got, _) = session.classify_iter(reads.iter().cloned());
+                assert_eq!(&got, expected);
+            });
+        }
+    });
+    assert_eq!(engine.backend_name(), "sharded-host");
+    // The engine's serving metadata is the table-free view: full targets,
+    // no partitions.
+    assert_eq!(engine.database().target_count(), 2);
+    assert_eq!(engine.database().partition_count(), 0);
+    let stats = engine.shutdown();
+    assert_eq!(stats.worker_panics, 0);
+}
+
+/// A panicking shard worker is isolated exactly like a panicking host
+/// worker: the failure surfaces in the owning session, the worker is
+/// replaced, concurrent sessions and later requests are unaffected.
+#[test]
+fn sharded_worker_panic_is_isolated() {
+    let (db, _) = shared_database();
+    let clean = mixed_reads(30, 15);
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&clean);
+    let split = Arc::new(metacache::ShardedDatabase::round_robin(owned_database(), 3).unwrap());
+
+    let engine = ServingEngine::new(
+        FaultInjectingBackend {
+            inner: metacache::ShardedBackend::new(split),
+        },
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 2,
+            batch_records: 4,
+            session_max_in_flight: 0,
+        },
+    );
+
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    std::thread::scope(|scope| {
+        let engine_ref = &engine;
+        let clean_ref = &clean;
+        let expected_for_victim = &expected;
+        scope.spawn(move || {
+            let mut session = engine_ref.session();
+            let mut poisoned = clean_ref.clone();
+            poisoned[7] = SequenceRecord::new("poison", clean_ref[7].sequence.clone());
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                session.classify_batch(&poisoned)
+            }));
+            assert!(result.is_err(), "shard worker fault must surface");
+            let got = session.classify_batch(clean_ref);
+            assert_eq!(&got, expected_for_victim, "stale results after fault");
+        });
+        let expected_ref = &expected;
+        scope.spawn(move || {
+            let mut session = engine_ref.session();
+            let (got, _) = session.classify_iter(clean_ref.iter().cloned());
+            assert_eq!(&got, expected_ref, "healthy session affected");
+        });
+    });
+    std::panic::set_hook(prev_hook);
+
+    let mut session = engine.session();
+    let (got, _) = session.classify_iter(clean.iter().cloned());
+    assert_eq!(got, expected);
+    drop(session);
+    let stats = engine.shutdown();
+    assert!(stats.worker_panics >= 1, "replacement not recorded");
 }

@@ -1,0 +1,225 @@
+//! Sharding oracle suite: scatter-gather classification over a
+//! [`ShardedDatabase`] must be **bit-identical** to the unsharded path —
+//! same candidates, same scores, same order, same classifications — for
+//! every reference set, shard count, partition skew and read shape.
+//!
+//! The argument for why this holds lives in `metacache::shard`'s module
+//! docs (target-local pipeline + total candidate order + per-shard top-m
+//! retention); this suite is the proof by property: random reference sets,
+//! shard counts {1, 2, 3, 7}, random skewed/empty explicit plans, and messy
+//! reads (empty, short, N-runs, foreign DNA, pairs). The exhaustive
+//! merge-level oracle lives with `CandidateList` in
+//! `crates/metacache/src/candidate.rs`.
+
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mc_seqio::SequenceRecord;
+use mc_taxonomy::{Rank, Taxonomy};
+use metacache::build::CpuBuilder;
+use metacache::query::{Classifier, QueryScratch};
+use metacache::{
+    Candidate, Database, MetaCacheConfig, ShardPlan, ShardedClassifier, ShardedDatabase,
+    ShardedScratch,
+};
+
+fn make_seq(len: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            b"ACGT"[(state >> 33) as usize % 4]
+        })
+        .collect()
+}
+
+/// Deterministically build a reference database: `n_targets` random genomes,
+/// one species each, split across two genera (so near-ties exercise the LCA
+/// fallback). Calling twice with the same arguments yields bit-identical
+/// databases — the suite builds one copy for the unsharded oracle and a
+/// second to consume for the shard split (`Database` is not `Clone`).
+fn build_db(n_targets: usize, genome_len: usize, seed: u64) -> (Database, Vec<Vec<u8>>) {
+    let mut taxonomy = Taxonomy::with_root();
+    taxonomy.add_node(10, 1, Rank::Genus, "G even").unwrap();
+    taxonomy.add_node(11, 1, Rank::Genus, "G odd").unwrap();
+    for i in 0..n_targets as u32 {
+        taxonomy
+            .add_node(100 + i, 10 + i % 2, Rank::Species, format!("sp{i}"))
+            .unwrap();
+    }
+    let genomes: Vec<Vec<u8>> = (0..n_targets)
+        .map(|i| make_seq(genome_len, seed.wrapping_mul(31).wrapping_add(i as u64)))
+        .collect();
+    let mut builder = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy);
+    for (i, g) in genomes.iter().enumerate() {
+        builder
+            .add_target(
+                SequenceRecord::new(format!("t{i}"), g.clone()),
+                100 + i as u32,
+            )
+            .unwrap();
+    }
+    (builder.finish(), genomes)
+}
+
+/// Messy reads deterministically derived from `seed`: empty records, too
+/// short to sketch, foreign DNA, N-runs, all-N, read pairs and ordinary
+/// genome windows — every shape the serving stack accepts.
+fn messy_reads(genomes: &[Vec<u8>], n: usize, seed: u64) -> Vec<SequenceRecord> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let genome = &genomes[i % genomes.len()];
+            match (state >> 33) % 10 {
+                0 => SequenceRecord::new(format!("empty{i}"), Vec::new()),
+                1 => SequenceRecord::new(format!("tiny{i}"), genome[..6].to_vec()),
+                2 => SequenceRecord::new(format!("alien{i}"), make_seq(130, state)),
+                3 => {
+                    let offset = (state as usize >> 7) % (genome.len() - 300);
+                    SequenceRecord::new(format!("pair{i}"), genome[offset..offset + 140].to_vec())
+                        .with_mate(SequenceRecord::new(
+                            format!("pair{i}/2"),
+                            genome[offset + 150..offset + 290].to_vec(),
+                        ))
+                }
+                4 => {
+                    let mut seq = genome[200..350].to_vec();
+                    let n_start = 20 + (state as usize >> 9) % 100;
+                    let n_len = 1 + (state as usize >> 17) % 25;
+                    seq[n_start..n_start + n_len].fill(b'N');
+                    SequenceRecord::new(format!("nrun{i}"), seq)
+                }
+                5 => SequenceRecord::new(format!("alln{i}"), vec![b'N'; 80]),
+                _ => {
+                    let offset = (state as usize >> 7) % (genome.len() - 150);
+                    SequenceRecord::new(format!("r{i}"), genome[offset..offset + 150].to_vec())
+                }
+            }
+        })
+        .collect()
+}
+
+/// The oracle check: split a fresh copy of the database with `plan` and
+/// assert the scatter-gather path reproduces the unsharded path bit for
+/// bit — the merged candidate lists (entries *and* order) and the final
+/// classifications.
+fn assert_bit_identical(
+    n_targets: usize,
+    genome_len: usize,
+    db_seed: u64,
+    plan: ShardPlan,
+    reads: &[SequenceRecord],
+) {
+    let (db, _) = build_db(n_targets, genome_len, db_seed);
+    let oracle = Classifier::new(&db);
+    let mut scratch = QueryScratch::new();
+    let expected_candidates: Vec<Vec<Candidate>> = reads
+        .iter()
+        .map(|r| oracle.candidates_with(r, &mut scratch).as_slice().to_vec())
+        .collect();
+    let expected = oracle.classify_batch(reads);
+
+    let (db, _) = build_db(n_targets, genome_len, db_seed);
+    let shard_count = plan.shard_count();
+    let sharded = Arc::new(ShardedDatabase::from_database(db, plan).unwrap());
+    let classifier = ShardedClassifier::new(Arc::clone(&sharded));
+    let mut sharded_scratch = ShardedScratch::new();
+    for (i, read) in reads.iter().enumerate() {
+        let merged = classifier.candidates_with(read, &mut sharded_scratch);
+        assert_eq!(
+            merged.as_slice(),
+            &expected_candidates[i][..],
+            "candidates diverged for read {i} ({} shards)",
+            shard_count
+        );
+    }
+    assert_eq!(
+        classifier.classify_batch(reads),
+        expected,
+        "classifications diverged ({shard_count} shards)"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random reference sets × shard counts {1, 2, 3, 7} × messy reads:
+    /// round-robin sharding is bit-identical to the unsharded oracle.
+    /// With 7 shards and ≤ 5 targets, at least two shards are empty —
+    /// the degenerate plans fall out of the same property.
+    #[test]
+    fn round_robin_sharding_is_bit_identical(
+        n_targets in 2usize..=5,
+        db_seed in 1u64..1_000,
+        read_seed in any::<u64>(),
+        shard_count in prop_oneof![Just(1usize), Just(2), Just(3), Just(7)],
+    ) {
+        let (_, genomes) = build_db(n_targets, 4_000, db_seed);
+        let reads = messy_reads(&genomes, 24, read_seed);
+        let plan = ShardPlan::round_robin(n_targets, shard_count).unwrap();
+        assert_bit_identical(n_targets, 4_000, db_seed, plan, &reads);
+    }
+
+    /// Random *explicit* plans — arbitrarily skewed, shards with zero
+    /// targets — are bit-identical too: equivalence cannot depend on how
+    /// evenly the targets are spread.
+    #[test]
+    fn arbitrary_explicit_plans_are_bit_identical(
+        db_seed in 1u64..1_000,
+        read_seed in any::<u64>(),
+        assignment in vec(0usize..3, 4..5),
+    ) {
+        let n_targets = assignment.len();
+        let (_, genomes) = build_db(n_targets, 4_000, db_seed);
+        let reads = messy_reads(&genomes, 24, read_seed);
+        let plan = ShardPlan::explicit(assignment, 3).unwrap();
+        assert_bit_identical(n_targets, 4_000, db_seed, plan, &reads);
+    }
+}
+
+/// The 90 % skew case called out by the growth plan: one shard owns 9 of 10
+/// targets, the other owns 1. The fat shard's candidate lists dominate every
+/// merge; the thin shard must still win exactly the reads it would win
+/// unsharded.
+#[test]
+fn ninety_percent_skewed_partition_is_bit_identical() {
+    let n_targets = 10;
+    let (db, genomes) = build_db(n_targets, 3_000, 42);
+    let mut assignment = vec![0usize; n_targets];
+    assignment[9] = 1;
+    let plan = ShardPlan::explicit(assignment, 2).unwrap();
+    assert_eq!(
+        plan.assignment().iter().filter(|&&s| s == 0).count(),
+        9,
+        "shard 0 should own 90% of the targets"
+    );
+    drop(db);
+    let reads = messy_reads(&genomes, 48, 7);
+    assert_bit_identical(n_targets, 3_000, 42, plan, &reads);
+}
+
+/// A shard with zero targets serves an empty (but well-formed) table and
+/// contributes nothing to any merge; classification is unchanged.
+#[test]
+fn zero_target_shard_is_bit_identical() {
+    let n_targets = 4;
+    let (_, genomes) = build_db(n_targets, 3_000, 7);
+    let reads = messy_reads(&genomes, 48, 99);
+    // Shard 1 of 3 gets no targets at all.
+    let plan = ShardPlan::explicit(vec![0, 2, 0, 2], 3).unwrap();
+    let (db, _) = build_db(n_targets, 3_000, 7);
+    let sharded = ShardedDatabase::from_database(db, plan.clone()).unwrap();
+    assert_eq!(sharded.shards()[1].total_locations(), 0);
+    // Empty shards still expose one (empty) partition — a shard server over
+    // one keeps answering candidate queries instead of being mistaken for a
+    // table-free metadata view.
+    assert_eq!(sharded.shards()[1].partition_count(), 1);
+    assert_bit_identical(n_targets, 3_000, 7, plan, &reads);
+}
