@@ -102,6 +102,7 @@ fn engine_config(workers: usize) -> EngineConfig {
         queue_capacity: 4,
         batch_records: 64,
         session_max_in_flight: 0,
+        ..EngineConfig::default()
     }
 }
 
@@ -601,9 +602,158 @@ fn bench_serving_sharded(c: &mut Criterion) {
     group.finish();
 }
 
+/// This process's live OS thread count (`Threads:` in /proc/self/status);
+/// `None` where procfs is unavailable.
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+/// This process's resident set size in kB (`VmRSS:` in /proc/self/status).
+fn resident_kb() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmRSS:"))
+        .and_then(|rest| rest.trim().trim_end_matches(" kB").trim().parse().ok())
+}
+
+/// Connection scaling: a loopback swarm of mostly-idle clients. For each
+/// swarm size, N handshaken-but-idle connections park on the event loop
+/// while one active client drives full requests through it; the curve
+/// records active-path throughput, p99 request latency, the server-side
+/// thread count (must stay O(workers) — connections cost fds, not
+/// threads) and process resident memory.
+fn bench_connection_scaling(_c: &mut Criterion) {
+    let collection = community();
+    let db = build_database(&collection);
+    let reads = ReadSimulator::new(DatasetProfile::hiseq(), 2_048)
+        .with_seed(7)
+        .simulate(&collection)
+        .reads;
+    let request = &reads[..REQUEST_READS];
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(request);
+    let workers = 2;
+
+    struct ShutdownOnDrop(mc_net::ServerHandle);
+    impl Drop for ShutdownOnDrop {
+        fn drop(&mut self) {
+            self.0.shutdown();
+        }
+    }
+
+    let hello = protocol::Frame::Hello {
+        magic: protocol::MAGIC,
+        version: protocol::PROTOCOL_VERSION,
+        batch_records: 0,
+        max_in_flight: 0,
+        auth_token: None,
+    }
+    .encode()
+    .expect("encode hello");
+
+    for swarm in [64usize, 256, 1024] {
+        let engine = ServingEngine::host_with_config(Arc::clone(&db), engine_config(workers));
+        let server = NetServer::bind(&engine, "127.0.0.1:0").expect("bind swarm loopback");
+        let handle = server.handle();
+        let addr = handle.local_addr();
+
+        let (threads, rss_kb, reads_per_sec, p99_us) = std::thread::scope(|scope| {
+            let runner = scope.spawn(|| server.run().expect("swarm server run"));
+            let _guard = ShutdownOnDrop(handle.clone());
+            let threads_idle = os_thread_count();
+
+            let mut drones = Vec::with_capacity(swarm);
+            for i in 0..swarm {
+                use std::io::Write as _;
+                let mut drone = std::net::TcpStream::connect(addr)
+                    .unwrap_or_else(|e| panic!("swarm connect {i}: {e}"));
+                drone
+                    .write_all(&hello)
+                    .unwrap_or_else(|e| panic!("swarm hello {i}: {e}"));
+                match protocol::read_frame(&mut drone) {
+                    Ok(Some(protocol::Frame::HelloAck { .. })) => {}
+                    other => panic!("swarm handshake {i}: {other:?}"),
+                }
+                drones.push(drone);
+            }
+
+            let threads = os_thread_count();
+            if let (Some(idle), Some(with_swarm)) = (threads_idle, threads) {
+                assert!(
+                    with_swarm <= idle,
+                    "{swarm} idle connections grew the thread count {idle} -> {with_swarm}; \
+                     the event loop must serve connections without threads"
+                );
+            }
+            let rss_kb = resident_kb();
+
+            // The active path amid the swarm: per-request latencies for the
+            // p99, wall clock for throughput.
+            let mut client = NetClient::connect(addr).expect("connect amid swarm");
+            let iterations = 40;
+            let mut latencies_us: Vec<f64> = Vec::with_capacity(iterations);
+            let started = std::time::Instant::now();
+            for _ in 0..iterations {
+                let t0 = std::time::Instant::now();
+                let out = client.classify_batch(request).expect("classify amid swarm");
+                latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                assert_eq!(out, expected, "swarm of {swarm} corrupted the active path");
+            }
+            let elapsed = started.elapsed().as_secs_f64();
+            latencies_us.sort_by(|a, b| a.total_cmp(b));
+            let p99 = latencies_us[(latencies_us.len() * 99)
+                .div_ceil(100)
+                .min(latencies_us.len())
+                - 1];
+            let reads_per_sec = (iterations * REQUEST_READS) as f64 / elapsed;
+
+            drop(client);
+            drop(drones);
+            handle.shutdown();
+            runner.join().expect("swarm server thread");
+            (threads, rss_kb, reads_per_sec, p99)
+        });
+        engine.shutdown();
+
+        criterion::record_gauge(
+            "connection_scaling",
+            &format!("c{swarm}_reads_per_sec"),
+            "reads_per_sec",
+            reads_per_sec,
+        );
+        criterion::record_gauge(
+            "connection_scaling",
+            &format!("c{swarm}_p99_latency_us"),
+            "us",
+            p99_us,
+        );
+        if let Some(threads) = threads {
+            criterion::record_gauge(
+                "connection_scaling",
+                &format!("c{swarm}_server_threads"),
+                "threads",
+                threads as f64,
+            );
+        }
+        if let Some(rss_kb) = rss_kb {
+            criterion::record_gauge(
+                "connection_scaling",
+                &format!("c{swarm}_resident_mb"),
+                "mb",
+                rss_kb as f64 / 1024.0,
+            );
+        }
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_serving_throughput, bench_serving_net, bench_serving_sharded
+    targets = bench_serving_throughput, bench_serving_net, bench_serving_sharded,
+        bench_connection_scaling
 }
 criterion_main!(benches);

@@ -110,6 +110,7 @@ pub fn run(scale: &ExperimentScale) -> ServingShardedResult {
         queue_capacity: 4,
         batch_records: 64,
         session_max_in_flight: 0,
+        ..EngineConfig::default()
     };
 
     let mut result = ServingShardedResult {

@@ -80,6 +80,13 @@ pub struct EngineConfig {
     /// Default per-session bound on resident batches (credits). `0` means
     /// `queue_capacity + workers` — the PR 2 streaming bound.
     pub session_max_in_flight: usize,
+    /// DRR quantum (records granted per round-robin visit) for
+    /// [`QueueClass::Interactive`] lanes. `0` = `batch_records`.
+    pub interactive_quantum: usize,
+    /// DRR quantum for [`QueueClass::Bulk`] lanes. `0` = a quarter of the
+    /// interactive quantum (at least 1), i.e. bulk lanes get ~20% of the
+    /// pool under full contention by default.
+    pub bulk_quantum: usize,
 }
 
 impl Default for EngineConfig {
@@ -91,6 +98,8 @@ impl Default for EngineConfig {
             queue_capacity: 4,
             batch_records: 1024,
             session_max_in_flight: 0,
+            interactive_quantum: 0,
+            bulk_quantum: 0,
         }
     }
 }
@@ -113,6 +122,42 @@ impl EngineConfig {
             self.queue_capacity.max(1) + self.workers.max(1)
         }
     }
+
+    /// The resolved per-class DRR quanta, indexed by `QueueClass as usize`
+    /// (`[interactive, bulk]`), with the `0 = default` rules applied.
+    pub fn class_quanta(&self) -> [usize; 2] {
+        let interactive = if self.interactive_quantum > 0 {
+            self.interactive_quantum
+        } else {
+            self.batch_records.max(1)
+        };
+        let bulk = if self.bulk_quantum > 0 {
+            self.bulk_quantum
+        } else {
+            (interactive / 4).max(1)
+        };
+        [interactive, bulk]
+    }
+}
+
+/// Scheduling class a session picks at open: which weighted lane its
+/// batches queue under in the engine's deficit round robin. Within a class,
+/// sessions still share per-session lanes — the class only sets the DRR
+/// quantum (service credit per visit), so an [interactive] request parked
+/// behind a [bulk] backlog is delayed by at most the quanta ratio, never
+/// starved, and an idle class costs nothing (DRR grants credit only to
+/// backlogged lanes).
+///
+/// [interactive]: QueueClass::Interactive
+/// [bulk]: QueueClass::Bulk
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum QueueClass {
+    /// Latency-sensitive traffic (the default): full quantum per visit.
+    #[default]
+    Interactive = 0,
+    /// Throughput traffic that tolerates queueing (bulk re-classification,
+    /// batch imports): a reduced quantum per visit.
+    Bulk = 1,
 }
 
 /// Per-session overrides of the engine's defaults.
@@ -123,6 +168,8 @@ pub struct SessionConfig {
     /// Bound on this session's resident batches (`0` = engine default;
     /// clamped to [`MAX_SESSION_IN_FLIGHT`]).
     pub max_in_flight: usize,
+    /// Scheduling class of this session's lane in the shared fair queue.
+    pub class: QueueClass,
 }
 
 /// Hard ceiling on a session's `max_in_flight`. The per-session result
@@ -152,6 +199,20 @@ pub struct EngineStats {
     pub peak_queue_batches: u64,
 }
 
+/// One completed engine batch handed back by [`Session::try_drain_owned`],
+/// in submission order: the records that went in (by move, heap buffers
+/// intact — recycle them) plus one classification per record.
+pub struct CompletedBatch {
+    /// The batch's records, exactly as submitted.
+    pub records: Vec<SequenceRecord>,
+    /// One classification per record, in record order. Empty if `panicked`.
+    pub classifications: Vec<Classification>,
+    /// The backend worker panicked while classifying this batch. The
+    /// blocking drain paths re-raise; a non-blocking caller decides itself
+    /// (the net server answers the request with an `Internal` error).
+    pub panicked: bool,
+}
+
 /// A completed (or failed) batch travelling from a worker back to its
 /// session.
 struct WorkerResult {
@@ -168,6 +229,10 @@ struct SessionState {
     /// Worker → session result channel; sized to the session's credit total
     /// so workers never block on delivery.
     out_tx: mpsc::SyncSender<WorkerResult>,
+    /// Invoked (post-delivery) for every result sent to this session. An
+    /// event-loop front-end parks a waker here so completions re-enter its
+    /// loop; must never block.
+    notify: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 /// Counters shared between the engine handle and its workers.
@@ -209,8 +274,12 @@ struct FairQueue {
     /// Producers wait here for capacity.
     space: Condvar,
     capacity: usize,
-    /// Service credit (records) granted to a lane per round-robin visit.
-    quantum: u64,
+    /// Service credit (records) granted to a lane per round-robin visit,
+    /// indexed by the lane's [`QueueClass`].
+    quanta: [u64; 2],
+    /// Callbacks fired whenever capacity frees (pop or purge): non-blocking
+    /// front-ends park a waker here instead of blocking on `space`.
+    space_watchers: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
 }
 
 #[derive(Default)]
@@ -221,6 +290,9 @@ struct FairState {
     active: VecDeque<u64>,
     /// Unspent service credit of each active session.
     deficit: HashMap<u64, u64>,
+    /// Scheduling class per session, set at session open. Unlisted
+    /// sessions are [`QueueClass::Interactive`].
+    class: HashMap<u64, QueueClass>,
     /// Total batches across all lanes.
     len: usize,
     /// High-water mark of `len`.
@@ -231,7 +303,7 @@ struct FairState {
 impl FairState {
     /// Take the next batch by deficit round robin. Caller guarantees
     /// `len > 0`.
-    fn pop_drr(&mut self, quantum: u64) -> SequenceBatch {
+    fn pop_drr(&mut self, quanta: [u64; 2]) -> SequenceBatch {
         loop {
             let session = *self.active.front().expect("non-empty fair queue");
             let lane = self.lanes.get_mut(&session).expect("active lane exists");
@@ -252,22 +324,40 @@ impl FairState {
                 return batch;
             }
             // Not enough credit for this lane's head batch: grant the
-            // quantum and move on. Credit grows monotonically, so the scan
-            // terminates in at most ⌈cost/quantum⌉ rounds.
-            *deficit += quantum;
+            // lane's class quantum and move on. Credit grows monotonically,
+            // so the scan terminates in at most ⌈cost/quantum⌉ rounds.
+            let class = self.class.get(&session).copied().unwrap_or_default();
+            *deficit += quanta[class as usize];
             self.active.rotate_left(1);
         }
+    }
+
+    /// Insert a batch into its session's lane. Caller has checked capacity.
+    fn enqueue(&mut self, batch: SequenceBatch) {
+        let session = batch.session;
+        let newly_active = {
+            let lane = self.lanes.entry(session).or_default();
+            let was_empty = lane.is_empty();
+            lane.push_back(batch);
+            was_empty
+        };
+        if newly_active {
+            self.active.push_back(session);
+        }
+        self.len += 1;
+        self.peak = self.peak.max(self.len as u64);
     }
 }
 
 impl FairQueue {
-    fn new(capacity: usize, quantum: usize) -> Self {
+    fn new(capacity: usize, quanta: [usize; 2]) -> Self {
         Self {
             state: Mutex::new(FairState::default()),
             ready: Condvar::new(),
             space: Condvar::new(),
             capacity: capacity.max(1),
-            quantum: quantum.max(1) as u64,
+            quanta: quanta.map(|q| q.max(1) as u64),
+            space_watchers: Mutex::new(Vec::new()),
         }
     }
 
@@ -284,21 +374,68 @@ impl FairQueue {
             }
             state = self.space.wait(state).unwrap_or_else(|e| e.into_inner());
         }
-        let session = batch.session;
-        let newly_active = {
-            let lane = state.lanes.entry(session).or_default();
-            let was_empty = lane.is_empty();
-            lane.push_back(batch);
-            was_empty
-        };
-        if newly_active {
-            state.active.push_back(session);
-        }
-        state.len += 1;
-        state.peak = state.peak.max(state.len as u64);
+        state.enqueue(batch);
         drop(state);
         self.ready.notify_one();
         Ok(())
+    }
+
+    /// Non-blocking [`FairQueue::push`]: `Err(batch)` when the queue is at
+    /// capacity — the caller parks on a space watcher and retries. Panics
+    /// on a closed queue (sessions borrow the engine, so a live session
+    /// over a closed queue is a bug, matching `Session::submit_owned`).
+    fn try_push(&self, batch: SequenceBatch) -> Result<(), SequenceBatch> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        assert!(
+            !state.closed,
+            "serving engine queue closed while session alive"
+        );
+        if state.len >= self.capacity {
+            return Err(batch);
+        }
+        state.enqueue(batch);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Record `session`'s scheduling class (kept until
+    /// [`FairQueue::forget_session`], surviving purges).
+    fn set_class(&self, session: u64, class: QueueClass) {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .class
+            .insert(session, class);
+    }
+
+    /// Drop `session`'s class entry (session teardown).
+    fn forget_session(&self, session: u64) {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .class
+            .remove(&session);
+    }
+
+    /// Register a callback fired (from consumer threads) every time queue
+    /// capacity frees. Watchers live as long as the queue; they must be
+    /// cheap and non-blocking (a pipe-waker write, not work).
+    fn watch_space(&self, watcher: Arc<dyn Fn() + Send + Sync>) {
+        self.space_watchers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(watcher);
+    }
+
+    fn notify_space_watchers(&self) {
+        let watchers = self
+            .space_watchers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        for watcher in watchers.iter() {
+            watcher();
+        }
     }
 
     /// Dequeue the next batch by deficit round robin, blocking while the
@@ -308,9 +445,10 @@ impl FairQueue {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if state.len > 0 {
-                let batch = state.pop_drr(self.quantum);
+                let batch = state.pop_drr(self.quanta);
                 drop(state);
                 self.space.notify_one();
+                self.notify_space_watchers();
                 return Some(batch);
             }
             if state.closed {
@@ -340,6 +478,7 @@ impl FairQueue {
         drop(state);
         if purged > 0 {
             self.space.notify_all();
+            self.notify_space_watchers();
         }
         purged
     }
@@ -444,7 +583,7 @@ impl ServingEngine {
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             counters: EngineCounters::default(),
-            queue: FairQueue::new(config.queue_capacity, config.batch_records),
+            queue: FairQueue::new(config.queue_capacity, config.class_quanta()),
         });
 
         let workers = (0..config.workers)
@@ -499,6 +638,9 @@ impl ServingEngine {
                                 classifications,
                                 panicked,
                             });
+                            if let Some(notify) = &target.notify {
+                                notify();
+                            }
                         }
                     })
                     .expect("spawn serving worker")
@@ -560,6 +702,28 @@ impl ServingEngine {
 
     /// Open a client session with explicit overrides.
     pub fn session_with(&self, config: SessionConfig) -> Session<'_> {
+        self.session_inner(config, None)
+    }
+
+    /// Open a client session whose result deliveries additionally invoke
+    /// `notify` (after the result is in the session's channel). This is the
+    /// hook for non-blocking front-ends: park a poll-loop waker in `notify`
+    /// and use [`Session::try_drain_owned`] when it fires, instead of
+    /// blocking in the `classify_*` entry points. `notify` runs on worker
+    /// threads and must never block.
+    pub fn session_with_notify(
+        &self,
+        config: SessionConfig,
+        notify: Arc<dyn Fn() + Send + Sync>,
+    ) -> Session<'_> {
+        self.session_inner(config, Some(notify))
+    }
+
+    fn session_inner(
+        &self,
+        config: SessionConfig,
+        notify: Option<Arc<dyn Fn() + Send + Sync>>,
+    ) -> Session<'_> {
         let id = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
         let batch_records = if config.batch_records > 0 {
             config.batch_records
@@ -573,11 +737,12 @@ impl ServingEngine {
         }
         .min(MAX_SESSION_IN_FLIGHT);
         let (out_tx, out_rx) = mpsc::sync_channel(max_in_flight);
+        self.shared.queue.set_class(id, config.class);
         self.shared
             .sessions
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .insert(id, Arc::new(SessionState { out_tx }));
+            .insert(id, Arc::new(SessionState { out_tx, notify }));
         self.shared
             .counters
             .sessions_opened
@@ -594,6 +759,16 @@ impl ServingEngine {
             batch_records,
             max_in_flight,
         }
+    }
+
+    /// Register a callback fired every time shared-queue capacity frees
+    /// (a batch popped or purged). The non-blocking counterpart of the
+    /// blocking `push`: an event-loop front-end whose
+    /// [`Session::try_submit_owned`] hit a full queue parks its waker here
+    /// and retries on the callback. Watchers live for the engine's
+    /// lifetime, run on worker threads, and must never block.
+    pub fn watch_queue_space(&self, watcher: Arc<dyn Fn() + Send + Sync>) {
+        self.shared.queue.watch_space(watcher);
     }
 
     /// Sessions currently registered (created and not yet dropped) — the
@@ -905,6 +1080,76 @@ impl Session<'_> {
         returned
     }
 
+    /// Records per engine batch this session was opened with.
+    pub fn batch_records(&self) -> usize {
+        self.batch_records
+    }
+
+    /// The session's credit bound (resident batches).
+    pub fn max_in_flight(&self) -> usize {
+        self.max_in_flight
+    }
+
+    /// Batches currently in flight (submitted, not yet drained).
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Whether a credit is free, i.e. [`Session::try_submit_owned`] could
+    /// accept a batch (queue capacity permitting).
+    pub fn can_submit(&self) -> bool {
+        self.in_flight < self.max_in_flight
+    }
+
+    /// Non-blocking submit of one owned batch: `Err(records)` hands the
+    /// batch straight back when the session is out of credits or the shared
+    /// queue is at capacity. Credits free via [`Session::try_drain_owned`];
+    /// queue capacity frees via [`ServingEngine::watch_queue_space`] — an
+    /// event-loop caller parks on those signals instead of blocking here.
+    ///
+    /// Must not be interleaved with the blocking `classify_*` entry points
+    /// on the same session (both consume the same in-flight credits and
+    /// result channel; the blocking paths assume exclusive use).
+    pub fn try_submit_owned(
+        &mut self,
+        records: Vec<SequenceRecord>,
+    ) -> Result<(), Vec<SequenceRecord>> {
+        if self.in_flight >= self.max_in_flight {
+            return Err(records);
+        }
+        let batch = SequenceBatch::for_session(self.id, self.next_submit_seq, records);
+        match self.engine.shared.queue.try_push(batch) {
+            Ok(()) => {
+                self.next_submit_seq += 1;
+                self.in_flight += 1;
+                self.peak_in_flight = self.peak_in_flight.max(self.in_flight as u64);
+                Ok(())
+            }
+            Err(batch) => Err(batch.records),
+        }
+    }
+
+    /// Non-blocking drain: the next completed batch in submission order, if
+    /// it has arrived. Never blocks and never panics on a failed batch —
+    /// the [`CompletedBatch::panicked`] flag carries worker failure out to
+    /// the caller instead (unlike the blocking paths, which re-raise).
+    /// Returns `None` while the next-in-order batch is still in flight,
+    /// even if later batches have already finished (they wait in the
+    /// reorder buffer).
+    pub fn try_drain_owned(&mut self) -> Option<CompletedBatch> {
+        while let Ok(result) = self.out_rx.try_recv() {
+            self.pending.insert(result.seq, result);
+        }
+        let done = self.pending.remove(&self.next_emit_seq)?;
+        self.next_emit_seq += 1;
+        self.in_flight -= 1;
+        Some(CompletedBatch {
+            records: done.records,
+            classifications: done.classifications,
+            panicked: done.panicked,
+        })
+    }
+
     /// Enqueue one owned batch under this session's next sequence number.
     fn submit_owned(&mut self, records: Vec<SequenceRecord>) {
         let batch = SequenceBatch::for_session(self.id, self.next_submit_seq, records);
@@ -1047,6 +1292,9 @@ impl Drop for Session<'_> {
         // burn backend time on orphaned batches or hold queue capacity
         // hostage against live sessions.
         self.engine.shared.queue.purge_session(self.id);
+        // Finally forget the scheduling class (kept across mid-life purges,
+        // released only here).
+        self.engine.shared.queue.forget_session(self.id);
     }
 }
 
@@ -1106,6 +1354,7 @@ mod tests {
                 queue_capacity: 2,
                 batch_records: 4,
                 session_max_in_flight: 0,
+                ..EngineConfig::default()
             },
         );
         let mut session = engine.session();
@@ -1132,6 +1381,7 @@ mod tests {
                 queue_capacity: 2,
                 batch_records: 3,
                 session_max_in_flight: 0,
+                ..EngineConfig::default()
             },
         );
         let mut session = engine.session();
@@ -1159,6 +1409,7 @@ mod tests {
                 queue_capacity: 2,
                 batch_records: 1,
                 session_max_in_flight: 0,
+                ..EngineConfig::default()
             },
         );
         let mut session = engine.session();
@@ -1184,6 +1435,7 @@ mod tests {
         let mut session = engine.session_with(SessionConfig {
             batch_records: 3,
             max_in_flight: 2,
+            ..SessionConfig::default()
         });
         let mut emitted = 0u64;
         let source =
@@ -1220,6 +1472,7 @@ mod tests {
                 queue_capacity: 1,
                 batch_records: 1,
                 session_max_in_flight: 3,
+                ..EngineConfig::default()
             },
         );
         let mut session = engine.session();
@@ -1257,7 +1510,7 @@ mod tests {
     /// scheduling round.
     #[test]
     fn drr_pop_does_not_starve_small_sessions_behind_a_backlog() {
-        let queue = FairQueue::new(64, 4);
+        let queue = FairQueue::new(64, [4, 1]);
         // Session 1: a big backlog of 8 batches, 4 records each.
         for seq in 0..8 {
             queue.push(batch_of(1, seq, 4)).unwrap();
@@ -1285,7 +1538,7 @@ mod tests {
     /// the small-batch session is not starved of pops.
     #[test]
     fn drr_pop_interleaves_sessions_with_queued_work() {
-        let queue = FairQueue::new(64, 4);
+        let queue = FairQueue::new(64, [4, 1]);
         for seq in 0..4 {
             queue.push(batch_of(1, seq, 4)).unwrap(); // 16 records in 4 batches
         }
@@ -1308,7 +1561,7 @@ mod tests {
     /// capacity immediately and wakes producers blocked on `space`.
     #[test]
     fn purge_session_removes_lane_and_wakes_blocked_producers() {
-        let queue = FairQueue::new(4, 1);
+        let queue = FairQueue::new(4, [1, 1]);
         for seq in 0..4 {
             queue.push(batch_of(1, seq, 1)).unwrap(); // dead session fills the queue
         }
@@ -1336,7 +1589,7 @@ mod tests {
     /// freeing up re-admits newcomers.
     #[test]
     fn over_high_water_spares_established_lanes() {
-        let queue = FairQueue::new(3, 1);
+        let queue = FairQueue::new(3, [1, 1]);
         assert!(!queue.over_high_water(1), "empty queue admits anyone");
         queue.push(batch_of(1, 0, 1)).unwrap();
         queue.push(batch_of(1, 1, 1)).unwrap();
@@ -1368,7 +1621,7 @@ mod tests {
 
     #[test]
     fn fair_queue_close_drains_remaining_batches() {
-        let queue = FairQueue::new(8, 1);
+        let queue = FairQueue::new(8, [1, 1]);
         queue.push(batch_of(1, 0, 1)).unwrap();
         queue.push(batch_of(2, 0, 1)).unwrap();
         queue.close();
@@ -1448,6 +1701,7 @@ mod tests {
                 queue_capacity: 8,
                 batch_records: 1,
                 session_max_in_flight: 0,
+                ..EngineConfig::default()
             },
         );
         let genome = make_seq(2_000, 99);
@@ -1517,6 +1771,7 @@ mod tests {
                 queue_capacity: 2,
                 batch_records: 4, // multi-batch path: 40 reads → 10 batches
                 session_max_in_flight: 3,
+                ..EngineConfig::default()
             },
         );
         let mut session = engine.session();
@@ -1530,6 +1785,7 @@ mod tests {
         let mut session = engine.session_with(SessionConfig {
             batch_records: 1_000,
             max_in_flight: 0,
+            ..SessionConfig::default()
         });
         let mut out = Vec::new();
         let returned = session.classify_owned(reads.clone(), &mut out);
@@ -1612,6 +1868,7 @@ mod tests {
                 queue_capacity: 8,
                 batch_records: 1,
                 session_max_in_flight: 0,
+                ..EngineConfig::default()
             },
         );
         let genome = make_seq(2_000, 7);
@@ -1683,16 +1940,257 @@ mod tests {
             queue_capacity: 0,
             batch_records: 0,
             session_max_in_flight: 0,
+            interactive_quantum: 0,
+            bulk_quantum: 0,
         }
         .normalized();
         assert_eq!(config.workers, 1);
         assert_eq!(config.queue_capacity, 1);
         assert_eq!(config.batch_records, 1);
         assert_eq!(config.effective_session_in_flight(), 2);
+        assert_eq!(config.class_quanta(), [1, 1]);
         let explicit = EngineConfig {
             session_max_in_flight: 7,
             ..EngineConfig::default()
         };
         assert_eq!(explicit.effective_session_in_flight(), 7);
+        // Quanta defaults: interactive = batch_records, bulk = a quarter.
+        let quanta = EngineConfig {
+            batch_records: 64,
+            ..EngineConfig::default()
+        };
+        assert_eq!(quanta.class_quanta(), [64, 16]);
+        let quanta = EngineConfig {
+            batch_records: 64,
+            interactive_quantum: 100,
+            bulk_quantum: 3,
+            ..EngineConfig::default()
+        };
+        assert_eq!(quanta.class_quanta(), [100, 3]);
+    }
+
+    /// Priority lanes, deterministic pop order: with quanta `[4, 1]` and
+    /// two equally backlogged one-record-batch lanes, the weighted DRR must
+    /// serve interactive and bulk in exactly the 4:1 pattern the deficits
+    /// dictate — nothing probabilistic about it.
+    #[test]
+    fn weighted_lanes_pop_in_exact_quanta_ratio() {
+        let queue = FairQueue::new(64, [4, 1]);
+        queue.set_class(1, QueueClass::Interactive);
+        queue.set_class(2, QueueClass::Bulk);
+        for seq in 0..8 {
+            queue.push(batch_of(1, seq, 1)).unwrap();
+        }
+        for seq in 0..8 {
+            queue.push(batch_of(2, seq, 1)).unwrap();
+        }
+        let order: Vec<u64> = (0..16).map(|_| queue.pop().unwrap().session).collect();
+        // Walked by hand: both lanes start at deficit 0; the first visit
+        // grants 4 to interactive and 1 to bulk, then each grant buys that
+        // many one-record batches before the rotation moves on.
+        assert_eq!(order, vec![1, 1, 1, 1, 2, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2]);
+
+        // The mirror image: swap the classes. Rotation order still follows
+        // arrival order (bulk lane 1 entered first, so it heads the round),
+        // but its visits grant 1 while interactive's grant 4.
+        let queue = FairQueue::new(64, [4, 1]);
+        queue.set_class(1, QueueClass::Bulk);
+        queue.set_class(2, QueueClass::Interactive);
+        for seq in 0..8 {
+            queue.push(batch_of(1, seq, 1)).unwrap();
+        }
+        for seq in 0..8 {
+            queue.push(batch_of(2, seq, 1)).unwrap();
+        }
+        let order: Vec<u64> = (0..16).map(|_| queue.pop().unwrap().session).collect();
+        assert_eq!(order, vec![1, 2, 2, 2, 2, 1, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1]);
+
+        // A purge must not erase the class: after a mid-life purge the
+        // session's next backlog still schedules under its lane's quantum.
+        let queue = FairQueue::new(64, [4, 1]);
+        queue.set_class(1, QueueClass::Bulk);
+        queue.push(batch_of(1, 0, 1)).unwrap();
+        assert_eq!(queue.purge_session(1), 1);
+        queue.push(batch_of(1, 1, 1)).unwrap();
+        queue.set_class(2, QueueClass::Interactive);
+        for seq in 0..4 {
+            queue.push(batch_of(2, seq, 1)).unwrap();
+        }
+        let order: Vec<u64> = (0..5).map(|_| queue.pop().unwrap().session).collect();
+        assert_eq!(order, vec![1, 2, 2, 2, 2], "bulk visited first grants 1");
+        queue.forget_session(1);
+        queue.forget_session(2);
+    }
+
+    /// Priority lanes, engine level: a bulk session's backlog queued ahead
+    /// of an interactive session's request cannot delay the interactive
+    /// batches beyond the quanta ratio — they ride past most of the
+    /// backlog instead of waiting behind all of it.
+    #[test]
+    fn bulk_backlog_cannot_starve_interactive_beyond_its_weight() {
+        let (db, _) = serving_db();
+        let open = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let engine = ServingEngine::new(
+            GatedBackend {
+                inner: HostBackend::new(Arc::clone(&db)),
+                open: Arc::clone(&open),
+                log: Arc::clone(&log),
+            },
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 16,
+                batch_records: 1,
+                session_max_in_flight: 0,
+                interactive_quantum: 4,
+                bulk_quantum: 1,
+            },
+        );
+        let genome = make_seq(2_000, 42);
+        let read = |name: &str| SequenceRecord::new(name, genome[0..150].to_vec());
+
+        let wait_for_queue = |want: u64| {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+            while engine.shared.queue.queued() != want {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "queue never reached {want} batches (at {})",
+                    engine.shared.queue.queued()
+                );
+                std::thread::yield_now();
+            }
+        };
+
+        std::thread::scope(|scope| {
+            let engine_ref = &engine;
+            // Bulk session: 9 one-record batches. The gated worker takes the
+            // first and blocks; 8 remain queued.
+            let bulk = scope.spawn({
+                let reads: Vec<_> = (0..9).map(|i| read(&format!("bulk{i}"))).collect();
+                move || {
+                    let mut session = engine_ref.session_with(SessionConfig {
+                        class: QueueClass::Bulk,
+                        ..SessionConfig::default()
+                    });
+                    session.classify_batch(&reads)
+                }
+            });
+            wait_for_queue(8);
+            // Interactive session: 4 batches, queued dead last.
+            let interactive = scope.spawn({
+                let reads: Vec<_> = (0..4).map(|i| read(&format!("inter{i}"))).collect();
+                move || {
+                    let mut session = engine_ref.session_with(SessionConfig {
+                        class: QueueClass::Interactive,
+                        ..SessionConfig::default()
+                    });
+                    session.classify_batch(&reads)
+                }
+            });
+            wait_for_queue(12);
+            {
+                let (lock, condvar) = &*open;
+                *lock.lock().unwrap() = true;
+                condvar.notify_all();
+            }
+            assert_eq!(bulk.join().unwrap().len(), 9);
+            assert_eq!(interactive.join().unwrap().len(), 4);
+        });
+
+        let order = log.lock().unwrap().clone();
+        let last_interactive = order
+            .iter()
+            .rposition(|h| h.starts_with("inter"))
+            .expect("interactive batches classified");
+        // 13 batches total; with quanta [4, 1] all four interactive batches
+        // must land within the first six backend calls (one bulk head + at
+        // most one bulk batch per granted round). A FIFO (or unweighted
+        // quantum-1 DRR) would spread them to position ~9.
+        assert!(
+            last_interactive <= 5,
+            "interactive served as late as position {last_interactive} of {order:?}"
+        );
+        engine.shutdown();
+    }
+
+    /// The non-blocking session API: `try_submit_owned` refuses instead of
+    /// blocking (no credit / full queue), `try_drain_owned` hands back
+    /// completed batches in submission order without blocking, the
+    /// session-notify and queue-space watchers fire, and the results are
+    /// bit-identical to the blocking path.
+    #[test]
+    fn try_submit_and_try_drain_are_nonblocking_and_in_order() {
+        let (db, reads) = serving_db();
+        let expected = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+        let engine = ServingEngine::host_with_config(
+            Arc::clone(&db),
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 2,
+                batch_records: 4,
+                session_max_in_flight: 3,
+                ..EngineConfig::default()
+            },
+        );
+        let space_wakes = Arc::new(AtomicU64::new(0));
+        engine.watch_queue_space({
+            let space_wakes = Arc::clone(&space_wakes);
+            Arc::new(move || {
+                space_wakes.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        let notifies = Arc::new(AtomicU64::new(0));
+        let mut session = engine.session_with_notify(
+            SessionConfig::default(),
+            Arc::new({
+                let notifies = Arc::clone(&notifies);
+                move || {
+                    notifies.fetch_add(1, Ordering::Relaxed);
+                }
+            }),
+        );
+
+        assert!(session.can_submit());
+        assert_eq!(session.in_flight(), 0);
+        assert_eq!(session.batch_records(), 4);
+        assert_eq!(session.max_in_flight(), 3);
+
+        // Submit every 4-read chunk; park on refusal and drain instead of
+        // blocking. The credit bound (3) is below chunk count (10), so
+        // refusals are guaranteed along the way.
+        let mut chunks: std::collections::VecDeque<Vec<SequenceRecord>> =
+            reads.chunks(4).map(<[SequenceRecord]>::to_vec).collect();
+        let total_batches = chunks.len() as u64;
+        let mut got: Vec<Classification> = Vec::new();
+        let mut refusals = 0u64;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+        while got.len() < reads.len() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "nonblocking pump wedged at {} of {} results",
+                got.len(),
+                reads.len()
+            );
+            if let Some(chunk) = chunks.pop_front() {
+                if let Err(back) = session.try_submit_owned(chunk) {
+                    refusals += 1;
+                    chunks.push_front(back); // refused: records come back intact
+                }
+            }
+            while let Some(done) = session.try_drain_owned() {
+                assert!(!done.panicked);
+                assert_eq!(done.records.len(), done.classifications.len());
+                got.extend(done.classifications);
+            }
+        }
+        assert_eq!(got, expected, "nonblocking path must stay bit-identical");
+        assert!(refusals > 0, "credit bound 3 over 10 chunks must refuse");
+        assert!(session.try_drain_owned().is_none());
+        assert!(session.can_submit());
+        assert_eq!(session.in_flight(), 0);
+        assert_eq!(notifies.load(Ordering::Relaxed), total_batches);
+        assert!(space_wakes.load(Ordering::Relaxed) >= total_batches);
+        drop(session);
+        engine.shutdown();
     }
 }

@@ -27,11 +27,15 @@
 //!       Stream a FASTA/FASTQ file through a running server and print one
 //!       TSV line per read: id, taxon, rank, best hit count.
 //!
-//!   mc-serve smoke [--reads N] [--chaos]
+//!   mc-serve smoke [--reads N] [--swarm N] [--chaos]
 //!       Self-contained loopback round-trip on a synthetic database:
 //!       starts a server on an ephemeral port, classifies N reads through
 //!       a NetClient, verifies the results against the in-process session
-//!       bit for bit, shuts down cleanly. With --chaos, adds a pass through
+//!       bit for bit, shuts down cleanly. With --swarm N, additionally
+//!       parks N idle handshaken connections on the server, asserts the
+//!       process thread count stays O(workers) (the event loop serves
+//!       connections, threads serve compute), and classifies a full pass
+//!       amid the swarm. With --chaos, adds a pass through
 //!       a fault-injecting proxy (truncation, reset, dribble, stall) driven
 //!       by the backoff-retry client — results must still be bit-identical.
 //!       Exit code 0 = pass (CI smoke).
@@ -59,7 +63,7 @@ use metacache::MetaCacheConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mc-serve serve --refs <file> [--listen <addr>] [--workers N] [--batch N] [--queue N] [--shard K --shard-count N]\n       mc-serve route --refs <file> --shard <host:port> [--shard <host:port> ...] [--listen <addr>] [--workers N] [--batch N] [--queue N]\n       mc-serve classify --addr <host:port> <reads-file>\n       mc-serve smoke [--reads N] [--chaos]\n       mc-serve chaos --upstream <host:port> [--seed N] [--conns N]"
+        "usage: mc-serve serve --refs <file> [--listen <addr>] [--workers N] [--batch N] [--queue N] [--shard K --shard-count N]\n       mc-serve route --refs <file> --shard <host:port> [--shard <host:port> ...] [--listen <addr>] [--workers N] [--batch N] [--queue N]\n       mc-serve classify --addr <host:port> <reads-file>\n       mc-serve smoke [--reads N] [--swarm N] [--chaos]\n       mc-serve chaos --upstream <host:port> [--seed N] [--conns N]"
     );
     std::process::exit(2);
 }
@@ -153,6 +157,7 @@ fn engine_config(flags: &[(String, String)]) -> EngineConfig {
         queue_capacity: parsed(flags, "--queue", 4),
         batch_records: parsed(flags, "--batch", 256),
         session_max_in_flight: 0,
+        ..EngineConfig::default()
     }
 }
 
@@ -461,6 +466,16 @@ fn chaos(args: &[String]) -> i32 {
     0
 }
 
+/// This process's live OS thread count (`Threads:` in /proc/self/status);
+/// `None` where procfs is unavailable.
+fn os_thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
 fn synthetic_genome(len: usize, seed: u64) -> Vec<u8> {
     let mut state = seed | 1;
     (0..len)
@@ -484,11 +499,12 @@ fn smoke(args: &[String]) -> i32 {
         }
         None => false,
     };
-    let (flags, rest) = parse_flags(&args, &["--reads"]);
+    let (flags, rest) = parse_flags(&args, &["--reads", "--swarm"]);
     if !rest.is_empty() {
         usage();
     }
     let read_count: usize = parsed(&flags, "--reads", 200);
+    let swarm: usize = parsed(&flags, "--swarm", 0);
 
     let mut taxonomy = Taxonomy::with_root();
     taxonomy.add_node(100, 1, Rank::Species, "smoke a").unwrap();
@@ -518,6 +534,7 @@ fn smoke(args: &[String]) -> i32 {
             queue_capacity: 4,
             batch_records: 32,
             session_max_in_flight: 0,
+            ..EngineConfig::default()
         },
     );
     let server = match NetServer::bind(&engine, "127.0.0.1:0") {
@@ -574,6 +591,62 @@ fn smoke(args: &[String]) -> i32 {
                 summary.peak_in_flight,
                 client.credits()
             );
+            if swarm > 0 {
+                // Swarm pass: N idle handshaken connections park on the
+                // event loop while a full classify pass runs amid them.
+                // Connections must cost fds, not threads — the thread
+                // count is O(workers), independent of the swarm size.
+                let threads_before = os_thread_count();
+                let mut drones = Vec::with_capacity(swarm);
+                let hello = mc_net::protocol::Frame::Hello {
+                    magic: mc_net::protocol::MAGIC,
+                    version: mc_net::protocol::PROTOCOL_VERSION,
+                    batch_records: 0,
+                    max_in_flight: 0,
+                    auth_token: None,
+                }
+                .encode()
+                .map_err(|e| format!("swarm hello encode: {e}"))?;
+                for i in 0..swarm {
+                    use std::io::Write as _;
+                    let mut drone = std::net::TcpStream::connect(addr)
+                        .map_err(|e| format!("swarm connect {i}: {e}"))?;
+                    drone
+                        .write_all(&hello)
+                        .map_err(|e| format!("swarm hello {i}: {e}"))?;
+                    match mc_net::protocol::read_frame(&mut drone) {
+                        Ok(Some(mc_net::protocol::Frame::HelloAck { .. })) => {}
+                        other => return Err(format!("swarm handshake {i}: {other:?}")),
+                    }
+                    drones.push(drone);
+                }
+                let threads_during = os_thread_count();
+                if let (Some(before), Some(during)) = (threads_before, threads_during) {
+                    if during > before {
+                        return Err(format!(
+                            "swarm of {swarm} connections grew the thread count \
+                             {before} -> {during}; connections must not cost threads"
+                        ));
+                    }
+                }
+                let mut amid =
+                    NetClient::connect(addr).map_err(|e| format!("connect amid swarm: {e}"))?;
+                let swarmed = amid
+                    .classify_batch(&reads)
+                    .map_err(|e| format!("classify amid swarm: {e}"))?;
+                if swarmed != expected {
+                    return Err("results amid the swarm diverged from in-process".into());
+                }
+                eprintln!(
+                    "mc-serve smoke: swarm pass ≡ in-process ({} idle connections, threads {})",
+                    swarm,
+                    match threads_during {
+                        Some(n) => n.to_string(),
+                        None => "n/a".into(),
+                    }
+                );
+                drop(drones);
+            }
             if with_chaos {
                 // Fourth pass, through a fault-injecting proxy: handshake
                 // truncation, a mid-stream reset, slow-loris dribble and a
@@ -629,9 +702,11 @@ fn smoke(args: &[String]) -> i32 {
     match verdict {
         Ok(stats) => {
             // Three clean passes (v2 classify_batch, v2 classify_iter, v1
-            // classify_batch); the chaos pass classifies every read at
-            // least once more, plus replays of unacknowledged chunks.
-            let floor = if with_chaos { 4 } else { 3 } * reads.len() as u64;
+            // classify_batch) plus one exact pass amid the swarm; the
+            // chaos pass classifies every read at least once more, plus
+            // replays of unacknowledged chunks.
+            let passes = 3 + u64::from(swarm > 0) + u64::from(with_chaos);
+            let floor = passes * reads.len() as u64;
             let exact = !with_chaos;
             if (exact && engine_stats.records_classified != floor)
                 || engine_stats.records_classified < floor

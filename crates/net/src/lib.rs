@@ -26,8 +26,13 @@
 //!
 //! * [`protocol`] — the length-prefixed binary wire format (pure
 //!   encode/decode, property-tested), specified in `docs/SERVING.md`;
-//! * [`server`] — [`NetServer`]: one acceptor plus a reader/writer thread
-//!   pair per connection, graceful drain composing with
+//! * [`poll`] — the readiness shim: epoll (thin FFI, `poll(2)` fallback),
+//!   a pipe [`Waker`](poll::Waker) and a lazy-cancel timer heap;
+//! * [`server`] — [`NetServer`]: a single-threaded readiness event loop
+//!   over nonblocking sockets — per-connection state machines reassemble
+//!   frames incrementally, pipeline consecutive requests through the
+//!   engine, and flush bounded outbound buffers on write-readiness —
+//!   with graceful drain composing with
 //!   [`ServingEngine::shutdown`](metacache::serving::ServingEngine::shutdown);
 //! * [`client`] — [`NetClient`]: blocking connect / `classify_batch` /
 //!   pipelined `classify_iter`;
@@ -50,6 +55,7 @@
 
 pub mod chaos;
 pub mod client;
+pub mod poll;
 pub mod protocol;
 pub mod retry;
 pub mod router;

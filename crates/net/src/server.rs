@@ -1,80 +1,116 @@
 //! The TCP serving front-end: connections mapped onto [`ServingEngine`]
-//! sessions.
+//! sessions, multiplexed by a single-threaded readiness event loop.
 //!
-//! One [`NetServer`] wraps one engine. The thread layout is exactly the
-//! ISSUE's shape — an acceptor plus a reader/writer pair per connection:
+//! One [`NetServer`] wraps one engine. The thread layout is a fixed set —
+//! one event-loop thread plus the engine's worker pool — so a thousand
+//! mostly-idle clients cost a thousand registered fds, not two thousand
+//! parked threads:
 //!
 //! ```text
-//!                    ┌───────────────┐ accept  ┌──────────────────────────────┐
-//!  clients ─────────►│ acceptor      │────────►│ connection (one per client)  │
-//!                    │ (run() thread)│         │  reader thread ──► request   │
-//!                    └───────────────┘         │   decode frames    channel   │
-//!                                              │                      │       │
-//!                                              │  writer thread ◄─────┘       │
-//!                                              │   owns the Session,          │
-//!                                              │   classify_owned per request,│
-//!                                              │   encodes Results frames,    │
-//!                                              │   recycles record buffers    │
-//!                                              └──────────────────────────────┘
+//!             ┌───────────────────────────────────────────────┐
+//!  clients ──►│ event loop (run() thread, epoll/poll shim)    │
+//!             │                                               │
+//!             │  listener ──accept──► Conn state machine      │
+//!             │                        ├ rbuf: incremental    │
+//!             │                        │   frame reassembly   │
+//!             │                        ├ pipeline: decoded    │
+//!             │                        │   requests, FIFO     │
+//!             │                        └ out: bounded write   │
+//!             │                            backlog            │
+//!             │      ▲ wakeup pipe                            │
+//!             └──────┼────────────────────────────────────────┘
+//!                    │ notify per completed batch
+//!             ┌──────┴────────────┐   ┌───────────────────────┐
+//!             │ ServingEngine     │   │ candidate pool (lazy, │
+//!             │ worker pool       │   │ ≤ engine workers)     │
+//!             └───────────────────┘   └───────────────────────┘
 //! ```
 //!
-//! * **Backpressure is credit-based and reuses the engine's bound.** The
-//!   session's `max_in_flight` caps batches resident in the engine; the
-//!   connection's request channel is small and bounded; once both are full
-//!   the reader stops reading and TCP flow control pushes back on the
-//!   client. The handshake tells the client its credit
-//!   ([`Frame::HelloAck`]`::credits`) so a well-behaved client pipelines
-//!   exactly that many requests.
-//! * **Errors are frames, not resets.** Malformed input, version mismatch
-//!   and internal failures produce a [`Frame::Error`] with a machine-
-//!   readable code before the connection closes.
-//! * **Failure is isolated per connection.** A client that disconnects
-//!   mid-request, sends garbage, or whose request panics a backend worker
-//!   only tears down its own session (the engine discards that session's
-//!   in-flight batches); every other connection keeps streaming.
-//! * **Shutdown drains.** [`ServerHandle::shutdown`] stops the acceptor and
-//!   half-closes every live connection's read side: readers see EOF,
-//!   already-decoded requests still classify and their results still reach
-//!   the client, then [`NetServer::run`] joins every connection thread and
-//!   returns. Because the server borrows the engine, a following
-//!   [`ServingEngine::shutdown`] is guaranteed to see an idle engine — the
-//!   two drains compose.
+//! Each connection is a small state machine driven only by readiness:
+//!
+//! * **Read-readiness** appends to `rbuf`; complete frames are parsed into
+//!   a FIFO `pipeline` of decoded requests. Parsing (and reading) stops —
+//!   and TCP flow control pushes back on the client — once the connection
+//!   holds enough undispatched work or its outbound backlog passes
+//!   [`ServerConfig::outbound_high_water`].
+//! * **The engine side is non-blocking.** Requests are chunked into
+//!   session batches via `try_submit_owned`; completed batches re-enter
+//!   the loop through a wakeup pipe (the session's delivery notifier) and
+//!   are matched back to their request by submission order. Consecutive
+//!   requests on one connection overlap in the engine — the writer no
+//!   longer drains the session at each request boundary, so there is no
+//!   pipeline bubble between back-to-back requests.
+//! * **Responses are emitted strictly in request order** from the front of
+//!   the pipeline (`Results`, `Pong`, `Busy` and error frames alike), into
+//!   a per-connection outbound buffer flushed on write-readiness.
+//! * **Deadlines are a timer heap over the loop**, not socket timeouts:
+//!   handshake, whole-frame, idle and write-stall deadlines each schedule
+//!   a wakeup; lazy cancellation keeps rescheduling O(log n).
+//!
+//! The PR 6/7 guarantees carry over unchanged: credit-based backpressure
+//! announced in the handshake, errors as frames, per-connection failure
+//! isolation, `Ping`/`Pong` liveness, `Busy` connection and request
+//! shedding, constant-time auth — and graceful drain:
+//! [`ServerHandle::shutdown`] wakes the loop, which stops accepting and
+//! half-closes every read side; already-decoded requests still classify
+//! and their results still reach the client, then [`NetServer::run`]
+//! returns. Because the server borrows the engine, a following
+//! [`ServingEngine::shutdown`] is guaranteed to see an idle engine — the
+//! two drains compose.
 
-use std::collections::HashMap;
-use std::io::{self, BufWriter, Read, Write};
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mc_seqio::SequenceRecord;
-use metacache::serving::{ServingEngine, SessionConfig};
-use metacache::{Candidate, Classification, Classifier, Database, QueryScratch};
+use metacache::serving::{ServingEngine, Session, SessionConfig};
+use metacache::{Candidate, Classification, Classifier, QueryScratch};
 
+use crate::poll::{self, Event, Interest, Poller, TimerHeap, Waker, WAKE_TOKEN};
 use crate::protocol::{
     constant_time_eq, decode_classify_into, encode_candidate_results_into, encode_results_into,
-    frame_type, read_frame, read_frame_buf, write_frame, ErrorCode, Frame, NetError, ProtocolError,
-    BUSY_CONNECTION, CANDIDATES_MIN_VERSION, LIVENESS_MIN_VERSION, MAGIC, MIN_PROTOCOL_VERSION,
+    frame_type, write_frame, ErrorCode, Frame, ProtocolError, BUSY_CONNECTION,
+    CANDIDATES_MIN_VERSION, LIVENESS_MIN_VERSION, MAGIC, MAX_FRAME_LEN, MIN_PROTOCOL_VERSION,
     PACKED_MIN_VERSION, PROTOCOL_VERSION,
 };
+
+/// Poll token of the listening socket (connection tokens start at 1;
+/// [`WAKE_TOKEN`] is reserved by the poller).
+const LISTENER_TOKEN: u64 = 0;
+
+/// Bytes read per `read(2)` into a connection's reassembly buffer.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Write-stall bound for a connection refused with a connection-level
+/// `Busy`: a peer that will not read its refusal is simply dropped.
+const REFUSE_WRITE_WINDOW: Duration = Duration::from_secs(2);
 
 /// Tuning knobs of a [`NetServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Per-connection session overrides (`0` fields = engine defaults).
+    /// `session.class` picks the fair-queue lane every connection of this
+    /// server schedules in (interactive by default).
     pub session: SessionConfig,
-    /// Decoded requests buffered between a connection's reader and writer
-    /// threads (in addition to the engine-side credit bound).
+    /// Decoded-but-undispatched requests buffered per connection (in
+    /// addition to the engine-side credit bound). Past it the loop stops
+    /// parsing — and reading — that connection until dispatch catches up.
     pub pending_requests: usize,
     /// Set `TCP_NODELAY` on accepted connections (request/response traffic
     /// is latency-bound; leave on unless batching huge requests).
     pub nodelay: bool,
-    /// Socket write timeout per connection. A client that stops *reading*
-    /// while keeping the connection open would otherwise block its writer
-    /// thread in `send` forever — and with it the graceful drain of
-    /// [`NetServer::run`]. After this long blocked on one write, the
-    /// connection is treated as gone and torn down. `None` disables the
-    /// bound (not recommended for untrusted clients).
+    /// Write-stall deadline per connection. A client that stops *reading*
+    /// while keeping the connection open would otherwise pin its outbound
+    /// backlog — and the graceful drain of [`NetServer::run`] — forever.
+    /// The deadline re-arms on every successful write, so it bounds time
+    /// *without progress*; when it fires the connection is torn down and
+    /// counted in [`ServerStats::write_stalls`]. `None` disables the bound
+    /// (not recommended for untrusted clients).
     pub write_timeout: Option<Duration>,
     /// Deadline for completing one frame once its first byte has arrived.
     /// The deadline is fixed at frame start, so a slow-loris peer dribbling
@@ -109,6 +145,18 @@ pub struct ServerConfig {
     /// constant time); a missing or wrong token is answered with
     /// [`ErrorCode::Unauthorized`]. `None` disables auth.
     pub auth_token: Option<String>,
+    /// Slow-reader bound: bytes of encoded responses allowed to queue on
+    /// one connection before the loop stops reading (and admitting) more
+    /// of its requests, withholding the session's engine credits instead
+    /// of pinning unbounded result memory. The backlog itself stays
+    /// bounded by the credit window; [`ServerConfig::write_timeout`] then
+    /// bounds how long it may sit unflushed. `0` disables the bound.
+    pub outbound_high_water: usize,
+    /// Pin accepted sockets' kernel send buffer (`SO_SNDBUF`) to roughly
+    /// this many bytes (`0` = leave kernel autotuning on). Pinning makes
+    /// slow-reader backpressure deterministic — tests use it to fill the
+    /// pipe quickly.
+    pub send_buffer: usize,
 }
 
 impl Default for ServerConfig {
@@ -125,6 +173,8 @@ impl Default for ServerConfig {
             max_inflight_records: 0,
             retry_after_ms: 100,
             auth_token: None,
+            outbound_high_water: 4 * 1024 * 1024,
+            send_buffer: 0,
         }
     }
 }
@@ -150,6 +200,9 @@ pub struct ServerStats {
     pub timeouts: u64,
     /// Handshakes rejected for a missing or wrong auth token.
     pub auth_failures: u64,
+    /// Connections torn down because a stalled reader left the outbound
+    /// backlog unflushed past [`ServerConfig::write_timeout`].
+    pub write_stalls: u64,
 }
 
 #[derive(Default)]
@@ -163,18 +216,23 @@ struct Counters {
     shed_connections: AtomicU64,
     timeouts: AtomicU64,
     auth_failures: AtomicU64,
+    write_stalls: AtomicU64,
 }
 
-/// State shared between the acceptor, its connections and every
-/// [`ServerHandle`].
+/// State shared between the event loop, the engine's delivery notifiers,
+/// the candidate pool and every [`ServerHandle`].
 struct Shared {
     shutting_down: AtomicBool,
-    /// Read-half handles of live connections, keyed by connection id, so
-    /// shutdown can half-close them and let their streams drain.
-    connections: Mutex<HashMap<u64, TcpStream>>,
-    next_connection: AtomicU64,
-    /// Reads currently being classified across all connections — the gauge
-    /// behind [`ServerConfig::max_inflight_records`].
+    /// Interrupts a blocked poll wait from any thread.
+    waker: Waker,
+    /// Connection tokens whose session has results ready to drain; pushed
+    /// by the per-session delivery notifier (on engine worker threads).
+    completions: Mutex<Vec<u64>>,
+    /// Set by the engine's queue-space watcher: some shared-queue slot
+    /// freed, connections with stashed submissions should retry.
+    queue_space: AtomicBool,
+    /// Reads currently admitted for classification across all connections
+    /// — the gauge behind [`ServerConfig::max_inflight_records`].
     inflight_records: AtomicU64,
     counters: Counters,
     addr: SocketAddr,
@@ -196,56 +254,20 @@ impl ServerHandle {
 
     /// Begin the graceful drain: stop accepting, half-close every live
     /// connection's read side so in-flight requests finish and their
-    /// results are delivered, then let [`NetServer::run`] join and return.
-    /// Idempotent.
-    ///
-    /// The acceptor is woken with a loopback connection to its own listen
-    /// address; the bound address must therefore be reachable from this
-    /// process (always true for loopback and unspecified binds) and one
-    /// spare file descriptor must be available — the connect is retried
-    /// briefly to ride out transient fd exhaustion.
+    /// results are delivered, then let [`NetServer::run`] return.
+    /// Idempotent — the loop is interrupted through its wakeup pipe, so
+    /// no connectable address or spare fd is needed.
     pub fn shutdown(&self) {
         if self.shared.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Half-close live connections: readers see EOF and drain.
-        let connections = self
-            .shared
-            .connections
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
-        for stream in connections.values() {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-        drop(connections);
-        // Wake the acceptor with a throwaway connection. This is the only
-        // thing that unblocks a parked accept(), so retry a few times
-        // rather than giving up on one failed connect.
-        for _ in 0..5 {
-            if TcpStream::connect(connect_addr(self.shared.addr)).is_ok() {
-                break;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(20));
-        }
-    }
-}
-
-/// An unspecified bind address (0.0.0.0 / ::) is not connectable; aim the
-/// shutdown wake-up at loopback instead.
-fn connect_addr(addr: SocketAddr) -> SocketAddr {
-    match addr.ip() {
-        IpAddr::V4(ip) if ip.is_unspecified() => {
-            SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), addr.port())
-        }
-        IpAddr::V6(ip) if ip.is_unspecified() => {
-            SocketAddr::new(IpAddr::V6(Ipv6Addr::LOCALHOST), addr.port())
-        }
-        _ => addr,
+        self.shared.waker.wake();
     }
 }
 
 /// A TCP front-end serving one [`ServingEngine`]: each accepted connection
-/// becomes one engine [`Session`](metacache::serving::Session).
+/// becomes one engine [`Session`](metacache::serving::Session), served by
+/// a single event-loop thread (see the module docs).
 ///
 /// The server borrows the engine, so the borrow checker proves the engine
 /// outlives every connection — and that [`ServingEngine::shutdown`] can only
@@ -290,6 +312,7 @@ pub struct NetServer<'e> {
     listener: TcpListener,
     config: ServerConfig,
     shared: Arc<Shared>,
+    poller: Poller,
 }
 
 impl<'e> NetServer<'e> {
@@ -306,10 +329,14 @@ impl<'e> NetServer<'e> {
         config: ServerConfig,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
         let shared = Arc::new(Shared {
             shutting_down: AtomicBool::new(false),
-            connections: Mutex::new(HashMap::new()),
-            next_connection: AtomicU64::new(1),
+            waker: poller.waker(),
+            completions: Mutex::new(Vec::new()),
+            queue_space: AtomicBool::new(false),
             inflight_records: AtomicU64::new(0),
             counters: Counters::default(),
             addr: listener.local_addr()?,
@@ -319,6 +346,7 @@ impl<'e> NetServer<'e> {
             listener,
             config,
             shared,
+            poller,
         })
     }
 
@@ -334,92 +362,169 @@ impl<'e> NetServer<'e> {
         }
     }
 
-    /// Serve until [`ServerHandle::shutdown`] is called: accept connections
-    /// on the calling thread, a reader/writer thread pair per connection.
-    /// Returns after every live connection has drained and closed.
+    /// Serve until [`ServerHandle::shutdown`] is called: the calling thread
+    /// becomes the event loop (accept, frame reassembly, dispatch, write
+    /// flushing); the engine's workers do the classifying. Returns after
+    /// every live connection has drained and closed.
     pub fn run(self) -> io::Result<ServerStats> {
-        let shared = &self.shared;
-        let engine = self.engine;
-        let config = &self.config;
-        std::thread::scope(|scope| {
+        let NetServer {
+            engine,
+            listener,
+            config,
+            shared,
+            poller,
+        } = self;
+        {
+            // Queue-space pops re-arm stashed submissions. The watcher
+            // outlives this run (the engine keeps it); stale wakes after
+            // the poller is gone write into a closed pipe and are ignored.
+            let watch = Arc::clone(&shared);
+            engine.watch_queue_space(Arc::new(move || {
+                watch.queue_space.store(true, Ordering::Release);
+                watch.waker.wake();
+            }));
+        }
+        let mut ctx = LoopCtx {
+            engine,
+            config: &config,
+            shared: Arc::clone(&shared),
+            poller,
+            timers: TimerHeap::new(),
+            scratch: Vec::new(),
+            jobs: Vec::new(),
+            space_waiters: HashSet::new(),
+            serving: 0,
+            high_water: match config.outbound_high_water {
+                0 => usize::MAX,
+                hw => hw,
+            },
+            pool_cap: config.pending_requests.max(1) + 1,
+        };
+        std::thread::scope(|scope| -> io::Result<()> {
+            let mut conns: HashMap<u64, Conn<'_>> = HashMap::new();
+            let mut events: Vec<Event> = Vec::new();
+            let mut next_token: u64 = 1;
+            let mut listener = Some(listener);
+            let mut draining = false;
+            // The candidate pool is spawned lazily on the first Candidates
+            // request, capped at the engine's worker count — thread count
+            // stays O(workers) no matter how many connections arrive.
+            let (cand_tx, cand_rx) = mpsc::channel::<CandJob>();
+            let cand_rx = Arc::new(Mutex::new(cand_rx));
+            let (cand_done_tx, cand_done_rx) = mpsc::channel::<CandDone>();
+            let cand_target = engine.config().workers.max(1);
+            let mut cand_workers = 0usize;
             loop {
-                let (stream, _peer) = match self.listener.accept() {
-                    Ok(accepted) => accepted,
-                    Err(_) if shared.shutting_down.load(Ordering::SeqCst) => break,
-                    // Transient accept failures (per-connection resource
-                    // errors, fd exhaustion) must not kill the server — but
-                    // must not busy-spin the acceptor either.
-                    Err(_) => {
-                        std::thread::sleep(std::time::Duration::from_millis(10));
-                        continue;
-                    }
-                };
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    // Late arrival (possibly the shutdown wake-up itself):
-                    // refuse politely and stop accepting.
-                    refuse_shutting_down(stream);
+                if draining && conns.is_empty() {
                     break;
                 }
-                shared.counters.connections.fetch_add(1, Ordering::Relaxed);
-                if config.max_connections > 0 {
-                    let live = shared
-                        .connections
+                let timeout = ctx
+                    .timers
+                    .next_deadline()
+                    .map(|d| d.saturating_duration_since(Instant::now()));
+                ctx.poller.wait(&mut events, timeout)?;
+                if !draining && ctx.shared.shutting_down.load(Ordering::SeqCst) {
+                    draining = true;
+                    if let Some(l) = listener.take() {
+                        let _ = ctx.poller.deregister(l.as_raw_fd());
+                    }
+                    let tokens: Vec<u64> = conns.keys().copied().collect();
+                    for token in tokens {
+                        if let Some(conn) = conns.get_mut(&token) {
+                            // Half-close: discard unparsed input, serve what
+                            // is already decoded, flush, then close — the
+                            // same EOF semantics a clean client disconnect
+                            // gets.
+                            let _ = conn.stream.shutdown(Shutdown::Read);
+                            conn.close_read();
+                            conn.rbuf.clear();
+                            conn.roff = 0;
+                            ctx.advance(token, conn);
+                        }
+                        ctx.finish(&mut conns, token);
+                    }
+                }
+                for i in 0..events.len() {
+                    let ev = events[i];
+                    match ev.token {
+                        WAKE_TOKEN => {}
+                        LISTENER_TOKEN => {
+                            if let Some(l) = listener.as_ref() {
+                                ctx.accept_all(l, &mut conns, &mut next_token);
+                            }
+                        }
+                        token => {
+                            if let Some(conn) = conns.get_mut(&token) {
+                                ctx.advance(token, conn);
+                            }
+                            ctx.finish(&mut conns, token);
+                        }
+                    }
+                }
+                // Engine deliveries: one entry per completed batch; dedupe
+                // so a burst of completions advances each connection once.
+                let mut done: Vec<u64> = {
+                    let mut queue = ctx
+                        .shared
+                        .completions
                         .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .len();
-                    if live >= config.max_connections {
-                        // Shed at the door: a connection-level Busy instead
-                        // of an unbounded accept backlog. The write happens
-                        // on the acceptor thread, so bound it tightly.
-                        shared
-                            .counters
-                            .shed_connections
-                            .fetch_add(1, Ordering::Relaxed);
-                        refuse_busy(stream, config.retry_after_ms);
+                        .unwrap_or_else(|e| e.into_inner());
+                    std::mem::take(&mut *queue)
+                };
+                done.sort_unstable();
+                done.dedup();
+                for token in done {
+                    if let Some(conn) = conns.get_mut(&token) {
+                        ctx.advance(token, conn);
+                    }
+                    ctx.finish(&mut conns, token);
+                }
+                while let Ok(result) = cand_done_rx.try_recv() {
+                    let token = result.conn;
+                    if let Some(conn) = conns.get_mut(&token) {
+                        ctx.apply_candidate_result(conn, result);
+                        ctx.advance(token, conn);
+                    }
+                    ctx.finish(&mut conns, token);
+                }
+                if ctx.shared.queue_space.swap(false, Ordering::AcqRel) {
+                    let waiters: Vec<u64> = ctx.space_waiters.drain().collect();
+                    for token in waiters {
+                        if let Some(conn) = conns.get_mut(&token) {
+                            ctx.advance(token, conn);
+                        }
+                        ctx.finish(&mut conns, token);
+                    }
+                }
+                let now = Instant::now();
+                while let Some((at, token)) = ctx.timers.pop_due(now) {
+                    let Some(conn) = conns.get_mut(&token) else {
                         continue;
+                    };
+                    if conn.timer_at == Some(at) {
+                        conn.timer_at = None;
                     }
+                    ctx.fire_deadlines(conn, now);
+                    ctx.advance(token, conn);
+                    ctx.finish(&mut conns, token);
                 }
-                let id = shared.next_connection.fetch_add(1, Ordering::Relaxed);
-                match stream.try_clone() {
-                    Ok(clone) => {
-                        shared
-                            .connections
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .insert(id, clone);
+                let jobs = std::mem::take(&mut ctx.jobs);
+                for job in jobs {
+                    if cand_workers < cand_target {
+                        cand_workers += 1;
+                        let jobs_rx = Arc::clone(&cand_rx);
+                        let done_tx = cand_done_tx.clone();
+                        let waker = ctx.shared.waker.clone();
+                        scope.spawn(move || candidate_worker(engine, jobs_rx, done_tx, waker));
                     }
-                    // An unregistered connection could never be half-closed
-                    // by shutdown() and would hang the drain; refuse it
-                    // instead of serving it untracked (try_clone only fails
-                    // under fd exhaustion, where refusing is right anyway).
-                    Err(_) => continue,
+                    let _ = cand_tx.send(job);
                 }
-                // Close the race against a concurrent shutdown(): the flag
-                // is set *before* shutdown walks the registry, so either the
-                // walk saw our entry and half-closed it, or this re-check
-                // sees the flag and half-closes it here. Without this, a
-                // connection accepted in the window would never get its EOF
-                // and run() would join forever.
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    let _ = stream.shutdown(Shutdown::Read);
-                }
-                scope.spawn(move || {
-                    // A connection must never take down the server: isolate
-                    // panics (the engine already isolates the session).
-                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        serve_connection(engine, config, shared, stream);
-                    }));
-                    shared
-                        .connections
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .remove(&id);
-                });
             }
-            // Leaving the scope joins every connection thread: all sessions
-            // are dropped and the engine is idle when run() returns.
-        });
-        let c = &self.shared.counters;
+            // Dropping the job sender here (closure scope end) unblocks the
+            // candidate workers; the scope joins them.
+            Ok(())
+        })?;
+        let c = &shared.counters;
         Ok(ServerStats {
             connections: c.connections.load(Ordering::Relaxed),
             requests: c.requests.load(Ordering::Relaxed),
@@ -430,598 +535,1302 @@ impl<'e> NetServer<'e> {
             shed_connections: c.shed_connections.load(Ordering::Relaxed),
             timeouts: c.timeouts.load(Ordering::Relaxed),
             auth_failures: c.auth_failures.load(Ordering::Relaxed),
+            write_stalls: c.write_stalls.load(Ordering::Relaxed),
         })
     }
 }
 
-fn refuse_shutting_down(stream: TcpStream) {
-    let mut writer = BufWriter::new(stream);
-    let _ = write_frame(
-        &mut writer,
-        &Frame::Error {
-            code: ErrorCode::ShuttingDown,
-            message: "server is draining".into(),
-        },
-    );
-    let _ = writer.flush();
+/// Connection phase: waiting for the `Hello`, or serving requests.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Phase {
+    Handshake,
+    Open,
 }
 
-/// Refuse a past-capacity connection with a connection-level `Busy`. Runs
-/// on the acceptor thread, so the write is tightly bounded: a peer that
-/// won't read its refusal is simply dropped.
-fn refuse_busy(stream: TcpStream, retry_after_ms: u32) {
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-    let mut writer = BufWriter::new(stream);
-    let _ = write_frame(
-        &mut writer,
-        &Frame::Busy {
-            request_id: BUSY_CONNECTION,
-            retry_after_ms,
-        },
-    );
-    let _ = writer.flush();
+/// Undispatched reads of a request, chunked lazily into session batches.
+enum Pending {
+    /// Single-batch request: the decoded vector rides to the engine whole
+    /// (zero copies, same as the old blocking fast path).
+    Whole(Vec<SequenceRecord>),
+    /// Multi-batch request: drained `batch_records` at a time.
+    Chunks(std::vec::IntoIter<SequenceRecord>),
 }
 
-/// A socket reader that turns the server's deadlines into hard errors.
-///
-/// [`DeadlineReader::arm`] opens a frame window: until the first byte
-/// arrives the *boundary* deadline applies (idle or handshake reaping);
-/// from the first byte the whole frame must land within the *frame*
-/// timeout, and the deadline is fixed at that instant — a slow-loris peer
-/// dribbling one byte at a time cannot push it back.
-///
-/// Implemented with `set_read_timeout` + a retry loop, so a blocked `read`
-/// wakes at least once per remaining window; the extra syscall per read is
-/// noise next to classification (the hot path moves whole frames per read).
-struct DeadlineReader {
+/// A decoded `Classify`/`ClassifyPacked` request in flight.
+struct ClassifyReq {
+    request_id: u64,
+    read_count: u64,
+    /// Passed admission (gauge reserved, shed decision made).
+    admitted: bool,
+    total_batches: usize,
+    completed: usize,
+    /// A backend worker panicked on one of this request's batches.
+    failed: bool,
+    pending: Option<Pending>,
+    /// A batch the engine refused (queue full / out of credits), waiting
+    /// for space or a freed credit.
+    stashed: Option<Vec<SequenceRecord>>,
+    classifications: Vec<Classification>,
+}
+
+/// A decoded `Candidates` request (answered by the candidate pool).
+struct CandReq {
+    request_id: u64,
+    read_count: u64,
+    admitted: bool,
+    /// Reads not yet handed to the pool.
+    reads: Option<Vec<SequenceRecord>>,
+    /// `Some(Some(lists))` = computed; `Some(None)` = the pool worker
+    /// panicked on this request.
+    done: Option<Option<Vec<Vec<Candidate>>>>,
+}
+
+/// One entry of a connection's FIFO response pipeline. Responses are
+/// emitted strictly in request order from the front.
+enum Item {
+    Classify(Box<ClassifyReq>),
+    Candidates(Box<CandReq>),
+    /// A liveness probe, answered with `Pong` in order.
+    Ping {
+        nonce: u64,
+    },
+    /// A shed request's in-order `Busy` answer.
+    Busy {
+        request_id: u64,
+    },
+    /// Undecodable input: report and close (terminal).
+    Fail(ProtocolError),
+    /// A pre-counted terminal error (auth failure, deadline expiry).
+    Deny {
+        code: ErrorCode,
+        message: String,
+    },
+}
+
+impl Item {
+    /// Whether this item still holds undispatched input — the measure
+    /// behind the parse gate (decoded-but-undispatched request bound).
+    fn holds_input(&self) -> bool {
+        match self {
+            Item::Classify(r) => !r.admitted || r.pending.is_some() || r.stashed.is_some(),
+            Item::Candidates(r) => !r.admitted || r.reads.is_some(),
+            _ => false,
+        }
+    }
+}
+
+/// Per-connection state machine (see module docs).
+struct Conn<'e> {
     stream: TcpStream,
-    frame_timeout: Option<Duration>,
-    deadline: Option<Instant>,
+    token: u64,
+    phase: Phase,
+    version: u16,
+    session: Option<Session<'e>>,
+    /// Frame reassembly buffer; `roff` marks the parse offset.
+    rbuf: Vec<u8>,
+    roff: usize,
+    /// A partial frame sits in `rbuf` (selects the frame-stall deadline
+    /// and its timeout message over the idle one).
     in_frame: bool,
+    /// Parse/read gate state as of the last advance (for deadline
+    /// suspension while backpressured).
+    gated: bool,
+    read_closed: bool,
+    /// Stop parsing and discard input (terminal answer queued or clean
+    /// goodbye).
+    poisoned: bool,
+    /// Terminal response emitted: flush `out`, then tear down.
+    closing: bool,
+    /// Tear down immediately (I/O error, write stall).
+    dead: bool,
+    /// Outbound byte backlog; `ooff` marks the flushed prefix.
+    out: Vec<u8>,
+    ooff: usize,
+    pipeline: VecDeque<Item>,
+    /// Request id per submitted engine batch, in submission order —
+    /// completed batches are matched back to their request through this.
+    submit_order: VecDeque<u64>,
+    last_request_id: Option<u64>,
+    served_any: bool,
+    read_deadline: Option<Instant>,
+    write_deadline: Option<Instant>,
+    /// Progress window re-armed on every successful write.
+    write_window: Option<Duration>,
+    /// Earliest instant currently scheduled in the timer heap for this
+    /// connection (lazy cancellation: stale pops are ignored).
+    timer_at: Option<Instant>,
+    interest: Interest,
+    /// Recycled record vectors (decode targets / drained batches).
+    pool: Vec<Vec<SequenceRecord>>,
+    /// This connection's share of the global in-flight record gauge.
+    gauge: u64,
+    /// Counted against `max_connections` (false for refused connections).
+    counted: bool,
 }
 
-impl DeadlineReader {
-    fn new(stream: TcpStream) -> Self {
+impl Conn<'_> {
+    fn new(stream: TcpStream, token: u64) -> Self {
         Self {
             stream,
-            frame_timeout: None,
-            deadline: None,
+            token,
+            phase: Phase::Handshake,
+            version: PROTOCOL_VERSION,
+            session: None,
+            rbuf: Vec::new(),
+            roff: 0,
             in_frame: false,
+            gated: false,
+            read_closed: false,
+            poisoned: false,
+            closing: false,
+            dead: false,
+            out: Vec::new(),
+            ooff: 0,
+            pipeline: VecDeque::new(),
+            submit_order: VecDeque::new(),
+            last_request_id: None,
+            served_any: false,
+            read_deadline: None,
+            write_deadline: None,
+            write_window: None,
+            timer_at: None,
+            interest: Interest::READ,
+            pool: Vec::new(),
+            gauge: 0,
+            counted: false,
         }
     }
 
-    /// Start a frame window: `boundary` bounds the wait for the first byte,
-    /// `frame` bounds the whole frame once it has started.
-    fn arm(&mut self, boundary: Option<Duration>, frame: Option<Duration>) {
-        self.deadline = boundary.map(|t| Instant::now() + t);
-        self.frame_timeout = frame;
-        self.in_frame = false;
+    /// The read side is finished (EOF, goodbye, drain): any armed read
+    /// deadline must not fire over the remaining writes.
+    fn close_read(&mut self) {
+        self.read_closed = true;
+        self.read_deadline = None;
     }
 
-    /// Whether the last deadline fired while waiting *between* frames
-    /// (idle) rather than inside one (stall).
-    fn timed_out_idle(&self) -> bool {
-        !self.in_frame
+    /// A terminal response was emitted: stop reading, flush, tear down.
+    fn begin_close(&mut self) {
+        self.closing = true;
+        self.poisoned = true;
+        self.rbuf.clear();
+        self.roff = 0;
+        self.read_deadline = None;
+    }
+
+    /// Whether the connection has nothing left to do and can be torn down.
+    fn finished(&self) -> bool {
+        if self.dead {
+            return true;
+        }
+        let drained = self.out.len() == self.ooff;
+        if self.closing {
+            return drained;
+        }
+        drained && self.read_closed && self.pipeline.is_empty()
     }
 }
 
-impl Read for DeadlineReader {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+/// A candidates request handed to the pool.
+struct CandJob {
+    conn: u64,
+    request_id: u64,
+    reads: Vec<SequenceRecord>,
+}
+
+/// A candidates result returning to the loop. `lists` is `None` when the
+/// worker panicked while computing it.
+struct CandDone {
+    conn: u64,
+    request_id: u64,
+    reads: Vec<SequenceRecord>,
+    lists: Option<Vec<Vec<Candidate>>>,
+}
+
+/// The event loop's non-connection state, threaded through every pump.
+struct LoopCtx<'e, 'c> {
+    engine: &'e ServingEngine,
+    config: &'c ServerConfig,
+    shared: Arc<Shared>,
+    poller: Poller,
+    timers: TimerHeap,
+    /// Reusable response-encoding buffer (one frame at a time).
+    scratch: Vec<u8>,
+    /// Candidates jobs produced this iteration, dispatched after pumping.
+    jobs: Vec<CandJob>,
+    /// Connections with a stashed submission waiting for queue space.
+    space_waiters: HashSet<u64>,
+    /// Connections currently counted against `max_connections`.
+    serving: usize,
+    /// Resolved outbound-buffer gate (usize::MAX = unbounded).
+    high_water: usize,
+    /// Per-connection record-vector pool bound.
+    pool_cap: usize,
+}
+
+impl<'e> LoopCtx<'e, '_> {
+    // --- accept ---------------------------------------------------------
+
+    fn accept_all(
+        &mut self,
+        listener: &TcpListener,
+        conns: &mut HashMap<u64, Conn<'e>>,
+        next_token: &mut u64,
+    ) {
         loop {
-            let timeout = match self.deadline {
-                None => None,
-                Some(deadline) => {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        return Err(io::Error::new(
-                            io::ErrorKind::TimedOut,
-                            "read deadline elapsed",
-                        ));
-                    }
-                    Some(deadline - now)
+            let (stream, _peer) = match listener.accept() {
+                Ok(accepted) => accepted,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // Transient accept failures (per-connection resource
+                // errors, fd exhaustion) must not kill the server — but
+                // must not busy-spin the loop either.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    break;
                 }
             };
-            // `timeout` is non-zero by construction (checked above), which
-            // set_read_timeout requires.
-            self.stream.set_read_timeout(timeout)?;
-            match self.stream.read(buf) {
-                Ok(n) => {
-                    if n > 0 && !self.in_frame {
-                        // First byte of a frame: switch from the boundary
-                        // deadline to a fixed whole-frame deadline.
-                        self.in_frame = true;
-                        self.deadline = self.frame_timeout.map(|t| Instant::now() + t);
-                    }
-                    return Ok(n);
+            self.shared
+                .counters
+                .connections
+                .fetch_add(1, Ordering::Relaxed);
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            if self.config.nodelay {
+                let _ = stream.set_nodelay(true);
+            }
+            if self.config.send_buffer > 0 {
+                let _ = poll::set_send_buffer(&stream, self.config.send_buffer);
+            }
+            let token = *next_token;
+            *next_token += 1;
+            let now = Instant::now();
+            // The flag is re-checked per accepted connection, not once per
+            // loop entry: shutdown() can land while this very loop drains
+            // the backlog, and a connection accepted after the flag must
+            // get a typed refusal, never a served handshake.
+            let draining = self.shared.shutting_down.load(Ordering::SeqCst);
+            let refused =
+                self.config.max_connections > 0 && self.serving >= self.config.max_connections;
+            let mut conn = Conn::new(stream, token);
+            if draining {
+                conn.close_read();
+                conn.poisoned = true;
+                conn.closing = true;
+                conn.write_window = Some(REFUSE_WRITE_WINDOW);
+                conn.write_deadline = Some(now + REFUSE_WRITE_WINDOW);
+                push_frame(
+                    &mut conn.out,
+                    &Frame::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is draining".into(),
+                    },
+                );
+                conn.interest = Interest::WRITE;
+            } else if refused {
+                // Shed at the door: a connection-level Busy instead of an
+                // unbounded accept backlog, flushed on write-readiness
+                // under a tight stall bound.
+                self.shared
+                    .counters
+                    .shed_connections
+                    .fetch_add(1, Ordering::Relaxed);
+                conn.close_read();
+                conn.poisoned = true;
+                conn.closing = true;
+                conn.write_window = Some(REFUSE_WRITE_WINDOW);
+                conn.write_deadline = Some(now + REFUSE_WRITE_WINDOW);
+                push_frame(
+                    &mut conn.out,
+                    &Frame::Busy {
+                        request_id: BUSY_CONNECTION,
+                        retry_after_ms: self.config.retry_after_ms,
+                    },
+                );
+                conn.interest = Interest::WRITE;
+            } else {
+                conn.counted = true;
+                self.serving += 1;
+                conn.write_window = self.config.write_timeout;
+                conn.read_deadline = self.config.handshake_timeout.map(|t| now + t);
+                conn.interest = Interest::READ;
+            }
+            if self
+                .poller
+                .register(conn.stream.as_raw_fd(), token, conn.interest)
+                .is_err()
+            {
+                if conn.counted {
+                    self.serving -= 1;
                 }
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock
-                            | io::ErrorKind::TimedOut
-                            | io::ErrorKind::Interrupted
-                    ) =>
-                {
-                    continue; // re-check the deadline, then retry
-                }
-                Err(e) => return Err(e),
+                continue;
+            }
+            conns.insert(token, conn);
+            if let Some(conn) = conns.get_mut(&token) {
+                self.advance(token, conn);
+            }
+            self.finish(conns, token);
+        }
+    }
+
+    // --- the per-connection fixpoint ------------------------------------
+
+    /// Drive one connection as far as it will go without blocking: drain
+    /// engine results, read + parse, dispatch, emit, flush — repeated to a
+    /// fixpoint (every pump is monotone, so this terminates) — then
+    /// refresh poll interest and deadlines.
+    fn advance(&mut self, token: u64, conn: &mut Conn<'e>) {
+        loop {
+            let mut progress = false;
+            progress |= self.pump_drain(conn);
+            progress |= self.pump_io_in(conn);
+            progress |= self.pump_submit(token, conn);
+            progress |= self.pump_emit(conn);
+            progress |= self.pump_write(conn);
+            if conn.dead || !progress {
+                break;
+            }
+        }
+        self.refresh_registration(token, conn);
+        self.refresh_timers(token, conn);
+    }
+
+    /// Tear the connection down if it has nothing left to do.
+    fn finish(&mut self, conns: &mut HashMap<u64, Conn<'e>>, token: u64) {
+        if conns.get(&token).is_some_and(|c| c.finished()) {
+            if let Some(conn) = conns.remove(&token) {
+                self.teardown(conn);
             }
         }
     }
-}
 
-/// What the reader thread hands to the writer thread.
-enum ConnEvent {
-    Request {
-        request_id: u64,
-        reads: Vec<SequenceRecord>,
-    },
-    /// A candidates query (protocol ≥ v4); the writer answers with the
-    /// merged top-hit lists instead of classifications.
-    Candidates {
-        request_id: u64,
-        reads: Vec<SequenceRecord>,
-    },
-    /// A liveness probe; the writer echoes a `Pong`.
-    Ping { nonce: u64 },
-    /// The reader hit undecodable input; the writer reports it and closes.
-    Bad(ProtocolError),
-    /// A read/idle deadline fired; the writer reports it and closes.
-    TimedOut { idle: bool },
-}
-
-/// Drive one connection to completion: handshake, then a reader thread
-/// feeding decoded requests to this thread, which owns the session and
-/// writes responses.
-fn serve_connection(
-    engine: &ServingEngine,
-    config: &ServerConfig,
-    shared: &Shared,
-    stream: TcpStream,
-) {
-    if config.nodelay {
-        let _ = stream.set_nodelay(true);
+    fn teardown(&mut self, conn: Conn<'e>) {
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        if conn.gauge > 0 {
+            self.shared
+                .inflight_records
+                .fetch_sub(conn.gauge, Ordering::Relaxed);
+        }
+        if conn.counted {
+            self.serving -= 1;
+        }
+        self.space_waiters.remove(&conn.token);
+        // Dropping the connection drops its session: the engine purges any
+        // batches still in flight for it.
     }
-    // Bound every socket write so a client that stops reading cannot pin
-    // this connection's writer (and the server's drain) forever.
-    let _ = stream.set_write_timeout(config.write_timeout);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = DeadlineReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
 
-    // --- Handshake -------------------------------------------------------
-    // The whole Hello — first byte *and* last — must land within the
-    // handshake deadline; a mid-handshake stall is reaped, not parked.
-    reader.arm(config.handshake_timeout, config.handshake_timeout);
-    let hello = match read_frame(&mut reader) {
-        Ok(Some(Frame::Hello {
+    // --- engine results -------------------------------------------------
+
+    fn pump_drain(&mut self, conn: &mut Conn<'e>) -> bool {
+        let Some(session) = conn.session.as_mut() else {
+            return false;
+        };
+        let mut progress = false;
+        while let Some(done) = session.try_drain_owned() {
+            progress = true;
+            let rid = conn
+                .submit_order
+                .pop_front()
+                .expect("engine result without a submitted batch");
+            let req = conn
+                .pipeline
+                .iter_mut()
+                .find_map(|item| match item {
+                    Item::Classify(r) if r.request_id == rid => Some(r),
+                    _ => None,
+                })
+                .expect("completed batch for an unknown request");
+            req.completed += 1;
+            if done.panicked {
+                req.failed = true;
+            } else if req.total_batches == 1 {
+                req.classifications = done.classifications;
+            } else {
+                req.classifications.extend(done.classifications);
+            }
+            if req.completed == req.total_batches && req.read_count > 0 {
+                conn.gauge -= req.read_count;
+                self.shared
+                    .inflight_records
+                    .fetch_sub(req.read_count, Ordering::Relaxed);
+            }
+            recycle_into(&mut conn.pool, self.pool_cap, done.records);
+        }
+        progress
+    }
+
+    // --- read + parse ---------------------------------------------------
+
+    /// The parse/read gate: stop consuming input while the connection
+    /// holds enough undispatched work or its outbound backlog is past the
+    /// high-water mark — TCP flow control then pushes back on the client,
+    /// and (for a reader that stalled on its own results) the engine sees
+    /// no new submissions: its credits are effectively withheld.
+    fn gate(&self, conn: &Conn<'e>) -> bool {
+        if conn.out.len() - conn.ooff >= self.high_water {
+            return true;
+        }
+        let waiting = conn.pipeline.iter().filter(|i| i.holds_input()).count();
+        waiting > self.config.pending_requests.max(1)
+    }
+
+    fn pump_io_in(&mut self, conn: &mut Conn<'e>) -> bool {
+        if conn.dead || conn.poisoned || conn.closing {
+            return false;
+        }
+        let mut progress = false;
+        let mut consumed_any = false;
+        loop {
+            consumed_any |= self.parse(conn);
+            if conn.dead || conn.poisoned || conn.closing {
+                break;
+            }
+            if conn.read_closed || self.gate(conn) {
+                break;
+            }
+            match read_chunk(&mut conn.stream, &mut conn.rbuf) {
+                ReadOutcome::Data => progress = true,
+                ReadOutcome::Eof => {
+                    // Complete frames already buffered still get served;
+                    // a partial frame at EOF is discarded silently (the
+                    // peer walked away mid-frame — same as before).
+                    conn.close_read();
+                    progress = true;
+                }
+                ReadOutcome::WouldBlock => break,
+                ReadOutcome::Error => {
+                    conn.dead = true;
+                    break;
+                }
+            }
+        }
+        // Deadline bookkeeping: idle-vs-frame windows while the read side
+        // is live, suspended entirely while gated (backpressure is not a
+        // client stall).
+        if !conn.dead && !conn.poisoned && !conn.closing && !conn.read_closed {
+            if self.gate(conn) {
+                if !conn.gated {
+                    conn.gated = true;
+                    conn.read_deadline = None;
+                    conn.in_frame = false;
+                }
+            } else {
+                let was_gated = conn.gated;
+                conn.gated = false;
+                let leftover = conn.rbuf.len() - conn.roff;
+                let now = Instant::now();
+                match conn.phase {
+                    Phase::Handshake => {
+                        // Fresh whole-frame window from the first byte; the
+                        // accept-time deadline covers the wait before it.
+                        if leftover > 0 && !conn.in_frame {
+                            conn.in_frame = true;
+                            if let Some(t) = self.config.handshake_timeout {
+                                conn.read_deadline = Some(now + t);
+                            }
+                        }
+                    }
+                    Phase::Open => {
+                        // Re-arm only on progress (or gate release): the
+                        // deadline of a partial frame stays fixed at its
+                        // first byte, so dribbling cannot extend it.
+                        if consumed_any || was_gated || (leftover > 0 && !conn.in_frame) {
+                            if leftover > 0 {
+                                conn.in_frame = true;
+                                conn.read_deadline = self.config.read_timeout.map(|t| now + t);
+                            } else {
+                                conn.in_frame = false;
+                                conn.read_deadline = self.config.idle_timeout.map(|t| now + t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        progress || consumed_any
+    }
+
+    /// Consume every complete frame buffered in `rbuf`. Returns whether at
+    /// least one frame was consumed.
+    fn parse(&mut self, conn: &mut Conn<'e>) -> bool {
+        let mut consumed = false;
+        loop {
+            if conn.dead || conn.poisoned || conn.closing || self.gate(conn) {
+                break;
+            }
+            let avail = conn.rbuf.len() - conn.roff;
+            if avail < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(
+                conn.rbuf[conn.roff..conn.roff + 4]
+                    .try_into()
+                    .expect("4-byte slice"),
+            );
+            if len == 0 || len > MAX_FRAME_LEN {
+                self.reject(conn, ProtocolError::FrameTooLarge(len));
+                break;
+            }
+            let total = 4 + len as usize;
+            if avail < total {
+                break;
+            }
+            let tag = conn.rbuf[conn.roff + 4];
+            let span = (conn.roff + 5)..(conn.roff + total);
+            conn.roff += total;
+            consumed = true;
+            match conn.phase {
+                Phase::Handshake => self.handle_hello(conn, tag, span),
+                Phase::Open => self.handle_frame(conn, tag, span),
+            }
+        }
+        if conn.poisoned || conn.roff == conn.rbuf.len() {
+            conn.rbuf.clear();
+            conn.roff = 0;
+        } else if conn.roff >= READ_CHUNK {
+            conn.rbuf.drain(..conn.roff);
+            conn.roff = 0;
+        }
+        consumed
+    }
+
+    /// Queue the in-order terminal answer for undecodable input.
+    fn reject(&mut self, conn: &mut Conn<'e>, error: ProtocolError) {
+        conn.pipeline.push_back(Item::Fail(error));
+        conn.poisoned = true;
+        conn.read_deadline = None;
+    }
+
+    fn handle_hello(&mut self, conn: &mut Conn<'e>, tag: u8, span: Range<usize>) {
+        let frame = match Frame::decode(tag, &conn.rbuf[span]) {
+            Ok(frame) => frame,
+            Err(e) => {
+                self.reject(conn, e);
+                return;
+            }
+        };
+        let Frame::Hello {
             magic,
             version,
             batch_records,
             max_in_flight,
             auth_token,
-        })) => {
-            if magic != MAGIC {
-                fail(shared, &mut writer, &ProtocolError::BadMagic(magic));
+        } = frame
+        else {
+            self.reject(conn, ProtocolError::Malformed("expected Hello"));
+            return;
+        };
+        if magic != MAGIC {
+            self.reject(conn, ProtocolError::BadMagic(magic));
+            return;
+        }
+        if version < MIN_PROTOCOL_VERSION {
+            self.reject(conn, ProtocolError::UnsupportedVersion(version));
+            return;
+        }
+        if let Some(required) = self.config.auth_token.as_deref() {
+            // Constant-time compare; an absent token compares as empty
+            // (same timing as a wrong one).
+            let supplied = auth_token.as_deref().unwrap_or("");
+            if !constant_time_eq(required.as_bytes(), supplied.as_bytes()) {
+                self.shared
+                    .counters
+                    .auth_failures
+                    .fetch_add(1, Ordering::Relaxed);
+                conn.pipeline.push_back(Item::Deny {
+                    code: ErrorCode::Unauthorized,
+                    message: "invalid auth token".into(),
+                });
+                conn.poisoned = true;
+                conn.read_deadline = None;
                 return;
             }
-            if version < MIN_PROTOCOL_VERSION {
-                fail(
-                    shared,
-                    &mut writer,
-                    &ProtocolError::UnsupportedVersion(version),
-                );
-                return;
-            }
-            if let Some(required) = config.auth_token.as_deref() {
-                // Constant-time compare; an absent token compares as empty
-                // (same timing as a wrong one).
-                let supplied = auth_token.as_deref().unwrap_or("");
-                if !constant_time_eq(required.as_bytes(), supplied.as_bytes()) {
-                    shared
-                        .counters
-                        .auth_failures
-                        .fetch_add(1, Ordering::Relaxed);
-                    let _ = write_frame(
-                        &mut writer,
-                        &Frame::Error {
-                            code: ErrorCode::Unauthorized,
-                            message: "invalid auth token".into(),
-                        },
-                    );
-                    let _ = writer.flush();
+        }
+        // Resolve the session shape: client hints can shrink, never grow,
+        // the server-side bounds (the engine's credit bound is the
+        // protocol's credit bound — one resident engine batch per credit).
+        let server_batch = if self.config.session.batch_records > 0 {
+            self.config.session.batch_records
+        } else {
+            self.engine.config().batch_records
+        };
+        let server_credit = if self.config.session.max_in_flight > 0 {
+            self.config.session.max_in_flight
+        } else {
+            self.engine.config().effective_session_in_flight()
+        };
+        let batch = match batch_records as usize {
+            0 => server_batch,
+            requested => requested.min(server_batch.max(1)),
+        };
+        // The engine clamps session credits at MAX_SESSION_IN_FLIGHT (the
+        // result channel is pre-sized to the credit); announce the clamped
+        // value so the client's window matches the session's real bound.
+        let credits = match max_in_flight as usize {
+            0 => server_credit,
+            requested => requested.clamp(1, server_credit),
+        }
+        .min(metacache::serving::MAX_SESSION_IN_FLIGHT);
+        // The delivery notifier re-enters the loop through the wakeup
+        // pipe: it runs on engine worker threads after each batch lands in
+        // the session's channel.
+        let token = conn.token;
+        let shared = Arc::clone(&self.shared);
+        let notify: Arc<dyn Fn() + Send + Sync> = Arc::new(move || {
+            shared
+                .completions
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(token);
+            shared.waker.wake();
+        });
+        conn.session = Some(self.engine.session_with_notify(
+            SessionConfig {
+                batch_records: batch,
+                max_in_flight: credits,
+                class: self.config.session.class,
+            },
+            notify,
+        ));
+        // The connection speaks min(client, server): a v1 peer gets a
+        // bit-identical v1 conversation, a v2 peer may send packed
+        // requests, and a future (higher-versioned) client is downgraded
+        // to our version instead of rejected.
+        conn.version = version.min(PROTOCOL_VERSION);
+        conn.phase = Phase::Open;
+        push_frame(
+            &mut conn.out,
+            &Frame::HelloAck {
+                version: conn.version,
+                // Saturate, never wrap: a server configured beyond u32
+                // range must announce u32::MAX, not a truncated credit.
+                credits: u32::try_from(credits).unwrap_or(u32::MAX),
+                batch_records: u32::try_from(batch).unwrap_or(u32::MAX),
+                backend: self.engine.backend_name().to_string(),
+            },
+        );
+    }
+
+    fn handle_frame(&mut self, conn: &mut Conn<'e>, tag: u8, span: Range<usize>) {
+        match tag {
+            t if t == frame_type::CLASSIFY || t == frame_type::CLASSIFY_PACKED => {
+                if t == frame_type::CLASSIFY_PACKED && conn.version < PACKED_MIN_VERSION {
+                    // A v1 peer must not smuggle in v2 frames.
+                    self.reject(conn, ProtocolError::UnknownFrameType(t));
                     return;
                 }
+                let mut reads = conn.pool.pop().unwrap_or_default();
+                match decode_classify_into(t, &conn.rbuf[span], &mut reads) {
+                    Ok(request_id) => {
+                        if conn.last_request_id.is_some_and(|last| request_id <= last) {
+                            recycle_into(&mut conn.pool, self.pool_cap, reads);
+                            self.reject(
+                                conn,
+                                ProtocolError::Malformed("request ids must increase"),
+                            );
+                            return;
+                        }
+                        conn.last_request_id = Some(request_id);
+                        let read_count = reads.len() as u64;
+                        let batch = conn
+                            .session
+                            .as_ref()
+                            .expect("session exists after handshake")
+                            .batch_records()
+                            .max(1);
+                        let total_batches = reads.len().div_ceil(batch);
+                        let pending = if reads.is_empty() {
+                            recycle_into(&mut conn.pool, self.pool_cap, reads);
+                            None
+                        } else if total_batches == 1 {
+                            Some(Pending::Whole(reads))
+                        } else {
+                            Some(Pending::Chunks(reads.into_iter()))
+                        };
+                        conn.pipeline
+                            .push_back(Item::Classify(Box::new(ClassifyReq {
+                                request_id,
+                                read_count,
+                                admitted: false,
+                                total_batches,
+                                completed: 0,
+                                failed: false,
+                                pending,
+                                stashed: None,
+                                classifications: Vec::new(),
+                            })));
+                    }
+                    Err(e) => self.reject(conn, e),
+                }
             }
-            (batch_records, max_in_flight, version)
-        }
-        Ok(Some(_)) => {
-            fail(
-                shared,
-                &mut writer,
-                &ProtocolError::Malformed("expected Hello"),
-            );
-            return;
-        }
-        Ok(None) => return, // probe connection; nothing to do
-        Err(NetError::Protocol(e)) => {
-            fail(shared, &mut writer, &e);
-            return;
-        }
-        Err(NetError::Io(e)) if e.kind() == io::ErrorKind::TimedOut => {
-            shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-            let _ = write_frame(
-                &mut writer,
-                &Frame::Error {
-                    code: ErrorCode::TimedOut,
-                    message: "handshake deadline elapsed".into(),
-                },
-            );
-            let _ = writer.flush();
-            return;
-        }
-        Err(_) => return,
-    };
-
-    // Resolve the session shape: client hints can shrink, never grow, the
-    // server-side bounds (the engine's credit bound is the protocol's credit
-    // bound — one resident engine batch per credit).
-    let server_batch = if config.session.batch_records > 0 {
-        config.session.batch_records
-    } else {
-        engine.config().batch_records
-    };
-    let server_credit = if config.session.max_in_flight > 0 {
-        config.session.max_in_flight
-    } else {
-        engine.config().effective_session_in_flight()
-    };
-    let batch_records = match hello.0 as usize {
-        0 => server_batch,
-        requested => requested.min(server_batch.max(1)),
-    };
-    // The engine clamps session credits at MAX_SESSION_IN_FLIGHT (the
-    // result channel is pre-sized to the credit); announce the clamped
-    // value so the client's window matches the session's real bound.
-    let credits = match hello.1 as usize {
-        0 => server_credit,
-        requested => requested.clamp(1, server_credit),
-    }
-    .min(metacache::serving::MAX_SESSION_IN_FLIGHT);
-    // The connection speaks min(client, server): a v1 peer gets a
-    // bit-identical v1 conversation, a v2 peer may send packed requests,
-    // and a future (higher-versioned) client is downgraded to our version
-    // instead of rejected — each side already accepts any ack at or below
-    // what it announced.
-    let version = hello.2.min(PROTOCOL_VERSION);
-    let mut session = engine.session_with(SessionConfig {
-        batch_records,
-        max_in_flight: credits,
-    });
-    if write_frame(
-        &mut writer,
-        &Frame::HelloAck {
-            version,
-            // Saturate, never wrap: a server configured beyond u32 range
-            // must announce u32::MAX, not a tiny truncated credit.
-            credits: u32::try_from(credits).unwrap_or(u32::MAX),
-            batch_records: u32::try_from(batch_records).unwrap_or(u32::MAX),
-            backend: engine.backend_name().to_string(),
-        },
-    )
-    .is_err()
-        || writer.flush().is_err()
-    {
-        return;
-    }
-
-    // --- Request loop ----------------------------------------------------
-    // Decoded requests ride in record vectors recycled through `pool`: the
-    // reader refills a vector the writer's last classify handed back (the
-    // engine returns owned records after classification), so the steady
-    // state of a connection decodes and classifies without allocating — no
-    // intermediate `Vec<SequenceRecord>` copy anywhere on the hot path.
-    let pool: Mutex<Vec<Vec<SequenceRecord>>> = Mutex::new(Vec::new());
-    let (tx, rx) = mpsc::sync_channel::<ConnEvent>(config.pending_requests.max(1));
-    std::thread::scope(|conn_scope| {
-        let pool_ref = &pool;
-        let idle_timeout = config.idle_timeout;
-        let read_timeout = config.read_timeout;
-        conn_scope.spawn(move || {
-            read_loop(
-                &mut reader,
-                tx,
-                pool_ref,
-                version,
-                idle_timeout,
-                read_timeout,
-            )
-        });
-
-        let mut last_request_id: Option<u64> = None;
-        let mut served_any = false;
-        let mut classifications: Vec<Classification> = Vec::new();
-        let mut results_frame: Vec<u8> = Vec::new();
-        // Candidates requests are answered on this thread with a lazily
-        // built classifier over the engine's database rather than through
-        // the engine queue: the engine pipeline is typed to final
-        // classifications, and the scatter leg needs per-read candidate
-        // lists. The trade-off — candidate work is not counted against the
-        // engine's fair queue — is bounded by the same credit window and
-        // the global in-flight record gauge as classify requests.
-        let mut candidate_state: Option<(Classifier<&Database>, QueryScratch)> = None;
-        let mut candidate_lists: Vec<Vec<Candidate>> = Vec::new();
-        let close = |writer: &mut BufWriter<TcpStream>| {
-            // Unblock the reader if it is still mid-read (writer-side exit).
-            let _ = writer.get_ref().shutdown(Shutdown::Both);
-        };
-        for event in rx {
-            match event {
-                ConnEvent::Request { request_id, reads } => {
-                    if last_request_id.is_some_and(|last| request_id <= last) {
-                        fail(
-                            shared,
-                            &mut writer,
-                            &ProtocolError::Malformed("request ids must increase"),
-                        );
-                        close(&mut writer);
-                        break;
-                    }
-                    last_request_id = Some(request_id);
-                    let read_count = reads.len() as u64;
-                    // Reserve the records in the global in-flight gauge, then
-                    // decide whether to shed. Only v3 peers can be shed — a
-                    // request-level Busy is this request's (in-order) answer;
-                    // v1/v2 peers have no shed vocabulary and keep the legacy
-                    // blocking backpressure.
-                    let inflight = shared
-                        .inflight_records
-                        .fetch_add(read_count, Ordering::Relaxed)
-                        + read_count;
-                    // Shedding is opt-in: with the cap unset every client
-                    // keeps the legacy blocking backpressure — a plain v3
-                    // client on a default-config server must never see Busy.
-                    let shed = version >= LIVENESS_MIN_VERSION
-                        && config.max_inflight_records > 0
-                        && (inflight > config.max_inflight_records as u64
-                            // High-water admission: a brand-new stream is
-                            // refused while the fair queue is saturated, so a
-                            // flood of fresh sessions cannot starve the
-                            // established ones (which are exempt).
-                            || (!served_any && session.over_high_water()));
-                    if shed {
-                        shared
-                            .inflight_records
-                            .fetch_sub(read_count, Ordering::Relaxed);
-                        shared
-                            .counters
-                            .shed_requests
-                            .fetch_add(1, Ordering::Relaxed);
-                        recycle(&pool, config, reads);
-                        let ok = write_frame(
-                            &mut writer,
-                            &Frame::Busy {
-                                request_id,
-                                retry_after_ms: config.retry_after_ms,
-                            },
-                        )
-                        .is_ok()
-                            && writer.flush().is_ok();
-                        if !ok {
-                            close(&mut writer);
-                            break;
+            t if t == frame_type::CANDIDATES => {
+                if conn.version < CANDIDATES_MIN_VERSION {
+                    // A pre-v4 peer must not smuggle in v4 frames.
+                    self.reject(conn, ProtocolError::UnknownFrameType(t));
+                    return;
+                }
+                let mut reads = conn.pool.pop().unwrap_or_default();
+                match decode_classify_into(t, &conn.rbuf[span], &mut reads) {
+                    Ok(request_id) => {
+                        if conn.last_request_id.is_some_and(|last| request_id <= last) {
+                            recycle_into(&mut conn.pool, self.pool_cap, reads);
+                            self.reject(
+                                conn,
+                                ProtocolError::Malformed("request ids must increase"),
+                            );
+                            return;
                         }
-                        continue;
+                        conn.last_request_id = Some(request_id);
+                        if self.engine.database().partition_count() == 0 {
+                            // A metadata-only database (a router fronting
+                            // this very protocol) has no local table to
+                            // query; answering with empty lists would
+                            // silently corrupt a two-level scatter, so
+                            // refuse the frame type.
+                            recycle_into(&mut conn.pool, self.pool_cap, reads);
+                            self.reject(
+                                conn,
+                                ProtocolError::UnknownFrameType(frame_type::CANDIDATES),
+                            );
+                            return;
+                        }
+                        let read_count = reads.len() as u64;
+                        conn.pipeline.push_back(Item::Candidates(Box::new(CandReq {
+                            request_id,
+                            read_count,
+                            admitted: false,
+                            reads: Some(reads),
+                            done: None,
+                        })));
                     }
-                    classifications.clear();
-                    // A backend worker panic re-raises in the owning session
-                    // only; turn it into an error frame instead of a torn
-                    // connection without a goodbye.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        session.classify_owned(reads, &mut classifications)
-                    }));
-                    shared
-                        .inflight_records
-                        .fetch_sub(read_count, Ordering::Relaxed);
-                    served_any = true;
-                    match outcome {
-                        Ok(recycled) => {
-                            recycle(&pool, config, recycled);
-                            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-                            shared
+                    Err(e) => self.reject(conn, e),
+                }
+            }
+            t if t == frame_type::PING => {
+                if conn.version < LIVENESS_MIN_VERSION {
+                    // A pre-v3 peer must not smuggle in v3 frames.
+                    self.reject(conn, ProtocolError::UnknownFrameType(t));
+                    return;
+                }
+                match Frame::decode(t, &conn.rbuf[span]) {
+                    Ok(Frame::Ping { nonce }) => conn.pipeline.push_back(Item::Ping { nonce }),
+                    Ok(_) => unreachable!("PING tag decodes to Frame::Ping"),
+                    Err(e) => self.reject(conn, e),
+                }
+            }
+            t if t == frame_type::GOODBYE && span.is_empty() => {
+                // Clean end of stream: stop reading, discard anything the
+                // peer pipelined after its goodbye, serve what is queued.
+                conn.close_read();
+                conn.poisoned = true;
+            }
+            t => {
+                // Control frames and garbage: decode only to classify the
+                // failure precisely (unknown tag, trailing bytes, …).
+                let error = match Frame::decode(t, &conn.rbuf[span]) {
+                    Ok(_) => ProtocolError::Malformed("unexpected frame after handshake"),
+                    Err(e) => e,
+                };
+                self.reject(conn, error);
+            }
+        }
+    }
+
+    // --- dispatch -------------------------------------------------------
+
+    /// Admit and dispatch decoded requests in pipeline order: classify
+    /// batches go to the engine session (as many as credits and queue
+    /// space allow — consecutive requests overlap), candidates requests go
+    /// to the pool. Stops at the first submission-blocked item so engine
+    /// submission order always matches request order.
+    fn pump_submit(&mut self, token: u64, conn: &mut Conn<'e>) -> bool {
+        if conn.dead || conn.closing || conn.session.is_none() {
+            return false;
+        }
+        let cap = self.config.max_inflight_records as u64;
+        let mut progress = false;
+        let mut idx = 0;
+        while let Some(item) = conn.pipeline.get_mut(idx) {
+            match item {
+                Item::Classify(req) => {
+                    if !req.admitted {
+                        // Reserve the records in the global gauge, then
+                        // decide whether to shed. Only v3 peers can be shed
+                        // — a request-level Busy is this request's
+                        // (in-order) answer; v1/v2 peers have no shed
+                        // vocabulary and keep blocking backpressure.
+                        let rc = req.read_count;
+                        let inflight = self
+                            .shared
+                            .inflight_records
+                            .fetch_add(rc, Ordering::Relaxed)
+                            + rc;
+                        let shed = conn.version >= LIVENESS_MIN_VERSION
+                            && cap > 0
+                            && (inflight > cap
+                                // High-water admission: a brand-new stream
+                                // is refused while the fair queue is
+                                // saturated, so a flood of fresh sessions
+                                // cannot starve established ones (exempt).
+                                || (!conn.served_any
+                                    && conn
+                                        .session
+                                        .as_ref()
+                                        .expect("session exists")
+                                        .over_high_water()));
+                        if shed {
+                            self.shared
+                                .inflight_records
+                                .fetch_sub(rc, Ordering::Relaxed);
+                            self.shared
                                 .counters
-                                .reads
-                                .fetch_add(read_count, Ordering::Relaxed);
-                            let ok = encode_results_into(
-                                &mut results_frame,
-                                request_id,
-                                &classifications,
-                            )
-                            .is_ok()
-                                && writer.write_all(&results_frame).is_ok()
-                                && writer.flush().is_ok();
-                            if !ok {
-                                // Client went away; drop the connection. The
-                                // session's drop discards its in-flight work.
-                                close(&mut writer);
-                                break;
+                                .shed_requests
+                                .fetch_add(1, Ordering::Relaxed);
+                            let request_id = req.request_id;
+                            match req.pending.take() {
+                                Some(Pending::Whole(v)) => {
+                                    recycle_into(&mut conn.pool, self.pool_cap, v)
+                                }
+                                Some(Pending::Chunks(it)) => {
+                                    recycle_into(&mut conn.pool, self.pool_cap, it.collect())
+                                }
+                                None => {}
+                            }
+                            *item = Item::Busy { request_id };
+                            progress = true;
+                            idx += 1;
+                            continue;
+                        }
+                        req.admitted = true;
+                        conn.gauge += rc;
+                        conn.served_any = true;
+                        progress = true;
+                    }
+                    if req.pending.is_some() || req.stashed.is_some() {
+                        let session = conn.session.as_mut().expect("session exists");
+                        let batch = session.batch_records().max(1);
+                        loop {
+                            let chunk = match req.stashed.take() {
+                                Some(chunk) => chunk,
+                                None => match next_chunk(&mut req.pending, batch) {
+                                    Some(chunk) => chunk,
+                                    None => break,
+                                },
+                            };
+                            match session.try_submit_owned(chunk) {
+                                Ok(()) => {
+                                    conn.submit_order.push_back(req.request_id);
+                                    progress = true;
+                                }
+                                Err(back) => {
+                                    // Out of credits or queue space: park
+                                    // until a drain or a queue-space wake,
+                                    // and stop the walk (order!).
+                                    req.stashed = Some(back);
+                                    self.space_waiters.insert(token);
+                                    return progress;
+                                }
                             }
                         }
-                        Err(_) => {
-                            shared
-                                .counters
-                                .internal_errors
-                                .fetch_add(1, Ordering::Relaxed);
-                            let _ = write_frame(
-                                &mut writer,
-                                &Frame::Error {
-                                    code: ErrorCode::Internal,
-                                    message: format!(
-                                        "classification failed for request {request_id}"
-                                    ),
-                                },
-                            );
-                            let _ = writer.flush();
-                            close(&mut writer);
-                            break;
-                        }
                     }
+                    idx += 1;
                 }
-                ConnEvent::Candidates { request_id, reads } => {
-                    if last_request_id.is_some_and(|last| request_id <= last) {
-                        fail(
-                            shared,
-                            &mut writer,
-                            &ProtocolError::Malformed("request ids must increase"),
-                        );
-                        close(&mut writer);
-                        break;
-                    }
-                    last_request_id = Some(request_id);
-                    if engine.database().partition_count() == 0 {
-                        // A metadata-only database (a router fronting this
-                        // very protocol) has no local table to query;
-                        // answering with empty lists would silently corrupt
-                        // a two-level scatter, so refuse the frame type.
-                        fail(
-                            shared,
-                            &mut writer,
-                            &ProtocolError::UnknownFrameType(frame_type::CANDIDATES),
-                        );
-                        close(&mut writer);
-                        break;
-                    }
-                    let read_count = reads.len() as u64;
-                    let inflight = shared
-                        .inflight_records
-                        .fetch_add(read_count, Ordering::Relaxed)
-                        + read_count;
-                    // Same shed policy as classify requests (candidates
-                    // require ≥ v4, so the peer always speaks Busy).
-                    let shed = config.max_inflight_records > 0
-                        && (inflight > config.max_inflight_records as u64
-                            || (!served_any && session.over_high_water()));
-                    if shed {
-                        shared
+                Item::Candidates(req) => {
+                    if !req.admitted {
+                        let rc = req.read_count;
+                        let inflight = self
+                            .shared
                             .inflight_records
-                            .fetch_sub(read_count, Ordering::Relaxed);
-                        shared
-                            .counters
-                            .shed_requests
-                            .fetch_add(1, Ordering::Relaxed);
-                        recycle(&pool, config, reads);
-                        let ok = write_frame(
-                            &mut writer,
-                            &Frame::Busy {
-                                request_id,
-                                retry_after_ms: config.retry_after_ms,
-                            },
-                        )
-                        .is_ok()
-                            && writer.flush().is_ok();
-                        if !ok {
-                            close(&mut writer);
-                            break;
+                            .fetch_add(rc, Ordering::Relaxed)
+                            + rc;
+                        // Same shed policy as classify requests (candidates
+                        // require ≥ v4, so the peer always speaks Busy).
+                        let shed = cap > 0
+                            && (inflight > cap
+                                || (!conn.served_any
+                                    && conn
+                                        .session
+                                        .as_ref()
+                                        .expect("session exists")
+                                        .over_high_water()));
+                        if shed {
+                            self.shared
+                                .inflight_records
+                                .fetch_sub(rc, Ordering::Relaxed);
+                            self.shared
+                                .counters
+                                .shed_requests
+                                .fetch_add(1, Ordering::Relaxed);
+                            let request_id = req.request_id;
+                            if let Some(reads) = req.reads.take() {
+                                recycle_into(&mut conn.pool, self.pool_cap, reads);
+                            }
+                            *item = Item::Busy { request_id };
+                            progress = true;
+                            idx += 1;
+                            continue;
                         }
-                        continue;
+                        req.admitted = true;
+                        conn.gauge += rc;
+                        conn.served_any = true;
+                        progress = true;
                     }
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        let (classifier, scratch) = candidate_state.get_or_insert_with(|| {
-                            (Classifier::new(engine.database()), QueryScratch::new())
+                    if let Some(reads) = req.reads.take() {
+                        self.jobs.push(CandJob {
+                            conn: conn.token,
+                            request_id: req.request_id,
+                            reads,
                         });
-                        for (i, read) in reads.iter().enumerate() {
-                            if candidate_lists.len() <= i {
-                                candidate_lists.push(Vec::new());
-                            }
-                            let list = classifier.candidates_with(read, scratch);
-                            candidate_lists[i].clear();
-                            candidate_lists[i].extend_from_slice(list.as_slice());
-                        }
-                        candidate_lists.truncate(reads.len());
-                    }));
-                    shared
-                        .inflight_records
-                        .fetch_sub(read_count, Ordering::Relaxed);
-                    served_any = true;
-                    recycle(&pool, config, reads);
-                    match outcome {
-                        Ok(()) => {
-                            shared.counters.requests.fetch_add(1, Ordering::Relaxed);
-                            shared
-                                .counters
-                                .reads
-                                .fetch_add(read_count, Ordering::Relaxed);
-                            let ok = encode_candidate_results_into(
-                                &mut results_frame,
-                                request_id,
-                                &candidate_lists,
-                            )
-                            .is_ok()
-                                && writer.write_all(&results_frame).is_ok()
-                                && writer.flush().is_ok();
-                            if !ok {
-                                close(&mut writer);
-                                break;
-                            }
-                        }
-                        Err(_) => {
-                            shared
-                                .counters
-                                .internal_errors
-                                .fetch_add(1, Ordering::Relaxed);
-                            let _ = write_frame(
-                                &mut writer,
-                                &Frame::Error {
-                                    code: ErrorCode::Internal,
-                                    message: format!(
-                                        "candidate query failed for request {request_id}"
-                                    ),
-                                },
-                            );
-                            let _ = writer.flush();
-                            close(&mut writer);
-                            break;
-                        }
+                        progress = true;
                     }
+                    idx += 1;
                 }
-                ConnEvent::Ping { nonce } => {
-                    let ok = write_frame(&mut writer, &Frame::Pong { nonce }).is_ok()
-                        && writer.flush().is_ok();
-                    if !ok {
-                        close(&mut writer);
-                        break;
-                    }
+                _ => idx += 1,
+            }
+        }
+        progress
+    }
+
+    /// Record a candidates result arriving from the pool.
+    fn apply_candidate_result(&mut self, conn: &mut Conn<'e>, result: CandDone) {
+        recycle_into(&mut conn.pool, self.pool_cap, result.reads);
+        let Some(req) = conn.pipeline.iter_mut().find_map(|item| match item {
+            Item::Candidates(r) if r.request_id == result.request_id => Some(r),
+            _ => None,
+        }) else {
+            return;
+        };
+        req.done = Some(result.lists);
+        if req.read_count > 0 {
+            conn.gauge -= req.read_count;
+            self.shared
+                .inflight_records
+                .fetch_sub(req.read_count, Ordering::Relaxed);
+        }
+    }
+
+    // --- emission -------------------------------------------------------
+
+    /// Encode completed responses from the front of the pipeline, strictly
+    /// in request order, into the outbound buffer.
+    fn pump_emit(&mut self, conn: &mut Conn<'e>) -> bool {
+        let mut progress = false;
+        while !conn.closing && !conn.dead {
+            let ready = match conn.pipeline.front() {
+                None => break,
+                Some(Item::Classify(r)) => {
+                    r.admitted
+                        && r.pending.is_none()
+                        && r.stashed.is_none()
+                        && r.completed == r.total_batches
                 }
-                ConnEvent::Bad(e) => {
-                    fail(shared, &mut writer, &e);
-                    close(&mut writer);
-                    break;
-                }
-                ConnEvent::TimedOut { idle } => {
-                    shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
-                    let _ = write_frame(
-                        &mut writer,
-                        &Frame::Error {
-                            code: ErrorCode::TimedOut,
-                            message: if idle {
-                                "idle timeout".into()
-                            } else {
-                                "frame read deadline elapsed".into()
+                Some(Item::Candidates(r)) => r.done.is_some(),
+                Some(Item::Ping { .. })
+                | Some(Item::Busy { .. })
+                | Some(Item::Fail(_))
+                | Some(Item::Deny { .. }) => true,
+            };
+            if !ready {
+                break;
+            }
+            let item = conn.pipeline.pop_front().expect("front checked above");
+            progress = true;
+            match item {
+                Item::Classify(req) => {
+                    if req.failed {
+                        // A backend worker panic is isolated to the owning
+                        // session; answer with an error frame instead of a
+                        // torn connection without a goodbye.
+                        self.shared
+                            .counters
+                            .internal_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        push_frame(
+                            &mut conn.out,
+                            &Frame::Error {
+                                code: ErrorCode::Internal,
+                                message: format!(
+                                    "classification failed for request {}",
+                                    req.request_id
+                                ),
                             },
+                        );
+                        conn.begin_close();
+                    } else {
+                        self.shared
+                            .counters
+                            .requests
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared
+                            .counters
+                            .reads
+                            .fetch_add(req.read_count, Ordering::Relaxed);
+                        if encode_results_into(
+                            &mut self.scratch,
+                            req.request_id,
+                            &req.classifications,
+                        )
+                        .is_ok()
+                        {
+                            conn.out.extend_from_slice(&self.scratch);
+                        } else {
+                            conn.dead = true;
+                        }
+                    }
+                }
+                Item::Candidates(req) => match req.done.expect("readiness checked") {
+                    Some(lists) => {
+                        self.shared
+                            .counters
+                            .requests
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.shared
+                            .counters
+                            .reads
+                            .fetch_add(req.read_count, Ordering::Relaxed);
+                        if encode_candidate_results_into(&mut self.scratch, req.request_id, &lists)
+                            .is_ok()
+                        {
+                            conn.out.extend_from_slice(&self.scratch);
+                        } else {
+                            conn.dead = true;
+                        }
+                    }
+                    None => {
+                        self.shared
+                            .counters
+                            .internal_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        push_frame(
+                            &mut conn.out,
+                            &Frame::Error {
+                                code: ErrorCode::Internal,
+                                message: format!(
+                                    "candidate query failed for request {}",
+                                    req.request_id
+                                ),
+                            },
+                        );
+                        conn.begin_close();
+                    }
+                },
+                Item::Ping { nonce } => push_frame(&mut conn.out, &Frame::Pong { nonce }),
+                Item::Busy { request_id } => push_frame(
+                    &mut conn.out,
+                    &Frame::Busy {
+                        request_id,
+                        retry_after_ms: self.config.retry_after_ms,
+                    },
+                ),
+                Item::Fail(error) => {
+                    self.shared
+                        .counters
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    push_frame(
+                        &mut conn.out,
+                        &Frame::Error {
+                            code: error.code(),
+                            message: error.to_string(),
                         },
                     );
-                    let _ = writer.flush();
-                    close(&mut writer);
+                    conn.begin_close();
+                }
+                Item::Deny { code, message } => {
+                    push_frame(&mut conn.out, &Frame::Error { code, message });
+                    conn.begin_close();
+                }
+            }
+        }
+        progress
+    }
+
+    // --- write ----------------------------------------------------------
+
+    fn pump_write(&mut self, conn: &mut Conn<'e>) -> bool {
+        if conn.dead || conn.out.len() == conn.ooff {
+            return false;
+        }
+        if conn.write_deadline.is_none() {
+            if let Some(window) = conn.write_window {
+                conn.write_deadline = Some(Instant::now() + window);
+            }
+        }
+        let mut progress = false;
+        loop {
+            match conn.stream.write(&conn.out[conn.ooff..]) {
+                Ok(0) => {
+                    conn.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    progress = true;
+                    conn.ooff += n;
+                    if conn.ooff == conn.out.len() {
+                        conn.out.clear();
+                        conn.ooff = 0;
+                        conn.write_deadline = None;
+                        break;
+                    }
+                    // Progress re-arms the stall window: the deadline
+                    // bounds time without a single flushed byte.
+                    if let Some(window) = conn.write_window {
+                        conn.write_deadline = Some(Instant::now() + window);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
                     break;
                 }
             }
         }
-        // Reader exits on EOF/error once the socket is closed or drained;
-        // the scope joins it.
-    });
-    drop(session);
+        // A drained buffer that ballooned (one huge response) should not
+        // stay pinned for the connection's lifetime.
+        if conn.out.is_empty() && conn.out.capacity() > MAX_POOLED_BYTES {
+            conn.out.shrink_to(READ_CHUNK);
+        }
+        progress
+    }
+
+    // --- readiness + timers ---------------------------------------------
+
+    fn refresh_registration(&mut self, token: u64, conn: &mut Conn<'e>) {
+        if conn.dead {
+            return;
+        }
+        let want_read = !conn.read_closed && !conn.poisoned && !conn.closing && !self.gate(conn);
+        let want_write = conn.out.len() > conn.ooff;
+        let interest = Interest {
+            readable: want_read,
+            writable: want_write,
+        };
+        if interest != conn.interest {
+            if self
+                .poller
+                .reregister(conn.stream.as_raw_fd(), token, interest)
+                .is_err()
+            {
+                conn.dead = true;
+                return;
+            }
+            conn.interest = interest;
+        }
+    }
+
+    fn refresh_timers(&mut self, token: u64, conn: &mut Conn<'e>) {
+        if conn.dead {
+            return;
+        }
+        let earliest = match (conn.read_deadline, conn.write_deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, b) => b,
+        };
+        if let Some(at) = earliest {
+            if conn.timer_at.is_none_or(|scheduled| at < scheduled) {
+                self.timers.schedule(at, token);
+                conn.timer_at = Some(at);
+            }
+        }
+    }
+
+    /// A timer entry popped for this connection: fire whichever real
+    /// deadlines are actually due (lazy cancellation skips stale entries).
+    fn fire_deadlines(&mut self, conn: &mut Conn<'e>, now: Instant) {
+        if conn.write_deadline.is_some_and(|d| d <= now) {
+            // A stalled reader with an unflushed backlog: no error frame
+            // could reach it anyway — tear down and count the stall.
+            self.shared
+                .counters
+                .write_stalls
+                .fetch_add(1, Ordering::Relaxed);
+            conn.dead = true;
+            return;
+        }
+        if conn.read_deadline.is_some_and(|d| d <= now) {
+            conn.read_deadline = None;
+            self.shared
+                .counters
+                .timeouts
+                .fetch_add(1, Ordering::Relaxed);
+            let message = match (conn.phase, conn.in_frame) {
+                (Phase::Handshake, _) => "handshake deadline elapsed",
+                (Phase::Open, true) => "frame read deadline elapsed",
+                (Phase::Open, false) => "idle timeout",
+            };
+            // The timeout answer is appended *behind* already-decoded
+            // requests: they still classify and answer first, exactly like
+            // the old reader→writer channel ordering.
+            conn.pipeline.push_back(Item::Deny {
+                code: ErrorCode::TimedOut,
+                message: message.into(),
+            });
+            conn.poisoned = true;
+            conn.rbuf.clear();
+            conn.roff = 0;
+        }
+    }
+}
+
+/// One nonblocking read into the reassembly buffer.
+enum ReadOutcome {
+    Data,
+    Eof,
+    WouldBlock,
+    Error,
+}
+
+fn read_chunk(stream: &mut TcpStream, rbuf: &mut Vec<u8>) -> ReadOutcome {
+    let old = rbuf.len();
+    rbuf.resize(old + READ_CHUNK, 0);
+    loop {
+        match stream.read(&mut rbuf[old..]) {
+            Ok(0) => {
+                rbuf.truncate(old);
+                return ReadOutcome::Eof;
+            }
+            Ok(n) => {
+                rbuf.truncate(old + n);
+                return ReadOutcome::Data;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                rbuf.truncate(old);
+                return ReadOutcome::WouldBlock;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                rbuf.truncate(old);
+                return ReadOutcome::Error;
+            }
+        }
+    }
+}
+
+/// Take the next engine batch off a request's undispatched reads.
+fn next_chunk(pending: &mut Option<Pending>, batch: usize) -> Option<Vec<SequenceRecord>> {
+    match pending.take() {
+        None => None,
+        Some(Pending::Whole(records)) => Some(records),
+        Some(Pending::Chunks(mut iter)) => {
+            let chunk: Vec<SequenceRecord> = iter.by_ref().take(batch).collect();
+            if iter.len() > 0 {
+                *pending = Some(Pending::Chunks(iter));
+            }
+            if chunk.is_empty() {
+                None
+            } else {
+                Some(chunk)
+            }
+        }
+    }
+}
+
+/// Encode a control frame straight into a connection's outbound buffer
+/// (writes into a `Vec` cannot fail; the server's control frames always
+/// encode).
+fn push_frame(out: &mut Vec<u8>, frame: &Frame) {
+    let _ = write_frame(out, frame);
 }
 
 /// Heap bytes a pooled record vector would keep alive: the spine plus every
@@ -1048,146 +1857,70 @@ const MAX_POOLED_BYTES: usize = 8 * 1024 * 1024;
 /// Hand a drained record vector back to the connection's reuse pool,
 /// bounding both the entry count and the retained bytes so a one-off giant
 /// request cannot pin its buffers forever.
-fn recycle(
-    pool: &Mutex<Vec<Vec<SequenceRecord>>>,
-    config: &ServerConfig,
-    records: Vec<SequenceRecord>,
-) {
+fn recycle_into(pool: &mut Vec<Vec<SequenceRecord>>, cap: usize, records: Vec<SequenceRecord>) {
     if retained_bytes(&records) > MAX_POOLED_BYTES {
         return;
     }
-    let mut pool = pool.lock().unwrap_or_else(|e| e.into_inner());
-    if pool.len() <= config.pending_requests.max(1) {
+    if pool.len() < cap {
         pool.push(records);
     }
 }
 
-/// The connection's reader: decode frames into requests until EOF, goodbye,
-/// or undecodable input. Frame payloads land in one reusable buffer and
-/// `Classify` / `ClassifyPacked` requests decode straight into recycled
-/// record vectors from `pool`.
-fn read_loop(
-    reader: &mut DeadlineReader,
-    tx: mpsc::SyncSender<ConnEvent>,
-    pool: &Mutex<Vec<Vec<SequenceRecord>>>,
-    version: u16,
-    idle_timeout: Option<Duration>,
-    read_timeout: Option<Duration>,
+/// A candidate-pool worker: owns one warm classifier + scratch over the
+/// engine's database and answers `Candidates` requests off the job queue.
+/// The pool is lazily spawned and capped at the engine's worker count, so
+/// server thread count stays O(workers).
+fn candidate_worker(
+    engine: &ServingEngine,
+    jobs: Arc<Mutex<mpsc::Receiver<CandJob>>>,
+    done: mpsc::Sender<CandDone>,
+    waker: Waker,
 ) {
-    let mut payload: Vec<u8> = Vec::new();
+    let mut classifier = Classifier::new(engine.database());
+    let mut scratch = QueryScratch::new();
     loop {
-        // Every frame opens a fresh window: `idle_timeout` to first byte,
-        // then the whole frame within `read_timeout`. Any frame (a Ping
-        // included) resets the idle clock.
-        reader.arm(idle_timeout, read_timeout);
-        match read_frame_buf(reader, &mut payload) {
-            Ok(Some(tag)) if tag == frame_type::CLASSIFY || tag == frame_type::CLASSIFY_PACKED => {
-                if tag == frame_type::CLASSIFY_PACKED && version < PACKED_MIN_VERSION {
-                    // A v1 peer must not smuggle in v2 frames.
-                    let _ = tx.send(ConnEvent::Bad(ProtocolError::UnknownFrameType(tag)));
-                    return;
-                }
-                let mut reads = pool
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .pop()
-                    .unwrap_or_default();
-                match decode_classify_into(tag, &payload, &mut reads) {
-                    Ok(request_id) => {
-                        if tx.send(ConnEvent::Request { request_id, reads }).is_err() {
-                            return; // writer side is gone
-                        }
-                    }
-                    Err(e) => {
-                        let _ = tx.send(ConnEvent::Bad(e));
-                        return;
-                    }
-                }
+        let job = jobs.lock().unwrap_or_else(|e| e.into_inner()).recv();
+        let Ok(CandJob {
+            conn,
+            request_id,
+            reads,
+        }) = job
+        else {
+            break;
+        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut lists: Vec<Vec<Candidate>> = Vec::with_capacity(reads.len());
+            for read in &reads {
+                lists.push(
+                    classifier
+                        .candidates_with(read, &mut scratch)
+                        .as_slice()
+                        .to_vec(),
+                );
             }
-            Ok(Some(tag)) if tag == frame_type::CANDIDATES => {
-                if version < CANDIDATES_MIN_VERSION {
-                    // A pre-v4 peer must not smuggle in v4 frames.
-                    let _ = tx.send(ConnEvent::Bad(ProtocolError::UnknownFrameType(tag)));
-                    return;
-                }
-                let mut reads = pool
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .pop()
-                    .unwrap_or_default();
-                match decode_classify_into(tag, &payload, &mut reads) {
-                    Ok(request_id) => {
-                        if tx
-                            .send(ConnEvent::Candidates { request_id, reads })
-                            .is_err()
-                        {
-                            return; // writer side is gone
-                        }
-                    }
-                    Err(e) => {
-                        let _ = tx.send(ConnEvent::Bad(e));
-                        return;
-                    }
-                }
+            lists
+        }));
+        let lists = match outcome {
+            Ok(lists) => Some(lists),
+            Err(_) => {
+                // The scratch may be mid-mutation after a panic: rebuild
+                // both so the worker stays healthy for the next request.
+                classifier = Classifier::new(engine.database());
+                scratch = QueryScratch::new();
+                None
             }
-            Ok(Some(tag)) if tag == frame_type::PING => {
-                if version < LIVENESS_MIN_VERSION {
-                    // A pre-v3 peer must not smuggle in v3 frames.
-                    let _ = tx.send(ConnEvent::Bad(ProtocolError::UnknownFrameType(tag)));
-                    return;
-                }
-                match Frame::decode(tag, &payload) {
-                    Ok(Frame::Ping { nonce }) => {
-                        if tx.send(ConnEvent::Ping { nonce }).is_err() {
-                            return; // writer side is gone
-                        }
-                    }
-                    Ok(_) => unreachable!("PING tag decodes to Frame::Ping"),
-                    Err(e) => {
-                        let _ = tx.send(ConnEvent::Bad(e));
-                        return;
-                    }
-                }
-            }
-            Ok(Some(tag)) if tag == frame_type::GOODBYE && payload.is_empty() => return,
-            Ok(None) => return, // clean end of stream
-            Ok(Some(tag)) => {
-                // Control frames and garbage: decode only to classify the
-                // failure precisely (unknown tag, trailing bytes, …).
-                let error = match Frame::decode(tag, &payload) {
-                    Ok(_) => ProtocolError::Malformed("unexpected frame after handshake"),
-                    Err(e) => e,
-                };
-                let _ = tx.send(ConnEvent::Bad(error));
-                return;
-            }
-            Err(NetError::Protocol(e)) => {
-                let _ = tx.send(ConnEvent::Bad(e));
-                return;
-            }
-            Err(NetError::Io(e)) if e.kind() == io::ErrorKind::TimedOut => {
-                let _ = tx.send(ConnEvent::TimedOut {
-                    idle: reader.timed_out_idle(),
-                });
-                return;
-            }
-            Err(_) => return, // disconnect / reset: nothing to report to
+        };
+        if done
+            .send(CandDone {
+                conn,
+                request_id,
+                reads,
+                lists,
+            })
+            .is_err()
+        {
+            break;
         }
+        waker.wake();
     }
-}
-
-/// Report a protocol failure with an error frame and count it.
-fn fail(shared: &Shared, writer: &mut BufWriter<TcpStream>, error: &ProtocolError) {
-    shared
-        .counters
-        .protocol_errors
-        .fetch_add(1, Ordering::Relaxed);
-    let _ = write_frame(
-        writer,
-        &Frame::Error {
-            code: error.code(),
-            message: error.to_string(),
-        },
-    );
-    let _ = writer.flush();
 }

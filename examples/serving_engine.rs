@@ -57,6 +57,7 @@ fn main() {
             queue_capacity: 4,
             batch_records: 64,
             session_max_in_flight: 0,
+            ..EngineConfig::default()
         },
     );
     println!(

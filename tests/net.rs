@@ -119,6 +119,7 @@ fn test_engine(db: Arc<Database>) -> ServingEngine {
             queue_capacity: 4,
             batch_records: 8,
             session_max_in_flight: 0,
+            ..EngineConfig::default()
         },
     )
 }
@@ -689,6 +690,7 @@ fn oversized_server_limits_saturate_in_handshake() {
                 // Would wrap to 2 and 5 under `as u32`.
                 batch_records: (u32::MAX as usize) + 3,
                 max_in_flight: (u32::MAX as usize) + 6,
+                ..metacache::serving::SessionConfig::default()
             },
             ..ServerConfig::default()
         },
@@ -830,6 +832,7 @@ fn routed_scatter_gather_matches_unsharded() {
             queue_capacity: 4,
             batch_records: 8,
             session_max_in_flight: 4,
+            ..EngineConfig::default()
         },
     );
     let router_server = NetServer::bind(&router_engine, "127.0.0.1:0").unwrap();

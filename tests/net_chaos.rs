@@ -84,6 +84,7 @@ fn test_engine(db: Arc<Database>) -> ServingEngine {
             queue_capacity: 4,
             batch_records: 8,
             session_max_in_flight: 0,
+            ..EngineConfig::default()
         },
     )
 }
@@ -774,6 +775,7 @@ fn routed_chaos_leg_retries_to_bit_identical_convergence() {
             queue_capacity: 4,
             batch_records: 8,
             session_max_in_flight: 0,
+            ..EngineConfig::default()
         },
     );
     let router_server = NetServer::bind_with(&router_engine, "127.0.0.1:0", fast_config()).unwrap();
@@ -882,6 +884,7 @@ fn dead_shard_leg_surfaces_typed_error_without_corrupting_healthy_leg() {
             queue_capacity: 4,
             batch_records: 8,
             session_max_in_flight: 0,
+            ..EngineConfig::default()
         },
     );
     let router_server = NetServer::bind_with(&router_engine, "127.0.0.1:0", fast_config()).unwrap();
@@ -961,4 +964,178 @@ fn dead_shard_leg_surfaces_typed_error_without_corrupting_healthy_leg() {
     for engine in shard_engines {
         engine.shutdown();
     }
+}
+
+/// Satellite: slow-reader backpressure. A peer that pipelines requests but
+/// never reads its results must be bounded on every axis: the server's
+/// outbound buffer stops growing at the high-water mark (the loop stops
+/// reading — and admitting — more of its requests, withholding the
+/// session's engine credits), the write-stall deadline tears the peer down
+/// in bounded time, and a healthy concurrent client classifies untouched
+/// throughout.
+#[test]
+fn stalled_reader_is_bounded_and_torn_down_without_collateral() {
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    let healthy_reads = genome_reads(30, 91);
+    let expected = Classifier::new(Arc::clone(&db)).classify_batch(&healthy_reads);
+
+    let config = ServerConfig {
+        // Small pinned kernel buffers + a low high-water mark so the
+        // backlog builds (and the gate engages) within test time.
+        send_buffer: 8 * 1024,
+        outbound_high_water: 16 * 1024,
+        write_timeout: Some(Duration::from_millis(700)),
+        ..ServerConfig::default()
+    };
+    let server = NetServer::bind_with(&engine, "127.0.0.1:0", config).unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    // 40 pipelined requests x 500 reads: ~280 KiB of encoded results, far
+    // past what the high-water mark plus both kernel buffers can absorb —
+    // the gate must engage long before the tail of the burst is parsed.
+    let victim_reads = genome_reads(500, 17);
+    let total_reads = 40 * victim_reads.len() as u64;
+
+    let server_stats = std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        let _guard = ShutdownOnDrop(handle.clone());
+
+        let victim = TcpStream::connect(addr).unwrap();
+        // Shrink the victim's receive window too, so unread results pile
+        // up server-side instead of in a roomy client-side kernel buffer.
+        let _ = mc_net::poll::set_recv_buffer(&victim, 8 * 1024);
+        let victim_reads = &victim_reads;
+        let writer = scope.spawn(move || {
+            let mut victim = victim;
+            victim.write_all(&hello_bytes()).unwrap();
+            protocol::read_frame(&mut victim).unwrap().unwrap();
+            for id in 1..=40u64 {
+                let frame = Frame::Classify {
+                    request_id: id,
+                    reads: victim_reads.clone(),
+                }
+                .encode()
+                .unwrap();
+                // The server stops reading once gated; later writes may
+                // block until the write-stall teardown resets them.
+                if victim.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+            // Never read a byte; park until the server tears us down.
+            victim
+        });
+
+        // While the victim is stalled, a healthy client is unaffected.
+        let mut healthy = NetClient::connect(addr).unwrap();
+        assert_eq!(healthy.classify_batch(&healthy_reads).unwrap(), expected);
+        drop(healthy);
+
+        // The stall deadline must reclaim the victim's session without any
+        // help from the peer.
+        assert!(
+            wait_until(|| engine.live_sessions() == 0, Duration::from_secs(10)),
+            "stalled reader's session was not reclaimed"
+        );
+        drop(writer.join().unwrap());
+        handle.shutdown();
+        runner.join().unwrap().unwrap()
+    });
+    assert!(
+        server_stats.write_stalls >= 1,
+        "the stalled reader must be counted as a write stall: {server_stats:?}"
+    );
+    assert!(
+        server_stats.reads < total_reads,
+        "backpressure never engaged: all {total_reads} stalled reads were served"
+    );
+    engine.shutdown();
+}
+
+/// Satellite: cross-request pipelining is bit-identical and correctly
+/// delimited. N classify requests (of varying sizes, an empty one and an
+/// interleaved Ping among them) written back-to-back in a single burst on
+/// one connection come back as exactly one in-order response per request,
+/// each carrying precisely its own reads' classifications — equal to the
+/// in-process classifier's.
+#[test]
+fn pipelined_requests_return_bit_identical_per_request_results() {
+    let (db, _) = shared_database();
+    let engine = test_engine(Arc::clone(&db));
+    let server = NetServer::bind(&engine, "127.0.0.1:0").unwrap();
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    let all_reads = genome_reads(120, 7);
+    let classifier = Classifier::new(Arc::clone(&db));
+    // Uneven request sizes (including one empty request) so any
+    // misdelimited boundary shifts every later response.
+    let sizes = [5usize, 17, 1, 40, 0, 33, 2, 22];
+    assert_eq!(sizes.iter().sum::<usize>(), all_reads.len());
+
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        let _guard = ShutdownOnDrop(handle.clone());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&hello_bytes()).unwrap();
+        protocol::read_frame(&mut stream).unwrap().unwrap();
+
+        // One burst: all eight requests plus a Ping wedged mid-pipeline.
+        let mut burst = Vec::new();
+        let mut offset = 0;
+        for (i, &n) in sizes.iter().enumerate() {
+            let frame = Frame::Classify {
+                request_id: (i + 1) as u64,
+                reads: all_reads[offset..offset + n].to_vec(),
+            };
+            burst.extend_from_slice(&frame.encode().unwrap());
+            offset += n;
+            if i == 3 {
+                burst.extend_from_slice(&Frame::Ping { nonce: 0xF00D }.encode().unwrap());
+            }
+        }
+        stream.write_all(&burst).unwrap();
+
+        let mut offset = 0;
+        for (i, &n) in sizes.iter().enumerate() {
+            let expected: Vec<protocol::ResultEntry> = classifier
+                .classify_batch(&all_reads[offset..offset + n])
+                .iter()
+                .map(protocol::ResultEntry::from_classification)
+                .collect();
+            offset += n;
+            match protocol::read_frame(&mut stream).unwrap().unwrap() {
+                Frame::Results {
+                    request_id,
+                    entries,
+                } => {
+                    assert_eq!(request_id, (i + 1) as u64, "responses out of order");
+                    assert_eq!(
+                        entries,
+                        expected,
+                        "request {} results differ from in-process",
+                        i + 1
+                    );
+                }
+                other => panic!("expected Results for request {}, got {other:?}", i + 1),
+            }
+            if i == 3 {
+                match protocol::read_frame(&mut stream).unwrap().unwrap() {
+                    Frame::Pong { nonce } => assert_eq!(nonce, 0xF00D),
+                    other => panic!("expected the interleaved Pong, got {other:?}"),
+                }
+            }
+        }
+        drop(stream);
+        assert!(
+            wait_until(|| engine.live_sessions() == 0, Duration::from_secs(5)),
+            "pipelined connection leaked its session"
+        );
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    });
+    engine.shutdown();
 }

@@ -90,6 +90,7 @@ fn concurrent_sessions_are_bit_identical_to_classify_batch() {
             queue_capacity: 2,
             batch_records: 5, // small batches force interleaving across sessions
             session_max_in_flight: 0,
+            ..EngineConfig::default()
         },
     );
     let sessions = 6;
@@ -143,6 +144,7 @@ fn panicking_sink_does_not_deadlock_other_sessions() {
             batch_records: 1, // more batches than credits: the panicking
             // session holds in-flight work when it dies
             session_max_in_flight: 2,
+            ..EngineConfig::default()
         },
     );
     let reads = mixed_reads(40, 77);
@@ -250,6 +252,7 @@ fn worker_panic_is_isolated_and_reported() {
             queue_capacity: 2,
             batch_records: 4,
             session_max_in_flight: 0,
+            ..EngineConfig::default()
         },
     );
     let clean = mixed_reads(30, 5);
@@ -311,6 +314,7 @@ fn shutdown_drains_in_flight_work() {
             queue_capacity: 2,
             batch_records: 2,
             session_max_in_flight: 0,
+            ..EngineConfig::default()
         },
     );
     let reads = mixed_reads(50, 9);
@@ -356,6 +360,7 @@ fn gpu_engine_matches_host_engine_and_classify_batch() {
             queue_capacity: 2,
             batch_records: 6,
             session_max_in_flight: 0,
+            ..EngineConfig::default()
         },
     );
     std::thread::scope(|scope| {
@@ -383,6 +388,7 @@ fn per_session_overrides_and_request_reuse() {
     let mut session = engine.session_with(SessionConfig {
         batch_records: 2,
         max_in_flight: 1,
+        ..SessionConfig::default()
     });
     let reads = mixed_reads(20, 40);
     let classifier = Classifier::new(Arc::clone(&db));
@@ -430,6 +436,7 @@ fn sharded_engine_matches_unsharded_sessions() {
             queue_capacity: 2,
             batch_records: 6,
             session_max_in_flight: 0,
+            ..EngineConfig::default()
         },
     );
     std::thread::scope(|scope| {
@@ -472,6 +479,7 @@ fn sharded_worker_panic_is_isolated() {
             queue_capacity: 2,
             batch_records: 4,
             session_max_in_flight: 0,
+            ..EngineConfig::default()
         },
     );
 
