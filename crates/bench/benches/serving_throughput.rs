@@ -53,6 +53,11 @@
 //!   (the `sharded_max_shard_table_bytes_s{S}` gauge — the paper's
 //!   per-device memory) shrinks near-linearly.
 //!
+//! A fourth group, `serving_reload`, records live-reload gauges from the
+//! `serving_reload` experiment: the publish latency of each epoch swap
+//! (`swap_publish_us_*`) and the throughput dip of a reload phase
+//! relative to steady state, with per-generation identity asserted.
+//!
 //! Run with `BENCH_JSON=BENCH_serving.json cargo bench -p mc-bench --bench
 //! serving_throughput` to record the measurements.
 
@@ -602,6 +607,59 @@ fn bench_serving_sharded(c: &mut Criterion) {
     group.finish();
 }
 
+/// Live-reload gauges: the `serving_reload` experiment (epoch swaps under
+/// continuous session traffic) at default scale, with the swap publish
+/// latency and the reload-phase throughput dip recorded into
+/// `BENCH_serving.json`. The experiment itself asserts identity per
+/// generation; the bench additionally refuses to record gauges for a run
+/// that dropped or corrupted a request.
+fn bench_serving_reload(_c: &mut Criterion) {
+    let result =
+        mc_bench::experiments::serving_reload::run(&mc_bench::ExperimentScale::default_scale());
+    assert!(
+        result.identical && result.failed_requests == 0,
+        "reload under traffic failed {} requests",
+        result.failed_requests
+    );
+    // Microseconds: a swap is an Arc publish, and the exporter keeps one
+    // decimal — milliseconds would flatten the gauge to 0.0.
+    let swaps = result.swap_publish_ms.len().max(1) as f64;
+    let mean_us = result.swap_publish_ms.iter().sum::<f64>() * 1e3 / swaps;
+    let max_us = result.swap_publish_ms.iter().copied().fold(0.0, f64::max) * 1e3;
+    criterion::record_gauge("serving_reload", "swap_publish_us_mean", "us", mean_us);
+    criterion::record_gauge("serving_reload", "swap_publish_us_max", "us", max_us);
+    criterion::record_gauge(
+        "serving_reload",
+        "steady_reads_per_sec",
+        "reads_per_sec",
+        result.steady_reads_per_sec,
+    );
+    criterion::record_gauge(
+        "serving_reload",
+        "reload_reads_per_sec",
+        "reads_per_sec",
+        result.reload_reads_per_sec,
+    );
+    criterion::record_gauge(
+        "serving_reload",
+        "throughput_dip",
+        "steady_over_reload",
+        result.throughput_dip,
+    );
+    criterion::record_gauge(
+        "serving_reload",
+        "p99_request_ms_steady",
+        "ms",
+        result.steady_p99_ms,
+    );
+    criterion::record_gauge(
+        "serving_reload",
+        "p99_request_ms_during_reloads",
+        "ms",
+        result.reload_p99_ms,
+    );
+}
+
 /// This process's live OS thread count (`Threads:` in /proc/self/status);
 /// `None` where procfs is unavailable.
 fn os_thread_count() -> Option<usize> {
@@ -754,6 +812,6 @@ criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
     targets = bench_serving_throughput, bench_serving_net, bench_serving_sharded,
-        bench_connection_scaling
+        bench_serving_reload, bench_connection_scaling
 }
 criterion_main!(benches);

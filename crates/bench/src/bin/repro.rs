@@ -16,6 +16,7 @@
 //!   serving_net        mc-net loopback TCP front-end vs in-process sessions
 //!   serving_chaos      serving under injected faults (chaos sweep + overload)
 //!   serving_sharded    sharded scatter-gather serving vs unsharded + routed loopback
+//!   serving_reload     live database reloads under traffic (epoch swaps, zero downtime)
 //!   all                everything above
 //! ```
 
@@ -23,14 +24,14 @@ use std::collections::BTreeSet;
 
 use mc_bench::experiments::{
     accuracy, breakdown, build_perf, datasets, query_perf, serving, serving_chaos, serving_net,
-    serving_sharded, streaming, tablemem, ttq,
+    serving_reload, serving_sharded, streaming, tablemem, ttq,
 };
 use mc_bench::ExperimentScale;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--scale tiny|default] [--json] \
-         <table1|table2|table3|table4|table5|table6|fig4|fig5|abundance|tablemem|ablation|streaming|serving|serving_net|serving_chaos|serving_sharded|all>..."
+         <table1|table2|table3|table4|table5|table6|fig4|fig5|abundance|tablemem|ablation|streaming|serving|serving_net|serving_chaos|serving_sharded|serving_reload|all>..."
     );
     std::process::exit(2);
 }
@@ -75,6 +76,7 @@ fn main() {
             "serving_net",
             "serving_chaos",
             "serving_sharded",
+            "serving_reload",
         ] {
             requested.insert(e.to_string());
         }
@@ -182,6 +184,14 @@ fn main() {
             println!("{}", serde_json::to_string_pretty(&result).unwrap());
         } else {
             println!("{}", serving_sharded::render(&result));
+        }
+    }
+    if wants(&["serving_reload"]) {
+        let result = serving_reload::run(&scale);
+        if json {
+            println!("{}", serde_json::to_string_pretty(&result).unwrap());
+        } else {
+            println!("{}", serving_reload::render(&result));
         }
     }
 }

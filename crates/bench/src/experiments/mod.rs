@@ -14,6 +14,7 @@
 //! | [`serving_net`] | `mc-net` loopback TCP front-end vs in-process sessions (protocol overhead) |
 //! | [`serving_chaos`] | serving under injected faults: chaos-proxy sweep + overload shedding (robustness) |
 //! | [`serving_sharded`] | sharded scatter-gather serving vs unsharded (§4.3 partitioning, serving-side) + routed loopback |
+//! | [`serving_reload`] | live database reloads under traffic: epoch swaps, identity per generation, zero downtime |
 
 pub mod accuracy;
 pub mod breakdown;
@@ -23,6 +24,7 @@ pub mod query_perf;
 pub mod serving;
 pub mod serving_chaos;
 pub mod serving_net;
+pub mod serving_reload;
 pub mod serving_sharded;
 pub mod streaming;
 pub mod tablemem;

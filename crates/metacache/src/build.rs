@@ -51,6 +51,53 @@ pub struct BuildStats {
     pub bytes_to_device: u64,
 }
 
+/// Per-target counters of one [`sketch_target_into`] walk.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SketchCounts {
+    pub windows: u64,
+    pub inserted: u64,
+    pub dropped: u64,
+}
+
+/// Sketch one reference target window by window and insert every feature's
+/// `(target, window)` location into `store` — the one insertion loop shared
+/// by the CPU build path ([`CpuBuilder::add_target`]) and post-load
+/// incremental insertion ([`Database::insert_target`]), so both produce
+/// bit-identical tables for the same insertion order.
+///
+/// A [`TableError::ValueLimitReached`] counts as a dropped location (the
+/// per-feature cap); any other table error aborts the walk and is returned.
+/// `counts` accumulates through the walk, so the locations of a partially
+/// sketched target are still accounted for on the error path.
+pub(crate) fn sketch_target_into(
+    sketcher: &Sketcher,
+    scratch: &mut SketchScratch,
+    record: &SequenceRecord,
+    target_id: TargetId,
+    store: &dyn FeatureStore,
+    counts: &mut SketchCounts,
+) -> Result<(), MetaCacheError> {
+    let mut fatal: Option<TableError> = None;
+    sketcher.for_each_window_sketch(&record.sequence, scratch, |window, features| {
+        counts.windows += 1;
+        for &feature in features {
+            match store.insert(feature, Location::new(target_id, window)) {
+                Ok(()) => counts.inserted += 1,
+                Err(TableError::ValueLimitReached) => counts.dropped += 1,
+                Err(e) => {
+                    fatal = Some(e);
+                    return std::ops::ControlFlow::Break(());
+                }
+            }
+        }
+        std::ops::ControlFlow::Continue(())
+    });
+    match fatal {
+        Some(e) => Err(e.into()),
+        None => Ok(()),
+    }
+}
+
 /// The CPU builder (single inserter thread, host hash table).
 pub struct CpuBuilder {
     config: MetaCacheConfig,
@@ -95,36 +142,21 @@ impl CpuBuilder {
         let target_id = self.targets.len() as TargetId;
         // Sketch window by window through the reused scratch (no per-window
         // allocation); table inserts take `&self`, so the sketch visitor can
-        // insert directly. A fatal table error breaks out of the walk — the
-        // rest of the genome is not sketched — and is returned below.
-        let mut windows_sketched = 0u64;
-        let mut inserted = 0u64;
-        let mut dropped = 0u64;
-        let mut fatal: Option<TableError> = None;
-        let table = &self.table;
-        self.sketcher.for_each_window_sketch(
-            &record.sequence,
+        // insert directly. A fatal table error aborts the walk — the rest of
+        // the genome is not sketched — and is returned here.
+        let mut counts = SketchCounts::default();
+        let walk = sketch_target_into(
+            &self.sketcher,
             &mut self.scratch,
-            |window, features| {
-                windows_sketched += 1;
-                for &feature in features {
-                    match table.insert(feature, Location::new(target_id, window)) {
-                        Ok(()) => inserted += 1,
-                        Err(TableError::ValueLimitReached) => dropped += 1,
-                        Err(e) => {
-                            fatal = Some(e);
-                            return std::ops::ControlFlow::Break(());
-                        }
-                    }
-                }
-                std::ops::ControlFlow::Continue(())
-            },
+            &record,
+            target_id,
+            &self.table,
+            &mut counts,
         );
-        self.stats.locations_inserted += inserted;
-        self.stats.locations_dropped += dropped;
-        if let Some(e) = fatal {
-            return Err(e.into());
-        }
+        self.stats.locations_inserted += counts.inserted;
+        self.stats.locations_dropped += counts.dropped;
+        walk?;
+        let windows_sketched = counts.windows;
         self.targets.push(TargetInfo {
             id: target_id,
             name: record.id().to_string(),

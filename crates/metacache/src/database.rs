@@ -3,13 +3,17 @@
 use serde::{Deserialize, Serialize};
 
 use mc_kmer::{Feature, Location, TargetId};
-use mc_taxonomy::{LineageCache, TaxonId, Taxonomy};
+use mc_seqio::SequenceRecord;
+use mc_taxonomy::{LineageCache, Rank, TaxonId, Taxonomy};
 use mc_warpcore::{
-    pack_bucket_ref, unpack_bucket_ref, FeatureStore, HostHashTable, MultiBucketHashTable,
-    SingleValueHashTable, TableError,
+    pack_bucket_ref, unpack_bucket_ref, FeatureStore, HostHashTable, HostTableConfig,
+    MultiBucketHashTable, SingleValueHashTable, TableError,
 };
 
+use crate::build::sketch_target_into;
 use crate::config::MetaCacheConfig;
+use crate::error::MetaCacheError;
+use crate::sketch::{SketchScratch, Sketcher};
 
 /// Metadata of one reference target (a genome or scaffold sequence).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -68,13 +72,37 @@ impl CondensedStore {
             );
         });
     }
+
+    /// Convert the condensed layout back into a mutable [`HostHashTable`]
+    /// so a loaded database can accept post-load insertions. Every bucket's
+    /// location order is preserved, so queries against the thawed table are
+    /// bit-identical to queries against the condensed store.
+    pub fn thaw(&self, max_locations_per_key: usize) -> HostHashTable {
+        let table = HostHashTable::new(HostTableConfig {
+            max_locations_per_key,
+            ..Default::default()
+        });
+        self.for_each_bucket(|feature, bucket| {
+            for &location in bucket {
+                // Buckets were capped at build time, so under the same (or a
+                // larger) cap nothing is dropped; a smaller cap re-applies
+                // here, exactly as a fresh build with that cap would.
+                match table.insert(feature, location) {
+                    Ok(()) | Err(TableError::ValueLimitReached) => {}
+                    Err(e) => unreachable!("growable host table refused an insert: {e}"),
+                }
+            }
+        });
+        table
+    }
 }
 
 impl FeatureStore for CondensedStore {
     fn insert(&self, _feature: Feature, _location: Location) -> Result<(), TableError> {
         // The condensed layout is read-only (it is produced by loading a
-        // database from disk).
-        Err(TableError::TableFull)
+        // database from disk); [`Database::insert_target`] thaws it into a
+        // host table before inserting.
+        Err(TableError::ReadOnly)
     }
 
     fn query_into(&self, feature: Feature, out: &mut Vec<Location>) -> usize {
@@ -274,6 +302,186 @@ impl Database {
     pub fn refresh_lineages(&mut self) {
         self.lineages = self.taxonomy.lineage_cache();
     }
+
+    /// Insert one reference target into an already-built database — the
+    /// incremental-construction path of the warpcore table (§4.1: references
+    /// stream in and the index grows without a rebuild).
+    ///
+    /// The target receives the next global id and is assigned to partition
+    /// `id % partition_count`, exactly where a fresh build of the extended
+    /// reference set would have placed it (the CPU builder keeps one
+    /// partition; the GPU builder assigns targets round-robin). A loaded
+    /// (condensed) partition is thawed into a mutable host table first, and
+    /// the global `max_locations_per_feature` cap re-applies to every
+    /// insertion, so the result is bit-identical to building from the
+    /// extended reference set in one pass.
+    ///
+    /// `taxon` must already exist (extend the taxonomy through
+    /// [`Database::apply_delta`] to add taxa and targets together).
+    pub fn insert_target(
+        &mut self,
+        record: SequenceRecord,
+        taxon: TaxonId,
+    ) -> Result<TargetId, MetaCacheError> {
+        let sketcher = Sketcher::new(&self.config)?;
+        let mut scratch = SketchScratch::with_capacity(self.config.sketch_size);
+        let mut stats = DeltaStats::default();
+        self.insert_target_inner(&sketcher, &mut scratch, record, taxon, &mut stats)
+    }
+
+    /// Apply a batch of updates: new taxonomy nodes first, then new targets
+    /// (which may reference the new taxa). The lineage cache is rebuilt once
+    /// if taxa were added. See [`Database::insert_target`] for the placement
+    /// and capping rules; the returned [`DeltaStats`] mirror the builder's
+    /// [`crate::build::BuildStats`] counters for the delta alone.
+    pub fn apply_delta(&mut self, delta: DatabaseDelta) -> Result<DeltaStats, MetaCacheError> {
+        for node in &delta.taxa {
+            self.taxonomy
+                .add_node(node.id, node.parent, node.rank, node.name.as_str())?;
+        }
+        if !delta.taxa.is_empty() {
+            self.refresh_lineages();
+        }
+        let sketcher = Sketcher::new(&self.config)?;
+        let mut scratch = SketchScratch::with_capacity(self.config.sketch_size);
+        let mut stats = DeltaStats::default();
+        for (record, taxon) in delta.targets {
+            self.insert_target_inner(&sketcher, &mut scratch, record, taxon, &mut stats)?;
+        }
+        Ok(stats)
+    }
+
+    fn insert_target_inner(
+        &mut self,
+        sketcher: &Sketcher,
+        scratch: &mut SketchScratch,
+        record: SequenceRecord,
+        taxon: TaxonId,
+        stats: &mut DeltaStats,
+    ) -> Result<TargetId, MetaCacheError> {
+        if !self.taxonomy.contains(taxon) {
+            return Err(MetaCacheError::UnknownTaxon(taxon));
+        }
+        if self.partitions.is_empty() {
+            return Err(MetaCacheError::Config(
+                "cannot insert targets into a metadata-only database (no partitions)".into(),
+            ));
+        }
+        let target_id = self.targets.len() as TargetId;
+        let idx = target_id as usize % self.partitions.len();
+        let partition = &mut self.partitions[idx];
+        if let PartitionStore::Condensed(condensed) = &partition.store {
+            partition.store =
+                PartitionStore::Host(condensed.thaw(self.config.max_locations_per_feature));
+        }
+        let mut counts = crate::build::SketchCounts::default();
+        sketch_target_into(
+            sketcher,
+            scratch,
+            &record,
+            target_id,
+            partition.store.as_store(),
+            &mut counts,
+        )?;
+        stats.targets_added += 1;
+        stats.windows_sketched += counts.windows;
+        stats.locations_inserted += counts.inserted;
+        stats.locations_dropped += counts.dropped;
+        self.targets.push(TargetInfo {
+            id: target_id,
+            name: record.id().to_string(),
+            taxon,
+            length: record.sequence.len(),
+            num_windows: sketcher.num_windows(record.sequence.len()),
+        });
+        partition.targets.push(target_id);
+        Ok(target_id)
+    }
+}
+
+/// One new taxonomy node carried by a [`DatabaseDelta`].
+#[derive(Debug, Clone)]
+struct DeltaTaxon {
+    id: TaxonId,
+    parent: TaxonId,
+    rank: Rank,
+    name: String,
+}
+
+/// A batch of post-load database updates: new taxonomy nodes plus new
+/// reference targets, applied atomically (with respect to the owning
+/// `&mut Database`) by [`Database::apply_delta`].
+///
+/// The delta form exists so a reference-set update lands as *one* new
+/// database state: serving layers build the next state with one
+/// `apply_delta`, wrap it in an `Arc`, and swap it into an
+/// [`crate::serving::EpochStore`] — readers never observe a half-applied
+/// update.
+#[derive(Debug, Clone, Default)]
+pub struct DatabaseDelta {
+    taxa: Vec<DeltaTaxon>,
+    targets: Vec<(SequenceRecord, TaxonId)>,
+}
+
+impl DatabaseDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queue a new taxonomy node. Nodes are added in queue order, before any
+    /// target, so a node may reference an earlier queued node as its parent.
+    pub fn add_taxon(
+        &mut self,
+        id: TaxonId,
+        parent: TaxonId,
+        rank: Rank,
+        name: impl Into<String>,
+    ) -> &mut Self {
+        self.taxa.push(DeltaTaxon {
+            id,
+            parent,
+            rank,
+            name: name.into(),
+        });
+        self
+    }
+
+    /// Queue a new reference target belonging to `taxon` (pre-existing or
+    /// queued via [`DatabaseDelta::add_taxon`]).
+    pub fn add_target(&mut self, record: SequenceRecord, taxon: TaxonId) -> &mut Self {
+        self.targets.push((record, taxon));
+        self
+    }
+
+    /// Number of queued targets.
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of queued taxonomy nodes.
+    pub fn taxon_count(&self) -> usize {
+        self.taxa.len()
+    }
+
+    /// Whether the delta carries no updates at all.
+    pub fn is_empty(&self) -> bool {
+        self.taxa.is_empty() && self.targets.is_empty()
+    }
+}
+
+/// Counters of one applied [`DatabaseDelta`] (the delta's share of what
+/// [`crate::build::BuildStats`] counts for a full build).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Targets inserted by the delta.
+    pub targets_added: usize,
+    /// Reference windows sketched.
+    pub windows_sketched: u64,
+    /// (feature, location) pairs inserted (after capping).
+    pub locations_inserted: u64,
+    /// Locations dropped by the per-feature cap.
+    pub locations_dropped: u64,
 }
 
 #[cfg(test)]
@@ -357,8 +565,87 @@ mod tests {
             assert_eq!(&store.query(*feature), bucket);
         }
         assert!(store.query(4242).is_empty());
-        // Read-only: inserts are rejected.
-        assert!(store.insert(5, Location::new(0, 0)).is_err());
+        // Read-only: inserts are rejected with the typed error, not silently
+        // dropped or misreported as a full table (regression for the old
+        // `TableError::TableFull` stub).
+        assert_eq!(
+            store.insert(5, Location::new(0, 0)),
+            Err(TableError::ReadOnly)
+        );
+    }
+
+    #[test]
+    fn thaw_preserves_buckets_and_reapplies_cap() {
+        let buckets = vec![
+            (5u32, vec![Location::new(0, 1), Location::new(0, 2)]),
+            (9u32, (0..10).map(|w| Location::new(2, w)).collect()),
+        ];
+        let store = CondensedStore::from_buckets(buckets.clone());
+        // Same cap: everything survives, order preserved.
+        let thawed = store.thaw(254);
+        for (feature, bucket) in &buckets {
+            assert_eq!(&thawed.query(*feature), bucket);
+        }
+        // Smaller cap: re-applied exactly as a fresh build would.
+        let capped = store.thaw(4);
+        assert_eq!(capped.query(5).len(), 2);
+        assert_eq!(capped.query(9).len(), 4);
+        // The thawed table accepts insertions again.
+        thawed.insert(5, Location::new(7, 7)).unwrap();
+        assert_eq!(thawed.query(5).len(), 3);
+    }
+
+    #[test]
+    fn insert_target_extends_database() {
+        let mut db = tiny_database();
+        let record =
+            SequenceRecord::new("t2", &b"ACGTACGTACGTACGTACGTACGTACGTACGTACGTACGTACGT"[..]);
+        let before_locations = db.total_locations();
+        let id = db.insert_target(record, 101).unwrap();
+        assert_eq!(id, 2);
+        assert_eq!(db.target_count(), 3);
+        assert_eq!(db.taxon_of_target(2), 101);
+        assert_eq!(db.target(2).unwrap().name, "t2");
+        assert!(db.total_locations() > before_locations);
+        assert!(db.partitions[0].targets.contains(&2));
+    }
+
+    #[test]
+    fn insert_target_rejects_unknown_taxon_and_metadata_only() {
+        let mut db = tiny_database();
+        let record = SequenceRecord::new("x", &b"ACGTACGTACGTACGTACGT"[..]);
+        assert!(matches!(
+            db.insert_target(record.clone(), 4242),
+            Err(MetaCacheError::UnknownTaxon(4242))
+        ));
+        let mut meta = db.metadata_view();
+        assert!(matches!(
+            meta.insert_target(record, 100),
+            Err(MetaCacheError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn apply_delta_adds_taxa_then_targets() {
+        let mut db = tiny_database();
+        let mut delta = DatabaseDelta::new();
+        assert!(delta.is_empty());
+        delta.add_taxon(11, 1, Rank::Genus, "H");
+        delta.add_taxon(110, 11, Rank::Species, "H a");
+        delta.add_target(
+            SequenceRecord::new("h0", &b"ACGTACGTACGTACGTACGTACGTACGTACGT"[..]),
+            110,
+        );
+        assert_eq!(delta.taxon_count(), 2);
+        assert_eq!(delta.target_count(), 1);
+        let stats = db.apply_delta(delta).unwrap();
+        assert_eq!(stats.targets_added, 1);
+        assert!(stats.windows_sketched > 0);
+        assert!(db.taxonomy.contains(110));
+        assert_eq!(db.taxon_of_target(2), 110);
+        // Lineages were refreshed: the new species resolves through the
+        // new genus to the root.
+        assert_eq!(db.lineages.ancestor_at(110, Rank::Genus), 11);
     }
 
     #[test]

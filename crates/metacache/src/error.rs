@@ -11,6 +11,8 @@ pub enum MetaCacheError {
     UnknownTaxon(TaxonId),
     /// Underlying hash-table error (table full).
     Table(mc_warpcore::TableError),
+    /// Taxonomy extension failure (duplicate or reserved taxon id).
+    Taxonomy(mc_taxonomy::TaxonomyError),
     /// Device memory exhausted while building a partition.
     Device(mc_gpu_sim::DeviceError),
     /// I/O failure while saving or loading a database.
@@ -27,6 +29,7 @@ impl std::fmt::Display for MetaCacheError {
             MetaCacheError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             MetaCacheError::UnknownTaxon(id) => write!(f, "unknown taxon {id}"),
             MetaCacheError::Table(e) => write!(f, "hash table error: {e}"),
+            MetaCacheError::Taxonomy(e) => write!(f, "taxonomy error: {e}"),
             MetaCacheError::Device(e) => write!(f, "device error: {e}"),
             MetaCacheError::Io(e) => write!(f, "I/O error: {e}"),
             MetaCacheError::Format(msg) => write!(f, "database format error: {msg}"),
@@ -40,6 +43,12 @@ impl std::error::Error for MetaCacheError {}
 impl From<mc_warpcore::TableError> for MetaCacheError {
     fn from(e: mc_warpcore::TableError) -> Self {
         MetaCacheError::Table(e)
+    }
+}
+
+impl From<mc_taxonomy::TaxonomyError> for MetaCacheError {
+    fn from(e: mc_taxonomy::TaxonomyError) -> Self {
+        MetaCacheError::Taxonomy(e)
     }
 }
 

@@ -113,11 +113,13 @@ pub use backend::{Backend, BackendWorker, GpuBackend, HostBackend};
 pub use candidate::{Candidate, CandidateList};
 pub use classify::{Classification, ClassificationEvaluation};
 pub use config::MetaCacheConfig;
-pub use database::{Database, Partition, TargetInfo};
+pub use database::{Database, DatabaseDelta, DeltaStats, Partition, TargetInfo};
 pub use error::MetaCacheError;
 pub use pipeline::{StreamingClassifier, StreamingConfig, StreamingSummary};
 pub use query::{Classifier, QueryScratch};
-pub use serving::{EngineConfig, EngineStats, ServingEngine, Session, SessionConfig};
+pub use serving::{
+    EngineConfig, EngineStats, Epoch, EpochStore, ServingEngine, Session, SessionConfig,
+};
 pub use shard::{ShardPlan, ShardedBackend, ShardedClassifier, ShardedDatabase, ShardedScratch};
 pub use sketch::{ReadSketch, Sketch, SketchScratch, Sketcher};
 

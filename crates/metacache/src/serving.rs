@@ -21,9 +21,15 @@
 //!   [`Backend`] worker at startup and reuses it for every batch it ever
 //!   classifies — scratch buffers stay warm across requests, and request
 //!   latency no longer pays thread spawn/join.
-//! * **The database is shared.** The engine owns an `Arc<dyn Backend>`,
-//!   which co-owns the `Arc<Database>`: any number of engines, sessions and
-//!   classifiers serve from one resident database.
+//! * **The database is shared — and swappable.** The engine owns an
+//!   [`EpochStore`]: a generation-tagged slot holding the current
+//!   `Arc<dyn Backend>` (which co-owns the `Arc<Database>`). Workers pin an
+//!   epoch *per batch*, so [`ServingEngine::reload_backend`] hot-swaps the
+//!   reference set with zero downtime: in-flight batches finish on the old
+//!   database, subsequent batches observe the new one, and the old epoch is
+//!   freed as soon as its last worker releases it (idle workers release on
+//!   the swap itself). Every [`CompletedBatch`] reports the generation that
+//!   classified it.
 //! * **Sessions multiplex.** Every [`Session`] tags its batches with a
 //!   session id and a per-session sequence number (`mc-seqio` batch tags);
 //!   workers route completed batches to the owning session's channel, and
@@ -56,7 +62,7 @@
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 
 use mc_gpu_sim::MultiGpuSystem;
@@ -211,6 +217,11 @@ pub struct CompletedBatch {
     /// blocking drain paths re-raise; a non-blocking caller decides itself
     /// (the net server answers the request with an `Internal` error).
     pub panicked: bool,
+    /// The database generation (see [`EpochStore`]) this batch was
+    /// classified against. A whole batch is always classified under one
+    /// epoch; a front-end wanting one generation per *request* compares the
+    /// tags of the request's batches and replays on mismatch.
+    pub generation: u64,
 }
 
 /// A completed (or failed) batch travelling from a worker back to its
@@ -222,6 +233,93 @@ struct WorkerResult {
     /// The backend worker panicked while classifying this batch; the
     /// session's drain turns this into a client-side panic.
     panicked: bool,
+    /// Database generation the worker had pinned (see [`EpochStore`]).
+    generation: u64,
+}
+
+/// One pinned database state: a generation number plus the backend (and
+/// therefore the `Arc<Database>`) serving it. Handed out by
+/// [`EpochStore::pin`]; holders keep the whole state alive, so the previous
+/// database is freed exactly when the last holder of its epoch lets go.
+pub struct Epoch {
+    generation: u64,
+    backend: Arc<dyn Backend + 'static>,
+}
+
+impl Epoch {
+    /// The epoch's generation number (0 for the state the engine started
+    /// with, +1 per [`EpochStore::swap`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The backend serving this epoch.
+    pub fn backend(&self) -> &Arc<dyn Backend + 'static> {
+        &self.backend
+    }
+
+    /// The database of this epoch.
+    pub fn database(&self) -> &Database {
+        self.backend.database()
+    }
+}
+
+/// A generation-tagged slot holding the engine's current database state —
+/// the hand-rolled `ArcSwap` stand-in of this crate (consistent with the
+/// repo's vendored-shim approach: a `RwLock<Arc<_>>` swap plus a lock-free
+/// generation counter, not a full lock-free pointer swap).
+///
+/// * [`EpochStore::pin`] takes the read lock briefly and clones the `Arc` —
+///   readers never block each other and never block a swap for longer than
+///   one clone.
+/// * [`EpochStore::swap`] publishes a new backend under the next generation.
+///   Existing pins are untouched: in-flight work finishes on the epoch it
+///   pinned, and the old database drops when its last pin is released.
+/// * [`EpochStore::generation`] is a lock-free `Acquire` load — the cheap
+///   "did the world change since I pinned?" probe workers use per batch.
+pub struct EpochStore {
+    slot: RwLock<Arc<Epoch>>,
+    generation: AtomicU64,
+}
+
+impl EpochStore {
+    /// Create a store at generation 0.
+    pub fn new(backend: Arc<dyn Backend + 'static>) -> Self {
+        Self {
+            slot: RwLock::new(Arc::new(Epoch {
+                generation: 0,
+                backend,
+            })),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Pin the current epoch: the returned handle keeps its database alive
+    /// until dropped, regardless of later swaps.
+    pub fn pin(&self) -> Arc<Epoch> {
+        Arc::clone(&self.slot.read().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// The current generation (lock-free).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Publish `backend` as the next generation and return it. Readers that
+    /// pinned before the swap keep serving their epoch; readers that pin
+    /// after observe the new one.
+    pub fn swap(&self, backend: Arc<dyn Backend + 'static>) -> u64 {
+        let mut slot = self.slot.write().unwrap_or_else(|e| e.into_inner());
+        let generation = slot.generation + 1;
+        *slot = Arc::new(Epoch {
+            generation,
+            backend,
+        });
+        // Publish after the slot holds the new epoch, so a reader seeing
+        // the new generation can always pin (at least) that epoch.
+        self.generation.store(generation, Ordering::Release);
+        generation
+    }
 }
 
 /// Routing entry of one live session.
@@ -280,6 +378,24 @@ struct FairQueue {
     /// Callbacks fired whenever capacity frees (pop or purge): non-blocking
     /// front-ends park a waker here instead of blocking on `space`.
     space_watchers: Mutex<Vec<Arc<dyn Fn() + Send + Sync>>>,
+    /// Mirror of the engine's current database generation, bumped by
+    /// [`FairQueue::note_reload`]. An *idle* worker blocked in
+    /// [`FairQueue::pop_pinned`] compares this against the generation it has
+    /// pinned and wakes to release the stale epoch — without it, an old
+    /// database would stay alive until every idle worker happened to
+    /// classify one more batch.
+    reload_generation: AtomicU64,
+}
+
+/// What [`FairQueue::pop_pinned`] hands a worker.
+enum Popped {
+    /// The next batch by deficit round robin.
+    Batch(SequenceBatch),
+    /// No work, and the engine swapped epochs: drop the pinned epoch,
+    /// re-pin and pop again.
+    Reload,
+    /// Queue closed and drained: the worker exits.
+    Closed,
 }
 
 #[derive(Default)]
@@ -358,6 +474,7 @@ impl FairQueue {
             capacity: capacity.max(1),
             quanta: quanta.map(|q| q.max(1) as u64),
             space_watchers: Mutex::new(Vec::new()),
+            reload_generation: AtomicU64::new(0),
         }
     }
 
@@ -439,9 +556,15 @@ impl FairQueue {
     }
 
     /// Dequeue the next batch by deficit round robin, blocking while the
-    /// queue is empty. Returns `None` once the queue is closed **and**
-    /// drained — workers finish everything already submitted.
-    fn pop(&self) -> Option<SequenceBatch> {
+    /// queue is empty. The caller passes the database generation it has
+    /// pinned; if the engine swaps epochs while the caller is blocked here,
+    /// [`Popped::Reload`] sends it back to release the stale epoch and
+    /// re-pin (work, when present, always wins over the reload check — a
+    /// queued batch is popped and classified under whatever the caller has
+    /// pinned *now*, which the worker loop re-validates). Returns
+    /// [`Popped::Closed`] once the queue is closed **and** drained —
+    /// workers finish everything already submitted.
+    fn pop_pinned(&self, pinned_generation: u64) -> Popped {
         let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if state.len > 0 {
@@ -449,13 +572,27 @@ impl FairQueue {
                 drop(state);
                 self.space.notify_one();
                 self.notify_space_watchers();
-                return Some(batch);
+                return Popped::Batch(batch);
             }
             if state.closed {
-                return None;
+                return Popped::Closed;
+            }
+            if self.reload_generation.load(Ordering::Acquire) != pinned_generation {
+                return Popped::Reload;
             }
             state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Tell idle consumers the engine's epoch changed: store the new
+    /// generation (under the state lock, so a consumer between its check
+    /// and its wait cannot miss the wake) and wake everyone blocked in
+    /// [`FairQueue::pop_pinned`].
+    fn note_reload(&self, generation: u64) {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        self.reload_generation.store(generation, Ordering::Release);
+        drop(state);
+        self.ready.notify_all();
     }
 
     /// Drop every batch a dead session still has queued: remove its lane,
@@ -520,7 +657,7 @@ impl FairQueue {
 
 /// State shared by the engine handle, its worker threads and its sessions.
 struct EngineShared {
-    backend: Arc<dyn Backend + 'static>,
+    epochs: EpochStore,
     sessions: Mutex<HashMap<u64, Arc<SessionState>>>,
     next_session: AtomicU64,
     counters: EngineCounters,
@@ -579,7 +716,7 @@ impl ServingEngine {
         let config = config.normalized();
         let backend: Arc<dyn Backend + 'static> = Arc::new(backend);
         let shared = Arc::new(EngineShared {
-            backend,
+            epochs: EpochStore::new(backend),
             sessions: Mutex::new(HashMap::new()),
             next_session: AtomicU64::new(1),
             counters: EngineCounters::default(),
@@ -592,54 +729,84 @@ impl ServingEngine {
                 std::thread::Builder::new()
                     .name(format!("serving-worker-{i}"))
                     .spawn(move || {
-                        let mut worker = shared.backend.worker();
-                        while let Some(batch) = shared.queue.pop() {
-                            let SequenceBatch {
-                                session,
-                                session_seq,
-                                records,
-                                ..
-                            } = batch;
-                            // Route to the owning session; a dropped session
-                            // leaves no registry entry and its batch is
-                            // discarded.
-                            let target = shared
-                                .sessions
-                                .lock()
-                                .unwrap_or_else(|e| e.into_inner())
-                                .get(&session)
-                                .cloned();
-                            let Some(target) = target else { continue };
-                            let mut classifications = Vec::with_capacity(records.len());
-                            let panicked =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    worker.classify_batch_into(&records, &mut classifications)
-                                }))
-                                .is_err();
-                            if panicked {
-                                // The worker's scratch state may be torn
-                                // mid-update; replace it and keep serving.
-                                worker = shared.backend.worker();
-                                classifications.clear();
-                                shared.counters.panics.fetch_add(1, Ordering::Relaxed);
-                            } else {
-                                shared.counters.batches.fetch_add(1, Ordering::Relaxed);
-                                shared
-                                    .counters
-                                    .records
-                                    .fetch_add(records.len() as u64, Ordering::Relaxed);
-                            }
-                            // Sized-to-credits channel: never blocks. A
-                            // session that died mid-flight just drops the
-                            // result.
-                            let _ = target.out_tx.send(WorkerResult {
-                                seq: session_seq,
-                                records,
-                                classifications,
-                                panicked,
-                            });
-                            if let Some(notify) = &target.notify {
-                                notify();
+                        // A batch popped just as a swap landed is carried
+                        // over to the re-pinned (new) epoch instead of
+                        // running on the stale one.
+                        let mut carried: Option<SequenceBatch> = None;
+                        'epoch: loop {
+                            // Pin the current epoch; `epoch` and `worker`
+                            // both co-own its database, and both drop on
+                            // every trip back to this point — an idle or
+                            // re-pinning worker never keeps an old epoch
+                            // alive.
+                            let epoch = shared.epochs.pin();
+                            let generation = epoch.generation();
+                            let mut worker = epoch.backend().worker();
+                            loop {
+                                let batch = match carried.take() {
+                                    Some(batch) => batch,
+                                    None => match shared.queue.pop_pinned(generation) {
+                                        Popped::Batch(batch) => batch,
+                                        Popped::Reload => continue 'epoch,
+                                        Popped::Closed => return,
+                                    },
+                                };
+                                if shared.epochs.generation() != generation {
+                                    // Swap landed between pin and pop: this
+                                    // batch is *new* work and must observe
+                                    // the new epoch.
+                                    carried = Some(batch);
+                                    continue 'epoch;
+                                }
+                                let SequenceBatch {
+                                    session,
+                                    session_seq,
+                                    records,
+                                    ..
+                                } = batch;
+                                // Route to the owning session; a dropped
+                                // session leaves no registry entry and its
+                                // batch is discarded.
+                                let target = shared
+                                    .sessions
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .get(&session)
+                                    .cloned();
+                                let Some(target) = target else { continue };
+                                let mut classifications = Vec::with_capacity(records.len());
+                                let panicked =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        worker.classify_batch_into(&records, &mut classifications)
+                                    }))
+                                    .is_err();
+                                if panicked {
+                                    // The worker's scratch state may be torn
+                                    // mid-update; replace it (same epoch) and
+                                    // keep serving.
+                                    worker = epoch.backend().worker();
+                                    classifications.clear();
+                                    shared.counters.panics.fetch_add(1, Ordering::Relaxed);
+                                } else {
+                                    shared.counters.batches.fetch_add(1, Ordering::Relaxed);
+                                    shared
+                                        .counters
+                                        .records
+                                        .fetch_add(records.len() as u64, Ordering::Relaxed);
+                                }
+                                // Sized-to-credits channel: never blocks. A
+                                // session that died mid-flight just drops the
+                                // result.
+                                let _ = target.out_tx.send(WorkerResult {
+                                    seq: session_seq,
+                                    records,
+                                    classifications,
+                                    panicked,
+                                    generation,
+                                });
+                                if let Some(notify) = &target.notify {
+                                    notify();
+                                }
                             }
                         }
                     })
@@ -683,14 +850,39 @@ impl ServingEngine {
         &self.config
     }
 
-    /// The backend's short label (`"host"`, `"gpu-sim"`, …).
+    /// The current backend's short label (`"host"`, `"gpu-sim"`, …).
     pub fn backend_name(&self) -> &'static str {
-        self.shared.backend.name()
+        self.shared.epochs.pin().backend().name()
     }
 
-    /// The shared database the engine serves from.
-    pub fn database(&self) -> &Database {
-        self.shared.backend.database()
+    /// Pin the engine's current epoch: a handle on the database (and
+    /// backend) that stays valid — and keeps that database alive — across
+    /// any number of [`ServingEngine::reload_backend`] calls. Front-ends
+    /// that read the database directly (candidate mode, metadata checks)
+    /// pin per request instead of caching a borrow.
+    pub fn pin_epoch(&self) -> Arc<Epoch> {
+        self.shared.epochs.pin()
+    }
+
+    /// The current database generation (0 until the first reload).
+    pub fn generation(&self) -> u64 {
+        self.shared.epochs.generation()
+    }
+
+    /// Hot-swap the engine's backend (and database): publish `backend` as
+    /// the next generation and return it. Zero downtime — batches already
+    /// being classified finish on the old epoch (their results carry its
+    /// generation tag), every batch popped after the swap observes the new
+    /// one, and idle workers wake to release the old epoch immediately, so
+    /// the old `Arc<Database>` is freed as soon as the last in-flight batch
+    /// of the old generation completes.
+    pub fn reload_backend<B>(&self, backend: B) -> u64
+    where
+        B: Backend + 'static,
+    {
+        let generation = self.shared.epochs.swap(Arc::new(backend));
+        self.shared.queue.note_reload(generation);
+        generation
     }
 
     /// Open a client session with the engine's default shape. Sessions are
@@ -758,6 +950,7 @@ impl ServingEngine {
             peak_in_flight: 0,
             batch_records,
             max_in_flight,
+            last_generation: self.shared.epochs.generation(),
         }
     }
 
@@ -898,12 +1091,21 @@ pub struct Session<'e> {
     peak_in_flight: u64,
     batch_records: usize,
     max_in_flight: usize,
+    last_generation: u64,
 }
 
 impl Session<'_> {
     /// The session's engine-unique id (the tag its batches carry).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// The database generation of the most recently drained batch (the
+    /// engine's generation at session open until the first drain). A client
+    /// streaming across a [`ServingEngine::reload_backend`] watches this to
+    /// detect the mid-stream upgrade.
+    pub fn database_generation(&self) -> u64 {
+        self.last_generation
     }
 
     /// The engine this session is served by.
@@ -1143,10 +1345,12 @@ impl Session<'_> {
         let done = self.pending.remove(&self.next_emit_seq)?;
         self.next_emit_seq += 1;
         self.in_flight -= 1;
+        self.last_generation = done.generation;
         Some(CompletedBatch {
             records: done.records,
             classifications: done.classifications,
             panicked: done.panicked,
+            generation: done.generation,
         })
     }
 
@@ -1183,6 +1387,7 @@ impl Session<'_> {
         while let Some(done) = self.pending.remove(&self.next_emit_seq) {
             self.next_emit_seq += 1;
             self.in_flight -= 1;
+            self.last_generation = done.generation;
             if done.panicked {
                 panic!(
                     "serving engine worker panicked while classifying \
@@ -1259,6 +1464,7 @@ impl Session<'_> {
         while let Some(done) = self.pending.remove(&self.next_emit_seq) {
             self.next_emit_seq += 1;
             self.in_flight -= 1;
+            self.last_generation = done.generation;
             if done.panicked {
                 panic!(
                     "serving engine worker panicked while classifying \
@@ -1504,6 +1710,16 @@ mod tests {
         )
     }
 
+    /// Test shim over the epoch-aware pop: pops as a worker pinned at the
+    /// queue's current reload generation (so it never sees a reload wake).
+    fn pop_batch(queue: &FairQueue) -> Option<SequenceBatch> {
+        match queue.pop_pinned(queue.reload_generation.load(Ordering::Acquire)) {
+            Popped::Batch(batch) => Some(batch),
+            Popped::Reload => panic!("pop at the current generation saw a reload wake"),
+            Popped::Closed => None,
+        }
+    }
+
     /// The starvation regression test (queue level): with a FIFO pop, a
     /// small session's lone batch submitted behind a big session's backlog
     /// waits for the *entire* backlog. The DRR pop must serve it within one
@@ -1518,7 +1734,7 @@ mod tests {
         // Session 2: one small batch, queued dead last.
         queue.push(batch_of(2, 0, 2)).unwrap();
 
-        let order: Vec<u64> = (0..9).map(|_| queue.pop().unwrap().session).collect();
+        let order: Vec<u64> = (0..9).map(|_| pop_batch(&queue).unwrap().session).collect();
         let small_position = order.iter().position(|&s| s == 2).unwrap();
         assert!(
             small_position <= 2,
@@ -1529,7 +1745,9 @@ mod tests {
         queue.push(batch_of(3, 0, 1)).unwrap();
         queue.push(batch_of(3, 1, 1)).unwrap();
         queue.push(batch_of(3, 2, 1)).unwrap();
-        let seqs: Vec<u64> = (0..3).map(|_| queue.pop().unwrap().session_seq).collect();
+        let seqs: Vec<u64> = (0..3)
+            .map(|_| pop_batch(&queue).unwrap().session_seq)
+            .collect();
         assert_eq!(seqs, vec![0, 1, 2]);
     }
 
@@ -1545,7 +1763,9 @@ mod tests {
         for seq in 0..8 {
             queue.push(batch_of(2, seq, 2)).unwrap(); // 16 records in 8 batches
         }
-        let order: Vec<u64> = (0..12).map(|_| queue.pop().unwrap().session).collect();
+        let order: Vec<u64> = (0..12)
+            .map(|_| pop_batch(&queue).unwrap().session)
+            .collect();
         // Within the first half of the pops, both sessions must appear.
         assert!(
             order[..4].contains(&1) && order[..4].contains(&2),
@@ -1553,7 +1773,7 @@ mod tests {
         );
         // And the queue drains completely and closes cleanly.
         queue.close();
-        assert!(queue.pop().is_none());
+        assert!(pop_batch(&queue).is_none());
         assert!(queue.push(batch_of(9, 0, 1)).is_err());
     }
 
@@ -1579,7 +1799,7 @@ mod tests {
         });
         assert_eq!(queue.queued(), 1);
         // Only the live session's batch remains.
-        assert_eq!(queue.pop().unwrap().session, 2);
+        assert_eq!(pop_batch(&queue).unwrap().session, 2);
         // Purging an unknown session is a no-op.
         assert_eq!(queue.purge_session(99), 0);
     }
@@ -1599,7 +1819,7 @@ mod tests {
         assert!(!queue.over_high_water(1));
         assert!(!queue.over_high_water(2));
         // Draining one batch re-opens admission.
-        let _ = queue.pop().unwrap();
+        let _ = pop_batch(&queue).unwrap();
         assert!(!queue.over_high_water(3));
     }
 
@@ -1625,9 +1845,9 @@ mod tests {
         queue.push(batch_of(1, 0, 1)).unwrap();
         queue.push(batch_of(2, 0, 1)).unwrap();
         queue.close();
-        assert!(queue.pop().is_some());
-        assert!(queue.pop().is_some());
-        assert!(queue.pop().is_none());
+        assert!(pop_batch(&queue).is_some());
+        assert!(pop_batch(&queue).is_some());
+        assert!(pop_batch(&queue).is_none());
         assert_eq!(queue.queued(), 0);
         assert_eq!(queue.peak_queued(), 2);
     }
@@ -1984,7 +2204,9 @@ mod tests {
         for seq in 0..8 {
             queue.push(batch_of(2, seq, 1)).unwrap();
         }
-        let order: Vec<u64> = (0..16).map(|_| queue.pop().unwrap().session).collect();
+        let order: Vec<u64> = (0..16)
+            .map(|_| pop_batch(&queue).unwrap().session)
+            .collect();
         // Walked by hand: both lanes start at deficit 0; the first visit
         // grants 4 to interactive and 1 to bulk, then each grant buys that
         // many one-record batches before the rotation moves on.
@@ -2002,7 +2224,9 @@ mod tests {
         for seq in 0..8 {
             queue.push(batch_of(2, seq, 1)).unwrap();
         }
-        let order: Vec<u64> = (0..16).map(|_| queue.pop().unwrap().session).collect();
+        let order: Vec<u64> = (0..16)
+            .map(|_| pop_batch(&queue).unwrap().session)
+            .collect();
         assert_eq!(order, vec![1, 2, 2, 2, 2, 1, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1]);
 
         // A purge must not erase the class: after a mid-life purge the
@@ -2016,7 +2240,7 @@ mod tests {
         for seq in 0..4 {
             queue.push(batch_of(2, seq, 1)).unwrap();
         }
-        let order: Vec<u64> = (0..5).map(|_| queue.pop().unwrap().session).collect();
+        let order: Vec<u64> = (0..5).map(|_| pop_batch(&queue).unwrap().session).collect();
         assert_eq!(order, vec![1, 2, 2, 2, 2], "bulk visited first grants 1");
         queue.forget_session(1);
         queue.forget_session(2);

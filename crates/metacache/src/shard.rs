@@ -56,6 +56,21 @@
 //! target ids — only the hash tables are subset — so per-shard candidates
 //! carry global ids natively and merge without remapping (this is also what
 //! lets a remote shard server answer candidate queries in global id space).
+//!
+//! # Live reload of a sharded database
+//!
+//! A sharded serving topology swaps epochs (see
+//! [`crate::serving::EpochStore`]) at two granularities. **In-process**, one
+//! [`ServingEngine::reload_backend`][crate::serving::ServingEngine::reload_backend]
+//! call with a fresh `ShardedBackend` replaces *all* shards atomically — a
+//! batch is classified either against the old split or the new one, never a
+//! mix, because the scatter-gather runs inside a single backend worker
+//! pinned to one epoch. **Across the wire** (`mc-serve route` fronting
+//! shard servers), the router swaps its metadata epoch first and then
+//! reloads each shard server in turn; the router workers compare the
+//! generation tags on the shard answers and re-query while the sweep is
+//! propagating, so no response merges candidate lists from two different
+//! reference sets (`mc_net::router` documents the ordering argument).
 
 use std::collections::BTreeMap;
 use std::sync::Arc;

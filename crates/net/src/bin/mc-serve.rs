@@ -27,6 +27,14 @@
 //!       Stream a FASTA/FASTQ file through a running server and print one
 //!       TSV line per read: id, taxon, rank, best hit count.
 //!
+//!   mc-serve reload --addr <host:port>
+//!       Hot-swap a running server's database with zero downtime (protocol
+//!       v5): the server re-reads its --refs file, builds the next database
+//!       epoch, and swaps it in while in-flight batches finish on the old
+//!       one. Against a router, the swap propagates to every shard server
+//!       (router metadata first, then each shard). Prints the new database
+//!       generation on success.
+//!
 //!   mc-serve smoke [--reads N] [--swarm N] [--chaos]
 //!       Self-contained loopback round-trip on a synthetic database:
 //!       starts a server on an ephemeral port, classifies N reads through
@@ -51,8 +59,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mc_net::{
-    ChaosProxy, ClientConfig, ConnPlan, Fault, NetClient, NetServer, RetryClient, RetryPolicy,
-    RouterBackend, RouterConfig,
+    ChaosProxy, ClientConfig, ConnPlan, Fault, NetClient, NetServer, ReloadHook, RetryClient,
+    RetryPolicy, RouterBackend, RouterConfig,
 };
 use mc_seqio::{SequenceReader, SequenceRecord};
 use mc_taxonomy::{Rank, Taxonomy, NO_TAXON};
@@ -63,7 +71,7 @@ use metacache::MetaCacheConfig;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mc-serve serve --refs <file> [--listen <addr>] [--workers N] [--batch N] [--queue N] [--shard K --shard-count N]\n       mc-serve route --refs <file> --shard <host:port> [--shard <host:port> ...] [--listen <addr>] [--workers N] [--batch N] [--queue N]\n       mc-serve classify --addr <host:port> <reads-file>\n       mc-serve smoke [--reads N] [--swarm N] [--chaos]\n       mc-serve chaos --upstream <host:port> [--seed N] [--conns N]"
+        "usage: mc-serve serve --refs <file> [--listen <addr>] [--workers N] [--batch N] [--queue N] [--shard K --shard-count N]\n       mc-serve route --refs <file> --shard <host:port> [--shard <host:port> ...] [--listen <addr>] [--workers N] [--batch N] [--queue N]\n       mc-serve classify --addr <host:port> <reads-file>\n       mc-serve reload --addr <host:port>\n       mc-serve smoke [--reads N] [--swarm N] [--chaos]\n       mc-serve chaos --upstream <host:port> [--seed N] [--conns N]"
     );
     std::process::exit(2);
 }
@@ -74,6 +82,7 @@ fn main() {
         Some("serve") => serve(&args[1..]),
         Some("route") => route(&args[1..]),
         Some("classify") => classify(&args[1..]),
+        Some("reload") => reload(&args[1..]),
         Some("smoke") => smoke(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
         _ => usage(),
@@ -163,14 +172,24 @@ fn engine_config(flags: &[(String, String)]) -> EngineConfig {
 
 /// Bind `engine` on `listen` and run it until stdin closes (or a "quit"
 /// line), then drain both the server and the engine — the shared tail of
-/// `serve` and `route`.
-fn run_engine(engine: ServingEngine, listen: &str, workers: usize) -> i32 {
+/// `serve` and `route`. With a `reload` hook, `mc-serve reload` (protocol
+/// v5) hot-swaps the database through it.
+fn run_engine(
+    engine: ServingEngine,
+    listen: &str,
+    workers: usize,
+    reload: Option<ReloadHook>,
+) -> i32 {
     let server = match NetServer::bind(&engine, listen) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("mc-serve: bind {listen}: {e}");
             return 1;
         }
+    };
+    let server = match reload {
+        Some(hook) => server.with_reload(hook),
+        None => server,
     };
     let handle = server.handle();
     eprintln!(
@@ -280,8 +299,30 @@ fn serve(args: &[String]) -> i32 {
         db.target_count(),
         db.total_features()
     );
+    // The reload hook re-runs the exact build pipeline of startup — same
+    // refs path, same deterministic build, same shard split — and swaps
+    // the result in as the next epoch. In-flight batches finish on the old
+    // database; the swap is the moment new batches observe the new one.
+    let refs_path = refs.to_string();
+    let hook: ReloadHook = Arc::new(move |engine: &ServingEngine| {
+        let db = build_from_refs(&refs_path)?;
+        let db = if sharded {
+            let split = metacache::ShardedDatabase::round_robin(db, shard_count)
+                .map_err(|e| format!("shard split: {e}"))?;
+            Arc::clone(&split.shards()[shard])
+        } else {
+            Arc::new(db)
+        };
+        eprintln!(
+            "mc-serve: reloading {} ({} targets, {} features)",
+            refs_path,
+            db.target_count(),
+            db.total_features()
+        );
+        Ok(engine.reload_backend(metacache::HostBackend::new(db)))
+    });
     let engine = ServingEngine::host_with_config(db, config);
-    run_engine(engine, listen, config.workers)
+    run_engine(engine, listen, config.workers, Some(hook))
 }
 
 /// Scatter-gather router over N shard servers (see the module docs and
@@ -331,26 +372,48 @@ fn route(args: &[String]) -> i32 {
         meta.target_count(),
         shards.len()
     );
-    let backend = match RouterBackend::new(
-        meta,
-        &shards,
-        RouterConfig {
-            client: ClientConfig {
-                connect_timeout: Some(Duration::from_secs(5)),
-                request_timeout: Some(Duration::from_secs(30)),
-                ..ClientConfig::default()
-            },
-            policy: RetryPolicy::default(),
+    let router_config = RouterConfig {
+        client: ClientConfig {
+            connect_timeout: Some(Duration::from_secs(5)),
+            request_timeout: Some(Duration::from_secs(30)),
+            ..ClientConfig::default()
         },
-    ) {
+        policy: RetryPolicy::default(),
+    };
+    let backend = match RouterBackend::new(meta, &shards, router_config.clone()) {
         Ok(backend) => backend,
         Err(e) => {
             eprintln!("mc-serve: resolve shard addresses: {e}");
             return 1;
         }
     };
+    // Routed reload: rebuild the router's metadata from the refs and swap
+    // it first, then tell every shard server to reload. Order matters —
+    // new metadata over old shard tables degrades gracefully (old target
+    // ids stay valid in the grown target table), whereas new shard tables
+    // over old metadata would answer with target ids the merge step cannot
+    // resolve. The router workers' generation-agreement re-query bridges
+    // the window in which the shard sweep is mid-propagation.
+    let refs_path = refs.to_string();
+    let shard_addrs = shards.clone();
+    let hook_config = router_config;
+    let hook: ReloadHook = Arc::new(move |engine: &ServingEngine| {
+        let meta = build_from_refs(&refs_path).map(|db| Arc::new(db.metadata_view()))?;
+        let backend = RouterBackend::new(meta, &shard_addrs, hook_config.clone())
+            .map_err(|e| format!("resolve shard addresses: {e}"))?;
+        let generation = engine.reload_backend(backend);
+        for addr in &shard_addrs {
+            let mut client = NetClient::connect(addr.as_str())
+                .map_err(|e| format!("reload shard {addr}: {e}"))?;
+            let shard_generation = client
+                .reload()
+                .map_err(|e| format!("reload shard {addr}: {e}"))?;
+            eprintln!("mc-serve: shard {addr} reloaded to generation {shard_generation}");
+        }
+        Ok(generation)
+    });
     let engine = ServingEngine::new(backend, config);
-    run_engine(engine, listen, config.workers)
+    run_engine(engine, listen, config.workers, Some(hook))
 }
 
 fn classify(args: &[String]) -> i32 {
@@ -405,6 +468,36 @@ fn classify(args: &[String]) -> i32 {
         }
         Err(e) => {
             eprintln!("mc-serve: classify: {e}");
+            1
+        }
+    }
+}
+
+/// Trigger a zero-downtime database reload on a running server (v5
+/// `Reload`/`ReloadAck`): the server's reload hook rebuilds its database
+/// and swaps epochs while streams keep flowing.
+fn reload(args: &[String]) -> i32 {
+    let (flags, rest) = parse_flags(args, &["--addr"]);
+    if !rest.is_empty() {
+        usage();
+    }
+    let Some(addr) = flag(&flags, "--addr") else {
+        usage()
+    };
+    let mut client = match NetClient::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("mc-serve: connect {addr}: {e}");
+            return 1;
+        }
+    };
+    match client.reload() {
+        Ok(generation) => {
+            eprintln!("mc-serve: {addr} reloaded; database generation {generation}");
+            0
+        }
+        Err(e) => {
+            eprintln!("mc-serve: reload {addr}: {e}");
             1
         }
     }

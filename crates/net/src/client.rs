@@ -20,7 +20,7 @@ use metacache::{Candidate, Classification};
 use crate::protocol::{
     encode_candidates, encode_classify, encode_classify_packed, read_frame, write_frame, Frame,
     NetError, ProtocolError, BUSY_CONNECTION, CANDIDATES_MIN_VERSION, LIVENESS_MIN_VERSION, MAGIC,
-    MIN_PROTOCOL_VERSION, PACKED_MIN_VERSION, PROTOCOL_VERSION,
+    MIN_PROTOCOL_VERSION, PACKED_MIN_VERSION, PROTOCOL_VERSION, RELOAD_MIN_VERSION,
 };
 
 /// Connection preferences sent in the handshake. The server may shrink but
@@ -120,6 +120,10 @@ pub struct NetClient {
     /// Set once the connection is unusable (error frame seen or I/O
     /// failure); later calls fail fast instead of deadlocking.
     dead: bool,
+    /// The database generation tag of the most recent `Results` /
+    /// `CandidateResults` / `ReloadAck` (v5 servers only; `None` before the
+    /// first tagged response or on a pre-v5 conversation).
+    last_generation: Option<u64>,
 }
 
 impl NetClient {
@@ -168,6 +172,7 @@ impl NetClient {
             version: MIN_PROTOCOL_VERSION,
             next_request: 0,
             dead: false,
+            last_generation: None,
         };
         match client.read_reply()? {
             Frame::HelloAck {
@@ -214,6 +219,44 @@ impl NetClient {
     /// connection is a bit-identical v1 verbatim conversation.
     pub fn protocol_version(&self) -> u16 {
         self.version
+    }
+
+    /// The database generation reported by the most recent `Results`,
+    /// `CandidateResults` or `ReloadAck` of this connection — `None` until
+    /// a v5 server has tagged a response. A streaming client watches this
+    /// move to detect a mid-stream reference upgrade.
+    pub fn database_generation(&self) -> Option<u64> {
+        self.last_generation
+    }
+
+    /// Ask the server to hot-swap its database (rebuild / re-read its
+    /// reference set) and block until the swap is published, returning the
+    /// new generation. Requires a negotiated protocol of v5 or later
+    /// ([`RELOAD_MIN_VERSION`]) and **no requests in flight** — the ack
+    /// must be the next frame on the wire. A server without a configured
+    /// reload hook answers with an `Error` frame ([`NetError::Remote`]);
+    /// the old database keeps serving in that case.
+    pub fn reload(&mut self) -> Result<u64, NetError> {
+        self.check_alive()?;
+        if self.version < RELOAD_MIN_VERSION {
+            return Err(ProtocolError::Malformed("reload requires protocol v5").into());
+        }
+        if let Err(e) = write_frame(&mut self.writer, &Frame::Reload)
+            .and_then(|()| self.writer.flush().map_err(NetError::from))
+        {
+            self.dead = true;
+            return Err(e);
+        }
+        match self.read_reply()? {
+            Frame::ReloadAck { generation } => {
+                self.last_generation = Some(generation);
+                Ok(generation)
+            }
+            other => {
+                self.dead = true;
+                Err(ProtocolError::Malformed(unexpected(&other)).into())
+            }
+        }
     }
 
     /// Probe connection liveness with a `Ping`/`Pong` round trip (also
@@ -265,6 +308,17 @@ impl NetClient {
         &mut self,
         reads: &[SequenceRecord],
     ) -> Result<Vec<Vec<Candidate>>, NetError> {
+        let id = self.send_candidates_request(reads)?;
+        Ok(self.recv_candidates(id)?.0)
+    }
+
+    /// [`NetClient::candidates_batch`] plus the response's database
+    /// generation tag — the router's scatter leg uses this to refuse a
+    /// torn merge of legs answering from different epochs.
+    pub fn candidates_batch_tagged(
+        &mut self,
+        reads: &[SequenceRecord],
+    ) -> Result<(Vec<Vec<Candidate>>, Option<u64>), NetError> {
         let id = self.send_candidates_request(reads)?;
         self.recv_candidates(id)
     }
@@ -435,18 +489,22 @@ impl NetClient {
     pub(crate) fn recv_candidates(
         &mut self,
         expect_id: u64,
-    ) -> Result<Vec<Vec<Candidate>>, NetError> {
+    ) -> Result<(Vec<Vec<Candidate>>, Option<u64>), NetError> {
         self.check_alive()?;
         match self.read_reply()? {
             Frame::CandidateResults {
                 request_id,
                 candidates,
+                generation,
             } => {
                 if request_id != expect_id {
                     self.dead = true;
                     return Err(ProtocolError::Malformed("response out of order").into());
                 }
-                Ok(candidates)
+                if generation.is_some() {
+                    self.last_generation = generation;
+                }
+                Ok((candidates, generation))
             }
             other => {
                 self.dead = true;
@@ -461,10 +519,14 @@ impl NetClient {
             Frame::Results {
                 request_id,
                 entries,
+                generation,
             } => {
                 if request_id != expect_id {
                     self.dead = true;
                     return Err(ProtocolError::Malformed("response out of order").into());
+                }
+                if generation.is_some() {
+                    self.last_generation = generation;
                 }
                 Ok(entries.iter().map(|e| e.to_classification()).collect())
             }
@@ -572,5 +634,7 @@ fn unexpected(frame: &Frame) -> &'static str {
         Frame::Busy { .. } => "unexpected Busy",
         Frame::Candidates { .. } => "unexpected Candidates",
         Frame::CandidateResults { .. } => "unexpected CandidateResults",
+        Frame::Reload => "unexpected Reload",
+        Frame::ReloadAck { .. } => "unexpected ReloadAck",
     }
 }

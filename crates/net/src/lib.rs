@@ -66,4 +66,4 @@ pub use client::{ClientConfig, NetClient, NetSummary};
 pub use protocol::{ErrorCode, Frame, NetError, ProtocolError, ResultEntry};
 pub use retry::{RetryClient, RetryPolicy, RetryStats};
 pub use router::{RouterBackend, RouterConfig};
-pub use server::{NetServer, ServerConfig, ServerHandle, ServerStats};
+pub use server::{NetServer, ReloadHook, ServerConfig, ServerHandle, ServerStats};

@@ -35,14 +35,18 @@ use metacache::{Candidate, Classification};
 /// Protocol magic carried by the [`Frame::Hello`] frame: `"MCNT"`.
 pub const MAGIC: u32 = 0x4D43_4E54;
 
-/// Current protocol version. Version 4 adds the scatter-gather vocabulary —
-/// the [`Frame::Candidates`] request and its [`Frame::CandidateResults`]
-/// answer, which let a router merge per-shard top-hit lists instead of
-/// final classifications; version 3 added the fault-tolerance vocabulary
+/// Current protocol version. Version 5 adds the live-reload vocabulary —
+/// the [`Frame::Reload`] admin request and its [`Frame::ReloadAck`] answer,
+/// plus a database-generation tag trailing [`Frame::Results`] and
+/// [`Frame::CandidateResults`] so clients detect a mid-stream reference
+/// upgrade; version 4 added the scatter-gather vocabulary
+/// ([`Frame::Candidates`] / [`Frame::CandidateResults`], which let a router
+/// merge per-shard top-hit lists instead of final classifications);
+/// version 3 added the fault-tolerance vocabulary
 /// ([`Frame::Ping`]/[`Frame::Pong`] liveness probes, the typed
 /// [`Frame::Busy`] overload answer and the optional `Hello` auth token);
 /// version 2 added the packed request encoding ([`Frame::ClassifyPacked`]).
-pub const PROTOCOL_VERSION: u16 = 4;
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Oldest protocol version a server still accepts. The connection speaks
 /// `min(client version, PROTOCOL_VERSION)` — a v1 peer gets a bit-identical
@@ -70,6 +74,16 @@ pub const LIVENESS_MIN_VERSION: u16 = 3;
 /// [`ErrorCode::UnknownFrameType`] — classification-only peers interoperate
 /// unchanged.
 pub const CANDIDATES_MIN_VERSION: u16 = 4;
+
+/// First protocol version that speaks the live-reload vocabulary:
+/// [`Frame::Reload`] / [`Frame::ReloadAck`] and the database-generation tag
+/// trailing [`Frame::Results`] / [`Frame::CandidateResults`]. On a
+/// connection negotiated below this, the reload frames are rejected as
+/// [`ErrorCode::UnknownFrameType`] and results are encoded without the tag —
+/// byte-identical to the v4 encoding, so pre-v5 peers interoperate
+/// unchanged (a server may still hot-swap under them; they just cannot see
+/// the generation move).
+pub const RELOAD_MIN_VERSION: u16 = 5;
 
 /// The `request_id` a [`Frame::Busy`] carries when the *connection* (not an
 /// individual request) was refused — the server closes right after sending
@@ -114,6 +128,12 @@ pub mod frame_type {
     /// Server → client: per-read candidate lists answering a
     /// [`CANDIDATES`] request (protocol version ≥ 4).
     pub const CANDIDATE_RESULTS: u8 = 12;
+    /// Client → server: hot-swap the serving database (admin request,
+    /// protocol version ≥ 5).
+    pub const RELOAD: u8 = 13;
+    /// Server → client: answer to a [`RELOAD`], carrying the new database
+    /// generation (protocol version ≥ 5).
+    pub const RELOAD_ACK: u8 = 14;
 }
 
 /// Per-record flag bits of the packed read encoding
@@ -371,6 +391,13 @@ pub enum Frame {
         request_id: u64,
         /// One entry per read, in the request's read order.
         entries: Vec<ResultEntry>,
+        /// The database generation the whole request was classified
+        /// against (protocol version ≥ 5). When `None`, the payload is
+        /// byte-identical to a v1–v4 `Results`; the tag rides as one
+        /// trailing u64, mirroring the `Hello` auth-token extension. A
+        /// server never answers one request with mixed generations — a
+        /// request caught mid-swap is replayed entirely on the new epoch.
+        generation: Option<u64>,
     },
     /// Fatal error; the sender closes the connection after this frame.
     Error {
@@ -429,6 +456,24 @@ pub enum Frame {
         /// deterministic tie-break and truncated to the server database's
         /// `top_candidates` capacity.
         candidates: Vec<Vec<Candidate>>,
+        /// The database generation the lists were produced from (protocol
+        /// version ≥ 5, trailing-optional exactly like
+        /// [`Frame::Results`]). A router refuses to merge legs reporting
+        /// different generations — that would be a torn mixed-epoch merge.
+        generation: Option<u64>,
+    },
+    /// Hot-swap request (client → server, protocol version ≥ 5): rebuild /
+    /// reload the serving database and swap it in with zero downtime.
+    /// Answered — in receive order, after every earlier request of the
+    /// connection — by a [`Frame::ReloadAck`] carrying the new generation,
+    /// or by [`Frame::Error`] if the server has no reload hook configured
+    /// or the reload failed (the swap is all-or-nothing; on failure the old
+    /// epoch keeps serving).
+    Reload,
+    /// Answer to a [`Frame::Reload`] (server → client).
+    ReloadAck {
+        /// The database generation now serving.
+        generation: u64,
     },
 }
 
@@ -498,6 +543,8 @@ impl Frame {
             Self::Busy { .. } => frame_type::BUSY,
             Self::Candidates { .. } => frame_type::CANDIDATES,
             Self::CandidateResults { .. } => frame_type::CANDIDATE_RESULTS,
+            Self::Reload => frame_type::RELOAD,
+            Self::ReloadAck { .. } => frame_type::RELOAD_ACK,
         }
     }
 
@@ -541,6 +588,7 @@ impl Frame {
             Self::Results {
                 request_id,
                 entries,
+                generation,
             } => {
                 put_u64(out, *request_id);
                 put_u32(
@@ -554,6 +602,11 @@ impl Frame {
                     out.push(e.rank);
                     put_u32(out, e.best_target);
                     put_u32(out, e.best_hits);
+                }
+                // v5 generation tag: one trailing u64, absent pre-v5 (the
+                // bare payload stays bit-compatible with v1–v4).
+                if let Some(generation) = generation {
+                    put_u64(out, *generation);
                 }
             }
             Self::Error { code, message } => {
@@ -575,9 +628,12 @@ impl Frame {
             Self::CandidateResults {
                 request_id,
                 candidates,
+                generation,
             } => {
-                encode_candidate_results_payload(out, *request_id, candidates)?;
+                encode_candidate_results_payload(out, *request_id, candidates, *generation)?;
             }
+            Self::Reload => {}
+            Self::ReloadAck { generation } => put_u64(out, *generation),
         }
         Ok(())
     }
@@ -641,6 +697,9 @@ impl Frame {
                 Self::Results {
                     request_id,
                     entries,
+                    // A v5 server appends one trailing generation u64; the
+                    // bare payload stays bit-compatible with v1–v4.
+                    generation: cursor.trailing_generation()?,
                 }
             }
             frame_type::ERROR => Self::Error {
@@ -680,8 +739,13 @@ impl Frame {
                 Self::CandidateResults {
                     request_id,
                     candidates,
+                    generation: cursor.trailing_generation()?,
                 }
             }
+            frame_type::RELOAD => Self::Reload,
+            frame_type::RELOAD_ACK => Self::ReloadAck {
+                generation: cursor.u64()?,
+            },
             other => return Err(ProtocolError::UnknownFrameType(other)),
         };
         cursor.finish()?;
@@ -989,6 +1053,7 @@ pub fn encode_results_into(
     out: &mut Vec<u8>,
     request_id: u64,
     classifications: &[Classification],
+    generation: Option<u64>,
 ) -> Result<(), ProtocolError> {
     out.clear();
     out.extend_from_slice(&[0u8; 4]);
@@ -1006,6 +1071,9 @@ pub fn encode_results_into(
         out.push(e.rank);
         put_u32(out, e.best_target);
         put_u32(out, e.best_hits);
+    }
+    if let Some(generation) = generation {
+        put_u64(out, generation);
     }
     let len = u32::try_from(out.len() - 4).map_err(|_| ProtocolError::FrameTooLarge(u32::MAX))?;
     if len > MAX_FRAME_LEN {
@@ -1036,6 +1104,7 @@ fn encode_candidate_results_payload<L: AsRef<[Candidate]>>(
     out: &mut Vec<u8>,
     request_id: u64,
     reads: &[L],
+    generation: Option<u64>,
 ) -> Result<(), ProtocolError> {
     put_u64(out, request_id);
     put_u32(
@@ -1055,6 +1124,9 @@ fn encode_candidate_results_payload<L: AsRef<[Candidate]>>(
             put_u32(out, c.hits);
         }
     }
+    if let Some(generation) = generation {
+        put_u64(out, generation);
+    }
     Ok(())
 }
 
@@ -1067,11 +1139,12 @@ pub fn encode_candidate_results_into<L: AsRef<[Candidate]>>(
     out: &mut Vec<u8>,
     request_id: u64,
     reads: &[L],
+    generation: Option<u64>,
 ) -> Result<(), ProtocolError> {
     out.clear();
     out.extend_from_slice(&[0u8; 4]);
     out.push(frame_type::CANDIDATE_RESULTS);
-    encode_candidate_results_payload(out, request_id, reads)?;
+    encode_candidate_results_payload(out, request_id, reads, generation)?;
     let len = u32::try_from(out.len() - 4).map_err(|_| ProtocolError::FrameTooLarge(u32::MAX))?;
     if len > MAX_FRAME_LEN {
         return Err(ProtocolError::FrameTooLarge(len));
@@ -1243,6 +1316,18 @@ impl<'a> Cursor<'a> {
         Ok(())
     }
 
+    /// The optional v5 database-generation tag: exactly 8 trailing bytes.
+    /// Any other non-empty remainder is left for [`Cursor::finish`] to
+    /// reject as trailing bytes — a complete untagged frame followed by
+    /// garbage is malformed, not truncated.
+    fn trailing_generation(&mut self) -> Result<Option<u64>, ProtocolError> {
+        if self.rest.len() == 8 {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
     /// Require that the whole payload was consumed.
     fn finish(self) -> Result<(), ProtocolError> {
         if self.rest.is_empty() {
@@ -1330,7 +1415,15 @@ mod tests {
                     best_hits: 0,
                 },
             ],
+            generation: None,
         });
+        roundtrip(Frame::Results {
+            request_id: 43,
+            entries: Vec::new(),
+            generation: Some(7),
+        });
+        roundtrip(Frame::Reload);
+        roundtrip(Frame::ReloadAck { generation: 3 });
         roundtrip(Frame::Error {
             code: ErrorCode::Malformed,
             message: "bad payload".into(),
@@ -1379,10 +1472,12 @@ mod tests {
                     hits: u32::MAX,
                 }],
             ],
+            generation: None,
         });
         roundtrip(Frame::CandidateResults {
             request_id: 0,
             candidates: Vec::new(),
+            generation: Some(u64::MAX),
         });
     }
 
@@ -1440,13 +1535,24 @@ mod tests {
         let owned = Frame::CandidateResults {
             request_id: 77,
             candidates: lists.clone(),
+            generation: None,
         }
         .encode()
         .unwrap();
         let mut hot = vec![0xAA; 3]; // stale contents must be cleared
         let borrowed: Vec<&[Candidate]> = lists.iter().map(Vec::as_slice).collect();
-        encode_candidate_results_into(&mut hot, 77, &borrowed).unwrap();
+        encode_candidate_results_into(&mut hot, 77, &borrowed, None).unwrap();
         assert_eq!(hot, owned);
+        // The tagged (v5) form also agrees with the owned encoder.
+        let owned_tagged = Frame::CandidateResults {
+            request_id: 77,
+            candidates: lists.clone(),
+            generation: Some(9),
+        }
+        .encode()
+        .unwrap();
+        encode_candidate_results_into(&mut hot, 77, &borrowed, Some(9)).unwrap();
+        assert_eq!(hot, owned_tagged);
     }
 
     /// A truncated `CandidateResults` payload (count promising more entries
@@ -1461,6 +1567,7 @@ mod tests {
                 window_end: 4,
                 hits: 9,
             }]],
+            generation: None,
         };
         let bytes = frame.encode().unwrap();
         let payload = &bytes[5..];
@@ -1725,13 +1832,28 @@ mod tests {
             .collect();
         let framed = Frame::Results {
             request_id: 31,
-            entries,
+            entries: entries.clone(),
+            generation: None,
         }
         .encode()
         .unwrap();
         let mut reused = vec![0xAB; 64]; // stale content must be overwritten
-        encode_results_into(&mut reused, 31, &classifications).unwrap();
+        encode_results_into(&mut reused, 31, &classifications, None).unwrap();
         assert_eq!(reused, framed);
+        // The tagged (v5) form also agrees with the owned encoder.
+        let framed_tagged = Frame::Results {
+            request_id: 31,
+            entries,
+            generation: Some(4),
+        }
+        .encode()
+        .unwrap();
+        encode_results_into(&mut reused, 31, &classifications, Some(4)).unwrap();
+        assert_eq!(reused, framed_tagged);
+        // The trailing tag is exactly eight bytes — a pre-v5 decoder would
+        // see them as trailing garbage, which is why the tag is gated on
+        // the negotiated version, never sent unconditionally.
+        assert_eq!(framed_tagged.len(), framed.len() + 8);
     }
 
     #[test]

@@ -245,6 +245,39 @@ impl RetryClient {
         }
     }
 
+    /// [`NetClient::candidates_batch_tagged`] with retries: the candidate
+    /// lists plus the database generation they were computed under (`None`
+    /// from a pre-v5 server). A scatter-gather router compares the tags of
+    /// its shard legs and re-queries on disagreement, so the tag must ride
+    /// with the lists through the retry layer.
+    pub fn candidates_batch_tagged(
+        &mut self,
+        reads: &[SequenceRecord],
+    ) -> Result<(Vec<Vec<Candidate>>, Option<u64>), NetError> {
+        let mut attempt = 0u32;
+        loop {
+            let mut conn = match self.take_conn() {
+                Ok(conn) => conn,
+                Err(e) => {
+                    self.backoff(&mut attempt, e)?;
+                    continue;
+                }
+            };
+            match conn.candidates_batch_tagged(reads) {
+                Ok(tagged) => {
+                    self.conn = Some(conn);
+                    return Ok(tagged);
+                }
+                Err(e) => {
+                    if !conn.is_dead() {
+                        self.conn = Some(conn);
+                    }
+                    self.backoff(&mut attempt, e)?;
+                }
+            }
+        }
+    }
+
     /// [`NetClient::classify_iter`] with retries: stream reads through the
     /// credit window; chunks whose requests are shed or lose their
     /// connection are replayed (fresh request ids, same payload) until

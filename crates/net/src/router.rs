@@ -32,6 +32,7 @@
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 use mc_seqio::SequenceRecord;
 use metacache::classify::classify_candidates;
@@ -125,6 +126,16 @@ impl Backend for RouterBackend {
     }
 }
 
+/// Scatter rounds tolerated while shard legs report different database
+/// generations (a reload sweep is still propagating across the shard
+/// servers); past this bound the worker panics, exactly like an exhausted
+/// retry policy.
+const MAX_GENERATION_REQUERIES: usize = 8;
+
+/// Pause between generation re-queries, giving a propagating reload sweep
+/// time to reach every shard server.
+const GENERATION_REQUERY_PAUSE: Duration = Duration::from_millis(25);
+
 /// One engine worker's routing state: a retrying connection per shard plus
 /// the merge scratch.
 struct RouterWorker<'b> {
@@ -140,24 +151,53 @@ impl BackendWorker for RouterWorker<'_> {
         // for a broken execution substrate: the owning session re-raises,
         // the engine mints a replacement worker (with fresh connections),
         // and every other session keeps streaming.
-        let per_shard: Vec<Vec<Vec<metacache::Candidate>>> = self
-            .legs
-            .iter_mut()
-            .enumerate()
-            .map(|(shard, leg)| match leg.candidates_batch(records) {
-                Ok(lists) => {
-                    assert_eq!(
-                        lists.len(),
-                        records.len(),
-                        "shard {shard} answered {} candidate lists for {} reads",
-                        lists.len(),
-                        records.len(),
-                    );
-                    lists
-                }
-                Err(e) => panic!("shard leg {shard} failed beyond its retry policy: {e}"),
-            })
-            .collect();
+        //
+        // Shards that speak v5 tag their lists with a database generation.
+        // A batch merged from two different generations would be a torn
+        // response no single database ever produced, so on disagreement
+        // (a reload sweep caught mid-propagation) the whole scatter is
+        // re-queried until the shards converge. Untagged (pre-v5) legs
+        // agree with everything, preserving the old behaviour.
+        let mut round = 0usize;
+        let per_shard: Vec<Vec<Vec<metacache::Candidate>>> = loop {
+            let mut generation: Option<u64> = None;
+            let mut agreed = true;
+            let lists_per_shard: Vec<Vec<Vec<metacache::Candidate>>> = self
+                .legs
+                .iter_mut()
+                .enumerate()
+                .map(|(shard, leg)| match leg.candidates_batch_tagged(records) {
+                    Ok((lists, tag)) => {
+                        assert_eq!(
+                            lists.len(),
+                            records.len(),
+                            "shard {shard} answered {} candidate lists for {} reads",
+                            lists.len(),
+                            records.len(),
+                        );
+                        if let Some(tag) = tag {
+                            match generation {
+                                None => generation = Some(tag),
+                                Some(first) if first != tag => agreed = false,
+                                Some(_) => {}
+                            }
+                        }
+                        lists
+                    }
+                    Err(e) => panic!("shard leg {shard} failed beyond its retry policy: {e}"),
+                })
+                .collect();
+            if agreed {
+                break lists_per_shard;
+            }
+            round += 1;
+            assert!(
+                round <= MAX_GENERATION_REQUERIES,
+                "shard legs still disagree on their database generation \
+                 after {MAX_GENERATION_REQUERIES} re-queries"
+            );
+            std::thread::sleep(GENERATION_REQUERY_PAUSE);
+        };
         // Gather: merge each read's disjoint per-shard lists and run the
         // final classification step once, exactly like the in-process
         // sharded path.

@@ -76,7 +76,7 @@ use crate::protocol::{
     constant_time_eq, decode_classify_into, encode_candidate_results_into, encode_results_into,
     frame_type, write_frame, ErrorCode, Frame, ProtocolError, BUSY_CONNECTION,
     CANDIDATES_MIN_VERSION, LIVENESS_MIN_VERSION, MAGIC, MAX_FRAME_LEN, MIN_PROTOCOL_VERSION,
-    PACKED_MIN_VERSION, PROTOCOL_VERSION,
+    PACKED_MIN_VERSION, PROTOCOL_VERSION, RELOAD_MIN_VERSION,
 };
 
 /// Poll token of the listening socket (connection tokens start at 1;
@@ -89,6 +89,16 @@ const READ_CHUNK: usize = 64 * 1024;
 /// Write-stall bound for a connection refused with a connection-level
 /// `Busy`: a peer that will not read its refusal is simply dropped.
 const REFUSE_WRITE_WINDOW: Duration = Duration::from_secs(2);
+
+/// The server-side half of a v5 `Reload`: builds the next database state
+/// and swaps it into the engine (typically via
+/// [`ServingEngine::reload_backend`]), returning the new generation. The
+/// hook runs on a dedicated worker thread — it may block on I/O (re-reading
+/// references from disk, reloading downstream shards) without stalling the
+/// event loop. An `Err` is answered with [`ErrorCode::Internal`] and the
+/// requesting connection is closed; the serving state is whatever the hook
+/// left behind.
+pub type ReloadHook = Arc<dyn Fn(&ServingEngine) -> Result<u64, String> + Send + Sync>;
 
 /// Tuning knobs of a [`NetServer`].
 #[derive(Debug, Clone)]
@@ -266,7 +276,7 @@ impl ServerHandle {
 }
 
 /// A TCP front-end serving one [`ServingEngine`]: each accepted connection
-/// becomes one engine [`Session`](metacache::serving::Session), served by
+/// becomes one engine [`Session`], served by
 /// a single event-loop thread (see the module docs).
 ///
 /// The server borrows the engine, so the borrow checker proves the engine
@@ -313,6 +323,7 @@ pub struct NetServer<'e> {
     config: ServerConfig,
     shared: Arc<Shared>,
     poller: Poller,
+    reload: Option<ReloadHook>,
 }
 
 impl<'e> NetServer<'e> {
@@ -347,7 +358,17 @@ impl<'e> NetServer<'e> {
             config,
             shared,
             poller,
+            reload: None,
         })
+    }
+
+    /// Enable the v5 `Reload` admin frame: `hook` is invoked (on a
+    /// dedicated worker thread, serially) for each accepted `Reload`, and
+    /// its returned generation is answered with a `ReloadAck`. Without a
+    /// hook, `Reload` frames are refused with [`ErrorCode::Internal`].
+    pub fn with_reload(mut self, hook: ReloadHook) -> Self {
+        self.reload = Some(hook);
+        self
     }
 
     /// The bound address.
@@ -373,6 +394,7 @@ impl<'e> NetServer<'e> {
             config,
             shared,
             poller,
+            reload,
         } = self;
         {
             // Queue-space pops re-arm stashed submissions. The watcher
@@ -392,6 +414,8 @@ impl<'e> NetServer<'e> {
             timers: TimerHeap::new(),
             scratch: Vec::new(),
             jobs: Vec::new(),
+            reload_jobs: Vec::new(),
+            reload_enabled: reload.is_some(),
             space_waiters: HashSet::new(),
             serving: 0,
             high_water: match config.outbound_high_water {
@@ -414,6 +438,12 @@ impl<'e> NetServer<'e> {
             let (cand_done_tx, cand_done_rx) = mpsc::channel::<CandDone>();
             let cand_target = engine.config().workers.max(1);
             let mut cand_workers = 0usize;
+            // Reloads run on a single lazily-spawned worker: the hook may
+            // block on disk/network I/O, and serialising reloads gives each
+            // one a well-defined generation to acknowledge.
+            let (reload_tx, reload_rx) = mpsc::channel::<u64>();
+            let (reload_done_tx, reload_done_rx) = mpsc::channel::<ReloadDone>();
+            let mut reload_rx = Some(reload_rx);
             loop {
                 if draining && conns.is_empty() {
                     break;
@@ -444,8 +474,7 @@ impl<'e> NetServer<'e> {
                         ctx.finish(&mut conns, token);
                     }
                 }
-                for i in 0..events.len() {
-                    let ev = events[i];
+                for &ev in &events {
                     match ev.token {
                         WAKE_TOKEN => {}
                         LISTENER_TOKEN => {
@@ -487,6 +516,14 @@ impl<'e> NetServer<'e> {
                     }
                     ctx.finish(&mut conns, token);
                 }
+                while let Ok(result) = reload_done_rx.try_recv() {
+                    let token = result.conn;
+                    if let Some(conn) = conns.get_mut(&token) {
+                        ctx.apply_reload_result(conn, result);
+                        ctx.advance(token, conn);
+                    }
+                    ctx.finish(&mut conns, token);
+                }
                 if ctx.shared.queue_space.swap(false, Ordering::AcqRel) {
                     let waiters: Vec<u64> = ctx.space_waiters.drain().collect();
                     for token in waiters {
@@ -518,6 +555,18 @@ impl<'e> NetServer<'e> {
                         scope.spawn(move || candidate_worker(engine, jobs_rx, done_tx, waker));
                     }
                     let _ = cand_tx.send(job);
+                }
+                let pending_reloads = std::mem::take(&mut ctx.reload_jobs);
+                for token in pending_reloads {
+                    if let Some(rx) = reload_rx.take() {
+                        let hook = reload
+                            .clone()
+                            .expect("reload jobs are only queued with a hook installed");
+                        let done_tx = reload_done_tx.clone();
+                        let waker = ctx.shared.waker.clone();
+                        scope.spawn(move || reload_worker(engine, hook, rx, done_tx, waker));
+                    }
+                    let _ = reload_tx.send(token);
                 }
             }
             // Dropping the job sender here (closure scope end) unblocks the
@@ -571,6 +620,16 @@ struct ClassifyReq {
     /// for space or a freed credit.
     stashed: Option<Vec<SequenceRecord>>,
     classifications: Vec<Classification>,
+    /// Database generation of the first completed batch. The whole request
+    /// is answered under one generation: if a reload lands between two of
+    /// its batches, the request is replayed entirely on the new epoch.
+    generation: Option<u64>,
+    /// Some completed batch saw a different generation than the first —
+    /// the request straddled a reload and must replay.
+    mixed: bool,
+    /// Drained batch records held back for a possible replay (multi-batch
+    /// requests only; a single-batch request can never straddle a reload).
+    drained: Vec<Vec<SequenceRecord>>,
 }
 
 /// A decoded `Candidates` request (answered by the candidate pool).
@@ -583,6 +642,8 @@ struct CandReq {
     /// `Some(Some(lists))` = computed; `Some(None)` = the pool worker
     /// panicked on this request.
     done: Option<Option<Vec<Vec<Candidate>>>>,
+    /// Database generation the pool worker pinned for this request.
+    generation: u64,
 }
 
 /// One entry of a connection's FIFO response pipeline. Responses are
@@ -597,6 +658,14 @@ enum Item {
     /// A shed request's in-order `Busy` answer.
     Busy {
         request_id: u64,
+    },
+    /// A v5 `Reload` admin request, answered in order with `ReloadAck`.
+    Reload {
+        /// Handed to the reload worker (at most once).
+        started: bool,
+        /// `Some(Ok(generation))` = swapped; `Some(Err)` = the hook failed
+        /// (or none is installed) and the connection closes with an error.
+        done: Option<Result<u64, String>>,
     },
     /// Undecodable input: report and close (terminal).
     Fail(ProtocolError),
@@ -744,6 +813,14 @@ struct CandDone {
     request_id: u64,
     reads: Vec<SequenceRecord>,
     lists: Option<Vec<Vec<Candidate>>>,
+    /// Generation of the epoch the worker pinned for this request.
+    generation: u64,
+}
+
+/// A reload outcome returning from the reload worker to the loop.
+struct ReloadDone {
+    conn: u64,
+    result: Result<u64, String>,
 }
 
 /// The event loop's non-connection state, threaded through every pump.
@@ -757,6 +834,10 @@ struct LoopCtx<'e, 'c> {
     scratch: Vec<u8>,
     /// Candidates jobs produced this iteration, dispatched after pumping.
     jobs: Vec<CandJob>,
+    /// Connections whose `Reload` request awaits the reload worker.
+    reload_jobs: Vec<u64>,
+    /// A [`ReloadHook`] is installed (reloads without one fail fast).
+    reload_enabled: bool,
     /// Connections with a stashed submission waiting for queue space.
     space_waiters: HashSet<u64>,
     /// Connections currently counted against `max_connections`.
@@ -940,6 +1021,11 @@ impl<'e> LoopCtx<'e, '_> {
                 })
                 .expect("completed batch for an unknown request");
             req.completed += 1;
+            match req.generation {
+                None => req.generation = Some(done.generation),
+                Some(first) if first != done.generation => req.mixed = true,
+                Some(_) => {}
+            }
             if done.panicked {
                 req.failed = true;
             } else if req.total_batches == 1 {
@@ -947,13 +1033,43 @@ impl<'e> LoopCtx<'e, '_> {
             } else {
                 req.classifications.extend(done.classifications);
             }
-            if req.completed == req.total_batches && req.read_count > 0 {
-                conn.gauge -= req.read_count;
-                self.shared
-                    .inflight_records
-                    .fetch_sub(req.read_count, Ordering::Relaxed);
+            // Multi-batch requests hold their drained records until the
+            // whole request has completed under one generation: if a
+            // reload lands between two of its batches, the request replays
+            // entirely on the new epoch — a response is never a
+            // mixed-epoch merge. (A single-batch request cannot straddle a
+            // reload; its records are recycled immediately.)
+            let mut spare = None;
+            if req.total_batches > 1 && !req.failed {
+                req.drained.push(done.records);
+            } else {
+                spare = Some(done.records);
             }
-            recycle_into(&mut conn.pool, self.pool_cap, done.records);
+            if req.completed == req.total_batches {
+                if req.mixed && !req.failed {
+                    let all: Vec<SequenceRecord> = req.drained.drain(..).flatten().collect();
+                    req.completed = 0;
+                    req.classifications.clear();
+                    req.generation = None;
+                    req.mixed = false;
+                    req.pending = Some(Pending::Chunks(all.into_iter()));
+                    // The gauge reservation is kept: the reads are back in
+                    // flight, not done.
+                } else {
+                    if req.read_count > 0 {
+                        conn.gauge -= req.read_count;
+                        self.shared
+                            .inflight_records
+                            .fetch_sub(req.read_count, Ordering::Relaxed);
+                    }
+                    for records in req.drained.drain(..) {
+                        recycle_into(&mut conn.pool, self.pool_cap, records);
+                    }
+                }
+            }
+            if let Some(records) = spare {
+                recycle_into(&mut conn.pool, self.pool_cap, records);
+            }
         }
         progress
     }
@@ -1257,6 +1373,9 @@ impl<'e> LoopCtx<'e, '_> {
                                 pending,
                                 stashed: None,
                                 classifications: Vec::new(),
+                                generation: None,
+                                mixed: false,
+                                drained: Vec::new(),
                             })));
                     }
                     Err(e) => self.reject(conn, e),
@@ -1280,7 +1399,7 @@ impl<'e> LoopCtx<'e, '_> {
                             return;
                         }
                         conn.last_request_id = Some(request_id);
-                        if self.engine.database().partition_count() == 0 {
+                        if self.engine.pin_epoch().database().partition_count() == 0 {
                             // A metadata-only database (a router fronting
                             // this very protocol) has no local table to
                             // query; answering with empty lists would
@@ -1300,6 +1419,7 @@ impl<'e> LoopCtx<'e, '_> {
                             admitted: false,
                             reads: Some(reads),
                             done: None,
+                            generation: 0,
                         })));
                     }
                     Err(e) => self.reject(conn, e),
@@ -1314,6 +1434,21 @@ impl<'e> LoopCtx<'e, '_> {
                 match Frame::decode(t, &conn.rbuf[span]) {
                     Ok(Frame::Ping { nonce }) => conn.pipeline.push_back(Item::Ping { nonce }),
                     Ok(_) => unreachable!("PING tag decodes to Frame::Ping"),
+                    Err(e) => self.reject(conn, e),
+                }
+            }
+            t if t == frame_type::RELOAD => {
+                if conn.version < RELOAD_MIN_VERSION {
+                    // A pre-v5 peer must not smuggle in v5 frames.
+                    self.reject(conn, ProtocolError::UnknownFrameType(t));
+                    return;
+                }
+                match Frame::decode(t, &conn.rbuf[span]) {
+                    Ok(Frame::Reload) => conn.pipeline.push_back(Item::Reload {
+                        started: false,
+                        done: None,
+                    }),
+                    Ok(_) => unreachable!("RELOAD tag decodes to Frame::Reload"),
                     Err(e) => self.reject(conn, e),
                 }
             }
@@ -1484,6 +1619,19 @@ impl<'e> LoopCtx<'e, '_> {
                     }
                     idx += 1;
                 }
+                Item::Reload { started, done } => {
+                    if !*started {
+                        *started = true;
+                        progress = true;
+                        if self.reload_enabled {
+                            self.reload_jobs.push(token);
+                        } else {
+                            *done =
+                                Some(Err("live reload is not enabled on this server".to_string()));
+                        }
+                    }
+                    idx += 1;
+                }
                 _ => idx += 1,
             }
         }
@@ -1500,11 +1648,26 @@ impl<'e> LoopCtx<'e, '_> {
             return;
         };
         req.done = Some(result.lists);
+        req.generation = result.generation;
         if req.read_count > 0 {
             conn.gauge -= req.read_count;
             self.shared
                 .inflight_records
                 .fetch_sub(req.read_count, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a reload outcome arriving from the reload worker: it resolves
+    /// the connection's oldest dispatched-but-unanswered `Reload` item
+    /// (reloads are dispatched and resolved in FIFO order through the
+    /// single worker).
+    fn apply_reload_result(&mut self, conn: &mut Conn<'e>, result: ReloadDone) {
+        let slot = conn.pipeline.iter_mut().find_map(|item| match item {
+            Item::Reload { started, done } if *started && done.is_none() => Some(done),
+            _ => None,
+        });
+        if let Some(done) = slot {
+            *done = Some(result.result);
         }
     }
 
@@ -1524,6 +1687,7 @@ impl<'e> LoopCtx<'e, '_> {
                         && r.completed == r.total_batches
                 }
                 Some(Item::Candidates(r)) => r.done.is_some(),
+                Some(Item::Reload { done, .. }) => done.is_some(),
                 Some(Item::Ping { .. })
                 | Some(Item::Busy { .. })
                 | Some(Item::Fail(_))
@@ -1564,10 +1728,17 @@ impl<'e> LoopCtx<'e, '_> {
                             .counters
                             .reads
                             .fetch_add(req.read_count, Ordering::Relaxed);
+                        // v5 peers get the generation tag (an empty
+                        // request never touched the table — it reports the
+                        // current generation); older peers get the exact
+                        // pre-v5 byte stream.
+                        let generation = (conn.version >= RELOAD_MIN_VERSION)
+                            .then(|| req.generation.unwrap_or_else(|| self.engine.generation()));
                         if encode_results_into(
                             &mut self.scratch,
                             req.request_id,
                             &req.classifications,
+                            generation,
                         )
                         .is_ok()
                         {
@@ -1587,8 +1758,15 @@ impl<'e> LoopCtx<'e, '_> {
                             .counters
                             .reads
                             .fetch_add(req.read_count, Ordering::Relaxed);
-                        if encode_candidate_results_into(&mut self.scratch, req.request_id, &lists)
-                            .is_ok()
+                        let generation =
+                            (conn.version >= RELOAD_MIN_VERSION).then_some(req.generation);
+                        if encode_candidate_results_into(
+                            &mut self.scratch,
+                            req.request_id,
+                            &lists,
+                            generation,
+                        )
+                        .is_ok()
                         {
                             conn.out.extend_from_slice(&self.scratch);
                         } else {
@@ -1608,6 +1786,25 @@ impl<'e> LoopCtx<'e, '_> {
                                     "candidate query failed for request {}",
                                     req.request_id
                                 ),
+                            },
+                        );
+                        conn.begin_close();
+                    }
+                },
+                Item::Reload { done, .. } => match done.expect("readiness checked") {
+                    Ok(generation) => {
+                        push_frame(&mut conn.out, &Frame::ReloadAck { generation });
+                    }
+                    Err(message) => {
+                        self.shared
+                            .counters
+                            .internal_errors
+                            .fetch_add(1, Ordering::Relaxed);
+                        push_frame(
+                            &mut conn.out,
+                            &Frame::Error {
+                                code: ErrorCode::Internal,
+                                message,
                             },
                         );
                         conn.begin_close();
@@ -1876,7 +2073,6 @@ fn candidate_worker(
     done: mpsc::Sender<CandDone>,
     waker: Waker,
 ) {
-    let mut classifier = Classifier::new(engine.database());
     let mut scratch = QueryScratch::new();
     loop {
         let job = jobs.lock().unwrap_or_else(|e| e.into_inner()).recv();
@@ -1888,7 +2084,15 @@ fn candidate_worker(
         else {
             break;
         };
+        // Pin the epoch per job, never across the blocking recv: an idle
+        // pool worker must not keep a swapped-out database alive. The
+        // classifier is a thin view over the pinned database — rebuilding
+        // it per job is cheap (the expensive state is the scratch, which
+        // is kept warm across jobs).
+        let epoch = engine.pin_epoch();
+        let generation = epoch.generation();
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let classifier = Classifier::new(epoch.database());
             let mut lists: Vec<Vec<Candidate>> = Vec::with_capacity(reads.len());
             for read in &reads {
                 lists.push(
@@ -1900,12 +2104,12 @@ fn candidate_worker(
             }
             lists
         }));
+        drop(epoch);
         let lists = match outcome {
             Ok(lists) => Some(lists),
             Err(_) => {
                 // The scratch may be mid-mutation after a panic: rebuild
-                // both so the worker stays healthy for the next request.
-                classifier = Classifier::new(engine.database());
+                // it so the worker stays healthy for the next request.
                 scratch = QueryScratch::new();
                 None
             }
@@ -1916,9 +2120,33 @@ fn candidate_worker(
                 request_id,
                 reads,
                 lists,
+                generation,
             })
             .is_err()
         {
+            break;
+        }
+        waker.wake();
+    }
+}
+
+/// The reload worker: runs the installed [`ReloadHook`] for each queued
+/// `Reload` request, serially. A panicking hook is answered like a failing
+/// one — the worker stays alive for later reloads.
+fn reload_worker(
+    engine: &ServingEngine,
+    hook: ReloadHook,
+    jobs: mpsc::Receiver<u64>,
+    done: mpsc::Sender<ReloadDone>,
+    waker: Waker,
+) {
+    while let Ok(conn) = jobs.recv() {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| hook(engine)));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(_) => Err("reload hook panicked".to_string()),
+        };
+        if done.send(ReloadDone { conn, result }).is_err() {
             break;
         }
         waker.wake();

@@ -72,6 +72,10 @@ pub enum TableError {
     /// The per-key value limit was reached and the value was dropped
     /// (mirrors the paper's 254-locations-per-feature cap).
     ValueLimitReached,
+    /// The store is a read-only layout (e.g. the condensed on-disk format)
+    /// and cannot accept insertions; callers wanting post-load insertion
+    /// must first convert it to a mutable table.
+    ReadOnly,
 }
 
 impl std::fmt::Display for TableError {
@@ -80,6 +84,9 @@ impl std::fmt::Display for TableError {
             TableError::TableFull => write!(f, "hash table is full (probing sequence exhausted)"),
             TableError::ValueLimitReached => {
                 write!(f, "per-key value limit reached; value dropped")
+            }
+            TableError::ReadOnly => {
+                write!(f, "store is read-only; convert it to a mutable table first")
             }
         }
     }

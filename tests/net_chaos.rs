@@ -9,6 +9,7 @@
 
 use std::io::Write;
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -22,7 +23,7 @@ use mc_taxonomy::{Rank, Taxonomy};
 use metacache::build::CpuBuilder;
 use metacache::query::Classifier;
 use metacache::serving::{EngineConfig, ServingEngine};
-use metacache::{Database, MetaCacheConfig};
+use metacache::{Database, HostBackend, MetaCacheConfig};
 
 fn make_seq(len: usize, seed: u64) -> Vec<u8> {
     let mut state = seed | 1;
@@ -1111,6 +1112,7 @@ fn pipelined_requests_return_bit_identical_per_request_results() {
                 Frame::Results {
                     request_id,
                     entries,
+                    ..
                 } => {
                     assert_eq!(request_id, (i + 1) as u64, "responses out of order");
                     assert_eq!(
@@ -1138,4 +1140,437 @@ fn pipelined_requests_return_bit_identical_per_request_results() {
         runner.join().unwrap().unwrap();
     });
     engine.shutdown();
+}
+
+/// The shared two-species database grown by a third and fourth species —
+/// the "next epoch" reference set of the reload tests. Target ids 0 and 1
+/// and their taxa are identical to [`shared_database`], so both epochs can
+/// classify the same reads (with possibly different answers, which is what
+/// the per-generation oracles account for).
+fn grown_database() -> Database {
+    let mut taxonomy = Taxonomy::with_root();
+    taxonomy.add_node(10, 1, Rank::Genus, "G").unwrap();
+    taxonomy.add_node(100, 10, Rank::Species, "G a").unwrap();
+    taxonomy.add_node(101, 10, Rank::Species, "G b").unwrap();
+    taxonomy.add_node(102, 10, Rank::Species, "G c").unwrap();
+    taxonomy.add_node(103, 10, Rank::Species, "G d").unwrap();
+    let (_, genomes) = shared_database();
+    let mut builder = CpuBuilder::new(MetaCacheConfig::for_tests(), taxonomy);
+    builder
+        .add_target(SequenceRecord::new("refA", genomes[0].clone()), 100)
+        .unwrap();
+    builder
+        .add_target(SequenceRecord::new("refB", genomes[1].clone()), 101)
+        .unwrap();
+    builder
+        .add_target(SequenceRecord::new("refC", make_seq(18_000, 63)), 102)
+        .unwrap();
+    builder
+        .add_target(SequenceRecord::new("refD", make_seq(18_000, 64)), 103)
+        .unwrap();
+    builder.finish()
+}
+
+/// Satellite: reloads racing rude disconnects. Several peers fire `Reload`
+/// and vanish without reading the ack — dropped cold, half-closed, or
+/// mid-frame — while a healthy client streams classification requests.
+/// The orphaned reload jobs still run (their acks land on dead
+/// connections and are discarded), the healthy client stays bit-identical
+/// to the single-epoch oracle of every generation it observes, the rude
+/// sessions are reclaimed, and an orderly reload afterwards still works.
+#[test]
+fn reload_racing_rude_disconnects_leaves_server_serviceable() {
+    let (db_a, _) = shared_database();
+    let db_b = Arc::new(grown_database());
+    let engine = test_engine(Arc::clone(&db_a));
+    let flips = Arc::new(AtomicUsize::new(0));
+    let hook: mc_net::ReloadHook = {
+        let db_a = Arc::clone(&db_a);
+        let db_b = Arc::clone(&db_b);
+        let flips = Arc::clone(&flips);
+        Arc::new(move |engine: &ServingEngine| {
+            // Alternate the two reference sets: generation g >= 1 serves
+            // the grown set when g is odd, the original when even.
+            let db = if flips.fetch_add(1, Ordering::Relaxed).is_multiple_of(2) {
+                Arc::clone(&db_b)
+            } else {
+                Arc::clone(&db_a)
+            };
+            Ok(engine.reload_backend(HostBackend::new(db)))
+        })
+    };
+    let server = NetServer::bind_with(&engine, "127.0.0.1:0", fast_config())
+        .unwrap()
+        .with_reload(hook);
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        let _guard = ShutdownOnDrop(handle.clone());
+
+        let rude = scope.spawn(move || {
+            for k in 0..3 {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream.write_all(&hello_bytes()).unwrap();
+                protocol::read_frame(&mut stream).unwrap().unwrap();
+                stream.write_all(&Frame::Reload.encode().unwrap()).unwrap();
+                match k {
+                    0 => {} // dropped cold, the ack never read
+                    1 => {
+                        // half-close, then vanish
+                        let _ = stream.shutdown(std::net::Shutdown::Write);
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    _ => {
+                        // a torn frame prefix chases the reload out the door
+                        let _ = stream.write_all(&[0x4d, 0x43, 0x01]);
+                    }
+                }
+                drop(stream);
+            }
+        });
+
+        let reads = genome_reads(32, 91);
+        let (db_a, db_b) = (Arc::clone(&db_a), Arc::clone(&db_b));
+        let healthy = scope.spawn(move || {
+            let mut client = NetClient::connect_with(
+                addr,
+                ClientConfig {
+                    request_timeout: Some(Duration::from_secs(10)),
+                    ..ClientConfig::default()
+                },
+            )
+            .unwrap();
+            for round in 0..6 {
+                let got = client.classify_batch(&reads).unwrap();
+                let generation = client
+                    .database_generation()
+                    .expect("a v5 server must tag its results");
+                let oracle = if generation % 2 == 1 { &db_b } else { &db_a };
+                let want = Classifier::new(Arc::clone(oracle)).classify_batch(&reads);
+                assert_eq!(
+                    got, want,
+                    "round {round} diverged from the generation-{generation} oracle"
+                );
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        });
+        rude.join().unwrap();
+        healthy.join().unwrap();
+
+        // The storm is over: an orderly reload still round-trips, and its
+        // ack reports the engine's real generation.
+        let mut client = NetClient::connect(addr).unwrap();
+        let generation = client.reload().unwrap();
+        assert_eq!(generation, engine.generation());
+        drop(client);
+        assert!(
+            wait_until(|| engine.live_sessions() == 0, Duration::from_secs(5)),
+            "rude reload connections leaked sessions"
+        );
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    });
+    engine.shutdown();
+}
+
+/// Satellite: a `Reload` wedged into the middle of a pipelined burst.
+/// Responses keep strict submission order, the generation tag flips
+/// somewhere around the ack — but **never inside one request**: a request
+/// whose engine batches straddle the swap is replayed entirely on the new
+/// epoch, so every response is bit-identical to a single-generation
+/// oracle.
+#[test]
+fn reload_mid_pipelined_burst_never_splits_a_request_across_generations() {
+    let (db_a, _) = shared_database();
+    let db_b = Arc::new(grown_database());
+    let engine = test_engine(Arc::clone(&db_a));
+    let hook: mc_net::ReloadHook = {
+        let db_b = Arc::clone(&db_b);
+        Arc::new(move |engine: &ServingEngine| {
+            Ok(engine.reload_backend(HostBackend::new(Arc::clone(&db_b))))
+        })
+    };
+    let server = NetServer::bind_with(&engine, "127.0.0.1:0", fast_config())
+        .unwrap()
+        .with_reload(hook);
+    let handle = server.handle();
+    let addr = handle.local_addr();
+
+    let all_reads = genome_reads(120, 47);
+    // Six requests of 20 reads each: three engine batches per request
+    // (batch_records is 8), so a request caught mid-swap *must* replay to
+    // come back single-generation.
+    let sizes = [20usize; 6];
+
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+        let _guard = ShutdownOnDrop(handle.clone());
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&hello_bytes()).unwrap();
+        protocol::read_frame(&mut stream).unwrap().unwrap();
+
+        // One burst: requests 1-3, the reload, requests 4-6.
+        let mut burst = Vec::new();
+        let mut offset = 0;
+        for (i, &n) in sizes.iter().enumerate() {
+            let frame = Frame::Classify {
+                request_id: (i + 1) as u64,
+                reads: all_reads[offset..offset + n].to_vec(),
+            };
+            burst.extend_from_slice(&frame.encode().unwrap());
+            offset += n;
+            if i == 2 {
+                burst.extend_from_slice(&Frame::Reload.encode().unwrap());
+            }
+        }
+        stream.write_all(&burst).unwrap();
+
+        let mut offset = 0;
+        for (i, &n) in sizes.iter().enumerate() {
+            let slice = &all_reads[offset..offset + n];
+            offset += n;
+            match protocol::read_frame(&mut stream).unwrap().unwrap() {
+                Frame::Results {
+                    request_id,
+                    entries,
+                    generation,
+                } => {
+                    assert_eq!(request_id, (i + 1) as u64, "responses out of order");
+                    let generation = generation.expect("a v5 response must carry a generation tag");
+                    let oracle = match generation {
+                        0 => &db_a,
+                        1 => &db_b,
+                        g => panic!("request {} reported unknown generation {g}", i + 1),
+                    };
+                    let expected: Vec<protocol::ResultEntry> = Classifier::new(Arc::clone(oracle))
+                        .classify_batch(slice)
+                        .iter()
+                        .map(protocol::ResultEntry::from_classification)
+                        .collect();
+                    assert_eq!(
+                        entries,
+                        expected,
+                        "request {} is not bit-identical to its generation-{generation} \
+                         oracle — torn across the swap?",
+                        i + 1
+                    );
+                }
+                other => panic!("expected Results for request {}, got {other:?}", i + 1),
+            }
+            if i == 2 {
+                match protocol::read_frame(&mut stream).unwrap().unwrap() {
+                    Frame::ReloadAck { generation } => assert_eq!(generation, 1),
+                    other => panic!("expected the pipelined ReloadAck, got {other:?}"),
+                }
+            }
+        }
+        drop(stream);
+        assert!(
+            wait_until(|| engine.live_sessions() == 0, Duration::from_secs(5)),
+            "pipelined reload connection leaked its session"
+        );
+        handle.shutdown();
+        runner.join().unwrap().unwrap();
+    });
+    assert_eq!(engine.generation(), 1);
+    engine.shutdown();
+}
+
+/// Satellite: a live reference upgrade sweeping a routed topology while
+/// one shard leg is wrecked mid-swap. The sweep follows the router-first
+/// order (`mc-serve route` reload semantics): router metadata swaps, then
+/// each shard server. The wrecked leg's reconnects are cut exactly in the
+/// swap window; the router's per-leg retries plus its generation-agreement
+/// re-query must converge — and **no read may ever classify as a torn
+/// mixed-epoch merge**: every answer is bit-identical to one of the two
+/// epoch oracles, and after the sweep the router answers exactly as the
+/// new epoch.
+#[test]
+fn routed_reload_with_wrecked_leg_converges_without_torn_merge() {
+    let (db, _) = shared_database();
+    let grown = grown_database();
+    let meta1 = Arc::new(grown.metadata_view());
+    let oracle1_db = Arc::new(grown_database());
+    let split0 = Arc::new(metacache::ShardedDatabase::round_robin(owned_database(), 2).unwrap());
+    let split1 = Arc::new(metacache::ShardedDatabase::round_robin(grown, 2).unwrap());
+
+    let shard_engines: Vec<ServingEngine> = split0
+        .shards()
+        .iter()
+        .map(|shard| test_engine(Arc::clone(shard)))
+        .collect();
+    let shard_servers: Vec<NetServer> = shard_engines
+        .iter()
+        .enumerate()
+        .map(|(i, engine)| {
+            let next = Arc::clone(&split1.shards()[i]);
+            let hook: mc_net::ReloadHook = Arc::new(move |engine: &ServingEngine| {
+                Ok(engine.reload_backend(HostBackend::new(Arc::clone(&next))))
+            });
+            NetServer::bind_with(engine, "127.0.0.1:0", fast_config())
+                .unwrap()
+                .with_reload(hook)
+        })
+        .collect();
+    let shard_handles: Vec<ServerHandle> = shard_servers.iter().map(|s| s.handle()).collect();
+
+    // Chaos between the router and shard 1: the two initial leg
+    // connections (one per router worker) pass through untouched; the
+    // *reconnects* — which happen exactly when the router's reload mints
+    // new workers mid-swap — are cut, then verbatim forwarding.
+    let proxy = ChaosProxy::start(
+        shard_handles[1].local_addr(),
+        vec![
+            PASSTHROUGH,
+            PASSTHROUGH,
+            ConnPlan::downstream(Fault::Reset { after: 48 }),
+            ConnPlan::downstream(Fault::Truncate { after: 25 }),
+        ],
+    )
+    .unwrap();
+    let leg_addrs = vec![shard_handles[0].local_addr(), proxy.local_addr()];
+    let router_config = mc_net::RouterConfig {
+        client: ClientConfig {
+            connect_timeout: Some(Duration::from_secs(1)),
+            request_timeout: Some(Duration::from_millis(500)),
+            ..ClientConfig::default()
+        },
+        policy: RetryPolicy {
+            max_retries: 15,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(20),
+            seed: 23,
+        },
+    };
+    let backend = mc_net::RouterBackend::new(
+        Arc::new(db.metadata_view()),
+        &leg_addrs,
+        router_config.clone(),
+    )
+    .unwrap();
+    let router_engine = ServingEngine::new(
+        backend,
+        EngineConfig {
+            workers: 2,
+            queue_capacity: 4,
+            batch_records: 8,
+            session_max_in_flight: 0,
+            ..EngineConfig::default()
+        },
+    );
+    let router_server = NetServer::bind_with(&router_engine, "127.0.0.1:0", fast_config()).unwrap();
+    let router_handle = router_server.handle();
+    let router_addr = router_handle.local_addr();
+
+    let reads = genome_reads(24, 53);
+    let want0 = Classifier::new(Arc::clone(&db)).classify_batch(&reads);
+    let want1 = Classifier::new(Arc::clone(&oracle1_db)).classify_batch(&reads);
+
+    std::thread::scope(|scope| {
+        let _guards: Vec<ShutdownOnDrop> =
+            shard_handles.iter().cloned().map(ShutdownOnDrop).collect();
+        let _router_guard = ShutdownOnDrop(router_handle.clone());
+        for server in shard_servers {
+            scope.spawn(move || server.run().unwrap());
+        }
+        let router_runner = scope.spawn(|| router_server.run().unwrap());
+
+        let streamer = {
+            let (reads, want0, want1) = (reads.clone(), want0.clone(), want1.clone());
+            scope.spawn(move || {
+                let connect = || {
+                    NetClient::connect_with(
+                        router_addr,
+                        ClientConfig {
+                            request_timeout: Some(Duration::from_secs(10)),
+                            ..ClientConfig::default()
+                        },
+                    )
+                    .unwrap()
+                };
+                let mut client = connect();
+                for round in 0..10 {
+                    // A routed worker torn down past its retries surfaces a
+                    // typed Internal error (PR 6 semantics); tolerate it and
+                    // reconnect — but a *wrong answer* is never tolerated.
+                    let got = match client.classify_batch(&reads) {
+                        Ok(got) => got,
+                        Err(_) => {
+                            client = connect();
+                            continue;
+                        }
+                    };
+                    for (r, got) in got.iter().enumerate() {
+                        assert!(
+                            *got == want0[r] || *got == want1[r],
+                            "round {round} read {r}: torn mixed-epoch merge \
+                             (matches neither epoch oracle)"
+                        );
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            })
+        };
+
+        // Let pre-swap traffic flow, then sweep the reload through the
+        // topology in router-first order while the proxy wrecks shard 1's
+        // leg reconnects.
+        std::thread::sleep(Duration::from_millis(30));
+        let new_backend =
+            mc_net::RouterBackend::new(Arc::clone(&meta1), &leg_addrs, router_config).unwrap();
+        assert_eq!(router_engine.reload_backend(new_backend), 1);
+        let mut s0 = NetClient::connect(shard_handles[0].local_addr()).unwrap();
+        assert_eq!(s0.reload().unwrap(), 1);
+        drop(s0);
+        let mut s1 = NetClient::connect(shard_handles[1].local_addr()).unwrap();
+        assert_eq!(s1.reload().unwrap(), 1);
+        drop(s1);
+
+        streamer.join().unwrap();
+
+        // After the sweep: the routed answer is exactly the new epoch's.
+        let mut client = NetClient::connect_with(
+            router_addr,
+            ClientConfig {
+                request_timeout: Some(Duration::from_secs(10)),
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            client.classify_batch(&reads).unwrap(),
+            want1,
+            "router did not converge to the new epoch"
+        );
+        assert_eq!(client.database_generation(), Some(1));
+        drop(client);
+        proxy.shutdown();
+
+        assert!(
+            wait_until(
+                || router_engine.live_sessions() == 0,
+                Duration::from_secs(5)
+            ),
+            "router sessions leaked across the reload sweep"
+        );
+        router_handle.shutdown();
+        router_runner.join().unwrap();
+        for handle in &shard_handles {
+            handle.shutdown();
+        }
+    });
+    router_engine.shutdown();
+    for (i, engine) in shard_engines.iter().enumerate() {
+        assert!(
+            wait_until(|| engine.live_sessions() == 0, Duration::from_secs(5)),
+            "shard {i} leaked sessions: {}",
+            engine.live_sessions()
+        );
+    }
+    for engine in shard_engines {
+        engine.shutdown();
+    }
 }

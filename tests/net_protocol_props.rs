@@ -222,7 +222,10 @@ proptest! {
     fn results_frames_roundtrip(
         request_id in any::<u64>(),
         raw in vec((any::<u8>(), any::<u32>(), any::<u32>()), 0..40),
+        tag in any::<bool>(),
+        tag_value in any::<u64>(),
     ) {
+        let generation = tag.then_some(tag_value);
         let entries: Vec<ResultEntry> = raw
             .iter()
             .map(|&(status, taxon, hits)| ResultEntry {
@@ -233,7 +236,7 @@ proptest! {
                 best_hits: hits,
             })
             .collect();
-        let frame = Frame::Results { request_id, entries };
+        let frame = Frame::Results { request_id, entries, generation };
         prop_assert_eq!(roundtrip(&frame), frame);
     }
 

@@ -454,8 +454,9 @@ fn sharded_engine_matches_unsharded_sessions() {
     assert_eq!(engine.backend_name(), "sharded-host");
     // The engine's serving metadata is the table-free view: full targets,
     // no partitions.
-    assert_eq!(engine.database().target_count(), 2);
-    assert_eq!(engine.database().partition_count(), 0);
+    let epoch = engine.pin_epoch();
+    assert_eq!(epoch.database().target_count(), 2);
+    assert_eq!(epoch.database().partition_count(), 0);
     let stats = engine.shutdown();
     assert_eq!(stats.worker_panics, 0);
 }
